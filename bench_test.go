@@ -1,0 +1,339 @@
+// Benchmarks regenerating the evaluation's tables and figures (experiments
+// E1–E13, DESIGN.md) plus micro-benchmarks of the load-bearing components.
+// Each experiment benchmark runs a reduced-scale instance per iteration;
+// cmd/benchharness runs the full-scale versions and prints the tables.
+package wsda_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wsda/internal/experiments"
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/simnet"
+	"wsda/internal/topology"
+	"wsda/internal/updf"
+	"wsda/internal/workload"
+	"wsda/internal/wsda"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+// --- Experiment benchmarks (one per table/figure) ---
+
+func BenchmarkE1QueryTypes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E1QueryTypes(200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2Publish(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E2Publish([]int{1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3Cache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E3Cache(500, []int{0, 50, 100}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4SoftState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E4SoftState(200, []float64{1.5, 2, 4}, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5ResponseModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5ResponseModes(16, 100*time.Microsecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5bSelectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5Selectivity(12, []int{1, 12}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6Pipelining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E6Pipelining([]int{8}, 500*time.Microsecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7Timeouts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7Timeouts([]time.Duration{40 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8NeighborSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8NeighborSelection(48, []int{1, 2}, []int{2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9Containers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9Containers([]int{8}, time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10LoopDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E10LoopDetection(32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E11Scalability([]int{64}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12WSDAPrimitives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E12WSDAPrimitives(200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13Federation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E13Federation([]int{8}, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component micro-benchmarks ---
+
+func benchRegistry(b *testing.B, n int) *registry.Registry {
+	b.Helper()
+	reg := registry.New(registry.Config{Name: "bench", DefaultTTL: time.Hour})
+	if err := workload.NewGen(1).Populate(reg, n, time.Hour); err != nil {
+		b.Fatal(err)
+	}
+	return reg
+}
+
+func BenchmarkXQCompile(b *testing.B) {
+	src := workload.CanonicalQueries[7].XQ // the complex grouping query
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := xq.Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXQEvalSimple(b *testing.B) {
+	benchXQEval(b, workload.CanonicalQueries[1].XQ, 1000)
+}
+
+func BenchmarkXQEvalMedium(b *testing.B) {
+	benchXQEval(b, workload.CanonicalQueries[4].XQ, 1000)
+}
+
+func BenchmarkXQEvalComplex(b *testing.B) {
+	benchXQEval(b, workload.CanonicalQueries[7].XQ, 1000)
+}
+
+func benchXQEval(b *testing.B, src string, n int) {
+	b.Helper()
+	reg := benchRegistry(b, n)
+	view := reg.BuildView(registry.Filter{}, registry.Freshness{})
+	q := xq.MustCompile(src)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.EvalDoc(view); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryPublish(b *testing.B) {
+	gen := workload.NewGen(1)
+	reg := registry.New(registry.Config{Name: "bench", DefaultTTL: time.Hour})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Publish(gen.Tuple(i%10000), time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryQuery1k(b *testing.B) {
+	reg := benchRegistry(b, 1000)
+	q := xq.MustCompile(`count(/tupleset/tuple)`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.QueryCompiled(q, registry.QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryMinQuery1k(b *testing.B) {
+	reg := benchRegistry(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := reg.MinQuery(registry.Filter{Type: "service"}); len(got) != 1000 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+func BenchmarkXMLParse(b *testing.B) {
+	src := workload.NewGen(1).Service(0).String()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := xmldoc.ParseString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXMLSerialize(b *testing.B) {
+	doc := xmldoc.MustParse(workload.NewGen(1).Service(0).String())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if doc.String() == "" {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkPDPCodec(b *testing.B) {
+	msg := &pdp.Message{
+		Kind: pdp.KindQuery, TxID: "orig#1", From: "a", To: "b", Hop: 3,
+		Query: workload.CanonicalQueries[4].XQ, Mode: pdp.Metadata,
+		Origin: "orig", Scope: pdp.Scope{Radius: 7, Policy: "flood"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := msg.Encode()
+		if _, err := pdp.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryConcurrentMixed(b *testing.B) {
+	// Parallel publishers refreshing a 1k-tuple set while queriers scan it
+	// — the registry's steady-state workload.
+	reg := benchRegistry(b, 1000)
+	gen := workload.NewGen(1)
+	q := xq.MustCompile(`count(/tupleset/tuple[@type="service"])`)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%4 == 0 {
+				if _, err := reg.Publish(gen.Tuple(i%1000), time.Hour); err != nil {
+					b.Error(err)
+					return
+				}
+			} else {
+				if _, err := reg.QueryCompiled(q, registry.QueryOptions{}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkWSDAHTTPRoundTrip(b *testing.B) {
+	reg := benchRegistry(b, 100)
+	node := &wsdaLocalNode{reg}
+	srv := httptest.NewServer(wsda.Handler(node.ln()))
+	defer srv.Close()
+	client := wsda.NewClient(srv.URL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq, err := client.XQuery(`count(/tupleset/tuple)`, registry.QueryOptions{})
+		if err != nil || len(seq) != 1 {
+			b.Fatalf("%v %v", seq, err)
+		}
+	}
+}
+
+// wsdaLocalNode builds a LocalNode lazily (keeps bench imports tidy).
+type wsdaLocalNode struct{ reg *registry.Registry }
+
+func (w *wsdaLocalNode) ln() *wsda.LocalNode {
+	return &wsda.LocalNode{Desc: wsda.NewService("bench").Build(), Registry: w.reg}
+}
+
+func BenchmarkP2PFloodQuery(b *testing.B) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	gen := workload.NewGen(1)
+	cluster, err := updf.BuildCluster(topology.Random(32, 4, 9), updf.ClusterConfig{
+		Net: net,
+		RegistryFor: func(i int) *registry.Registry {
+			r := registry.New(registry.Config{Name: fmt.Sprintf("r%d", i), DefaultTTL: time.Hour})
+			if _, err := r.Publish(gen.Tuple(i), time.Hour); err != nil {
+				b.Fatal(err)
+			}
+			return r
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	orig, err := updf.NewOriginator("bench-orig", net, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer orig.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := orig.Submit(updf.QuerySpec{
+			Query: `count(/tupleset/tuple)`, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+			LoopTimeout: 30 * time.Second, AbortTimeout: 15 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Items) != 32 {
+			b.Fatalf("hits = %d", len(rs.Items))
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command benchharness regenerates every table and figure of the
+// evaluation (experiments E1–E13, see DESIGN.md) at full scale and prints
+// them as aligned text tables. Use -quick for a fast smoke run and -only
+// to select individual experiments.
+//
+//	benchharness            # everything, full scale (minutes)
+//	benchharness -quick     # everything, small scale (seconds)
+//	benchharness -only E5,E7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"wsda/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-scale versions")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type runner struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	q := *quick
+	runners := []runner{
+		{"E1", func() (*experiments.Table, error) {
+			return experiments.E1QueryTypes(pick(q, 200, 1000))
+		}},
+		{"E2", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E2Publish([]int{100, 1000})
+			}
+			return experiments.E2Publish([]int{100, 1000, 10_000, 50_000})
+		}},
+		{"E3", func() (*experiments.Table, error) {
+			return experiments.E3Cache(pick(q, 300, 2000),
+				[]int{0, 25, 50, 75, 100}, 200*time.Microsecond)
+		}},
+		{"E4", func() (*experiments.Table, error) {
+			return experiments.E4SoftState(pick(q, 100, 1000), []float64{1.5, 2, 4, 8}, 0.5)
+		}},
+		{"E5", func() (*experiments.Table, error) {
+			return experiments.E5ResponseModes(pick(q, 16, 64), time.Millisecond)
+		}},
+		{"E5B", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E5Selectivity(16, []int{1, 8, 16}, 0)
+			}
+			return experiments.E5Selectivity(32, []int{1, 2, 4, 8, 16, 32}, time.Millisecond)
+		}},
+		{"E6", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E6Pipelining([]int{4, 16}, time.Millisecond)
+			}
+			return experiments.E6Pipelining([]int{2, 4, 8, 16, 32, 64}, time.Millisecond)
+		}},
+		{"E7", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E7Timeouts([]time.Duration{60 * time.Millisecond})
+			}
+			return experiments.E7Timeouts([]time.Duration{
+				10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+				100 * time.Millisecond, 200 * time.Millisecond,
+			})
+		}},
+		{"E8", func() (*experiments.Table, error) {
+			return experiments.E8NeighborSelection(pick(q, 48, 256),
+				[]int{1, 2, 3, 4}, []int{1, 2, 3, 4, 6})
+		}},
+		{"E9", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E9Containers([]int{8}, 2*time.Millisecond)
+			}
+			return experiments.E9Containers([]int{2, 4, 8, 16, 32, 64}, 2*time.Millisecond)
+		}},
+		{"E10", func() (*experiments.Table, error) {
+			return experiments.E10LoopDetection(pick(q, 25, 100))
+		}},
+		{"E11", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E11Scalability([]int{16, 64}, 200*time.Microsecond)
+			}
+			return experiments.E11Scalability([]int{16, 64, 256, 1024}, 200*time.Microsecond)
+		}},
+		{"E12", func() (*experiments.Table, error) {
+			return experiments.E12WSDAPrimitives(pick(q, 200, 1000))
+		}},
+		{"E13", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E13Federation([]int{8}, 5)
+			}
+			return experiments.E13Federation([]int{8, 32, 128}, 20)
+		}},
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, r := range runners {
+		if !selected(r.id) {
+			continue
+		}
+		t0 := time.Now()
+		tab, err := r.run()
+		if err != nil {
+			log.Fatalf("%s: %v", r.id, err)
+		}
+		fmt.Println(tab.String())
+		fmt.Printf("   [%s completed in %v]\n\n", r.id, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments selected")
+		os.Exit(2)
+	}
+	fmt.Printf("ran %d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+func pick(quick bool, small, large int) int {
+	if quick {
+		return small
+	}
+	return large
+}

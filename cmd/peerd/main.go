@@ -1,0 +1,210 @@
+// Command peerd runs one UPDF peer node: a hyper registry reachable over
+// the WSDA HTTP binding (publish/query the local database), wired into a
+// P2P network over the PDP HTTP binding, with an embedded originator for
+// submitting network-wide queries.
+//
+// A three-node network on one machine:
+//
+//	peerd -addr :9001 -name n1 -neighbors http://localhost:9002/pdp,http://localhost:9003/pdp
+//	peerd -addr :9002 -name n2 -neighbors http://localhost:9001/pdp,http://localhost:9003/pdp
+//	peerd -addr :9003 -name n3 -neighbors http://localhost:9001/pdp,http://localhost:9002/pdp
+//
+// Publish a service into a node's local registry, then query the network:
+//
+//	curl -X POST --data @tuple.xml 'http://localhost:9001/wsda/publish'
+//	curl -X POST --data 'for $s in //service return $s/@name' \
+//	     'http://localhost:9001/netquery?mode=routed&radius=-1'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/updf"
+	"wsda/internal/workload"
+	"wsda/internal/wsda"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":9001", "HTTP listen address")
+		name      = flag.String("name", "peer", "node name")
+		public    = flag.String("public-url", "", "public base URL (default http://localhost<addr>)")
+		neighbors = flag.String("neighbors", "", "comma-separated neighbor PDP base URLs (static wiring)")
+		bootstrap = flag.String("bootstrap", "", "comma-separated seed PDP URLs for gossip membership (dynamic wiring)")
+		gossip    = flag.Duration("gossip-period", 5*time.Second, "membership gossip round interval")
+		advertise = flag.Bool("advertise", true, "publish a node tuple describing this peer into its registry")
+		ttl       = flag.Duration("default-ttl", 10*time.Minute, "default tuple lifetime")
+		seed      = flag.Int("seed-services", 0, "pre-populate with N synthetic services")
+	)
+	flag.Parse()
+
+	base := *public
+	if base == "" {
+		base = "http://" + hostAddr(*addr)
+	}
+	pdpAddr := base + "/pdp"
+
+	reg := registry.New(registry.Config{Name: *name, DefaultTTL: *ttl})
+	if *seed > 0 {
+		if err := workload.NewGen(42).Populate(reg, *seed, 24*time.Hour); err != nil {
+			log.Fatalf("seed: %v", err)
+		}
+		log.Printf("seeded %d synthetic services", *seed)
+	}
+
+	net := pdp.NewHTTPNetwork(nil)
+	node, err := updf.NewNode(updf.Config{
+		Addr:     pdpAddr,
+		Net:      net,
+		Registry: reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *neighbors != "" {
+		node.SetNeighbors(strings.Split(*neighbors, ","))
+	}
+	if *bootstrap != "" {
+		if _, err := node.StartMembership(updf.MembershipConfig{
+			Seeds:  strings.Split(*bootstrap, ","),
+			Period: *gossip,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("gossip membership running (period %v)", *gossip)
+	}
+	if *advertise {
+		if err := node.AdvertiseSelf(24 * time.Hour); err != nil {
+			log.Fatal(err)
+		}
+	}
+	orig, err := updf.NewOriginator(pdpAddr+"/originator", net, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	desc := wsda.NewService(*name).
+		Link(base+wsda.PathPresenter).
+		Op(wsda.IfacePresenter, "getServiceDescription", base+wsda.PathPresenter).
+		Op(wsda.IfaceConsumer, "publish", base+wsda.PathPublish).
+		Op(wsda.IfaceMinQuery, "minQuery", base+wsda.PathMinQuery).
+		Op(wsda.IfaceXQuery, "query", base+wsda.PathXQuery).
+		Op("PDP", "message", pdpAddr).
+		Build()
+
+	mux := http.NewServeMux()
+	mux.Handle("/wsda/", wsda.Handler(&wsda.LocalNode{Desc: desc, Registry: reg}))
+	mux.Handle("/pdp", net.Handler())
+	mux.Handle("/pdp/", net.Handler())
+	mux.HandleFunc("/netquery", func(w http.ResponseWriter, r *http.Request) {
+		handleNetQuery(w, r, orig, pdpAddr)
+	})
+	mux.HandleFunc("/neighbors", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, strings.Join(node.Neighbors(), "\n"))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := node.Stats()
+		fmt.Fprintf(w, "tuples=%d queries=%d duplicates=%d dropped-expired=%d evals=%d eval-errors=%d forwards=%d aborts=%d late=%d state-table=%d\n",
+			reg.Len(), st.QueriesSeen, st.Duplicates, st.DroppedExpired, st.Evals,
+			st.EvalErrors, st.Forwards, st.Aborts, st.LateMessages, node.StateTableSize())
+	})
+
+	log.Printf("peer %q serving WSDA+PDP on %s (public %s), %d neighbors",
+		*name, *addr, base, len(node.Neighbors()))
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// handleNetQuery submits a network query through the embedded originator.
+// Query parameters: mode (routed|direct|metadata|referral), radius,
+// timeout-ms, pipeline, policy, fanout.
+func handleNetQuery(w http.ResponseWriter, r *http.Request, orig *updf.Originator, entry string) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body := make([]byte, 0, 1024)
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Body.Read(buf)
+		body = append(body, buf[:n]...)
+		if err != nil {
+			break
+		}
+		if len(body) > 1<<20 {
+			http.Error(w, "query too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+	}
+	q := r.URL.Query()
+	spec := updf.QuerySpec{
+		Query: string(body),
+		Entry: entry,
+		Mode:  pdp.Routed,
+	}
+	switch q.Get("mode") {
+	case "", "routed":
+	case "direct":
+		spec.Mode = pdp.Direct
+	case "metadata":
+		spec.Mode = pdp.Metadata
+	case "referral":
+		spec.Mode = pdp.Referral
+	default:
+		http.Error(w, "unknown mode", http.StatusBadRequest)
+		return
+	}
+	spec.Radius = -1
+	if s := q.Get("radius"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad radius", http.StatusBadRequest)
+			return
+		}
+		spec.Radius = v
+	}
+	if s := q.Get("timeout-ms"); s != "" {
+		ms, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad timeout-ms", http.StatusBadRequest)
+			return
+		}
+		spec.AbortTimeout = time.Duration(ms) * time.Millisecond
+		spec.LoopTimeout = 2 * spec.AbortTimeout
+	}
+	spec.Pipeline = q.Get("pipeline") == "true"
+	spec.Policy = q.Get("policy")
+	if s := q.Get("fanout"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad fanout", http.StatusBadRequest)
+			return
+		}
+		spec.Fanout = v
+	}
+	rs, err := orig.Submit(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	res := wsda.MarshalSequence(rs.Items)
+	res.SetAttr("tx", rs.TxID)
+	res.SetAttr("elapsed-ms", strconv.FormatInt(rs.Elapsed.Milliseconds(), 10))
+	res.SetAttr("aborted", strconv.FormatBool(rs.Aborted))
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	fmt.Fprint(w, res.String())
+}
+
+func hostAddr(addr string) string {
+	if len(addr) > 0 && addr[0] == ':' {
+		return "localhost" + addr
+	}
+	return addr
+}

@@ -1,0 +1,109 @@
+// Command registryd runs a standalone hyper registry node serving the WSDA
+// HTTP protocol binding: Presenter, Consumer (publish/unpublish), MinQuery
+// and XQuery endpoints.
+//
+// Usage:
+//
+//	registryd -addr :8080 -name registry.cern.ch [-seed-services 100]
+//
+// With -seed-services the registry is pre-populated with a synthetic Grid
+// service population, which makes the query endpoints interesting to poke
+// at immediately:
+//
+//	curl http://localhost:8080/wsda/presenter
+//	curl 'http://localhost:8080/wsda/minquery?type=service'
+//	curl -X POST --data 'count(/tupleset/tuple)' http://localhost:8080/wsda/xquery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/workload"
+	"wsda/internal/wsda"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		name    = flag.String("name", "hyper-registry", "registry name")
+		ttl     = flag.Duration("default-ttl", 10*time.Minute, "default tuple lifetime")
+		maxTTL  = flag.Duration("max-ttl", 24*time.Hour, "maximum granted lifetime")
+		minTTL  = flag.Duration("min-ttl", time.Second, "minimum granted lifetime")
+		sweep   = flag.Duration("sweep", 30*time.Second, "expired-tuple sweep interval")
+		seed    = flag.Int("seed-services", 0, "pre-populate with N synthetic services")
+		maxWork = flag.Int("max-query-steps", 10_000_000, "per-query evaluation step budget (0 = unlimited)")
+	)
+	flag.Parse()
+
+	reg := registry.New(registry.Config{
+		Name:          *name,
+		DefaultTTL:    *ttl,
+		MinTTL:        *minTTL,
+		MaxTTL:        *maxTTL,
+		MaxQuerySteps: *maxWork,
+	})
+	if *seed > 0 {
+		if err := workload.NewGen(42).Populate(reg, *seed, *maxTTL); err != nil {
+			log.Fatalf("seed: %v", err)
+		}
+		log.Printf("seeded %d synthetic services", *seed)
+	}
+
+	base := "http://" + hostAddr(*addr)
+	desc := wsda.NewService(*name).
+		Owner("wsda").
+		Link(base+wsda.PathPresenter).
+		Op(wsda.IfacePresenter, "getServiceDescription", base+wsda.PathPresenter).
+		Op(wsda.IfaceConsumer, "publish", base+wsda.PathPublish).
+		Op(wsda.IfaceConsumer, "unpublish", base+wsda.PathUnpublish).
+		Op(wsda.IfaceMinQuery, "minQuery", base+wsda.PathMinQuery).
+		Op(wsda.IfaceXQuery, "query", base+wsda.PathXQuery).
+		Build()
+
+	node := &wsda.LocalNode{Desc: desc, Registry: reg}
+
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(*sweep)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if n := reg.Sweep(); n > 0 {
+					log.Printf("swept %d expired tuples (%d live)", n, reg.Len())
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+	defer close(stop)
+
+	mux := http.NewServeMux()
+	mux.Handle("/wsda/", wsda.Handler(node))
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := reg.Stats()
+		fmt.Fprintf(w, "live=%d publishes=%d refreshes=%d expirations=%d queries=%d minqueries=%d cache-hits=%d cache-misses=%d pulls=%d pull-errors=%d throttled=%d\n",
+			reg.Len(), st.Publishes, st.Refreshes, st.Expirations, st.Queries,
+			st.MinQueries, st.CacheHits, st.CacheMisses, st.Pulls, st.PullErrors, st.Throttled)
+	})
+
+	log.Printf("hyper registry %q serving WSDA on %s", *name, *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func hostAddr(addr string) string {
+	if len(addr) > 0 && addr[0] == ':' {
+		return "localhost" + addr
+	}
+	return addr
+}

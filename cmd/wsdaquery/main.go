@@ -1,0 +1,120 @@
+// Command wsdaquery is the client CLI for WSDA nodes (registryd, peerd).
+//
+// Subcommands:
+//
+//	wsdaquery describe  -node http://localhost:8080
+//	wsdaquery minquery  -node http://localhost:8080 [-type service] [-ctx c] [-prefix http://cern.ch/]
+//	wsdaquery xquery    -node http://localhost:8080 'count(/tupleset/tuple)'
+//	wsdaquery publish   -node http://localhost:8080 -link URL -type service [-ttl 5m] [-content file.xml]
+//	wsdaquery unpublish -node http://localhost:8080 -link URL
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/tuple"
+	"wsda/internal/wsda"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wsdaquery <describe|minquery|xquery|publish|unpublish> [flags] [query]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	node := fs.String("node", "http://localhost:8080", "node base URL")
+	typ := fs.String("type", "", "tuple type filter / published tuple type")
+	ctx := fs.String("ctx", "", "context filter / published tuple context")
+	prefix := fs.String("prefix", "", "link prefix filter")
+	link := fs.String("link", "", "content link (publish/unpublish)")
+	ttl := fs.Duration("ttl", 5*time.Minute, "requested lifetime (publish)")
+	contentFile := fs.String("content", "", "XML content file (publish)")
+	maxAge := fs.Duration("maxage", 0, "content freshness bound (xquery)")
+	pull := fs.Bool("pull-missing", false, "pull missing content (xquery)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		usage()
+	}
+	client := wsda.NewClient(*node)
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "wsdaquery:", err)
+		os.Exit(1)
+	}
+
+	switch cmd {
+	case "describe":
+		desc, err := client.GetServiceDescription()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(desc.ToXML().Indent())
+	case "minquery":
+		tuples, err := client.MinQuery(registry.Filter{Type: *typ, Context: *ctx, LinkPrefix: *prefix})
+		if err != nil {
+			fail(err)
+		}
+		for _, t := range tuples {
+			fmt.Println(t.ToXML().String())
+		}
+		fmt.Fprintf(os.Stderr, "%d tuples\n", len(tuples))
+	case "xquery":
+		if fs.NArg() != 1 {
+			fail(fmt.Errorf("xquery needs exactly one query argument"))
+		}
+		seq, err := client.XQuery(fs.Arg(0), registry.QueryOptions{
+			Filter:    registry.Filter{Type: *typ, Context: *ctx, LinkPrefix: *prefix},
+			Freshness: registry.Freshness{MaxAge: *maxAge, PullMissing: *pull},
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(xq.Serialize(seq))
+		fmt.Fprintf(os.Stderr, "%d items\n", len(seq))
+	case "publish":
+		if *link == "" {
+			fail(fmt.Errorf("publish needs -link"))
+		}
+		t := &tuple.Tuple{Link: *link, Type: *typ, Context: *ctx}
+		if t.Type == "" {
+			t.Type = tuple.TypeService
+		}
+		if *contentFile != "" {
+			f, err := os.Open(*contentFile)
+			if err != nil {
+				fail(err)
+			}
+			doc, err := xmldoc.Parse(f)
+			f.Close()
+			if err != nil {
+				fail(err)
+			}
+			t.Content = doc.DocumentElement()
+		}
+		granted, err := client.Publish(t, *ttl)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("published %s, granted ttl %v\n", *link, granted)
+	case "unpublish":
+		if *link == "" {
+			fail(fmt.Errorf("unpublish needs -link"))
+		}
+		if err := client.Unpublish(*link); err != nil {
+			fail(err)
+		}
+		fmt.Printf("unpublished %s\n", *link)
+	default:
+		usage()
+	}
+}

@@ -1,0 +1,118 @@
+// Command xq is a standalone XQuery processor over XML files — the query
+// engine of the hyper registry, usable on its own.
+//
+//	xq 'count(//service)' catalog.xml
+//	xq -q query.xq catalog.xml
+//	cat catalog.xml | xq 'for $s in //service return $s/@name'
+//	xq 'for $i in 1 to 5 return $i * $i'        # no input document needed
+//
+// External variables are bound with -var name=value (string-typed):
+//
+//	xq -var dom=cern.ch '//service[@domain=$dom]' catalog.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+type varFlags map[string]string
+
+func (v varFlags) String() string { return "" }
+
+func (v varFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v[name] = val
+	return nil
+}
+
+func main() {
+	vars := varFlags{}
+	queryFile := flag.String("q", "", "read the query from this file")
+	indent := flag.Bool("indent", false, "pretty-print element results")
+	maxSteps := flag.Int("max-steps", 0, "evaluation work bound (0 = unlimited)")
+	flag.Var(vars, "var", "bind external variable name=value (repeatable)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "xq:", err)
+		os.Exit(1)
+	}
+
+	args := flag.Args()
+	var src string
+	switch {
+	case *queryFile != "":
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	case len(args) > 0:
+		src = args[0]
+		args = args[1:]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: xq [-q file | 'query'] [input.xml]")
+		os.Exit(2)
+	}
+
+	q, err := xq.Compile(src)
+	if err != nil {
+		fail(err)
+	}
+
+	opts := &xq.Options{MaxSteps: *maxSteps}
+	if len(vars) > 0 {
+		opts.Vars = make(map[string]xq.Sequence, len(vars))
+		for k, v := range vars {
+			opts.Vars[k] = xq.Singleton(v)
+		}
+	}
+
+	// Input document: named file, or stdin when piped.
+	switch {
+	case len(args) > 0:
+		f, err := os.Open(args[0])
+		if err != nil {
+			fail(err)
+		}
+		doc, err := xmldoc.Parse(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		opts.Context = doc
+	default:
+		if st, err := os.Stdin.Stat(); err == nil && st.Mode()&os.ModeCharDevice == 0 {
+			doc, err := xmldoc.Parse(os.Stdin)
+			if err != nil {
+				fail(err)
+			}
+			opts.Context = doc
+		}
+	}
+
+	seq, err := q.Eval(opts)
+	if err != nil {
+		fail(err)
+	}
+	for _, it := range seq {
+		if n, ok := it.(*xmldoc.Node); ok && *indent {
+			fmt.Println(n.Indent())
+			continue
+		}
+		if n, ok := it.(*xmldoc.Node); ok {
+			fmt.Println(n.String())
+			continue
+		}
+		fmt.Println(xq.StringValue(it))
+	}
+}

@@ -1,0 +1,11 @@
+// Package wsda is a from-scratch Go reproduction of the Web Service
+// Discovery Architecture (Hoschek, SC 2002): a hyper registry for XQueries
+// over dynamic distributed content, the WSDA discovery primitives and
+// their HTTP bindings, and the Unified Peer-to-Peer Database Framework
+// (UPDF) with its Peer Database Protocol (PDP).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the runnable servers and the experiment harness,
+// examples/ the guided tours, and bench_test.go the per-experiment
+// benchmarks.
+package wsda

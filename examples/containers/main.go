@@ -1,0 +1,108 @@
+// Containers: centralized virtual node hosting. The same 12-node ring is
+// deployed twice — as 12 separate networked peers, and as 12 virtual nodes
+// co-hosted in one container — showing how co-location short-circuits the
+// network and how a container can collapse a network query into a single
+// local pass.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wsda/internal/container"
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/simnet"
+	"wsda/internal/topology"
+	"wsda/internal/updf"
+	"wsda/internal/workload"
+)
+
+const (
+	m     = 12
+	query = `for $s in /tupleset/tuple/content/service return string($s/@name)`
+)
+
+func main() {
+	remote := 2 * time.Millisecond
+
+	// Deployment A: twelve separate peers over the WAN.
+	netA := simnet.New(simnet.Config{Delay: simnet.UniformDelay(remote)})
+	defer netA.Close()
+	gen := workload.NewGen(5)
+	clusterA, err := updf.BuildCluster(topology.Ring(m), updf.ClusterConfig{
+		Net: netA,
+		RegistryFor: func(i int) *registry.Registry {
+			r := registry.New(registry.Config{Name: fmt.Sprintf("sep%d", i), DefaultTTL: time.Hour})
+			if _, err := r.Publish(gen.Tuple(i), time.Hour); err != nil {
+				log.Fatal(err)
+			}
+			return r
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer clusterA.Close()
+	origA, err := updf.NewOriginator("client", netA, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer origA.Close()
+	rsA, err := origA.Submit(updf.QuerySpec{
+		Query: query, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+		LoopTimeout: time.Minute, AbortTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("separate peers:   %2d hits, %3d network messages, %v\n",
+		len(rsA.Items), netA.Stats().Messages, rsA.Elapsed.Round(100*time.Microsecond))
+
+	// Deployment B: the same ring as virtual nodes in one container.
+	netB := simnet.New(simnet.Config{Delay: simnet.UniformDelay(remote)})
+	defer netB.Close()
+	ct, err := container.New(container.Config{Host: "bigbox", Net: netB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ct.Close()
+	gen2 := workload.NewGen(5)
+	for i := 0; i < m; i++ {
+		r := registry.New(registry.Config{Name: fmt.Sprintf("virt%d", i), DefaultTTL: time.Hour})
+		if _, err := r.Publish(gen2.Tuple(i), time.Hour); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := ct.AddNode(i, r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i, node := range ct.Nodes() {
+		node.SetNeighbors([]string{ct.AddrOf((i + 1) % m), ct.AddrOf((i + m - 1) % m)})
+	}
+	origB, err := updf.NewOriginator("client", netB, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer origB.Close()
+	rsB, err := origB.Submit(updf.QuerySpec{
+		Query: query, Entry: ct.AddrOf(0), Mode: pdp.Routed, Radius: -1,
+		LoopTimeout: time.Minute, AbortTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, fwd := ct.Stats()
+	fmt.Printf("container-hosted: %2d hits, %3d network messages, %v  (%d short-circuited, %d crossed out)\n",
+		len(rsB.Items), netB.Stats().Messages, rsB.Elapsed.Round(100*time.Microsecond), sc, fwd)
+
+	// Deployment C: the container answers over all virtual nodes at once.
+	start := time.Now()
+	seq, err := ct.QueryAll(query, registry.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single-pass:      %2d hits,   0 network messages, %v\n",
+		len(seq), time.Since(start).Round(100*time.Microsecond))
+}

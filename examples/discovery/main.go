@@ -1,0 +1,112 @@
+// Discovery: the full WSDA loop over real HTTP — a registry node serves
+// the Presenter/Consumer/MinQuery/XQuery primitives; a client publishes a
+// synthetic Grid service population, retrieves the registry's own
+// description via its service link, and runs the thesis's example
+// discovery task: find correlated services fitting a complex pattern of
+// requirements (a lightly loaded compute element in the same domain as a
+// storage element with enough disk).
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/workload"
+	"wsda/internal/wsda"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+func main() {
+	// Serve a hyper registry on an ephemeral port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+
+	reg := registry.New(registry.Config{Name: "edg-registry", DefaultTTL: time.Hour})
+	desc := wsda.NewService("edg-registry").
+		Link(base+wsda.PathPresenter).
+		Op(wsda.IfacePresenter, "getServiceDescription", base+wsda.PathPresenter).
+		Op(wsda.IfaceConsumer, "publish", base+wsda.PathPublish).
+		Op(wsda.IfaceMinQuery, "minQuery", base+wsda.PathMinQuery).
+		Op(wsda.IfaceXQuery, "query", base+wsda.PathXQuery).
+		Build()
+	srv := &http.Server{Handler: wsda.Handler(&wsda.LocalNode{Desc: desc, Registry: reg})}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+
+	client := wsda.NewClient(base)
+
+	// Resolve the service link: retrieve the registry's own description.
+	remote, err := client.GetServiceDescription()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resolved service link: %s offers %d interfaces\n", remote.Name, len(remote.Interfaces))
+	if !remote.Implements(wsda.IfaceXQuery) {
+		log.Fatal("registry does not answer XQueries")
+	}
+
+	// Publish 60 synthetic Grid services over the Consumer primitive.
+	gen := workload.NewGen(2026)
+	for i := 0; i < 60; i++ {
+		if _, err := client.Publish(gen.Tuple(i), 30*time.Minute); err != nil {
+			log.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	fmt.Println("published 60 services over HTTP")
+
+	// Minimal primitive: count what is there.
+	tuples, err := client.MinQuery(registry.Filter{Type: "service"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minquery sees %d service tuples\n\n", len(tuples))
+
+	// The correlated-services query of thesis Ch. 1.2: a scheduler for
+	// data-intensive requests looks for execution and storage with good
+	// locality — here, co-located in one administrative domain.
+	seq, err := client.XQuery(`
+		for $ce in /tupleset/tuple/content/service[attr[@name="kind"]/@value="compute-element"],
+		    $se in /tupleset/tuple/content/service[attr[@name="kind"]/@value="storage-element"]
+		where $ce/@domain = $se/@domain
+		  and number($ce/attr[@name="load"]/@value) < 0.6
+		  and number($se/attr[@name="diskGB"]/@value) > 500
+		order by number($ce/attr[@name="load"]/@value)
+		return <placement domain="{$ce/@domain}" compute="{$ce/@name}"
+		         storage="{$se/@name}" load="{$ce/attr[@name="load"]/@value}"
+		         diskGB="{$se/attr[@name="diskGB"]/@value}"/>`,
+		registry.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("correlated placements (best first):\n")
+	for i, it := range seq {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(seq)-5)
+			break
+		}
+		fmt.Printf("  %s\n", it.(*xmldoc.Node).String())
+	}
+	if len(seq) == 0 {
+		fmt.Println("  (none matched)")
+	}
+
+	// Aggregate view across domains.
+	seq, err = client.XQuery(`
+		for $d in distinct-values(/tupleset/tuple/content/service/@domain)
+		let $svcs := /tupleset/tuple/content/service[@domain = $d]
+		order by count($svcs) descending
+		return concat($d, ": ", count($svcs), " services")`,
+		registry.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nservices per domain:\n%s\n", xq.Serialize(seq))
+}

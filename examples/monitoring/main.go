@@ -1,0 +1,98 @@
+// Monitoring: the "instant news service" scenario of thesis Ch. 1 — a
+// registry aggregating volatile measurements from autonomous sources. The
+// content cache plus client-driven freshness bounds decide when the
+// registry re-pulls from the sources; throttling protects sources from
+// over-eager clients; and dead sources age out by soft state.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+func main() {
+	// The "sources": ten sensors whose readings change continuously. The
+	// fetcher is the registry's pull side; pulls is the instrument count.
+	var pulls atomic.Int64
+	reading := func(i int) int64 { return time.Now().UnixMilli()/10 + int64(i*1000) }
+	fetcher := registry.FetcherFunc(func(link string) (*xmldoc.Node, error) {
+		pulls.Add(1)
+		var i int
+		fmt.Sscanf(link, "sensor://s%d", &i)
+		doc := xmldoc.NewElement("measurement")
+		doc.SetAttr("sensor", fmt.Sprint(i))
+		doc.SetAttr("value", fmt.Sprint(reading(i)))
+		doc.Renumber()
+		return doc, nil
+	})
+
+	reg := registry.New(registry.Config{
+		Name:            "news",
+		DefaultTTL:      time.Minute,
+		Fetcher:         fetcher,
+		MinPullInterval: 50 * time.Millisecond, // throttle per source
+	})
+
+	// Sources announce themselves with link-only tuples (no content yet):
+	// the registry pulls on demand.
+	for i := 0; i < 10; i++ {
+		if _, err := reg.Publish(&tuple.Tuple{
+			Link: fmt.Sprintf("sensor://s%d", i),
+			Type: tuple.TypeData,
+		}, time.Minute); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("10 sensors registered (link-only; content pulled on demand)")
+
+	query := `count(/tupleset/tuple/content/measurement)`
+
+	// 1. A cache-only query sees nothing: no content has ever been pulled.
+	seq, err := reg.Query(query, registry.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cache-only query:        %s measurements, %d pulls\n", xq.StringValue(seq[0]), pulls.Load())
+
+	// 2. Demanding fresh data triggers one pull per sensor.
+	fresh := registry.QueryOptions{Freshness: registry.Freshness{PullMissing: true, MaxAge: 20 * time.Millisecond}}
+	seq, _ = reg.Query(query, fresh)
+	fmt.Printf("fresh query:             %s measurements, %d pulls\n", xq.StringValue(seq[0]), pulls.Load())
+
+	// 3. Shortly after, the copies are already staler than the client's
+	//    20ms bound — but the throttle (50ms per source) suppresses the
+	//    re-pull and serves the stale copies: the registry refuses to let
+	//    impatient clients hammer the sources.
+	time.Sleep(30 * time.Millisecond)
+	seq, _ = reg.Query(query, fresh)
+	fmt.Printf("stale re-query (+30ms):  %s measurements, %d pulls (throttled: %d)\n",
+		xq.StringValue(seq[0]), pulls.Load(), reg.Stats().Throttled)
+
+	// 4. After the throttle window, freshness demands are honored again.
+	time.Sleep(60 * time.Millisecond)
+	seq, _ = reg.Query(query, fresh)
+	fmt.Printf("after throttle window:   %s measurements, %d pulls\n", xq.StringValue(seq[0]), pulls.Load())
+
+	// 5. A relaxed client (any cached copy is fine) costs nothing.
+	seq, _ = reg.Query(query, registry.QueryOptions{})
+	fmt.Printf("relaxed client:          %s measurements, %d pulls\n", xq.StringValue(seq[0]), pulls.Load())
+
+	// An aggregation over the live readings.
+	seq, err = reg.Query(`
+		let $vals := for $m in /tupleset/tuple/content/measurement return number($m/@value)
+		return <digest sensors="{count($vals)}" min="{min($vals)}" max="{max($vals)}"/>`,
+		registry.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndigest: %s\n", xq.Serialize(seq))
+	st := reg.Stats()
+	fmt.Printf("registry stats: %d pulls, %d cache hits, %d throttled\n", st.Pulls, st.CacheHits, st.Throttled)
+}

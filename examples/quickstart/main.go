@@ -1,0 +1,80 @@
+// Quickstart: publish service descriptions into a hyper registry and
+// discover them with XQuery — the minimal end-to-end WSDA flow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/tuple"
+	"wsda/internal/wsda"
+	"wsda/internal/xq"
+)
+
+func main() {
+	// 1. A hyper registry: a database node for discovery of dynamic
+	//    distributed content. Tuples are soft state — publishers must
+	//    refresh them before their lifetime elapses or they vanish.
+	reg := registry.New(registry.Config{
+		Name:       "registry.cern.ch",
+		DefaultTTL: 10 * time.Minute,
+	})
+
+	// 2. Describe two services in SWSDL and publish them.
+	rc := wsda.NewService("replica-catalog").
+		Domain("cern.ch").
+		Owner("cms").
+		Link("http://cms.cern.ch/rc" + wsda.PathPresenter).
+		Attr("load", "0.35").
+		Op(wsda.IfacePresenter, "getServiceDescription", "http://cms.cern.ch/rc"+wsda.PathPresenter).
+		Op(wsda.IfaceXQuery, "query", "http://cms.cern.ch/rc"+wsda.PathXQuery).
+		Build()
+
+	sched := wsda.NewService("job-scheduler").
+		Domain("infn.it").
+		Owner("atlas").
+		Link("http://atlas.infn.it/sched" + wsda.PathPresenter).
+		Attr("load", "0.80").
+		Op(wsda.IfacePresenter, "getServiceDescription", "http://atlas.infn.it/sched"+wsda.PathPresenter).
+		Op("Execution", "submitJob", "http://atlas.infn.it/sched/job").
+		Build()
+
+	for _, svc := range []*wsda.Service{rc, sched} {
+		granted, err := reg.Publish(&tuple.Tuple{
+			Link:    svc.Link,
+			Type:    tuple.TypeService,
+			Owner:   svc.Owner,
+			Content: svc.ToXML(),
+		}, 5*time.Minute)
+		if err != nil {
+			log.Fatalf("publish %s: %v", svc.Name, err)
+		}
+		fmt.Printf("published %-16s (granted ttl %v)\n", svc.Name, granted)
+	}
+
+	// 3. Discover with XQuery over the registry's tuple-set view.
+	seq, err := reg.Query(`
+		for $t in /tupleset/tuple
+		let $s := $t/content/service
+		where number($s/attr[@name="load"]/@value) < 0.5
+		return <candidate name="{$s/@name}" domain="{$s/@domain}" link="{$t/@link}"/>`,
+		registry.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlightly loaded services:")
+	fmt.Println(xq.Serialize(seq))
+
+	// 4. Match a description against an interface specification — the
+	//    dynamic plug-ability test: can we submit jobs to this service?
+	for _, svc := range []*wsda.Service{rc, sched} {
+		ok := svc.Matches(wsda.MatchSpec{Interface: "Execution", Operation: "submitJob", Protocol: "http"})
+		fmt.Printf("%-16s can run jobs over http: %v\n", svc.Name, ok)
+	}
+
+	// 5. Soft state in action: without refreshes, tuples expire.
+	fmt.Printf("\nlive tuples now: %d\n", reg.Len())
+	fmt.Println("(if the publishers stop refreshing, both vanish after their TTL)")
+}

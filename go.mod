@@ -1,0 +1,3 @@
+module wsda
+
+go 1.22

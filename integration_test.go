@@ -1,0 +1,154 @@
+// End-to-end integration: the whole architecture on one real HTTP stack.
+// Providers keep registries populated by heartbeat; the registries back
+// UPDF peers joined over the PDP HTTP binding; an originator floods an
+// XQuery across the peers; and a broker turns the discovered services into
+// an executed schedule. This is the thesis's vision exercised in one test:
+// publish → discover (P2P, rich query) → broker → execute.
+package wsda_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wsda/internal/broker"
+	"wsda/internal/pdp"
+	"wsda/internal/provider"
+	"wsda/internal/registry"
+	"wsda/internal/updf"
+	"wsda/internal/workload"
+	"wsda/internal/wsda"
+)
+
+func TestEndToEndOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end test")
+	}
+	const peers = 3
+
+	// One shared HTTP-bound PDP network; every peer gets its own server.
+	net := pdp.NewHTTPNetwork(nil)
+	servers := make([]*httptest.Server, peers)
+	addrs := make([]string, peers)
+	regs := make([]*registry.Registry, peers)
+	nodes := make([]*updf.Node, peers)
+	for i := 0; i < peers; i++ {
+		srv := httptest.NewServer(net.Handler())
+		servers[i] = srv
+		addrs[i] = srv.URL + "/pdp/node"
+		defer srv.Close()
+	}
+	for i := 0; i < peers; i++ {
+		regs[i] = registry.New(registry.Config{
+			Name: fmt.Sprintf("site%d", i), DefaultTTL: time.Minute, MinTTL: time.Millisecond,
+		})
+		n, err := updf.NewNode(updf.Config{Addr: addrs[i], Net: net, Registry: regs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		defer n.Close()
+	}
+	// Ring wiring over real URLs.
+	for i := 0; i < peers; i++ {
+		nodes[i].SetNeighbors([]string{addrs[(i+1)%peers], addrs[(i+peers-1)%peers]})
+	}
+
+	// Providers keep each site's shard alive with fast heartbeats.
+	gen := workload.NewGen(99)
+	for i := 0; i < peers; i++ {
+		p, err := provider.New(provider.Config{
+			Name: fmt.Sprintf("prov%d", i),
+			Registries: []wsda.Consumer{&wsda.LocalNode{
+				Desc: wsda.NewService("x").Build(), Registry: regs[i],
+			}},
+			Period: 50 * time.Millisecond,
+			TTL:    200 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 20; j++ {
+			if err := p.Offer(gen.Tuple(i*20 + j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer p.Stop()
+	}
+
+	// Network-wide discovery over real HTTP: find every compute element.
+	orig, err := updf.NewOriginator(servers[0].URL+"/pdp/originator", net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	rs, err := orig.Submit(updf.QuerySpec{
+		Query: `for $s in /tupleset/tuple/content/service
+		        where $s/attr[@name="kind"]/@value = "compute-element"
+		        return $s`,
+		Entry: addrs[0], Mode: pdp.Routed, Radius: -1,
+		LoopTimeout: 10 * time.Second, AbortTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Aborted || len(rs.Items) == 0 {
+		t.Fatalf("network discovery failed: %d items, aborted=%v", len(rs.Items), rs.Aborted)
+	}
+
+	// Broker against one site's registry (discovery step on live data).
+	disc := &broker.RegistryDiscoverer{Node: &wsda.LocalNode{
+		Desc: wsda.NewService("disc").Build(), Registry: regs[0],
+	}}
+	sched, err := broker.Plan(broker.Request{
+		ID: "e2e",
+		Ops: []broker.OpSpec{{
+			Name:      "run",
+			Interface: "Execution", Operation: "submitJob",
+			Constraints: []broker.Constraint{{Attr: "kind", Op: "=", Value: "compute-element"}},
+		}},
+	}, disc, broker.PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var invoked []string
+	rep := (&broker.Runner{Exec: broker.ExecutorFunc(func(op string, c broker.Candidate, beat func()) error {
+		invoked = append(invoked, c.Service.Name)
+		return nil
+	})}).Run(sched)
+	if !rep.Succeeded() || len(invoked) != 1 {
+		t.Fatalf("broker run failed: %+v (invoked %v)", rep, invoked)
+	}
+	if !strings.HasPrefix(invoked[0], "compute-element-") {
+		t.Errorf("invoked %q", invoked[0])
+	}
+
+	// With all heartbeats running, the network sees the full population.
+	if total := countNetworkServices(t, orig, addrs[0]); total != 60 {
+		t.Errorf("network sees %d services, want 60", total)
+	}
+}
+
+func countNetworkServices(t *testing.T, o *updf.Originator, entry string) int {
+	t.Helper()
+	rs, err := o.Submit(updf.QuerySpec{
+		Query: `count(/tupleset/tuple/content/service)`,
+		Entry: entry, Mode: pdp.Routed, Radius: -1,
+		LoopTimeout: 10 * time.Second, AbortTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, it := range rs.Items {
+		if v, ok := it.(int64); ok {
+			total += int(v)
+		}
+	}
+	return total
+}

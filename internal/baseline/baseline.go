@@ -1,0 +1,296 @@
+// Package baseline implements the comparison systems of the thesis's
+// related-work discussion (Ch. 3.5, 6.10): a pure key-lookup index in the
+// style of DNS/Gnutella/Chord (lookup by globally unique name only) and an
+// LDAP-style attribute-filter directory. Experiment E1 uses them to show
+// which discovery query classes each paradigm can and cannot express.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+)
+
+// KeyLookup is a key→tuple index: the query model of DNS, Gnutella,
+// Freenet, Tapestry, Chord and Globe, which "only support lookup by key
+// (e.g. globally unique name)".
+type KeyLookup struct {
+	mu sync.RWMutex
+	m  map[string]*tuple.Tuple
+}
+
+// NewKeyLookup returns an empty index.
+func NewKeyLookup() *KeyLookup {
+	return &KeyLookup{m: make(map[string]*tuple.Tuple)}
+}
+
+// Put indexes a tuple under its content link.
+func (k *KeyLookup) Put(t *tuple.Tuple) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.m[t.Link] = t
+}
+
+// Lookup returns the tuple under the exact key, if any. This is the entire
+// query interface.
+func (k *KeyLookup) Lookup(key string) (*tuple.Tuple, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	t, ok := k.m[key]
+	return t, ok
+}
+
+// Len returns the number of indexed tuples.
+func (k *KeyLookup) Len() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return len(k.m)
+}
+
+// Directory is an LDAP-style service directory: every tuple is flattened
+// into an attribute map, and queries are filter expressions in (a subset
+// of) RFC 2254 syntax: (&(a=b)(c>=5)), (|(x=*sub*)(y=1)), (!(z=1)).
+type Directory struct {
+	mu      sync.RWMutex
+	entries []dirEntry
+}
+
+type dirEntry struct {
+	link  string
+	attrs map[string]string
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory { return &Directory{} }
+
+// Put flattens and indexes a tuple. Flattening keeps top-level service
+// attributes and <attr name value> pairs — nested structure (interfaces,
+// operations, bindings) is lost, which is exactly the expressiveness gap
+// the thesis points out for LDAP-style systems.
+func (d *Directory) Put(t *tuple.Tuple) {
+	attrs := map[string]string{"link": t.Link, "type": t.Type}
+	if t.Context != "" {
+		attrs["ctx"] = t.Context
+	}
+	if c := t.Content; c != nil {
+		el := c
+		if el.Kind == xmldoc.DocumentNode {
+			el = el.DocumentElement()
+		}
+		if el != nil {
+			for _, a := range el.Attrs {
+				attrs[a.Name] = a.Data
+			}
+			for _, ch := range el.ChildElements() {
+				if ch.LocalName() == "attr" {
+					k, _ := ch.Attr("name")
+					v, _ := ch.Attr("value")
+					attrs[k] = v
+				}
+			}
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries = append(d.entries, dirEntry{link: t.Link, attrs: attrs})
+}
+
+// Len returns the number of entries.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}
+
+// Search evaluates an LDAP filter and returns matching links, sorted.
+func (d *Directory) Search(filter string) ([]string, error) {
+	f, rest, err := parseFilter(strings.TrimSpace(filter))
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return nil, fmt.Errorf("baseline: trailing input %q", rest)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []string
+	for _, e := range d.entries {
+		if f.match(e.attrs) {
+			out = append(out, e.link)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// filter is a parsed LDAP filter node.
+type filter interface {
+	match(attrs map[string]string) bool
+}
+
+type andFilter struct{ fs []filter }
+type orFilter struct{ fs []filter }
+type notFilter struct{ f filter }
+
+// cmpFilter compares an attribute: op is one of "=", ">=", "<=", "~substr"
+// (internal marker for substring matches), "present".
+type cmpFilter struct {
+	attr, op, val string
+	parts         []string // substring parts for "~substr"
+	prefix, suffix string
+}
+
+func (f andFilter) match(a map[string]string) bool {
+	for _, x := range f.fs {
+		if !x.match(a) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f orFilter) match(a map[string]string) bool {
+	for _, x := range f.fs {
+		if x.match(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f notFilter) match(a map[string]string) bool { return !f.f.match(a) }
+
+func (f cmpFilter) match(a map[string]string) bool {
+	v, ok := a[f.attr]
+	if !ok {
+		return false
+	}
+	switch f.op {
+	case "present":
+		return true
+	case "=":
+		return v == f.val
+	case ">=", "<=":
+		// Numeric when both parse, else lexicographic (LDAP ordering match).
+		fv, err1 := strconv.ParseFloat(v, 64)
+		ff, err2 := strconv.ParseFloat(f.val, 64)
+		if err1 == nil && err2 == nil {
+			if f.op == ">=" {
+				return fv >= ff
+			}
+			return fv <= ff
+		}
+		if f.op == ">=" {
+			return v >= f.val
+		}
+		return v <= f.val
+	case "~substr":
+		s := v
+		if !strings.HasPrefix(s, f.prefix) {
+			return false
+		}
+		s = s[len(f.prefix):]
+		if len(f.suffix) > len(s) || !strings.HasSuffix(s, f.suffix) {
+			return false
+		}
+		s = s[:len(s)-len(f.suffix)]
+		for _, p := range f.parts {
+			i := strings.Index(s, p)
+			if i < 0 {
+				return false
+			}
+			s = s[i+len(p):]
+		}
+		return true
+	}
+	return false
+}
+
+// parseFilter parses one parenthesized filter, returning the remainder.
+func parseFilter(s string) (filter, string, error) {
+	if !strings.HasPrefix(s, "(") {
+		return nil, "", fmt.Errorf("baseline: filter must start with '(' at %q", s)
+	}
+	s = s[1:]
+	if s == "" {
+		return nil, "", fmt.Errorf("baseline: unterminated filter")
+	}
+	switch s[0] {
+	case '&', '|':
+		op := s[0]
+		s = s[1:]
+		var fs []filter
+		for strings.HasPrefix(strings.TrimSpace(s), "(") {
+			s = strings.TrimSpace(s)
+			f, rest, err := parseFilter(s)
+			if err != nil {
+				return nil, "", err
+			}
+			fs = append(fs, f)
+			s = rest
+		}
+		if !strings.HasPrefix(s, ")") {
+			return nil, "", fmt.Errorf("baseline: expected ')' at %q", s)
+		}
+		if len(fs) == 0 {
+			return nil, "", fmt.Errorf("baseline: empty composite filter")
+		}
+		if op == '&' {
+			return andFilter{fs}, s[1:], nil
+		}
+		return orFilter{fs}, s[1:], nil
+	case '!':
+		f, rest, err := parseFilter(strings.TrimSpace(s[1:]))
+		if err != nil {
+			return nil, "", err
+		}
+		rest = strings.TrimSpace(rest)
+		if !strings.HasPrefix(rest, ")") {
+			return nil, "", fmt.Errorf("baseline: expected ')' after ! at %q", rest)
+		}
+		return notFilter{f}, rest[1:], nil
+	}
+	// Simple comparison: attr op value )
+	end := strings.IndexByte(s, ')')
+	if end < 0 {
+		return nil, "", fmt.Errorf("baseline: unterminated comparison %q", s)
+	}
+	body, rest := s[:end], s[end+1:]
+	var attr, op, val string
+	switch {
+	case strings.Contains(body, ">="):
+		parts := strings.SplitN(body, ">=", 2)
+		attr, op, val = parts[0], ">=", parts[1]
+	case strings.Contains(body, "<="):
+		parts := strings.SplitN(body, "<=", 2)
+		attr, op, val = parts[0], "<=", parts[1]
+	case strings.Contains(body, "="):
+		parts := strings.SplitN(body, "=", 2)
+		attr, op, val = parts[0], "=", parts[1]
+	default:
+		return nil, "", fmt.Errorf("baseline: bad comparison %q", body)
+	}
+	attr = strings.TrimSpace(attr)
+	if attr == "" {
+		return nil, "", fmt.Errorf("baseline: missing attribute in %q", body)
+	}
+	if op == "=" {
+		if val == "*" {
+			return cmpFilter{attr: attr, op: "present"}, rest, nil
+		}
+		if strings.Contains(val, "*") {
+			segs := strings.Split(val, "*")
+			return cmpFilter{
+				attr: attr, op: "~substr",
+				prefix: segs[0], suffix: segs[len(segs)-1],
+				parts: segs[1 : len(segs)-1],
+			}, rest, nil
+		}
+	}
+	return cmpFilter{attr: attr, op: op, val: val}, rest, nil
+}

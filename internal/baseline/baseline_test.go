@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"wsda/internal/workload"
+)
+
+func populated(t *testing.T) (*KeyLookup, *Directory) {
+	t.Helper()
+	kl, dir := NewKeyLookup(), NewDirectory()
+	g := workload.NewGen(42)
+	for i := 0; i < 100; i++ {
+		tp := g.Tuple(i)
+		kl.Put(tp)
+		dir.Put(tp)
+	}
+	return kl, dir
+}
+
+func TestKeyLookup(t *testing.T) {
+	kl, _ := populated(t)
+	if kl.Len() != 100 {
+		t.Fatalf("len = %d", kl.Len())
+	}
+	link := workload.NewGen(42).Tuple(5).Link
+	tp, ok := kl.Lookup(link)
+	if !ok || tp.Link != link {
+		t.Errorf("lookup failed: %v %v", tp, ok)
+	}
+	if _, ok := kl.Lookup("http://nowhere/else"); ok {
+		t.Error("phantom hit")
+	}
+}
+
+func TestDirectoryEquality(t *testing.T) {
+	_, dir := populated(t)
+	got, err := dir.Search(`(domain=cern.ch)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Errorf("cern.ch services = %d, want 10", len(got))
+	}
+	got, err = dir.Search(`(&(domain=cern.ch)(kind=replica-catalog))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Error("conjunction found nothing")
+	}
+}
+
+func TestDirectoryComparisonsAndSubstring(t *testing.T) {
+	_, dir := populated(t)
+	low, err := dir.Search(`(load<=0.5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := dir.Search(`(load>=0.5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(low)+len(high) < 100 {
+		t.Errorf("load partition: %d + %d", len(low), len(high))
+	}
+	sub, err := dir.Search(`(name=replica-*)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) == 0 {
+		t.Error("substring found nothing")
+	}
+	pres, err := dir.Search(`(vo=*)`)
+	if err != nil || len(pres) != 100 {
+		t.Errorf("presence = %d %v", len(pres), err)
+	}
+	neg, err := dir.Search(`(!(vo=cms))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cms, _ := dir.Search(`(vo=cms)`)
+	if len(neg)+len(cms) != 100 {
+		t.Errorf("negation: %d + %d != 100", len(neg), len(cms))
+	}
+	or, err := dir.Search(`(|(vo=cms)(vo=atlas))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(or) <= len(cms) {
+		t.Errorf("disjunction = %d", len(or))
+	}
+}
+
+func TestDirectoryParseErrors(t *testing.T) {
+	_, dir := populated(t)
+	bad := []string{
+		``, `no-parens`, `(unclosed`, `(&)`, `(a=b)(c=d)`, `(!(a=b)`, `(=x)`,
+	}
+	for _, f := range bad {
+		if _, err := dir.Search(f); err == nil {
+			t.Errorf("Search(%q) succeeded", f)
+		}
+	}
+}
+
+func TestExpressivenessGap(t *testing.T) {
+	// The structural query Q5 (services with an XQuery interface bound to
+	// HTTP) cannot be expressed over the flattened directory: the
+	// interface structure is simply absent from the attribute map. This is
+	// the capability gap of experiment E1.
+	_, dir := populated(t)
+	got, err := dir.Search(`(interface=XQuery)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("flattened directory should not see interface structure, got %d", len(got))
+	}
+}
+
+func TestDirectorySubstringAnchors(t *testing.T) {
+	dir := NewDirectory()
+	g := workload.NewGen(1)
+	tp := g.Tuple(0)
+	dir.Put(tp)
+	// Prefix, suffix and middle anchors.
+	cases := map[string]bool{
+		`(name=replica-catalog-0000)`: true,
+		`(name=replica*)`:             true,
+		`(name=*0000)`:                true,
+		`(name=*catalog*)`:            true,
+		`(name=*nope*)`:               false,
+		`(name=0000*)`:                false,
+	}
+	for f, want := range cases {
+		got, err := dir.Search(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if (len(got) == 1) != want {
+			t.Errorf("%s = %v, want match=%v", f, got, want)
+		}
+	}
+	_ = time.Now
+}

@@ -1,0 +1,358 @@
+// Package broker implements the remaining processing steps of thesis
+// Ch. 2: request, discovery, brokering, execution and control. A request
+// names the abstract operations it needs (with interface requirements,
+// attribute constraints and locality affinities); the discovery step finds
+// candidate services through a WSDA query interface; the brokering step
+// maps operations to concrete service endpoints (an invocation schedule);
+// the execution step invokes them with failover; and the control step
+// monitors lifecycle with timeouts so that a stalled service does not hang
+// the request.
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/wsda"
+	"wsda/internal/xmldoc"
+)
+
+// Constraint is one attribute predicate of an operation spec, e.g.
+// {"load", "<", "0.5"} or {"diskGB", ">=", "1000"}.
+type Constraint struct {
+	Attr  string
+	Op    string // "<", "<=", ">", ">=", "=", "!="
+	Value string
+}
+
+// OpSpec is one abstract operation of a request.
+type OpSpec struct {
+	// Name is the logical step name, e.g. "stage-in".
+	Name string
+	// Interface and Operation state what the executing service must
+	// implement; Protocol optionally pins the binding.
+	Interface string
+	Operation string
+	Protocol  string
+	// Constraints filter candidates on service attributes.
+	Constraints []Constraint
+	// AffinityWith names another OpSpec whose chosen service's domain this
+	// operation prefers (data-locality: run the job where the data is).
+	AffinityWith string
+}
+
+// Request is a unit of work needing several correlated services (the
+// thesis example: file transfer + replica catalog + request execution).
+type Request struct {
+	ID  string
+	Ops []OpSpec
+}
+
+// Candidate is a discovered service able to execute an operation.
+type Candidate struct {
+	Service  *wsda.Service
+	Link     string
+	Endpoint string
+	Load     float64
+}
+
+// Discoverer finds candidates for an operation spec (the discovery step).
+type Discoverer interface {
+	Discover(spec OpSpec) ([]Candidate, error)
+}
+
+// RegistryDiscoverer discovers candidates through a WSDA XQuery interface
+// by compiling the spec into a discovery query.
+type RegistryDiscoverer struct {
+	Node wsda.XQueryIface
+}
+
+// Discover implements Discoverer. The generated query selects service
+// tuples, filters on constraints server-side, and returns the matching
+// service elements; interface matching happens client-side through the
+// parsed description (bindings need structural inspection anyway).
+func (d *RegistryDiscoverer) Discover(spec OpSpec) ([]Candidate, error) {
+	query := buildDiscoveryQuery(spec)
+	seq, err := d.Node.XQuery(query, registry.QueryOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("broker: discovery for %s: %w", spec.Name, err)
+	}
+	var out []Candidate
+	for _, it := range seq {
+		n, ok := it.(*xmldoc.Node)
+		if !ok {
+			continue
+		}
+		svc, err := wsda.ServiceFromXML(n)
+		if err != nil {
+			continue
+		}
+		if spec.Interface != "" && !svc.Matches(wsda.MatchSpec{
+			Interface: spec.Interface, Operation: spec.Operation, Protocol: spec.Protocol,
+		}) {
+			continue
+		}
+		load := 0.0
+		if s, ok := svc.Attributes["load"]; ok {
+			load, _ = strconv.ParseFloat(s, 64)
+		}
+		ep := ""
+		if spec.Interface != "" {
+			proto := spec.Protocol
+			if proto == "" {
+				proto = "http"
+			}
+			ep = svc.Endpoint(spec.Interface, spec.Operation, proto)
+		}
+		out = append(out, Candidate{Service: svc, Link: svc.Link, Endpoint: ep, Load: load})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Load < out[j].Load })
+	return out, nil
+}
+
+// buildDiscoveryQuery renders an OpSpec as an XQuery over the registry's
+// tuple-set view.
+func buildDiscoveryQuery(spec OpSpec) string {
+	var conds []string
+	for _, c := range spec.Constraints {
+		op := c.Op
+		if op == "" {
+			op = "="
+		}
+		if _, err := strconv.ParseFloat(c.Value, 64); err == nil {
+			conds = append(conds, fmt.Sprintf(
+				`number($s/attr[@name=%q]/@value) %s %s`, c.Attr, op, c.Value))
+		} else {
+			conds = append(conds, fmt.Sprintf(
+				`$s/attr[@name=%q]/@value %s %q`, c.Attr, op, c.Value))
+		}
+	}
+	where := ""
+	if len(conds) > 0 {
+		where = "where " + strings.Join(conds, " and ")
+	}
+	return fmt.Sprintf(`for $s in /tupleset/tuple/content/service %s return $s`, where)
+}
+
+// Assignment binds one operation to a concrete candidate, with the
+// runner's failover alternatives.
+type Assignment struct {
+	Op           string
+	Chosen       Candidate
+	Alternatives []Candidate // sorted by increasing cost, excluding Chosen
+}
+
+// Schedule is the brokering result: a mapping of operations to service
+// invocations (thesis Ch. 2.7).
+type Schedule struct {
+	Request string
+	Assign  []Assignment
+	Cost    float64
+}
+
+// PlanConfig tunes the brokering cost function.
+type PlanConfig struct {
+	// AffinityPenalty is added when an operation lands in a different
+	// domain than its affinity target. Default 1.0 (dominates load).
+	AffinityPenalty float64
+}
+
+// Plan performs the brokering step: discover candidates per operation and
+// greedily choose the cheapest assignment, honoring locality affinities
+// (operations are processed in order, so affinity targets must precede
+// their dependents).
+func Plan(req Request, disc Discoverer, cfg PlanConfig) (*Schedule, error) {
+	if cfg.AffinityPenalty == 0 {
+		cfg.AffinityPenalty = 1.0
+	}
+	chosenDomain := map[string]string{}
+	sched := &Schedule{Request: req.ID}
+	for _, spec := range req.Ops {
+		cands, err := disc.Discover(spec)
+		if err != nil {
+			return nil, err
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("broker: no candidate for operation %q", spec.Name)
+		}
+		affDomain := ""
+		if spec.AffinityWith != "" {
+			d, ok := chosenDomain[spec.AffinityWith]
+			if !ok {
+				return nil, fmt.Errorf("broker: %q has affinity with unknown/later op %q", spec.Name, spec.AffinityWith)
+			}
+			affDomain = d
+		}
+		cost := func(c Candidate) float64 {
+			v := c.Load
+			if affDomain != "" && c.Service.Domain != affDomain {
+				v += cfg.AffinityPenalty
+			}
+			return v
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return cost(cands[i]) < cost(cands[j]) })
+		a := Assignment{Op: spec.Name, Chosen: cands[0], Alternatives: cands[1:]}
+		sched.Assign = append(sched.Assign, a)
+		sched.Cost += cost(cands[0])
+		chosenDomain[spec.Name] = cands[0].Service.Domain
+	}
+	return sched, nil
+}
+
+// Executor invokes one assignment (the execution step). Implementations
+// range from real HTTP invocations to the simulator used in tests.
+type Executor interface {
+	// Invoke runs the operation; progress may be reported through beat
+	// (the control channel): calling beat() renews the runner's stall
+	// timer, mirroring the soft-state heartbeats of thesis Ch. 2.9.
+	Invoke(op string, c Candidate, beat func()) error
+}
+
+// ExecutorFunc adapts a function to Executor.
+type ExecutorFunc func(op string, c Candidate, beat func()) error
+
+// Invoke implements Executor.
+func (f ExecutorFunc) Invoke(op string, c Candidate, beat func()) error { return f(op, c, beat) }
+
+// OpState is the lifecycle state of one operation (the control step).
+type OpState string
+
+// Lifecycle states.
+const (
+	StatePending OpState = "pending"
+	StateRunning OpState = "running"
+	StateDone    OpState = "done"
+	StateFailed  OpState = "failed"
+)
+
+// OpReport describes one operation's execution.
+type OpReport struct {
+	Op       string
+	State    OpState
+	Attempts []Attempt
+}
+
+// Attempt is one invocation try.
+type Attempt struct {
+	Service  string
+	Err      string
+	Stalled  bool
+	Duration time.Duration
+}
+
+// Report is the outcome of running a schedule.
+type Report struct {
+	Request string
+	Ops     []OpReport
+	Elapsed time.Duration
+}
+
+// Succeeded reports whether every operation completed.
+func (r *Report) Succeeded() bool {
+	for _, o := range r.Ops {
+		if o.State != StateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// Runner executes schedules with failover and stall detection.
+type Runner struct {
+	Exec Executor
+	// StallTimeout aborts an invocation if no heartbeat arrives for this
+	// long (0 disables stall detection).
+	StallTimeout time.Duration
+	// MaxAttempts bounds tries per operation including failovers
+	// (0 means 1 + len(alternatives)).
+	MaxAttempts int
+}
+
+// Run executes the schedule's operations in order, failing over to the
+// next-best candidate on error or stall.
+func (r *Runner) Run(s *Schedule) *Report {
+	start := time.Now()
+	rep := &Report{Request: s.Request}
+	for _, a := range s.Assign {
+		or := OpReport{Op: a.Op, State: StateRunning}
+		tries := append([]Candidate{a.Chosen}, a.Alternatives...)
+		maxAttempts := r.MaxAttempts
+		if maxAttempts <= 0 || maxAttempts > len(tries) {
+			maxAttempts = len(tries)
+		}
+		for i := 0; i < maxAttempts; i++ {
+			cand := tries[i]
+			att, ok := r.invokeOnce(a.Op, cand)
+			or.Attempts = append(or.Attempts, att)
+			if ok {
+				or.State = StateDone
+				break
+			}
+		}
+		if or.State != StateDone {
+			or.State = StateFailed
+		}
+		rep.Ops = append(rep.Ops, or)
+		if or.State == StateFailed {
+			// Later operations are pointless once a step fails.
+			for _, rest := range s.Assign[len(rep.Ops):] {
+				rep.Ops = append(rep.Ops, OpReport{Op: rest.Op, State: StatePending})
+			}
+			break
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// invokeOnce runs a single attempt with stall monitoring.
+func (r *Runner) invokeOnce(op string, cand Candidate) (Attempt, bool) {
+	att := Attempt{Service: cand.Service.Name}
+	t0 := time.Now()
+	if r.StallTimeout <= 0 {
+		err := r.Exec.Invoke(op, cand, func() {})
+		att.Duration = time.Since(t0)
+		if err != nil {
+			att.Err = err.Error()
+			return att, false
+		}
+		return att, true
+	}
+	beatCh := make(chan struct{}, 16)
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Exec.Invoke(op, cand, func() {
+			select {
+			case beatCh <- struct{}{}:
+			default:
+			}
+		})
+	}()
+	timer := time.NewTimer(r.StallTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case err := <-done:
+			att.Duration = time.Since(t0)
+			if err != nil {
+				att.Err = err.Error()
+				return att, false
+			}
+			return att, true
+		case <-beatCh:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timer.Reset(r.StallTimeout)
+		case <-timer.C:
+			att.Duration = time.Since(t0)
+			att.Stalled = true
+			att.Err = fmt.Sprintf("broker: %s on %s stalled (> %v without heartbeat)", op, cand.Service.Name, r.StallTimeout)
+			return att, false
+		}
+	}
+}

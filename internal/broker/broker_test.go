@@ -1,0 +1,287 @@
+package broker
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/tuple"
+	"wsda/internal/workload"
+	"wsda/internal/wsda"
+)
+
+// populatedNode builds a registry with n synthetic services and wraps it
+// as the discovery source.
+func populatedNode(t *testing.T, n int) *wsda.LocalNode {
+	t.Helper()
+	reg := registry.New(registry.Config{Name: "disc", DefaultTTL: time.Hour})
+	if err := workload.NewGen(42).Populate(reg, n, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return &wsda.LocalNode{Desc: wsda.NewService("disc").Build(), Registry: reg}
+}
+
+// analysisRequest is the thesis's running example: stage input, locate a
+// replica, execute, stage output.
+func analysisRequest() Request {
+	return Request{
+		ID: "hep-analysis-1",
+		Ops: []OpSpec{
+			{
+				Name:      "locate-replica",
+				Interface: wsda.IfaceXQuery, Operation: "query",
+				Constraints: []Constraint{{Attr: "kind", Op: "=", Value: "replica-catalog"}},
+			},
+			{
+				Name:      "stage-in",
+				Interface: "Transfer", Operation: "get",
+				Constraints: []Constraint{
+					{Attr: "kind", Op: "=", Value: "storage-element"},
+					{Attr: "diskGB", Op: ">=", Value: "100"},
+				},
+			},
+			{
+				Name:      "execute",
+				Interface: "Execution", Operation: "submitJob",
+				Constraints:  []Constraint{{Attr: "kind", Op: "=", Value: "compute-element"}, {Attr: "load", Op: "<", Value: "0.9"}},
+				AffinityWith: "stage-in",
+			},
+		},
+	}
+}
+
+func TestDiscoverFiltersAndSorts(t *testing.T) {
+	node := populatedNode(t, 120)
+	d := &RegistryDiscoverer{Node: node}
+	cands, err := d.Discover(OpSpec{
+		Interface: "Execution", Operation: "submitJob",
+		Constraints: []Constraint{
+			{Attr: "kind", Op: "=", Value: "compute-element"},
+			{Attr: "load", Op: "<", Value: "0.5"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for i, c := range cands {
+		if c.Load >= 0.5 {
+			t.Errorf("candidate %s load %.2f violates constraint", c.Service.Name, c.Load)
+		}
+		if c.Service.Attributes["kind"] != "compute-element" {
+			t.Errorf("wrong kind: %s", c.Service.Attributes["kind"])
+		}
+		if c.Endpoint == "" {
+			t.Errorf("candidate %s missing endpoint", c.Service.Name)
+		}
+		if i > 0 && cands[i-1].Load > c.Load {
+			t.Error("candidates not sorted by load")
+		}
+	}
+}
+
+func TestDiscoverInterfaceMismatch(t *testing.T) {
+	node := populatedNode(t, 60)
+	d := &RegistryDiscoverer{Node: node}
+	// Storage elements do not implement Execution.
+	cands, err := d.Discover(OpSpec{
+		Interface: "Execution", Operation: "submitJob",
+		Constraints: []Constraint{{Attr: "kind", Op: "=", Value: "storage-element"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Errorf("storage elements matched Execution: %d", len(cands))
+	}
+}
+
+func TestPlanAffinity(t *testing.T) {
+	node := populatedNode(t, 200)
+	sched, err := Plan(analysisRequest(), &RegistryDiscoverer{Node: node}, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assign) != 3 {
+		t.Fatalf("assignments = %d", len(sched.Assign))
+	}
+	var stageDomain, execDomain string
+	for _, a := range sched.Assign {
+		switch a.Op {
+		case "stage-in":
+			stageDomain = a.Chosen.Service.Domain
+		case "execute":
+			execDomain = a.Chosen.Service.Domain
+		}
+	}
+	if stageDomain == "" || execDomain == "" {
+		t.Fatal("missing assignments")
+	}
+	// With 200 services every domain has compute elements, so affinity
+	// must be satisfiable; the greedy planner must co-locate.
+	if stageDomain != execDomain {
+		t.Errorf("affinity violated: stage-in in %s, execute in %s", stageDomain, execDomain)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	node := populatedNode(t, 30)
+	d := &RegistryDiscoverer{Node: node}
+	// Unsatisfiable constraint.
+	_, err := Plan(Request{ID: "r", Ops: []OpSpec{{
+		Name: "x", Constraints: []Constraint{{Attr: "kind", Op: "=", Value: "no-such-kind"}},
+	}}}, d, PlanConfig{})
+	if err == nil || !strings.Contains(err.Error(), "no candidate") {
+		t.Errorf("err = %v", err)
+	}
+	// Affinity with a later op.
+	_, err = Plan(Request{ID: "r", Ops: []OpSpec{{
+		Name: "x", AffinityWith: "later",
+		Constraints: []Constraint{{Attr: "kind", Op: "=", Value: "monitor"}},
+	}}}, d, PlanConfig{})
+	if err == nil {
+		t.Error("dangling affinity accepted")
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	node := populatedNode(t, 200)
+	sched, err := Plan(analysisRequest(), &RegistryDiscoverer{Node: node}, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var invoked []string
+	r := &Runner{Exec: ExecutorFunc(func(op string, c Candidate, beat func()) error {
+		invoked = append(invoked, op+"@"+c.Service.Name)
+		return nil
+	})}
+	rep := r.Run(sched)
+	if !rep.Succeeded() {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(invoked) != 3 {
+		t.Errorf("invoked = %v", invoked)
+	}
+}
+
+func TestRunFailover(t *testing.T) {
+	node := populatedNode(t, 200)
+	sched, err := Plan(analysisRequest(), &RegistryDiscoverer{Node: node}, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstExec atomic.Value
+	r := &Runner{Exec: ExecutorFunc(func(op string, c Candidate, beat func()) error {
+		if op == "execute" && firstExec.CompareAndSwap(nil, c.Service.Name) {
+			return fmt.Errorf("service crashed")
+		}
+		return nil
+	})}
+	rep := r.Run(sched)
+	if !rep.Succeeded() {
+		t.Fatalf("failover did not recover: %+v", rep)
+	}
+	for _, o := range rep.Ops {
+		if o.Op == "execute" {
+			if len(o.Attempts) != 2 {
+				t.Errorf("attempts = %d, want 2", len(o.Attempts))
+			}
+			if o.Attempts[0].Err == "" || o.Attempts[1].Err != "" {
+				t.Errorf("attempts = %+v", o.Attempts)
+			}
+		}
+	}
+}
+
+func TestRunExhaustsAndStops(t *testing.T) {
+	node := populatedNode(t, 60)
+	sched, err := Plan(analysisRequest(), &RegistryDiscoverer{Node: node}, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{
+		MaxAttempts: 2,
+		Exec: ExecutorFunc(func(op string, c Candidate, beat func()) error {
+			if op == "stage-in" {
+				return fmt.Errorf("all storage down")
+			}
+			return nil
+		}),
+	}
+	rep := r.Run(sched)
+	if rep.Succeeded() {
+		t.Fatal("impossible success")
+	}
+	states := map[string]OpState{}
+	for _, o := range rep.Ops {
+		states[o.Op] = o.State
+	}
+	if states["locate-replica"] != StateDone {
+		t.Errorf("locate-replica = %s", states["locate-replica"])
+	}
+	if states["stage-in"] != StateFailed {
+		t.Errorf("stage-in = %s", states["stage-in"])
+	}
+	if states["execute"] != StatePending {
+		t.Errorf("execute = %s (must not run after failure)", states["execute"])
+	}
+}
+
+func TestStallDetection(t *testing.T) {
+	node := populatedNode(t, 60)
+	sched, err := Plan(Request{ID: "r", Ops: []OpSpec{{
+		Name:        "mon",
+		Interface:   wsda.IfaceXQuery, Operation: "query",
+		Constraints: []Constraint{{Attr: "kind", Op: "=", Value: "monitor"}},
+	}}}, &RegistryDiscoverer{Node: node}, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	r := &Runner{
+		StallTimeout: 30 * time.Millisecond,
+		MaxAttempts:  2,
+		Exec: ExecutorFunc(func(op string, c Candidate, beat func()) error {
+			if calls.Add(1) == 1 {
+				// First service hangs without heartbeats.
+				time.Sleep(120 * time.Millisecond)
+				return nil
+			}
+			// Second service is slow but heartbeats properly.
+			for i := 0; i < 4; i++ {
+				time.Sleep(15 * time.Millisecond)
+				beat()
+			}
+			return nil
+		}),
+	}
+	rep := r.Run(sched)
+	if !rep.Succeeded() {
+		t.Fatalf("report = %+v", rep)
+	}
+	att := rep.Ops[0].Attempts
+	if len(att) != 2 || !att[0].Stalled || att[1].Stalled {
+		t.Errorf("attempts = %+v", att)
+	}
+}
+
+func TestBuildDiscoveryQueryQuoting(t *testing.T) {
+	q := buildDiscoveryQuery(OpSpec{Constraints: []Constraint{
+		{Attr: "kind", Op: "=", Value: "replica-catalog"},
+		{Attr: "load", Op: "<", Value: "0.5"},
+	}})
+	if !strings.Contains(q, `"replica-catalog"`) || !strings.Contains(q, "number(") {
+		t.Errorf("query = %s", q)
+	}
+	// And it must actually compile and run.
+	node := populatedNode(t, 30)
+	if _, err := node.XQuery(q, registry.QueryOptions{}); err != nil {
+		t.Errorf("generated query invalid: %v", err)
+	}
+	_ = tuple.TypeService
+}

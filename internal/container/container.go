@@ -1,0 +1,174 @@
+// Package container implements centralized virtual node hosting (thesis
+// Ch. 6.8–6.9): a container concentrates many UPDF database nodes into one
+// hosting environment. Virtual nodes keep their identity — address, local
+// registry, neighbor links — but messages between two nodes of the same
+// container short-circuit the network stack, and the container can answer a
+// query over all of its virtual nodes with a single local evaluation pass.
+package container
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/updf"
+	"wsda/internal/xq"
+)
+
+// Config configures a Container.
+type Config struct {
+	// Host is the container's address prefix; virtual node i gets the
+	// address "<Host>/<i>".
+	Host string
+	// Net is the inter-container network. Intra-container messages bypass
+	// it entirely.
+	Net pdp.Network
+	// Now is the clock.
+	Now func() time.Time
+}
+
+// Container hosts virtual nodes.
+type Container struct {
+	cfg   Config
+	inner *shortCircuitNet
+	nodes []*updf.Node
+
+	shortCircuited atomic.Int64 // intra-container messages
+	forwarded      atomic.Int64 // messages that crossed the real network
+}
+
+// New creates an empty container.
+func New(cfg Config) (*Container, error) {
+	if cfg.Host == "" {
+		return nil, fmt.Errorf("container: needs a host prefix")
+	}
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("container: needs a network")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Container{cfg: cfg}
+	c.inner = &shortCircuitNet{c: c, handlers: make(map[string]pdp.Handler)}
+	return c, nil
+}
+
+// Host returns the container's address prefix.
+func (c *Container) Host() string { return c.cfg.Host }
+
+// AddrOf returns the address of virtual node i.
+func (c *Container) AddrOf(i int) string { return fmt.Sprintf("%s/%d", c.cfg.Host, i) }
+
+// AddNode creates virtual node i backed by the given registry and returns
+// it. The node is registered both inside the container (short-circuit) and
+// on the outer network (so remote peers can reach it).
+func (c *Container) AddNode(i int, reg *registry.Registry) (*updf.Node, error) {
+	addr := c.AddrOf(i)
+	n, err := updf.NewNode(updf.Config{
+		Addr:     addr,
+		Net:      c.inner,
+		Registry: reg,
+		Now:      c.cfg.Now,
+		Seed:     int64(i + 1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.nodes = append(c.nodes, n)
+	return n, nil
+}
+
+// Nodes returns the hosted virtual nodes.
+func (c *Container) Nodes() []*updf.Node { return c.nodes }
+
+// Close unregisters every virtual node from the outer network.
+func (c *Container) Close() {
+	c.inner.mu.Lock()
+	addrs := make([]string, 0, len(c.inner.handlers))
+	for addr := range c.inner.handlers {
+		addrs = append(addrs, addr)
+	}
+	c.inner.mu.Unlock()
+	for _, addr := range addrs {
+		c.cfg.Net.Unregister(addr)
+	}
+}
+
+// Stats reports how many messages were short-circuited inside the
+// container versus sent over the real network.
+func (c *Container) Stats() (shortCircuited, forwarded int64) {
+	return c.shortCircuited.Load(), c.forwarded.Load()
+}
+
+// QueryAll answers a query over the union of all virtual nodes' tuple sets
+// with one pass — the container-level optimization of thesis Ch. 6.9 that
+// avoids the message flood entirely when all nodes are co-hosted.
+func (c *Container) QueryAll(query string, opts registry.QueryOptions) (xq.Sequence, error) {
+	q, err := xq.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	var all xq.Sequence
+	for _, n := range c.nodes {
+		seq, err := n.Registry().QueryCompiled(q, opts)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, seq...)
+	}
+	return all, nil
+}
+
+// shortCircuitNet is the network the virtual nodes see: local destinations
+// are dispatched synchronously in-process, everything else goes out over
+// the real network. It also registers each virtual node on the outer
+// network so that remote messages find their way in.
+type shortCircuitNet struct {
+	c        *Container
+	mu       sync.RWMutex
+	handlers map[string]pdp.Handler
+}
+
+var _ pdp.Network = (*shortCircuitNet)(nil)
+
+func (s *shortCircuitNet) lookup(addr string) (pdp.Handler, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.handlers[addr]
+	return h, ok
+}
+
+func (s *shortCircuitNet) Register(addr string, h pdp.Handler) error {
+	s.mu.Lock()
+	s.handlers[addr] = h
+	s.mu.Unlock()
+	// Outer registration delegates into the container.
+	return s.c.cfg.Net.Register(addr, func(m *pdp.Message) {
+		if hh, ok := s.lookup(addr); ok {
+			hh(m)
+		}
+	})
+}
+
+func (s *shortCircuitNet) Unregister(addr string) {
+	s.mu.Lock()
+	delete(s.handlers, addr)
+	s.mu.Unlock()
+	s.c.cfg.Net.Unregister(addr)
+}
+
+func (s *shortCircuitNet) Send(m *pdp.Message) error {
+	if h, ok := s.lookup(m.To); ok {
+		s.c.shortCircuited.Add(1)
+		// Dispatch asynchronously to preserve the node's non-blocking send
+		// semantics (a synchronous call could recurse query->result->...
+		// arbitrarily deep).
+		go h(m)
+		return nil
+	}
+	s.c.forwarded.Add(1)
+	return s.c.cfg.Net.Send(m)
+}

@@ -1,0 +1,183 @@
+package container
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/simnet"
+	"wsda/internal/tuple"
+	"wsda/internal/updf"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+func regWith(name string, i int) *registry.Registry {
+	r := registry.New(registry.Config{Name: name})
+	content := xmldoc.MustParse(fmt.Sprintf(`<service name="svc%d"><load>0.%d</load></service>`, i, i%10)).DocumentElement().Clone()
+	if _, err := r.Publish(&tuple.Tuple{
+		Link:    fmt.Sprintf("http://%s/svc%d", name, i),
+		Type:    tuple.TypeService,
+		Content: content,
+	}, time.Hour); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// buildContainer hosts n virtual nodes in a ring inside one container.
+func buildContainer(t *testing.T, net pdp.Network, host string, n int) *Container {
+	t.Helper()
+	c, err := New(Config{Host: host, Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.AddNode(i, regWith(host, i)); err != nil {
+			t.Fatalf("add node: %v", err)
+		}
+	}
+	for i, node := range c.Nodes() {
+		node.SetNeighbors([]string{c.AddrOf((i + 1) % n), c.AddrOf((i + n - 1) % n)})
+	}
+	return c
+}
+
+func TestIntraContainerShortCircuit(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	c := buildContainer(t, net, "hostA", 6)
+	defer c.Close()
+
+	o, err := updf.NewOriginator("orig", net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	rs, err := o.Submit(updf.QuerySpec{
+		Query: `for $s in //service return string($s/@name)`,
+		Entry: c.AddrOf(0), Mode: pdp.Routed, Radius: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Items) != 6 {
+		t.Fatalf("hits = %d, want 6", len(rs.Items))
+	}
+	sc, fwd := c.Stats()
+	if sc == 0 {
+		t.Error("no messages short-circuited")
+	}
+	// Only the replies to the external originator cross the network.
+	if fwd == 0 {
+		t.Error("originator replies must cross the network")
+	}
+	if netMsgs := net.Stats().Messages; netMsgs >= sc {
+		t.Errorf("network messages (%d) should be far fewer than short-circuited (%d)", netMsgs, sc)
+	}
+}
+
+func TestCrossContainerTraffic(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	a := buildContainer(t, net, "hostA", 3)
+	defer a.Close()
+	b := buildContainer(t, net, "hostB", 3)
+	defer b.Close()
+	// Bridge the two rings.
+	a.Nodes()[0].SetNeighbors(append(a.Nodes()[0].Neighbors(), b.AddrOf(0)))
+	b.Nodes()[0].SetNeighbors(append(b.Nodes()[0].Neighbors(), a.AddrOf(0)))
+
+	o, _ := updf.NewOriginator("orig", net, nil)
+	defer o.Close()
+	rs, err := o.Submit(updf.QuerySpec{
+		Query: `count(//service)`,
+		Entry: a.AddrOf(0), Mode: pdp.Routed, Radius: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six nodes each counting their local tuple: six 1s.
+	if len(rs.Items) != 6 {
+		t.Fatalf("items = %d, want 6", len(rs.Items))
+	}
+}
+
+func TestQueryAllSinglePass(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	c := buildContainer(t, net, "hostA", 8)
+	defer c.Close()
+
+	seq, err := c.QueryAll(`for $s in //service return string($s/@name)`, registry.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 8 {
+		t.Fatalf("hits = %d, want 8", len(seq))
+	}
+	// No messages at all: the pass is purely local.
+	if net.Stats().Messages != 0 {
+		t.Errorf("network messages = %d, want 0", net.Stats().Messages)
+	}
+	if _, err := c.QueryAll(`for $x in`, registry.QueryOptions{}); err == nil {
+		t.Error("syntax error accepted")
+	}
+}
+
+func TestContainerValidation(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	if _, err := New(Config{Net: net}); err == nil {
+		t.Error("missing host accepted")
+	}
+	if _, err := New(Config{Host: "h"}); err == nil {
+		t.Error("missing net accepted")
+	}
+}
+
+func TestExternalReachability(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	c := buildContainer(t, net, "hostA", 2)
+	defer c.Close()
+	// A remote peer (plain node outside any container) can query into the
+	// container through the outer network.
+	reg := regWith("solo", 99)
+	n, err := updf.NewNode(updf.Config{Addr: "solo/0", Net: net, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetNeighbors([]string{c.AddrOf(0)})
+	c.Nodes()[0].SetNeighbors(append(c.Nodes()[0].Neighbors(), "solo/0"))
+
+	o, _ := updf.NewOriginator("orig", net, nil)
+	defer o.Close()
+	rs, err := o.Submit(updf.QuerySpec{
+		Query: `for $s in //service return string($s/@name)`,
+		Entry: "solo/0", Mode: pdp.Routed, Radius: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Items) != 3 {
+		t.Fatalf("hits = %d, want 3 (solo + 2 virtual)", len(rs.Items))
+	}
+	var gotNames []string
+	for _, it := range rs.Items {
+		gotNames = append(gotNames, xq.StringValue(it))
+	}
+	found := false
+	for _, s := range gotNames {
+		if s == "svc99" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("solo node results missing: %v", gotNames)
+	}
+}

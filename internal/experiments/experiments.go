@@ -1,0 +1,119 @@
+// Package experiments implements the reproduction of every table and
+// figure in the evaluation (see DESIGN.md for the experiment index E1–E13
+// and the mapping to thesis chapters). Each experiment is a pure function
+// from parameters to a Table so that both the benchmark suite
+// (bench_test.go) and the harness binary (cmd/benchharness) share one
+// implementation.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one regenerated table or figure: a titled grid of cells.
+type Table struct {
+	ID     string // experiment id, e.g. "E5"
+	Title  string
+	Note   string // provenance and interpretation notes
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		for _, line := range strings.Split(t.Note, "\n") {
+			fmt.Fprintf(&sb, "   %s\n", line)
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// fdur formats a duration compactly for table cells.
+func fdur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d.Microseconds()))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// frate formats an operations-per-second rate.
+func frate(n int, elapsed time.Duration) string {
+	if elapsed <= 0 {
+		return "inf"
+	}
+	r := float64(n) / elapsed.Seconds()
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.2fM/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk/s", r/1e3)
+	default:
+		return fmt.Sprintf("%.1f/s", r)
+	}
+}
+
+// fint formats an int.
+func fint(n int) string { return fmt.Sprintf("%d", n) }
+
+// fint64 formats an int64.
+func fint64(n int64) string { return fmt.Sprintf("%d", n) }
+
+// ffloat formats a float with two decimals.
+func ffloat(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// fakeClock is a manually advanced clock for virtual-time experiments.
+type fakeClock struct {
+	t time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.UnixMilli(0)} }
+
+func (c *fakeClock) Now() time.Time            { return c.t }
+func (c *fakeClock) Advance(d time.Duration)   { c.t = c.t.Add(d) }
+func (c *fakeClock) Set(t time.Time)           { c.t = t }
+func (c *fakeClock) Since(t time.Time) time.Duration { return c.t.Sub(t) }

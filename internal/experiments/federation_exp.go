@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wsda/internal/federation"
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/topology"
+	"wsda/internal/updf"
+	"wsda/internal/workload"
+	"wsda/internal/wsda"
+	"wsda/internal/xq"
+)
+
+// E13Federation contrasts the two deployment models of thesis Ch. 3 for
+// covering N sites: MDS-style hierarchical aggregation (replicate
+// everything to a root, query locally there; staleness bounded by the
+// replication period, standing replication traffic) versus UPDF P2P
+// flooding (always-fresh answers, per-query network cost).
+func E13Federation(sites []int, tuplesPerSite int) (*Table, error) {
+	t := &Table{
+		ID:    "E13",
+		Title: fmt.Sprintf("Hierarchical aggregation vs. P2P flood, %d tuples/site (thesis Ch. 3 deployment models)", tuplesPerSite),
+		Note: "hierarchy: one cheap local query at the root, but every period moves all\n" +
+			"tuples and answers lag one period. p2p: per-query messages, zero staleness.",
+		Header: []string{"sites", "model", "query", "hits", "msgs/query", "repl-tuples/period", "staleness"},
+	}
+	for _, n := range sites {
+		gen := workload.NewGen(21)
+
+		// --- Hierarchical deployment ---
+		root := registry.New(registry.Config{Name: "root", DefaultTTL: time.Hour})
+		rootNode := &wsda.LocalNode{Desc: wsda.NewService("root").Build(), Registry: root}
+		moved := 0
+		for s := 0; s < n; s++ {
+			leaf := registry.New(registry.Config{Name: fmt.Sprintf("leaf%d", s), DefaultTTL: time.Hour})
+			for j := 0; j < tuplesPerSite; j++ {
+				if _, err := leaf.Publish(gen.Tuple(s*tuplesPerSite+j), time.Hour); err != nil {
+					return nil, err
+				}
+			}
+			b, err := federation.NewBridge(federation.BridgeConfig{
+				From: &wsda.LocalNode{Desc: wsda.NewService("leaf").Build(), Registry: leaf},
+				To:   rootNode, Period: time.Hour,
+			})
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.ReplicateOnce()
+			if err != nil {
+				return nil, err
+			}
+			moved += r
+		}
+		q := `count(/tupleset/tuple/content/service)`
+		start := time.Now()
+		seq, err := rootNode.XQuery(q, registry.QueryOptions{})
+		if err != nil {
+			return nil, err
+		}
+		hierLat := time.Since(start)
+		t.Add(fint(n), "hierarchy", fdur(hierLat), xq.StringValue(seq[0]), fint(0), fint(moved), "<= period")
+
+		// --- P2P deployment ---
+		c, net, o, err := buildP2P(topology.Random(n, 4, 31), 0, false)
+		if err != nil {
+			return nil, err
+		}
+		// buildP2P seeds one tuple per node; add the rest of the shard.
+		for i, node := range c.Nodes {
+			for j := 1; j < tuplesPerSite; j++ {
+				if _, err := node.Registry().Publish(gen.Tuple(n+i*tuplesPerSite+j), time.Hour); err != nil {
+					return nil, err
+				}
+			}
+		}
+		rs, err := o.Submit(updf.QuerySpec{
+			Query: q, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+			LoopTimeout: 60 * time.Second, AbortTimeout: 30 * time.Second,
+		})
+		msgs := net.Stats().Messages
+		o.Close()
+		c.Close()
+		net.Close()
+		if err != nil {
+			return nil, err
+		}
+		total := int64(0)
+		for _, it := range rs.Items {
+			if v, ok := it.(int64); ok {
+				total += v
+			}
+		}
+		t.Add(fint(n), "p2p-flood", fdur(rs.Elapsed), fmt.Sprint(total), fint64(msgs), fint(0), "0 (live)")
+	}
+	return t, nil
+}

@@ -1,0 +1,507 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wsda/internal/container"
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/simnet"
+	"wsda/internal/topology"
+	"wsda/internal/updf"
+	"wsda/internal/workload"
+	"wsda/internal/xq"
+)
+
+// allServicesQuery matches one item per node in a cluster populated with
+// populateCluster (every node holds one service shard).
+const allServicesQuery = `for $s in /tupleset/tuple/content/service return string($s/@name)`
+
+// buildP2P wires a cluster over g with the given link delay, one workload
+// service per node. Returns the cluster, network and originator.
+func buildP2P(g *topology.Graph, delay time.Duration, countBytes bool) (*updf.Cluster, *simnet.Network, *updf.Originator, error) {
+	net := simnet.New(simnet.Config{Delay: simnet.UniformDelay(delay), CountBytes: countBytes})
+	gen := workload.NewGen(1)
+	c, err := updf.BuildCluster(g, updf.ClusterConfig{
+		Net: net,
+		RegistryFor: func(i int) *registry.Registry {
+			r := registry.New(registry.Config{Name: fmt.Sprintf("reg%d", i), DefaultTTL: time.Hour})
+			if _, err := r.Publish(gen.Tuple(i), time.Hour); err != nil {
+				panic(err)
+			}
+			return r
+		},
+	})
+	if err != nil {
+		net.Close()
+		return nil, nil, nil, err
+	}
+	o, err := updf.NewOriginator("originator", net, nil)
+	if err != nil {
+		c.Close()
+		net.Close()
+		return nil, nil, nil, err
+	}
+	return c, net, o, nil
+}
+
+// E5ResponseModes reproduces the response-mode comparison (thesis Ch. 6.4):
+// network messages, wire bytes and latency for routed, direct,
+// direct-with-metadata and referral responses over several topologies.
+func E5ResponseModes(size int, delay time.Duration) (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: fmt.Sprintf("Response modes over %d-node topologies, %v links (thesis Ch. 6.4)", size, delay),
+		Note: "every node matches once. direct minimizes result hops; metadata trades a\n" +
+			"fetch round-trip for small routed records; referral serializes the walk.",
+		Header: []string{"topology", "mode", "hits", "msgs", "bytes", "latency", "t-first"},
+	}
+	topos := []struct {
+		name string
+		g    *topology.Graph
+	}{
+		{"ring", topology.Ring(size)},
+		{"tree", topology.Tree(size, 2)},
+		{"random", topology.Random(size, 4, 99)},
+	}
+	modes := []pdp.ResponseMode{pdp.Routed, pdp.Direct, pdp.Metadata, pdp.Referral}
+	for _, tp := range topos {
+		for _, mode := range modes {
+			c, net, o, err := buildP2P(tp.g, delay, true)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := o.Submit(updf.QuerySpec{
+				Query: allServicesQuery, Entry: "node/0", Mode: mode, Radius: -1,
+				LoopTimeout: 30 * time.Second, AbortTimeout: 15 * time.Second,
+			})
+			if err == nil && len(rs.Items) != size {
+				err = fmt.Errorf("E5 %s/%s: hits = %d, want %d", tp.name, mode, len(rs.Items), size)
+			}
+			st := net.Stats()
+			o.Close()
+			c.Close()
+			net.Close()
+			if err != nil {
+				return nil, err
+			}
+			t.Add(tp.name, mode.String(), fint(len(rs.Items)),
+				fint64(st.Messages), fint64(st.Bytes), fdur(rs.Elapsed), fdur(rs.TimeToFirst))
+		}
+	}
+	return t, nil
+}
+
+// E5Selectivity is the ablation of design decision 2 (DESIGN.md): metadata
+// responses pay off when results are heavy and few nodes match, because
+// routed responses re-ship every result item on every hop back toward the
+// originator while metadata ships small per-node counts and fetches each
+// result exactly once. Result items carry a 2 KiB payload (a realistic
+// service description) so payload bytes, not message envelopes, dominate.
+func E5Selectivity(chain int, matches []int, delay time.Duration) (*Table, error) {
+	t := &Table{
+		ID:    "E5b",
+		Title: fmt.Sprintf("Response-mode byte cost vs. selectivity, %d-node chain, 2KiB items (ablation)", chain),
+		Note: "k nodes match with 2KiB result items. routed re-ships every item on every\n" +
+			"hop toward the originator; metadata ships counts and fetches each item once.\n" +
+			"with heavy items metadata always wins; with light items (E5) routed wins.",
+		Header: []string{"matching", "routed-bytes", "metadata-bytes", "direct-bytes"},
+	}
+	payload := strings.Repeat("x", 2048)
+	for _, k := range matches {
+		var bytes [3]int64
+		for mi, mode := range []pdp.ResponseMode{pdp.Routed, pdp.Metadata, pdp.Direct} {
+			net := simnet.New(simnet.Config{Delay: simnet.UniformDelay(delay), CountBytes: true})
+			gen := workload.NewGen(1)
+			c, err := updf.BuildCluster(topology.Line(chain), updf.ClusterConfig{
+				Net: net,
+				RegistryFor: func(i int) *registry.Registry {
+					r := registry.New(registry.Config{Name: fmt.Sprintf("reg%d", i), DefaultTTL: time.Hour})
+					tp := gen.Tuple(i)
+					tp.Metadata = map[string]string{"idx": fmt.Sprint(i)}
+					if tp.Content != nil {
+						tp.Content.SetAttr("payload", payload)
+					}
+					if _, err := r.Publish(tp, time.Hour); err != nil {
+						panic(err)
+					}
+					return r
+				},
+			})
+			if err != nil {
+				net.Close()
+				return nil, err
+			}
+			o, err := updf.NewOriginator("originator", net, nil)
+			if err != nil {
+				c.Close()
+				net.Close()
+				return nil, err
+			}
+			// The last k nodes of the chain match (worst case for routed:
+			// maximal hops back).
+			q := fmt.Sprintf(
+				`for $t in /tupleset/tuple[number(meta[@name="idx"]/@value) >= %d] return $t/content/service`,
+				chain-k)
+			rs, err := o.Submit(updf.QuerySpec{
+				Query: q, Entry: "node/0", Mode: mode, Radius: -1,
+				LoopTimeout: 60 * time.Second, AbortTimeout: 30 * time.Second,
+			})
+			if err == nil && len(rs.Items) != k {
+				err = fmt.Errorf("E5b k=%d %s: hits = %d", k, mode, len(rs.Items))
+			}
+			bytes[mi] = net.Stats().Bytes
+			o.Close()
+			c.Close()
+			net.Close()
+			if err != nil {
+				return nil, err
+			}
+		}
+		t.Add(fint(k), fint64(bytes[0]), fint64(bytes[1]), fint64(bytes[2]))
+	}
+	return t, nil
+}
+
+// E6Pipelining reproduces the pipelining figure (thesis Ch. 6.5):
+// time-to-first-result and total latency for pipelined versus
+// store-and-forward execution along node chains, for a pipelineable query
+// and for an aggregating query that cannot stream.
+func E6Pipelining(chainLens []int, delay time.Duration) (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: fmt.Sprintf("Pipelined vs. store-and-forward along a chain, %v links (thesis Ch. 6.5)", delay),
+		Note: "pipelining slashes time-to-first; total time converges for both.\n" +
+			"the aggregate query (count) cannot stream: its node-local answer is atomic.",
+		Header: []string{"chain", "mode", "t-first", "t-last", "hits"},
+	}
+	for _, n := range chainLens {
+		for _, pipelined := range []bool{false, true} {
+			c, net, o, err := buildP2P(topology.Line(n), delay, false)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := o.Submit(updf.QuerySpec{
+				Query: allServicesQuery, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+				Pipeline:    pipelined,
+				LoopTimeout: 30 * time.Second, AbortTimeout: 15 * time.Second,
+			})
+			if err == nil && len(rs.Items) != n {
+				err = fmt.Errorf("E6 chain %d: hits = %d", n, len(rs.Items))
+			}
+			o.Close()
+			c.Close()
+			net.Close()
+			if err != nil {
+				return nil, err
+			}
+			mode := "store-fwd"
+			if pipelined {
+				mode = "pipelined"
+			}
+			t.Add(fint(n), mode, fdur(rs.TimeToFirst), fdur(rs.Elapsed), fint(len(rs.Items)))
+		}
+	}
+	// Aggregate query row: pipelining cannot help a per-node atomic result.
+	q := xq.MustCompile(`count(/tupleset/tuple)`)
+	if q.Pipelineable() {
+		return nil, fmt.Errorf("E6: aggregate query claims to be pipelineable")
+	}
+	t.Add("-", "count(): not pipelineable", "-", "-", "-")
+	return t, nil
+}
+
+// E7Timeouts reproduces the timeout experiment (thesis Ch. 6.6): results
+// delivered within the user deadline when one subtree is pathologically
+// slow, comparing the dynamic abort timeout (halving per hop) with a naive
+// inherited deadline.
+func E7Timeouts(deadlines []time.Duration) (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "Dynamic abort timeout vs. inherited deadline on an 8-chain with a slow tail (thesis Ch. 6.6)",
+		Note: "links 1ms, the last two nodes sit behind a 10x-deadline slow link.\n" +
+			"halving returns the reachable prefix in time; inherit strands buffered results upstream.",
+		Header: []string{"deadline", "policy", "hits<=deadline", "aborted"},
+	}
+	const n = 8
+	for _, dl := range deadlines {
+		for _, policy := range []string{updf.AbortHalve, updf.AbortInherit} {
+			slow := dl * 10
+			net := simnet.New(simnet.Config{Delay: func(from, to string) time.Duration {
+				if from == "node/6" || to == "node/6" {
+					return slow
+				}
+				return time.Millisecond
+			}})
+			gen := workload.NewGen(1)
+			c, err := updf.BuildCluster(topology.Line(n), updf.ClusterConfig{
+				Net:         net,
+				AbortPolicy: policy,
+				AbortFloor:  100 * time.Microsecond,
+				RegistryFor: func(i int) *registry.Registry {
+					r := registry.New(registry.Config{Name: fmt.Sprintf("reg%d", i), DefaultTTL: time.Hour})
+					if _, err := r.Publish(gen.Tuple(i), time.Hour); err != nil {
+						panic(err)
+					}
+					return r
+				},
+			})
+			if err != nil {
+				net.Close()
+				return nil, err
+			}
+			o, err := updf.NewOriginator("originator", net, nil)
+			if err != nil {
+				c.Close()
+				net.Close()
+				return nil, err
+			}
+			rs, err := o.Submit(updf.QuerySpec{
+				Query: allServicesQuery, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+				LoopTimeout: slow * 4, AbortTimeout: dl,
+			})
+			aborts := c.TotalStats().Aborts
+			o.Close()
+			c.Close()
+			net.Close()
+			if err != nil {
+				return nil, err
+			}
+			t.Add(fdur(dl), policy, fmt.Sprintf("%d/%d", len(rs.Items), n), fint64(aborts))
+		}
+	}
+	return t, nil
+}
+
+// E8NeighborSelection reproduces the neighbor-selection/radius figure
+// (thesis Ch. 6.7): recall versus message cost for flooding, bounded
+// random fanout, and radius scoping on a random graph.
+func E8NeighborSelection(size int, fanouts, radii []int) (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: fmt.Sprintf("Neighbor selection and radius scoping, random graph n=%d (thesis Ch. 6.7)", size),
+		Note: "recall = nodes reached / nodes. flooding reaches everything at maximal cost;\n" +
+			"fanout-k and radius trade recall for messages.",
+		Header: []string{"policy", "param", "recall", "msgs", "msgs/hit"},
+	}
+	g := topology.Random(size, 5, 77)
+	run := func(policy string, fanout, radius int) (int, int64, error) {
+		c, net, o, err := buildP2P(g, 0, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer func() { o.Close(); c.Close(); net.Close() }()
+		rs, err := o.Submit(updf.QuerySpec{
+			Query: allServicesQuery, Entry: "node/0", Mode: pdp.Routed, Radius: radius,
+			Policy: policy, Fanout: fanout,
+			LoopTimeout: 20 * time.Second, AbortTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return len(rs.Items), net.Stats().Messages, nil
+	}
+	addRow := func(name, param string, hits int, msgs int64) {
+		perHit := "inf"
+		if hits > 0 {
+			perHit = ffloat(float64(msgs) / float64(hits))
+		}
+		t.Add(name, param, fmt.Sprintf("%.2f", float64(hits)/float64(size)), fint64(msgs), perHit)
+	}
+	hits, msgs, err := run(updf.PolicyFlood, 0, -1)
+	if err != nil {
+		return nil, err
+	}
+	if hits != size {
+		return nil, fmt.Errorf("E8: flood recall %d/%d", hits, size)
+	}
+	addRow("flood", "-", hits, msgs)
+	for _, k := range fanouts {
+		hits, msgs, err := run(updf.PolicyRandom, k, -1)
+		if err != nil {
+			return nil, err
+		}
+		addRow("random-k", fint(k), hits, msgs)
+	}
+	for _, r := range radii {
+		hits, msgs, err := run(updf.PolicyFlood, 0, r)
+		if err != nil {
+			return nil, err
+		}
+		addRow("radius", fint(r), hits, msgs)
+	}
+	return t, nil
+}
+
+// E9Containers reproduces the virtual-node-container comparison (thesis
+// Ch. 6.8–6.9): the same M-node ring hosted as M separate networked nodes,
+// as M virtual nodes in one container (intra-container short-circuit), and
+// collapsed into a single-pass container query.
+func E9Containers(sizes []int, remoteDelay time.Duration) (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: fmt.Sprintf("Separate nodes vs. container-hosted virtual nodes, %v remote links (thesis Ch. 6.8-6.9)", remoteDelay),
+		Note: "same ring and query in all three deployments. the container removes network\n" +
+			"messages between co-hosted nodes; the single-pass collapses messaging entirely.",
+		Header: []string{"nodes", "deployment", "net-msgs", "latency", "hits"},
+	}
+	for _, m := range sizes {
+		// Deployment 1: separate networked nodes.
+		c, net, o, err := buildP2P(topology.Ring(m), remoteDelay, false)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := o.Submit(updf.QuerySpec{
+			Query: allServicesQuery, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+			LoopTimeout: 60 * time.Second, AbortTimeout: 30 * time.Second,
+		})
+		msgs := net.Stats().Messages
+		o.Close()
+		c.Close()
+		net.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(rs.Items) != m {
+			return nil, fmt.Errorf("E9 separate: hits %d/%d", len(rs.Items), m)
+		}
+		t.Add(fint(m), "separate", fint64(msgs), fdur(rs.Elapsed), fint(len(rs.Items)))
+
+		// Deployment 2: container-hosted virtual nodes.
+		net2 := simnet.New(simnet.Config{Delay: simnet.UniformDelay(remoteDelay)})
+		ct, err := container.New(container.Config{Host: "hostA", Net: net2})
+		if err != nil {
+			net2.Close()
+			return nil, err
+		}
+		gen := workload.NewGen(1)
+		for i := 0; i < m; i++ {
+			reg := registry.New(registry.Config{Name: fmt.Sprintf("vreg%d", i), DefaultTTL: time.Hour})
+			if _, err := reg.Publish(gen.Tuple(i), time.Hour); err != nil {
+				return nil, err
+			}
+			if _, err := ct.AddNode(i, reg); err != nil {
+				return nil, err
+			}
+		}
+		for i, node := range ct.Nodes() {
+			node.SetNeighbors([]string{ct.AddrOf((i + 1) % m), ct.AddrOf((i + m - 1) % m)})
+		}
+		o2, err := updf.NewOriginator("originator", net2, nil)
+		if err != nil {
+			ct.Close()
+			net2.Close()
+			return nil, err
+		}
+		rs2, err := o2.Submit(updf.QuerySpec{
+			Query: allServicesQuery, Entry: ct.AddrOf(0), Mode: pdp.Routed, Radius: -1,
+			LoopTimeout: 60 * time.Second, AbortTimeout: 30 * time.Second,
+		})
+		msgs2 := net2.Stats().Messages
+		start := time.Now()
+		seq, qerr := ct.QueryAll(allServicesQuery, registry.QueryOptions{})
+		singlePass := time.Since(start)
+		o2.Close()
+		ct.Close()
+		net2.Close()
+		if err != nil {
+			return nil, err
+		}
+		if qerr != nil {
+			return nil, qerr
+		}
+		if len(rs2.Items) != m || len(seq) != m {
+			return nil, fmt.Errorf("E9 container: hits %d/%d single-pass %d", len(rs2.Items), m, len(seq))
+		}
+		t.Add(fint(m), "container", fint64(msgs2), fdur(rs2.Elapsed), fint(len(rs2.Items)))
+		t.Add(fint(m), "single-pass", "0", fdur(singlePass), fint(len(seq)))
+	}
+	return t, nil
+}
+
+// E10LoopDetection reproduces the loop-detection experiment (thesis
+// Ch. 6.3): on cyclic topologies, transaction-ID duplicate suppression
+// must evaluate every node exactly once and still terminate.
+func E10LoopDetection(size int) (*Table, error) {
+	t := &Table{
+		ID:     "E10",
+		Title:  fmt.Sprintf("Loop detection on cyclic topologies, n=%d (thesis Ch. 6.3)", size),
+		Note:   "evals must equal n (exactly-once) with every duplicate suppressed.",
+		Header: []string{"topology", "edges", "hits", "evals", "duplicates", "ok"},
+	}
+	side := 1
+	for side*side < size {
+		side++
+	}
+	topos := []struct {
+		name string
+		g    *topology.Graph
+	}{
+		{"ring", topology.Ring(size)},
+		{"grid", topology.Grid2D(side, side)},
+		{"random", topology.Random(size, 6, 5)},
+		{"powerlaw", topology.PowerLaw(size, 3, 5)},
+	}
+	for _, tp := range topos {
+		c, net, o, err := buildP2P(tp.g, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := o.Submit(updf.QuerySpec{
+			Query: allServicesQuery, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+			LoopTimeout: 30 * time.Second, AbortTimeout: 15 * time.Second,
+		})
+		st := c.TotalStats()
+		o.Close()
+		c.Close()
+		net.Close()
+		if err != nil {
+			return nil, err
+		}
+		n := tp.g.N()
+		ok := len(rs.Items) == n && int(st.Evals) == n
+		t.Add(tp.name, fint(tp.g.Edges()), fint(len(rs.Items)), fint64(st.Evals), fint64(st.Duplicates),
+			fmt.Sprintf("%v", ok))
+		if !ok {
+			return nil, fmt.Errorf("E10 %s: hits=%d evals=%d want %d", tp.name, len(rs.Items), st.Evals, n)
+		}
+	}
+	return t, nil
+}
+
+// E11Scalability reproduces the scalability figure: latency and message
+// load of a full routed flood as the network grows.
+func E11Scalability(sizes []int, delay time.Duration) (*Table, error) {
+	t := &Table{
+		ID:     "E11",
+		Title:  fmt.Sprintf("Flood scalability on random graphs (avg degree 4), %v links", delay),
+		Note:   "messages grow with edges (≈2·E query msgs + results); latency with eccentricity.",
+		Header: []string{"nodes", "edges", "hits", "msgs", "msgs/node", "latency"},
+	}
+	for _, n := range sizes {
+		g := topology.Random(n, 4, 13)
+		c, net, o, err := buildP2P(g, delay, false)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := o.Submit(updf.QuerySpec{
+			Query: allServicesQuery, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+			LoopTimeout: 120 * time.Second, AbortTimeout: 60 * time.Second,
+		})
+		msgs := net.Stats().Messages
+		o.Close()
+		c.Close()
+		net.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(rs.Items) != n {
+			return nil, fmt.Errorf("E11 n=%d: hits = %d", n, len(rs.Items))
+		}
+		t.Add(fint(n), fint(g.Edges()), fint(len(rs.Items)), fint64(msgs),
+			ffloat(float64(msgs)/float64(n)), fdur(rs.Elapsed))
+	}
+	return t, nil
+}

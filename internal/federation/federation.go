@@ -1,0 +1,164 @@
+// Package federation implements the hierarchical deployment model the
+// thesis contrasts with P2P querying (Ch. 3 deployment models; related
+// work on MDS GIIS/GRIS hierarchies): child registries periodically
+// replicate their live tuples up to a parent, so a single query at the
+// root covers the whole tree — at the price of replication traffic and a
+// staleness bound equal to the replication period.
+//
+// The bridge speaks the WSDA primitives only (MinQuery to read, Consumer
+// to write), so child and parent may be local registries or remote HTTP
+// nodes interchangeably.
+package federation
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/wsda"
+)
+
+// BridgeConfig configures a replication bridge.
+type BridgeConfig struct {
+	// Name identifies the bridge (used as tuple owner upstream).
+	Name string
+	// From is the child registry; To the parent.
+	From wsda.MinQuery
+	To   wsda.Consumer
+	// Filter restricts what is replicated (zero = everything).
+	Filter registry.Filter
+	// Period is the replication interval. Default 30s.
+	Period time.Duration
+	// TTL is the lifetime requested upstream. Default 2×Period, so an
+	// unplugged bridge (or dead child) ages out of the parent within two
+	// periods — the same soft-state failure model as everywhere else.
+	TTL time.Duration
+	// Context rewrites the tuples' deployment context upstream (e.g.
+	// "child"); empty keeps the original.
+	Context string
+	// OnError observes replication failures.
+	OnError func(err error)
+}
+
+// Bridge replicates tuples from a child node to a parent node.
+type Bridge struct {
+	cfg BridgeConfig
+
+	mu      sync.Mutex
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+
+	rounds, replicated, failures int
+}
+
+// NewBridge validates the configuration.
+func NewBridge(cfg BridgeConfig) (*Bridge, error) {
+	if cfg.From == nil || cfg.To == nil {
+		return nil, fmt.Errorf("federation: bridge needs both endpoints")
+	}
+	if cfg.Period == 0 {
+		cfg.Period = 30 * time.Second
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = 2 * cfg.Period
+	}
+	return &Bridge{cfg: cfg}, nil
+}
+
+// ReplicateOnce pushes the child's current live tuples upstream and
+// returns how many were replicated.
+func (b *Bridge) ReplicateOnce() (int, error) {
+	tuples, err := b.cfg.From.MinQuery(b.cfg.Filter)
+	if err != nil {
+		b.fail(err)
+		return 0, err
+	}
+	n := 0
+	var firstErr error
+	for _, t := range tuples {
+		up := t.Clone()
+		if b.cfg.Context != "" {
+			up.Context = b.cfg.Context
+		}
+		if b.cfg.Name != "" && up.Owner == "" {
+			up.Owner = b.cfg.Name
+		}
+		// Clear soft-state timestamps: the parent assigns its own.
+		up.TS1, up.TS2, up.TS3 = time.Time{}, time.Time{}, time.Time{}
+		if _, err := b.cfg.To.Publish(up, b.cfg.TTL); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			b.fail(err)
+			continue
+		}
+		n++
+	}
+	b.mu.Lock()
+	b.rounds++
+	b.replicated += n
+	b.mu.Unlock()
+	return n, firstErr
+}
+
+func (b *Bridge) fail(err error) {
+	b.mu.Lock()
+	b.failures++
+	b.mu.Unlock()
+	if b.cfg.OnError != nil {
+		b.cfg.OnError(err)
+	}
+}
+
+// Start launches periodic replication (with an immediate first round).
+func (b *Bridge) Start() error {
+	b.mu.Lock()
+	if b.running {
+		b.mu.Unlock()
+		return fmt.Errorf("federation: bridge already running")
+	}
+	b.running = true
+	b.stop = make(chan struct{})
+	b.done = make(chan struct{})
+	stop, done := b.stop, b.done
+	b.mu.Unlock()
+	go func() {
+		defer close(done)
+		b.ReplicateOnce() //nolint:errcheck
+		t := time.NewTicker(b.cfg.Period)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				b.ReplicateOnce() //nolint:errcheck
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop halts replication. Replicated tuples age out of the parent within
+// one TTL.
+func (b *Bridge) Stop() {
+	b.mu.Lock()
+	if !b.running {
+		b.mu.Unlock()
+		return
+	}
+	b.running = false
+	stop, done := b.stop, b.done
+	b.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// Stats returns (rounds, tuples replicated, failures).
+func (b *Bridge) Stats() (rounds, replicated, failures int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rounds, b.replicated, b.failures
+}

@@ -1,0 +1,178 @@
+package federation
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/tuple"
+	"wsda/internal/workload"
+	"wsda/internal/wsda"
+	"wsda/internal/xq"
+)
+
+func localNode(name string, ttl time.Duration) *wsda.LocalNode {
+	return &wsda.LocalNode{
+		Desc: wsda.NewService(name).Build(),
+		Registry: registry.New(registry.Config{
+			Name: name, DefaultTTL: ttl, MinTTL: time.Millisecond,
+		}),
+	}
+}
+
+func TestReplicateOnce(t *testing.T) {
+	child := localNode("child", time.Hour)
+	parent := localNode("parent", time.Hour)
+	if err := workload.NewGen(1).Populate(child.Registry, 20, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBridge(BridgeConfig{
+		Name: "bridge1", From: child, To: parent,
+		Period: time.Hour, Context: "child",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.ReplicateOnce()
+	if err != nil || n != 20 {
+		t.Fatalf("replicated %d, err %v", n, err)
+	}
+	if parent.Registry.Len() != 20 {
+		t.Errorf("parent holds %d", parent.Registry.Len())
+	}
+	// Context rewritten, content preserved, parent timestamps assigned.
+	got := parent.Registry.MinQuery(registry.Filter{Context: "child"})
+	if len(got) != 20 {
+		t.Errorf("context rewrite: %d", len(got))
+	}
+	if got[0].Content == nil || got[0].TS3.IsZero() {
+		t.Errorf("tuple not properly re-published: %+v", got[0])
+	}
+	// Queries at the root see the children's services.
+	seq, err := parent.XQuery(`count(/tupleset/tuple/content/service)`, registry.QueryOptions{})
+	if err != nil || xq.StringValue(seq[0]) != "20" {
+		t.Errorf("root query: %v %v", seq, err)
+	}
+}
+
+func TestHierarchyTwoLevels(t *testing.T) {
+	// Two leaves → one mid → one root: tuples propagate across two hops.
+	root := localNode("root", time.Hour)
+	mid := localNode("mid", time.Hour)
+	leaves := []*wsda.LocalNode{localNode("leaf0", time.Hour), localNode("leaf1", time.Hour)}
+	gen := workload.NewGen(2)
+	for i, leaf := range leaves {
+		for j := 0; j < 5; j++ {
+			if _, err := leaf.Registry.Publish(gen.Tuple(i*5+j), time.Hour); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b, _ := NewBridge(BridgeConfig{From: leaf, To: mid, Period: time.Hour})
+		if _, err := b.ReplicateOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, _ := NewBridge(BridgeConfig{From: mid, To: root, Period: time.Hour})
+	if _, err := b.ReplicateOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if root.Registry.Len() != 10 {
+		t.Errorf("root sees %d tuples, want 10", root.Registry.Len())
+	}
+}
+
+func TestBridgeSoftStateAging(t *testing.T) {
+	child := localNode("child", time.Hour)
+	parent := localNode("parent", time.Hour)
+	if _, err := child.Registry.Publish(workload.NewGen(1).Tuple(0), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBridge(BridgeConfig{
+		From: child, To: parent,
+		Period: 20 * time.Millisecond, TTL: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+	deadline := time.Now().Add(time.Second)
+	for parent.Registry.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if parent.Registry.Len() != 1 {
+		t.Fatal("replication never happened")
+	}
+	// Keep running: the parent copy stays alive well past one TTL.
+	time.Sleep(150 * time.Millisecond)
+	if parent.Registry.Len() != 1 {
+		t.Error("live bridge let the tuple expire")
+	}
+	// Kill the bridge: the parent copy ages out within one TTL.
+	b.Stop()
+	time.Sleep(100 * time.Millisecond)
+	if parent.Registry.Len() != 0 {
+		t.Error("dead bridge's tuples survived upstream")
+	}
+	rounds, replicated, failures := b.Stats()
+	if rounds == 0 || replicated == 0 || failures != 0 {
+		t.Errorf("stats = %d %d %d", rounds, replicated, failures)
+	}
+	b.Stop() // idempotent
+}
+
+func TestBridgeOverHTTP(t *testing.T) {
+	// Child local, parent remote: the bridge runs over the wire.
+	child := localNode("child", time.Hour)
+	parentNode := localNode("parent", time.Hour)
+	srv := httptest.NewServer(wsda.Handler(parentNode))
+	defer srv.Close()
+	if err := workload.NewGen(3).Populate(child.Registry, 8, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewBridge(BridgeConfig{
+		From: child, To: wsda.NewClient(srv.URL), Period: time.Hour,
+	})
+	n, err := b.ReplicateOnce()
+	if err != nil || n != 8 {
+		t.Fatalf("replicated %d, %v", n, err)
+	}
+	if parentNode.Registry.Len() != 8 {
+		t.Errorf("parent holds %d", parentNode.Registry.Len())
+	}
+}
+
+func TestBridgeValidationAndErrors(t *testing.T) {
+	if _, err := NewBridge(BridgeConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	// A parent that rejects everything: failures are counted and reported.
+	child := localNode("child", time.Hour)
+	if _, err := child.Registry.Publish(workload.NewGen(1).Tuple(0), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	var seen int
+	b, _ := NewBridge(BridgeConfig{
+		From: child, To: rejectingConsumer{}, Period: time.Hour,
+		OnError: func(error) { seen++ },
+	})
+	if _, err := b.ReplicateOnce(); err == nil {
+		t.Error("failure not surfaced")
+	}
+	if _, _, failures := b.Stats(); failures != 1 || seen != 1 {
+		t.Errorf("failures = %d, seen = %d", failures, seen)
+	}
+}
+
+type rejectingConsumer struct{}
+
+func (rejectingConsumer) Publish(*tuple.Tuple, time.Duration) (time.Duration, error) {
+	return 0, fmt.Errorf("parent full")
+}
+func (rejectingConsumer) Unpublish(string) error { return nil }

@@ -1,0 +1,33 @@
+package pdp
+
+import "testing"
+
+// FuzzDecode checks the wire decoder never panics on hostile input — PDP
+// endpoints accept bytes from arbitrary peers.
+func FuzzDecode(f *testing.F) {
+	m := &Message{
+		Kind: KindQuery, TxID: "t", From: "a", To: "b",
+		Query: "//x", Mode: Metadata, Origin: "o",
+	}
+	f.Add(m.Encode())
+	f.Add(`<pdp kind="result" hits="3" final="true"><results count="1"><atomic type="integer">5</atomic></results></pdp>`)
+	f.Add(`<pdp kind="query"><scope radius="-1"/></pdp>`)
+	f.Add(`<pdp kind="bogus"/>`)
+	f.Add(`<pdp`)
+	f.Add(``)
+	f.Add(`<pdp kind="query" hop="99999999999999999999"/>`)
+	f.Fuzz(func(t *testing.T, wire string) {
+		msg, err := Decode(wire)
+		if err != nil {
+			return
+		}
+		// A decoded message must re-encode and decode to the same kind.
+		again, err := Decode(msg.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v (wire %q)", err, msg.Encode())
+		}
+		if again.Kind != msg.Kind || again.TxID != msg.TxID {
+			t.Fatalf("unstable round trip: %v vs %v", msg.Summary(), again.Summary())
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package pdp
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// HTTPNetwork binds the protocol to HTTP (thesis Ch. 7.5): node addresses
+// are URLs, and a message is an HTTP POST of its XML encoding to the
+// destination's URL. Handlers registered locally receive both loopback
+// sends and messages arriving over the wire via Handler().
+//
+// Delivery is asynchronous and best-effort, matching the pdp.Network
+// contract; transmission failures are dropped silently like datagrams.
+type HTTPNetwork struct {
+	client *http.Client
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+var _ Network = (*HTTPNetwork)(nil)
+
+// NewHTTPNetwork creates an HTTP-bound network using the given client (nil
+// means http.DefaultClient).
+func NewHTTPNetwork(client *http.Client) *HTTPNetwork {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPNetwork{client: client, handlers: make(map[string]Handler)}
+}
+
+// Register implements Network. The address should be this process's public
+// URL for the node (e.g. "http://host:8080/pdp/node0").
+func (n *HTTPNetwork) Register(addr string, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[addr] = h
+	return nil
+}
+
+// Unregister implements Network.
+func (n *HTTPNetwork) Unregister(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.handlers, addr)
+}
+
+// Send implements Network: local addresses dispatch in-process, remote
+// ones are POSTed to their URL.
+func (n *HTTPNetwork) Send(msg *Message) error {
+	n.mu.RLock()
+	h, ok := n.handlers[msg.To]
+	n.mu.RUnlock()
+	if ok {
+		go h(msg)
+		return nil
+	}
+	if !strings.HasPrefix(msg.To, "http://") && !strings.HasPrefix(msg.To, "https://") {
+		return ErrUnknownAddr
+	}
+	body := msg.Encode()
+	go func() {
+		resp, err := n.client.Post(msg.To, "text/xml", strings.NewReader(body))
+		if err != nil {
+			return // datagram semantics: losses are silent
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}()
+	return nil
+}
+
+// Handler returns the HTTP handler that accepts wire messages. Mount it at
+// the path prefix your node addresses live under.
+func (n *HTTPNetwork) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		msg, err := Decode(string(data))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n.mu.RLock()
+		h, ok := n.handlers[msg.To]
+		n.mu.RUnlock()
+		if !ok {
+			http.Error(w, fmt.Sprintf("no node at %s", msg.To), http.StatusNotFound)
+			return
+		}
+		// Dispatch asynchronously: PDP messages are one-way; the HTTP 202
+		// only acknowledges receipt.
+		go h(msg)
+		w.WriteHeader(http.StatusAccepted)
+	})
+}

@@ -1,0 +1,90 @@
+package pdp
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHTTPNetworkLocalLoopback checks in-process dispatch.
+func TestHTTPNetworkLocalLoopback(t *testing.T) {
+	n := NewHTTPNetwork(nil)
+	got := make(chan *Message, 1)
+	if err := n.Register("local/a", func(m *Message) { got <- m }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(&Message{Kind: KindPing, TxID: "t", From: "x", To: "local/a"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.TxID != "t" {
+			t.Errorf("tx = %q", m.TxID)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("not delivered")
+	}
+}
+
+// TestHTTPNetworkWire runs two HTTPNetwork instances joined over real HTTP
+// and checks a cross-process round trip.
+func TestHTTPNetworkWire(t *testing.T) {
+	netA := NewHTTPNetwork(nil)
+	netB := NewHTTPNetwork(nil)
+	srvA := httptest.NewServer(netA.Handler())
+	defer srvA.Close()
+	srvB := httptest.NewServer(netB.Handler())
+	defer srvB.Close()
+
+	addrA := srvA.URL + "/pdp/a"
+	addrB := srvB.URL + "/pdp/b"
+
+	var mu sync.Mutex
+	var gotAtB *Message
+	done := make(chan struct{}, 2)
+	netB.Register(addrB, func(m *Message) { //nolint:errcheck
+		mu.Lock()
+		gotAtB = m
+		mu.Unlock()
+		done <- struct{}{}
+		// Reply over the wire.
+		netB.Send(&Message{Kind: KindPong, TxID: m.TxID, From: addrB, To: m.From, Neighbors: []string{"n1"}}) //nolint:errcheck
+	})
+	pongs := make(chan *Message, 1)
+	netA.Register(addrA, func(m *Message) { pongs <- m }) //nolint:errcheck
+
+	if err := netA.Send(&Message{Kind: KindPing, TxID: "rt", From: addrA, To: addrB}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("B never received")
+	}
+	mu.Lock()
+	if gotAtB.From != addrA {
+		t.Errorf("from = %q", gotAtB.From)
+	}
+	mu.Unlock()
+	select {
+	case m := <-pongs:
+		if m.Kind != KindPong || len(m.Neighbors) != 1 {
+			t.Errorf("pong = %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("A never received the pong")
+	}
+}
+
+// TestHTTPNetworkUnknownAddr checks that non-URL unknown addresses error.
+func TestHTTPNetworkUnknownAddr(t *testing.T) {
+	n := NewHTTPNetwork(nil)
+	if err := n.Send(&Message{Kind: KindPing, To: "not-a-url"}); err != ErrUnknownAddr {
+		t.Errorf("err = %v", err)
+	}
+	// Unreachable URL: datagram semantics, no error surfaces.
+	if err := n.Send(&Message{Kind: KindPing, To: "http://127.0.0.1:1/pdp/x"}); err != nil {
+		t.Errorf("remote send errored synchronously: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package pdp
+
+import (
+	"testing"
+	"time"
+
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+func sampleQuery() *Message {
+	return &Message{
+		Kind: KindQuery, TxID: "orig#1", From: "orig", To: "node/0",
+		Hop: 2, Query: `//service[@name="rc"]`, Mode: Metadata,
+		Origin: "orig", Pipeline: true,
+		Scope: Scope{
+			Radius:       5,
+			LoopTimeout:  time.UnixMilli(100000),
+			AbortTimeout: time.UnixMilli(50000),
+			Policy:       "random",
+			Fanout:       3,
+		},
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	m := sampleQuery()
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Kind != m.Kind || got.TxID != m.TxID || got.From != m.From || got.To != m.To {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if got.Hop != 2 || got.Query != m.Query || got.Mode != Metadata || !got.Pipeline {
+		t.Errorf("body mismatch: %+v", got)
+	}
+	if got.Origin != "orig" {
+		t.Errorf("origin = %q", got.Origin)
+	}
+	sc := got.Scope
+	if sc.Radius != 5 || sc.Policy != "random" || sc.Fanout != 3 {
+		t.Errorf("scope = %+v", sc)
+	}
+	if !sc.LoopTimeout.Equal(m.Scope.LoopTimeout) || !sc.AbortTimeout.Equal(m.Scope.AbortTimeout) {
+		t.Errorf("timeouts = %+v", sc)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	el := xmldoc.MustParse(`<service name="rc"/>`).DocumentElement()
+	m := &Message{
+		Kind: KindResult, TxID: "t", From: "a", To: "b",
+		Items: xq.Sequence{el, int64(3), "x"}, HitCount: 3,
+		Source: "node/7", Final: true, Err: "partial",
+	}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got.Items) != 3 {
+		t.Fatalf("items = %d", len(got.Items))
+	}
+	if n, ok := got.Items[0].(*xmldoc.Node); !ok || n.Name != "service" {
+		t.Errorf("item0 = %#v", got.Items[0])
+	}
+	if got.Items[1] != int64(3) || got.Items[2] != "x" {
+		t.Errorf("atomics = %#v", got.Items[1:])
+	}
+	if got.HitCount != 3 || !got.Final || got.Source != "node/7" || got.Err != "partial" {
+		t.Errorf("fields = %+v", got)
+	}
+}
+
+func TestReceiptAndNeighbors(t *testing.T) {
+	m := &Message{
+		Kind: KindPong, TxID: "t", From: "a", To: "b",
+		Neighbors: []string{"n1", "n2", "n3"},
+	}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got.Neighbors) != 3 || got.Neighbors[1] != "n2" {
+		t.Errorf("neighbors = %v", got.Neighbors)
+	}
+
+	r := &Message{Kind: KindReceipt, TxID: "t", From: "a", To: "b", HitCount: 42, Final: true}
+	got, err = Decode(r.Encode())
+	if err != nil || got.HitCount != 42 || !got.Final {
+		t.Errorf("receipt: %+v %v", got, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		`<notpdp/>`,
+		`<pdp kind="bogus"/>`,
+		`<pdp kind="query" hop="x"/>`,
+		`<pdp kind="query" mode="bogus"/>`,
+		`not xml at all`,
+	}
+	for _, s := range cases {
+		if _, err := Decode(s); err == nil {
+			t.Errorf("Decode(%q) succeeded", s)
+		}
+	}
+}
+
+func TestWireSizeAndSummary(t *testing.T) {
+	m := sampleQuery()
+	if m.WireSize() <= 0 {
+		t.Error("wire size must be positive")
+	}
+	s := m.Summary()
+	if s == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := &Message{Kind: KindResult, Items: xq.Sequence{"a"}, Neighbors: []string{"x"}}
+	c := m.Clone()
+	c.Items = append(c.Items, "b")
+	c.Neighbors[0] = "y"
+	if len(m.Items) != 1 || m.Neighbors[0] != "x" {
+		t.Error("clone shares slices")
+	}
+}
+
+func TestKindAndModeNames(t *testing.T) {
+	for k := KindQuery; k <= KindPong; k++ {
+		got, err := kindFromString(k.String())
+		if err != nil || got != k {
+			t.Errorf("kind %v round trip failed", k)
+		}
+	}
+	for m := Routed; m <= Referral; m++ {
+		got, err := modeFromString(m.String())
+		if err != nil || got != m {
+			t.Errorf("mode %v round trip failed", m)
+		}
+	}
+}

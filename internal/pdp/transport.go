@@ -1,0 +1,25 @@
+package pdp
+
+import "errors"
+
+// Handler consumes messages delivered to a registered address. Handlers
+// run on the transport's delivery goroutine for that address, so messages
+// to one address are processed in delivery order.
+type Handler func(*Message)
+
+// ErrUnknownAddr reports a send to an unregistered address.
+var ErrUnknownAddr = errors.New("pdp: unknown address")
+
+// Network is the communication substrate of the protocol: an asynchronous,
+// connectionless message layer (thesis Ch. 7.5 maps it onto HTTP or, here,
+// onto an in-process simulator). Send is non-blocking; delivery is
+// best-effort and may be delayed or dropped by the implementation.
+type Network interface {
+	// Register binds a handler to an address, replacing any previous
+	// binding.
+	Register(addr string, h Handler) error
+	// Unregister removes the binding.
+	Unregister(addr string)
+	// Send routes msg to msg.To.
+	Send(msg *Message) error
+}

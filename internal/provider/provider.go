@@ -1,0 +1,215 @@
+// Package provider implements the content-provider side of the hybrid
+// pull/push model (thesis Ch. 4.2): a provider owns a set of content links,
+// publishes their tuples into one or more registries under soft-state
+// lifetimes, and keeps them alive with periodic heartbeat refreshes. When
+// the provider stops (crash, shutdown, network partition), its tuples
+// silently expire everywhere — no distributed cleanup protocol needed.
+package provider
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"wsda/internal/tuple"
+	"wsda/internal/wsda"
+)
+
+// Config configures a Provider.
+type Config struct {
+	// Name identifies the provider in logs and tuple ownership.
+	Name string
+	// Registries are the publication targets (WSDA Consumer primitives).
+	Registries []wsda.Consumer
+	// TTL is the requested tuple lifetime. Zero means 2*Period.
+	TTL time.Duration
+	// Period is the refresh interval. Zero means 30s. It should be well
+	// under TTL; the classic operating point is TTL = 2..4 × Period.
+	Period time.Duration
+	// Jitter randomizes each refresh by ±Jitter to avoid thundering herds
+	// against the registry. Zero disables.
+	Jitter time.Duration
+	// OnError observes publication failures (nil ignores them; soft state
+	// makes sporadic failures harmless as long as one refresh per TTL
+	// succeeds).
+	OnError func(registry int, err error)
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+	// Seed seeds the jitter RNG (0 uses a fixed default).
+	Seed int64
+}
+
+// Provider keeps a set of tuples alive in remote registries.
+type Provider struct {
+	cfg Config
+
+	mu      sync.Mutex
+	tuples  map[string]*tuple.Tuple // by content link
+	stopped chan struct{}
+	done    chan struct{}
+	running bool
+	rng     *rand.Rand
+
+	refreshes, failures int
+}
+
+// New creates a provider. At least one registry is required.
+func New(cfg Config) (*Provider, error) {
+	if len(cfg.Registries) == 0 {
+		return nil, fmt.Errorf("provider: needs at least one registry")
+	}
+	if cfg.Period == 0 {
+		cfg.Period = 30 * time.Second
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = 2 * cfg.Period
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Provider{
+		cfg:    cfg,
+		tuples: make(map[string]*tuple.Tuple),
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Offer adds (or replaces) a tuple in the provider's advertised set and
+// publishes it immediately.
+func (p *Provider) Offer(t *tuple.Tuple) error {
+	if t.Owner == "" {
+		t.Owner = p.cfg.Name
+	}
+	p.mu.Lock()
+	p.tuples[t.Link] = t
+	p.mu.Unlock()
+	return p.publishOne(t)
+}
+
+// Withdraw removes a tuple from the advertised set and unpublishes it
+// explicitly (faster than waiting for expiry).
+func (p *Provider) Withdraw(link string) {
+	p.mu.Lock()
+	delete(p.tuples, link)
+	p.mu.Unlock()
+	for i, r := range p.cfg.Registries {
+		if err := r.Unpublish(link); err != nil && p.cfg.OnError != nil {
+			p.cfg.OnError(i, err)
+		}
+	}
+}
+
+// Links returns the advertised content links.
+func (p *Provider) Links() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.tuples))
+	for l := range p.tuples {
+		out = append(out, l)
+	}
+	return out
+}
+
+// RefreshNow re-publishes every advertised tuple once (heartbeat round).
+// It returns the number of successful publications.
+func (p *Provider) RefreshNow() int {
+	p.mu.Lock()
+	snapshot := make([]*tuple.Tuple, 0, len(p.tuples))
+	for _, t := range p.tuples {
+		snapshot = append(snapshot, t)
+	}
+	p.mu.Unlock()
+	ok := 0
+	for _, t := range snapshot {
+		if err := p.publishOne(t); err == nil {
+			ok++
+		}
+	}
+	p.mu.Lock()
+	p.refreshes++
+	p.mu.Unlock()
+	return ok
+}
+
+// publishOne publishes a heartbeat for one tuple to every registry.
+// Content is sent along so registries can refresh their caches (push
+// model); a heartbeat-only variant would omit it.
+func (p *Provider) publishOne(t *tuple.Tuple) error {
+	var firstErr error
+	for i, r := range p.cfg.Registries {
+		if _, err := r.Publish(t, p.cfg.TTL); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			p.mu.Lock()
+			p.failures++
+			p.mu.Unlock()
+			if p.cfg.OnError != nil {
+				p.cfg.OnError(i, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// Start launches the heartbeat loop. It is an error to start twice.
+func (p *Provider) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.running {
+		return fmt.Errorf("provider %s: already running", p.cfg.Name)
+	}
+	p.running = true
+	p.stopped = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop(p.stopped, p.done)
+	return nil
+}
+
+// Stop halts the heartbeat loop. Tuples are left to expire on their own —
+// exactly what happens when a provider crashes.
+func (p *Provider) Stop() {
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = false
+	stopped, done := p.stopped, p.done
+	p.mu.Unlock()
+	close(stopped)
+	<-done
+}
+
+// Stats returns heartbeat round and failure counts.
+func (p *Provider) Stats() (refreshRounds, failures int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.refreshes, p.failures
+}
+
+func (p *Provider) loop(stopped <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		d := p.cfg.Period
+		if j := p.cfg.Jitter; j > 0 {
+			p.mu.Lock()
+			d += time.Duration(p.rng.Int63n(int64(2*j))) - j
+			p.mu.Unlock()
+			if d <= 0 {
+				d = time.Millisecond
+			}
+		}
+		select {
+		case <-time.After(d):
+			p.RefreshNow()
+		case <-stopped:
+			return
+		}
+	}
+}

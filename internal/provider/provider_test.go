@@ -1,0 +1,166 @@
+package provider
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/tuple"
+	"wsda/internal/wsda"
+	"wsda/internal/xmldoc"
+)
+
+func newNode(name string) *wsda.LocalNode {
+	return &wsda.LocalNode{
+		Desc:     wsda.NewService(name).Build(),
+		Registry: registry.New(registry.Config{Name: name, DefaultTTL: time.Minute, MinTTL: time.Millisecond}),
+	}
+}
+
+func testTuple(i int) *tuple.Tuple {
+	return &tuple.Tuple{
+		Link:    fmt.Sprintf("http://prov/x%d", i),
+		Type:    tuple.TypeService,
+		Content: xmldoc.MustParse(fmt.Sprintf(`<service name="x%d"/>`, i)).DocumentElement().Clone(),
+	}
+}
+
+func TestOfferPublishesEverywhere(t *testing.T) {
+	n1, n2 := newNode("r1"), newNode("r2")
+	p, err := New(Config{Name: "prov", Registries: []wsda.Consumer{n1, n2}, Period: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Offer(testTuple(1)); err != nil {
+		t.Fatal(err)
+	}
+	if n1.Registry.Len() != 1 || n2.Registry.Len() != 1 {
+		t.Errorf("lens = %d, %d", n1.Registry.Len(), n2.Registry.Len())
+	}
+	got, _ := n1.Registry.Get("http://prov/x1")
+	if got.Owner != "prov" {
+		t.Errorf("owner = %q", got.Owner)
+	}
+	if len(p.Links()) != 1 {
+		t.Errorf("links = %v", p.Links())
+	}
+}
+
+func TestWithdraw(t *testing.T) {
+	n := newNode("r")
+	p, _ := New(Config{Name: "prov", Registries: []wsda.Consumer{n}, Period: time.Hour})
+	p.Offer(testTuple(1)) //nolint:errcheck
+	p.Withdraw("http://prov/x1")
+	if n.Registry.Len() != 0 {
+		t.Error("withdraw did not unpublish")
+	}
+	if len(p.Links()) != 0 {
+		t.Error("link still advertised")
+	}
+}
+
+func TestHeartbeatKeepsAlive(t *testing.T) {
+	n := newNode("r")
+	p, _ := New(Config{
+		Name: "prov", Registries: []wsda.Consumer{n},
+		Period: 10 * time.Millisecond, TTL: 50 * time.Millisecond,
+	})
+	p.Offer(testTuple(1)) //nolint:errcheck
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+	time.Sleep(150 * time.Millisecond)
+	if n.Registry.Len() != 1 {
+		t.Error("tuple expired despite heartbeats")
+	}
+	// Crash the provider: the tuple must vanish within one TTL.
+	p.Stop()
+	time.Sleep(80 * time.Millisecond)
+	if n.Registry.Len() != 0 {
+		t.Error("tuple survived provider death")
+	}
+	rounds, failures := p.Stats()
+	if rounds == 0 {
+		t.Error("no refresh rounds recorded")
+	}
+	if failures != 0 {
+		t.Errorf("failures = %d", failures)
+	}
+	p.Stop() // idempotent
+}
+
+// failingConsumer rejects every publish.
+type failingConsumer struct{}
+
+func (failingConsumer) Publish(*tuple.Tuple, time.Duration) (time.Duration, error) {
+	return 0, fmt.Errorf("registry down")
+}
+func (failingConsumer) Unpublish(string) error { return fmt.Errorf("registry down") }
+
+func TestPartialRegistryFailure(t *testing.T) {
+	good := newNode("good")
+	var errs int
+	p, _ := New(Config{
+		Name:       "prov",
+		Registries: []wsda.Consumer{failingConsumer{}, good},
+		Period:     time.Hour,
+		OnError:    func(i int, err error) { errs++ },
+	})
+	if err := p.Offer(testTuple(1)); err == nil {
+		t.Error("failure not reported")
+	}
+	// The healthy registry still got the tuple.
+	if good.Registry.Len() != 1 {
+		t.Error("good registry missed the publish")
+	}
+	if errs != 1 {
+		t.Errorf("OnError calls = %d", errs)
+	}
+	if _, failures := p.Stats(); failures != 1 {
+		t.Errorf("failures = %d", failures)
+	}
+}
+
+func TestRefreshNowCount(t *testing.T) {
+	n := newNode("r")
+	p, _ := New(Config{Name: "prov", Registries: []wsda.Consumer{n}, Period: time.Hour})
+	for i := 0; i < 5; i++ {
+		p.Offer(testTuple(i)) //nolint:errcheck
+	}
+	if ok := p.RefreshNow(); ok != 5 {
+		t.Errorf("refreshed %d, want 5", ok)
+	}
+	st := n.Registry.Stats()
+	if st.Publishes != 5 || st.Refreshes != 5 {
+		t.Errorf("registry stats = %+v", st)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("no registries accepted")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	n := newNode("r")
+	p, _ := New(Config{
+		Name: "prov", Registries: []wsda.Consumer{n},
+		Period: 5 * time.Millisecond, Jitter: 4 * time.Millisecond,
+		TTL: time.Minute, Seed: 99,
+	})
+	p.Offer(testTuple(1)) //nolint:errcheck
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	p.Stop()
+	rounds, _ := p.Stats()
+	if rounds < 3 {
+		t.Errorf("rounds = %d, want several despite jitter", rounds)
+	}
+}

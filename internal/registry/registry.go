@@ -1,0 +1,418 @@
+// Package registry implements the hyper registry of thesis Ch. 4: a
+// centralized database node for discovery of dynamic distributed content.
+// It maintains a soft-state tuple set populated by autonomous remote
+// content providers, caches content copies, supports flexible freshness
+// driven by provider, registry and client, throttles content pulls, and
+// answers both minimal queries (attribute filters) and full XQueries over
+// the tuple-set view.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsda/internal/softstate"
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+// Fetcher retrieves the current content of a content link (the registry's
+// pull side of the hybrid pull/push model).
+type Fetcher interface {
+	Fetch(link string) (*xmldoc.Node, error)
+}
+
+// FetcherFunc adapts a function to the Fetcher interface.
+type FetcherFunc func(link string) (*xmldoc.Node, error)
+
+// Fetch implements Fetcher.
+func (f FetcherFunc) Fetch(link string) (*xmldoc.Node, error) { return f(link) }
+
+// Config configures a Registry.
+type Config struct {
+	Name string // registry identifier, e.g. "registry.cern.ch"
+
+	// DefaultTTL applies when a publication does not carry an explicit
+	// expiry; MinTTL/MaxTTL clamp client-requested lifetimes (a registry is
+	// free to shorten or lengthen requested TTLs, thesis Ch. 4.6).
+	DefaultTTL time.Duration
+	MinTTL     time.Duration
+	MaxTTL     time.Duration
+
+	// Fetcher pulls content copies from providers; nil disables pulls
+	// (cached or inline-pushed content only).
+	Fetcher Fetcher
+
+	// MinPullInterval throttles pulls per content link: a second pull for
+	// the same link within the interval is suppressed and stale content is
+	// served instead (thesis Ch. 4.7.1).
+	MinPullInterval time.Duration
+
+	// MaxQuerySteps bounds the work of a single XQuery evaluation; 0 means
+	// unlimited.
+	MaxQuerySteps int
+
+	// Now is the clock; nil means time.Now. Benchmarks inject virtual time.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "registry"
+	}
+	if c.DefaultTTL == 0 {
+		c.DefaultTTL = 10 * time.Minute
+	}
+	if c.MaxTTL == 0 {
+		c.MaxTTL = 24 * time.Hour
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Stats are cumulative registry counters.
+type Stats struct {
+	Publishes   int64 // first-time publications
+	Refreshes   int64 // soft-state refreshes
+	Expirations int64 // tuples swept after expiry
+	Queries     int64 // XQuery evaluations
+	MinQueries  int64 // minimal-interface queries
+	CacheHits   int64 // queries served from fresh cached content
+	CacheMisses int64 // tuples needing a pull at query time
+	Pulls       int64 // successful content pulls
+	PullErrors  int64 // failed pulls
+	Throttled   int64 // pulls suppressed by MinPullInterval
+}
+
+// Registry is a hyper registry node. It is safe for concurrent use.
+type Registry struct {
+	cfg   Config
+	store *softstate.Store[*tuple.Tuple]
+
+	pullMu   sync.Mutex
+	lastPull map[string]time.Time
+
+	// queryCache memoizes compiled queries by source text; discovery
+	// clients re-issue the same query shapes constantly.
+	cacheMu    sync.RWMutex
+	queryCache map[string]*xq.Query
+
+	queries, minQueries             atomic.Int64
+	cacheHits, cacheMisses          atomic.Int64
+	pulls, pullErrors, throttledCnt atomic.Int64
+}
+
+// New creates a registry.
+func New(cfg Config) *Registry {
+	cfg = cfg.withDefaults()
+	return &Registry{
+		cfg:        cfg,
+		store:      softstate.New[*tuple.Tuple](cfg.Now),
+		lastPull:   make(map[string]time.Time),
+		queryCache: make(map[string]*xq.Query),
+	}
+}
+
+// Name returns the registry identifier.
+func (r *Registry) Name() string { return r.cfg.Name }
+
+// ErrBadTTL reports a nonsensical requested lifetime.
+var ErrBadTTL = errors.New("registry: negative TTL")
+
+// Publish inserts or refreshes a tuple with the requested soft-state
+// lifetime (0 uses the registry default; the registry clamps to its
+// configured bounds). A refresh without content keeps the previously cached
+// content copy — re-publication doubles as a heartbeat. It returns the
+// granted TTL.
+func (r *Registry) Publish(t *tuple.Tuple, ttl time.Duration) (time.Duration, error) {
+	now := r.cfg.Now()
+	if ttl < 0 {
+		return 0, ErrBadTTL
+	}
+	if err := t.Validate(now); err != nil {
+		return 0, err
+	}
+	granted := r.clampTTL(ttl)
+	pub := t.Clone()
+	if pub.Content != nil && pub.TS4.IsZero() {
+		pub.TS4 = now // provider pushed content inline
+	}
+	r.store.Upsert(t.Link, granted, func(old *tuple.Tuple, exists bool) *tuple.Tuple {
+		if exists {
+			pub.TS1 = old.TS1
+			if pub.Content == nil && old.Content != nil {
+				pub.Content = old.Content
+				pub.TS4 = old.TS4
+			}
+		} else {
+			pub.TS1 = now
+		}
+		pub.TS2 = now
+		pub.TS3 = now.Add(granted)
+		return pub
+	})
+	return granted, nil
+}
+
+func (r *Registry) clampTTL(ttl time.Duration) time.Duration {
+	if ttl == 0 {
+		ttl = r.cfg.DefaultTTL
+	}
+	if r.cfg.MinTTL > 0 && ttl < r.cfg.MinTTL {
+		ttl = r.cfg.MinTTL
+	}
+	if r.cfg.MaxTTL > 0 && ttl > r.cfg.MaxTTL {
+		ttl = r.cfg.MaxTTL
+	}
+	return ttl
+}
+
+// Unpublish removes a tuple explicitly, reporting whether it existed.
+func (r *Registry) Unpublish(link string) bool { return r.store.Delete(link) }
+
+// Get returns a copy of the live tuple under link.
+func (r *Registry) Get(link string) (*tuple.Tuple, bool) {
+	t, ok := r.store.Get(link)
+	if !ok {
+		return nil, false
+	}
+	return t.Clone(), true
+}
+
+// Len returns the number of live tuples.
+func (r *Registry) Len() int { return r.store.Len() }
+
+// Sweep removes expired tuples, returning how many were collected.
+func (r *Registry) Sweep() int { return r.store.Sweep() }
+
+// Filter selects tuples by attribute for the minimal query interface
+// (thesis Ch. 5.2: MinQuery primitive). Zero fields match everything.
+type Filter struct {
+	Type       string
+	Context    string
+	LinkPrefix string
+}
+
+func (f Filter) match(t *tuple.Tuple) bool {
+	if f.Type != "" && t.Type != f.Type {
+		return false
+	}
+	if f.Context != "" && t.Context != f.Context {
+		return false
+	}
+	if f.LinkPrefix != "" && !strings.HasPrefix(t.Link, f.LinkPrefix) {
+		return false
+	}
+	return true
+}
+
+// MinQuery returns copies of all live tuples matching the filter, sorted by
+// link for determinism.
+func (r *Registry) MinQuery(f Filter) []*tuple.Tuple {
+	r.minQueries.Add(1)
+	var out []*tuple.Tuple
+	for _, e := range r.store.Live() {
+		if f.match(e.Value) {
+			out = append(out, e.Value.Clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return out
+}
+
+// Freshness is the client-driven content freshness policy of a query
+// (thesis Ch. 4.7): the client bounds how stale cached content copies may
+// be, and whether missing content must be pulled.
+type Freshness struct {
+	// MaxAge is the oldest acceptable cached copy. Zero accepts any cached
+	// copy (including none).
+	MaxAge time.Duration
+	// PullMissing pulls content for tuples that have no cached copy at all.
+	PullMissing bool
+}
+
+// QueryOptions configure one XQuery evaluation.
+type QueryOptions struct {
+	Filter    Filter    // pre-filter applied before the view is built
+	Freshness Freshness // content freshness demands
+	// Emit streams result items as they are produced (pipelined queries,
+	// thesis Ch. 6.5). Return false to stop early.
+	Emit func(xq.Item) bool
+	// Vars are external variable bindings.
+	Vars map[string]xq.Sequence
+}
+
+// Query evaluates an XQuery over the registry's tuple-set view. The view is
+// a synthetic document
+//
+//	<tupleset registry="NAME"> <tuple ...>...</tuple>* </tupleset>
+//
+// so queries navigate /tupleset/tuple/content/... as in the thesis
+// examples. Content freshness is enforced per the options before the view
+// is built.
+func (r *Registry) Query(query string, opts QueryOptions) (xq.Sequence, error) {
+	r.cacheMu.RLock()
+	q, ok := r.queryCache[query]
+	r.cacheMu.RUnlock()
+	if !ok {
+		var err error
+		q, err = xq.Compile(query)
+		if err != nil {
+			return nil, err
+		}
+		r.cacheMu.Lock()
+		// Bound the cache crudely: a full cache is dropped wholesale.
+		// Compilation is cheap relative to evaluation; the cache only
+		// needs to capture the steady-state query mix.
+		if len(r.queryCache) >= maxCachedQueries {
+			r.queryCache = make(map[string]*xq.Query)
+		}
+		r.queryCache[query] = q
+		r.cacheMu.Unlock()
+	}
+	return r.QueryCompiled(q, opts)
+}
+
+// maxCachedQueries bounds the compiled-query cache.
+const maxCachedQueries = 1024
+
+// QueryCompiled is Query for a pre-compiled expression.
+func (r *Registry) QueryCompiled(q *xq.Query, opts QueryOptions) (xq.Sequence, error) {
+	r.queries.Add(1)
+	view := r.BuildView(opts.Filter, opts.Freshness)
+	return q.Eval(&xq.Options{
+		Context:  view,
+		MaxSteps: r.cfg.MaxQuerySteps,
+		Emit:     opts.Emit,
+		Vars:     opts.Vars,
+	})
+}
+
+// BuildView materializes the tuple-set document for a query, refreshing
+// content copies as demanded by the freshness policy.
+func (r *Registry) BuildView(f Filter, fresh Freshness) *xmldoc.Node {
+	now := r.cfg.Now()
+	root := xmldoc.NewElement("tupleset")
+	root.SetAttr("registry", r.cfg.Name)
+	entries := r.store.Live()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	for _, e := range entries {
+		t := e.Value
+		if !f.match(t) {
+			continue
+		}
+		t = r.ensureFresh(t, fresh, now)
+		root.AppendChild(t.ToXML())
+	}
+	doc := xmldoc.NewDocument()
+	doc.AppendChild(root)
+	doc.Renumber()
+	return doc
+}
+
+// ensureFresh applies the freshness policy to one tuple, pulling content
+// when demanded and permitted by the throttle. On pull failure or throttle
+// suppression the stale copy (possibly nil) is served.
+func (r *Registry) ensureFresh(t *tuple.Tuple, fresh Freshness, now time.Time) *tuple.Tuple {
+	needPull := false
+	if t.Content == nil {
+		if fresh.PullMissing {
+			needPull = true
+		}
+	} else if fresh.MaxAge > 0 {
+		if age, ok := t.ContentAge(now); ok && age > fresh.MaxAge {
+			needPull = true
+		}
+	}
+	if !needPull {
+		if t.Content != nil {
+			r.cacheHits.Add(1)
+		}
+		return t
+	}
+	r.cacheMisses.Add(1)
+	if r.cfg.Fetcher == nil {
+		return t
+	}
+	if !r.admitPull(t.Link, now) {
+		r.throttledCnt.Add(1)
+		return t
+	}
+	content, err := r.cfg.Fetcher.Fetch(t.Link)
+	if err != nil {
+		r.pullErrors.Add(1)
+		return t
+	}
+	r.pulls.Add(1)
+	// Update the stored tuple's cache without touching its soft-state
+	// deadline: a pull is not a publication.
+	r.store.Upsert(t.Link, r.remainingTTL(t, now), func(old *tuple.Tuple, exists bool) *tuple.Tuple {
+		upd := t
+		if exists {
+			upd = old
+		}
+		c := upd.Clone()
+		c.Content = content
+		c.TS4 = now
+		return c
+	})
+	c := t.Clone()
+	c.Content = content
+	c.TS4 = now
+	return c
+}
+
+func (r *Registry) remainingTTL(t *tuple.Tuple, now time.Time) time.Duration {
+	if t.TS3.IsZero() {
+		return 0
+	}
+	d := t.TS3.Sub(now)
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// admitPull enforces the per-link pull throttle.
+func (r *Registry) admitPull(link string, now time.Time) bool {
+	if r.cfg.MinPullInterval <= 0 {
+		return true
+	}
+	r.pullMu.Lock()
+	defer r.pullMu.Unlock()
+	if last, ok := r.lastPull[link]; ok && now.Sub(last) < r.cfg.MinPullInterval {
+		return false
+	}
+	r.lastPull[link] = now
+	return true
+}
+
+// Stats returns a snapshot of cumulative counters.
+func (r *Registry) Stats() Stats {
+	puts, refreshes, expirations := r.store.Stats()
+	return Stats{
+		Publishes:   puts,
+		Refreshes:   refreshes,
+		Expirations: expirations,
+		Queries:     r.queries.Load(),
+		MinQueries:  r.minQueries.Load(),
+		CacheHits:   r.cacheHits.Load(),
+		CacheMisses: r.cacheMisses.Load(),
+		Pulls:       r.pulls.Load(),
+		PullErrors:  r.pullErrors.Load(),
+		Throttled:   r.throttledCnt.Load(),
+	}
+}
+
+// String summarizes the registry state.
+func (r *Registry) String() string {
+	return fmt.Sprintf("registry %s: %d live tuples", r.cfg.Name, r.Len())
+}

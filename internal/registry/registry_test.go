@@ -1,0 +1,426 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+// fakeClock is a manually advanced clock shared across the test registry.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.UnixMilli(0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func svcContent(name, domain string, load float64) *xmldoc.Node {
+	return xmldoc.MustParse(fmt.Sprintf(
+		`<service name=%q domain=%q><interface type="XQuery"/><load>%.2f</load></service>`,
+		name, domain, load)).DocumentElement().Clone()
+}
+
+func svcTuple(name, domain string, load float64) *tuple.Tuple {
+	return &tuple.Tuple{
+		Link:    "http://" + domain + "/" + name,
+		Type:    tuple.TypeService,
+		Context: "child",
+		Content: svcContent(name, domain, load),
+	}
+}
+
+func newTestRegistry(clk *fakeClock, fetcher Fetcher) *Registry {
+	return New(Config{
+		Name:            "test-registry",
+		DefaultTTL:      time.Minute,
+		MinTTL:          time.Second,
+		MaxTTL:          time.Hour,
+		Fetcher:         fetcher,
+		MinPullInterval: 10 * time.Second,
+		Now:             clk.Now,
+	})
+}
+
+func TestPublishAndGet(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	tp := svcTuple("rc", "cern.ch", 0.3)
+	granted, err := r.Publish(tp, 0)
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if granted != time.Minute {
+		t.Errorf("granted = %v, want default 1m", granted)
+	}
+	got, ok := r.Get(tp.Link)
+	if !ok {
+		t.Fatal("tuple not found")
+	}
+	if !got.TS1.Equal(clk.Now()) || !got.TS3.Equal(clk.Now().Add(time.Minute)) {
+		t.Errorf("timestamps: TS1=%v TS3=%v", got.TS1, got.TS3)
+	}
+	if got.TS4.IsZero() {
+		t.Error("inline content should set TS4")
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	r := newTestRegistry(newFakeClock(), nil)
+	if _, err := r.Publish(&tuple.Tuple{Type: "x"}, 0); err == nil {
+		t.Error("missing link accepted")
+	}
+	if _, err := r.Publish(svcTuple("a", "b.c", 0), -time.Second); err != ErrBadTTL {
+		t.Errorf("negative ttl: %v", err)
+	}
+}
+
+func TestTTLClamping(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	if g, _ := r.Publish(svcTuple("a", "x.y", 0), time.Millisecond); g != time.Second {
+		t.Errorf("min clamp: %v", g)
+	}
+	if g, _ := r.Publish(svcTuple("b", "x.y", 0), 100*time.Hour); g != time.Hour {
+		t.Errorf("max clamp: %v", g)
+	}
+}
+
+func TestRefreshKeepsContentAndTS1(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	tp := svcTuple("rc", "cern.ch", 0.3)
+	if _, err := r.Publish(tp, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	// Heartbeat refresh: no content.
+	hb := &tuple.Tuple{Link: tp.Link, Type: tp.Type, Context: tp.Context}
+	if _, err := r.Publish(hb, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.Get(tp.Link)
+	if got.Content == nil {
+		t.Error("refresh dropped cached content")
+	}
+	if !got.TS1.Equal(time.UnixMilli(0)) {
+		t.Errorf("TS1 = %v, want original", got.TS1)
+	}
+	if !got.TS2.Equal(clk.Now()) {
+		t.Errorf("TS2 = %v, want refresh time", got.TS2)
+	}
+	st := r.Stats()
+	if st.Publishes != 1 || st.Refreshes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSoftStateExpiry(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("a", "x.y", 0), time.Second)
+	r.Publish(svcTuple("b", "x.y", 0), time.Hour)
+	clk.Advance(2 * time.Second)
+	if r.Len() != 1 {
+		t.Errorf("live = %d, want 1", r.Len())
+	}
+	if n := r.Sweep(); n != 1 {
+		t.Errorf("swept = %d", n)
+	}
+	if _, ok := r.Get("http://x.y/a"); ok {
+		t.Error("expired tuple still visible")
+	}
+}
+
+func TestMinQuery(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("a", "cern.ch", 0.1), 0)
+	r.Publish(svcTuple("b", "cern.ch", 0.2), 0)
+	r.Publish(svcTuple("c", "infn.it", 0.3), 0)
+	nodeT := svcTuple("d", "cern.ch", 0)
+	nodeT.Type = tuple.TypeNode
+	r.Publish(nodeT, 0)
+
+	if got := r.MinQuery(Filter{}); len(got) != 4 {
+		t.Errorf("all = %d", len(got))
+	}
+	if got := r.MinQuery(Filter{Type: tuple.TypeService}); len(got) != 3 {
+		t.Errorf("services = %d", len(got))
+	}
+	if got := r.MinQuery(Filter{LinkPrefix: "http://cern.ch/"}); len(got) != 3 {
+		t.Errorf("cern = %d", len(got))
+	}
+	if got := r.MinQuery(Filter{Type: tuple.TypeService, LinkPrefix: "http://infn.it/"}); len(got) != 1 {
+		t.Errorf("infn services = %d", len(got))
+	}
+	// Sorted by link.
+	got := r.MinQuery(Filter{})
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Link > got[i].Link {
+			t.Error("MinQuery result not sorted")
+		}
+	}
+}
+
+func TestXQueryOverView(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("rc", "cern.ch", 0.35), 0)
+	r.Publish(svcTuple("sched", "cern.ch", 0.80), 0)
+	r.Publish(svcTuple("store", "infn.it", 0.10), 0)
+
+	seq, err := r.Query(`
+		for $t in /tupleset/tuple
+		let $s := $t/content/service
+		where $s/load < 0.5
+		order by $s/@name
+		return string($s/@name)`, QueryOptions{})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	var names []string
+	for _, it := range seq {
+		names = append(names, xq.StringValue(it))
+	}
+	if strings.Join(names, ",") != "rc,store" {
+		t.Errorf("names = %v", names)
+	}
+
+	// The view exposes registry name and timestamps.
+	seq, err = r.Query(`string(/tupleset/@registry)`, QueryOptions{})
+	if err != nil || len(seq) != 1 || xq.StringValue(seq[0]) != "test-registry" {
+		t.Errorf("registry attr: %v %v", seq, err)
+	}
+	seq, err = r.Query(`count(/tupleset/tuple[@ts1])`, QueryOptions{})
+	if err != nil || xq.StringValue(seq[0]) != "3" {
+		t.Errorf("ts1 attrs: %v %v", seq, err)
+	}
+}
+
+func TestQueryFilterScope(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("a", "cern.ch", 0.1), 0)
+	r.Publish(svcTuple("b", "infn.it", 0.1), 0)
+	seq, err := r.Query(`count(/tupleset/tuple)`, QueryOptions{
+		Filter: Filter{LinkPrefix: "http://cern.ch/"},
+	})
+	if err != nil || xq.StringValue(seq[0]) != "1" {
+		t.Errorf("scoped count: %v %v", seq, err)
+	}
+}
+
+// trackingFetcher counts pulls and serves generated content.
+type trackingFetcher struct {
+	mu    sync.Mutex
+	calls map[string]int
+	fail  bool
+}
+
+func (f *trackingFetcher) Fetch(link string) (*xmldoc.Node, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.calls == nil {
+		f.calls = make(map[string]int)
+	}
+	f.calls[link]++
+	if f.fail {
+		return nil, fmt.Errorf("provider down")
+	}
+	return xmldoc.MustParse(`<service name="fresh"><load>0.99</load></service>`), nil
+}
+
+func (f *trackingFetcher) count(link string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[link]
+}
+
+func TestFreshnessPullMissing(t *testing.T) {
+	clk := newFakeClock()
+	f := &trackingFetcher{}
+	r := newTestRegistry(clk, f)
+	bare := &tuple.Tuple{Link: "http://x.y/bare", Type: tuple.TypeService}
+	r.Publish(bare, 0)
+
+	// Without PullMissing, content stays absent.
+	seq, err := r.Query(`count(/tupleset/tuple/content/service)`, QueryOptions{})
+	if err != nil || xq.StringValue(seq[0]) != "0" {
+		t.Fatalf("unexpected content: %v %v", seq, err)
+	}
+	// With PullMissing the registry pulls.
+	seq, err = r.Query(`count(/tupleset/tuple/content/service)`, QueryOptions{
+		Freshness: Freshness{PullMissing: true},
+	})
+	if err != nil || xq.StringValue(seq[0]) != "1" {
+		t.Fatalf("content not pulled: %v %v", seq, err)
+	}
+	if f.count(bare.Link) != 1 {
+		t.Errorf("pulls = %d", f.count(bare.Link))
+	}
+	// Pulled content is now cached: next query is a cache hit, no new pull.
+	r.Query(`count(/tupleset/tuple)`, QueryOptions{Freshness: Freshness{PullMissing: true}}) //nolint:errcheck
+	if f.count(bare.Link) != 1 {
+		t.Errorf("cache not used, pulls = %d", f.count(bare.Link))
+	}
+}
+
+func TestFreshnessMaxAge(t *testing.T) {
+	clk := newFakeClock()
+	f := &trackingFetcher{}
+	r := newTestRegistry(clk, f)
+	tp := svcTuple("rc", "cern.ch", 0.3)
+	r.Publish(tp, time.Hour)
+
+	clk.Advance(30 * time.Second)
+	// Cached copy is 30s old; demand at most 60s: no pull.
+	_, err := r.Query(`/tupleset`, QueryOptions{Freshness: Freshness{MaxAge: time.Minute}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.count(tp.Link) != 0 {
+		t.Error("fresh content was re-pulled")
+	}
+	// Demand at most 10s: pull happens.
+	_, err = r.Query(`/tupleset`, QueryOptions{Freshness: Freshness{MaxAge: 10 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.count(tp.Link) != 1 {
+		t.Errorf("stale content not pulled: %d", f.count(tp.Link))
+	}
+	st := r.Stats()
+	if st.CacheHits == 0 || st.Pulls != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPullThrottle(t *testing.T) {
+	clk := newFakeClock()
+	f := &trackingFetcher{}
+	r := newTestRegistry(clk, f) // MinPullInterval = 10s
+	bare := &tuple.Tuple{Link: "http://x.y/bare", Type: tuple.TypeService}
+	r.Publish(bare, 0)
+
+	fresh := Freshness{MaxAge: time.Millisecond, PullMissing: true}
+	r.Query(`/tupleset`, QueryOptions{Freshness: fresh}) //nolint:errcheck
+	clk.Advance(time.Second)
+	r.Query(`/tupleset`, QueryOptions{Freshness: fresh}) //nolint:errcheck
+	if f.count(bare.Link) != 1 {
+		t.Errorf("throttle failed: %d pulls", f.count(bare.Link))
+	}
+	if r.Stats().Throttled != 1 {
+		t.Errorf("throttled = %d", r.Stats().Throttled)
+	}
+	clk.Advance(11 * time.Second)
+	r.Query(`/tupleset`, QueryOptions{Freshness: fresh}) //nolint:errcheck
+	if f.count(bare.Link) != 2 {
+		t.Errorf("pull after interval: %d", f.count(bare.Link))
+	}
+}
+
+func TestPullFailureServesStale(t *testing.T) {
+	clk := newFakeClock()
+	f := &trackingFetcher{fail: true}
+	r := newTestRegistry(clk, f)
+	tp := svcTuple("rc", "cern.ch", 0.3)
+	r.Publish(tp, time.Hour)
+	clk.Advance(time.Hour / 2)
+	seq, err := r.Query(`string(/tupleset/tuple/content/service/@name)`, QueryOptions{
+		Freshness: Freshness{MaxAge: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xq.StringValue(seq[0]) != "rc" {
+		t.Errorf("stale content lost: %v", seq)
+	}
+	if r.Stats().PullErrors != 1 {
+		t.Errorf("pull errors = %d", r.Stats().PullErrors)
+	}
+}
+
+func TestStreamingQuery(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	for i := 0; i < 10; i++ {
+		r.Publish(svcTuple(fmt.Sprintf("s%02d", i), "cern.ch", float64(i)/10), 0)
+	}
+	var got int
+	_, err := r.Query(`for $t in /tupleset/tuple return $t/content/service/@name`, QueryOptions{
+		Emit: func(xq.Item) bool {
+			got++
+			return got < 3
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("streamed %d, want 3 (early stop)", got)
+	}
+}
+
+func TestQuerySyntaxError(t *testing.T) {
+	r := newTestRegistry(newFakeClock(), nil)
+	if _, err := r.Query(`for $x in`, QueryOptions{}); err == nil {
+		t.Error("syntax error accepted")
+	}
+}
+
+func TestUnpublish(t *testing.T) {
+	r := newTestRegistry(newFakeClock(), nil)
+	tp := svcTuple("a", "x.y", 0)
+	r.Publish(tp, 0)
+	if !r.Unpublish(tp.Link) {
+		t.Error("unpublish failed")
+	}
+	if r.Unpublish(tp.Link) {
+		t.Error("double unpublish succeeded")
+	}
+	if r.Len() != 0 {
+		t.Error("tuple still present")
+	}
+}
+
+func TestConcurrentPublishQuery(t *testing.T) {
+	r := New(Config{Name: "conc", DefaultTTL: time.Minute})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tp := svcTuple(fmt.Sprintf("s%d-%d", g, i), "cern.ch", 0.5)
+				if _, err := r.Publish(tp, 0); err != nil {
+					t.Errorf("publish: %v", err)
+				}
+				if _, err := r.Query(`count(/tupleset/tuple)`, QueryOptions{}); err != nil {
+					t.Errorf("query: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 200 {
+		t.Errorf("len = %d, want 200", r.Len())
+	}
+}

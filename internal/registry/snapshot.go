@@ -1,0 +1,67 @@
+package registry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+)
+
+// Snapshot serializes the live tuple set (including soft-state deadlines)
+// as a <snapshot> document — an operational convenience for backup and
+// warm restarts. Soft state makes snapshots safe by construction: a stale
+// snapshot's tuples simply expire after restore unless providers refresh
+// them.
+func (r *Registry) Snapshot(w io.Writer) error {
+	root := xmldoc.NewElement("snapshot")
+	root.SetAttr("registry", r.cfg.Name)
+	root.SetAttr("at", strconv.FormatInt(r.cfg.Now().UnixMilli(), 10))
+	for _, e := range r.store.Live() {
+		root.AppendChild(e.Value.ToXML())
+	}
+	root.Renumber()
+	_, err := io.WriteString(w, root.Indent())
+	return err
+}
+
+// Restore loads a snapshot, publishing each tuple with the remainder of
+// its original lifetime. Already-expired tuples are skipped. It returns
+// how many tuples were restored.
+func (r *Registry) Restore(rd io.Reader) (int, error) {
+	doc, err := xmldoc.Parse(rd)
+	if err != nil {
+		return 0, fmt.Errorf("registry: restore: %w", err)
+	}
+	root := doc.DocumentElement()
+	if root == nil || root.LocalName() != "snapshot" {
+		return 0, fmt.Errorf("registry: restore: expected <snapshot>")
+	}
+	now := r.cfg.Now()
+	n := 0
+	for _, el := range root.ChildElements() {
+		if el.LocalName() != "tuple" {
+			continue
+		}
+		t, err := tuple.FromXML(el)
+		if err != nil {
+			return n, fmt.Errorf("registry: restore: %w", err)
+		}
+		ttl := time.Duration(0)
+		if !t.TS3.IsZero() {
+			ttl = t.TS3.Sub(now)
+			if ttl <= 0 {
+				continue // expired while on disk
+			}
+		}
+		// Clear the deadline so Publish re-derives it from the granted ttl.
+		t.TS3 = time.Time{}
+		if _, err := r.Publish(t, ttl); err != nil {
+			return n, fmt.Errorf("registry: restore %s: %w", t.Link, err)
+		}
+		n++
+	}
+	return n, nil
+}

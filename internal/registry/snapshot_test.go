@@ -1,0 +1,62 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wsda/internal/tuple"
+)
+
+func TestSnapshotRestore(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("a", "cern.ch", 0.1), time.Minute)   //nolint:errcheck
+	r.Publish(svcTuple("b", "infn.it", 0.2), 2*time.Minute) //nolint:errcheck
+	short := svcTuple("c", "cern.ch", 0.3)
+	r.Publish(short, time.Second) //nolint:errcheck
+
+	var sb strings.Builder
+	if err := r.Snapshot(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh registry 30s later: a and b survive with their
+	// remaining lifetime; c has expired on disk.
+	clk.Advance(30 * time.Second)
+	r2 := newTestRegistry(clk, nil)
+	n, err := r2.Restore(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || r2.Len() != 2 {
+		t.Fatalf("restored %d, live %d, want 2", n, r2.Len())
+	}
+	got, ok := r2.Get("http://cern.ch/a")
+	if !ok || got.Content == nil {
+		t.Fatalf("tuple a lost: %v %v", got, ok)
+	}
+	// Remaining lifetime honored: a expires ~30s after restore.
+	clk.Advance(31 * time.Second)
+	if _, ok := r2.Get("http://cern.ch/a"); ok {
+		t.Error("tuple a outlived its original deadline")
+	}
+	// b had 2 minutes: still alive.
+	if _, ok := r2.Get("http://infn.it/b"); !ok {
+		t.Error("tuple b should still be alive")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	r := newTestRegistry(newFakeClock(), nil)
+	if _, err := r.Restore(strings.NewReader("not xml")); err == nil {
+		t.Error("bad xml accepted")
+	}
+	if _, err := r.Restore(strings.NewReader("<wrong/>")); err == nil {
+		t.Error("wrong root accepted")
+	}
+	if _, err := r.Restore(strings.NewReader(`<snapshot><tuple ts1="zzz"/></snapshot>`)); err == nil {
+		t.Error("bad tuple accepted")
+	}
+	_ = tuple.TypeService
+}

@@ -1,0 +1,226 @@
+package simnet
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsda/internal/pdp"
+)
+
+func msg(from, to string) *pdp.Message {
+	return &pdp.Message{Kind: pdp.KindPing, TxID: "t", From: from, To: to}
+}
+
+func TestDeliver(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var got atomic.Int64
+	done := make(chan struct{}, 1)
+	if err := n.Register("b", func(m *pdp.Message) {
+		got.Add(1)
+		done <- struct{}{}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(msg("a", "b")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+	if n.Stats().Messages != 1 {
+		t.Errorf("stats = %+v", n.Stats())
+	}
+}
+
+func TestUnknownAddress(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	if err := n.Send(msg("a", "nobody")); err != pdp.ErrUnknownAddr {
+		t.Errorf("err = %v", err)
+	}
+	if n.Stats().DeadAddr != 1 {
+		t.Errorf("dead addr = %d", n.Stats().DeadAddr)
+	}
+}
+
+func TestDropInjection(t *testing.T) {
+	n := New(Config{Drop: func(m *pdp.Message) bool { return m.To == "b" }})
+	defer n.Close()
+	delivered := make(chan struct{}, 10)
+	n.Register("b", func(*pdp.Message) { delivered <- struct{}{} }) //nolint:errcheck
+	n.Register("c", func(*pdp.Message) { delivered <- struct{}{} }) //nolint:errcheck
+	n.Send(msg("a", "b"))                                           //nolint:errcheck
+	n.Send(msg("a", "c"))                                           //nolint:errcheck
+	select {
+	case <-delivered:
+	case <-time.After(time.Second):
+		t.Fatal("c never got its message")
+	}
+	st := n.Stats()
+	if st.Dropped != 1 || st.Messages != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	n := New(Config{Delay: UniformDelay(30 * time.Millisecond)})
+	defer n.Close()
+	done := make(chan time.Time, 1)
+	n.Register("b", func(*pdp.Message) { done <- time.Now() }) //nolint:errcheck
+	start := time.Now()
+	n.Send(msg("a", "b")) //nolint:errcheck
+	select {
+	case at := <-done:
+		if d := at.Sub(start); d < 25*time.Millisecond {
+			t.Errorf("delivered after %v, want >= ~30ms", d)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("not delivered")
+	}
+}
+
+func TestHostAwareDelay(t *testing.T) {
+	d := HostAwareDelay(0, 10*time.Millisecond)
+	if d("host1/0", "host1/1") != 0 {
+		t.Error("intra-host link should be local")
+	}
+	if d("host1/0", "host2/0") != 10*time.Millisecond {
+		t.Error("inter-host link should be remote")
+	}
+	if d("bare", "bare2") != 10*time.Millisecond {
+		t.Error("prefixless addresses are distinct hosts")
+	}
+	if d("bare", "bare") != 0 {
+		t.Error("same bare address is the same host")
+	}
+}
+
+func TestBandwidthModel(t *testing.T) {
+	// ~600-byte messages over a 10 kB/s link: each transfer costs ~60ms.
+	n := New(Config{Bandwidth: 10_000})
+	defer n.Close()
+	done := make(chan time.Time, 2)
+	n.Register("b", func(*pdp.Message) { done <- time.Now() }) //nolint:errcheck
+	big := &pdp.Message{Kind: pdp.KindQuery, TxID: "t", From: "a", To: "b",
+		Query: strings.Repeat("x", 500)}
+	start := time.Now()
+	n.Send(big)         //nolint:errcheck
+	n.Send(big.Clone()) //nolint:errcheck
+	first := <-done
+	second := <-done
+	if d := first.Sub(start); d < 40*time.Millisecond {
+		t.Errorf("first transfer took %v, want >= ~60ms", d)
+	}
+	if second.Before(first) {
+		t.Error("bandwidth link reordered messages")
+	}
+	if n.Stats().Bytes == 0 {
+		t.Error("bandwidth model must account bytes")
+	}
+}
+
+func TestOrderingPerDestination(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var mu sync.Mutex
+	var got []string
+	donech := make(chan struct{})
+	n.Register("b", func(m *pdp.Message) { //nolint:errcheck
+		mu.Lock()
+		got = append(got, m.TxID)
+		l := len(got)
+		mu.Unlock()
+		if l == 100 {
+			close(donech)
+		}
+	})
+	for i := 0; i < 100; i++ {
+		n.Send(&pdp.Message{Kind: pdp.KindPing, TxID: string(rune('0' + i%10)), From: "a", To: "b"}) //nolint:errcheck
+	}
+	select {
+	case <-donech:
+	case <-time.After(2 * time.Second):
+		t.Fatal("not all delivered")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < 100; i++ {
+		if got[i] != string(rune('0'+i%10)) {
+			t.Fatalf("out of order at %d: %q", i, got[i])
+		}
+	}
+}
+
+func TestByteCounting(t *testing.T) {
+	n := New(Config{CountBytes: true})
+	defer n.Close()
+	n.Register("b", func(*pdp.Message) {}) //nolint:errcheck
+	n.Send(msg("a", "b"))                  //nolint:errcheck
+	if n.Stats().Bytes <= 0 {
+		t.Error("bytes not counted")
+	}
+	if n.KindCount(pdp.KindPing) != 1 {
+		t.Error("kind count wrong")
+	}
+	n.ResetStats()
+	if n.Stats().Messages != 0 || n.KindCount(pdp.KindPing) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestUnregisterStopsDelivery(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	n.Register("b", func(*pdp.Message) { t.Error("delivered after unregister") }) //nolint:errcheck
+	n.Unregister("b")
+	if err := n.Send(msg("a", "b")); err != pdp.ErrUnknownAddr {
+		t.Errorf("err = %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+}
+
+func TestReregisterReplaces(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	n.Register("b", func(*pdp.Message) { t.Error("old handler invoked") }) //nolint:errcheck
+	ok := make(chan struct{}, 1)
+	n.Register("b", func(*pdp.Message) { ok <- struct{}{} }) //nolint:errcheck
+	n.Send(msg("a", "b"))                                    //nolint:errcheck
+	select {
+	case <-ok:
+	case <-time.After(time.Second):
+		t.Fatal("new handler not invoked")
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var count atomic.Int64
+	n.Register("b", func(*pdp.Message) { count.Add(1) }) //nolint:errcheck
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n.Send(msg("a", "b")) //nolint:errcheck
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.After(2 * time.Second)
+	for count.Load() < 4000 {
+		select {
+		case <-deadline:
+			t.Fatalf("delivered %d of 4000", count.Load())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

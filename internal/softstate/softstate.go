@@ -1,0 +1,251 @@
+// Package softstate implements the generic soft-state maintenance mechanism
+// of thesis Ch. 2.6: state that is not refreshed before its time-to-live
+// elapses silently expires. This yields reliable, predictable and simple
+// distributed state maintenance in the presence of provider failure,
+// misbehavior or change — a dead provider's entries vanish on their own.
+//
+// The store is generic over the value type and is used by the hyper
+// registry (tuples) and by the P2P layer (node state table entries).
+package softstate
+
+import (
+	"sync"
+	"time"
+)
+
+// Entry is one soft-state entry.
+type Entry[V any] struct {
+	Key       string
+	Value     V
+	Inserted  time.Time // first Put
+	Refreshed time.Time // most recent Put
+	Expires   time.Time // deadline; zero = immortal
+}
+
+// Expired reports whether the entry is past its deadline.
+func (e *Entry[V]) Expired(now time.Time) bool {
+	return !e.Expires.IsZero() && !e.Expires.After(now)
+}
+
+// Store is a concurrency-safe soft-state table. The zero value is not
+// usable; call New.
+type Store[V any] struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry[V]
+	now     func() time.Time
+
+	// statistics
+	puts, refreshes, expirations int64
+}
+
+// New returns an empty store using the given clock (nil means time.Now).
+func New[V any](now func() time.Time) *Store[V] {
+	if now == nil {
+		now = time.Now
+	}
+	return &Store[V]{entries: make(map[string]*Entry[V]), now: now}
+}
+
+// Put inserts or refreshes an entry with the given time-to-live. A
+// non-positive ttl makes the entry immortal (strong state). It reports
+// whether the entry was newly created (false means this was a refresh).
+func (s *Store[V]) Put(key string, value V, ttl time.Duration) bool {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	isNew := !ok || e.Expired(now)
+	if isNew {
+		e = &Entry[V]{Key: key, Inserted: now}
+		s.entries[key] = e
+		s.puts++
+	} else {
+		s.refreshes++
+	}
+	e.Value = value
+	e.Refreshed = now
+	if ttl > 0 {
+		e.Expires = now.Add(ttl)
+	} else {
+		e.Expires = time.Time{}
+	}
+	return isNew
+}
+
+// Upsert atomically inserts or merges an entry. fn receives the old value
+// (zero value if absent) and whether a live entry existed, and returns the
+// new value. It reports whether the entry was newly created.
+func (s *Store[V]) Upsert(key string, ttl time.Duration, fn func(old V, exists bool) V) bool {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if ok && e.Expired(now) {
+		delete(s.entries, key)
+		ok = false
+	}
+	var old V
+	if ok {
+		old = e.Value
+	} else {
+		e = &Entry[V]{Key: key, Inserted: now}
+		s.entries[key] = e
+	}
+	e.Value = fn(old, ok)
+	e.Refreshed = now
+	if ttl > 0 {
+		e.Expires = now.Add(ttl)
+	} else {
+		e.Expires = time.Time{}
+	}
+	if ok {
+		s.refreshes++
+	} else {
+		s.puts++
+	}
+	return !ok
+}
+
+// Touch extends the deadline of an existing live entry without changing its
+// value, reporting whether the entry was found.
+func (s *Store[V]) Touch(key string, ttl time.Duration) bool {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || e.Expired(now) {
+		return false
+	}
+	e.Refreshed = now
+	if ttl > 0 {
+		e.Expires = now.Add(ttl)
+	} else {
+		e.Expires = time.Time{}
+	}
+	s.refreshes++
+	return true
+}
+
+// PutIfAbsent inserts the entry only if no live entry exists under key. It
+// returns the value now stored (the existing one on conflict) and whether
+// the insert happened. Unlike Put, a conflict leaves the existing entry
+// completely untouched — no refresh, no deadline extension.
+func (s *Store[V]) PutIfAbsent(key string, value V, ttl time.Duration) (V, bool) {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok && !e.Expired(now) {
+		return e.Value, false
+	}
+	e := &Entry[V]{Key: key, Value: value, Inserted: now, Refreshed: now}
+	if ttl > 0 {
+		e.Expires = now.Add(ttl)
+	}
+	s.entries[key] = e
+	s.puts++
+	return value, true
+}
+
+// Get returns the live value for key.
+func (s *Store[V]) Get(key string) (V, bool) {
+	now := s.now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[key]
+	if !ok || e.Expired(now) {
+		var zero V
+		return zero, false
+	}
+	return e.Value, true
+}
+
+// GetEntry returns a copy of the live entry for key (value plus soft-state
+// timestamps). The copy is a snapshot: later refreshes do not alter it.
+func (s *Store[V]) GetEntry(key string) (Entry[V], bool) {
+	now := s.now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[key]
+	if !ok || e.Expired(now) {
+		return Entry[V]{}, false
+	}
+	return *e, true
+}
+
+// Delete removes an entry explicitly (the "unpublish" operation).
+func (s *Store[V]) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	delete(s.entries, key)
+	return ok
+}
+
+// Live returns snapshot copies of all non-expired entries, in unspecified
+// order.
+func (s *Store[V]) Live() []Entry[V] {
+	now := s.now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Entry[V], 0, len(s.entries))
+	for _, e := range s.entries {
+		if !e.Expired(now) {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of live entries.
+func (s *Store[V]) Len() int {
+	now := s.now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, e := range s.entries {
+		if !e.Expired(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// Sweep removes expired entries and returns how many were collected.
+func (s *Store[V]) Sweep() int {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k, e := range s.entries {
+		if e.Expired(now) {
+			delete(s.entries, k)
+			n++
+		}
+	}
+	s.expirations += int64(n)
+	return n
+}
+
+// Stats reports cumulative counters: first-time puts, refreshes and swept
+// expirations.
+func (s *Store[V]) Stats() (puts, refreshes, expirations int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.puts, s.refreshes, s.expirations
+}
+
+// Sweeper runs Sweep every interval until stop is closed. It is the
+// background counterpart to explicit sweeping and is optional: Get/Live
+// already never return expired entries.
+func (s *Store[V]) Sweeper(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Sweep()
+		case <-stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package softstate
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.UnixMilli(0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestPutGetExpire(t *testing.T) {
+	clk := newFakeClock()
+	s := New[string](clk.Now)
+	if isNew := s.Put("a", "1", time.Second); !isNew {
+		t.Error("first put should be new")
+	}
+	if isNew := s.Put("a", "2", time.Second); isNew {
+		t.Error("second put should be a refresh")
+	}
+	v, ok := s.Get("a")
+	if !ok || v != "2" {
+		t.Fatalf("get = %v %v", v, ok)
+	}
+	clk.Advance(999 * time.Millisecond)
+	if _, ok := s.Get("a"); !ok {
+		t.Error("entry expired too early")
+	}
+	clk.Advance(time.Millisecond)
+	if _, ok := s.Get("a"); ok {
+		t.Error("entry should be expired")
+	}
+	if s.Len() != 0 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if n := s.Sweep(); n != 1 {
+		t.Errorf("swept %d, want 1", n)
+	}
+}
+
+func TestRefreshExtends(t *testing.T) {
+	clk := newFakeClock()
+	s := New[int](clk.Now)
+	s.Put("k", 1, time.Second)
+	clk.Advance(900 * time.Millisecond)
+	s.Put("k", 2, time.Second) // refresh
+	clk.Advance(900 * time.Millisecond)
+	e, ok := s.GetEntry("k")
+	if !ok || e.Value != 2 {
+		t.Fatal("refresh did not extend lifetime")
+	}
+	if !e.Inserted.Equal(time.UnixMilli(0)) {
+		t.Error("refresh must preserve insertion time")
+	}
+}
+
+func TestReinsertAfterExpiry(t *testing.T) {
+	clk := newFakeClock()
+	s := New[int](clk.Now)
+	s.Put("k", 1, time.Second)
+	clk.Advance(2 * time.Second)
+	if isNew := s.Put("k", 2, time.Second); !isNew {
+		t.Error("put after expiry should count as new")
+	}
+	e, _ := s.GetEntry("k")
+	if !e.Inserted.Equal(time.UnixMilli(2000)) {
+		t.Error("expired entry must not donate its insertion time")
+	}
+}
+
+func TestImmortal(t *testing.T) {
+	clk := newFakeClock()
+	s := New[int](clk.Now)
+	s.Put("k", 1, 0)
+	clk.Advance(1000 * time.Hour)
+	if _, ok := s.Get("k"); !ok {
+		t.Error("immortal entry expired")
+	}
+}
+
+func TestTouch(t *testing.T) {
+	clk := newFakeClock()
+	s := New[int](clk.Now)
+	s.Put("k", 7, time.Second)
+	clk.Advance(900 * time.Millisecond)
+	if !s.Touch("k", time.Second) {
+		t.Fatal("touch failed")
+	}
+	clk.Advance(900 * time.Millisecond)
+	v2, ok := s.Get("k")
+	if !ok || v2 != 7 {
+		t.Error("touch did not extend without changing value")
+	}
+	if s.Touch("missing", time.Second) {
+		t.Error("touch on missing key succeeded")
+	}
+}
+
+func TestUpsertMerge(t *testing.T) {
+	clk := newFakeClock()
+	s := New[[]int](clk.Now)
+	s.Upsert("k", time.Second, func(old []int, exists bool) []int {
+		if exists {
+			t.Error("first upsert sees exists=true")
+		}
+		return []int{1}
+	})
+	s.Upsert("k", time.Second, func(old []int, exists bool) []int {
+		if !exists {
+			t.Error("second upsert sees exists=false")
+		}
+		return append(old, 2)
+	})
+	mv, _ := s.Get("k")
+	if len(mv) != 2 {
+		t.Errorf("merged value = %v", mv)
+	}
+	// Upsert over an expired entry behaves like an insert.
+	clk.Advance(2 * time.Second)
+	s.Upsert("k", time.Second, func(old []int, exists bool) []int {
+		if exists {
+			t.Error("upsert over expired entry sees exists=true")
+		}
+		return []int{9}
+	})
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	clk := newFakeClock()
+	s := New[int](clk.Now)
+	if v, inserted := s.PutIfAbsent("k", 1, time.Second); !inserted || v != 1 {
+		t.Errorf("first PutIfAbsent = %d %v", v, inserted)
+	}
+	clk.Advance(900 * time.Millisecond)
+	// Conflict: existing value returned, deadline NOT extended.
+	if v, inserted := s.PutIfAbsent("k", 2, time.Second); inserted || v != 1 {
+		t.Errorf("conflicting PutIfAbsent = %d %v", v, inserted)
+	}
+	clk.Advance(101 * time.Millisecond)
+	if _, ok := s.Get("k"); ok {
+		t.Error("conflicting PutIfAbsent extended the deadline")
+	}
+	// After expiry, insert happens again.
+	if v, inserted := s.PutIfAbsent("k", 3, time.Second); !inserted || v != 3 {
+		t.Errorf("post-expiry PutIfAbsent = %d %v", v, inserted)
+	}
+}
+
+func TestDeleteAndLive(t *testing.T) {
+	clk := newFakeClock()
+	s := New[int](clk.Now)
+	s.Put("a", 1, time.Second)
+	s.Put("b", 2, time.Second)
+	s.Put("c", 3, time.Millisecond)
+	clk.Advance(500 * time.Millisecond)
+	if !s.Delete("a") {
+		t.Error("delete existing failed")
+	}
+	if s.Delete("a") {
+		t.Error("double delete succeeded")
+	}
+	live := s.Live()
+	if len(live) != 1 || live[0].Key != "b" {
+		t.Errorf("live = %v", live)
+	}
+}
+
+func TestStats(t *testing.T) {
+	clk := newFakeClock()
+	s := New[int](clk.Now)
+	s.Put("a", 1, time.Second)
+	s.Put("a", 2, time.Second)
+	s.Put("b", 1, time.Millisecond)
+	clk.Advance(time.Second)
+	s.Sweep()
+	puts, refreshes, exps := s.Stats()
+	if puts != 2 || refreshes != 1 || exps != 2 {
+		t.Errorf("stats = %d %d %d, want 2 1 2", puts, refreshes, exps)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New[int](nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := string(rune('a' + g%4))
+			for i := 0; i < 1000; i++ {
+				s.Put(key, i, time.Minute)
+				s.Get(key)
+				s.Live()
+				if i%100 == 0 {
+					s.Sweep()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 4 {
+		t.Errorf("len = %d, want 4", s.Len())
+	}
+}
+
+// Property: availability follows the soft-state rule — an entry is visible
+// iff it was refreshed within its TTL.
+func TestPropertySoftState(t *testing.T) {
+	f := func(ttlMs uint16, advanceMs uint16) bool {
+		ttl := time.Duration(ttlMs%5000+1) * time.Millisecond
+		adv := time.Duration(advanceMs%10000) * time.Millisecond
+		clk := newFakeClock()
+		s := New[int](clk.Now)
+		s.Put("k", 1, ttl)
+		clk.Advance(adv)
+		_, ok := s.Get("k")
+		return ok == (adv < ttl)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweeper(t *testing.T) {
+	s := New[int](nil)
+	s.Put("k", 1, time.Millisecond)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		s.Sweeper(5*time.Millisecond, stop)
+		close(done)
+	}()
+	deadline := time.After(2 * time.Second)
+	for {
+		if _, _, exps := s.Stats(); exps > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("sweeper never swept")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,245 @@
+// Package topology generates and analyzes the node link topologies over
+// which the Unified Peer-to-Peer Database Framework is evaluated (thesis
+// Ch. 6): ring, tree, random graph, power-law (preferential attachment) and
+// 2-D grid. A query is insensitive to link topology (Ch. 3); the topology
+// only shapes the scope's reach and cost.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is an undirected graph over nodes 0..N-1.
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// New returns an edgeless graph with n nodes.
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge (a, b); duplicate and self edges are
+// ignored.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b || a < 0 || b < 0 || a >= g.n || b >= g.n {
+		return
+	}
+	for _, x := range g.adj[a] {
+		if x == b {
+			return
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+// Neighbors returns the adjacency list of node i (shared slice; do not
+// mutate).
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// Degree returns the degree of node i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int {
+	sum := 0
+	for _, a := range g.adj {
+		sum += len(a)
+	}
+	return sum / 2
+}
+
+// Ring returns a cycle of n nodes — the canonical loop-detection topology.
+func Ring(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Line returns a chain of n nodes, used by the pipelining experiments.
+func Line(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Tree returns a complete k-ary tree with n nodes rooted at 0 — the
+// hierarchical topology of DNS/LDAP-style systems.
+func Tree(n, fanout int) *Graph {
+	if fanout < 1 {
+		fanout = 2
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, (i-1)/fanout)
+	}
+	return g
+}
+
+// Grid2D returns a rows×cols mesh.
+func Grid2D(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Random returns a connected random graph: a random spanning tree plus
+// extra random edges until the average degree is approximately avgDegree.
+// The generator is deterministic in seed.
+func Random(n int, avgDegree float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		// Attach each node to a random earlier node: random spanning tree.
+		g.AddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	wantEdges := int(avgDegree * float64(n) / 2)
+	// A simple graph on n nodes cannot exceed n(n-1)/2 edges; without the
+	// cap a high requested degree on a tiny graph would loop forever.
+	if maxEdges := n * (n - 1) / 2; wantEdges > maxEdges {
+		wantEdges = maxEdges
+	}
+	for g.Edges() < wantEdges {
+		a, b := rng.Intn(n), rng.Intn(n)
+		g.AddEdge(a, b)
+	}
+	return g
+}
+
+// PowerLaw returns a Barabási–Albert preferential-attachment graph where
+// each new node attaches m edges — the Gnutella-like topology.
+func PowerLaw(n, m int, seed int64) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	// Endpoint pool: each node appears once per incident edge, so sampling
+	// uniformly from the pool is proportional to degree.
+	var pool []int
+	start := m + 1
+	if start > n {
+		start = n
+	}
+	for i := 0; i < start; i++ {
+		for j := i + 1; j < start; j++ {
+			g.AddEdge(i, j)
+			pool = append(pool, i, j)
+		}
+	}
+	for i := start; i < n; i++ {
+		added := 0
+		for attempts := 0; added < m && attempts < 50*m; attempts++ {
+			t := pool[rng.Intn(len(pool))]
+			before := g.Degree(i)
+			g.AddEdge(i, t)
+			if g.Degree(i) > before {
+				pool = append(pool, i, t)
+				added++
+			}
+		}
+	}
+	return g
+}
+
+// BFS returns the hop distance from src to every node (-1 if unreachable).
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether every node is reachable from node 0.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum BFS distance from src (-1 if the graph
+// is disconnected from src).
+func (g *Graph) Eccentricity(src int) int {
+	maxd := 0
+	for _, d := range g.BFS(src) {
+		if d < 0 {
+			return -1
+		}
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// Diameter returns the longest shortest path (O(V·E); fine at bench scale).
+func (g *Graph) Diameter() int {
+	maxd := 0
+	for i := 0; i < g.n; i++ {
+		e := g.Eccentricity(i)
+		if e < 0 {
+			return -1
+		}
+		if e > maxd {
+			maxd = e
+		}
+	}
+	return maxd
+}
+
+// ReachableWithin returns how many nodes lie within radius hops of src
+// (including src itself) — the size of a radius-scoped query's horizon.
+func (g *Graph) ReachableWithin(src, radius int) int {
+	n := 0
+	for _, d := range g.BFS(src) {
+		if d >= 0 && d <= radius {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, e=%d)", g.n, g.Edges())
+}

@@ -1,0 +1,177 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRing(t *testing.T) {
+	g := Ring(5)
+	if g.Edges() != 5 {
+		t.Errorf("edges = %d", g.Edges())
+	}
+	for i := 0; i < 5; i++ {
+		if g.Degree(i) != 2 {
+			t.Errorf("degree(%d) = %d", i, g.Degree(i))
+		}
+	}
+	if d := g.Diameter(); d != 2 {
+		t.Errorf("diameter = %d, want 2", d)
+	}
+	if !g.Connected() {
+		t.Error("ring disconnected")
+	}
+}
+
+func TestLine(t *testing.T) {
+	g := Line(6)
+	if g.Edges() != 5 {
+		t.Errorf("edges = %d", g.Edges())
+	}
+	if d := g.Diameter(); d != 5 {
+		t.Errorf("diameter = %d", d)
+	}
+	if g.Degree(0) != 1 || g.Degree(3) != 2 {
+		t.Error("line degrees wrong")
+	}
+}
+
+func TestTree(t *testing.T) {
+	g := Tree(7, 2) // complete binary tree
+	if g.Edges() != 6 {
+		t.Errorf("edges = %d", g.Edges())
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("root degree = %d", g.Degree(0))
+	}
+	if !g.Connected() {
+		t.Error("tree disconnected")
+	}
+	if e := g.Eccentricity(0); e != 2 {
+		t.Errorf("root eccentricity = %d", e)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(3, 4)
+	if g.N() != 12 {
+		t.Errorf("n = %d", g.N())
+	}
+	if g.Edges() != 3*3+2*4 {
+		t.Errorf("edges = %d", g.Edges())
+	}
+	if d := g.Diameter(); d != 5 {
+		t.Errorf("diameter = %d", d)
+	}
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	g1 := Random(64, 4, 42)
+	g2 := Random(64, 4, 42)
+	if !g1.Connected() {
+		t.Error("random graph disconnected")
+	}
+	if g1.Edges() != g2.Edges() {
+		t.Error("same seed, different graphs")
+	}
+	if g1.Edges() < 64 {
+		t.Errorf("edges = %d, want >= n for avg degree 4", g1.Edges())
+	}
+	g3 := Random(64, 4, 43)
+	if g1.Edges() == g3.Edges() && sameAdj(g1, g3) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func sameAdj(a, b *Graph) bool {
+	for i := 0; i < a.N(); i++ {
+		if len(a.Neighbors(i)) != len(b.Neighbors(i)) {
+			return false
+		}
+		for j, x := range a.Neighbors(i) {
+			if b.Neighbors(i)[j] != x {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPowerLaw(t *testing.T) {
+	g := PowerLaw(200, 2, 7)
+	if !g.Connected() {
+		t.Error("power-law graph disconnected")
+	}
+	// Hubs exist: the max degree should far exceed the attachment count.
+	maxDeg := 0
+	for i := 0; i < g.N(); i++ {
+		if g.Degree(i) > maxDeg {
+			maxDeg = g.Degree(i)
+		}
+	}
+	if maxDeg < 8 {
+		t.Errorf("max degree = %d, expected a hub", maxDeg)
+	}
+}
+
+func TestBFSAndReachable(t *testing.T) {
+	g := Line(10)
+	dist := g.BFS(0)
+	for i, d := range dist {
+		if d != i {
+			t.Errorf("dist[%d] = %d", i, d)
+		}
+	}
+	if got := g.ReachableWithin(0, 3); got != 4 {
+		t.Errorf("reachable = %d, want 4", got)
+	}
+	if got := g.ReachableWithin(5, 2); got != 5 {
+		t.Errorf("reachable mid = %d, want 5", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	if g.Connected() {
+		t.Error("claims connected")
+	}
+	if g.Diameter() != -1 {
+		t.Error("diameter of disconnected graph should be -1")
+	}
+}
+
+func TestAddEdgeGuards(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 0)  // self loop ignored
+	g.AddEdge(0, 5)  // out of range ignored
+	g.AddEdge(-1, 1) // out of range ignored
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate ignored
+	g.AddEdge(0, 1) // duplicate ignored
+	if g.Edges() != 1 {
+		t.Errorf("edges = %d, want 1", g.Edges())
+	}
+}
+
+func TestPropertyGeneratorsConnected(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		if !Random(n, 3, seed).Connected() {
+			return false
+		}
+		return PowerLaw(n, 2, seed).Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ring diameter is floor(n/2).
+func TestPropertyRingDiameter(t *testing.T) {
+	for n := 3; n <= 20; n++ {
+		if d := Ring(n).Diameter(); d != n/2 {
+			t.Errorf("ring(%d) diameter = %d, want %d", n, d, n/2)
+		}
+	}
+}

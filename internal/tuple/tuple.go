@@ -1,0 +1,210 @@
+// Package tuple defines the data model of the hyper registry (thesis
+// Ch. 4): a tuple associates a content link — an HTTP URL under which the
+// current content of a remote provider can be retrieved — with type and
+// context attributes, soft-state timestamps, and an optional cached copy of
+// the content.
+package tuple
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"wsda/internal/xmldoc"
+)
+
+// Well-known tuple types. Arbitrary other types (any MIME type) are legal;
+// these are the ones the discovery architecture itself uses.
+const (
+	TypeService = "service" // SWSDL service description
+	TypeNode    = "node"    // P2P registry node advertisement
+	TypeData    = "data"    // application payload
+)
+
+// Tuple is one entry of a registry's tuple set.
+//
+// The four timestamps implement the soft-state and caching model of thesis
+// Ch. 4.6–4.7: TS1 is the time of first publication, TS2 the time of the
+// most recent refresh (re-publication), TS3 the expiry deadline after which
+// the tuple is dead and may be swept, and TS4 the time the cached Content
+// copy was obtained from the provider (zero if Content is nil).
+type Tuple struct {
+	Link    string // content link (primary key)
+	Type    string // content type, e.g. "service"
+	Context string // deployment-model context, e.g. "child", "cms-experiment"
+	Owner   string // publishing principal (informational)
+
+	TS1 time.Time // first published
+	TS2 time.Time // last refreshed
+	TS3 time.Time // expires (soft-state deadline)
+	TS4 time.Time // content cached at (zero if no cached content)
+
+	Content  *xmldoc.Node      // cached content copy (nil if link-only)
+	Metadata map[string]string // free-form annotations
+}
+
+// Validation errors.
+var (
+	ErrNoLink  = errors.New("tuple: missing content link")
+	ErrNoType  = errors.New("tuple: missing type")
+	ErrExpired = errors.New("tuple: already expired at publication time")
+)
+
+// Validate checks structural invariants at publication time.
+func (t *Tuple) Validate(now time.Time) error {
+	if t.Link == "" {
+		return ErrNoLink
+	}
+	if t.Type == "" {
+		return ErrNoType
+	}
+	if !t.TS3.IsZero() && !t.TS3.After(now) {
+		return fmt.Errorf("%w: expires %v, now %v", ErrExpired, t.TS3, now)
+	}
+	return nil
+}
+
+// Expired reports whether the tuple's soft-state deadline has passed.
+func (t *Tuple) Expired(now time.Time) bool {
+	return !t.TS3.IsZero() && !t.TS3.After(now)
+}
+
+// HasContent reports whether a cached content copy is present.
+func (t *Tuple) HasContent() bool { return t.Content != nil }
+
+// ContentAge returns how stale the cached content copy is, and false if
+// there is no cached copy at all.
+func (t *Tuple) ContentAge(now time.Time) (time.Duration, bool) {
+	if t.Content == nil || t.TS4.IsZero() {
+		return 0, false
+	}
+	return now.Sub(t.TS4), true
+}
+
+// Clone returns a deep copy (content tree included).
+func (t *Tuple) Clone() *Tuple {
+	c := *t
+	if t.Content != nil {
+		c.Content = t.Content.Clone()
+	}
+	if t.Metadata != nil {
+		c.Metadata = make(map[string]string, len(t.Metadata))
+		for k, v := range t.Metadata {
+			c.Metadata[k] = v
+		}
+	}
+	return &c
+}
+
+// ToXML renders the tuple as a <tuple> element in the form the registry's
+// query interface exposes: attributes for link/type/context and timestamps,
+// the cached content under <content>.
+func (t *Tuple) ToXML() *xmldoc.Node {
+	el := xmldoc.NewElement("tuple")
+	el.SetAttr("link", t.Link)
+	el.SetAttr("type", t.Type)
+	if t.Context != "" {
+		el.SetAttr("ctx", t.Context)
+	}
+	if t.Owner != "" {
+		el.SetAttr("owner", t.Owner)
+	}
+	setTS := func(name string, ts time.Time) {
+		if !ts.IsZero() {
+			el.SetAttr(name, strconv.FormatInt(ts.UnixMilli(), 10))
+		}
+	}
+	setTS("ts1", t.TS1)
+	setTS("ts2", t.TS2)
+	setTS("ts3", t.TS3)
+	setTS("ts4", t.TS4)
+	metaKeys := make([]string, 0, len(t.Metadata))
+	for k := range t.Metadata {
+		metaKeys = append(metaKeys, k)
+	}
+	sort.Strings(metaKeys)
+	for _, k := range metaKeys {
+		m := xmldoc.NewElement("meta")
+		m.SetAttr("name", k)
+		m.SetAttr("value", t.Metadata[k])
+		el.AppendChild(m)
+	}
+	content := xmldoc.NewElement("content")
+	if t.Content != nil {
+		body := t.Content
+		if body.Kind == xmldoc.DocumentNode {
+			body = body.DocumentElement()
+		}
+		if body != nil {
+			content.AppendChild(body.Clone())
+		}
+	}
+	el.AppendChild(content)
+	return el
+}
+
+// FromXML parses a <tuple> element produced by ToXML.
+func FromXML(el *xmldoc.Node) (*Tuple, error) {
+	if el.Kind == xmldoc.DocumentNode {
+		el = el.DocumentElement()
+	}
+	if el == nil || el.LocalName() != "tuple" {
+		return nil, fmt.Errorf("tuple: expected <tuple> element")
+	}
+	t := &Tuple{}
+	t.Link, _ = el.Attr("link")
+	t.Type, _ = el.Attr("type")
+	t.Context, _ = el.Attr("ctx")
+	t.Owner, _ = el.Attr("owner")
+	getTS := func(name string) (time.Time, error) {
+		s, ok := el.Attr(name)
+		if !ok {
+			return time.Time{}, nil
+		}
+		ms, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("tuple: bad timestamp %s=%q", name, s)
+		}
+		return time.UnixMilli(ms), nil
+	}
+	var err error
+	if t.TS1, err = getTS("ts1"); err != nil {
+		return nil, err
+	}
+	if t.TS2, err = getTS("ts2"); err != nil {
+		return nil, err
+	}
+	if t.TS3, err = getTS("ts3"); err != nil {
+		return nil, err
+	}
+	if t.TS4, err = getTS("ts4"); err != nil {
+		return nil, err
+	}
+	for _, c := range el.ChildElements() {
+		switch c.LocalName() {
+		case "meta":
+			if t.Metadata == nil {
+				t.Metadata = make(map[string]string)
+			}
+			k, _ := c.Attr("name")
+			v, _ := c.Attr("value")
+			t.Metadata[k] = v
+		case "content":
+			if inner := firstElem(c); inner != nil {
+				t.Content = inner.Clone()
+			}
+		}
+	}
+	return t, nil
+}
+
+func firstElem(n *xmldoc.Node) *xmldoc.Node {
+	for _, c := range n.Children {
+		if c.Kind == xmldoc.ElementNode {
+			return c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package tuple
+
+import (
+	"testing"
+	"time"
+
+	"wsda/internal/xmldoc"
+)
+
+func sampleTuple() *Tuple {
+	return &Tuple{
+		Link:    "http://cms.cern.ch/rc",
+		Type:    TypeService,
+		Context: "child",
+		Owner:   "cms",
+		TS1:     time.UnixMilli(1000),
+		TS2:     time.UnixMilli(2000),
+		TS3:     time.UnixMilli(90000),
+		TS4:     time.UnixMilli(2500),
+		Content: xmldoc.MustParse(`<service name="rc"><load>0.5</load></service>`).DocumentElement(),
+		Metadata: map[string]string{
+			"quality": "gold",
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	now := time.UnixMilli(5000)
+	tp := sampleTuple()
+	if err := tp.Validate(now); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	tp2 := sampleTuple()
+	tp2.Link = ""
+	if err := tp2.Validate(now); err != ErrNoLink {
+		t.Errorf("missing link: %v", err)
+	}
+	tp3 := sampleTuple()
+	tp3.Type = ""
+	if err := tp3.Validate(now); err != ErrNoType {
+		t.Errorf("missing type: %v", err)
+	}
+	tp4 := sampleTuple()
+	tp4.TS3 = time.UnixMilli(4000)
+	if err := tp4.Validate(now); err == nil {
+		t.Error("expired tuple accepted")
+	}
+}
+
+func TestExpired(t *testing.T) {
+	tp := sampleTuple()
+	if tp.Expired(time.UnixMilli(80000)) {
+		t.Error("not yet expired")
+	}
+	if !tp.Expired(time.UnixMilli(90000)) {
+		t.Error("deadline reached means expired")
+	}
+	tp.TS3 = time.Time{}
+	if tp.Expired(time.UnixMilli(1 << 40)) {
+		t.Error("immortal tuple expired")
+	}
+}
+
+func TestContentAge(t *testing.T) {
+	tp := sampleTuple()
+	age, ok := tp.ContentAge(time.UnixMilli(3500))
+	if !ok || age != time.Second {
+		t.Errorf("age = %v ok=%v", age, ok)
+	}
+	tp.Content = nil
+	if _, ok := tp.ContentAge(time.UnixMilli(3500)); ok {
+		t.Error("no content should have no age")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	tp := sampleTuple()
+	el := tp.ToXML()
+	got, err := FromXML(el)
+	if err != nil {
+		t.Fatalf("FromXML: %v", err)
+	}
+	if got.Link != tp.Link || got.Type != tp.Type || got.Context != tp.Context || got.Owner != tp.Owner {
+		t.Errorf("attrs mismatch: %+v", got)
+	}
+	if !got.TS1.Equal(tp.TS1) || !got.TS2.Equal(tp.TS2) || !got.TS3.Equal(tp.TS3) || !got.TS4.Equal(tp.TS4) {
+		t.Errorf("timestamps mismatch: %+v", got)
+	}
+	if got.Metadata["quality"] != "gold" {
+		t.Errorf("metadata = %v", got.Metadata)
+	}
+	if got.Content == nil || !got.Content.Equal(tp.Content) {
+		t.Errorf("content mismatch: %v", got.Content)
+	}
+}
+
+func TestXMLNoContent(t *testing.T) {
+	tp := sampleTuple()
+	tp.Content = nil
+	tp.TS4 = time.Time{}
+	got, err := FromXML(tp.ToXML())
+	if err != nil {
+		t.Fatalf("FromXML: %v", err)
+	}
+	if got.Content != nil {
+		t.Error("expected nil content")
+	}
+	if !got.TS4.IsZero() {
+		t.Error("expected zero TS4")
+	}
+}
+
+func TestFromXMLErrors(t *testing.T) {
+	if _, err := FromXML(xmldoc.NewElement("nottuple")); err == nil {
+		t.Error("wrong element accepted")
+	}
+	el := xmldoc.NewElement("tuple")
+	el.SetAttr("ts1", "notanumber")
+	if _, err := FromXML(el); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	tp := sampleTuple()
+	c := tp.Clone()
+	c.Content.SetAttr("name", "mutated")
+	c.Metadata["quality"] = "lead"
+	if v, _ := tp.Content.Attr("name"); v != "rc" {
+		t.Error("clone shares content tree")
+	}
+	if tp.Metadata["quality"] != "gold" {
+		t.Error("clone shares metadata map")
+	}
+}
+
+func TestToXMLDocumentContent(t *testing.T) {
+	tp := sampleTuple()
+	tp.Content = xmldoc.MustParse("<x><y/></x>") // document node
+	el := tp.ToXML()
+	got, err := FromXML(el)
+	if err != nil {
+		t.Fatalf("FromXML: %v", err)
+	}
+	if got.Content == nil || got.Content.Name != "x" {
+		t.Errorf("document content not unwrapped: %v", got.Content)
+	}
+}

@@ -1,0 +1,170 @@
+package updf
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/simnet"
+	"wsda/internal/topology"
+)
+
+// TestMessageLossStillTerminates injects heavy message loss and checks
+// that queries still terminate (via the abort timeout) with partial
+// results instead of hanging — the reliability property of thesis Ch. 6.6.
+func TestMessageLossStillTerminates(t *testing.T) {
+	var dropCounter atomic.Int64
+	net := simnet.New(simnet.Config{
+		Drop: func(m *pdp.Message) bool {
+			// Never drop at the originator boundary, so the run is not
+			// trivially empty; drop ~30% of inter-node traffic (Drop is
+			// called concurrently, so no shared rand.Rand here).
+			if m.From == "orig" || m.To == "orig" {
+				return false
+			}
+			return dropCounter.Add(1)%10 < 3
+		},
+	})
+	defer net.Close()
+	c := testCluster(t, topology.Random(16, 4, 6), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	done := make(chan *ResultSet, 1)
+	go func() {
+		rs, err := o.Submit(QuerySpec{
+			Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+			LoopTimeout: 2 * time.Second, AbortTimeout: 300 * time.Millisecond,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rs
+	}()
+	select {
+	case rs := <-done:
+		if len(rs.Items) == 0 && !rs.Aborted {
+			t.Error("no results and no abort — silent failure")
+		}
+		if len(rs.Items) > 16 {
+			t.Errorf("hits = %d > nodes", len(rs.Items))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query hung under message loss")
+	}
+}
+
+// TestDeadNeighborIgnored checks that a neighbor that disappeared from the
+// network does not break queries: sends to it fail silently and the abort
+// timeout reclaims the subtree.
+func TestDeadNeighborIgnored(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Line(3), net)
+	defer c.Close()
+	// node/1 names a phantom neighbor.
+	c.Nodes[1].SetNeighbors(append(c.Nodes[1].Neighbors(), "node/ghost"))
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+	rs := submit(t, o, QuerySpec{
+		Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+		LoopTimeout: 2 * time.Second, AbortTimeout: 500 * time.Millisecond,
+	})
+	if len(rs.Items) != 3 {
+		t.Errorf("hits = %d, want 3", len(rs.Items))
+	}
+}
+
+// TestPropertyExactlyOnceAcrossTopologies is the loop-detection invariant
+// over randomized topologies: an unbounded flood evaluates every node
+// exactly once and collects exactly one answer per node.
+func TestPropertyExactlyOnceAcrossTopologies(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, build := range []func() *topology.Graph{
+			func() *topology.Graph { return topology.Random(12, 3, seed) },
+			func() *topology.Graph { return topology.PowerLaw(12, 2, seed) },
+		} {
+			g := build()
+			net := newTestNet()
+			c := testCluster(t, g, net)
+			o, _ := NewOriginator("orig", net, nil)
+			rs, err := o.Submit(QuerySpec{
+				Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+			})
+			st := c.TotalStats()
+			o.Close()
+			c.Close()
+			net.Close()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if len(rs.Items) != 12 || st.Evals != 12 {
+				t.Errorf("seed %d: hits=%d evals=%d want 12/12 (dups=%d)",
+					seed, len(rs.Items), st.Evals, st.Duplicates)
+			}
+		}
+	}
+}
+
+// TestPropertyRadiusMatchesBFS checks that radius scoping reaches exactly
+// the BFS horizon when links have uniform latency. (With wildly skewed
+// latencies the horizon is only an upper bound: a query can first reach a
+// node over a longer path and the loop-detected duplicate arriving later
+// over the shorter path cannot restore the larger hop budget — the classic
+// TTL-scoping approximation of Gnutella-style floods.)
+func TestPropertyRadiusMatchesBFS(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := topology.Random(14, 3, seed)
+		net := simnet.New(simnet.Config{Delay: simnet.UniformDelay(2 * time.Millisecond)})
+		c := testCluster(t, g, net)
+		o, _ := NewOriginator("orig", net, nil)
+		for radius := 0; radius <= 3; radius++ {
+			want := g.ReachableWithin(0, radius)
+			rs, err := o.Submit(QuerySpec{
+				Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: radius,
+			})
+			if err != nil {
+				t.Fatalf("seed %d r %d: %v", seed, radius, err)
+			}
+			if len(rs.Items) != want {
+				t.Errorf("seed %d radius %d: hits=%d, BFS horizon=%d", seed, radius, len(rs.Items), want)
+			}
+		}
+		o.Close()
+		c.Close()
+		net.Close()
+	}
+}
+
+// TestAllResponseModesAgree checks that the four response modes return the
+// same multiset of items on the same network.
+func TestAllResponseModesAgree(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Random(10, 3, 21), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	counts := map[pdp.ResponseMode]map[string]int{}
+	for _, mode := range []pdp.ResponseMode{pdp.Routed, pdp.Direct, pdp.Metadata, pdp.Referral} {
+		rs := submit(t, o, QuerySpec{Query: allNames, Entry: "node/0", Mode: mode, Radius: -1})
+		m := map[string]int{}
+		for _, n := range names(rs) {
+			m[n]++
+		}
+		counts[mode] = m
+	}
+	want := counts[pdp.Routed]
+	if len(want) != 10 {
+		t.Fatalf("routed found %d distinct items", len(want))
+	}
+	for mode, got := range counts {
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("mode %s disagrees: %v vs %v", mode, got, want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package updf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/softstate"
+)
+
+// MembershipConfig configures soft-state neighbor discovery. Nodes learn
+// peers by pinging bootstrap seeds and the peers referenced in pongs; a
+// peer stays in the neighbor set only while it keeps answering within the
+// liveness TTL. Dynamic, fluid collaborations — nodes joining and leaving
+// frequently — are exactly the environment the thesis targets (Ch. 1.1),
+// and soft state makes departure handling automatic.
+type MembershipConfig struct {
+	// Seeds are bootstrap addresses pinged on every round.
+	Seeds []string
+	// Period is the gossip round interval. Default 1s.
+	Period time.Duration
+	// TTL is how long a peer stays live without a fresh pong. Default
+	// 3×Period.
+	TTL time.Duration
+	// MaxNeighbors caps the published neighbor set (0 = unlimited).
+	MaxNeighbors int
+	// SampleSize bounds how many known candidates are pinged per round in
+	// addition to the seeds (0 = all).
+	SampleSize int
+}
+
+// Membership runs neighbor discovery for a node.
+type Membership struct {
+	node *Node
+	cfg  MembershipConfig
+
+	alive *softstate.Store[struct{}]
+
+	mu         sync.Mutex
+	candidates map[string]bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartMembership begins gossip rounds. The node's neighbor set is
+// rewritten from the live peer table after every round; manual
+// SetNeighbors calls will be overwritten while membership runs.
+func (n *Node) StartMembership(cfg MembershipConfig) (*Membership, error) {
+	if cfg.Period == 0 {
+		cfg.Period = time.Second
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = 3 * cfg.Period
+	}
+	m := &Membership{
+		node:       n,
+		cfg:        cfg,
+		alive:      softstate.New[struct{}](n.now),
+		candidates: make(map[string]bool),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for _, s := range cfg.Seeds {
+		if s != n.cfg.Addr {
+			m.candidates[s] = true
+		}
+	}
+	n.mu.Lock()
+	if n.membership != nil {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("updf: membership already running on %s", n.cfg.Addr)
+	}
+	n.membership = m
+	n.mu.Unlock()
+	go m.loop()
+	return m, nil
+}
+
+// Stop ends the gossip rounds. The current neighbor set stays in place and
+// ages out naturally on the peers.
+func (m *Membership) Stop() {
+	close(m.stop)
+	<-m.done
+	m.node.mu.Lock()
+	m.node.membership = nil
+	m.node.mu.Unlock()
+}
+
+// LivePeers returns the currently live peer addresses, sorted.
+func (m *Membership) LivePeers() []string {
+	entries := m.alive.Live()
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.Key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *Membership) loop() {
+	defer close(m.done)
+	// An immediate first round accelerates bootstrap.
+	m.round()
+	t := time.NewTicker(m.cfg.Period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.round()
+			m.publishNeighbors()
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// round pings the seeds plus a sample of known candidates.
+func (m *Membership) round() {
+	targets := map[string]bool{}
+	for _, s := range m.cfg.Seeds {
+		if s != m.node.cfg.Addr {
+			targets[s] = true
+		}
+	}
+	m.mu.Lock()
+	sampled := 0
+	for c := range m.candidates {
+		if m.cfg.SampleSize > 0 && sampled >= m.cfg.SampleSize {
+			break
+		}
+		targets[c] = true
+		sampled++
+	}
+	m.mu.Unlock()
+	for t := range targets {
+		_ = m.node.cfg.Net.Send(&pdp.Message{
+			Kind: pdp.KindPing, TxID: "membership", From: m.node.cfg.Addr, To: t,
+		})
+	}
+	m.alive.Sweep()
+}
+
+// observe records gossip evidence: a ping or pong from a peer proves it
+// alive; pong-carried neighbor lists seed future rounds.
+func (m *Membership) observe(from string, neighbors []string, provenAlive bool) {
+	if from != "" && from != m.node.cfg.Addr {
+		m.mu.Lock()
+		m.candidates[from] = true
+		m.mu.Unlock()
+		if provenAlive {
+			m.alive.Put(from, struct{}{}, m.cfg.TTL)
+		}
+	}
+	m.mu.Lock()
+	for _, nb := range neighbors {
+		if nb != "" && nb != m.node.cfg.Addr {
+			m.candidates[nb] = true
+		}
+	}
+	m.mu.Unlock()
+}
+
+// publishNeighbors rewrites the node's neighbor set from the live table.
+func (m *Membership) publishNeighbors() {
+	live := m.LivePeers()
+	if m.cfg.MaxNeighbors > 0 && len(live) > m.cfg.MaxNeighbors {
+		live = live[:m.cfg.MaxNeighbors]
+	}
+	m.node.SetNeighbors(live)
+}

@@ -1,0 +1,264 @@
+package updf
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/simnet"
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+// memberNode builds a node with one tuple and no static neighbors.
+func memberNode(t *testing.T, net pdp.Network, i int) *Node {
+	t.Helper()
+	r := registry.New(registry.Config{Name: fmt.Sprintf("mreg%d", i), DefaultTTL: time.Hour})
+	content := xmldoc.MustParse(fmt.Sprintf(`<service name="msvc%d"/>`, i)).DocumentElement()
+	if _, err := r.Publish(&tuple.Tuple{
+		Link: fmt.Sprintf("http://m/%d", i), Type: tuple.TypeService, Content: content,
+	}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(Config{
+		Addr: fmt.Sprintf("node/%d", i), Net: net, Registry: r,
+		AbortFloor: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func waitFor(t *testing.T, deadline time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestMembershipBootstrap(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	const n = 6
+	nodes := make([]*Node, n)
+	mems := make([]*Membership, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = memberNode(t, net, i)
+		defer nodes[i].Close()
+	}
+	// Everyone bootstraps off node/0 only; transitive discovery must
+	// connect the rest.
+	for i := 0; i < n; i++ {
+		m, err := nodes[i].StartMembership(MembershipConfig{
+			Seeds:  []string{"node/0"},
+			Period: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mems[i] = m
+	}
+	defer func() {
+		for _, m := range mems {
+			if m != nil {
+				m.Stop()
+			}
+		}
+	}()
+
+	waitFor(t, 3*time.Second, func() bool {
+		for i := 0; i < n; i++ {
+			if len(nodes[i].Neighbors()) < n-1 {
+				return false
+			}
+		}
+		return true
+	}, "full mesh never formed")
+
+	// A network query now reaches everyone without any static wiring.
+	o, err := NewOriginator("orig-m", net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	rs, err := o.Submit(QuerySpec{
+		Query: `for $s in //service return string($s/@name)`,
+		Entry: "node/3", Mode: pdp.Routed, Radius: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Items) != n {
+		t.Errorf("hits = %d, want %d", len(rs.Items), n)
+	}
+}
+
+func TestMembershipChurn(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	const n = 5
+	nodes := make([]*Node, n)
+	mems := make([]*Membership, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = memberNode(t, net, i)
+	}
+	for i := 0; i < n; i++ {
+		m, err := nodes[i].StartMembership(MembershipConfig{
+			Seeds:  []string{"node/0", "node/1"},
+			Period: 15 * time.Millisecond,
+			TTL:    50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mems[i] = m
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		return len(nodes[2].Neighbors()) >= n-1
+	}, "mesh never formed")
+
+	// node/4 departs abruptly (no goodbye).
+	mems[4].Stop()
+	nodes[4].Close()
+	mems[4] = nil
+
+	waitFor(t, 3*time.Second, func() bool {
+		for _, nb := range nodes[2].Neighbors() {
+			if nb == "node/4" {
+				return false
+			}
+		}
+		return len(nodes[2].Neighbors()) >= 3
+	}, "departed peer never aged out")
+
+	// Queries still cover the survivors.
+	o, _ := NewOriginator("orig-c", net, nil)
+	defer o.Close()
+	rs, err := o.Submit(QuerySpec{
+		Query: `count(//service)`, Entry: "node/2", Mode: pdp.Routed, Radius: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Items) != n-1 {
+		t.Errorf("answers = %d, want %d survivors", len(rs.Items), n-1)
+	}
+	for i := 0; i < 4; i++ {
+		mems[i].Stop()
+		nodes[i].Close()
+	}
+}
+
+func TestMembershipDoubleStart(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	node := memberNode(t, net, 0)
+	defer node.Close()
+	m, err := node.StartMembership(MembershipConfig{Period: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.StartMembership(MembershipConfig{}); err == nil {
+		t.Error("double start accepted")
+	}
+	m.Stop()
+	// After stopping, a fresh membership may start.
+	m2, err := node.StartMembership(MembershipConfig{Period: time.Hour})
+	if err != nil {
+		t.Errorf("restart failed: %v", err)
+	}
+	m2.Stop()
+}
+
+func TestAdvertiseSelfMapsOverlay(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	const n = 4
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = memberNode(t, net, i)
+		defer nodes[i].Close()
+	}
+	for i := 0; i < n; i++ {
+		nodes[i].SetNeighbors([]string{
+			fmt.Sprintf("node/%d", (i+1)%n),
+			fmt.Sprintf("node/%d", (i+n-1)%n),
+		})
+		if err := nodes[i].AdvertiseSelf(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A network query over node tuples maps the whole overlay.
+	o, _ := NewOriginator("orig-adv", net, nil)
+	defer o.Close()
+	rs, err := o.Submit(QuerySpec{
+		Query: `for $n in /tupleset/tuple[@type="node"]/content/node
+		        return concat($n/@addr, "(", count($n/neighbor), ")")`,
+		Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Items) != n {
+		t.Fatalf("overlay map entries = %d, want %d", len(rs.Items), n)
+	}
+	// Each node orders its own results; cross-node arrival order is
+	// unspecified, so sort client-side.
+	var got []string
+	for _, it := range rs.Items {
+		got = append(got, xq.StringValue(it))
+	}
+	sort.Strings(got)
+	for i, g := range got {
+		want := fmt.Sprintf("node/%d(2)", i)
+		if g != want {
+			t.Errorf("entry %d = %q, want %q", i, g, want)
+		}
+	}
+}
+
+func TestMembershipMaxNeighbors(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	const n = 6
+	nodes := make([]*Node, n)
+	mems := make([]*Membership, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = memberNode(t, net, i)
+		defer nodes[i].Close()
+	}
+	for i := 0; i < n; i++ {
+		m, err := nodes[i].StartMembership(MembershipConfig{
+			Seeds: []string{"node/0"}, Period: 15 * time.Millisecond, MaxNeighbors: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mems[i] = m
+		defer m.Stop()
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		for i := 0; i < n; i++ {
+			if len(nodes[i].Neighbors()) == 0 {
+				return false
+			}
+		}
+		return true
+	}, "no neighbors formed")
+	time.Sleep(60 * time.Millisecond)
+	for i := 0; i < n; i++ {
+		if got := len(nodes[i].Neighbors()); got > 2 {
+			t.Errorf("node %d neighbors = %d, want <= 2", i, got)
+		}
+	}
+}

@@ -1,0 +1,602 @@
+// Package updf implements the Unified Peer-to-Peer Database Framework of
+// thesis Ch. 6: peer nodes that each hold a local hyper registry, forward
+// XQueries along a link topology under a query scope (radius, static loop
+// timeout, dynamic abort timeout, neighbor selection policy), detect loops
+// via transaction IDs in a soft-state node state table, and deliver results
+// under four response modes — routed, direct, direct-with-metadata and
+// referral — with optional cross-node pipelining.
+//
+// The framework supports both P2P models of Ch. 6.2: in the servent model
+// the originator is co-located with a node (query its own registry plus the
+// network); in the agent model the originator is a plain client that
+// submits to a remote entry node.
+package updf
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/softstate"
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+// Config configures a Node.
+type Config struct {
+	Addr     string
+	Net      pdp.Network
+	Registry *registry.Registry
+
+	// QueryOptions are applied to every local evaluation (freshness,
+	// filter scope).
+	QueryOptions registry.QueryOptions
+
+	// DefaultStateTTL bounds state-table retention when a query carries no
+	// loop timeout. Zero means 30s.
+	DefaultStateTTL time.Duration
+
+	// AbortPolicy controls how the dynamic abort timeout shrinks per hop:
+	// AbortHalve (default) gives each child half the remaining budget so
+	// answers can travel back through every level; AbortInherit passes the
+	// deadline through unchanged (the naive static variant ablated in
+	// experiment E7).
+	AbortPolicy string
+
+	// AbortFloor bounds how small halving can make the remaining budget:
+	// without a floor, a node at hop k is left budget/2^k, which dips under
+	// its own processing time on deep topologies and makes healthy nodes
+	// abort spuriously. Zero means 500ms.
+	AbortFloor time.Duration
+
+	// Seed seeds the neighbor-selection RNG; 0 derives one from the
+	// address so distinct nodes shuffle differently but deterministically.
+	Seed int64
+
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// Abort-timeout shrink policies.
+const (
+	// AbortHalve halves the remaining abort budget per hop (default).
+	AbortHalve = "halve"
+	// AbortInherit passes the deadline through unchanged.
+	AbortInherit = "inherit"
+)
+
+// Stats are cumulative node counters.
+type Stats struct {
+	QueriesSeen    int64 // query messages received
+	Duplicates     int64 // loop-detected duplicates
+	DroppedExpired int64 // queries past their loop timeout
+	Evals          int64 // local query evaluations
+	EvalErrors     int64 // local evaluations that failed
+	Forwards       int64 // query messages forwarded to neighbors
+	Aborts         int64 // transactions cut short by the abort timeout
+	LateMessages   int64 // results/receipts arriving after finalization
+}
+
+// Node is one UPDF peer. It is driven entirely by messages delivered from
+// the pdp.Network; all its sends are asynchronous.
+type Node struct {
+	cfg Config
+	now func() time.Time
+
+	mu         sync.RWMutex
+	neighbors  []string
+	membership *Membership
+
+	states *softstate.Store[*txState]
+	rng    *lockedRand
+
+	queriesSeen, duplicates, droppedExpired atomic.Int64
+	evals, evalErrors, forwards             atomic.Int64
+	aborts, lateMessages                    atomic.Int64
+}
+
+// NewNode creates a node and registers it on the network.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("updf: node needs an address")
+	}
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("updf: node needs a network")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("updf: node needs a registry")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.DefaultStateTTL == 0 {
+		cfg.DefaultStateTTL = 30 * time.Second
+	}
+	if cfg.AbortFloor == 0 {
+		cfg.AbortFloor = 500 * time.Millisecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		for _, b := range []byte(cfg.Addr) {
+			seed = seed*131 + int64(b)
+		}
+	}
+	n := &Node{
+		cfg:    cfg,
+		now:    cfg.Now,
+		states: softstate.New[*txState](cfg.Now),
+		rng:    newLockedRand(seed),
+	}
+	if err := cfg.Net.Register(cfg.Addr, n.handle); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Addr returns the node's network address.
+func (n *Node) Addr() string { return n.cfg.Addr }
+
+// Registry returns the node's local database.
+func (n *Node) Registry() *registry.Registry { return n.cfg.Registry }
+
+// SetNeighbors replaces the node's neighbor set.
+func (n *Node) SetNeighbors(addrs []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.neighbors = append([]string(nil), addrs...)
+}
+
+// Neighbors returns a copy of the neighbor set.
+func (n *Node) Neighbors() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]string(nil), n.neighbors...)
+}
+
+// Close unregisters the node from the network.
+func (n *Node) Close() { n.cfg.Net.Unregister(n.cfg.Addr) }
+
+// Stats returns a snapshot of the node counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		QueriesSeen:    n.queriesSeen.Load(),
+		Duplicates:     n.duplicates.Load(),
+		DroppedExpired: n.droppedExpired.Load(),
+		Evals:          n.evals.Load(),
+		EvalErrors:     n.evalErrors.Load(),
+		Forwards:       n.forwards.Load(),
+		Aborts:         n.aborts.Load(),
+		LateMessages:   n.lateMessages.Load(),
+	}
+}
+
+// StateTableSize returns the number of live state-table entries (loop
+// detection memory).
+func (n *Node) StateTableSize() int { return n.states.Len() }
+
+// SweepStates garbage-collects expired state-table entries.
+func (n *Node) SweepStates() int { return n.states.Sweep() }
+
+// AdvertiseSelf publishes a node tuple describing this peer — address and
+// current neighbor links — into its own registry under the given lifetime.
+// Node tuples make the P2P network itself discoverable through the very
+// query mechanism it implements: a network query for //node/@addr maps the
+// overlay (thesis Ch. 4: tuple type "node" advertises registry nodes).
+func (n *Node) AdvertiseSelf(ttl time.Duration) error {
+	content := xmldoc.NewElement("node")
+	content.SetAttr("addr", n.cfg.Addr)
+	content.SetAttr("registry", n.cfg.Registry.Name())
+	for _, nb := range n.Neighbors() {
+		e := xmldoc.NewElement("neighbor")
+		e.SetAttr("addr", nb)
+		content.AppendChild(e)
+	}
+	content.Renumber()
+	_, err := n.cfg.Registry.Publish(&tuple.Tuple{
+		Link:    "pdp://" + n.cfg.Addr,
+		Type:    tuple.TypeNode,
+		Context: "self",
+		Content: content,
+	}, ttl)
+	return err
+}
+
+// handle dispatches one incoming message. It runs on the network's
+// delivery goroutine for this address.
+func (n *Node) handle(m *pdp.Message) {
+	switch m.Kind {
+	case pdp.KindQuery:
+		n.handleQuery(m)
+	case pdp.KindResult:
+		n.handleResult(m)
+	case pdp.KindReceipt:
+		n.handleReceipt(m)
+	case pdp.KindFetch:
+		n.handleFetch(m)
+	case pdp.KindClose:
+		n.handleClose(m)
+	case pdp.KindPing:
+		if mem := n.currentMembership(); mem != nil {
+			mem.observe(m.From, nil, true)
+		}
+		n.send(&pdp.Message{
+			Kind: pdp.KindPong, TxID: m.TxID, From: n.cfg.Addr, To: m.From,
+			Neighbors: n.Neighbors(),
+		})
+	case pdp.KindPong:
+		if mem := n.currentMembership(); mem != nil {
+			mem.observe(m.From, m.Neighbors, true)
+		}
+	}
+}
+
+func (n *Node) currentMembership() *Membership {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.membership
+}
+
+func (n *Node) handleQuery(m *pdp.Message) {
+	n.queriesSeen.Add(1)
+	now := n.now()
+
+	// Static loop timeout: queries past their deadline are silently
+	// dropped everywhere, bounding both traffic and state retention.
+	if !m.Scope.LoopTimeout.IsZero() && now.After(m.Scope.LoopTimeout) {
+		n.droppedExpired.Add(1)
+		return
+	}
+
+	// Loop detection (thesis Ch. 6.3): a transaction already in the state
+	// table is a duplicate arriving over another path. The duplicate is
+	// answered with an immediate empty final so the upstream node does not
+	// wait for the abort timeout.
+	st := &txState{
+		parent:   m.From,
+		origin:   m.Origin,
+		mode:     m.Mode,
+		pipeline: m.Pipeline,
+		pending:  make(map[string]bool),
+	}
+	ttl := n.cfg.DefaultStateTTL
+	if !m.Scope.LoopTimeout.IsZero() {
+		ttl = m.Scope.LoopTimeout.Sub(now)
+	}
+	if _, isNew := n.states.PutIfAbsent(m.TxID, st, ttl); !isNew {
+		n.duplicates.Add(1)
+		n.send(&pdp.Message{
+			Kind: pdp.KindReceipt, TxID: m.TxID, From: n.cfg.Addr, To: m.From,
+			Final: true,
+		})
+		return
+	}
+
+	// Forward to selected neighbors while the radius allows. Referral mode
+	// never forwards: expansion is originator-driven.
+	if m.Mode != pdp.Referral && m.Scope.Radius != 0 {
+		children := selectNeighbors(m.Scope.Policy, n.Neighbors(), m.From, m.Scope.Fanout, n.rng)
+		childScope := m.Scope
+		if childScope.Radius > 0 {
+			childScope.Radius--
+		}
+		if !childScope.AbortTimeout.IsZero() && n.cfg.AbortPolicy != AbortInherit {
+			// Dynamic abort timeout (thesis Ch. 6.6): each hop halves the
+			// remaining budget so partial results can flow back through
+			// every level before the originator's own deadline passes. The
+			// floor keeps deep hops from being starved below their own
+			// processing time.
+			remaining := childScope.AbortTimeout.Sub(now)
+			budget := remaining / 2
+			if budget < n.cfg.AbortFloor {
+				budget = n.cfg.AbortFloor
+				if budget > remaining {
+					budget = remaining
+				}
+			}
+			childScope.AbortTimeout = now.Add(budget)
+		}
+		st.mu.Lock()
+		for _, child := range children {
+			st.pending[child] = true
+		}
+		st.mu.Unlock()
+		for _, child := range children {
+			n.forwards.Add(1)
+			n.send(&pdp.Message{
+				Kind: pdp.KindQuery, TxID: m.TxID, From: n.cfg.Addr, To: child,
+				Hop: m.Hop + 1, Query: m.Query, Mode: m.Mode, Origin: m.Origin,
+				Pipeline: m.Pipeline, Scope: childScope,
+			})
+		}
+	}
+
+	// Arm the dynamic abort timer before evaluating, so a pathological
+	// local evaluation cannot block the deadline.
+	if !m.Scope.AbortTimeout.IsZero() {
+		d := m.Scope.AbortTimeout.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		st.mu.Lock()
+		st.timer = time.AfterFunc(d, func() { n.abortTx(m.TxID) })
+		st.mu.Unlock()
+	}
+
+	n.evalLocal(m, st)
+	st.mu.Lock()
+	st.localDone = true
+	st.mu.Unlock()
+	n.checkCompletion(m.TxID, st)
+}
+
+// evalLocal runs the query against the node's own registry and disposes of
+// the local results per the response mode.
+func (n *Node) evalLocal(m *pdp.Message, st *txState) {
+	n.evals.Add(1)
+	opts := n.cfg.QueryOptions
+
+	if st.mode == pdp.Routed && st.pipeline {
+		// Pipelined routed execution: every item is relayed upstream the
+		// moment the local engine produces it (thesis Ch. 6.5).
+		opts.Emit = func(it xq.Item) bool {
+			st.mu.Lock()
+			aborted := st.finalSent
+			st.localHits++
+			st.subtreeHits++
+			st.mu.Unlock()
+			if aborted {
+				return false
+			}
+			n.send(&pdp.Message{
+				Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.parent,
+				Items: xq.Sequence{it}, HitCount: 1, Source: n.cfg.Addr,
+			})
+			return true
+		}
+		if _, err := n.cfg.Registry.Query(m.Query, opts); err != nil {
+			n.evalErrors.Add(1)
+			st.mu.Lock()
+			st.evalErr = err.Error()
+			st.mu.Unlock()
+		}
+		return
+	}
+
+	seq, err := n.cfg.Registry.Query(m.Query, opts)
+	if err != nil {
+		n.evalErrors.Add(1)
+		st.mu.Lock()
+		st.evalErr = err.Error()
+		st.mu.Unlock()
+		return
+	}
+	st.mu.Lock()
+	st.localHits = len(seq)
+	st.subtreeHits += len(seq)
+	aborted := st.finalSent
+	st.mu.Unlock()
+	if aborted {
+		return
+	}
+	switch st.mode {
+	case pdp.Routed:
+		st.mu.Lock()
+		st.buffered = append(st.buffered, seq...)
+		st.mu.Unlock()
+	case pdp.Direct:
+		// Only matching nodes answer directly; completion is detected via
+		// the routed receipts, whose hit totals tell the originator how
+		// many items to expect.
+		if len(seq) > 0 {
+			n.send(&pdp.Message{
+				Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.origin,
+				Items: seq, HitCount: len(seq), Source: n.cfg.Addr, Final: true,
+			})
+		}
+	case pdp.Metadata:
+		st.mu.Lock()
+		st.buffered = seq // retained for a later Fetch
+		st.mu.Unlock()
+		if len(seq) > 0 {
+			// Metadata record: count + source, routed upstream.
+			n.send(&pdp.Message{
+				Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.parent,
+				HitCount: len(seq), Source: n.cfg.Addr,
+			})
+		}
+	case pdp.Referral:
+		n.send(&pdp.Message{
+			Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.origin,
+			Items: seq, HitCount: len(seq), Source: n.cfg.Addr, Final: true,
+			Neighbors: n.Neighbors(),
+		})
+	}
+}
+
+func (n *Node) handleResult(m *pdp.Message) {
+	st, ok := n.states.Get(m.TxID)
+	if !ok {
+		n.lateMessages.Add(1)
+		return
+	}
+	st.mu.Lock()
+	if st.finalSent {
+		st.mu.Unlock()
+		n.lateMessages.Add(1)
+		return
+	}
+	if m.Final {
+		delete(st.pending, m.From)
+	}
+	var relay *pdp.Message
+	switch st.mode {
+	case pdp.Routed:
+		st.subtreeHits += len(m.Items)
+		if st.pipeline {
+			if len(m.Items) > 0 {
+				relay = &pdp.Message{
+					Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.parent,
+					Items: m.Items, HitCount: len(m.Items), Source: m.Source,
+				}
+			}
+		} else {
+			st.buffered = append(st.buffered, m.Items...)
+		}
+	case pdp.Metadata:
+		// Relay the metadata record upstream verbatim (source preserved).
+		if m.HitCount > 0 && m.Source != "" {
+			relay = &pdp.Message{
+				Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.parent,
+				HitCount: m.HitCount, Source: m.Source,
+			}
+		}
+	}
+	st.mu.Unlock()
+	if relay != nil {
+		n.send(relay)
+	}
+	n.checkCompletion(m.TxID, st)
+}
+
+func (n *Node) handleReceipt(m *pdp.Message) {
+	st, ok := n.states.Get(m.TxID)
+	if !ok {
+		n.lateMessages.Add(1)
+		return
+	}
+	st.mu.Lock()
+	if st.finalSent {
+		st.mu.Unlock()
+		n.lateMessages.Add(1)
+		return
+	}
+	delete(st.pending, m.From)
+	st.subtreeHits += m.HitCount
+	st.mu.Unlock()
+	n.checkCompletion(m.TxID, st)
+}
+
+// handleFetch serves the items retained for Metadata mode directly to the
+// originator.
+func (n *Node) handleFetch(m *pdp.Message) {
+	to := m.Origin
+	if to == "" {
+		to = m.From
+	}
+	resp := &pdp.Message{
+		Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: to,
+		Source: n.cfg.Addr, Final: true,
+	}
+	if st, ok := n.states.Get(m.TxID); ok {
+		st.mu.Lock()
+		resp.Items = append(xq.Sequence(nil), st.buffered...)
+		resp.HitCount = len(resp.Items)
+		st.mu.Unlock()
+	} else {
+		resp.Err = "state expired"
+	}
+	n.send(resp)
+}
+
+// handleClose aborts a transaction on request of the originator and
+// propagates the close to children still pending.
+func (n *Node) handleClose(m *pdp.Message) {
+	st, ok := n.states.Get(m.TxID)
+	if !ok {
+		return
+	}
+	st.mu.Lock()
+	if st.finalSent {
+		st.mu.Unlock()
+		return
+	}
+	st.finalSent = true
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+	children := make([]string, 0, len(st.pending))
+	for c := range st.pending {
+		children = append(children, c)
+	}
+	st.pending = map[string]bool{}
+	st.buffered = nil
+	st.mu.Unlock()
+	for _, c := range children {
+		n.send(&pdp.Message{Kind: pdp.KindClose, TxID: m.TxID, From: n.cfg.Addr, To: c})
+	}
+}
+
+// checkCompletion finalizes the transaction once the local evaluation is
+// done and every child has reported.
+func (n *Node) checkCompletion(tx string, st *txState) {
+	st.mu.Lock()
+	if st.finalSent || !st.localDone || len(st.pending) > 0 {
+		st.mu.Unlock()
+		return
+	}
+	n.finalizeLocked(tx, st, "")
+}
+
+// abortTx fires when the dynamic abort timeout elapses: whatever is
+// buffered is flushed upstream with a final marker, and later child
+// messages are dropped.
+func (n *Node) abortTx(tx string) {
+	st, ok := n.states.Get(tx)
+	if !ok {
+		return
+	}
+	st.mu.Lock()
+	if st.finalSent {
+		st.mu.Unlock()
+		return
+	}
+	n.aborts.Add(1)
+	n.finalizeLocked(tx, st, "abort-timeout")
+}
+
+// finalizeLocked sends the final upstream message. st.mu must be held; it
+// is released before returning.
+func (n *Node) finalizeLocked(tx string, st *txState, abortErr string) {
+	st.finalSent = true
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+	errStr := st.evalErr
+	if abortErr != "" {
+		if errStr != "" {
+			errStr += "; "
+		}
+		errStr += abortErr
+	}
+	var out *pdp.Message
+	switch st.mode {
+	case pdp.Routed:
+		out = &pdp.Message{
+			Kind: pdp.KindResult, TxID: tx, From: n.cfg.Addr, To: st.parent,
+			Items: st.buffered, HitCount: st.subtreeHits, Final: true,
+			Source: n.cfg.Addr, Err: errStr,
+		}
+		st.buffered = nil
+	case pdp.Direct, pdp.Metadata:
+		out = &pdp.Message{
+			Kind: pdp.KindReceipt, TxID: tx, From: n.cfg.Addr, To: st.parent,
+			HitCount: st.subtreeHits, Final: true, Err: errStr,
+		}
+	case pdp.Referral:
+		// Referral answered directly in evalLocal; nothing upstream.
+	}
+	st.mu.Unlock()
+	if out != nil {
+		n.send(out)
+	}
+}
+
+func (n *Node) send(m *pdp.Message) {
+	// Best effort: unknown addresses (departed peers) are ignored, exactly
+	// like a connectionless network.
+	_ = n.cfg.Net.Send(m)
+}

@@ -1,0 +1,364 @@
+package updf
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/xq"
+)
+
+// QuerySpec describes one network query submission.
+type QuerySpec struct {
+	Query string // XQuery text
+	Entry string // address of the entry node (agent model) — may be the
+	// originator's own co-located node (servent model)
+
+	Mode     pdp.ResponseMode
+	Pipeline bool // stream items across nodes (Routed mode only)
+
+	// Scope.
+	// Radius is the hop budget; 0 = entry node only; -1 = unbounded. Like
+	// Gnutella TTLs, the reachable set equals the BFS horizon only when
+	// shortest-path messages arrive first; under skewed latencies the
+	// horizon is an upper bound.
+	Radius int
+	Policy string // neighbor selection policy (default flood)
+	Fanout int    // per-hop neighbor bound (0 = all)
+
+	// LoopTimeout is the static loop timeout, relative to submission.
+	// Default 10s.
+	LoopTimeout time.Duration
+	// AbortTimeout is the user's answer deadline (dynamic abort timeout at
+	// the entry node), relative to submission. Default = LoopTimeout/2.
+	AbortTimeout time.Duration
+
+	// OnItem, if set, streams result items as they arrive; returning false
+	// closes the transaction network-wide.
+	OnItem func(item xq.Item, source string) bool
+}
+
+// ResultSet is the outcome of one network query.
+type ResultSet struct {
+	TxID  string
+	Items xq.Sequence
+	// Sources counts items per producing node address (where known).
+	Sources map[string]int
+	// ExpectedHits is the subtree hit total reported by receipts (Direct
+	// and Metadata modes; 0 for Routed).
+	ExpectedHits int
+	// TimeToFirst is the latency until the first item arrived (0 if none).
+	TimeToFirst time.Duration
+	// Elapsed is the total latency until completion.
+	Elapsed time.Duration
+	// Aborted reports that the deadline cut collection short.
+	Aborted bool
+	// NodesVisited is the number of distinct responding nodes (Referral
+	// mode: nodes queried).
+	NodesVisited int
+	// Errs carries best-effort downstream failure notes.
+	Errs []string
+}
+
+// Originator submits queries into a UPDF network and collects responses.
+// One Originator can run many concurrent submissions; each gets a unique
+// transaction ID.
+type Originator struct {
+	addr string
+	net  pdp.Network
+	now  func() time.Time
+
+	mu      sync.Mutex
+	pending map[string]chan *pdp.Message
+
+	seq atomic.Int64
+}
+
+// NewOriginator registers an originator endpoint on the network.
+func NewOriginator(addr string, net pdp.Network, now func() time.Time) (*Originator, error) {
+	if now == nil {
+		now = time.Now
+	}
+	o := &Originator{addr: addr, net: net, now: now, pending: make(map[string]chan *pdp.Message)}
+	if err := net.Register(addr, o.handle); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Addr returns the originator's network address.
+func (o *Originator) Addr() string { return o.addr }
+
+// Close unregisters the originator.
+func (o *Originator) Close() { o.net.Unregister(o.addr) }
+
+func (o *Originator) handle(m *pdp.Message) {
+	o.mu.Lock()
+	ch, ok := o.pending[m.TxID]
+	o.mu.Unlock()
+	if !ok {
+		return // late message for a finished submission
+	}
+	// The channel is buffered generously; a stuck consumer sheds load
+	// rather than blocking the delivery goroutine.
+	select {
+	case ch <- m:
+	default:
+	}
+}
+
+func (o *Originator) newTx() string {
+	return fmt.Sprintf("%s#%d", o.addr, o.seq.Add(1))
+}
+
+func (spec *QuerySpec) withDefaults() QuerySpec {
+	s := *spec
+	if s.LoopTimeout == 0 {
+		s.LoopTimeout = 10 * time.Second
+	}
+	if s.AbortTimeout == 0 {
+		s.AbortTimeout = s.LoopTimeout / 2
+	}
+	if s.Policy == "" {
+		s.Policy = PolicyFlood
+	}
+	return s
+}
+
+// Submit runs one query to completion (final message, deadline, or OnItem
+// cancellation) and returns the collected results.
+func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
+	s := spec.withDefaults()
+	if s.Entry == "" {
+		return nil, fmt.Errorf("updf: query needs an entry node")
+	}
+	if s.Mode == pdp.Referral {
+		return o.submitReferral(s)
+	}
+	tx := o.newTx()
+	ch := make(chan *pdp.Message, 4096)
+	o.mu.Lock()
+	o.pending[tx] = ch
+	o.mu.Unlock()
+	defer func() {
+		o.mu.Lock()
+		delete(o.pending, tx)
+		o.mu.Unlock()
+	}()
+
+	start := o.now()
+	loopDeadline := start.Add(s.LoopTimeout)
+	abortDeadline := start.Add(s.AbortTimeout)
+	if err := o.net.Send(&pdp.Message{
+		Kind: pdp.KindQuery, TxID: tx, From: o.addr, To: s.Entry,
+		Query: s.Query, Mode: s.Mode, Origin: o.addr, Pipeline: s.Pipeline,
+		Scope: pdp.Scope{
+			Radius: s.Radius, LoopTimeout: loopDeadline, AbortTimeout: abortDeadline,
+			Policy: s.Policy, Fanout: s.Fanout,
+		},
+	}); err != nil {
+		return nil, fmt.Errorf("updf: submit to %s: %w", s.Entry, err)
+	}
+
+	rs := &ResultSet{TxID: tx, Sources: make(map[string]int)}
+	// The originator grants itself a grace period beyond the entry node's
+	// abort deadline so finals emitted exactly at the deadline can arrive.
+	timer := time.NewTimer(s.AbortTimeout + s.AbortTimeout/2 + 50*time.Millisecond)
+	defer timer.Stop()
+
+	entryFinal := false                 // entry node reported completion
+	fetchesPending := map[string]bool{} // Metadata mode: outstanding fetches
+	metaRecords := map[string]int{}     // Metadata mode: source -> hits
+	metaHits := 0                       // Metadata mode: hits accounted for by records
+
+	addItems := func(items xq.Sequence, source string) bool {
+		for _, it := range items {
+			if len(rs.Items) == 0 {
+				rs.TimeToFirst = o.now().Sub(start)
+			}
+			rs.Items = append(rs.Items, it)
+			if source != "" {
+				rs.Sources[source]++
+			}
+			if s.OnItem != nil && !s.OnItem(it, source) {
+				return false
+			}
+		}
+		return true
+	}
+
+	done := func() bool {
+		if !entryFinal {
+			return false
+		}
+		switch s.Mode {
+		case pdp.Routed:
+			return true
+		case pdp.Direct:
+			return len(rs.Items) >= rs.ExpectedHits
+		case pdp.Metadata:
+			// Receipts and relayed records race on independent links, so a
+			// record may trail the entry receipt; the receipt's hit total
+			// says how many hits the records must account for.
+			return metaHits >= rs.ExpectedHits && len(fetchesPending) == 0
+		}
+		return true
+	}
+
+	closeTx := func() {
+		_ = o.net.Send(&pdp.Message{Kind: pdp.KindClose, TxID: tx, From: o.addr, To: s.Entry})
+	}
+
+	for !done() {
+		select {
+		case m := <-ch:
+			if m.Err != "" {
+				rs.Errs = append(rs.Errs, m.From+": "+m.Err)
+			}
+			switch m.Kind {
+			case pdp.KindResult:
+				if s.Mode == pdp.Metadata && m.Source != "" && len(m.Items) == 0 && m.HitCount > 0 && !m.Final {
+					// Metadata record from the count phase.
+					if _, seen := metaRecords[m.Source]; !seen {
+						metaRecords[m.Source] = m.HitCount
+						metaHits += m.HitCount
+						fetchesPending[m.Source] = true
+						_ = o.net.Send(&pdp.Message{
+							Kind: pdp.KindFetch, TxID: tx, From: o.addr, To: m.Source,
+							Origin: o.addr,
+						})
+					}
+				} else {
+					if !addItems(m.Items, m.Source) {
+						closeTx()
+						rs.Elapsed = o.now().Sub(start)
+						return rs, nil
+					}
+					if m.Final {
+						switch {
+						case s.Mode == pdp.Metadata:
+							delete(fetchesPending, m.Source)
+						case s.Mode == pdp.Routed && m.From == s.Entry:
+							entryFinal = true
+						case s.Mode == pdp.Direct:
+							// per-node final; counted via Sources
+						}
+					}
+				}
+			case pdp.KindReceipt:
+				if m.Final && m.From == s.Entry {
+					entryFinal = true
+					rs.ExpectedHits = m.HitCount
+				}
+			}
+		case <-timer.C:
+			rs.Aborted = true
+			closeTx()
+			rs.Elapsed = o.now().Sub(start)
+			rs.NodesVisited = len(rs.Sources)
+			return rs, nil
+		}
+	}
+	rs.Elapsed = o.now().Sub(start)
+	rs.NodesVisited = len(rs.Sources)
+	return rs, nil
+}
+
+// submitReferral drives the referral response mode: the originator itself
+// expands the topology, querying one node at a time and following the
+// neighbor links returned with each answer (thesis Ch. 6.4).
+func (o *Originator) submitReferral(s QuerySpec) (*ResultSet, error) {
+	tx := o.newTx()
+	ch := make(chan *pdp.Message, 4096)
+	o.mu.Lock()
+	o.pending[tx] = ch
+	o.mu.Unlock()
+	defer func() {
+		o.mu.Lock()
+		delete(o.pending, tx)
+		o.mu.Unlock()
+	}()
+
+	start := o.now()
+	loopDeadline := start.Add(s.LoopTimeout)
+	deadline := time.NewTimer(s.AbortTimeout)
+	defer deadline.Stop()
+
+	rs := &ResultSet{TxID: tx, Sources: make(map[string]int)}
+	visited := map[string]bool{}
+	depth := map[string]int{}
+	outstanding := 0
+
+	ask := func(addr string) {
+		visited[addr] = true
+		outstanding++
+		// Referral queries execute on the target only; the per-node tx must
+		// be unique because every node keeps per-tx loop-detection state.
+		_ = o.net.Send(&pdp.Message{
+			Kind: pdp.KindQuery, TxID: tx + "@" + addr, From: o.addr, To: addr,
+			Query: s.Query, Mode: pdp.Referral, Origin: o.addr,
+			Scope: pdp.Scope{Radius: 0, LoopTimeout: loopDeadline},
+		})
+	}
+	// Register the per-node transaction IDs as they share the tx prefix:
+	// the originator dispatches on exact TxID, so register a catch-all by
+	// rewriting incoming IDs is not possible — instead nodes answer with
+	// the per-node ID, which we register eagerly below.
+	askAll := func(addrs []string, d int) {
+		for _, a := range addrs {
+			if visited[a] {
+				continue
+			}
+			if s.Radius >= 0 && d > s.Radius {
+				continue
+			}
+			depth[a] = d
+			o.mu.Lock()
+			o.pending[tx+"@"+a] = ch
+			o.mu.Unlock()
+			ask(a)
+		}
+	}
+	defer func() {
+		o.mu.Lock()
+		for a := range visited {
+			delete(o.pending, tx+"@"+a)
+		}
+		o.mu.Unlock()
+	}()
+
+	askAll([]string{s.Entry}, 0)
+	for outstanding > 0 {
+		select {
+		case m := <-ch:
+			if m.Kind != pdp.KindResult {
+				continue
+			}
+			outstanding--
+			rs.NodesVisited++
+			if m.Err != "" {
+				rs.Errs = append(rs.Errs, m.From+": "+m.Err)
+			}
+			for _, it := range m.Items {
+				if len(rs.Items) == 0 {
+					rs.TimeToFirst = o.now().Sub(start)
+				}
+				rs.Items = append(rs.Items, it)
+				rs.Sources[m.Source]++
+				if s.OnItem != nil && !s.OnItem(it, m.Source) {
+					rs.Elapsed = o.now().Sub(start)
+					return rs, nil
+				}
+			}
+			askAll(m.Neighbors, depth[m.From]+1)
+		case <-deadline.C:
+			rs.Aborted = true
+			rs.Elapsed = o.now().Sub(start)
+			return rs, nil
+		}
+	}
+	rs.Elapsed = o.now().Sub(start)
+	return rs, nil
+}

@@ -1,0 +1,71 @@
+package updf
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Neighbor selection policies (thesis Ch. 6.7): given the node's neighbor
+// set and the query's sender, a policy picks the neighbors the query is
+// forwarded to.
+const (
+	// PolicyFlood forwards to every neighbor except the sender (Gnutella
+	// style breadth-first flooding).
+	PolicyFlood = "flood"
+	// PolicyRandom forwards to at most Fanout random neighbors (excluding
+	// the sender) — the random-walk family of policies.
+	PolicyRandom = "random"
+	// PolicyOrdered forwards to the first Fanout neighbors in address
+	// order; deterministic, used by tests.
+	PolicyOrdered = "ordered"
+)
+
+// selectNeighbors applies a policy. fanout == 0 means unbounded.
+func selectNeighbors(policy string, neighbors []string, sender string, fanout int, rng *lockedRand) []string {
+	candidates := make([]string, 0, len(neighbors))
+	seen := make(map[string]bool, len(neighbors))
+	for _, nb := range neighbors {
+		// The sender is excluded; duplicates are dropped — forwarding the
+		// same transaction twice to one neighbor would earn both a result
+		// and a duplicate-receipt from it, confusing completion tracking.
+		if nb != sender && !seen[nb] {
+			seen[nb] = true
+			candidates = append(candidates, nb)
+		}
+	}
+	switch policy {
+	case PolicyRandom:
+		rng.shuffle(candidates)
+	case PolicyFlood, PolicyOrdered, "":
+		// keep order
+	default:
+		// Unknown policies degrade to flooding: a query must never be
+		// silently swallowed because of a policy typo.
+	}
+	if fanout > 0 && len(candidates) > fanout {
+		candidates = candidates[:fanout]
+	}
+	return candidates
+}
+
+// lockedRand is a mutex-guarded rand.Rand (nodes share one per Node).
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) shuffle(s []string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+func (l *lockedRand) int63() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Int63()
+}

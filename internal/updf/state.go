@@ -1,0 +1,45 @@
+package updf
+
+import (
+	"sync"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/xq"
+)
+
+// txState is one entry of a node's state table (thesis Ch. 7.6): everything
+// the node remembers about an in-flight transaction. Entries are soft
+// state: they are retained until the query's static loop timeout and then
+// garbage collected, which is what makes loop detection via transaction
+// IDs reliable — a transaction ID cannot be mistaken for new after every
+// node has forgotten it, because by then it is past its loop timeout and
+// would be dropped anyway.
+type txState struct {
+	mu sync.Mutex
+
+	parent   string // node/originator the query arrived from
+	origin   string // originator address (Direct/Metadata/Fetch)
+	mode     pdp.ResponseMode
+	pipeline bool
+
+	pending map[string]bool // children still owing a final message
+
+	// buffered holds items not yet sent upstream (store-and-forward mode)
+	// or, in Metadata mode, the local items retained for a later Fetch.
+	buffered xq.Sequence
+
+	localHits   int // items this node produced locally
+	subtreeHits int // items produced in the whole subtree
+
+	// localDone marks the local evaluation complete. Completion requires
+	// it: without this gate, a fast child's final arriving while the local
+	// evaluation is still running would finalize the transaction and drop
+	// the node's own results (transports may deliver concurrently).
+	localDone bool
+
+	finalSent bool
+	aborted   bool
+	timer     *time.Timer // dynamic abort timer
+	evalErr   string
+}

@@ -1,0 +1,458 @@
+package updf
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/simnet"
+	"wsda/internal/topology"
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+// testCluster builds a cluster over g where node i holds one service tuple
+// named svc<i> in domain dom<i%2>.
+func testCluster(t *testing.T, g *topology.Graph, net pdp.Network) *Cluster {
+	t.Helper()
+	c, err := BuildCluster(g, ClusterConfig{
+		Net: net,
+		// Tests drive sub-second deadlines; keep the halving floor tiny so
+		// the dynamic abort behaviour is observable.
+		AbortFloor: time.Millisecond,
+		RegistryFor: func(i int) *registry.Registry {
+			r := registry.New(registry.Config{Name: fmt.Sprintf("reg%d", i)})
+			content := xmldoc.MustParse(fmt.Sprintf(
+				`<service name="svc%d" domain="dom%d"><load>0.%d</load></service>`,
+				i, i%2, i%10)).DocumentElement().Clone()
+			if _, err := r.Publish(&tuple.Tuple{
+				Link:    fmt.Sprintf("http://dom%d/svc%d", i%2, i),
+				Type:    tuple.TypeService,
+				Content: content,
+			}, time.Hour); err != nil {
+				t.Fatalf("publish: %v", err)
+			}
+			return r
+		},
+	})
+	if err != nil {
+		t.Fatalf("build cluster: %v", err)
+	}
+	return c
+}
+
+const allNames = `for $s in //service return string($s/@name)`
+
+func names(rs *ResultSet) []string {
+	out := make([]string, len(rs.Items))
+	for i, it := range rs.Items {
+		out[i] = xq.StringValue(it)
+	}
+	return out
+}
+
+func submit(t *testing.T, o *Originator, spec QuerySpec) *ResultSet {
+	t.Helper()
+	rs, err := o.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	return rs
+}
+
+func newTestNet() *simnet.Network { return simnet.New(simnet.Config{}) }
+
+func TestRoutedFloodLine(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Line(4), net)
+	defer c.Close()
+	o, err := NewOriginator("orig", net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	rs := submit(t, o, QuerySpec{Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1})
+	if rs.Aborted {
+		t.Fatal("aborted")
+	}
+	got := names(rs)
+	if len(got) != 4 {
+		t.Fatalf("hits = %d (%v), want 4", len(got), got)
+	}
+	for i := 0; i < 4; i++ {
+		want := fmt.Sprintf("svc%d", i)
+		found := false
+		for _, n := range got {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %s in %v", want, got)
+		}
+	}
+}
+
+func TestRadiusScoping(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Line(6), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	for radius, want := range map[int]int{0: 1, 1: 2, 2: 3, 5: 6, -1: 6} {
+		rs := submit(t, o, QuerySpec{Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: radius})
+		if len(rs.Items) != want {
+			t.Errorf("radius %d: hits = %d, want %d", radius, len(rs.Items), want)
+		}
+	}
+}
+
+func TestLoopDetectionRing(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	g := topology.Ring(8)
+	c := testCluster(t, g, net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	rs := submit(t, o, QuerySpec{Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1})
+	if len(rs.Items) != 8 {
+		t.Fatalf("hits = %d, want 8 (each node exactly once)", len(rs.Items))
+	}
+	st := c.TotalStats()
+	if st.Evals != 8 {
+		t.Errorf("evals = %d, want 8", st.Evals)
+	}
+	if st.Duplicates == 0 {
+		t.Error("a ring flood must hit duplicates")
+	}
+}
+
+func TestDirectResponse(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Tree(7, 2), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	rs := submit(t, o, QuerySpec{Query: allNames, Entry: "node/0", Mode: pdp.Direct, Radius: -1})
+	if rs.Aborted {
+		t.Fatal("aborted")
+	}
+	if len(rs.Items) != 7 {
+		t.Fatalf("hits = %d, want 7", len(rs.Items))
+	}
+	if rs.ExpectedHits != 7 {
+		t.Errorf("expected hits = %d", rs.ExpectedHits)
+	}
+	// Every node delivered directly: sources are the nodes themselves.
+	if len(rs.Sources) != 7 {
+		t.Errorf("sources = %v", rs.Sources)
+	}
+}
+
+func TestMetadataResponse(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Tree(7, 2), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	// Only dom0 services match: nodes 0, 2, 4, 6.
+	q := `for $s in //service[@domain="dom0"] return string($s/@name)`
+	rs := submit(t, o, QuerySpec{Query: q, Entry: "node/0", Mode: pdp.Metadata, Radius: -1})
+	if rs.Aborted {
+		t.Fatal("aborted")
+	}
+	got := names(rs)
+	if len(got) != 4 {
+		t.Fatalf("hits = %d (%v), want 4", len(got), got)
+	}
+	for _, n := range got {
+		if !strings.HasPrefix(n, "svc") {
+			t.Errorf("bad item %q", n)
+		}
+	}
+	if len(rs.Sources) != 4 {
+		t.Errorf("sources = %v", rs.Sources)
+	}
+}
+
+func TestReferralResponse(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Ring(6), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	rs := submit(t, o, QuerySpec{Query: allNames, Entry: "node/0", Mode: pdp.Referral, Radius: -1})
+	if rs.Aborted {
+		t.Fatal("aborted")
+	}
+	if len(rs.Items) != 6 {
+		t.Fatalf("hits = %d, want 6", len(rs.Items))
+	}
+	if rs.NodesVisited != 6 {
+		t.Errorf("visited = %d", rs.NodesVisited)
+	}
+	// Referral radius limits the frontier depth.
+	rs = submit(t, o, QuerySpec{Query: allNames, Entry: "node/0", Mode: pdp.Referral, Radius: 1})
+	if len(rs.Items) != 3 { // node 0 plus its two ring neighbors
+		t.Errorf("radius-1 referral hits = %d, want 3", len(rs.Items))
+	}
+}
+
+func TestPipelinedStreaming(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Line(5), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	var mu sync.Mutex
+	var streamed []string
+	rs := submit(t, o, QuerySpec{
+		Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1, Pipeline: true,
+		OnItem: func(it xq.Item, source string) bool {
+			mu.Lock()
+			streamed = append(streamed, xq.StringValue(it))
+			mu.Unlock()
+			return true
+		},
+	})
+	if len(rs.Items) != 5 {
+		t.Fatalf("hits = %d, want 5", len(rs.Items))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(streamed) != 5 {
+		t.Errorf("streamed = %d", len(streamed))
+	}
+	if rs.TimeToFirst > rs.Elapsed {
+		t.Error("first-result latency exceeds total latency")
+	}
+}
+
+func TestOnItemCancellation(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Line(10), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	count := 0
+	rs := submit(t, o, QuerySpec{
+		Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1, Pipeline: true,
+		OnItem: func(xq.Item, string) bool {
+			count++
+			return count < 3
+		},
+	})
+	if len(rs.Items) != 3 {
+		t.Errorf("items = %d, want 3 (early close)", len(rs.Items))
+	}
+}
+
+func TestStaticLoopTimeoutDropsQuery(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Line(2), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	// A loop timeout in the past: every node drops the query; the
+	// originator times out with nothing.
+	rs := submit(t, o, QuerySpec{
+		Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+		LoopTimeout: -time.Second, AbortTimeout: 100 * time.Millisecond,
+	})
+	if !rs.Aborted || len(rs.Items) != 0 {
+		t.Errorf("rs = %+v", rs)
+	}
+	if c.TotalStats().DroppedExpired == 0 {
+		t.Error("no drops recorded")
+	}
+}
+
+func TestDynamicAbortDeliversPartial(t *testing.T) {
+	net := simnet.New(simnet.Config{Delay: func(from, to string) time.Duration {
+		// The link into node/3 is pathologically slow.
+		if to == "node/3" || from == "node/3" {
+			return 400 * time.Millisecond
+		}
+		return time.Millisecond
+	}})
+	defer net.Close()
+	c := testCluster(t, topology.Line(4), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	rs := submit(t, o, QuerySpec{
+		Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+		LoopTimeout: 2 * time.Second, AbortTimeout: 200 * time.Millisecond,
+	})
+	// Node 3 is unreachable within the budget, but 0..2 must arrive.
+	if len(rs.Items) < 3 {
+		t.Errorf("partial hits = %d, want >= 3", len(rs.Items))
+	}
+	if len(rs.Items) > 3 {
+		t.Errorf("hits = %d: node/3 should not have made it", len(rs.Items))
+	}
+	if c.TotalStats().Aborts == 0 {
+		t.Error("no aborts recorded")
+	}
+}
+
+func TestNeighborPolicies(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	g := topology.Random(24, 5, 11)
+	c := testCluster(t, g, net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	flood := submit(t, o, QuerySpec{Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1, Policy: PolicyFlood})
+	if len(flood.Items) != 24 {
+		t.Errorf("flood hits = %d, want 24", len(flood.Items))
+	}
+	k1 := submit(t, o, QuerySpec{Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1, Policy: PolicyRandom, Fanout: 1})
+	if len(k1.Items) >= 24 || len(k1.Items) == 0 {
+		t.Errorf("random-1 hits = %d, want partial coverage", len(k1.Items))
+	}
+}
+
+func TestEvalErrorPropagates(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Line(2), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	rs := submit(t, o, QuerySpec{Query: `no-such-fn(1)`, Entry: "node/0", Mode: pdp.Routed, Radius: -1})
+	if rs.Aborted {
+		t.Fatal("aborted rather than completed with errors")
+	}
+	if len(rs.Errs) == 0 {
+		t.Error("evaluation errors not propagated")
+	}
+	if c.TotalStats().EvalErrors != 2 {
+		t.Errorf("eval errors = %d", c.TotalStats().EvalErrors)
+	}
+}
+
+func TestStateTableGC(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Line(2), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	submit(t, o, QuerySpec{
+		Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+		LoopTimeout: 50 * time.Millisecond, AbortTimeout: 40 * time.Millisecond,
+	})
+	if c.Nodes[0].StateTableSize() == 0 {
+		t.Error("state entry should exist right after query")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if c.Nodes[0].StateTableSize() != 0 {
+		t.Error("state entry survived past loop timeout")
+	}
+	c.Nodes[0].SweepStates()
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Random(16, 4, 3), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rs, err := o.Submit(QuerySpec{
+				Query: allNames, Entry: fmt.Sprintf("node/%d", i), Mode: pdp.Routed, Radius: -1,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(rs.Items) != 16 {
+				errs <- fmt.Errorf("query %d: hits = %d", i, len(rs.Items))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServentModel(t *testing.T) {
+	// Servent model: the originator's own node is the entry; agent model
+	// was exercised by every other test (remote entry).
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Line(3), net)
+	defer c.Close()
+	// Co-located: originator shares the address space of node/0's host.
+	o, _ := NewOriginator("node/0-origin", net, nil)
+	defer o.Close()
+	rs := submit(t, o, QuerySpec{Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1})
+	if len(rs.Items) != 3 {
+		t.Errorf("hits = %d", len(rs.Items))
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	if _, err := NewNode(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewNode(Config{Addr: "a"}); err == nil {
+		t.Error("missing net accepted")
+	}
+	if _, err := NewNode(Config{Addr: "a", Net: net}); err == nil {
+		t.Error("missing registry accepted")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+	if _, err := o.Submit(QuerySpec{Query: "1"}); err == nil {
+		t.Error("missing entry accepted")
+	}
+	if _, err := o.Submit(QuerySpec{Query: "1", Entry: "nobody"}); err == nil {
+		t.Error("unknown entry accepted")
+	}
+}

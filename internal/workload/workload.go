@@ -1,0 +1,231 @@
+// Package workload generates the synthetic Grid service population and the
+// canonical query mix used by the experiments — the substitution for the
+// European DataGrid testbed population of the paper (see DESIGN.md). The
+// generator is deterministic in its seed so every experiment is repeatable.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/tuple"
+	"wsda/internal/wsda"
+)
+
+// Domains are the administrative domains of the synthetic Grid, patterned
+// on the HEP collaborations of thesis Ch. 1.
+var Domains = []string{
+	"cern.ch", "infn.it", "ral.ac.uk", "in2p3.fr", "fnal.gov",
+	"desy.de", "slac.stanford.edu", "kek.jp", "nikhef.nl", "triumf.ca",
+}
+
+// Kinds are the service kinds of the population with their interface mix.
+var Kinds = []string{
+	"replica-catalog", "job-scheduler", "storage-element",
+	"compute-element", "file-transfer", "monitor",
+}
+
+// VOs are the virtual organizations services belong to.
+var VOs = []string{"cms", "atlas", "alice", "lhcb"}
+
+// Gen deterministically generates service tuples.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// NewGen creates a generator.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Service generates the i-th synthetic service description. The index
+// pins the identity (name, domain, kind); the generator's randomness fills
+// in the dynamic attributes (load, uptime, capacities).
+func (g *Gen) Service(i int) *wsda.Service {
+	domain := Domains[i%len(Domains)]
+	// The kind index mixes in i/len(Domains) so that every domain sees all
+	// kinds as the population grows (a plain i%len(Kinds) would lock each
+	// domain to same-parity kinds, making cross-kind same-domain joins
+	// unsatisfiable).
+	kind := Kinds[(i+i/len(Domains))%len(Kinds)]
+	vo := VOs[i%len(VOs)]
+	name := fmt.Sprintf("%s-%04d", kind, i)
+	base := fmt.Sprintf("http://%s/%s", domain, name)
+
+	b := wsda.NewService(name).
+		Domain(domain).
+		Owner(vo).
+		Link(base + wsda.PathPresenter).
+		Attr("kind", kind).
+		Attr("vo", vo).
+		Attr("load", fmt.Sprintf("%.2f", g.rng.Float64())).
+		Attr("uptime", fmt.Sprintf("%d", g.rng.Intn(1_000_000))).
+		Attr("diskGB", fmt.Sprintf("%d", 10+g.rng.Intn(10_000))).
+		Attr("cpus", fmt.Sprintf("%d", 1<<g.rng.Intn(8))).
+		Op(wsda.IfacePresenter, "getServiceDescription", base+wsda.PathPresenter)
+
+	// Every service presents itself; richer interfaces depend on the kind.
+	switch kind {
+	case "replica-catalog", "monitor":
+		b.Op(wsda.IfaceXQuery, "query", base+wsda.PathXQuery)
+		b.Op(wsda.IfaceMinQuery, "minQuery", base+wsda.PathMinQuery)
+		b.Op(wsda.IfaceConsumer, "publish", base+wsda.PathPublish)
+	case "job-scheduler", "compute-element":
+		b.Op("Execution", "submitJob", base+"/job")
+		b.Op(wsda.IfaceMinQuery, "minQuery", base+wsda.PathMinQuery)
+	case "storage-element", "file-transfer":
+		b.Op("Transfer", "get", base+"/get")
+		b.Op("Transfer", "put", base+"/put")
+	}
+	return b.Build()
+}
+
+// Tuple wraps the i-th service description in a registry tuple.
+func (g *Gen) Tuple(i int) *tuple.Tuple {
+	svc := g.Service(i)
+	return &tuple.Tuple{
+		Link:    svc.Link,
+		Type:    tuple.TypeService,
+		Context: "child",
+		Owner:   svc.Owner,
+		Content: svc.ToXML(),
+	}
+}
+
+// Populate publishes n services into the registry with the given lifetime.
+func (g *Gen) Populate(r *registry.Registry, n int, ttl time.Duration) error {
+	for i := 0; i < n; i++ {
+		if _, err := r.Publish(g.Tuple(i), ttl); err != nil {
+			return fmt.Errorf("workload: publish %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// PopulateShard publishes the shard of services owned by node `node` out of
+// `nodes` total, for distributing a population of n across a P2P cluster.
+func (g *Gen) PopulateShard(r *registry.Registry, n, node, nodes int, ttl time.Duration) error {
+	for i := 0; i < n; i++ {
+		if i%nodes != node {
+			continue
+		}
+		if _, err := r.Publish(g.Tuple(i), ttl); err != nil {
+			return fmt.Errorf("workload: publish %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// QueryClass labels the three query classes of thesis Ch. 3.
+type QueryClass string
+
+// The query classes.
+const (
+	Simple  QueryClass = "simple"  // exact-match lookups
+	Medium  QueryClass = "medium"  // predicates + navigation
+	Complex QueryClass = "complex" // joins, aggregation, restructuring
+)
+
+// CanonicalQuery is one entry of the discovery query mix.
+type CanonicalQuery struct {
+	ID    string
+	Class QueryClass
+	Prose string // the thesis formulates queries in prose first
+	XQ    string // the XQuery formulation
+	// KeyLookup reports whether a pure key-lookup system (DNS, Chord,
+	// Gnutella) can answer it; LDAPFilter whether an LDAP-style attribute
+	// filter can.
+	KeyLookup  bool
+	LDAPFilter bool
+}
+
+// CanonicalQueries is the experiment E1 query mix: the simple/medium/
+// complex discovery queries the thesis motivates in Ch. 3, formulated
+// against the registry's /tupleset view.
+var CanonicalQueries = []CanonicalQuery{
+	{
+		ID: "Q1", Class: Simple,
+		Prose:     "Find the service with the given content link (key lookup).",
+		XQ:        `/tupleset/tuple[@link="http://cern.ch/replica-catalog-0000/wsda/presenter"]`,
+		KeyLookup: true, LDAPFilter: true,
+	},
+	{
+		ID: "Q2", Class: Simple,
+		Prose:      "Find all services in the domain cern.ch.",
+		XQ:         `/tupleset/tuple/content/service[@domain="cern.ch"]`,
+		LDAPFilter: true,
+	},
+	{
+		ID: "Q3", Class: Simple,
+		Prose:      "Find all replica catalogs.",
+		XQ:         `/tupleset/tuple/content/service[attr[@name="kind"]/@value="replica-catalog"]`,
+		LDAPFilter: true,
+	},
+	{
+		ID: "Q4", Class: Medium,
+		Prose:      "Find all services owned by VO cms with load below 0.5.",
+		XQ:         `/tupleset/tuple/content/service[@owner="cms"][number(attr[@name="load"]/@value) < 0.5]`,
+		LDAPFilter: true,
+	},
+	{
+		ID: "Q5", Class: Medium,
+		Prose: "Find services implementing the XQuery interface over HTTP.",
+		XQ:    `/tupleset/tuple/content/service[interface[@type="XQuery"]/operation/bind/@protocol="http"]`,
+	},
+	{
+		ID: "Q6", Class: Medium,
+		Prose: "Find the names of the three least loaded compute elements.",
+		XQ: `let $ce := /tupleset/tuple/content/service[attr[@name="kind"]/@value="compute-element"]
+for $s at $i in (for $c in $ce order by number($c/attr[@name="load"]/@value) return $c)
+where $i <= 3
+return string($s/@name)`,
+	},
+	{
+		ID: "Q7", Class: Medium,
+		Prose: "Find storage elements with more than a terabyte of disk, sorted by free disk.",
+		XQ: `for $s in /tupleset/tuple/content/service[attr[@name="kind"]/@value="storage-element"]
+where number($s/attr[@name="diskGB"]/@value) > 1000
+order by number($s/attr[@name="diskGB"]/@value) descending
+return $s/@name`,
+	},
+	{
+		ID: "Q8", Class: Complex,
+		Prose: "For each domain, report how many services it runs and their average load.",
+		XQ: `for $d in distinct-values(/tupleset/tuple/content/service/@domain)
+let $svcs := /tupleset/tuple/content/service[@domain = $d]
+order by $d
+return <domain name="{$d}" services="{count($svcs)}"
+  avgload="{avg(for $l in $svcs/attr[@name="load"]/@value return number($l))}"/>`,
+	},
+	{
+		ID: "Q9", Class: Complex,
+		Prose: "Correlate: find (scheduler, storage) pairs in the same domain where both are lightly loaded.",
+		XQ: `for $j in /tupleset/tuple/content/service[attr[@name="kind"]/@value="job-scheduler"],
+    $s in /tupleset/tuple/content/service[attr[@name="kind"]/@value="storage-element"]
+where $j/@domain = $s/@domain
+  and number($j/attr[@name="load"]/@value) < 0.3
+  and number($s/attr[@name="load"]/@value) < 0.3
+return <pair scheduler="{$j/@name}" storage="{$s/@name}" domain="{$j/@domain}"/>`,
+	},
+	{
+		ID: "Q10", Class: Complex,
+		Prose: "Summarize the total download capacity and participating organizations of the file-sharing services.",
+		XQ: `let $xfer := /tupleset/tuple/content/service[attr[@name="kind"]/@value="file-transfer"]
+return <summary services="{count($xfer)}"
+  domains="{count(distinct-values($xfer/@domain))}"
+  totalDiskGB="{sum(for $d in $xfer/attr[@name="diskGB"]/@value return number($d))}"/>`,
+	},
+}
+
+// QueriesByClass returns the canonical queries of one class.
+func QueriesByClass(c QueryClass) []CanonicalQuery {
+	var out []CanonicalQuery
+	for _, q := range CanonicalQueries {
+		if q.Class == c {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/wsda"
+	"wsda/internal/xq"
+)
+
+func TestGenDeterministic(t *testing.T) {
+	g1, g2 := NewGen(7), NewGen(7)
+	for i := 0; i < 20; i++ {
+		a, b := g1.Service(i), g2.Service(i)
+		if a.String() != b.String() {
+			t.Fatalf("service %d differs between same-seed generators", i)
+		}
+	}
+	g3 := NewGen(8)
+	diff := false
+	for i := 0; i < 20; i++ {
+		if NewGen(7).Service(i).String() != g3.Service(i).String() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+func TestServiceShape(t *testing.T) {
+	g := NewGen(1)
+	s := g.Service(0) // kind = replica-catalog, domain = cern.ch
+	if s.Domain != "cern.ch" {
+		t.Errorf("domain = %q", s.Domain)
+	}
+	if s.Attributes["kind"] != "replica-catalog" {
+		t.Errorf("kind = %q", s.Attributes["kind"])
+	}
+	if !s.Implements(wsda.IfacePresenter, wsda.IfaceXQuery) {
+		t.Error("replica catalog must present and answer XQueries")
+	}
+	// Round-trips through SWSDL.
+	got, err := wsda.ParseService(s.String())
+	if err != nil || got.Name != s.Name {
+		t.Errorf("round trip: %v %v", got, err)
+	}
+	ce := g.Service(3) // compute-element
+	if ce.Attributes["kind"] != "compute-element" {
+		t.Fatalf("kind = %q", ce.Attributes["kind"])
+	}
+	if !ce.Matches(wsda.MatchSpec{Interface: "Execution", Operation: "submitJob"}) {
+		t.Error("compute element must offer job submission")
+	}
+}
+
+func TestPopulateAndCanonicalQueries(t *testing.T) {
+	r := registry.New(registry.Config{Name: "wl"})
+	g := NewGen(42)
+	if err := g.Populate(r, 120, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 120 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for _, cq := range CanonicalQueries {
+		seq, err := r.Query(cq.XQ, registry.QueryOptions{})
+		if err != nil {
+			t.Errorf("%s failed: %v", cq.ID, err)
+			continue
+		}
+		// Every canonical query must produce something on a 120-service
+		// population except possibly the correlation query Q9.
+		if len(seq) == 0 && cq.ID != "Q9" && cq.ID != "Q1" {
+			t.Errorf("%s returned nothing", cq.ID)
+		}
+		_ = seq
+	}
+	// Q1 with a link present in the population.
+	link := g.Tuple(0).Link
+	seq, err := r.Query(`/tupleset/tuple[@link="`+link+`"]`, registry.QueryOptions{})
+	if err != nil || len(seq) != 1 {
+		t.Errorf("key lookup: %d %v", len(seq), err)
+	}
+	// Q8 returns one element per domain.
+	seq, err = r.Query(CanonicalQueries[7].XQ, registry.QueryOptions{})
+	if err != nil || len(seq) != len(Domains) {
+		t.Errorf("Q8 domains = %d, want %d (%v)", len(seq), len(Domains), err)
+	}
+	_ = xq.Serialize(seq)
+}
+
+func TestPopulateShard(t *testing.T) {
+	g := NewGen(1)
+	total := 0
+	for node := 0; node < 4; node++ {
+		r := registry.New(registry.Config{Name: "shard"})
+		if err := NewGen(1).PopulateShard(r, 100, node, 4, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		total += r.Len()
+	}
+	if total != 100 {
+		t.Errorf("shards sum to %d, want 100", total)
+	}
+	_ = g
+}
+
+func TestQueriesByClass(t *testing.T) {
+	s, m, c := QueriesByClass(Simple), QueriesByClass(Medium), QueriesByClass(Complex)
+	if len(s)+len(m)+len(c) != len(CanonicalQueries) {
+		t.Error("classes do not partition the mix")
+	}
+	if len(s) == 0 || len(m) == 0 || len(c) == 0 {
+		t.Error("every class must be populated")
+	}
+}

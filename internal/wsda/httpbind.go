@@ -1,0 +1,408 @@
+package wsda
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+// HTTP binding paths for the WSDA primitives.
+const (
+	PathPresenter = "/wsda/presenter"
+	PathPublish   = "/wsda/publish"
+	PathUnpublish = "/wsda/unpublish"
+	PathMinQuery  = "/wsda/minquery"
+	PathXQuery    = "/wsda/xquery"
+)
+
+// Handler exposes a Node over the WSDA HTTP protocol binding. Register it
+// on any mux; all paths are absolute.
+func Handler(n Node) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathPresenter, func(w http.ResponseWriter, r *http.Request) {
+		desc, err := n.GetServiceDescription()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeXML(w, desc.ToXML())
+	})
+	mux.HandleFunc(PathPublish, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+			return
+		}
+		doc, err := xmldoc.Parse(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		root := doc.DocumentElement()
+		if root == nil || root.LocalName() != "publish" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("expected <publish> element"))
+			return
+		}
+		var ttl time.Duration
+		if s, ok := root.Attr("ttl-ms"); ok {
+			ms, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad ttl-ms: %v", err))
+				return
+			}
+			ttl = time.Duration(ms) * time.Millisecond
+		}
+		tupleEl := root.FirstChildElement("tuple")
+		if tupleEl == nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("missing <tuple>"))
+			return
+		}
+		t, err := tuple.FromXML(tupleEl)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		granted, err := n.Publish(t, ttl)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		resp := xmldoc.NewElement("granted")
+		resp.SetAttr("ttl-ms", strconv.FormatInt(granted.Milliseconds(), 10))
+		writeXML(w, resp)
+	})
+	mux.HandleFunc(PathUnpublish, func(w http.ResponseWriter, r *http.Request) {
+		link := r.URL.Query().Get("link")
+		if link == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("missing link parameter"))
+			return
+		}
+		if err := n.Unpublish(link); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeXML(w, xmldoc.NewElement("ok"))
+	})
+	mux.HandleFunc(PathMinQuery, func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		tuples, err := n.MinQuery(registry.Filter{
+			Type:       q.Get("type"),
+			Context:    q.Get("ctx"),
+			LinkPrefix: q.Get("prefix"),
+		})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		root := xmldoc.NewElement("tupleset")
+		for _, t := range tuples {
+			root.AppendChild(t.ToXML())
+		}
+		writeXML(w, root)
+	})
+	mux.HandleFunc(PathXQuery, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		q := r.URL.Query()
+		opts := registry.QueryOptions{
+			Filter: registry.Filter{
+				Type:       q.Get("type"),
+				Context:    q.Get("ctx"),
+				LinkPrefix: q.Get("prefix"),
+			},
+		}
+		if s := q.Get("maxage-ms"); s != "" {
+			ms, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad maxage-ms: %v", err))
+				return
+			}
+			opts.Freshness.MaxAge = time.Duration(ms) * time.Millisecond
+		}
+		if q.Get("pull-missing") == "true" {
+			opts.Freshness.PullMissing = true
+		}
+		seq, err := n.XQuery(string(body), opts)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeXML(w, MarshalSequence(seq))
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	http.Error(w, err.Error(), code)
+}
+
+func writeXML(w http.ResponseWriter, n *xmldoc.Node) {
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_, _ = io.WriteString(w, n.String())
+}
+
+// MarshalSequence renders a result sequence as a <results> element: nodes
+// wrapped in <node>, atomics in <atomic type="...">.
+func MarshalSequence(seq xq.Sequence) *xmldoc.Node {
+	root := xmldoc.NewElement("results")
+	root.SetAttr("count", strconv.Itoa(len(seq)))
+	for _, it := range seq {
+		switch v := it.(type) {
+		case *xmldoc.Node:
+			wrap := xmldoc.NewElement("node")
+			body := v
+			if body.Kind == xmldoc.DocumentNode {
+				body = body.DocumentElement()
+			}
+			if body != nil {
+				switch body.Kind {
+				case xmldoc.ElementNode:
+					wrap.AppendChild(body.Clone())
+				case xmldoc.AttributeNode:
+					wrap.SetAttr("attr-name", body.Name)
+					wrap.AppendChild(xmldoc.NewText(body.Data))
+				default:
+					wrap.AppendChild(xmldoc.NewText(body.StringValue()))
+				}
+			}
+			root.AppendChild(wrap)
+		default:
+			a := xmldoc.NewElement("atomic")
+			a.SetAttr("type", atomicType(it))
+			a.AppendChild(xmldoc.NewText(xq.StringValue(it)))
+			root.AppendChild(a)
+		}
+	}
+	root.Renumber()
+	return root
+}
+
+func atomicType(it xq.Item) string {
+	switch it.(type) {
+	case bool:
+		return "boolean"
+	case int64:
+		return "integer"
+	case float64:
+		return "decimal"
+	default:
+		return "string"
+	}
+}
+
+// UnmarshalSequence parses a <results> element back into a sequence. Node
+// items come back as detached element trees (document identity is not
+// preserved across the wire).
+func UnmarshalSequence(root *xmldoc.Node) (xq.Sequence, error) {
+	if root.Kind == xmldoc.DocumentNode {
+		root = root.DocumentElement()
+	}
+	if root == nil || root.LocalName() != "results" {
+		return nil, fmt.Errorf("wsda: expected <results> element")
+	}
+	var seq xq.Sequence
+	for _, c := range root.ChildElements() {
+		switch c.LocalName() {
+		case "node":
+			if an, ok := c.Attr("attr-name"); ok {
+				seq = append(seq, xmldoc.NewAttr(an, c.StringValue()))
+				continue
+			}
+			var inner *xmldoc.Node
+			for _, cc := range c.ChildElements() {
+				inner = cc
+				break
+			}
+			if inner != nil {
+				n := inner.Clone()
+				n.Renumber()
+				seq = append(seq, n)
+			} else {
+				seq = append(seq, xmldoc.NewText(c.StringValue()))
+			}
+		case "atomic":
+			typ, _ := c.Attr("type")
+			s := c.StringValue()
+			switch typ {
+			case "boolean":
+				seq = append(seq, s == "true")
+			case "integer":
+				i, err := strconv.ParseInt(s, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("wsda: bad integer %q", s)
+				}
+				seq = append(seq, i)
+			case "decimal":
+				f, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return nil, fmt.Errorf("wsda: bad decimal %q", s)
+				}
+				seq = append(seq, f)
+			default:
+				seq = append(seq, s)
+			}
+		}
+	}
+	return seq, nil
+}
+
+// Client talks the WSDA HTTP binding to a remote node. BaseURL is the
+// node's root (scheme://host:port); the client appends the binding paths.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+var _ Node = (*Client)(nil)
+
+// NewClient returns a client for the node at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/"), HTTP: http.DefaultClient}
+}
+
+func (c *Client) get(path string, q url.Values) (*xmldoc.Node, error) {
+	u := c.BaseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := c.HTTP.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	return readXMLResponse(resp)
+}
+
+func (c *Client) post(path string, q url.Values, body string) (*xmldoc.Node, error) {
+	u := c.BaseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := c.HTTP.Post(u, "text/xml", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	return readXMLResponse(resp)
+}
+
+func readXMLResponse(resp *http.Response) (*xmldoc.Node, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("wsda: remote error %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return xmldoc.ParseString(string(data))
+}
+
+// GetServiceDescription implements Presenter against the remote node. This
+// is also the service-link resolution mechanism: an HTTP GET retrieving the
+// current description.
+func (c *Client) GetServiceDescription() (*Service, error) {
+	doc, err := c.get(PathPresenter, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ServiceFromXML(doc)
+}
+
+// Publish implements Consumer against the remote node.
+func (c *Client) Publish(t *tuple.Tuple, ttl time.Duration) (time.Duration, error) {
+	req := xmldoc.NewElement("publish")
+	req.SetAttr("ttl-ms", strconv.FormatInt(ttl.Milliseconds(), 10))
+	req.AppendChild(t.ToXML())
+	doc, err := c.post(PathPublish, nil, req.String())
+	if err != nil {
+		return 0, err
+	}
+	root := doc.DocumentElement()
+	if root == nil || root.LocalName() != "granted" {
+		return 0, fmt.Errorf("wsda: unexpected publish response")
+	}
+	s, _ := root.Attr("ttl-ms")
+	ms, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wsda: bad granted ttl %q", s)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// Unpublish implements Consumer against the remote node.
+func (c *Client) Unpublish(link string) error {
+	_, err := c.get(PathUnpublish, url.Values{"link": {link}})
+	return err
+}
+
+// MinQuery implements the minimal query primitive against the remote node.
+func (c *Client) MinQuery(f registry.Filter) ([]*tuple.Tuple, error) {
+	q := url.Values{}
+	if f.Type != "" {
+		q.Set("type", f.Type)
+	}
+	if f.Context != "" {
+		q.Set("ctx", f.Context)
+	}
+	if f.LinkPrefix != "" {
+		q.Set("prefix", f.LinkPrefix)
+	}
+	doc, err := c.get(PathMinQuery, q)
+	if err != nil {
+		return nil, err
+	}
+	root := doc.DocumentElement()
+	if root == nil || root.LocalName() != "tupleset" {
+		return nil, fmt.Errorf("wsda: unexpected minquery response")
+	}
+	var out []*tuple.Tuple
+	for _, el := range root.ChildElements() {
+		t, err := tuple.FromXML(el)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// XQuery implements the powerful query primitive against the remote node.
+// Only the Filter and Freshness options cross the wire; Emit and Vars are
+// local-only concepts.
+func (c *Client) XQuery(query string, opts registry.QueryOptions) (xq.Sequence, error) {
+	q := url.Values{}
+	if opts.Filter.Type != "" {
+		q.Set("type", opts.Filter.Type)
+	}
+	if opts.Filter.Context != "" {
+		q.Set("ctx", opts.Filter.Context)
+	}
+	if opts.Filter.LinkPrefix != "" {
+		q.Set("prefix", opts.Filter.LinkPrefix)
+	}
+	if opts.Freshness.MaxAge > 0 {
+		q.Set("maxage-ms", strconv.FormatInt(opts.Freshness.MaxAge.Milliseconds(), 10))
+	}
+	if opts.Freshness.PullMissing {
+		q.Set("pull-missing", "true")
+	}
+	doc, err := c.post(PathXQuery, q, query)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalSequence(doc)
+}

@@ -1,0 +1,91 @@
+package wsda
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wsda/internal/registry"
+)
+
+// Error-path coverage for the HTTP binding: malformed requests must come
+// back as clean HTTP errors, never 200s or panics.
+func TestHTTPBindingErrorPaths(t *testing.T) {
+	srv := httptest.NewServer(Handler(newLocalNode()))
+	defer srv.Close()
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "text/xml", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Publish: wrong method, bad XML, wrong root, missing tuple, invalid
+	// tuple, bad ttl.
+	if code := get(PathPublish); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET publish = %d", code)
+	}
+	if code, _ := post(PathPublish, `not xml`); code != http.StatusBadRequest {
+		t.Errorf("bad xml = %d", code)
+	}
+	if code, _ := post(PathPublish, `<wrong/>`); code != http.StatusBadRequest {
+		t.Errorf("wrong root = %d", code)
+	}
+	if code, _ := post(PathPublish, `<publish ttl-ms="1000"/>`); code != http.StatusBadRequest {
+		t.Errorf("missing tuple = %d", code)
+	}
+	if code, _ := post(PathPublish, `<publish ttl-ms="x"><tuple link="l" type="t"><content/></tuple></publish>`); code != http.StatusBadRequest {
+		t.Errorf("bad ttl = %d", code)
+	}
+	if code, _ := post(PathPublish, `<publish ttl-ms="1000"><tuple type="t"><content/></tuple></publish>`); code != http.StatusUnprocessableEntity {
+		t.Errorf("invalid tuple = %d", code)
+	}
+
+	// Unpublish without link.
+	if code := get(PathUnpublish); code != http.StatusBadRequest {
+		t.Errorf("unpublish no link = %d", code)
+	}
+
+	// XQuery: wrong method, syntax error, bad freshness parameter.
+	if code := get(PathXQuery); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET xquery = %d", code)
+	}
+	if code, body := post(PathXQuery, `for $x in`); code != http.StatusUnprocessableEntity || !strings.Contains(body, "xq:") {
+		t.Errorf("syntax error = %d %q", code, body)
+	}
+	if code, _ := post(PathXQuery+"?maxage-ms=zzz", `1`); code != http.StatusBadRequest {
+		t.Errorf("bad maxage = %d", code)
+	}
+
+	// A denied query-step budget surfaces as a remote error through the
+	// client, too.
+	client := NewClient(srv.URL)
+	if _, err := client.XQuery(`for $x in`, registry.QueryOptions{}); err == nil {
+		t.Error("client swallowed the remote error")
+	}
+	// Unknown host: transport errors surface.
+	bad := NewClient("http://127.0.0.1:1")
+	if _, err := bad.GetServiceDescription(); err == nil {
+		t.Error("unreachable node did not error")
+	}
+	// URL escaping in unpublish round trip.
+	if err := client.Unpublish("http://x.y/a?b=c&d=e"); err != nil {
+		t.Errorf("unpublish with query chars: %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+package wsda
+
+import (
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/tuple"
+	"wsda/internal/xq"
+)
+
+// Presenter is the service-identification/description-retrieval primitive:
+// a service presents its current description so that clients from anywhere
+// can retrieve it at any time (thesis Ch. 2.3).
+type Presenter interface {
+	GetServiceDescription() (*Service, error)
+}
+
+// Consumer is the publication primitive: content providers publish tuples
+// under soft-state lifetimes (thesis Ch. 2.4–2.6).
+type Consumer interface {
+	// Publish inserts or refreshes a tuple; the registry returns the
+	// lifetime it actually granted.
+	Publish(t *tuple.Tuple, ttl time.Duration) (time.Duration, error)
+	// Unpublish removes a tuple before its lifetime elapses.
+	Unpublish(link string) error
+}
+
+// MinQuery is the minimal query primitive: attribute filtering only, cheap
+// to implement on any node (thesis Ch. 5.2).
+type MinQuery interface {
+	MinQuery(f registry.Filter) ([]*tuple.Tuple, error)
+}
+
+// XQueryIface is the powerful query primitive: full XQuery over the node's
+// tuple-set view.
+type XQueryIface interface {
+	XQuery(query string, opts registry.QueryOptions) (xq.Sequence, error)
+}
+
+// Node is the full set of primitives a hyper registry node offers. Clients
+// compose the individual primitives; a specific peer may implement only a
+// subset (e.g. Presenter+MinQuery).
+type Node interface {
+	Presenter
+	Consumer
+	MinQuery
+	XQueryIface
+}
+
+// LocalNode adapts an in-process Registry (plus its service description) to
+// the WSDA primitive interfaces.
+type LocalNode struct {
+	Desc     *Service
+	Registry *registry.Registry
+}
+
+var _ Node = (*LocalNode)(nil)
+
+// GetServiceDescription implements Presenter.
+func (n *LocalNode) GetServiceDescription() (*Service, error) { return n.Desc, nil }
+
+// Publish implements Consumer.
+func (n *LocalNode) Publish(t *tuple.Tuple, ttl time.Duration) (time.Duration, error) {
+	return n.Registry.Publish(t, ttl)
+}
+
+// Unpublish implements Consumer.
+func (n *LocalNode) Unpublish(link string) error {
+	n.Registry.Unpublish(link)
+	return nil
+}
+
+// MinQuery implements the minimal query primitive.
+func (n *LocalNode) MinQuery(f registry.Filter) ([]*tuple.Tuple, error) {
+	return n.Registry.MinQuery(f), nil
+}
+
+// XQuery implements the powerful query primitive.
+func (n *LocalNode) XQuery(query string, opts registry.QueryOptions) (xq.Sequence, error) {
+	return n.Registry.Query(query, opts)
+}

@@ -1,0 +1,224 @@
+package wsda
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+func sampleService() *Service {
+	return NewService("replica-catalog").
+		Owner("cms").
+		Domain("cern.ch").
+		Link("http://cms.cern.ch/rc/wsda/presenter").
+		Attr("load", "0.35").
+		Op(IfacePresenter, "getServiceDescription", "http://cms.cern.ch/rc/wsda/presenter").
+		Op(IfaceXQuery, "query", "http://cms.cern.ch/rc/wsda/xquery").
+		Op(IfaceConsumer, "publish", "http://cms.cern.ch/rc/wsda/publish").
+		Build()
+}
+
+func TestSWSDLRoundTrip(t *testing.T) {
+	s := sampleService()
+	got, err := ParseService(s.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.Name != s.Name || got.Owner != s.Owner || got.Domain != s.Domain || got.Link != s.Link {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if got.Attributes["load"] != "0.35" {
+		t.Errorf("attributes = %v", got.Attributes)
+	}
+	if len(got.Interfaces) != 3 {
+		t.Fatalf("interfaces = %d", len(got.Interfaces))
+	}
+	if ep := got.Endpoint(IfaceXQuery, "query", "http"); ep != "http://cms.cern.ch/rc/wsda/xquery" {
+		t.Errorf("endpoint = %q", ep)
+	}
+}
+
+func TestImplementsAndMatches(t *testing.T) {
+	s := sampleService()
+	if !s.Implements(IfacePresenter, IfaceXQuery) {
+		t.Error("Implements failed")
+	}
+	if s.Implements(IfaceMinQuery) {
+		t.Error("claims MinQuery")
+	}
+	if !s.Matches(MatchSpec{Interface: IfaceXQuery, Operation: "query", Protocol: "http"}) {
+		t.Error("Matches failed")
+	}
+	if s.Matches(MatchSpec{Interface: IfaceXQuery, Operation: "nope"}) {
+		t.Error("matched missing operation")
+	}
+	if s.Matches(MatchSpec{Interface: IfaceXQuery, Operation: "query", Protocol: "ftp"}) {
+		t.Error("matched missing protocol")
+	}
+}
+
+func TestParseServiceErrors(t *testing.T) {
+	if _, err := ParseService("<notservice/>"); err == nil {
+		t.Error("wrong root accepted")
+	}
+	if _, err := ParseService(`<service><interface/></service>`); err == nil {
+		t.Error("interface without type accepted")
+	}
+}
+
+func newLocalNode() *LocalNode {
+	reg := registry.New(registry.Config{Name: "node1", DefaultTTL: time.Minute})
+	return &LocalNode{Desc: sampleService(), Registry: reg}
+}
+
+func publishSample(t *testing.T, n Node, name, domain string) {
+	t.Helper()
+	tp := &tuple.Tuple{
+		Link:    "http://" + domain + "/" + name,
+		Type:    tuple.TypeService,
+		Content: xmldoc.MustParse(`<service name="` + name + `" domain="` + domain + `"><load>0.5</load></service>`).DocumentElement().Clone(),
+	}
+	if _, err := n.Publish(tp, time.Minute); err != nil {
+		t.Fatalf("publish %s: %v", name, err)
+	}
+}
+
+func TestLocalNode(t *testing.T) {
+	n := newLocalNode()
+	publishSample(t, n, "a", "cern.ch")
+	publishSample(t, n, "b", "infn.it")
+
+	desc, err := n.GetServiceDescription()
+	if err != nil || desc.Name != "replica-catalog" {
+		t.Errorf("presenter: %v %v", desc, err)
+	}
+	tuples, err := n.MinQuery(registry.Filter{LinkPrefix: "http://cern.ch/"})
+	if err != nil || len(tuples) != 1 {
+		t.Errorf("minquery: %d %v", len(tuples), err)
+	}
+	seq, err := n.XQuery(`count(/tupleset/tuple)`, registry.QueryOptions{})
+	if err != nil || xq.StringValue(seq[0]) != "2" {
+		t.Errorf("xquery: %v %v", seq, err)
+	}
+	if err := n.Unpublish("http://cern.ch/a"); err != nil {
+		t.Errorf("unpublish: %v", err)
+	}
+	if n.Registry.Len() != 1 {
+		t.Error("unpublish had no effect")
+	}
+}
+
+func TestHTTPBinding(t *testing.T) {
+	node := newLocalNode()
+	srv := httptest.NewServer(Handler(node))
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	// Presenter over the wire (= service link resolution).
+	desc, err := client.GetServiceDescription()
+	if err != nil {
+		t.Fatalf("remote presenter: %v", err)
+	}
+	if desc.Name != "replica-catalog" || !desc.Implements(IfaceXQuery) {
+		t.Errorf("desc = %+v", desc)
+	}
+
+	// Publish over the wire.
+	tp := &tuple.Tuple{
+		Link:     "http://cms.cern.ch/svc1",
+		Type:     tuple.TypeService,
+		Context:  "child",
+		Metadata: map[string]string{"vo": "cms"},
+		Content:  xmldoc.MustParse(`<service name="svc1"><load>0.2</load></service>`).DocumentElement().Clone(),
+	}
+	granted, err := client.Publish(tp, 30*time.Second)
+	if err != nil {
+		t.Fatalf("remote publish: %v", err)
+	}
+	if granted != 30*time.Second {
+		t.Errorf("granted = %v", granted)
+	}
+
+	// MinQuery over the wire.
+	tuples, err := client.MinQuery(registry.Filter{Type: tuple.TypeService})
+	if err != nil || len(tuples) != 1 {
+		t.Fatalf("remote minquery: %d %v", len(tuples), err)
+	}
+	if tuples[0].Link != tp.Link || tuples[0].Metadata["vo"] != "cms" {
+		t.Errorf("tuple = %+v", tuples[0])
+	}
+	if tuples[0].Content == nil {
+		t.Fatal("content lost in transit")
+	}
+
+	// XQuery over the wire: nodes and atomics.
+	seq, err := client.XQuery(`for $s in //service return $s/@name`, registry.QueryOptions{})
+	if err != nil || len(seq) != 1 {
+		t.Fatalf("remote xquery: %v %v", seq, err)
+	}
+	if xq.StringValue(seq[0]) != "svc1" {
+		t.Errorf("result = %v", seq)
+	}
+	seq, err = client.XQuery(`count(//service), avg(//load) * 2, exists(//nope), "str"`, registry.QueryOptions{})
+	if err != nil || len(seq) != 4 {
+		t.Fatalf("atomics: %v %v", seq, err)
+	}
+	if seq[0] != int64(1) || seq[1] != 0.4 || seq[2] != false || seq[3] != "str" {
+		t.Errorf("atomic round trip = %#v", seq)
+	}
+
+	// Element results survive as trees.
+	seq, err = client.XQuery(`<hit n="{count(//service)}">{//service/@name}</hit>`, registry.QueryOptions{})
+	if err != nil || len(seq) != 1 {
+		t.Fatalf("element result: %v %v", seq, err)
+	}
+	el, ok := seq[0].(*xmldoc.Node)
+	if !ok {
+		t.Fatalf("element result is %T", seq[0])
+	}
+	if v, _ := el.Attr("n"); v != "1" {
+		t.Errorf("element = %s", el.String())
+	}
+	if v, _ := el.Attr("name"); v != "svc1" {
+		t.Errorf("attr content = %s", el.String())
+	}
+
+	// Query errors propagate as remote errors.
+	if _, err := client.XQuery(`for $x in`, registry.QueryOptions{}); err == nil {
+		t.Error("remote syntax error not propagated")
+	}
+
+	// Unpublish over the wire.
+	if err := client.Unpublish(tp.Link); err != nil {
+		t.Fatalf("remote unpublish: %v", err)
+	}
+	if node.Registry.Len() != 0 {
+		t.Error("unpublish had no effect")
+	}
+}
+
+func TestSequenceMarshalRoundTrip(t *testing.T) {
+	el := xmldoc.MustParse(`<a x="1"><b>t</b></a>`).DocumentElement()
+	seq := xq.Sequence{el, "s", int64(7), 2.5, true, xmldoc.NewAttr("k", "v")}
+	got, err := UnmarshalSequence(MarshalSequence(seq))
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(got) != len(seq) {
+		t.Fatalf("len = %d, want %d", len(got), len(seq))
+	}
+	if n, ok := got[0].(*xmldoc.Node); !ok || !n.Equal(el) {
+		t.Errorf("node item mismatch: %v", got[0])
+	}
+	if got[1] != "s" || got[2] != int64(7) || got[3] != 2.5 || got[4] != true {
+		t.Errorf("atomics = %#v", got[1:5])
+	}
+	if a, ok := got[5].(*xmldoc.Node); !ok || a.Kind != xmldoc.AttributeNode || a.Data != "v" {
+		t.Errorf("attr item = %#v", got[5])
+	}
+}

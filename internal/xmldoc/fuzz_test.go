@@ -1,0 +1,31 @@
+package xmldoc
+
+import "testing"
+
+// FuzzParse checks the XML parser never panics and that anything it
+// accepts survives a serialize→parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(`<a/>`)
+	f.Add(`<a b="c">text<d/><!--x--></a>`)
+	f.Add(`<a>&lt;&amp;&gt;</a>`)
+	f.Add(`<a><b></a></b>`)
+	f.Add(``)
+	f.Add(`<?xml version="1.0"?><a/>`)
+	f.Add(`<a xmlns:x="urn:y"><x:b/></a>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		doc.Normalize()
+		out := doc.String()
+		doc2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\noutput: %q", err, out)
+		}
+		doc2.Normalize()
+		if !doc.Equal(doc2) {
+			t.Fatalf("round trip not stable:\n%q\nvs\n%q", out, doc2.String())
+		}
+	})
+}

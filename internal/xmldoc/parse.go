@@ -1,0 +1,81 @@
+package xmldoc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads a complete XML document (or fragment with a single root
+// element) and returns its document node. Document order is assigned.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	doc := NewDocument()
+	cur := doc
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldoc: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := NewElement(qualName(t.Name))
+			for _, a := range t.Attr {
+				// Drop namespace declarations; prefixes are kept verbatim in
+				// element/attribute names, which suffices for discovery data.
+				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
+					continue
+				}
+				el.SetAttr(qualName(a.Name), a.Value)
+			}
+			cur.AppendChild(el)
+			cur = el
+		case xml.EndElement:
+			if cur.Parent == nil {
+				return nil, fmt.Errorf("xmldoc: parse: unbalanced end element %s", t.Name.Local)
+			}
+			cur = cur.Parent
+		case xml.CharData:
+			s := string(t)
+			// Skip inter-element whitespace at document level.
+			if cur == doc && strings.TrimSpace(s) == "" {
+				continue
+			}
+			cur.AppendChild(NewText(s))
+		case xml.Comment:
+			cur.AppendChild(NewComment(string(t)))
+		case xml.ProcInst, xml.Directive:
+			// Ignored: not part of the discovery data model.
+		}
+	}
+	if cur != doc {
+		return nil, fmt.Errorf("xmldoc: parse: unclosed element %s", cur.Name)
+	}
+	doc.Renumber()
+	return doc, nil
+}
+
+// ParseString parses a document held in a string.
+func ParseString(s string) (*Node, error) { return Parse(strings.NewReader(s)) }
+
+// MustParse parses s and panics on error. Intended for tests and statically
+// known documents.
+func MustParse(s string) *Node {
+	n, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func qualName(n xml.Name) string {
+	// encoding/xml resolves prefixes to namespace URIs in Name.Space. For the
+	// discovery data model we keep the local name only unless the URI is a
+	// conventional short prefix; full namespace support is out of scope and
+	// unused by the thesis queries.
+	return n.Local
+}

@@ -1,0 +1,129 @@
+package xmldoc
+
+import (
+	"io"
+	"strings"
+)
+
+// String serializes the subtree rooted at n to compact XML text.
+func (n *Node) String() string {
+	var sb strings.Builder
+	n.write(&sb, -1, 0)
+	return sb.String()
+}
+
+// Indent serializes the subtree rooted at n with two-space indentation.
+func (n *Node) Indent() string {
+	var sb strings.Builder
+	n.write(&sb, 0, 0)
+	return sb.String()
+}
+
+// WriteTo serializes n compactly to w.
+func (n *Node) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	n.write(&sb, -1, 0)
+	m, err := io.WriteString(w, sb.String())
+	return int64(m), err
+}
+
+// write emits the node. indent < 0 means compact output.
+func (n *Node) write(sb *strings.Builder, indent, depth int) {
+	switch n.Kind {
+	case DocumentNode:
+		for i, c := range n.Children {
+			if indent >= 0 && i > 0 {
+				sb.WriteByte('\n')
+			}
+			c.write(sb, indent, depth)
+		}
+	case TextNode:
+		escapeText(sb, n.Data)
+	case CommentNode:
+		sb.WriteString("<!--")
+		sb.WriteString(n.Data)
+		sb.WriteString("-->")
+	case AttributeNode:
+		sb.WriteString(n.Name)
+		sb.WriteString(`="`)
+		escapeAttr(sb, n.Data)
+		sb.WriteByte('"')
+	case ElementNode:
+		pad := ""
+		if indent >= 0 {
+			pad = strings.Repeat("  ", depth)
+			sb.WriteString(pad)
+		}
+		sb.WriteByte('<')
+		sb.WriteString(n.Name)
+		for _, a := range n.Attrs {
+			sb.WriteByte(' ')
+			a.write(sb, -1, 0)
+		}
+		if len(n.Children) == 0 {
+			sb.WriteString("/>")
+			return
+		}
+		sb.WriteByte('>')
+		onlyText := true
+		for _, c := range n.Children {
+			if c.Kind != TextNode {
+				onlyText = false
+				break
+			}
+		}
+		if indent < 0 || onlyText {
+			for _, c := range n.Children {
+				c.write(sb, -1, 0)
+			}
+		} else {
+			for _, c := range n.Children {
+				sb.WriteByte('\n')
+				if c.Kind == TextNode {
+					if strings.TrimSpace(c.Data) == "" {
+						continue
+					}
+					sb.WriteString(strings.Repeat("  ", depth+1))
+					escapeText(sb, strings.TrimSpace(c.Data))
+					continue
+				}
+				c.write(sb, indent, depth+1)
+			}
+			sb.WriteByte('\n')
+			sb.WriteString(pad)
+		}
+		sb.WriteString("</")
+		sb.WriteString(n.Name)
+		sb.WriteByte('>')
+	}
+}
+
+func escapeText(sb *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '&':
+			sb.WriteString("&amp;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}
+
+func escapeAttr(sb *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '<':
+			sb.WriteString("&lt;")
+		case '&':
+			sb.WriteString("&amp;")
+		case '"':
+			sb.WriteString("&quot;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}

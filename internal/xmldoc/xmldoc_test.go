@@ -1,0 +1,199 @@
+package xmldoc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleDoc = `<service name="replica-catalog" domain="cern.ch">
+  <interface type="Presenter">
+    <operation name="getServiceDescription"/>
+  </interface>
+  <interface type="XQuery">
+    <operation name="query"><bind protocol="http" url="http://cms.cern.ch/rc"/></operation>
+  </interface>
+  <load>0.35</load>
+</service>`
+
+func TestParseBasic(t *testing.T) {
+	doc, err := ParseString(sampleDoc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	root := doc.DocumentElement()
+	if root == nil || root.Name != "service" {
+		t.Fatalf("root = %v, want service element", root)
+	}
+	if got, _ := root.Attr("name"); got != "replica-catalog" {
+		t.Errorf("name attr = %q", got)
+	}
+	if got, _ := root.Attr("domain"); got != "cern.ch" {
+		t.Errorf("domain attr = %q", got)
+	}
+	ifaces := 0
+	for _, c := range root.ChildElements() {
+		if c.Name == "interface" {
+			ifaces++
+		}
+	}
+	if ifaces != 2 {
+		t.Errorf("interfaces = %d, want 2", ifaces)
+	}
+	if got := root.ChildText("load"); got != "0.35" {
+		t.Errorf("load text = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"<a><b></a>",
+		"<a>",
+		"text only is not a document </a>",
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	doc := MustParse(sampleDoc)
+	out := doc.String()
+	doc2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !doc.Equal(doc2) {
+		t.Errorf("round trip not equal:\n%s\nvs\n%s", out, doc2.String())
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	el := NewElement("x")
+	el.SetAttr("a", `va<l"ue&`)
+	el.AppendChild(NewText("a<b&c>d"))
+	s := el.String()
+	doc, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("reparse escaped: %v (%s)", err, s)
+	}
+	got := doc.DocumentElement()
+	if v, _ := got.Attr("a"); v != `va<l"ue&` {
+		t.Errorf("attr = %q", v)
+	}
+	if got.StringValue() != "a<b&c>d" {
+		t.Errorf("text = %q", got.StringValue())
+	}
+}
+
+func TestStringValue(t *testing.T) {
+	doc := MustParse("<a>one<b>two</b>three</a>")
+	if got := doc.StringValue(); got != "onetwothree" {
+		t.Errorf("string value = %q", got)
+	}
+}
+
+func TestDocumentOrder(t *testing.T) {
+	doc := MustParse("<a><b/><c><d/></c><e/></a>")
+	var names []string
+	prev := -1
+	doc.Walk(func(n *Node) bool {
+		if n.Order() <= prev {
+			t.Errorf("order not strictly increasing at %v", n.Name)
+		}
+		prev = n.Order()
+		if n.Kind == ElementNode {
+			names = append(names, n.Name)
+		}
+		return true
+	})
+	want := "a b c d e"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("walk order = %q, want %q", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	doc := MustParse(sampleDoc)
+	c := doc.Clone()
+	if !doc.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.DocumentElement().SetAttr("name", "changed")
+	if v, _ := doc.DocumentElement().Attr("name"); v != "replica-catalog" {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	doc := MustParse("<a><b/><c/><d/></a>")
+	count := 0
+	doc.Walk(func(n *Node) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("visited %d nodes, want 3", count)
+	}
+}
+
+func TestFirstChildElementMissing(t *testing.T) {
+	doc := MustParse("<a><b/></a>")
+	if doc.DocumentElement().FirstChildElement("zz") != nil {
+		t.Error("expected nil for missing child")
+	}
+	if doc.DocumentElement().ChildText("zz") != "" {
+		t.Error("expected empty text for missing child")
+	}
+}
+
+// randomTree builds a random well-formed tree for property tests.
+func randomTree(r *rand.Rand, depth int) *Node {
+	names := []string{"svc", "iface", "op", "load", "host"}
+	el := NewElement(names[r.Intn(len(names))])
+	if r.Intn(2) == 0 {
+		el.SetAttr("id", string(rune('a'+r.Intn(26))))
+	}
+	n := r.Intn(3)
+	for i := 0; i < n; i++ {
+		if depth <= 0 || r.Intn(2) == 0 {
+			el.AppendChild(NewText(string(rune('a' + r.Intn(26)))))
+		} else {
+			el.AppendChild(randomTree(r, depth-1))
+		}
+	}
+	return el
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := NewDocument()
+		doc.AppendChild(randomTree(r, 4))
+		doc.Normalize()
+		doc.Renumber()
+		out := doc.String()
+		doc2, err := ParseString(out)
+		if err != nil {
+			return false
+		}
+		return doc.Equal(doc2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 4)
+		return n.Equal(n.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

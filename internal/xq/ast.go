@@ -1,0 +1,216 @@
+package xq
+
+// Expr is a compiled XQuery expression node. Every expression evaluates to
+// a Sequence.
+type Expr interface {
+	eval(c *evalCtx) (Sequence, error)
+}
+
+// seqExpr is the comma operator: sequence concatenation.
+type seqExpr struct{ parts []Expr }
+
+// flworClause is one for/let clause of a FLWOR expression.
+type flworClause struct {
+	isLet   bool
+	varName string
+	posVar  string // "at $i" positional variable; for-clauses only
+	expr    Expr
+}
+
+// orderSpec is one "order by" key.
+type orderSpec struct {
+	key        Expr
+	descending bool
+	emptyLeast bool
+}
+
+// flworExpr is a FLWOR expression: for/let clauses, optional where,
+// optional stable order by, and a return expression.
+type flworExpr struct {
+	clauses []flworClause
+	where   Expr
+	orderBy []orderSpec
+	ret     Expr
+}
+
+// quantExpr is "some/every $v in E satisfies P".
+type quantExpr struct {
+	every bool
+	binds []flworClause // isLet always false
+	sat   Expr
+}
+
+// ifExpr is "if (C) then T else E".
+type ifExpr struct{ cond, then, els Expr }
+
+// orExpr / andExpr are short-circuit boolean connectives.
+type orExpr struct{ args []Expr }
+type andExpr struct{ args []Expr }
+
+// compExpr is a general (=, <, ...) or value (eq, lt, ...) comparison.
+type compExpr struct {
+	op      string
+	general bool
+	l, r    Expr
+}
+
+// rangeExpr is the integer range constructor "l to r".
+type rangeExpr struct{ l, r Expr }
+
+// arithExpr is +, -, *, div, idiv, mod.
+type arithExpr struct {
+	op   string
+	l, r Expr
+}
+
+// unaryExpr is unary minus (and the no-op unary plus).
+type unaryExpr struct {
+	neg bool
+	x   Expr
+}
+
+// unionExpr is the node-set union operator "|".
+type unionExpr struct{ args []Expr }
+
+// intersectExceptExpr is "intersect" (both = true) or "except".
+type intersectExceptExpr struct {
+	intersect bool
+	l, r      Expr
+}
+
+// seqType is a parsed sequence type like "xs:integer*" or "element()?".
+type seqType struct {
+	name string // "integer", "decimal", "double", "string", "boolean",
+	// "untypedAtomic", "anyAtomicType", "item", "node", "element", "text",
+	// "comment", "document-node", "empty-sequence"
+	occurrence byte // 0 (exactly one), '?', '*', '+'
+}
+
+// instanceOfExpr is "E instance of T".
+type instanceOfExpr struct {
+	x Expr
+	t seqType
+}
+
+// castExpr is "E cast as T" (castable = false) or "E castable as T".
+type castExpr struct {
+	x        Expr
+	t        seqType
+	castable bool
+}
+
+// concatExpr is the string concatenation operator "||".
+type concatExpr struct{ l, r Expr }
+
+// axis enumerates the supported axes (abbreviated and explicit syntax).
+type axis int
+
+const (
+	axisChild axis = iota
+	axisDescOrSelf
+	axisAttribute
+	axisSelf
+	axisParent
+	axisDescendant
+	axisAncestor
+	axisAncestorOrSelf
+	axisFollowingSibling
+	axisPrecedingSibling
+)
+
+// axisByName maps explicit axis syntax (axis::test) to axes.
+var axisByName = map[string]axis{
+	"child":              axisChild,
+	"descendant":         axisDescendant,
+	"descendant-or-self": axisDescOrSelf,
+	"attribute":          axisAttribute,
+	"self":               axisSelf,
+	"parent":             axisParent,
+	"ancestor":           axisAncestor,
+	"ancestor-or-self":   axisAncestorOrSelf,
+	"following-sibling":  axisFollowingSibling,
+	"preceding-sibling":  axisPrecedingSibling,
+}
+
+// userFunc is a user-declared function from the query prolog.
+type userFunc struct {
+	name   string
+	params []string
+	body   Expr
+}
+
+// varDecl is a prolog variable declaration; external declarations must be
+// bound by the caller.
+type varDecl struct {
+	name     string
+	external bool
+	init     Expr
+}
+
+// nodeTest matches nodes on an axis.
+type nodeTest struct {
+	name string // element/attribute name; "*" matches any; "" with kind set
+	kind string // "", "text", "node", "comment", "element", "document-node"
+}
+
+// pathStep is one step of a path expression: either an axis step or a
+// filter step (a primary expression filtered by predicates).
+type pathStep struct {
+	axis    axis
+	test    nodeTest
+	primary Expr // non-nil for filter steps; axis/test ignored then
+	preds   []Expr
+}
+
+// pathExpr is a path expression. If absolute, evaluation starts at the root
+// of the context node; if doubleSlash, a descendant-or-self step is
+// prepended.
+type pathExpr struct {
+	absolute    bool
+	doubleSlash bool
+	steps       []pathStep
+}
+
+// varRef references a bound variable.
+type varRef struct{ name string }
+
+// literal is a constant atomic value.
+type literal struct{ val Item }
+
+// ctxItemExpr is ".".
+type ctxItemExpr struct{}
+
+// funcCall calls a built-in function.
+type funcCall struct {
+	name string
+	args []Expr
+}
+
+// attrPart is a fragment of an attribute value template: either raw text
+// (expr == nil) or an embedded expression.
+type attrPart struct {
+	text string
+	expr Expr
+}
+
+// attrCtor constructs one attribute of a direct element constructor.
+type attrCtor struct {
+	name  string
+	parts []attrPart
+}
+
+// elemCtor is a direct or computed element constructor. For direct
+// constructors name is static; for computed ones nameExpr yields the name.
+type elemCtor struct {
+	name     string
+	nameExpr Expr
+	attrs    []attrCtor
+	content  []Expr
+}
+
+// textCtor is a text{...} constructor or literal text inside an element
+// constructor (expr == nil, text used verbatim).
+type textCtor struct {
+	text string
+	expr Expr
+}

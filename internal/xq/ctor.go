@@ -1,0 +1,280 @@
+package xq
+
+import (
+	"strings"
+	"unicode/utf8"
+
+	"wsda/internal/xmldoc"
+)
+
+// attrExpr is a computed attribute constructor: attribute name {expr}.
+type attrExpr struct {
+	name string
+	val  Expr
+}
+
+func (e *attrExpr) eval(c *evalCtx) (Sequence, error) {
+	v, err := e.val.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	for i, it := range Atomize(v) {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(StringValue(it))
+	}
+	return Singleton(xmldoc.NewAttr(e.name, sb.String())), nil
+}
+
+// parseDirectCtor parses a direct element constructor like
+//
+//	<result count="{count($x)}">{$x/name} items</result>
+//
+// The '<' token lt has been peeked but not consumed; parsing proceeds at the
+// character level from lt.end, calling back into the token parser for
+// embedded expressions, and finally rewinds the lexer past the constructor.
+func (p *parser) parseDirectCtor(lt token) (Expr, error) {
+	// Constructor only if '<' is immediately followed by a name character.
+	r, _ := utf8.DecodeRuneInString(p.lx.src[lt.end:])
+	if !isNameStart(r) {
+		return nil, p.lx.errorf(lt.pos, "unexpected %q", "<")
+	}
+	p.lx.next() // consume '<'
+	ctor, off, err := p.parseCtorAt(lt.end)
+	if err != nil {
+		return nil, err
+	}
+	p.lx.rewind(off)
+	return ctor, nil
+}
+
+// parseCtorAt parses an element constructor whose tag name starts at byte
+// offset off (just past '<'). It returns the constructor and the offset just
+// past the closing tag.
+func (p *parser) parseCtorAt(off int) (*elemCtor, int, error) {
+	src := p.lx.src
+	name, off := scanRawName(src, off)
+	if name == "" {
+		return nil, 0, p.lx.errorf(off, "expected element name in constructor")
+	}
+	ctor := &elemCtor{name: name}
+	// Attributes.
+	for {
+		off = skipRawSpace(src, off)
+		if off >= len(src) {
+			return nil, 0, p.lx.errorf(off, "unterminated start tag <%s", name)
+		}
+		if src[off] == '/' {
+			if off+1 >= len(src) || src[off+1] != '>' {
+				return nil, 0, p.lx.errorf(off, "expected /> in start tag")
+			}
+			return ctor, off + 2, nil
+		}
+		if src[off] == '>' {
+			off++
+			break
+		}
+		var attr attrCtor
+		attr.name, off = scanRawName(src, off)
+		if attr.name == "" {
+			return nil, 0, p.lx.errorf(off, "expected attribute name in <%s>", name)
+		}
+		off = skipRawSpace(src, off)
+		if off >= len(src) || src[off] != '=' {
+			return nil, 0, p.lx.errorf(off, "expected = after attribute %s", attr.name)
+		}
+		off = skipRawSpace(src, off+1)
+		if off >= len(src) || (src[off] != '"' && src[off] != '\'') {
+			return nil, 0, p.lx.errorf(off, "expected quoted value for attribute %s", attr.name)
+		}
+		var err error
+		attr.parts, off, err = p.parseAttrValue(off)
+		if err != nil {
+			return nil, 0, err
+		}
+		ctor.attrs = append(ctor.attrs, attr)
+	}
+	// Content until matching </name>.
+	var text strings.Builder
+	flush := func() {
+		if text.Len() == 0 {
+			return
+		}
+		s := text.String()
+		text.Reset()
+		// Boundary whitespace is stripped (XQuery default boundary-space).
+		if strings.TrimSpace(s) == "" {
+			return
+		}
+		ctor.content = append(ctor.content, &textCtor{text: s})
+	}
+	for off < len(src) {
+		c := src[off]
+		switch c {
+		case '{':
+			if off+1 < len(src) && src[off+1] == '{' {
+				text.WriteByte('{')
+				off += 2
+				continue
+			}
+			flush()
+			e, n, err := p.parseEmbedded(off + 1)
+			if err != nil {
+				return nil, 0, err
+			}
+			ctor.content = append(ctor.content, e)
+			off = n
+		case '}':
+			if off+1 < len(src) && src[off+1] == '}' {
+				text.WriteByte('}')
+				off += 2
+				continue
+			}
+			return nil, 0, p.lx.errorf(off, "unescaped } in element content")
+		case '<':
+			if strings.HasPrefix(src[off:], "</") {
+				flush()
+				end, o := scanRawName(src, off+2)
+				o = skipRawSpace(src, o)
+				if o >= len(src) || src[o] != '>' {
+					return nil, 0, p.lx.errorf(off, "malformed end tag")
+				}
+				if end != name {
+					return nil, 0, p.lx.errorf(off, "end tag </%s> does not match <%s>", end, name)
+				}
+				return ctor, o + 1, nil
+			}
+			if strings.HasPrefix(src[off:], "<!--") {
+				i := strings.Index(src[off+4:], "-->")
+				if i < 0 {
+					return nil, 0, p.lx.errorf(off, "unterminated comment")
+				}
+				off += 4 + i + 3
+				continue
+			}
+			flush()
+			child, n, err := p.parseCtorAt(off + 1)
+			if err != nil {
+				return nil, 0, err
+			}
+			ctor.content = append(ctor.content, child)
+			off = n
+		case '&':
+			if rep, n, ok := scanEntity(src[off:]); ok {
+				text.WriteString(rep)
+				off += n
+				continue
+			}
+			text.WriteByte('&')
+			off++
+		default:
+			text.WriteByte(c)
+			off++
+		}
+	}
+	return nil, 0, p.lx.errorf(off, "missing end tag </%s>", name)
+}
+
+// parseAttrValue parses a quoted attribute value template starting at the
+// opening quote, returning its parts and the offset past the closing quote.
+func (p *parser) parseAttrValue(off int) ([]attrPart, int, error) {
+	src := p.lx.src
+	quote := src[off]
+	off++
+	var parts []attrPart
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			parts = append(parts, attrPart{text: text.String()})
+			text.Reset()
+		}
+	}
+	for off < len(src) {
+		c := src[off]
+		switch {
+		case c == quote:
+			flush()
+			return parts, off + 1, nil
+		case c == '{':
+			if off+1 < len(src) && src[off+1] == '{' {
+				text.WriteByte('{')
+				off += 2
+				continue
+			}
+			flush()
+			e, n, err := p.parseEmbedded(off + 1)
+			if err != nil {
+				return nil, 0, err
+			}
+			parts = append(parts, attrPart{expr: e})
+			off = n
+		case c == '}':
+			if off+1 < len(src) && src[off+1] == '}' {
+				text.WriteByte('}')
+				off += 2
+				continue
+			}
+			return nil, 0, p.lx.errorf(off, "unescaped } in attribute value")
+		case c == '&':
+			if rep, n, ok := scanEntity(src[off:]); ok {
+				text.WriteString(rep)
+				off += n
+				continue
+			}
+			text.WriteByte('&')
+			off++
+		default:
+			text.WriteByte(c)
+			off++
+		}
+	}
+	return nil, 0, p.lx.errorf(off, "unterminated attribute value")
+}
+
+// parseEmbedded parses an embedded {expression} starting just past the '{'.
+// It returns the expression and the offset just past the matching '}'.
+func (p *parser) parseEmbedded(off int) (Expr, int, error) {
+	p.lx.rewind(off)
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, 0, err
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return nil, 0, err
+	}
+	if t.kind != tokSymbol || t.text != "}" {
+		return nil, 0, p.lx.errorf(t.pos, "expected } after embedded expression, got %q", t.text)
+	}
+	return e, t.end, nil
+}
+
+func scanRawName(src string, off int) (string, int) {
+	start := off
+	for off < len(src) {
+		r, size := utf8.DecodeRuneInString(src[off:])
+		if off == start {
+			if !isNameStart(r) {
+				break
+			}
+		} else if !isNameChar(r) {
+			break
+		}
+		off += size
+	}
+	return src[start:off], off
+}
+
+func skipRawSpace(src string, off int) int {
+	for off < len(src) {
+		switch src[off] {
+		case ' ', '\t', '\n', '\r':
+			off++
+		default:
+			return off
+		}
+	}
+	return off
+}

@@ -1,0 +1,959 @@
+package xq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"wsda/internal/xmldoc"
+)
+
+// env is a lexically scoped variable environment (immutable linked list).
+type env struct {
+	name   string
+	val    Sequence
+	parent *env
+}
+
+func (e *env) lookup(name string) (Sequence, bool) {
+	for ; e != nil; e = e.parent {
+		if e.name == name {
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+// evalCtx is the dynamic evaluation context.
+type evalCtx struct {
+	item Item // context item (nil if absent)
+	pos  int  // context position (1-based)
+	size int  // context size
+	vars *env
+	// emit, when non-nil, receives items produced by the top-level FLWOR
+	// return clause as soon as they are computed (pipelined evaluation,
+	// thesis Ch. 6.5). It may return false to abort evaluation early.
+	emit  func(Item) bool
+	steps *int // shared work counter for resource limiting
+	limit int  // max steps; 0 = unlimited
+
+	// funcs are the user-declared functions of the query prolog; globals
+	// the prolog-declared variable bindings visible inside function bodies.
+	funcs   map[string]*userFunc
+	globals *env
+	depth   int // user-function call depth
+}
+
+// maxCallDepth bounds user-function recursion to keep runaway queries from
+// exhausting the goroutine stack.
+const maxCallDepth = 1024
+
+// errAborted is returned internally when an emit callback stops evaluation.
+var errAborted = fmt.Errorf("xq: evaluation aborted by consumer")
+
+func (c *evalCtx) withVar(name string, val Sequence) *evalCtx {
+	cc := *c
+	cc.vars = &env{name: name, val: val, parent: c.vars}
+	cc.emit = nil
+	return &cc
+}
+
+func (c *evalCtx) withItem(item Item, pos, size int) *evalCtx {
+	cc := *c
+	cc.item, cc.pos, cc.size = item, pos, size
+	cc.emit = nil
+	return &cc
+}
+
+// tick accounts one unit of evaluation work and enforces the step limit.
+func (c *evalCtx) tick() error {
+	if c.steps == nil {
+		return nil
+	}
+	*c.steps++
+	if c.limit > 0 && *c.steps > c.limit {
+		return fmt.Errorf("xq: evaluation exceeded %d steps", c.limit)
+	}
+	return nil
+}
+
+func (e *seqExpr) eval(c *evalCtx) (Sequence, error) {
+	var out Sequence
+	for _, p := range e.parts {
+		v, err := p.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+func (e *flworExpr) eval(c *evalCtx) (Sequence, error) {
+	emit := c.emit
+	if len(e.orderBy) > 0 {
+		return e.evalOrdered(c, emit)
+	}
+
+	var out Sequence
+	var run func(ci *evalCtx, i int) error
+	run = func(ci *evalCtx, i int) error {
+		if err := ci.tick(); err != nil {
+			return err
+		}
+		if i == len(e.clauses) {
+			ok, err := e.whereHolds(ci)
+			if err != nil || !ok {
+				return err
+			}
+			v, err := e.ret.eval(ci)
+			if err != nil {
+				return err
+			}
+			if emit != nil {
+				for _, it := range v {
+					if !emit(it) {
+						return errAborted
+					}
+				}
+				return nil
+			}
+			out = append(out, v...)
+			return nil
+		}
+		return e.bindClause(ci, i, run)
+	}
+
+	cc := *c
+	cc.emit = nil
+	if err := run(&cc, 0); err != nil {
+		return nil, err
+	}
+
+	return out, nil
+}
+
+// whereHolds evaluates the optional where clause.
+func (e *flworExpr) whereHolds(ci *evalCtx) (bool, error) {
+	if e.where == nil {
+		return true, nil
+	}
+	v, err := e.where.eval(ci)
+	if err != nil {
+		return false, err
+	}
+	return EffectiveBool(v)
+}
+
+// bindClause evaluates clause i (for or let) and recurses via cont.
+func (e *flworExpr) bindClause(ci *evalCtx, i int, cont func(*evalCtx, int) error) error {
+	cl := e.clauses[i]
+	if cl.isLet {
+		v, err := cl.expr.eval(ci)
+		if err != nil {
+			return err
+		}
+		return cont(ci.withVar(cl.varName, v), i+1)
+	}
+	seq, err := cl.expr.eval(ci)
+	if err != nil {
+		return err
+	}
+	for idx, it := range seq {
+		child := ci.withVar(cl.varName, Singleton(it))
+		if cl.posVar != "" {
+			child = child.withVar(cl.posVar, Singleton(int64(idx+1)))
+		}
+		if err := cont(child, i+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalOrdered materializes all FLWOR tuples, sorts them stably by the
+// order-by keys, then concatenates (and optionally emits) the results.
+func (e *flworExpr) evalOrdered(c *evalCtx, emit func(Item) bool) (Sequence, error) {
+	var tuples []Sequence
+	var keys []Sequence
+	cc := *c
+	cc.emit = nil
+	if err := runOrdered(e, &cc, &tuples, &keys); err != nil {
+		return nil, err
+	}
+
+	idx := make([]int, len(tuples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for k := range e.orderBy {
+			cmp := compareKeys(ka[k], kb[k], e.orderBy[k])
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	var res Sequence
+	for _, i := range idx {
+		if emit != nil {
+			for _, it := range tuples[i] {
+				if !emit(it) {
+					return nil, errAborted
+				}
+			}
+			continue
+		}
+		res = append(res, tuples[i]...)
+	}
+	return res, nil
+}
+
+// runOrdered enumerates FLWOR tuples collecting per-tuple return values and
+// order-by keys.
+func runOrdered(e *flworExpr, c *evalCtx, tuples *[]Sequence, keys *[]Sequence) error {
+	var run func(ci *evalCtx, i int) error
+	run = func(ci *evalCtx, i int) error {
+		if err := ci.tick(); err != nil {
+			return err
+		}
+		if i == len(e.clauses) {
+			ok, err := e.whereHolds(ci)
+			if err != nil || !ok {
+				return err
+			}
+			var key Sequence
+			for _, os := range e.orderBy {
+				kv, err := os.key.eval(ci)
+				if err != nil {
+					return err
+				}
+				var k Item
+				if len(kv) > 0 {
+					k = Atomize(kv[:1])[0]
+				}
+				key = append(key, k)
+			}
+			v, err := e.ret.eval(ci)
+			if err != nil {
+				return err
+			}
+			*tuples = append(*tuples, v)
+			*keys = append(*keys, key)
+			return nil
+		}
+		return e.bindClause(ci, i, run)
+	}
+	return run(c, 0)
+}
+
+// compareKeys compares two order-by keys under the given spec. Empty (nil)
+// keys sort least by default.
+func compareKeys(a, b Item, spec orderSpec) int {
+	var cmp int
+	switch {
+	case a == nil && b == nil:
+		cmp = 0
+	case a == nil:
+		cmp = -1
+	case b == nil:
+		cmp = 1
+	default:
+		c, err := compareAtomic(a, b)
+		if err != nil || c == 2 {
+			cmp = 0
+		} else {
+			cmp = c
+		}
+	}
+	if spec.descending {
+		cmp = -cmp
+	}
+	return cmp
+}
+
+func (e *quantExpr) eval(c *evalCtx) (Sequence, error) {
+	var run func(ci *evalCtx, i int) (bool, error)
+	run = func(ci *evalCtx, i int) (bool, error) {
+		if err := ci.tick(); err != nil {
+			return false, err
+		}
+		if i == len(e.binds) {
+			v, err := e.sat.eval(ci)
+			if err != nil {
+				return false, err
+			}
+			return EffectiveBool(v)
+		}
+		seq, err := e.binds[i].expr.eval(ci)
+		if err != nil {
+			return false, err
+		}
+		for _, it := range seq {
+			ok, err := run(ci.withVar(e.binds[i].varName, Singleton(it)), i+1)
+			if err != nil {
+				return false, err
+			}
+			if ok && !e.every {
+				return true, nil
+			}
+			if !ok && e.every {
+				return false, nil
+			}
+		}
+		return e.every, nil
+	}
+	ok, err := run(c, 0)
+	if err != nil {
+		return nil, err
+	}
+	return Singleton(ok), nil
+}
+
+func (e *ifExpr) eval(c *evalCtx) (Sequence, error) {
+	v, err := e.cond.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := EffectiveBool(v)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return e.then.eval(c)
+	}
+	return e.els.eval(c)
+}
+
+func (e *orExpr) eval(c *evalCtx) (Sequence, error) {
+	for _, a := range e.args {
+		v, err := a.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := EffectiveBool(v)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return Singleton(true), nil
+		}
+	}
+	return Singleton(false), nil
+}
+
+func (e *andExpr) eval(c *evalCtx) (Sequence, error) {
+	for _, a := range e.args {
+		v, err := a.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := EffectiveBool(v)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return Singleton(false), nil
+		}
+	}
+	return Singleton(true), nil
+}
+
+func (e *compExpr) eval(c *evalCtx) (Sequence, error) {
+	l, err := e.l.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.r.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	if e.general {
+		ok, err := generalCompare(e.op, l, r)
+		if err != nil {
+			return nil, err
+		}
+		return Singleton(ok), nil
+	}
+	return valueCompare(e.op, l, r)
+}
+
+func (e *rangeExpr) eval(c *evalCtx) (Sequence, error) {
+	l, err := evalSingletonInt(e.l, c)
+	if err != nil {
+		return nil, err
+	}
+	r, err := evalSingletonInt(e.r, c)
+	if err != nil {
+		return nil, err
+	}
+	if l == nil || r == nil || *l > *r {
+		return Empty, nil
+	}
+	n := *r - *l + 1
+	if n > 10_000_000 {
+		return nil, fmt.Errorf("xq: range %d to %d too large", *l, *r)
+	}
+	out := make(Sequence, 0, n)
+	for i := *l; i <= *r; i++ {
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+func evalSingletonInt(e Expr, c *evalCtx) (*int64, error) {
+	v, err := e.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	if len(v) == 0 {
+		return nil, nil
+	}
+	f := NumberValue(Atomize(v)[0])
+	if math.IsNaN(f) {
+		return nil, fmt.Errorf("xq: range bound is not a number")
+	}
+	i := int64(f)
+	return &i, nil
+}
+
+func (e *arithExpr) eval(c *evalCtx) (Sequence, error) {
+	lv, err := e.l.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := e.r.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	if len(lv) == 0 || len(rv) == 0 {
+		return Empty, nil
+	}
+	la, ra := Atomize(lv), Atomize(rv)
+	if len(la) != 1 || len(ra) != 1 {
+		return nil, fmt.Errorf("xq: arithmetic on non-singleton sequence")
+	}
+	li, lok := la[0].(int64)
+	ri, rok := ra[0].(int64)
+	if lok && rok {
+		switch e.op {
+		case "+":
+			return Singleton(li + ri), nil
+		case "-":
+			return Singleton(li - ri), nil
+		case "*":
+			return Singleton(li * ri), nil
+		case "idiv":
+			if ri == 0 {
+				return nil, fmt.Errorf("xq: integer division by zero")
+			}
+			return Singleton(li / ri), nil
+		case "mod":
+			if ri == 0 {
+				return nil, fmt.Errorf("xq: modulo by zero")
+			}
+			return Singleton(li % ri), nil
+		case "div":
+			if ri == 0 {
+				return nil, fmt.Errorf("xq: division by zero")
+			}
+			return Singleton(float64(li) / float64(ri)), nil
+		}
+	}
+	lf, rf := NumberValue(la[0]), NumberValue(ra[0])
+	if math.IsNaN(lf) || math.IsNaN(rf) {
+		return nil, fmt.Errorf("xq: arithmetic on non-numeric value")
+	}
+	switch e.op {
+	case "+":
+		return Singleton(lf + rf), nil
+	case "-":
+		return Singleton(lf - rf), nil
+	case "*":
+		return Singleton(lf * rf), nil
+	case "div":
+		if rf == 0 {
+			return nil, fmt.Errorf("xq: division by zero")
+		}
+		return Singleton(lf / rf), nil
+	case "idiv":
+		if rf == 0 {
+			return nil, fmt.Errorf("xq: integer division by zero")
+		}
+		return Singleton(int64(lf / rf)), nil
+	case "mod":
+		if rf == 0 {
+			return nil, fmt.Errorf("xq: modulo by zero")
+		}
+		return Singleton(math.Mod(lf, rf)), nil
+	}
+	return nil, fmt.Errorf("xq: unknown arithmetic operator %q", e.op)
+}
+
+func (e *unaryExpr) eval(c *evalCtx) (Sequence, error) {
+	v, err := e.x.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	if !e.neg {
+		return v, nil
+	}
+	if len(v) == 0 {
+		return Empty, nil
+	}
+	a := Atomize(v)
+	if len(a) != 1 {
+		return nil, fmt.Errorf("xq: unary minus on non-singleton")
+	}
+	if i, ok := a[0].(int64); ok {
+		return Singleton(-i), nil
+	}
+	f := NumberValue(a[0])
+	if math.IsNaN(f) {
+		return nil, fmt.Errorf("xq: unary minus on non-numeric value")
+	}
+	return Singleton(-f), nil
+}
+
+func (e *unionExpr) eval(c *evalCtx) (Sequence, error) {
+	var all Sequence
+	for _, a := range e.args {
+		v, err := a.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range v {
+			if !IsNode(it) {
+				return nil, fmt.Errorf("xq: union operand contains non-node %T", it)
+			}
+		}
+		all = append(all, v...)
+	}
+	return sortNodesDocOrder(all), nil
+}
+
+func (e *concatExpr) eval(c *evalCtx) (Sequence, error) {
+	l, err := e.l.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.r.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	for _, it := range Atomize(l) {
+		sb.WriteString(StringValue(it))
+	}
+	for _, it := range Atomize(r) {
+		sb.WriteString(StringValue(it))
+	}
+	return Singleton(sb.String()), nil
+}
+
+func (e *varRef) eval(c *evalCtx) (Sequence, error) {
+	if v, ok := c.vars.lookup(e.name); ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("xq: undefined variable $%s", e.name)
+}
+
+func (e *literal) eval(*evalCtx) (Sequence, error) { return Singleton(e.val), nil }
+
+func (e *ctxItemExpr) eval(c *evalCtx) (Sequence, error) {
+	if c.item == nil {
+		return nil, fmt.Errorf("xq: context item is undefined")
+	}
+	return Singleton(c.item), nil
+}
+
+func (e *funcCall) eval(c *evalCtx) (Sequence, error) {
+	if uf, ok := c.funcs[e.name]; ok {
+		return e.evalUser(c, uf)
+	}
+	fn, ok := builtins[e.name]
+	if !ok {
+		return nil, fmt.Errorf("xq: unknown function %s()", e.name)
+	}
+	if len(e.args) < fn.minArgs || (fn.maxArgs >= 0 && len(e.args) > fn.maxArgs) {
+		return nil, fmt.Errorf("xq: %s() takes %d..%d arguments, got %d", e.name, fn.minArgs, fn.maxArgs, len(e.args))
+	}
+	args := make([]Sequence, len(e.args))
+	for i, a := range e.args {
+		v, err := a.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return fn.impl(c, args)
+}
+
+// evalUser applies a user-declared function: arguments are evaluated in
+// the caller's context, the body in a fresh context whose variables are
+// the parameters chained onto the query's globals (no context item, per
+// XQuery function semantics).
+func (e *funcCall) evalUser(c *evalCtx, uf *userFunc) (Sequence, error) {
+	if len(e.args) != len(uf.params) {
+		return nil, fmt.Errorf("xq: %s() takes %d arguments, got %d", e.name, len(uf.params), len(e.args))
+	}
+	if c.depth+1 > maxCallDepth {
+		return nil, fmt.Errorf("xq: %s() exceeded recursion depth %d", e.name, maxCallDepth)
+	}
+	frame := c.globals
+	for i, a := range e.args {
+		v, err := a.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		frame = &env{name: uf.params[i], val: v, parent: frame}
+	}
+	cc := *c
+	cc.item = nil
+	cc.pos, cc.size = 0, 0
+	cc.emit = nil
+	cc.vars = frame
+	cc.depth = c.depth + 1
+	return uf.body.eval(&cc)
+}
+
+// --- Path evaluation ---
+
+func (e *pathExpr) eval(c *evalCtx) (Sequence, error) {
+	var cur Sequence
+	if e.absolute || e.doubleSlash {
+		n, ok := c.item.(*xmldoc.Node)
+		if !ok {
+			return nil, fmt.Errorf("xq: absolute path requires a node context item")
+		}
+		cur = Singleton(n.Root())
+		if e.doubleSlash {
+			var err error
+			cur, err = applyAxisStep(c, cur, pathStep{axis: axisDescOrSelf, test: nodeTest{kind: "node"}})
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else if len(e.steps) > 0 && e.steps[0].primary != nil {
+		// A path headed by a primary expression ($v/..., f()/...) does not
+		// need a context item: the primary supplies the start sequence.
+		v, err := e.steps[0].primary.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		cur, err = applyPredicates(c, v, e.steps[0].preds)
+		if err != nil {
+			return nil, err
+		}
+		if len(e.steps) > 1 {
+			cur = sortNodesDocOrder(cur)
+		}
+		return e.evalSteps(c, cur, e.steps[1:])
+	} else {
+		if c.item == nil {
+			return nil, fmt.Errorf("xq: relative path requires a context item")
+		}
+		cur = Singleton(c.item)
+	}
+	return e.evalSteps(c, cur, e.steps)
+}
+
+// evalSteps applies the remaining path steps to cur.
+func (e *pathExpr) evalSteps(c *evalCtx, cur Sequence, steps []pathStep) (Sequence, error) {
+	for i, st := range steps {
+		var err error
+		cur, err = applyStep(c, cur, st)
+		if err != nil {
+			return nil, err
+		}
+		// Between steps, node sequences are kept in document order.
+		if i < len(steps)-1 || st.primary == nil {
+			cur = sortNodesDocOrder(cur)
+		}
+	}
+	return cur, nil
+}
+
+// applyStep applies one path step to each item of the input sequence.
+func applyStep(c *evalCtx, input Sequence, st pathStep) (Sequence, error) {
+	if st.primary != nil {
+		// Filter step: evaluate primary for each context item, concatenate,
+		// then filter by predicates over the whole sequence.
+		var all Sequence
+		for i, it := range input {
+			ci := c.withItem(it, i+1, len(input))
+			v, err := st.primary.eval(ci)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, v...)
+		}
+		return applyPredicates(c, all, st.preds)
+	}
+	return applyAxisStepWithPreds(c, input, st)
+}
+
+func applyAxisStepWithPreds(c *evalCtx, input Sequence, st pathStep) (Sequence, error) {
+	var out Sequence
+	for _, it := range input {
+		n, ok := it.(*xmldoc.Node)
+		if !ok {
+			return nil, fmt.Errorf("xq: path step on atomic value %T", it)
+		}
+		axisSeq := axisNodes(n, st.axis, st.test)
+		filtered, err := applyPredicates(c, axisSeq, st.preds)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, filtered...)
+	}
+	return out, nil
+}
+
+func applyAxisStep(c *evalCtx, input Sequence, st pathStep) (Sequence, error) {
+	return applyAxisStepWithPreds(c, input, st)
+}
+
+// axisNodes returns the nodes reachable from n on the axis that match the
+// node test, in axis order.
+func axisNodes(n *xmldoc.Node, ax axis, test nodeTest) Sequence {
+	var out Sequence
+	add := func(m *xmldoc.Node) {
+		if matchTest(m, test, ax) {
+			out = append(out, m)
+		}
+	}
+	var walkDesc func(m *xmldoc.Node)
+	walkDesc = func(m *xmldoc.Node) {
+		add(m)
+		for _, ch := range m.Children {
+			walkDesc(ch)
+		}
+	}
+	switch ax {
+	case axisChild:
+		for _, ch := range n.Children {
+			add(ch)
+		}
+	case axisAttribute:
+		for _, a := range n.Attrs {
+			add(a)
+		}
+	case axisSelf:
+		add(n)
+	case axisParent:
+		if n.Parent != nil {
+			add(n.Parent)
+		}
+	case axisDescOrSelf:
+		walkDesc(n)
+	case axisDescendant:
+		for _, ch := range n.Children {
+			walkDesc(ch)
+		}
+	case axisAncestor:
+		for p := n.Parent; p != nil; p = p.Parent {
+			add(p)
+		}
+	case axisAncestorOrSelf:
+		for p := n; p != nil; p = p.Parent {
+			add(p)
+		}
+	case axisFollowingSibling, axisPrecedingSibling:
+		if n.Parent == nil {
+			break
+		}
+		sibs := n.Parent.Children
+		idx := -1
+		for i, s := range sibs {
+			if s == n {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		if ax == axisFollowingSibling {
+			for _, s := range sibs[idx+1:] {
+				add(s)
+			}
+		} else {
+			// Preceding-sibling axis order is reverse document order.
+			for i := idx - 1; i >= 0; i-- {
+				add(sibs[i])
+			}
+		}
+	}
+	return out
+}
+
+func matchTest(n *xmldoc.Node, test nodeTest, ax axis) bool {
+	switch test.kind {
+	case "node":
+		return true
+	case "text":
+		return n.Kind == xmldoc.TextNode
+	case "comment":
+		return n.Kind == xmldoc.CommentNode
+	case "element":
+		return n.Kind == xmldoc.ElementNode
+	case "document-node":
+		return n.Kind == xmldoc.DocumentNode
+	}
+	// Name test. On the attribute axis it selects attributes; elsewhere,
+	// elements.
+	want := xmldoc.ElementNode
+	if ax == axisAttribute {
+		want = xmldoc.AttributeNode
+	}
+	if n.Kind != want {
+		return false
+	}
+	if test.name == "*" {
+		return true
+	}
+	return n.Name == test.name || n.LocalName() == test.name
+}
+
+// applyPredicates filters seq by each predicate in turn. A numeric
+// predicate value selects by position.
+func applyPredicates(c *evalCtx, seq Sequence, preds []Expr) (Sequence, error) {
+	for _, p := range preds {
+		var kept Sequence
+		size := len(seq)
+		for i, it := range seq {
+			if err := c.tick(); err != nil {
+				return nil, err
+			}
+			ci := c.withItem(it, i+1, size)
+			v, err := p.eval(ci)
+			if err != nil {
+				return nil, err
+			}
+			if len(v) == 1 {
+				switch num := v[0].(type) {
+				case int64:
+					if int(num) == i+1 {
+						kept = append(kept, it)
+					}
+					continue
+				case float64:
+					if num == float64(i+1) {
+						kept = append(kept, it)
+					}
+					continue
+				}
+			}
+			ok, err := EffectiveBool(v)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, it)
+			}
+		}
+		seq = kept
+	}
+	return seq, nil
+}
+
+// --- Constructors ---
+
+func (e *elemCtor) eval(c *evalCtx) (Sequence, error) {
+	name := e.name
+	if e.nameExpr != nil {
+		v, err := e.nameExpr.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != 1 {
+			return nil, fmt.Errorf("xq: computed element name must be a single item")
+		}
+		name = StringValue(v[0])
+	}
+	el := xmldoc.NewElement(name)
+	for _, a := range e.attrs {
+		var sb strings.Builder
+		for _, p := range a.parts {
+			if p.expr == nil {
+				sb.WriteString(p.text)
+				continue
+			}
+			v, err := p.expr.eval(c)
+			if err != nil {
+				return nil, err
+			}
+			for i, it := range Atomize(v) {
+				if i > 0 {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString(StringValue(it))
+			}
+		}
+		el.SetAttr(a.name, sb.String())
+	}
+	for _, ce := range e.content {
+		v, err := ce.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := appendContent(el, v); err != nil {
+			return nil, err
+		}
+	}
+	el.Normalize()
+	el.Renumber()
+	return Singleton(el), nil
+}
+
+// appendContent adds evaluated content to an element under construction:
+// nodes are deep-copied in, atomics become text (space-separated runs).
+func appendContent(el *xmldoc.Node, v Sequence) error {
+	prevAtomic := false
+	for _, it := range v {
+		switch n := it.(type) {
+		case *xmldoc.Node:
+			switch n.Kind {
+			case xmldoc.AttributeNode:
+				el.SetAttr(n.Name, n.Data)
+			case xmldoc.DocumentNode:
+				for _, ch := range n.Children {
+					el.AppendChild(ch.Clone())
+				}
+			default:
+				el.AppendChild(n.Clone())
+			}
+			prevAtomic = false
+		default:
+			s := StringValue(it)
+			if prevAtomic {
+				s = " " + s
+			}
+			el.AppendChild(xmldoc.NewText(s))
+			prevAtomic = true
+		}
+	}
+	return nil
+}
+
+func (e *textCtor) eval(c *evalCtx) (Sequence, error) {
+	if e.expr == nil {
+		return Singleton(xmldoc.NewText(e.text)), nil
+	}
+	v, err := e.expr.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	for i, it := range Atomize(v) {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(StringValue(it))
+	}
+	return Singleton(xmldoc.NewText(sb.String())), nil
+}

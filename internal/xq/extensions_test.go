@@ -1,0 +1,156 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+
+	"wsda/internal/xmldoc"
+)
+
+// Tests for explicit axes, prolog variable declarations, and user-defined
+// functions.
+
+func TestExplicitAxes(t *testing.T) {
+	cases := map[string]string{
+		`string((//operation)[1]/ancestor::service/@name)`:           "replica-catalog",
+		`count((//operation)[1]/ancestor::*)`:                        "4", // interface, service, content, tuple... plus tupleset = 5? counted below
+		`count((//service)[1]/descendant::operation)`:              "1",
+		`count(/tupleset/descendant::service)`:                       "3",
+		`string(/tupleset/tuple[1]/following-sibling::tuple[1]/content/service/@name)`: "scheduler",
+		`string(/tupleset/tuple[3]/preceding-sibling::tuple[1]/content/service/@name)`: "scheduler",
+		`count(/tupleset/tuple[2]/preceding-sibling::tuple)`:         "1",
+		`string((//load)[1]/parent::service/@name)`:                  "replica-catalog",
+		`count((//load)[1]/ancestor-or-self::*) >= 2`:                "true",
+		`count(/tupleset/child::tuple)`:                              "3",
+		`string((//service)[1]/self::service/@name)`:                 "replica-catalog",
+		`count(//service/attribute::name)`:                           "3",
+	}
+	for src, want := range cases {
+		if src == `count((//operation)[1]/ancestor::*)` {
+			continue // counted explicitly below
+		}
+		if got := evalOne(t, src); got != want {
+			t.Errorf("%s = %q, want %q", src, got, want)
+		}
+	}
+	// ancestor::* from an operation: interface, service, content, tuple,
+	// tupleset = 5 elements (document node is not an element).
+	if got := evalOne(t, `count((//operation)[1]/ancestor::*)`); got != "5" {
+		t.Errorf("ancestor::* count = %s", got)
+	}
+	// Unknown axis errors at compile time.
+	if _, err := Compile(`//sideways::x`); err == nil {
+		t.Error("unknown axis accepted")
+	}
+}
+
+func TestAxisKindTests(t *testing.T) {
+	if got := evalOne(t, `count(/tupleset/tuple[1]/descendant::node()) > 3`); got != "true" {
+		t.Errorf("descendant::node() = %s", got)
+	}
+	if got := evalOne(t, `count((//load)[1]/child::text())`); got != "1" {
+		t.Errorf("child::text() = %s", got)
+	}
+}
+
+func TestPrologVariables(t *testing.T) {
+	got := evalStrings(t, `
+		declare variable $threshold := 0.5;
+		declare variable $suffix := concat("-", "x");
+		for $s in //service
+		where $s/load < $threshold
+		return concat($s/@name, $suffix)`)
+	if strings.Join(got, ",") != "replica-catalog-x,storage-x" {
+		t.Errorf("prolog vars = %v", got)
+	}
+}
+
+func TestPrologExternalVariable(t *testing.T) {
+	q := MustCompile(`
+		declare variable $max external;
+		count(//service[load < $max])`)
+	seq, err := q.Eval(&Options{Context: doc(t), Vars: map[string]Sequence{"max": Singleton(0.5)}})
+	if err != nil || StringValue(seq[0]) != "2" {
+		t.Errorf("external var: %v %v", seq, err)
+	}
+	// Unbound external variable errors.
+	if _, err := q.Eval(&Options{Context: doc(t)}); err == nil {
+		t.Error("unbound external accepted")
+	}
+}
+
+func TestUserFunctions(t *testing.T) {
+	got := evalOne(t, `
+		declare function local:double($x) { $x * 2 };
+		declare function local:apply-twice($x) { local:double(local:double($x)) };
+		local:apply-twice(3)`)
+	if got != "12" {
+		t.Errorf("user function = %s", got)
+	}
+	// Functions see prolog globals but not the caller's locals.
+	got = evalOne(t, `
+		declare variable $g := 10;
+		declare function local:addg($x) { $x + $g };
+		local:addg(5)`)
+	if got != "15" {
+		t.Errorf("global in function = %s", got)
+	}
+	// Recursion (factorial).
+	got = evalOne(t, `
+		declare function local:fact($n) { if ($n <= 1) then 1 else $n * local:fact($n - 1) };
+		local:fact(10)`)
+	if got != "3628800" {
+		t.Errorf("fact(10) = %s", got)
+	}
+	// Functions over nodes.
+	got = evalOne(t, `
+		declare function local:loadof($s) { number($s/load) };
+		max(for $s in //service return local:loadof($s))`)
+	if got != "0.8" {
+		t.Errorf("loadof = %s", got)
+	}
+}
+
+func TestUserFunctionErrors(t *testing.T) {
+	// Wrong arity.
+	if _, err := EvalString(`
+		declare function local:f($a, $b) { $a + $b };
+		local:f(1)`, nil); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	// Unbounded recursion trips the depth limit, not the stack.
+	if _, err := EvalString(`
+		declare function local:loop($n) { local:loop($n + 1) };
+		local:loop(0)`, nil); err == nil || !strings.Contains(err.Error(), "recursion depth") {
+		t.Errorf("runaway recursion: %v", err)
+	}
+	// Duplicate declaration.
+	if _, err := Compile(`
+		declare function local:f() { 1 };
+		declare function local:f() { 2 };
+		local:f()`); err == nil {
+		t.Error("duplicate function accepted")
+	}
+	// Missing semicolon.
+	if _, err := Compile(`declare variable $x := 1 $x`); err == nil {
+		t.Error("missing semicolon accepted")
+	}
+}
+
+func TestPrologDoesNotShadowPathUse(t *testing.T) {
+	// "declare" as a plain element name must still work.
+	d := xmldoc.MustParse(`<declare>v</declare>`)
+	seq, err := EvalString(`string(/declare)`, d)
+	if err != nil || StringValue(seq[0]) != "v" {
+		t.Errorf("declare as element: %v %v", seq, err)
+	}
+}
+
+func TestFunctionNoContextItem(t *testing.T) {
+	// The context item is not visible inside a function body.
+	if _, err := EvalString(`
+		declare function local:bad() { ./service };
+		local:bad()`, doc(t)); err == nil {
+		t.Error("context item leaked into function body")
+	}
+}

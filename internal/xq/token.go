@@ -1,0 +1,284 @@
+package xq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokName         // identifier or keyword: for, let, div, element names
+	tokVar          // $name
+	tokString       // "..." or '...'
+	tokInteger      // 42
+	tokDecimal      // 4.2
+	tokSymbol       // punctuation and operators
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokName:
+		return "name"
+	case tokVar:
+		return "variable"
+	case tokString:
+		return "string literal"
+	case tokInteger:
+		return "integer literal"
+	case tokDecimal:
+		return "decimal literal"
+	case tokSymbol:
+		return "symbol"
+	default:
+		return "token"
+	}
+}
+
+// token is a single lexical token with its source span.
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset of the first character
+	end  int // byte offset just past the token
+}
+
+// lexer scans tokens on demand from src. The parser can rewind it to an
+// arbitrary byte offset, which is how direct element constructors switch
+// between expression tokens and raw XML content.
+type lexer struct {
+	src string
+	pos int
+	buf []token // lookahead buffer
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// errorf produces a positioned syntax error.
+func (lx *lexer) errorf(pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(lx.src); i++ {
+		if lx.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("xq: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+// rewind discards buffered lookahead and continues scanning at off.
+func (lx *lexer) rewind(off int) {
+	lx.buf = lx.buf[:0]
+	lx.pos = off
+}
+
+// peek returns the i-th upcoming token (0 = next) without consuming it.
+func (lx *lexer) peek(i int) (token, error) {
+	for len(lx.buf) <= i {
+		t, err := lx.scan()
+		if err != nil {
+			return token{}, err
+		}
+		lx.buf = append(lx.buf, t)
+	}
+	return lx.buf[i], nil
+}
+
+// next consumes and returns the next token.
+func (lx *lexer) next() (token, error) {
+	t, err := lx.peek(0)
+	if err != nil {
+		return token{}, err
+	}
+	lx.buf = lx.buf[1:]
+	return t, nil
+}
+
+var twoCharSymbols = []string{"//", "..", ":=", "<=", ">=", "!=", "<<", ">>", "||"}
+
+// scan reads one token from the raw input.
+func (lx *lexer) scan() (token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: start, end: start}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case c == '$':
+		lx.pos++
+		name := lx.scanName()
+		if name == "" {
+			return token{}, lx.errorf(start, "expected variable name after $")
+		}
+		return token{kind: tokVar, text: name, pos: start, end: lx.pos}, nil
+	case c == '"' || c == '\'':
+		s, err := lx.scanString(c)
+		if err != nil {
+			return token{}, err
+		}
+		return token{kind: tokString, text: s, pos: start, end: lx.pos}, nil
+	case c >= '0' && c <= '9' || (c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1])):
+		return lx.scanNumber()
+	case isNameStart(rune(c)) || c >= utf8.RuneSelf:
+		name := lx.scanName()
+		if name == "" {
+			return token{}, lx.errorf(start, "unexpected character %q", c)
+		}
+		return token{kind: tokName, text: name, pos: start, end: lx.pos}, nil
+	}
+	// Symbols.
+	if lx.pos+1 < len(lx.src) {
+		two := lx.src[lx.pos : lx.pos+2]
+		for _, s := range twoCharSymbols {
+			if two == s {
+				lx.pos += 2
+				return token{kind: tokSymbol, text: s, pos: start, end: lx.pos}, nil
+			}
+		}
+	}
+	switch c {
+	case '(', ')', '[', ']', '{', '}', ',', '.', '/', '@', '|', '+', '-', '*', '=', '<', '>', ';', '?':
+		lx.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start, end: lx.pos}, nil
+	}
+	return token{}, lx.errorf(start, "unexpected character %q", c)
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		// XQuery comments: (: ... :) with nesting.
+		if c == '(' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == ':' {
+			depth := 0
+			i := lx.pos
+			for i < len(lx.src) {
+				if i+1 < len(lx.src) && lx.src[i] == '(' && lx.src[i+1] == ':' {
+					depth++
+					i += 2
+					continue
+				}
+				if i+1 < len(lx.src) && lx.src[i] == ':' && lx.src[i+1] == ')' {
+					depth--
+					i += 2
+					if depth == 0 {
+						break
+					}
+					continue
+				}
+				i++
+			}
+			lx.pos = i
+			continue
+		}
+		return
+	}
+}
+
+func (lx *lexer) scanName() string {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if lx.pos == start {
+			if !isNameStart(r) {
+				break
+			}
+		} else if !isNameChar(r) {
+			break
+		}
+		lx.pos += size
+	}
+	return lx.src[start:lx.pos]
+}
+
+func (lx *lexer) scanString(quote byte) (string, error) {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == quote {
+			// Doubled quote is an escaped quote.
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == quote {
+				sb.WriteByte(quote)
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return sb.String(), nil
+		}
+		if c == '&' {
+			rep, n, ok := scanEntity(lx.src[lx.pos:])
+			if ok {
+				sb.WriteString(rep)
+				lx.pos += n
+				continue
+			}
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return "", lx.errorf(start, "unterminated string literal")
+}
+
+func (lx *lexer) scanNumber() (token, error) {
+	start := lx.pos
+	seenDot := false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if isDigit(c) {
+			lx.pos++
+			continue
+		}
+		if c == '.' && !seenDot && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]) {
+			seenDot = true
+			lx.pos++
+			continue
+		}
+		break
+	}
+	text := lx.src[start:lx.pos]
+	kind := tokInteger
+	if seenDot {
+		kind = tokDecimal
+	}
+	return token{kind: kind, text: text, pos: start, end: lx.pos}, nil
+}
+
+// scanEntity decodes a leading XML entity reference like &lt; returning the
+// replacement, the number of bytes consumed, and whether it matched.
+func scanEntity(s string) (string, int, bool) {
+	ents := map[string]string{
+		"&lt;": "<", "&gt;": ">", "&amp;": "&", "&quot;": `"`, "&apos;": "'",
+	}
+	for e, rep := range ents {
+		if strings.HasPrefix(s, e) {
+			return rep, len(e), true
+		}
+	}
+	return "", 0, false
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	// Allows QName-ish names with prefixes and hyphens (fn names like
+	// starts-with, local-name).
+	return r == '_' || r == '-' || r == '.' || r == ':' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

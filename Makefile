@@ -1,0 +1,39 @@
+# Developer entry points. `make check` is the gate every change must pass:
+# formatting, vet, build, the full test suite under the race detector, and
+# the telemetry no-op benchmark that keeps disabled instrumentation free.
+
+GO ?= go
+
+.PHONY: check fmt-check vet build test bench-noop bench run-registryd run-peerd
+
+check: fmt-check vet build test bench-noop
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Proves the nil-receiver (telemetry disabled) fast path stays a bare nil
+# check. The acceptance bar is <=5ns/op; see internal/telemetry.
+bench-noop:
+	$(GO) test ./internal/telemetry/ -run '^$$' -bench 'BenchmarkNil' -benchtime 100ms
+
+# Full benchmark suite (slow).
+bench:
+	$(GO) test -bench . -benchtime 1s ./...
+
+run-registryd:
+	$(GO) run ./cmd/registryd -seed-services 100
+
+run-peerd:
+	$(GO) run ./cmd/peerd

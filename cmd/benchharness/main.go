@@ -6,9 +6,15 @@
 //	benchharness            # everything, full scale (minutes)
 //	benchharness -quick     # everything, small scale (seconds)
 //	benchharness -only E5,E7
+//	benchharness -quick -json results.json   # machine-readable results
+//
+// With -json the run also writes a JSON document holding every table plus
+// a telemetry snapshot (per-phase wall-clock histogram), so CI can diff
+// regression runs without scraping the text output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -17,11 +23,13 @@ import (
 	"time"
 
 	"wsda/internal/experiments"
+	"wsda/internal/telemetry"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-scale versions")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5)")
+	jsonOut := flag.String("json", "", "also write results + metrics snapshot to this file as JSON")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -108,8 +116,22 @@ func main() {
 		}},
 	}
 
+	metrics := telemetry.NewMetrics()
+	phaseSeconds := metrics.HistogramVec("wsda_bench_phase_seconds",
+		"Wall-clock time per experiment phase.", nil, "experiment")
+	phasesRun := metrics.Counter("wsda_bench_phases_total", "Experiment phases executed.")
+
+	type result struct {
+		ID        string     `json:"id"`
+		Title     string     `json:"title"`
+		Note      string     `json:"note,omitempty"`
+		Header    []string   `json:"header"`
+		Rows      [][]string `json:"rows"`
+		ElapsedMS float64    `json:"elapsed_ms"`
+	}
+	var results []result
+
 	start := time.Now()
-	ran := 0
 	for _, r := range runners {
 		if !selected(r.id) {
 			continue
@@ -119,15 +141,45 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", r.id, err)
 		}
+		elapsed := time.Since(t0)
+		phaseSeconds.With(r.id).ObserveDuration(elapsed)
+		phasesRun.Inc()
 		fmt.Println(tab.String())
-		fmt.Printf("   [%s completed in %v]\n\n", r.id, time.Since(t0).Round(time.Millisecond))
-		ran++
+		fmt.Printf("   [%s completed in %v]\n\n", r.id, elapsed.Round(time.Millisecond))
+		results = append(results, result{
+			ID: tab.ID, Title: tab.Title, Note: tab.Note,
+			Header: tab.Header, Rows: tab.Rows,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		})
 	}
-	if ran == 0 {
+	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments selected")
 		os.Exit(2)
 	}
-	fmt.Printf("ran %d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("ran %d experiments in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+
+	if *jsonOut != "" {
+		doc := struct {
+			Quick     bool                       `json:"quick"`
+			ElapsedMS float64                    `json:"elapsed_ms"`
+			Results   []result                   `json:"results"`
+			Metrics   []telemetry.FamilySnapshot `json:"metrics"`
+		}{
+			Quick:     *quick,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			Results:   results,
+			Metrics:   metrics.Snapshot(),
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatalf("json: %v", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatalf("json: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
 }
 
 func pick(quick bool, small, large int) int {

@@ -14,19 +14,31 @@
 //	curl -X POST --data @tuple.xml 'http://localhost:9001/wsda/publish'
 //	curl -X POST --data 'for $s in //service return $s/@name' \
 //	     'http://localhost:9001/netquery?mode=routed&radius=-1'
+//
+// Observability endpoints (unless -telemetry=false):
+//
+//	curl http://localhost:9001/metrics       # Prometheus text format
+//	curl http://localhost:9001/debug/vars    # JSON metrics snapshot
+//	curl http://localhost:9001/debug/traces  # hop trees of recent net queries
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"wsda/internal/pdp"
 	"wsda/internal/registry"
+	"wsda/internal/telemetry"
 	"wsda/internal/updf"
 	"wsda/internal/workload"
 	"wsda/internal/wsda"
@@ -43,8 +55,23 @@ func main() {
 		advertise = flag.Bool("advertise", true, "publish a node tuple describing this peer into its registry")
 		ttl       = flag.Duration("default-ttl", 10*time.Minute, "default tuple lifetime")
 		seed      = flag.Int("seed-services", 0, "pre-populate with N synthetic services")
+
+		telemetryOn = flag.Bool("telemetry", true, "collect metrics and traces, serve /metrics and /debug endpoints")
+		traceCap    = flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "completed spans retained for /debug/traces")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
+		shutdownGrace     = flag.Duration("shutdown-grace", 5*time.Second, "graceful shutdown deadline on SIGINT/SIGTERM")
 	)
 	flag.Parse()
+
+	var metrics *telemetry.Metrics
+	var tracer *telemetry.Tracer
+	if *telemetryOn {
+		metrics = telemetry.NewMetrics()
+		tracer = telemetry.NewTracer(*traceCap)
+	}
 
 	base := *public
 	if base == "" {
@@ -52,7 +79,12 @@ func main() {
 	}
 	pdpAddr := base + "/pdp"
 
-	reg := registry.New(registry.Config{Name: *name, DefaultTTL: *ttl})
+	reg := registry.New(registry.Config{
+		Name:       *name,
+		DefaultTTL: *ttl,
+		Metrics:    metrics,
+		Tracer:     tracer,
+	})
 	if *seed > 0 {
 		if err := workload.NewGen(42).Populate(reg, *seed, 24*time.Hour); err != nil {
 			log.Fatalf("seed: %v", err)
@@ -65,10 +97,13 @@ func main() {
 		Addr:     pdpAddr,
 		Net:      net,
 		Registry: reg,
+		Metrics:  metrics,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	registerNodeStats(metrics, node, reg)
 	if *neighbors != "" {
 		node.SetNeighbors(strings.Split(*neighbors, ","))
 	}
@@ -90,6 +125,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	orig.SetTelemetry(metrics, tracer)
 
 	desc := wsda.NewService(*name).
 		Link(base+wsda.PathPresenter).
@@ -116,10 +152,93 @@ func main() {
 			reg.Len(), st.QueriesSeen, st.Duplicates, st.DroppedExpired, st.Evals,
 			st.EvalErrors, st.Forwards, st.Aborts, st.LateMessages, node.StateTableSize())
 	})
+	if *telemetryOn {
+		telemetry.Mount(mux, metrics, tracer)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	log.Printf("peer %q serving WSDA+PDP on %s (public %s), %d neighbors",
 		*name, *addr, base, len(node.Neighbors()))
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	if err := serveUntilSignal(srv, *shutdownGrace); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	logFinalSnapshot(metrics)
+}
+
+// registerNodeStats exports the P2P node's cumulative counters through the
+// metrics registry, reading the existing Stats() atomics at exposition
+// time so the hot path pays nothing extra.
+func registerNodeStats(m *telemetry.Metrics, node *updf.Node, reg *registry.Registry) {
+	if m == nil {
+		return
+	}
+	stat := func(pick func(updf.Stats) int64) func() int64 {
+		return func() int64 { return pick(node.Stats()) }
+	}
+	m.CounterFunc("wsda_updf_queries_seen_total", "Query messages received.",
+		stat(func(s updf.Stats) int64 { return s.QueriesSeen }))
+	m.CounterFunc("wsda_updf_duplicates_total", "Duplicate queries suppressed by loop detection.",
+		stat(func(s updf.Stats) int64 { return s.Duplicates }))
+	m.CounterFunc("wsda_updf_dropped_expired_total", "Queries dropped past their abort deadline.",
+		stat(func(s updf.Stats) int64 { return s.DroppedExpired }))
+	m.CounterFunc("wsda_updf_evals_total", "Local query evaluations.",
+		stat(func(s updf.Stats) int64 { return s.Evals }))
+	m.CounterFunc("wsda_updf_eval_errors_total", "Local evaluations that failed.",
+		stat(func(s updf.Stats) int64 { return s.EvalErrors }))
+	m.CounterFunc("wsda_updf_forwards_total", "Queries forwarded to neighbors.",
+		stat(func(s updf.Stats) int64 { return s.Forwards }))
+	m.CounterFunc("wsda_updf_aborts_total", "Transactions aborted by timeout.",
+		stat(func(s updf.Stats) int64 { return s.Aborts }))
+	m.CounterFunc("wsda_updf_late_messages_total", "Messages for already-closed transactions.",
+		stat(func(s updf.Stats) int64 { return s.LateMessages }))
+	m.GaugeFunc("wsda_updf_state_table_size", "Live per-transaction soft-state entries.",
+		func() float64 { return float64(node.StateTableSize()) })
+	m.GaugeFunc("wsda_registry_live_tuples", "Live tuples in the local registry.",
+		func() float64 { return float64(reg.Len()) })
+}
+
+// serveUntilSignal runs the server until it fails or a SIGINT/SIGTERM
+// arrives, then drains connections within the grace period.
+func serveUntilSignal(srv *http.Server, grace time.Duration) error {
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		log.Printf("signal received, draining connections (max %v)", grace)
+		shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), grace)
+		defer cancelShutdown()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+// logFinalSnapshot writes the closing metrics snapshot so a scrape gap at
+// shutdown loses nothing.
+func logFinalSnapshot(m *telemetry.Metrics) {
+	if m == nil {
+		return
+	}
+	data, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		return
+	}
+	log.Printf("final metrics snapshot: %s", data)
 }
 
 // handleNetQuery submits a network query through the embedded originator.

@@ -13,17 +13,28 @@
 //	curl http://localhost:8080/wsda/presenter
 //	curl 'http://localhost:8080/wsda/minquery?type=service'
 //	curl -X POST --data 'count(/tupleset/tuple)' http://localhost:8080/wsda/xquery
+//
+// Observability endpoints (unless -telemetry=false):
+//
+//	curl http://localhost:8080/metrics       # Prometheus text format
+//	curl http://localhost:8080/debug/vars    # JSON metrics snapshot
+//	curl http://localhost:8080/debug/traces  # recent query span trees
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"wsda/internal/registry"
+	"wsda/internal/telemetry"
 	"wsda/internal/workload"
 	"wsda/internal/wsda"
 )
@@ -38,8 +49,23 @@ func main() {
 		sweep   = flag.Duration("sweep", 30*time.Second, "expired-tuple sweep interval")
 		seed    = flag.Int("seed-services", 0, "pre-populate with N synthetic services")
 		maxWork = flag.Int("max-query-steps", 10_000_000, "per-query evaluation step budget (0 = unlimited)")
+
+		telemetryOn = flag.Bool("telemetry", true, "collect metrics and traces, serve /metrics and /debug endpoints")
+		traceCap    = flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "completed spans retained for /debug/traces")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
+		shutdownGrace     = flag.Duration("shutdown-grace", 5*time.Second, "graceful shutdown deadline on SIGINT/SIGTERM")
 	)
 	flag.Parse()
+
+	var metrics *telemetry.Metrics
+	var tracer *telemetry.Tracer
+	if *telemetryOn {
+		metrics = telemetry.NewMetrics()
+		tracer = telemetry.NewTracer(*traceCap)
+	}
 
 	reg := registry.New(registry.Config{
 		Name:          *name,
@@ -47,7 +73,10 @@ func main() {
 		MinTTL:        *minTTL,
 		MaxTTL:        *maxTTL,
 		MaxQuerySteps: *maxWork,
+		Metrics:       metrics,
+		Tracer:        tracer,
 	})
+	registerRegistryStats(metrics, reg)
 	if *seed > 0 {
 		if err := workload.NewGen(42).Populate(reg, *seed, *maxTTL); err != nil {
 			log.Fatalf("seed: %v", err)
@@ -93,12 +122,95 @@ func main() {
 			reg.Len(), st.Publishes, st.Refreshes, st.Expirations, st.Queries,
 			st.MinQueries, st.CacheHits, st.CacheMisses, st.Pulls, st.PullErrors, st.Throttled)
 	})
+	if *telemetryOn {
+		telemetry.Mount(mux, metrics, tracer)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	log.Printf("hyper registry %q serving WSDA on %s", *name, *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	if err := serveUntilSignal(srv, *shutdownGrace); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	logFinalSnapshot(metrics)
+}
+
+// registerRegistryStats exports the registry's cumulative counters and
+// live-tuple count through the metrics registry without double
+// accounting: values are read from the existing Stats() atomics at
+// exposition time.
+func registerRegistryStats(m *telemetry.Metrics, reg *registry.Registry) {
+	if m == nil {
+		return
+	}
+	stat := func(pick func(registry.Stats) int64) func() int64 {
+		return func() int64 { return pick(reg.Stats()) }
+	}
+	m.CounterFunc("wsda_registry_publishes_total", "First-time tuple publications.",
+		stat(func(s registry.Stats) int64 { return s.Publishes }))
+	m.CounterFunc("wsda_registry_refreshes_total", "Soft-state refreshes.",
+		stat(func(s registry.Stats) int64 { return s.Refreshes }))
+	m.CounterFunc("wsda_registry_expirations_total", "Tuples swept after expiry.",
+		stat(func(s registry.Stats) int64 { return s.Expirations }))
+	m.CounterFunc("wsda_registry_xqueries_total", "XQuery evaluations.",
+		stat(func(s registry.Stats) int64 { return s.Queries }))
+	m.CounterFunc("wsda_registry_minqueries_total", "Minimal-interface queries.",
+		stat(func(s registry.Stats) int64 { return s.MinQueries }))
+	m.CounterFunc("wsda_registry_cache_hits_total", "Queries served from fresh cached content.",
+		stat(func(s registry.Stats) int64 { return s.CacheHits }))
+	m.CounterFunc("wsda_registry_cache_misses_total", "Tuples needing a pull at query time.",
+		stat(func(s registry.Stats) int64 { return s.CacheMisses }))
+	m.CounterFunc("wsda_registry_pulls_total", "Successful content pulls.",
+		stat(func(s registry.Stats) int64 { return s.Pulls }))
+	m.CounterFunc("wsda_registry_pull_errors_total", "Failed content pulls.",
+		stat(func(s registry.Stats) int64 { return s.PullErrors }))
+	m.CounterFunc("wsda_registry_throttled_total", "Pulls suppressed by MinPullInterval.",
+		stat(func(s registry.Stats) int64 { return s.Throttled }))
+	m.GaugeFunc("wsda_registry_live_tuples", "Live tuples in the registry.",
+		func() float64 { return float64(reg.Len()) })
+}
+
+// serveUntilSignal runs the server until it fails or a SIGINT/SIGTERM
+// arrives, then drains connections within the grace period.
+func serveUntilSignal(srv *http.Server, grace time.Duration) error {
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		log.Printf("signal received, draining connections (max %v)", grace)
+		shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), grace)
+		defer cancelShutdown()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+// logFinalSnapshot writes the closing metrics snapshot so a scrape gap at
+// shutdown loses nothing.
+func logFinalSnapshot(m *telemetry.Metrics) {
+	if m == nil {
+		return
+	}
+	data, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		return
+	}
+	log.Printf("final metrics snapshot: %s", data)
 }
 
 func hostAddr(addr string) string {

@@ -26,7 +26,7 @@ func main() {
 	rc := wsda.NewService("replica-catalog").
 		Domain("cern.ch").
 		Owner("cms").
-		Link("http://cms.cern.ch/rc" + wsda.PathPresenter).
+		Link("http://cms.cern.ch/rc"+wsda.PathPresenter).
 		Attr("load", "0.35").
 		Op(wsda.IfacePresenter, "getServiceDescription", "http://cms.cern.ch/rc"+wsda.PathPresenter).
 		Op(wsda.IfaceXQuery, "query", "http://cms.cern.ch/rc"+wsda.PathXQuery).
@@ -35,7 +35,7 @@ func main() {
 	sched := wsda.NewService("job-scheduler").
 		Domain("infn.it").
 		Owner("atlas").
-		Link("http://atlas.infn.it/sched" + wsda.PathPresenter).
+		Link("http://atlas.infn.it/sched"+wsda.PathPresenter).
 		Attr("load", "0.80").
 		Op(wsda.IfacePresenter, "getServiceDescription", "http://atlas.infn.it/sched"+wsda.PathPresenter).
 		Op("Execution", "submitJob", "http://atlas.infn.it/sched/job").

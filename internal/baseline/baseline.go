@@ -140,8 +140,8 @@ type notFilter struct{ f filter }
 // cmpFilter compares an attribute: op is one of "=", ">=", "<=", "~substr"
 // (internal marker for substring matches), "present".
 type cmpFilter struct {
-	attr, op, val string
-	parts         []string // substring parts for "~substr"
+	attr, op, val  string
+	parts          []string // substring parts for "~substr"
 	prefix, suffix string
 }
 

@@ -235,8 +235,8 @@ func TestRunExhaustsAndStops(t *testing.T) {
 func TestStallDetection(t *testing.T) {
 	node := populatedNode(t, 60)
 	sched, err := Plan(Request{ID: "r", Ops: []OpSpec{{
-		Name:        "mon",
-		Interface:   wsda.IfaceXQuery, Operation: "query",
+		Name:      "mon",
+		Interface: wsda.IfaceXQuery, Operation: "query",
 		Constraints: []Constraint{{Attr: "kind", Op: "=", Value: "monitor"}},
 	}}}, &RegistryDiscoverer{Node: node}, PlanConfig{})
 	if err != nil {

@@ -113,7 +113,7 @@ type fakeClock struct {
 
 func newFakeClock() *fakeClock { return &fakeClock{t: time.UnixMilli(0)} }
 
-func (c *fakeClock) Now() time.Time            { return c.t }
-func (c *fakeClock) Advance(d time.Duration)   { c.t = c.t.Add(d) }
-func (c *fakeClock) Set(t time.Time)           { c.t = t }
+func (c *fakeClock) Now() time.Time                  { return c.t }
+func (c *fakeClock) Advance(d time.Duration)         { c.t = c.t.Add(d) }
+func (c *fakeClock) Set(t time.Time)                 { c.t = t }
 func (c *fakeClock) Since(t time.Time) time.Duration { return c.t.Sub(t) }

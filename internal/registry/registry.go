@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"wsda/internal/softstate"
+	"wsda/internal/telemetry"
 	"wsda/internal/tuple"
 	"wsda/internal/xmldoc"
 	"wsda/internal/xq"
@@ -60,6 +61,15 @@ type Config struct {
 
 	// Now is the clock; nil means time.Now. Benchmarks inject virtual time.
 	Now func() time.Time
+
+	// Metrics, when set, receives latency histograms for the publish,
+	// minquery, xquery and sweep paths, labeled by registry name. Nil
+	// disables metric collection at near-zero cost.
+	Metrics *telemetry.Metrics
+
+	// Tracer, when set, records a span per XQuery evaluation. Nil
+	// disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -108,17 +118,36 @@ type Registry struct {
 	queries, minQueries             atomic.Int64
 	cacheHits, cacheMisses          atomic.Int64
 	pulls, pullErrors, throttledCnt atomic.Int64
+
+	// Telemetry handles; all nil when Config.Metrics/Tracer are unset, in
+	// which case every observation below is a nil-check no-op.
+	publishSeconds  *telemetry.Histogram
+	minQuerySeconds *telemetry.Histogram
+	xquerySeconds   *telemetry.Histogram
+	tracer          *telemetry.Tracer
 }
 
 // New creates a registry.
 func New(cfg Config) *Registry {
 	cfg = cfg.withDefaults()
-	return &Registry{
+	r := &Registry{
 		cfg:        cfg,
 		store:      softstate.New[*tuple.Tuple](cfg.Now),
 		lastPull:   make(map[string]time.Time),
 		queryCache: make(map[string]*xq.Query),
+		tracer:     cfg.Tracer,
 	}
+	if m := cfg.Metrics; m != nil {
+		r.publishSeconds = m.HistogramVec("wsda_registry_publish_seconds",
+			"Latency of tuple publications.", nil, "registry").With(cfg.Name)
+		r.minQuerySeconds = m.HistogramVec("wsda_registry_minquery_seconds",
+			"Latency of minimal-interface queries.", nil, "registry").With(cfg.Name)
+		r.xquerySeconds = m.HistogramVec("wsda_registry_xquery_seconds",
+			"Latency of XQuery evaluations over the tuple-set view.", nil, "registry").With(cfg.Name)
+		r.store.InstrumentSweeps(m.HistogramVec("wsda_registry_sweep_seconds",
+			"Latency of expired-tuple sweeps.", nil, "registry").With(cfg.Name))
+	}
+	return r
 }
 
 // Name returns the registry identifier.
@@ -133,6 +162,9 @@ var ErrBadTTL = errors.New("registry: negative TTL")
 // content copy — re-publication doubles as a heartbeat. It returns the
 // granted TTL.
 func (r *Registry) Publish(t *tuple.Tuple, ttl time.Duration) (time.Duration, error) {
+	if r.publishSeconds != nil {
+		defer r.publishSeconds.ObserveSince(time.Now())
+	}
 	now := r.cfg.Now()
 	if ttl < 0 {
 		return 0, ErrBadTTL
@@ -217,6 +249,9 @@ func (f Filter) match(t *tuple.Tuple) bool {
 // MinQuery returns copies of all live tuples matching the filter, sorted by
 // link for determinism.
 func (r *Registry) MinQuery(f Filter) []*tuple.Tuple {
+	if r.minQuerySeconds != nil {
+		defer r.minQuerySeconds.ObserveSince(time.Now())
+	}
 	r.minQueries.Add(1)
 	var out []*tuple.Tuple
 	for _, e := range r.store.Live() {
@@ -286,14 +321,27 @@ const maxCachedQueries = 1024
 
 // QueryCompiled is Query for a pre-compiled expression.
 func (r *Registry) QueryCompiled(q *xq.Query, opts QueryOptions) (xq.Sequence, error) {
+	if r.xquerySeconds != nil {
+		defer r.xquerySeconds.ObserveSince(time.Now())
+	}
+	sp := r.tracer.StartSpan("", nil, "registry.xquery")
+	sp.SetAttr(telemetry.String("registry", r.cfg.Name))
 	r.queries.Add(1)
 	view := r.BuildView(opts.Filter, opts.Freshness)
-	return q.Eval(&xq.Options{
+	seq, err := q.Eval(&xq.Options{
 		Context:  view,
 		MaxSteps: r.cfg.MaxQuerySteps,
 		Emit:     opts.Emit,
 		Vars:     opts.Vars,
 	})
+	if sp != nil {
+		sp.SetAttr(telemetry.Int("items", int64(len(seq))))
+		if err != nil {
+			sp.SetAttr(telemetry.String("err", err.Error()))
+		}
+		sp.End()
+	}
+	return seq, err
 }
 
 // BuildView materializes the tuple-set document for a query, refreshing

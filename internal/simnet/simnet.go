@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wsda/internal/pdp"
+	"wsda/internal/telemetry"
 )
 
 // DelayFunc returns the one-way latency of the link from -> to.
@@ -34,6 +35,15 @@ type Config struct {
 	// propagation delay, and messages on one link serialize behind each
 	// other (a busy link backs up). Implies byte accounting.
 	Bandwidth int64
+
+	// Metrics, when set, exports the network counters and a per-message
+	// link-delay histogram.
+	Metrics *telemetry.Metrics
+
+	// Tracer, when set, records one hop event per accepted message —
+	// annotated with from/to/kind/hop and parented under the sender's
+	// span — so a network query's traffic is visible in its hop tree.
+	Tracer *telemetry.Tracer
 }
 
 // Stats are cumulative network counters.
@@ -62,11 +72,26 @@ type Network struct {
 	messages, bytes, dropped, deadAddr atomic.Int64
 
 	perKind [8]atomic.Int64 // messages by pdp.Kind
+
+	delaySeconds *telemetry.Histogram
 }
 
 // New creates a network.
 func New(cfg Config) *Network {
-	return &Network{cfg: cfg, boxes: make(map[string]*mailbox), links: make(map[string]*link)}
+	n := &Network{cfg: cfg, boxes: make(map[string]*mailbox), links: make(map[string]*link)}
+	if m := cfg.Metrics; m != nil {
+		m.CounterFunc("wsda_simnet_messages_total",
+			"Messages accepted for delivery.", n.messages.Load)
+		m.CounterFunc("wsda_simnet_bytes_total",
+			"Wire bytes (0 unless byte accounting is on).", n.bytes.Load)
+		m.CounterFunc("wsda_simnet_dropped_total",
+			"Messages lost by drop injection.", n.dropped.Load)
+		m.CounterFunc("wsda_simnet_dead_addr_total",
+			"Messages to unregistered addresses.", n.deadAddr.Load)
+		n.delaySeconds = m.Histogram("wsda_simnet_delay_seconds",
+			"Modeled link delay per delivered message.", nil)
+	}
+	return n
 }
 
 // link serializes delayed deliveries on one (from, to) pair.
@@ -171,6 +196,15 @@ func (n *Network) Send(msg *pdp.Message) error {
 	}
 	if n.cfg.Bandwidth > 0 {
 		delay += time.Duration(size * int64(time.Second) / n.cfg.Bandwidth)
+	}
+	n.delaySeconds.ObserveDuration(delay)
+	if tr := n.cfg.Tracer; tr != nil && msg.TxID != "" {
+		tr.Event(msg.TxID, msg.TraceParent, "net.hop",
+			telemetry.String("from", msg.From),
+			telemetry.String("to", msg.To),
+			telemetry.String("kind", msg.Kind.String()),
+			telemetry.Int("hop", int64(msg.Hop)),
+			telemetry.Int("delay_us", delay.Microseconds()))
 	}
 	if delay <= 0 {
 		box.put(msg)

@@ -11,6 +11,8 @@ package softstate
 import (
 	"sync"
 	"time"
+
+	"wsda/internal/telemetry"
 )
 
 // Entry is one soft-state entry.
@@ -36,6 +38,10 @@ type Store[V any] struct {
 
 	// statistics
 	puts, refreshes, expirations int64
+
+	// sweepSeconds, when set, observes the latency of every Sweep — the
+	// soft-state churn series of the thesis experiments (Ch. 4.6/E4).
+	sweepSeconds *telemetry.Histogram
 }
 
 // New returns an empty store using the given clock (nil means time.Now).
@@ -210,8 +216,15 @@ func (s *Store[V]) Len() int {
 	return n
 }
 
+// InstrumentSweeps observes every Sweep's latency into h (nil disables).
+// Call it during setup, before the store is shared across goroutines.
+func (s *Store[V]) InstrumentSweeps(h *telemetry.Histogram) { s.sweepSeconds = h }
+
 // Sweep removes expired entries and returns how many were collected.
 func (s *Store[V]) Sweep() int {
+	if s.sweepSeconds != nil {
+		defer s.sweepSeconds.ObserveSince(time.Now())
+	}
 	now := s.now()
 	s.mu.Lock()
 	defer s.mu.Unlock()

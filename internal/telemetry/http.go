@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// MetricsHandler serves the Prometheus text exposition of m. A nil
+// registry serves an empty body.
+func MetricsHandler(m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves the JSON snapshot of m (expvar-style, but typed).
+func VarsHandler(m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, m.Snapshot())
+	})
+}
+
+// TracesHandler serves reconstructed span trees from t as JSON.
+// Query parameters: trace=ID selects one trace; limit=N bounds how many
+// recent traces are returned (default 20).
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("trace"); id != "" {
+			ti := t.Trace(id)
+			if ti == nil {
+				http.Error(w, "no such trace", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, ti)
+			return
+		}
+		limit := 20
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				limit = v
+			}
+		}
+		writeJSON(w, t.Traces(limit))
+	})
+}
+
+// Mount registers the standard telemetry endpoints — /metrics,
+// /debug/vars and /debug/traces — on the mux.
+func Mount(mux *http.ServeMux, m *Metrics, t *Tracer) {
+	mux.Handle("/metrics", MetricsHandler(m))
+	mux.Handle("/debug/vars", VarsHandler(m))
+	mux.Handle("/debug/traces", TracesHandler(t))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

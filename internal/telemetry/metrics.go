@@ -1,0 +1,563 @@
+// Package telemetry provides the observability layer of this
+// reproduction: a lock-cheap metrics registry (atomic counters, gauges
+// and bounded histograms with quantile estimation, optionally labeled),
+// a span tracer with a bounded ring of recent traces, and HTTP handlers
+// exposing both in Prometheus text and JSON form.
+//
+// Every instrument is nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram, *Span, *Metrics or *Tracer are no-ops, so library code can
+// thread instruments through hot paths unconditionally and pay only a
+// nil check (~1ns) when telemetry is disabled.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d. No-op on a nil receiver.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 for a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefBuckets are the default histogram bucket upper bounds in seconds,
+// spanning 1µs..10s — the latency range of every path this repo measures,
+// from in-process registry operations to simulated wide-area hops.
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a bounded, atomic bucketed histogram. Observations are
+// counted into fixed buckets; quantiles are estimated by linear
+// interpolation within the target bucket. The sum is kept in 1e-9 fixed
+// point so that Observe never needs a CAS loop.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; the final +Inf bucket is implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumNano atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNano.Add(int64(v * 1e9))
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sumNano.Load()) / 1e9
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts.
+// It returns 0 when the histogram is empty; values landing in the
+// overflow bucket are reported as the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) { // overflow bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// kind discriminates instrument families.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k kind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// child is one labeled series of a family.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	counterFn   func() int64
+	gaugeFn     func() float64
+}
+
+// family is one named metric with zero or more labeled series.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []float64
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+func (f *family) get(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: %s expects %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok = f.children[key]; ok {
+		return c
+	}
+	c = &child{labelValues: append([]string(nil), values...)}
+	switch f.kind {
+	case kindCounter:
+		c.counter = &Counter{}
+	case kindGauge:
+		c.gauge = &Gauge{}
+	case kindHistogram:
+		c.hist = newHistogram(f.buckets)
+	}
+	f.children[key] = c
+	return c
+}
+
+// Metrics is a registry of named instrument families. A nil *Metrics is
+// a valid disabled registry: every constructor returns a nil instrument
+// whose methods are no-ops.
+type Metrics struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{families: make(map[string]*family)}
+}
+
+// lookup returns the family for name, creating it if needed and
+// panicking if the name is already registered with a different kind.
+func (m *Metrics) lookup(name, help string, k kind, labels []string, buckets []float64) *family {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.families[name]; ok {
+		if f.kind != k {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)",
+				name, k.promType(), f.kind.promType()))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: k,
+		labels:   append([]string(nil), labels...),
+		buckets:  buckets,
+		children: make(map[string]*child),
+	}
+	m.families[name] = f
+	return f
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (m *Metrics) Counter(name, help string) *Counter {
+	if m == nil {
+		return nil
+	}
+	return m.lookup(name, help, kindCounter, nil, nil).get(nil).counter
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (m *Metrics) Gauge(name, help string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.lookup(name, help, kindGauge, nil, nil).get(nil).gauge
+}
+
+// Histogram registers (or fetches) an unlabeled histogram. A nil or
+// empty buckets slice uses DefBuckets.
+func (m *Metrics) Histogram(name, help string, buckets []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.lookup(name, help, kindHistogram, nil, buckets).get(nil).hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — the bridge for subsystems that already keep their
+// own atomic counters (no double accounting).
+func (m *Metrics) CounterFunc(name, help string, fn func() int64) {
+	if m == nil {
+		return
+	}
+	f := m.lookup(name, help, kindCounterFunc, nil, nil)
+	c := f.get(nil)
+	c.counterFn = fn
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time (e.g. live tuple counts, state-table sizes).
+func (m *Metrics) GaugeFunc(name, help string, fn func() float64) {
+	if m == nil {
+		return
+	}
+	f := m.lookup(name, help, kindGaugeFunc, nil, nil)
+	c := f.get(nil)
+	c.gaugeFn = fn
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (m *Metrics) CounterVec(name, help string, labels ...string) *CounterVec {
+	if m == nil {
+		return nil
+	}
+	return &CounterVec{f: m.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values).counter
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (m *Metrics) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if m == nil {
+		return nil
+	}
+	return &GaugeVec{f: m.lookup(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values).gauge
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (m *Metrics) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if m == nil {
+		return nil
+	}
+	return &HistogramVec{f: m.lookup(name, help, kindHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values).hist
+}
+
+// sortedFamilies returns families ordered by name, each with its
+// children ordered by label values, for deterministic exposition.
+func (m *Metrics) sortedFamilies() []*family {
+	m.mu.RLock()
+	fams := make([]*family, 0, len(m.families))
+	for _, f := range m.families {
+		fams = append(fams, f)
+	}
+	m.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedChildren() []*child {
+	f.mu.RLock()
+	cs := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		cs = append(cs, c)
+	}
+	f.mu.RUnlock()
+	sort.Slice(cs, func(i, j int) bool {
+		return strings.Join(cs[i].labelValues, "\x00") < strings.Join(cs[j].labelValues, "\x00")
+	})
+	return cs
+}
+
+func labelString(names, values []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	emit := func(k, v string) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(v))
+		sb.WriteByte('"')
+	}
+	for i, n := range names {
+		emit(n, values[i])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		emit(extra[i], extra[i+1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	if m == nil {
+		return
+	}
+	for _, f := range m.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType())
+		for _, c := range f.sortedChildren() {
+			ls := labelString(f.labels, c.labelValues)
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, ls, c.counter.Value())
+			case kindCounterFunc:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, ls, c.counterFn())
+			case kindGauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, ls, fnum(c.gauge.Value()))
+			case kindGaugeFunc:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, ls, fnum(c.gaugeFn()))
+			case kindHistogram:
+				h := c.hist
+				cum := int64(0)
+				for i, ub := range h.bounds {
+					cum += h.buckets[i].Load()
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						labelString(f.labels, c.labelValues, "le", fnum(ub)), cum)
+				}
+				cum += h.buckets[len(h.bounds)].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, c.labelValues, "le", "+Inf"), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, fnum(h.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, h.Count())
+			}
+		}
+	}
+}
+
+// HistSnapshot is the JSON form of one histogram series.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Series is one labeled series of a family snapshot.
+type Series struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	Hist   *HistSnapshot     `json:"hist,omitempty"`
+}
+
+// FamilySnapshot is the JSON form of one metric family.
+type FamilySnapshot struct {
+	Name   string   `json:"name"`
+	Help   string   `json:"help,omitempty"`
+	Type   string   `json:"type"`
+	Series []Series `json:"series"`
+}
+
+// Snapshot captures every family for JSON exposition (/debug/vars) and
+// for embedding in benchmark harness output.
+func (m *Metrics) Snapshot() []FamilySnapshot {
+	if m == nil {
+		return nil
+	}
+	var out []FamilySnapshot
+	for _, f := range m.sortedFamilies() {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.kind.promType()}
+		for _, c := range f.sortedChildren() {
+			s := Series{}
+			if len(f.labels) > 0 {
+				s.Labels = make(map[string]string, len(f.labels))
+				for i, n := range f.labels {
+					s.Labels[n] = c.labelValues[i]
+				}
+			}
+			switch f.kind {
+			case kindCounter:
+				s.Value = float64(c.counter.Value())
+			case kindCounterFunc:
+				s.Value = float64(c.counterFn())
+			case kindGauge:
+				s.Value = c.gauge.Value()
+			case kindGaugeFunc:
+				s.Value = c.gaugeFn()
+			case kindHistogram:
+				s.Hist = &HistSnapshot{
+					Count: c.hist.Count(), Sum: c.hist.Sum(),
+					P50: c.hist.Quantile(0.50), P95: c.hist.Quantile(0.95),
+					P99: c.hist.Quantile(0.99),
+				}
+			}
+			fs.Series = append(fs.Series, s)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

@@ -1,0 +1,407 @@
+package telemetry
+
+import (
+	"context"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span annotation.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: strconv.FormatInt(v, 10)} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: strconv.FormatBool(v)} }
+
+// Span is one timed, annotated operation within a trace. Spans form a
+// tree through parent IDs; across PDP nodes the parent ID travels inside
+// the query message, so a network query's full hop tree reconstructs
+// from the ring even though each hop ran on a different node.
+//
+// A nil *Span is a valid disabled span: every method is a no-op.
+type Span struct {
+	t       *Tracer
+	traceID string
+	id      uint64
+	parent  uint64
+	name    string
+	start   time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// spanRecord is the immutable snapshot of a completed span held in the
+// tracer's ring.
+type spanRecord struct {
+	traceID string
+	id      uint64
+	parent  uint64
+	name    string
+	start   time.Time
+	end     time.Time
+	attrs   []Attr
+}
+
+// Tracer records completed spans into a bounded ring buffer; when the
+// ring wraps, the oldest spans are overwritten. A nil *Tracer is a valid
+// disabled tracer.
+type Tracer struct {
+	capacity int
+
+	mu    sync.Mutex
+	ring  []spanRecord
+	next  int
+	total uint64 // completed spans ever, for overwrite accounting
+
+	ids  atomic.Uint64
+	tids atomic.Uint64
+}
+
+// DefaultTraceCapacity bounds the span ring when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// NewTracer creates a tracer retaining up to capacity completed spans.
+//
+// Span IDs start at a random 64-bit offset so that spans minted by
+// different processes (each with its own tracer) do not collide: a query
+// hop tree spans processes, and a remote parent ID accidentally equal to
+// a local span ID would mis-nest the tree.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t := &Tracer{capacity: capacity, ring: make([]spanRecord, 0, capacity)}
+	t.ids.Store(rand.Uint64())
+	return t
+}
+
+// NewTraceID mints a process-unique trace identifier.
+func (t *Tracer) NewTraceID() string {
+	if t == nil {
+		return ""
+	}
+	return "t" + strconv.FormatUint(t.tids.Add(1), 10)
+}
+
+// StartSpan begins a span in the given trace under the given parent
+// (nil for a root). An empty traceID mints a fresh one (or inherits the
+// parent's). Returns nil on a nil tracer.
+func (t *Tracer) StartSpan(traceID string, parent *Span, name string) *Span {
+	var pid uint64
+	if parent != nil {
+		pid = parent.id
+		if traceID == "" {
+			traceID = parent.traceID
+		}
+	}
+	return t.StartSpanID(traceID, pid, name)
+}
+
+// StartSpanID is StartSpan with an explicit parent span ID — the form
+// used when the parent lives on another node and only its ID traveled
+// over the wire.
+func (t *Tracer) StartSpanID(traceID string, parentID uint64, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if traceID == "" {
+		traceID = t.NewTraceID()
+	}
+	return &Span{
+		t: t, traceID: traceID, id: t.ids.Add(1), parent: parentID,
+		name: name, start: time.Now(),
+	}
+}
+
+// Start begins a span as a child of the span in ctx (a root if none) and
+// returns a derived context carrying the new span.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.StartSpan("", SpanFromContext(ctx), name)
+	return ContextWithSpan(ctx, s), s
+}
+
+// Event records a completed zero-duration span — a point annotation such
+// as one message hop on a link.
+func (t *Tracer) Event(traceID string, parentID uint64, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.record(spanRecord{
+		traceID: traceID, id: t.ids.Add(1), parent: parentID,
+		name: name, start: now, end: now, attrs: attrs,
+	})
+}
+
+func (t *Tracer) record(r spanRecord) {
+	t.mu.Lock()
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, r)
+	} else {
+		t.ring[t.next] = r
+	}
+	t.next = (t.next + 1) % t.capacity
+	t.total++
+	t.mu.Unlock()
+}
+
+// ID returns the span's process-unique ID (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceID returns the span's trace identifier ("" for nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End completes the span and commits it to the tracer's ring. Ending a
+// span twice records it once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.t.record(spanRecord{
+		traceID: s.traceID, id: s.id, parent: s.parent, name: s.name,
+		start: s.start, end: time.Now(), attrs: attrs,
+	})
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying the span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// SpanInfo is the JSON form of one completed span, nested by parentage.
+type SpanInfo struct {
+	ID         uint64            `json:"id"`
+	Parent     uint64            `json:"parent,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*SpanInfo       `json:"children,omitempty"`
+}
+
+// TraceInfo is one reconstructed trace: the span forest sharing a trace
+// ID, roots ordered by start time.
+type TraceInfo struct {
+	TraceID string      `json:"trace"`
+	Start   time.Time   `json:"start"`
+	Spans   int         `json:"spans"`
+	Roots   []*SpanInfo `json:"roots"`
+}
+
+func (r *spanRecord) info() *SpanInfo {
+	si := &SpanInfo{
+		ID: r.id, Parent: r.parent, Name: r.name, Start: r.start,
+		DurationUS: r.end.Sub(r.start).Microseconds(),
+	}
+	if len(r.attrs) > 0 {
+		si.Attrs = make(map[string]string, len(r.attrs))
+		for _, a := range r.attrs {
+			si.Attrs[a.Key] = a.Value
+		}
+	}
+	return si
+}
+
+// snapshotRing copies the ring oldest-first.
+func (t *Tracer) snapshotRing() []spanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]spanRecord, 0, len(t.ring))
+	if len(t.ring) == t.capacity {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Traces reconstructs the most recent max traces (all retained traces
+// when max <= 0) from the span ring, most recent first. Spans whose
+// parent fell off the ring (or ran on another process) surface as roots.
+func (t *Tracer) Traces(max int) []*TraceInfo {
+	if t == nil {
+		return nil
+	}
+	recs := t.snapshotRing()
+	byTrace := make(map[string][]*spanRecord)
+	order := make([]string, 0, 16) // trace IDs by most recent span, dedup below
+	for i := range recs {
+		r := &recs[i]
+		byTrace[r.traceID] = append(byTrace[r.traceID], r)
+		order = append(order, r.traceID)
+	}
+	// Most recent first: walk the ring backwards, keeping first sighting.
+	seen := make(map[string]bool, len(byTrace))
+	ids := make([]string, 0, len(byTrace))
+	for i := len(order) - 1; i >= 0; i-- {
+		if !seen[order[i]] {
+			seen[order[i]] = true
+			ids = append(ids, order[i])
+		}
+	}
+	if max > 0 && len(ids) > max {
+		ids = ids[:max]
+	}
+	out := make([]*TraceInfo, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, buildTrace(id, byTrace[id]))
+	}
+	return out
+}
+
+// Trace reconstructs one trace by ID, or nil if no spans are retained.
+func (t *Tracer) Trace(traceID string) *TraceInfo {
+	if t == nil {
+		return nil
+	}
+	recs := t.snapshotRing()
+	var mine []*spanRecord
+	for i := range recs {
+		if recs[i].traceID == traceID {
+			mine = append(mine, &recs[i])
+		}
+	}
+	if len(mine) == 0 {
+		return nil
+	}
+	return buildTrace(traceID, mine)
+}
+
+func buildTrace(id string, recs []*spanRecord) *TraceInfo {
+	infos := make(map[uint64]*SpanInfo, len(recs))
+	ordered := make([]*SpanInfo, 0, len(recs))
+	for _, r := range recs {
+		si := r.info()
+		infos[si.ID] = si
+		ordered = append(ordered, si)
+	}
+	ti := &TraceInfo{TraceID: id, Spans: len(recs)}
+	for _, si := range ordered {
+		if p, ok := infos[si.Parent]; ok && si.Parent != si.ID {
+			p.Children = append(p.Children, si)
+		} else {
+			ti.Roots = append(ti.Roots, si)
+		}
+	}
+	// Break parentage cycles. A remote parent ID that happens to equal a
+	// local span ID (possible if another process's ID space collides)
+	// can link spans into a loop where no member is a root, which would
+	// silently drop the whole component. Promote the earliest span of
+	// each unreachable component to a root.
+	reached := make(map[uint64]bool, len(infos))
+	var mark func(si *SpanInfo)
+	mark = func(si *SpanInfo) {
+		if reached[si.ID] {
+			return
+		}
+		reached[si.ID] = true
+		for _, c := range si.Children {
+			mark(c)
+		}
+	}
+	for _, r := range ti.Roots {
+		mark(r)
+	}
+	for len(reached) < len(ordered) {
+		var pick *SpanInfo
+		for _, si := range ordered {
+			if !reached[si.ID] && (pick == nil || si.Start.Before(pick.Start)) {
+				pick = si
+			}
+		}
+		if p, ok := infos[pick.Parent]; ok {
+			for i, c := range p.Children {
+				if c == pick {
+					p.Children = append(p.Children[:i], p.Children[i+1:]...)
+					break
+				}
+			}
+		}
+		ti.Roots = append(ti.Roots, pick)
+		mark(pick)
+	}
+	sortSpans(ti.Roots)
+	for _, si := range infos {
+		sortSpans(si.Children)
+	}
+	if len(ordered) > 0 {
+		min := ordered[0].Start
+		for _, si := range ordered[1:] {
+			if si.Start.Before(min) {
+				min = si.Start
+			}
+		}
+		ti.Start = min
+	}
+	return ti
+}
+
+func sortSpans(s []*SpanInfo) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Start.Equal(s[j].Start) {
+			return s[i].ID < s[j].ID
+		}
+		return s[i].Start.Before(s[j].Start)
+	})
+}

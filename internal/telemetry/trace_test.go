@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSpanTreeReconstruction builds the span topology of a two-hop P2P
+// query — originator submit, two node handlers parented across "the wire"
+// by span ID, per-node evals and net.hop events — and checks that the
+// tracer rebuilds the exact tree from its ring.
+func TestSpanTreeReconstruction(t *testing.T) {
+	tr := NewTracer(64)
+	const tx = "tx-123"
+
+	submit := tr.StartSpanID(tx, 0, "updf.submit")
+	// Hop originator -> node1 (parent travels in the message).
+	tr.Event(tx, submit.ID(), "net.hop", String("to", "node1"))
+	n1 := tr.StartSpanID(tx, submit.ID(), "updf.query")
+	eval1 := tr.StartSpan(tx, n1, "updf.eval")
+	eval1.SetAttr(Int("hits", 3))
+	eval1.End()
+	// Hop node1 -> node2.
+	tr.Event(tx, n1.ID(), "net.hop", String("to", "node2"))
+	n2 := tr.StartSpanID(tx, n1.ID(), "updf.query")
+	eval2 := tr.StartSpan(tx, n2, "updf.eval")
+	eval2.End()
+	n2.End()
+	n1.End()
+	submit.SetAttr(Int("items", 5))
+	submit.End()
+
+	trace := tr.Trace(tx)
+	if trace == nil {
+		t.Fatal("Trace returned nil")
+	}
+	if trace.Spans != 7 {
+		t.Fatalf("Spans = %d, want 7", trace.Spans)
+	}
+	if len(trace.Roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(trace.Roots))
+	}
+	root := trace.Roots[0]
+	if root.Name != "updf.submit" || root.ID != submit.ID() {
+		t.Fatalf("root = %s (id %d), want updf.submit (id %d)", root.Name, root.ID, submit.ID())
+	}
+	if root.Attrs["items"] != "5" {
+		t.Fatalf("root attrs = %v, want items=5", root.Attrs)
+	}
+	if len(root.Children) != 2 { // net.hop event + node1 query span
+		t.Fatalf("root has %d children, want 2", len(root.Children))
+	}
+	var node1 *SpanInfo
+	for _, c := range root.Children {
+		if c.Name == "updf.query" {
+			node1 = c
+		}
+	}
+	if node1 == nil || node1.ID != n1.ID() {
+		t.Fatalf("node1 query span not under submit: %+v", root.Children)
+	}
+	if len(node1.Children) != 3 { // eval, net.hop, node2 query
+		t.Fatalf("node1 has %d children, want 3", len(node1.Children))
+	}
+	var node2 *SpanInfo
+	for _, c := range node1.Children {
+		if c.Name == "updf.query" {
+			node2 = c
+		}
+	}
+	if node2 == nil || node2.ID != n2.ID() {
+		t.Fatalf("node2 query span not under node1: %+v", node1.Children)
+	}
+	if len(node2.Children) != 1 || node2.Children[0].Name != "updf.eval" {
+		t.Fatalf("node2 children = %+v, want one updf.eval", node2.Children)
+	}
+}
+
+func TestTracesMostRecentFirst(t *testing.T) {
+	tr := NewTracer(64)
+	for i := 0; i < 3; i++ {
+		sp := tr.StartSpanID(tr.NewTraceID(), 0, "op")
+		sp.End()
+	}
+	all := tr.Traces(0)
+	if len(all) != 3 {
+		t.Fatalf("got %d traces, want 3", len(all))
+	}
+	if all[0].TraceID != "t3" || all[2].TraceID != "t1" {
+		t.Fatalf("order = %s,%s,%s, want t3,t2,t1",
+			all[0].TraceID, all[1].TraceID, all[2].TraceID)
+	}
+	if got := tr.Traces(2); len(got) != 2 {
+		t.Fatalf("Traces(2) returned %d traces, want 2", len(got))
+	}
+}
+
+// TestRingWrapEviction checks that spans beyond the ring capacity evict
+// the oldest and that orphaned children (parent evicted) surface as
+// roots rather than disappearing.
+func TestRingWrapEviction(t *testing.T) {
+	tr := NewTracer(4)
+	parent := tr.StartSpanID("tx", 0, "parent")
+	parent.End()
+	child := tr.StartSpanID("tx", parent.ID(), "child")
+	child.End()
+	for i := 0; i < 4; i++ { // push the parent (and child) out of the ring
+		sp := tr.StartSpanID("other", 0, "filler")
+		sp.End()
+	}
+	if tr.Trace("tx") != nil {
+		t.Fatal("evicted trace should be gone")
+	}
+
+	tr2 := NewTracer(4)
+	p2 := tr2.StartSpanID("tx2", 0, "parent")
+	p2.End()
+	c2 := tr2.StartSpanID("tx2", p2.ID(), "child")
+	c2.End()
+	for i := 0; i < 3; i++ { // evict only the parent
+		sp := tr2.StartSpanID("other", 0, "filler")
+		sp.End()
+	}
+	trace := tr2.Trace("tx2")
+	if trace == nil || len(trace.Roots) != 1 || trace.Roots[0].Name != "child" {
+		t.Fatalf("orphaned child should surface as root, got %+v", trace)
+	}
+}
+
+// TestParentCycleBreaks reproduces a cross-process span-ID collision:
+// two spans whose parent pointers form a loop, so neither is a root. The
+// reconstruction must promote one to a root instead of dropping both.
+func TestParentCycleBreaks(t *testing.T) {
+	tr := NewTracer(16)
+	probe := tr.StartSpanID("probe", 0, "p") // learn the current ID counter
+	probe.End()
+	// Event IDs are allocated sequentially, so these two events point at
+	// each other: a = (probe+1, parent probe+2), b = (probe+2, parent probe+1).
+	tr.Event("tx", probe.ID()+2, "a")
+	tr.Event("tx", probe.ID()+1, "b")
+	trace := tr.Trace("tx")
+	if trace == nil || trace.Spans != 2 {
+		t.Fatalf("trace = %+v, want 2 spans", trace)
+	}
+	if len(trace.Roots) == 0 {
+		t.Fatal("cycle dropped both spans: no roots")
+	}
+	total := 0
+	var count func(s *SpanInfo)
+	count = func(s *SpanInfo) {
+		total++
+		for _, c := range s.Children {
+			count(c)
+		}
+	}
+	for _, r := range trace.Roots {
+		count(r)
+	}
+	if total != 2 {
+		t.Fatalf("reachable spans = %d, want 2", total)
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.StartSpanID("tx", 0, "op")
+	sp.End()
+	sp.End()
+	trace := tr.Trace("tx")
+	if trace == nil || trace.Spans != 1 {
+		t.Fatalf("double End recorded %+v, want 1 span", trace)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.Start(context.Background(), "root")
+	_, child := tr.Start(ctx, "child")
+	child.End()
+	root.End()
+	trace := tr.Trace(root.TraceID())
+	if trace == nil || len(trace.Roots) != 1 {
+		t.Fatalf("trace = %+v, want one root", trace)
+	}
+	r := trace.Roots[0]
+	if r.Name != "root" || len(r.Children) != 1 || r.Children[0].Name != "child" {
+		t.Fatalf("tree = %+v, want root->child", r)
+	}
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("SpanFromContext on empty ctx should be nil")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				sp := tr.StartSpanID(tr.NewTraceID(), 0, "op")
+				sp.SetAttr(Int("i", int64(i)))
+				sp.End()
+				_ = tr.Traces(4)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"wsda/internal/pdp"
 	"wsda/internal/registry"
 	"wsda/internal/softstate"
+	"wsda/internal/telemetry"
 	"wsda/internal/tuple"
 	"wsda/internal/xmldoc"
 	"wsda/internal/xq"
@@ -59,6 +60,16 @@ type Config struct {
 
 	// Now is the clock; nil means time.Now.
 	Now func() time.Time
+
+	// Metrics, when set, receives per-node latency histograms (query
+	// handling, local evaluation, loop-detect check, state sweeps),
+	// labeled by node address. Nil disables collection.
+	Metrics *telemetry.Metrics
+
+	// Tracer, when set, records one span per transaction residency on
+	// this node, parented under the sending hop's span (carried in
+	// pdp.Message.TraceParent) so a query's full hop tree reconstructs.
+	Tracer *telemetry.Tracer
 }
 
 // Abort-timeout shrink policies.
@@ -97,6 +108,12 @@ type Node struct {
 	queriesSeen, duplicates, droppedExpired atomic.Int64
 	evals, evalErrors, forwards             atomic.Int64
 	aborts, lateMessages                    atomic.Int64
+
+	// Telemetry handles; nil when Config.Metrics/Tracer are unset.
+	tracer           *telemetry.Tracer
+	handleSeconds    *telemetry.Histogram
+	evalSeconds      *telemetry.Histogram
+	loopCheckSeconds *telemetry.Histogram
 }
 
 // NewNode creates a node and registers it on the network.
@@ -130,6 +147,18 @@ func NewNode(cfg Config) (*Node, error) {
 		now:    cfg.Now,
 		states: softstate.New[*txState](cfg.Now),
 		rng:    newLockedRand(seed),
+		tracer: cfg.Tracer,
+	}
+	if m := cfg.Metrics; m != nil {
+		n.handleSeconds = m.HistogramVec("wsda_updf_query_handle_seconds",
+			"Latency of query-message handling (loop check, forward, local eval).",
+			nil, "node").With(cfg.Addr)
+		n.evalSeconds = m.HistogramVec("wsda_updf_eval_seconds",
+			"Latency of local query evaluations.", nil, "node").With(cfg.Addr)
+		n.loopCheckSeconds = m.HistogramVec("wsda_updf_loop_check_seconds",
+			"Latency of the state-table loop-detection check.", nil, "node").With(cfg.Addr)
+		n.states.InstrumentSweeps(m.HistogramVec("wsda_updf_state_sweep_seconds",
+			"Latency of state-table sweeps.", nil, "node").With(cfg.Addr))
 	}
 	if err := cfg.Net.Register(cfg.Addr, n.handle); err != nil {
 		return nil, err
@@ -241,6 +270,14 @@ func (n *Node) currentMembership() *Membership {
 }
 
 func (n *Node) handleQuery(m *pdp.Message) {
+	if n.handleSeconds != nil {
+		defer n.handleSeconds.ObserveSince(time.Now())
+	}
+	sp := n.tracer.StartSpanID(m.TxID, m.TraceParent, "updf.query")
+	sp.SetAttr(telemetry.String("node", n.cfg.Addr),
+		telemetry.String("from", m.From),
+		telemetry.Int("hop", int64(m.Hop)),
+		telemetry.Int("radius", int64(m.Scope.Radius)))
 	n.queriesSeen.Add(1)
 	now := n.now()
 
@@ -248,6 +285,8 @@ func (n *Node) handleQuery(m *pdp.Message) {
 	// dropped everywhere, bounding both traffic and state retention.
 	if !m.Scope.LoopTimeout.IsZero() && now.After(m.Scope.LoopTimeout) {
 		n.droppedExpired.Add(1)
+		sp.SetAttr(telemetry.String("outcome", "dropped-expired"))
+		sp.End()
 		return
 	}
 
@@ -261,16 +300,27 @@ func (n *Node) handleQuery(m *pdp.Message) {
 		mode:     m.Mode,
 		pipeline: m.Pipeline,
 		pending:  make(map[string]bool),
+		span:     sp,
 	}
 	ttl := n.cfg.DefaultStateTTL
 	if !m.Scope.LoopTimeout.IsZero() {
 		ttl = m.Scope.LoopTimeout.Sub(now)
 	}
-	if _, isNew := n.states.PutIfAbsent(m.TxID, st, ttl); !isNew {
+	var lc0 time.Time
+	if n.loopCheckSeconds != nil {
+		lc0 = time.Now()
+	}
+	_, isNew := n.states.PutIfAbsent(m.TxID, st, ttl)
+	if n.loopCheckSeconds != nil {
+		n.loopCheckSeconds.ObserveSince(lc0)
+	}
+	if !isNew {
 		n.duplicates.Add(1)
+		sp.SetAttr(telemetry.String("outcome", "duplicate"))
+		sp.End()
 		n.send(&pdp.Message{
 			Kind: pdp.KindReceipt, TxID: m.TxID, From: n.cfg.Addr, To: m.From,
-			Final: true,
+			Final: true, TraceParent: sp.ID(),
 		})
 		return
 	}
@@ -309,7 +359,7 @@ func (n *Node) handleQuery(m *pdp.Message) {
 			n.send(&pdp.Message{
 				Kind: pdp.KindQuery, TxID: m.TxID, From: n.cfg.Addr, To: child,
 				Hop: m.Hop + 1, Query: m.Query, Mode: m.Mode, Origin: m.Origin,
-				Pipeline: m.Pipeline, Scope: childScope,
+				Pipeline: m.Pipeline, Scope: childScope, TraceParent: sp.ID(),
 			})
 		}
 	}
@@ -336,6 +386,21 @@ func (n *Node) handleQuery(m *pdp.Message) {
 // evalLocal runs the query against the node's own registry and disposes of
 // the local results per the response mode.
 func (n *Node) evalLocal(m *pdp.Message, st *txState) {
+	if n.evalSeconds != nil {
+		defer n.evalSeconds.ObserveSince(time.Now())
+	}
+	if esp := n.tracer.StartSpan(m.TxID, st.span, "updf.eval"); esp != nil {
+		defer func() {
+			st.mu.Lock()
+			hits, evalErr := st.localHits, st.evalErr
+			st.mu.Unlock()
+			esp.SetAttr(telemetry.Int("hits", int64(hits)))
+			if evalErr != "" {
+				esp.SetAttr(telemetry.String("err", evalErr))
+			}
+			esp.End()
+		}()
+	}
 	n.evals.Add(1)
 	opts := n.cfg.QueryOptions
 
@@ -354,6 +419,7 @@ func (n *Node) evalLocal(m *pdp.Message, st *txState) {
 			n.send(&pdp.Message{
 				Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.parent,
 				Items: xq.Sequence{it}, HitCount: 1, Source: n.cfg.Addr,
+				TraceParent: st.span.ID(),
 			})
 			return true
 		}
@@ -395,6 +461,7 @@ func (n *Node) evalLocal(m *pdp.Message, st *txState) {
 			n.send(&pdp.Message{
 				Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.origin,
 				Items: seq, HitCount: len(seq), Source: n.cfg.Addr, Final: true,
+				TraceParent: st.span.ID(),
 			})
 		}
 	case pdp.Metadata:
@@ -405,14 +472,14 @@ func (n *Node) evalLocal(m *pdp.Message, st *txState) {
 			// Metadata record: count + source, routed upstream.
 			n.send(&pdp.Message{
 				Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.parent,
-				HitCount: len(seq), Source: n.cfg.Addr,
+				HitCount: len(seq), Source: n.cfg.Addr, TraceParent: st.span.ID(),
 			})
 		}
 	case pdp.Referral:
 		n.send(&pdp.Message{
 			Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.origin,
 			Items: seq, HitCount: len(seq), Source: n.cfg.Addr, Final: true,
-			Neighbors: n.Neighbors(),
+			Neighbors: n.Neighbors(), TraceParent: st.span.ID(),
 		})
 	}
 }
@@ -518,6 +585,10 @@ func (n *Node) handleClose(m *pdp.Message) {
 	if st.timer != nil {
 		st.timer.Stop()
 	}
+	if st.span != nil {
+		st.span.SetAttr(telemetry.String("outcome", "closed"))
+		st.span.End()
+	}
 	children := make([]string, 0, len(st.pending))
 	for c := range st.pending {
 		children = append(children, c)
@@ -565,6 +636,14 @@ func (n *Node) finalizeLocked(tx string, st *txState, abortErr string) {
 	if st.timer != nil {
 		st.timer.Stop()
 	}
+	if st.span != nil {
+		st.span.SetAttr(telemetry.Int("local_hits", int64(st.localHits)),
+			telemetry.Int("subtree_hits", int64(st.subtreeHits)))
+		if abortErr != "" {
+			st.span.SetAttr(telemetry.String("outcome", abortErr))
+		}
+		st.span.End()
+	}
 	errStr := st.evalErr
 	if abortErr != "" {
 		if errStr != "" {
@@ -578,13 +657,14 @@ func (n *Node) finalizeLocked(tx string, st *txState, abortErr string) {
 		out = &pdp.Message{
 			Kind: pdp.KindResult, TxID: tx, From: n.cfg.Addr, To: st.parent,
 			Items: st.buffered, HitCount: st.subtreeHits, Final: true,
-			Source: n.cfg.Addr, Err: errStr,
+			Source: n.cfg.Addr, Err: errStr, TraceParent: st.span.ID(),
 		}
 		st.buffered = nil
 	case pdp.Direct, pdp.Metadata:
 		out = &pdp.Message{
 			Kind: pdp.KindReceipt, TxID: tx, From: n.cfg.Addr, To: st.parent,
 			HitCount: st.subtreeHits, Final: true, Err: errStr,
+			TraceParent: st.span.ID(),
 		}
 	case pdp.Referral:
 		// Referral answered directly in evalLocal; nothing upstream.

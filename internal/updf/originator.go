@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wsda/internal/pdp"
+	"wsda/internal/telemetry"
 	"wsda/internal/xq"
 )
 
@@ -74,6 +75,11 @@ type Originator struct {
 	pending map[string]chan *pdp.Message
 
 	seq atomic.Int64
+
+	// Telemetry handles; nil until SetTelemetry.
+	tracer        *telemetry.Tracer
+	submitSeconds *telemetry.Histogram
+	firstSeconds  *telemetry.Histogram
 }
 
 // NewOriginator registers an originator endpoint on the network.
@@ -86,6 +92,20 @@ func NewOriginator(addr string, net pdp.Network, now func() time.Time) (*Origina
 		return nil, err
 	}
 	return o, nil
+}
+
+// SetTelemetry wires metrics and tracing into the originator: a span per
+// submission (traced under the query's transaction ID, so it roots the
+// network hop tree) plus end-to-end and time-to-first-item histograms.
+// Call it during setup; nil arguments disable the respective facility.
+func (o *Originator) SetTelemetry(m *telemetry.Metrics, tr *telemetry.Tracer) {
+	o.tracer = tr
+	if m != nil {
+		o.submitSeconds = m.HistogramVec("wsda_updf_submit_seconds",
+			"End-to-end latency of network query submissions.", nil, "originator").With(o.addr)
+		o.firstSeconds = m.HistogramVec("wsda_updf_time_to_first_seconds",
+			"Latency until the first result item of a submission.", nil, "originator").With(o.addr)
+	}
 }
 
 // Addr returns the originator's network address.
@@ -151,6 +171,11 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 	start := o.now()
 	loopDeadline := start.Add(s.LoopTimeout)
 	abortDeadline := start.Add(s.AbortTimeout)
+	sp := o.tracer.StartSpan(tx, nil, "updf.submit")
+	sp.SetAttr(telemetry.String("originator", o.addr),
+		telemetry.String("entry", s.Entry),
+		telemetry.String("mode", s.Mode.String()),
+		telemetry.Int("radius", int64(s.Radius)))
 	if err := o.net.Send(&pdp.Message{
 		Kind: pdp.KindQuery, TxID: tx, From: o.addr, To: s.Entry,
 		Query: s.Query, Mode: s.Mode, Origin: o.addr, Pipeline: s.Pipeline,
@@ -158,11 +183,25 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 			Radius: s.Radius, LoopTimeout: loopDeadline, AbortTimeout: abortDeadline,
 			Policy: s.Policy, Fanout: s.Fanout,
 		},
+		TraceParent: sp.ID(),
 	}); err != nil {
+		sp.SetAttr(telemetry.String("err", err.Error()))
+		sp.End()
 		return nil, fmt.Errorf("updf: submit to %s: %w", s.Entry, err)
 	}
 
 	rs := &ResultSet{TxID: tx, Sources: make(map[string]int)}
+	finish := func() {
+		o.submitSeconds.ObserveDuration(rs.Elapsed)
+		if rs.TimeToFirst > 0 {
+			o.firstSeconds.ObserveDuration(rs.TimeToFirst)
+		}
+		if sp != nil {
+			sp.SetAttr(telemetry.Int("items", int64(len(rs.Items))),
+				telemetry.Bool("aborted", rs.Aborted))
+			sp.End()
+		}
+	}
 	// The originator grants itself a grace period beyond the entry node's
 	// abort deadline so finals emitted exactly at the deadline can arrive.
 	timer := time.NewTimer(s.AbortTimeout + s.AbortTimeout/2 + 50*time.Millisecond)
@@ -234,6 +273,7 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 					if !addItems(m.Items, m.Source) {
 						closeTx()
 						rs.Elapsed = o.now().Sub(start)
+						finish()
 						return rs, nil
 					}
 					if m.Final {
@@ -258,11 +298,13 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 			closeTx()
 			rs.Elapsed = o.now().Sub(start)
 			rs.NodesVisited = len(rs.Sources)
+			finish()
 			return rs, nil
 		}
 	}
 	rs.Elapsed = o.now().Sub(start)
 	rs.NodesVisited = len(rs.Sources)
+	finish()
 	return rs, nil
 }
 
@@ -291,6 +333,23 @@ func (o *Originator) submitReferral(s QuerySpec) (*ResultSet, error) {
 	depth := map[string]int{}
 	outstanding := 0
 
+	sp := o.tracer.StartSpan(tx, nil, "updf.submit")
+	sp.SetAttr(telemetry.String("originator", o.addr),
+		telemetry.String("entry", s.Entry),
+		telemetry.String("mode", "referral"),
+		telemetry.Int("radius", int64(s.Radius)))
+	finish := func() {
+		o.submitSeconds.ObserveDuration(rs.Elapsed)
+		if rs.TimeToFirst > 0 {
+			o.firstSeconds.ObserveDuration(rs.TimeToFirst)
+		}
+		if sp != nil {
+			sp.SetAttr(telemetry.Int("items", int64(len(rs.Items))),
+				telemetry.Bool("aborted", rs.Aborted))
+			sp.End()
+		}
+	}
+
 	ask := func(addr string) {
 		visited[addr] = true
 		outstanding++
@@ -299,7 +358,8 @@ func (o *Originator) submitReferral(s QuerySpec) (*ResultSet, error) {
 		_ = o.net.Send(&pdp.Message{
 			Kind: pdp.KindQuery, TxID: tx + "@" + addr, From: o.addr, To: addr,
 			Query: s.Query, Mode: pdp.Referral, Origin: o.addr,
-			Scope: pdp.Scope{Radius: 0, LoopTimeout: loopDeadline},
+			Scope:       pdp.Scope{Radius: 0, LoopTimeout: loopDeadline},
+			TraceParent: sp.ID(),
 		})
 	}
 	// Register the per-node transaction IDs as they share the tx prefix:
@@ -349,6 +409,7 @@ func (o *Originator) submitReferral(s QuerySpec) (*ResultSet, error) {
 				rs.Sources[m.Source]++
 				if s.OnItem != nil && !s.OnItem(it, m.Source) {
 					rs.Elapsed = o.now().Sub(start)
+					finish()
 					return rs, nil
 				}
 			}
@@ -356,9 +417,11 @@ func (o *Originator) submitReferral(s QuerySpec) (*ResultSet, error) {
 		case <-deadline.C:
 			rs.Aborted = true
 			rs.Elapsed = o.now().Sub(start)
+			finish()
 			return rs, nil
 		}
 	}
 	rs.Elapsed = o.now().Sub(start)
+	finish()
 	return rs, nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wsda/internal/pdp"
+	"wsda/internal/telemetry"
 	"wsda/internal/xq"
 )
 
@@ -42,4 +43,8 @@ type txState struct {
 	aborted   bool
 	timer     *time.Timer // dynamic abort timer
 	evalErr   string
+
+	// span covers this transaction's residency on the node, from query
+	// arrival to the final upstream message. Nil when tracing is off.
+	span *telemetry.Span
 }

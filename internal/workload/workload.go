@@ -57,7 +57,7 @@ func (g *Gen) Service(i int) *wsda.Service {
 	b := wsda.NewService(name).
 		Domain(domain).
 		Owner(vo).
-		Link(base + wsda.PathPresenter).
+		Link(base+wsda.PathPresenter).
 		Attr("kind", kind).
 		Attr("vo", vo).
 		Attr("load", fmt.Sprintf("%.2f", g.rng.Float64())).

@@ -147,8 +147,8 @@ var corpus = []struct{ src, want string }{
 	  local:scale(21)`, "42"},
 
 	// Node identity and document order.
-	{`count((//book, //book))`, "8"},              // sequences keep duplicates
-	{`count(//book | //book)`, "4"},               // union dedupes
+	{`count((//book, //book))`, "8"},               // sequences keep duplicates
+	{`count(//book | //book)`, "4"},                // union dedupes
 	{`(//book/@isbn)[1] << (//book/@isbn)[2]`, ""}, // << unsupported: see below
 }
 

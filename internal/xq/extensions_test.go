@@ -12,18 +12,18 @@ import (
 
 func TestExplicitAxes(t *testing.T) {
 	cases := map[string]string{
-		`string((//operation)[1]/ancestor::service/@name)`:           "replica-catalog",
-		`count((//operation)[1]/ancestor::*)`:                        "4", // interface, service, content, tuple... plus tupleset = 5? counted below
-		`count((//service)[1]/descendant::operation)`:              "1",
-		`count(/tupleset/descendant::service)`:                       "3",
+		`string((//operation)[1]/ancestor::service/@name)`:                             "replica-catalog",
+		`count((//operation)[1]/ancestor::*)`:                                          "4", // interface, service, content, tuple... plus tupleset = 5? counted below
+		`count((//service)[1]/descendant::operation)`:                                  "1",
+		`count(/tupleset/descendant::service)`:                                         "3",
 		`string(/tupleset/tuple[1]/following-sibling::tuple[1]/content/service/@name)`: "scheduler",
 		`string(/tupleset/tuple[3]/preceding-sibling::tuple[1]/content/service/@name)`: "scheduler",
-		`count(/tupleset/tuple[2]/preceding-sibling::tuple)`:         "1",
-		`string((//load)[1]/parent::service/@name)`:                  "replica-catalog",
-		`count((//load)[1]/ancestor-or-self::*) >= 2`:                "true",
-		`count(/tupleset/child::tuple)`:                              "3",
-		`string((//service)[1]/self::service/@name)`:                 "replica-catalog",
-		`count(//service/attribute::name)`:                           "3",
+		`count(/tupleset/tuple[2]/preceding-sibling::tuple)`:                           "1",
+		`string((//load)[1]/parent::service/@name)`:                                    "replica-catalog",
+		`count((//load)[1]/ancestor-or-self::*) >= 2`:                                  "true",
+		`count(/tupleset/child::tuple)`:                                                "3",
+		`string((//service)[1]/self::service/@name)`:                                   "replica-catalog",
+		`count(//service/attribute::name)`:                                             "3",
 	}
 	for src, want := range cases {
 		if src == `count((//operation)[1]/ancestor::*)` {

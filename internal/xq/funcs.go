@@ -72,10 +72,10 @@ func init() {
 			}
 			return Singleton(NumberValue(it)), nil
 		}},
-		"round": {1, 1, fnNum1(func(f float64) float64 { return math.Floor(f + 0.5) })},
-		"floor": {1, 1, fnNum1(math.Floor)},
+		"round":   {1, 1, fnNum1(func(f float64) float64 { return math.Floor(f + 0.5) })},
+		"floor":   {1, 1, fnNum1(math.Floor)},
 		"ceiling": {1, 1, fnNum1(math.Ceil)},
-		"abs": {1, 1, fnNum1(math.Abs)},
+		"abs":     {1, 1, fnNum1(math.Abs)},
 
 		"string": {0, 1, func(c *evalCtx, a []Sequence) (Sequence, error) {
 			it, err := argOrCtx(c, a, 0)
@@ -99,9 +99,9 @@ func init() {
 			}
 			return Singleton(sb.String()), nil
 		}},
-		"contains": {2, 2, fnStr2(strings.Contains)},
+		"contains":    {2, 2, fnStr2(strings.Contains)},
 		"starts-with": {2, 2, fnStr2(strings.HasPrefix)},
-		"ends-with": {2, 2, fnStr2(strings.HasSuffix)},
+		"ends-with":   {2, 2, fnStr2(strings.HasSuffix)},
 		"substring-before": {2, 2, func(_ *evalCtx, a []Sequence) (Sequence, error) {
 			s, t := seqString(a[0]), seqString(a[1])
 			if i := strings.Index(s, t); i >= 0 {

@@ -11,13 +11,13 @@ import (
 type tokKind int
 
 const (
-	tokEOF tokKind = iota
-	tokName         // identifier or keyword: for, let, div, element names
-	tokVar          // $name
-	tokString       // "..." or '...'
-	tokInteger      // 42
-	tokDecimal      // 4.2
-	tokSymbol       // punctuation and operators
+	tokEOF     tokKind = iota
+	tokName            // identifier or keyword: for, let, div, element names
+	tokVar             // $name
+	tokString          // "..." or '...'
+	tokInteger         // 42
+	tokDecimal         // 4.2
+	tokSymbol          // punctuation and operators
 )
 
 func (k tokKind) String() string {

@@ -155,19 +155,19 @@ func TestPaths(t *testing.T) {
 
 func TestComparisons(t *testing.T) {
 	cases := map[string]string{
-		`1 < 2`:                 "true",
-		`2 <= 2`:                "true",
-		`"a" = "a"`:             "true",
-		`"a" != "a"`:            "false",
-		`1 eq 1`:                "true",
-		`1 ne 2`:                "true",
-		`"abc" lt "abd"`:        "true",
-		`//load > 0.5`:          "true",  // existential: 0.80 matches
-		`//load > 0.9`:          "false",
-		`count(//tuple) ge 3`:   "true",
-		`not(1 = 2)`:            "true",
+		`1 < 2`:                   "true",
+		`2 <= 2`:                  "true",
+		`"a" = "a"`:               "true",
+		`"a" != "a"`:              "false",
+		`1 eq 1`:                  "true",
+		`1 ne 2`:                  "true",
+		`"abc" lt "abd"`:          "true",
+		`//load > 0.5`:            "true", // existential: 0.80 matches
+		`//load > 0.9`:            "false",
+		`count(//tuple) ge 3`:     "true",
+		`not(1 = 2)`:              "true",
 		`true() and not(false())`: "true",
-		`false() or true()`:     "true",
+		`false() or true()`:       "true",
 	}
 	for src, want := range cases {
 		if got := evalOne(t, src); got != want {
@@ -248,24 +248,24 @@ func TestConditional(t *testing.T) {
 
 func TestStringFunctions(t *testing.T) {
 	cases := map[string]string{
-		`concat("a", "b", "c")`:              "abc",
-		`contains("hello world", "lo w")`:    "true",
-		`starts-with("cern.ch", "cern")`:     "true",
-		`ends-with("cern.ch", ".ch")`:        "true",
-		`substring("12345", 2, 3)`:           "234",
-		`substring("12345", 2)`:              "2345",
-		`substring-before("a=b", "=")`:       "a",
-		`substring-after("a=b", "=")`:        "b",
-		`string-length("abcd")`:              "4",
-		`normalize-space("  a   b ")`:        "a b",
-		`upper-case("abc")`:                  "ABC",
-		`lower-case("ABC")`:                  "abc",
-		`translate("abcb", "b", "x")`:        "axcx",
-		`string-join(("a","b","c"), "-")`:    "a-b-c",
-		`"a" || "b" || "c"`:                  "abc",
-		`count(tokenize("a,b,c", ","))`:      "3",
-		`matches("cern.ch", "^cern")`:        "true",
-		`replace("a-b-c", "-", "+")`:         "a+b+c",
+		`concat("a", "b", "c")`:           "abc",
+		`contains("hello world", "lo w")`: "true",
+		`starts-with("cern.ch", "cern")`:  "true",
+		`ends-with("cern.ch", ".ch")`:     "true",
+		`substring("12345", 2, 3)`:        "234",
+		`substring("12345", 2)`:           "2345",
+		`substring-before("a=b", "=")`:    "a",
+		`substring-after("a=b", "=")`:     "b",
+		`string-length("abcd")`:           "4",
+		`normalize-space("  a   b ")`:     "a b",
+		`upper-case("abc")`:               "ABC",
+		`lower-case("ABC")`:               "abc",
+		`translate("abcb", "b", "x")`:     "axcx",
+		`string-join(("a","b","c"), "-")`: "a-b-c",
+		`"a" || "b" || "c"`:               "abc",
+		`count(tokenize("a,b,c", ","))`:   "3",
+		`matches("cern.ch", "^cern")`:     "true",
+		`replace("a-b-c", "-", "+")`:      "a+b+c",
 	}
 	for src, want := range cases {
 		if got := evalOne(t, src); got != want {
@@ -297,9 +297,9 @@ func TestNumericFunctions(t *testing.T) {
 
 func TestSequenceFunctions(t *testing.T) {
 	cases := map[string]string{
-		`empty(())`:                          "true",
-		`exists(//tuple)`:                    "true",
-		`count(distinct-values((1, 2, 1)))`:  "2",
+		`empty(())`:                                 "true",
+		`exists(//tuple)`:                           "true",
+		`count(distinct-values((1, 2, 1)))`:         "2",
 		`count(distinct-values(//service/@domain))`: "2",
 		`string-join(reverse(("a","b")), "")`:       "ba",
 		`count(subsequence((1,2,3,4), 2, 2))`:       "2",

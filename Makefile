@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet build test bench-noop bench run-registryd run-peerd
+.PHONY: check fmt-check vet build test bench-noop bench bench-guard run-registryd run-peerd
 
 check: fmt-check vet build test bench-noop
 
@@ -31,6 +31,12 @@ bench-noop:
 # Full benchmark suite (slow).
 bench:
 	$(GO) test -bench . -benchtime 1s ./...
+
+# View-maintenance perf guard: runs BenchmarkViewQuery{Cold,Warm,Churn} with
+# -benchmem, writes BENCH_view.json, and fails if the warm (cached-view)
+# path allocates more than the budget per query.
+bench-guard:
+	$(GO) run ./cmd/benchguard -out BENCH_view.json
 
 run-registryd:
 	$(GO) run ./cmd/registryd -seed-services 100

@@ -1,5 +1,5 @@
 // Benchmarks regenerating the evaluation's tables and figures (experiments
-// E1–E13, DESIGN.md) plus micro-benchmarks of the load-bearing components.
+// E1–E14, DESIGN.md) plus micro-benchmarks of the load-bearing components.
 // Each experiment benchmark runs a reduced-scale instance per iteration;
 // cmd/benchharness runs the full-scale versions and prints the tables.
 package wsda_test
@@ -136,6 +136,14 @@ func BenchmarkE13Federation(b *testing.B) {
 	}
 }
 
+func BenchmarkE14ViewMaintenance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E14ViewMaintenance([]int{500}, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Component micro-benchmarks ---
 
 func benchRegistry(b *testing.B, n int) *registry.Registry {
@@ -213,6 +221,77 @@ func BenchmarkRegistryMinQuery1k(b *testing.B) {
 		if got := reg.MinQuery(registry.Filter{Type: "service"}); len(got) != 1000 {
 			b.Fatal("bad count")
 		}
+	}
+}
+
+// --- View-maintenance benchmarks (ISSUE 2 acceptance) ---
+//
+// The query is deliberately trivial (one attribute read) so the measured
+// cost is view materialization/maintenance, not XQuery evaluation.
+
+const viewBenchQuery = `string(/tupleset/@registry)`
+
+// BenchmarkViewQueryCold measures the pre-change path: a full BuildView per
+// query (snapshot, sort, render every tuple, renumber) plus evaluation.
+func BenchmarkViewQueryCold(b *testing.B) {
+	reg := benchRegistry(b, 1000)
+	q := xq.MustCompile(viewBenchQuery)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view := reg.BuildView(registry.Filter{}, registry.Freshness{})
+		if _, err := q.EvalDoc(view); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViewQueryWarm measures the steady state: repeated identical-filter
+// queries against an unchanged 1000-tuple store, served from the cached view.
+func BenchmarkViewQueryWarm(b *testing.B) {
+	reg := benchRegistry(b, 1000)
+	q := xq.MustCompile(viewBenchQuery)
+	if _, err := reg.QueryCompiled(q, registry.QueryOptions{}); err != nil {
+		b.Fatal(err) // prime the view
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.QueryCompiled(q, registry.QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViewQueryChurn republishes a fixed number of tuples between
+// queries. Similar ns/op across store sizes demonstrates that rebuild cost
+// tracks the changed tuples, not the store size.
+func BenchmarkViewQueryChurn(b *testing.B) {
+	const churn = 10
+	for _, n := range []int{1000, 4000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			gen := workload.NewGen(1)
+			reg := registry.New(registry.Config{Name: "bench", DefaultTTL: time.Hour})
+			if err := gen.Populate(reg, n, time.Hour); err != nil {
+				b.Fatal(err)
+			}
+			q := xq.MustCompile(viewBenchQuery)
+			if _, err := reg.QueryCompiled(q, registry.QueryOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < churn; j++ {
+					if _, err := reg.Publish(gen.Tuple((i*churn+j)%n), time.Hour); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := reg.QueryCompiled(q, registry.QueryOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

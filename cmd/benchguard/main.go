@@ -1,0 +1,134 @@
+// Command benchguard runs the view-maintenance benchmarks
+// (BenchmarkViewQuery{Cold,Warm,Churn}) with -benchmem, records the results
+// in a JSON file, and fails when the warm path regresses: the whole point
+// of incremental view maintenance is that a repeated identical-filter query
+// against an unchanged store allocates (almost) nothing, so allocs/op on
+// the warm path is guarded by a small constant budget.
+//
+//	benchguard                      # writes BENCH_view.json, exits 1 on breach
+//	benchguard -budget 32 -out f.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed `go test -bench` result line.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the BENCH_view.json document.
+type report struct {
+	Benchmarks []benchResult `json:"benchmarks"`
+	// ColdVsWarm compares the pre-change full-materialization path
+	// (BenchmarkViewQueryCold) against the cached-view steady state
+	// (BenchmarkViewQueryWarm) on the same 1000-tuple store.
+	ColdVsWarm struct {
+		ColdNsPerOp     float64 `json:"cold_ns_per_op"`
+		WarmNsPerOp     float64 `json:"warm_ns_per_op"`
+		Speedup         float64 `json:"speedup"`
+		ColdAllocsPerOp int64   `json:"cold_allocs_per_op"`
+		WarmAllocsPerOp int64   `json:"warm_allocs_per_op"`
+	} `json:"cold_vs_warm"`
+	WarmAllocBudget int64 `json:"warm_alloc_budget"`
+	Pass            bool  `json:"pass"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_view.json", "output JSON file")
+	budget := flag.Int64("budget", 32, "max allocs/op allowed on the warm path")
+	pattern := flag.String("bench", "BenchmarkViewQuery", "benchmark name pattern")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *pattern, "-benchmem", "-count", "1", ".")
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: bench run failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(string(raw))
+
+	var rep report
+	rep.WarmAllocBudget = *budget
+	for _, line := range strings.Split(string(raw), "\n") {
+		r, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+		base := strings.SplitN(r.Name, "-", 2)[0] // strip -GOMAXPROCS suffix
+		switch base {
+		case "BenchmarkViewQueryCold":
+			rep.ColdVsWarm.ColdNsPerOp = r.NsPerOp
+			rep.ColdVsWarm.ColdAllocsPerOp = r.AllocsPerOp
+		case "BenchmarkViewQueryWarm":
+			rep.ColdVsWarm.WarmNsPerOp = r.NsPerOp
+			rep.ColdVsWarm.WarmAllocsPerOp = r.AllocsPerOp
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark results parsed")
+		os.Exit(1)
+	}
+	if rep.ColdVsWarm.WarmNsPerOp > 0 {
+		rep.ColdVsWarm.Speedup = rep.ColdVsWarm.ColdNsPerOp / rep.ColdVsWarm.WarmNsPerOp
+	}
+	rep.Pass = rep.ColdVsWarm.WarmAllocsPerOp <= *budget
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: wrote %s (speedup %.0fx, warm allocs/op %d, budget %d)\n",
+		*out, rep.ColdVsWarm.Speedup, rep.ColdVsWarm.WarmAllocsPerOp, *budget)
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL: warm path allocates %d/op, budget %d\n",
+			rep.ColdVsWarm.WarmAllocsPerOp, *budget)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses a `-benchmem` result line of the form
+//
+//	BenchmarkName-8  1000000  1208 ns/op  352 B/op  17 allocs/op
+func parseBenchLine(line string) (benchResult, bool) {
+	f := strings.Fields(line)
+	if len(f) < 8 || !strings.HasPrefix(f[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	if f[3] != "ns/op" || f[5] != "B/op" || f[7] != "allocs/op" {
+		return benchResult{}, false
+	}
+	iters, err1 := strconv.ParseInt(f[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(f[2], 64)
+	bytes, err3 := strconv.ParseInt(f[4], 10, 64)
+	allocs, err4 := strconv.ParseInt(f[6], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		return benchResult{}, false
+	}
+	return benchResult{
+		Name:        f[0],
+		Iterations:  iters,
+		NsPerOp:     ns,
+		BytesPerOp:  bytes,
+		AllocsPerOp: allocs,
+	}, true
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -58,6 +59,7 @@ func main() {
 
 		telemetryOn = flag.Bool("telemetry", true, "collect metrics and traces, serve /metrics and /debug endpoints")
 		traceCap    = flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "completed spans retained for /debug/traces")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
@@ -155,6 +157,9 @@ func main() {
 	if *telemetryOn {
 		telemetry.Mount(mux, metrics, tracer)
 	}
+	if *pprofOn {
+		mountPprof(mux)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -203,6 +208,16 @@ func registerNodeStats(m *telemetry.Metrics, node *updf.Node, reg *registry.Regi
 		func() float64 { return float64(node.StateTableSize()) })
 	m.GaugeFunc("wsda_registry_live_tuples", "Live tuples in the local registry.",
 		func() float64 { return float64(reg.Len()) })
+}
+
+// mountPprof exposes the standard net/http/pprof handlers on the custom
+// mux (the package's init only registers on http.DefaultServeMux).
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // serveUntilSignal runs the server until it fails or a SIGINT/SIGTERM

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +53,7 @@ func main() {
 
 		telemetryOn = flag.Bool("telemetry", true, "collect metrics and traces, serve /metrics and /debug endpoints")
 		traceCap    = flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "completed spans retained for /debug/traces")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
@@ -118,12 +120,16 @@ func main() {
 	mux.Handle("/wsda/", wsda.Handler(node))
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := reg.Stats()
-		fmt.Fprintf(w, "live=%d publishes=%d refreshes=%d expirations=%d queries=%d minqueries=%d cache-hits=%d cache-misses=%d pulls=%d pull-errors=%d throttled=%d\n",
+		fmt.Fprintf(w, "live=%d publishes=%d refreshes=%d expirations=%d queries=%d minqueries=%d cache-hits=%d cache-misses=%d pulls=%d pull-errors=%d throttled=%d view-hits=%d view-misses=%d view-rebuilds=%d\n",
 			reg.Len(), st.Publishes, st.Refreshes, st.Expirations, st.Queries,
-			st.MinQueries, st.CacheHits, st.CacheMisses, st.Pulls, st.PullErrors, st.Throttled)
+			st.MinQueries, st.CacheHits, st.CacheMisses, st.Pulls, st.PullErrors, st.Throttled,
+			st.ViewHits, st.ViewMisses, st.ViewRebuilds)
 	})
 	if *telemetryOn {
 		telemetry.Mount(mux, metrics, tracer)
+	}
+	if *pprofOn {
+		mountPprof(mux)
 	}
 
 	srv := &http.Server{
@@ -173,8 +179,24 @@ func registerRegistryStats(m *telemetry.Metrics, reg *registry.Registry) {
 		stat(func(s registry.Stats) int64 { return s.PullErrors }))
 	m.CounterFunc("wsda_registry_throttled_total", "Pulls suppressed by MinPullInterval.",
 		stat(func(s registry.Stats) int64 { return s.Throttled }))
+	m.CounterFunc("wsda_registry_view_hits_total", "Queries served from an already-synced cached view.",
+		stat(func(s registry.Stats) int64 { return s.ViewHits }))
+	m.CounterFunc("wsda_registry_view_misses_total", "Queries that had to (re)build a view.",
+		stat(func(s registry.Stats) int64 { return s.ViewMisses }))
+	m.CounterFunc("wsda_registry_view_rebuilds_total", "View rebuild passes, full or incremental.",
+		stat(func(s registry.Stats) int64 { return s.ViewRebuilds }))
 	m.GaugeFunc("wsda_registry_live_tuples", "Live tuples in the registry.",
 		func() float64 { return float64(reg.Len()) })
+}
+
+// mountPprof exposes the standard net/http/pprof handlers on the custom
+// mux (the package's init only registers on http.DefaultServeMux).
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // serveUntilSignal runs the server until it fails or a SIGINT/SIGTERM

@@ -100,6 +100,10 @@ type Stats struct {
 	Pulls       int64 // successful content pulls
 	PullErrors  int64 // failed pulls
 	Throttled   int64 // pulls suppressed by MinPullInterval
+
+	ViewHits     int64 // queries served from an already-synced cached view
+	ViewMisses   int64 // queries that had to (re)build a view
+	ViewRebuilds int64 // view (re)build passes, full or incremental
 }
 
 // Registry is a hyper registry node. It is safe for concurrent use.
@@ -115,16 +119,26 @@ type Registry struct {
 	cacheMu    sync.RWMutex
 	queryCache map[string]*xq.Query
 
-	queries, minQueries             atomic.Int64
-	cacheHits, cacheMisses          atomic.Int64
-	pulls, pullErrors, throttledCnt atomic.Int64
+	// views are the incrementally maintained per-filter tuple-set views
+	// (see view.go); flights single-flight concurrent content pulls per
+	// link so a freshness stampede issues one fetch.
+	viewMu   sync.Mutex
+	views    map[Filter]*filterView
+	flightMu sync.Mutex
+	flights  map[string]*pullFlight
+
+	queries, minQueries                atomic.Int64
+	cacheHits, cacheMisses             atomic.Int64
+	pulls, pullErrors, throttledCnt    atomic.Int64
+	viewHits, viewMisses, viewRebuilds atomic.Int64
 
 	// Telemetry handles; all nil when Config.Metrics/Tracer are unset, in
 	// which case every observation below is a nil-check no-op.
-	publishSeconds  *telemetry.Histogram
-	minQuerySeconds *telemetry.Histogram
-	xquerySeconds   *telemetry.Histogram
-	tracer          *telemetry.Tracer
+	publishSeconds   *telemetry.Histogram
+	minQuerySeconds  *telemetry.Histogram
+	xquerySeconds    *telemetry.Histogram
+	viewBuildSeconds *telemetry.Histogram
+	tracer           *telemetry.Tracer
 }
 
 // New creates a registry.
@@ -135,8 +149,12 @@ func New(cfg Config) *Registry {
 		store:      softstate.New[*tuple.Tuple](cfg.Now),
 		lastPull:   make(map[string]time.Time),
 		queryCache: make(map[string]*xq.Query),
+		views:      make(map[Filter]*filterView),
+		flights:    make(map[string]*pullFlight),
 		tracer:     cfg.Tracer,
 	}
+	r.store.AddIndex(indexType, func(t *tuple.Tuple) string { return t.Type })
+	r.store.AddIndex(indexContext, func(t *tuple.Tuple) string { return t.Context })
 	if m := cfg.Metrics; m != nil {
 		r.publishSeconds = m.HistogramVec("wsda_registry_publish_seconds",
 			"Latency of tuple publications.", nil, "registry").With(cfg.Name)
@@ -144,6 +162,8 @@ func New(cfg Config) *Registry {
 			"Latency of minimal-interface queries.", nil, "registry").With(cfg.Name)
 		r.xquerySeconds = m.HistogramVec("wsda_registry_xquery_seconds",
 			"Latency of XQuery evaluations over the tuple-set view.", nil, "registry").With(cfg.Name)
+		r.viewBuildSeconds = m.HistogramVec("wsda_registry_view_build_seconds",
+			"Latency of tuple-set view builds, full or incremental.", nil, "registry").With(cfg.Name)
 		r.store.InstrumentSweeps(m.HistogramVec("wsda_registry_sweep_seconds",
 			"Latency of expired-tuple sweeps.", nil, "registry").With(cfg.Name))
 	}
@@ -253,11 +273,10 @@ func (r *Registry) MinQuery(f Filter) []*tuple.Tuple {
 		defer r.minQuerySeconds.ObserveSince(time.Now())
 	}
 	r.minQueries.Add(1)
-	var out []*tuple.Tuple
-	for _, e := range r.store.Live() {
-		if f.match(e.Value) {
-			out = append(out, e.Value.Clone())
-		}
+	entries := r.liveMatching(f)
+	out := make([]*tuple.Tuple, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.Value.Clone())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
 	return out
@@ -304,11 +323,14 @@ func (r *Registry) Query(query string, opts QueryOptions) (xq.Sequence, error) {
 			return nil, err
 		}
 		r.cacheMu.Lock()
-		// Bound the cache crudely: a full cache is dropped wholesale.
-		// Compilation is cheap relative to evaluation; the cache only
-		// needs to capture the steady-state query mix.
+		// Bound the cache with random-victim eviction (Go's randomized map
+		// iteration picks the victim), so a hot steady-state query mix is
+		// never dropped en masse.
 		if len(r.queryCache) >= maxCachedQueries {
-			r.queryCache = make(map[string]*xq.Query)
+			for k := range r.queryCache {
+				delete(r.queryCache, k)
+				break
+			}
 		}
 		r.queryCache[query] = q
 		r.cacheMu.Unlock()
@@ -327,13 +349,28 @@ func (r *Registry) QueryCompiled(q *xq.Query, opts QueryOptions) (xq.Sequence, e
 	sp := r.tracer.StartSpan("", nil, "registry.xquery")
 	sp.SetAttr(telemetry.String("registry", r.cfg.Name))
 	r.queries.Add(1)
-	view := r.BuildView(opts.Filter, opts.Freshness)
-	seq, err := q.Eval(&xq.Options{
-		Context:  view,
-		MaxSteps: r.cfg.MaxQuerySteps,
-		Emit:     opts.Emit,
-		Vars:     opts.Vars,
-	})
+	var seq xq.Sequence
+	var err error
+	if opts.Emit != nil {
+		// Streaming queries evaluate over a private materialized view:
+		// Emit callbacks run arbitrary user code, and a long-running
+		// callback must not hold the shared view's read lease.
+		view := r.BuildView(opts.Filter, opts.Freshness)
+		seq, err = q.Eval(&xq.Options{
+			Context:  view,
+			MaxSteps: r.cfg.MaxQuerySteps,
+			Emit:     opts.Emit,
+			Vars:     opts.Vars,
+		})
+	} else {
+		view, release := r.leaseView(opts.Filter, opts.Freshness)
+		seq, err = q.Eval(&xq.Options{
+			Context:  view,
+			MaxSteps: r.cfg.MaxQuerySteps,
+			Vars:     opts.Vars,
+		})
+		release()
+	}
 	if sp != nil {
 		sp.SetAttr(telemetry.Int("items", int64(len(seq))))
 		if err != nil {
@@ -344,20 +381,29 @@ func (r *Registry) QueryCompiled(q *xq.Query, opts QueryOptions) (xq.Sequence, e
 	return seq, err
 }
 
-// BuildView materializes the tuple-set document for a query, refreshing
-// content copies as demanded by the freshness policy.
+// BuildView materializes a private tuple-set document for a query,
+// refreshing content copies as demanded by the freshness policy. Most
+// queries are served from the incrementally maintained shared view instead
+// (leaseView); this path remains for streaming queries and as the fallback
+// when the store mutates faster than the view can sync.
 func (r *Registry) BuildView(f Filter, fresh Freshness) *xmldoc.Node {
+	return r.buildViewLegacy(f, fresh, true)
+}
+
+// buildViewLegacy is BuildView with the per-tuple freshness pass optional:
+// leaseView's fallback has already applied freshness (and counted the
+// cache hits and misses) and must not double-count.
+func (r *Registry) buildViewLegacy(f Filter, fresh Freshness, applyFresh bool) *xmldoc.Node {
 	now := r.cfg.Now()
 	root := xmldoc.NewElement("tupleset")
 	root.SetAttr("registry", r.cfg.Name)
-	entries := r.store.Live()
+	entries := r.liveMatching(f)
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
 	for _, e := range entries {
 		t := e.Value
-		if !f.match(t) {
-			continue
+		if applyFresh {
+			t = r.ensureFresh(t, fresh, now)
 		}
-		t = r.ensureFresh(t, fresh, now)
 		root.AppendChild(t.ToXML())
 	}
 	doc := xmldoc.NewDocument()
@@ -390,32 +436,69 @@ func (r *Registry) ensureFresh(t *tuple.Tuple, fresh Freshness, now time.Time) *
 	if r.cfg.Fetcher == nil {
 		return t
 	}
-	if !r.admitPull(t.Link, now) {
-		r.throttledCnt.Add(1)
+	content, ok := r.pullContent(t, now)
+	if !ok {
 		return t
 	}
-	content, err := r.cfg.Fetcher.Fetch(t.Link)
-	if err != nil {
-		r.pullErrors.Add(1)
-		return t
-	}
-	r.pulls.Add(1)
-	// Update the stored tuple's cache without touching its soft-state
-	// deadline: a pull is not a publication.
-	r.store.Upsert(t.Link, r.remainingTTL(t, now), func(old *tuple.Tuple, exists bool) *tuple.Tuple {
-		upd := t
-		if exists {
-			upd = old
-		}
-		c := upd.Clone()
-		c.Content = content
-		c.TS4 = now
-		return c
-	})
 	c := t.Clone()
 	c.Content = content
 	c.TS4 = now
 	return c
+}
+
+// pullFlight is one in-progress content pull; concurrent callers for the
+// same link wait on done and share the result instead of issuing duplicate
+// fetches.
+type pullFlight struct {
+	done    chan struct{}
+	content *xmldoc.Node
+	err     error
+}
+
+// pullContent fetches the current content of t's link, single-flighted per
+// link: one goroutine leads the fetch while concurrent callers wait for its
+// result. The throttle applies only to the leader — joining an in-flight
+// pull is free. On success the stored tuple's cached copy is updated
+// without touching its soft-state deadline: a pull is not a publication.
+func (r *Registry) pullContent(t *tuple.Tuple, now time.Time) (*xmldoc.Node, bool) {
+	link := t.Link
+	r.flightMu.Lock()
+	if fl, ok := r.flights[link]; ok {
+		r.flightMu.Unlock()
+		<-fl.done
+		return fl.content, fl.err == nil
+	}
+	if !r.admitPull(link, now) {
+		r.flightMu.Unlock()
+		r.throttledCnt.Add(1)
+		return nil, false
+	}
+	fl := &pullFlight{done: make(chan struct{})}
+	r.flights[link] = fl
+	r.flightMu.Unlock()
+
+	fl.content, fl.err = r.cfg.Fetcher.Fetch(link)
+	if fl.err != nil {
+		r.pullErrors.Add(1)
+	} else {
+		r.pulls.Add(1)
+		content := fl.content
+		r.store.Upsert(link, r.remainingTTL(t, now), func(old *tuple.Tuple, exists bool) *tuple.Tuple {
+			upd := t
+			if exists {
+				upd = old
+			}
+			c := upd.Clone()
+			c.Content = content
+			c.TS4 = now
+			return c
+		})
+	}
+	r.flightMu.Lock()
+	delete(r.flights, link)
+	r.flightMu.Unlock()
+	close(fl.done)
+	return fl.content, fl.err == nil
 }
 
 func (r *Registry) remainingTTL(t *tuple.Tuple, now time.Time) time.Duration {
@@ -457,6 +540,10 @@ func (r *Registry) Stats() Stats {
 		Pulls:       r.pulls.Load(),
 		PullErrors:  r.pullErrors.Load(),
 		Throttled:   r.throttledCnt.Load(),
+
+		ViewHits:     r.viewHits.Load(),
+		ViewMisses:   r.viewMisses.Load(),
+		ViewRebuilds: r.viewRebuilds.Load(),
 	}
 }
 

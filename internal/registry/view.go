@@ -1,0 +1,393 @@
+// Incremental maintenance of the registry's tuple-set view (thesis Ch. 4).
+//
+// Every XQuery is answered over a synthetic <tupleset> document. Instead of
+// re-materializing that document per query, the registry keeps one cached
+// view per query filter and maintains it incrementally: the soft-state
+// store's generation counter detects "nothing changed", its change journal
+// names the tuples that did change, and each tuple's rendered XML subtree
+// is memoized by entry revision so ToXML runs once per revision, not once
+// per query. Document order is kept with sparse indices so a localized edit
+// renumbers only the edited subtree.
+//
+// Concurrency follows a copy-on-read discipline without the copy: queries
+// hold a read lease (RLock) on the view for the duration of evaluation, and
+// rebuilds mutate the document in place only under the write lock. A
+// query's snapshot is therefore exactly the store state some rebuild synced
+// to — a tuple unpublished before the query began can never appear.
+package registry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"wsda/internal/softstate"
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+)
+
+// Secondary-index names registered on the store so selective filters skip
+// the full scan.
+const (
+	indexType    = "type"
+	indexContext = "ctx"
+)
+
+// maxCachedViews bounds the number of per-filter cached views. Discovery
+// traffic concentrates on a handful of filter shapes; beyond that, a random
+// victim is evicted and rebuilt on demand.
+const maxCachedViews = 16
+
+// viewOrderStride is the gap RenumberSparse leaves between document-order
+// indices of a cached view, so replacing or inserting one tuple's subtree
+// usually renumbers just that subtree.
+const viewOrderStride = 16
+
+// viewEntry is the memoized rendering of one tuple: the element attached to
+// the view document plus the store revision it was rendered from and the
+// soft-state facts the view needs without re-reading the store.
+type viewEntry struct {
+	elem       *xmldoc.Node
+	rev        int64
+	expires    time.Time
+	ts4        time.Time
+	hasContent bool
+}
+
+// filterView is the cached tuple-set view for one filter.
+type filterView struct {
+	mu     sync.RWMutex
+	doc    *xmldoc.Node // <tupleset> document; nil until first build
+	root   *xmldoc.Node // the <tupleset> element; children sorted by link
+	gen    uint64       // store generation the view is synced to
+	byLink map[string]*viewEntry
+
+	// Aggregates for O(1) staleness checks at query time.
+	minExpiry time.Time // earliest soft-state deadline of included tuples
+	minTS4    time.Time // oldest cached-content timestamp (content tuples)
+	missing   int       // included tuples without a cached content copy
+}
+
+// expiryOK reports whether no included tuple has passively expired.
+func (v *filterView) expiryOK(now time.Time) bool {
+	return v.minExpiry.IsZero() || v.minExpiry.After(now)
+}
+
+// freshnessSuspect reports whether the view cannot prove the freshness
+// demands are already met, so a pull pass over the store is needed.
+func (v *filterView) freshnessSuspect(fresh Freshness, now time.Time) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if v.doc == nil {
+		return true
+	}
+	if fresh.PullMissing && v.missing > 0 {
+		return true
+	}
+	if fresh.MaxAge > 0 && !v.minTS4.IsZero() && now.Sub(v.minTS4) > fresh.MaxAge {
+		return true
+	}
+	return false
+}
+
+// viewFor returns (creating if needed) the cached view for a filter.
+func (r *Registry) viewFor(f Filter) *filterView {
+	r.viewMu.Lock()
+	defer r.viewMu.Unlock()
+	if v, ok := r.views[f]; ok {
+		return v
+	}
+	if len(r.views) >= maxCachedViews {
+		for k := range r.views { // random victim via map iteration order
+			delete(r.views, k)
+			break
+		}
+	}
+	v := &filterView{}
+	r.views[f] = v
+	return v
+}
+
+// leaseView returns the shared tuple-set view for the filter, synced at
+// least to the store generation observed at call time, plus a release
+// function. The document is valid only until release: rebuilds mutate it in
+// place under the write lock, so the read lease is what keeps the query's
+// snapshot stable. Callers must not mutate the document.
+func (r *Registry) leaseView(f Filter, fresh Freshness) (*xmldoc.Node, func()) {
+	v := r.viewFor(f)
+	now := r.cfg.Now()
+	freshPass := false
+	if (fresh.PullMissing || fresh.MaxAge > 0) && v.freshnessSuspect(fresh, now) {
+		// Pull against the store first; successful pulls bump the store
+		// generation and flow into the rebuild below. ensureFresh does the
+		// per-tuple cache-hit/miss accounting on this path.
+		freshPass = true
+		r.applyFreshness(f, fresh, now)
+	}
+	target := r.store.Gen()
+	for attempt := 0; ; attempt++ {
+		v.mu.RLock()
+		if v.doc != nil && v.gen >= target && v.expiryOK(now) {
+			if attempt == 0 {
+				r.viewHits.Add(1)
+			}
+			if !freshPass {
+				// Every content-bearing tuple served from cache is a hit,
+				// mirroring the per-tuple accounting of the materializing
+				// path.
+				r.cacheHits.Add(int64(len(v.byLink) - v.missing))
+			}
+			return v.doc, v.mu.RUnlock
+		}
+		v.mu.RUnlock()
+		if attempt == 0 {
+			r.viewMisses.Add(1)
+		} else if attempt >= 3 {
+			// The store is mutating faster than we can re-acquire the
+			// lease; serve a private materialized view instead of spinning.
+			return r.buildViewLegacy(f, fresh, !freshPass), func() {}
+		}
+		v.mu.Lock()
+		if v.doc == nil || v.gen < r.store.Gen() || !v.expiryOK(now) {
+			r.rebuildView(v, f, now)
+		}
+		v.mu.Unlock()
+	}
+}
+
+// rebuildView syncs v to the current store generation. Callers must hold
+// v.mu for writing.
+func (r *Registry) rebuildView(v *filterView, f Filter, now time.Time) {
+	t0 := time.Now()
+	r.viewRebuilds.Add(1)
+	storeGen := r.store.Gen()
+	switch {
+	case v.doc == nil:
+		r.buildViewFull(v, f)
+	default:
+		keys, ok := r.store.ChangesSince(v.gen)
+		if ok {
+			for _, k := range keys {
+				r.applyViewChange(v, f, k)
+			}
+		} else {
+			r.resyncView(v, f)
+		}
+	}
+	v.pruneExpired(now)
+	v.recomputeMeta()
+	v.gen = storeGen
+	r.viewBuildSeconds.ObserveSince(t0)
+}
+
+// buildViewFull materializes v from scratch.
+func (r *Registry) buildViewFull(v *filterView, f Filter) {
+	entries := r.liveMatching(f)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	root := xmldoc.NewElement("tupleset")
+	root.SetAttr("registry", r.cfg.Name)
+	root.Children = make([]*xmldoc.Node, 0, len(entries))
+	byLink := make(map[string]*viewEntry, len(entries))
+	for _, e := range entries {
+		elem := e.Value.ToXML()
+		root.AppendChild(elem)
+		byLink[e.Key] = newViewEntry(elem, e)
+	}
+	doc := xmldoc.NewDocument()
+	doc.AppendChild(root)
+	doc.RenumberSparse(viewOrderStride)
+	v.doc, v.root, v.byLink = doc, root, byLink
+}
+
+func newViewEntry(elem *xmldoc.Node, e softstate.Entry[*tuple.Tuple]) *viewEntry {
+	return &viewEntry{
+		elem:       elem,
+		rev:        e.Rev,
+		expires:    e.Expires,
+		ts4:        e.Value.TS4,
+		hasContent: e.Value.Content != nil,
+	}
+}
+
+// applyViewChange folds one journaled store mutation into the view.
+func (r *Registry) applyViewChange(v *filterView, f Filter, key string) {
+	e, live := r.store.GetEntry(key)
+	matches := live && f.match(e.Value)
+	cur := v.byLink[key]
+	switch {
+	case !matches && cur == nil:
+		// Never in this view (filtered out, or insert+delete between syncs).
+	case !matches:
+		v.removeTuple(key)
+	case cur == nil:
+		v.insertTuple(key, e)
+	case cur.rev == e.Rev:
+		cur.expires = e.Expires // Touch: deadline moved, value unchanged
+	default:
+		v.replaceTuple(key, e)
+	}
+}
+
+// resyncView reconciles the whole view against the live store — the
+// fallback when the change journal no longer covers the view's generation.
+// Unchanged tuples keep their memoized subtrees.
+func (r *Registry) resyncView(v *filterView, f Filter) {
+	entries := r.liveMatching(f)
+	seen := make(map[string]struct{}, len(entries))
+	for _, e := range entries {
+		seen[e.Key] = struct{}{}
+		cur := v.byLink[e.Key]
+		switch {
+		case cur == nil:
+			v.insertTuple(e.Key, e)
+		case cur.rev != e.Rev:
+			v.replaceTuple(e.Key, e)
+		default:
+			cur.expires = e.Expires
+		}
+	}
+	var gone []string
+	for k := range v.byLink {
+		if _, ok := seen[k]; !ok {
+			gone = append(gone, k)
+		}
+	}
+	for _, k := range gone {
+		v.removeTuple(k)
+	}
+}
+
+// liveMatching snapshots the live entries matching a filter, using the
+// store's secondary indexes to avoid full scans for selective filters.
+func (r *Registry) liveMatching(f Filter) []softstate.Entry[*tuple.Tuple] {
+	var entries []softstate.Entry[*tuple.Tuple]
+	switch {
+	case f.Type != "":
+		entries = r.store.LiveBy(indexType, f.Type)
+	case f.Context != "":
+		entries = r.store.LiveBy(indexContext, f.Context)
+	default:
+		entries = r.store.Live()
+	}
+	out := entries[:0]
+	for _, e := range entries {
+		if f.match(e.Value) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// childLink returns the link attribute of a <tuple> child element.
+func childLink(n *xmldoc.Node) string {
+	s, _ := n.Attr("link")
+	return s
+}
+
+// childIndex returns the position of link in the sorted children, or the
+// insertion point if absent.
+func (v *filterView) childIndex(link string) int {
+	return sort.Search(len(v.root.Children), func(i int) bool {
+		return childLink(v.root.Children[i]) >= link
+	})
+}
+
+// orderBounds returns the exclusive document-order bounds available to the
+// subtree at child position i: the highest index before it and the lowest
+// index after it.
+func (v *filterView) orderBounds(i int) (lo, hi int) {
+	if i == 0 {
+		if n := len(v.root.Attrs); n > 0 {
+			lo = v.root.Attrs[n-1].Order()
+		} else {
+			lo = v.root.Order()
+		}
+	} else {
+		lo = v.root.Children[i-1].MaxOrder()
+	}
+	if i == len(v.root.Children)-1 {
+		hi = math.MaxInt
+	} else {
+		hi = v.root.Children[i+1].Order()
+	}
+	return lo, hi
+}
+
+// placeSubtree numbers the subtree at child position i, falling back to a
+// full sparse renumber when the local gap is exhausted.
+func (v *filterView) placeSubtree(i int) {
+	lo, hi := v.orderBounds(i)
+	if !v.root.Children[i].SubtreeRenumber(lo, hi) {
+		v.doc.RenumberSparse(viewOrderStride)
+	}
+}
+
+func (v *filterView) insertTuple(key string, e softstate.Entry[*tuple.Tuple]) {
+	elem := e.Value.ToXML()
+	i := v.childIndex(key)
+	v.root.InsertChildAt(i, elem)
+	v.byLink[key] = newViewEntry(elem, e)
+	v.placeSubtree(i)
+}
+
+func (v *filterView) replaceTuple(key string, e softstate.Entry[*tuple.Tuple]) {
+	elem := e.Value.ToXML()
+	i := v.childIndex(key)
+	old := v.root.Children[i]
+	old.Parent = nil
+	elem.Parent = v.root
+	v.root.Children[i] = elem
+	v.byLink[key] = newViewEntry(elem, e)
+	v.placeSubtree(i)
+}
+
+func (v *filterView) removeTuple(key string) {
+	i := v.childIndex(key)
+	if i < len(v.root.Children) && childLink(v.root.Children[i]) == key {
+		v.root.RemoveChildAt(i) // neighbors keep their sparse orders
+	}
+	delete(v.byLink, key)
+}
+
+// pruneExpired structurally drops tuples whose soft-state deadline passed
+// without an explicit journal record (passive expiry).
+func (v *filterView) pruneExpired(now time.Time) {
+	if v.expiryOK(now) {
+		return
+	}
+	var dead []string
+	for k, ve := range v.byLink {
+		if !ve.expires.IsZero() && !ve.expires.After(now) {
+			dead = append(dead, k)
+		}
+	}
+	for _, k := range dead {
+		v.removeTuple(k)
+	}
+}
+
+// recomputeMeta refreshes the O(1)-staleness aggregates from byLink.
+func (v *filterView) recomputeMeta() {
+	v.minExpiry, v.minTS4, v.missing = time.Time{}, time.Time{}, 0
+	for _, ve := range v.byLink {
+		if !ve.expires.IsZero() && (v.minExpiry.IsZero() || ve.expires.Before(v.minExpiry)) {
+			v.minExpiry = ve.expires
+		}
+		if !ve.hasContent {
+			v.missing++
+		} else if !ve.ts4.IsZero() && (v.minTS4.IsZero() || ve.ts4.Before(v.minTS4)) {
+			v.minTS4 = ve.ts4
+		}
+	}
+}
+
+// applyFreshness runs the per-tuple freshness policy against the store for
+// every tuple matching the filter — the pull side of a cached-view query.
+// Successful pulls update the store (bumping its generation), so the
+// subsequent rebuild folds the fresh content into the cached view.
+func (r *Registry) applyFreshness(f Filter, fresh Freshness, now time.Time) {
+	for _, e := range r.liveMatching(f) {
+		r.ensureFresh(e.Value, fresh, now)
+	}
+}

@@ -1,0 +1,232 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"wsda/internal/tuple"
+	"wsda/internal/xq"
+)
+
+func countTuples(t *testing.T, r *Registry, opts QueryOptions) int {
+	t.Helper()
+	seq, err := r.Query(`count(/tupleset/tuple)`, opts)
+	if err != nil {
+		t.Fatalf("count query: %v", err)
+	}
+	return int(xq.NumberValue(seq[0]))
+}
+
+func TestViewCacheHit(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("a", "cern.ch", 0.1), 0)
+	r.Publish(svcTuple("b", "cern.ch", 0.2), 0)
+
+	if got := countTuples(t, r, QueryOptions{}); got != 2 {
+		t.Fatalf("count = %d", got)
+	}
+	st := r.Stats()
+	if st.ViewMisses != 1 || st.ViewRebuilds != 1 {
+		t.Fatalf("first query: misses=%d rebuilds=%d, want 1/1", st.ViewMisses, st.ViewRebuilds)
+	}
+	for i := 0; i < 5; i++ {
+		if got := countTuples(t, r, QueryOptions{}); got != 2 {
+			t.Fatalf("count = %d", got)
+		}
+	}
+	st = r.Stats()
+	if st.ViewHits != 5 {
+		t.Errorf("hits = %d, want 5", st.ViewHits)
+	}
+	if st.ViewRebuilds != 1 {
+		t.Errorf("rebuilds = %d: unchanged store must not rebuild", st.ViewRebuilds)
+	}
+}
+
+func TestViewInvalidationOnPublishAndUnpublish(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("a", "cern.ch", 0.1), 0)
+	if got := countTuples(t, r, QueryOptions{}); got != 1 {
+		t.Fatalf("count = %d", got)
+	}
+	ts := svcTuple("b", "cern.ch", 0.2)
+	r.Publish(ts, 0)
+	if got := countTuples(t, r, QueryOptions{}); got != 2 {
+		t.Fatalf("count after publish = %d", got)
+	}
+	r.Unpublish(ts.Link)
+	if got := countTuples(t, r, QueryOptions{}); got != 1 {
+		t.Fatalf("count after unpublish = %d", got)
+	}
+	seq, err := r.Query(fmt.Sprintf(`count(/tupleset/tuple[@link=%q])`, ts.Link), QueryOptions{})
+	if err != nil || xq.StringValue(seq[0]) != "0" {
+		t.Errorf("unpublished tuple still visible: %v %v", seq, err)
+	}
+}
+
+func TestViewPassiveExpiry(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("a", "cern.ch", 0.1), time.Hour)
+	r.Publish(svcTuple("b", "cern.ch", 0.2), 30*time.Second)
+	if got := countTuples(t, r, QueryOptions{}); got != 2 {
+		t.Fatalf("count = %d", got)
+	}
+	// "b" crosses its deadline with no Sweep and no journal record; the
+	// cached view must still exclude it.
+	clk.Advance(time.Minute)
+	if got := countTuples(t, r, QueryOptions{}); got != 1 {
+		t.Fatalf("count after passive expiry = %d, want 1", got)
+	}
+}
+
+func TestViewHeartbeatRefresh(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	ts := svcTuple("a", "cern.ch", 0.1)
+	r.Publish(ts, 0)
+	seq, err := r.Query(`string(/tupleset/tuple/@ts2)`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := xq.StringValue(seq[0])
+	clk.Advance(10 * time.Second)
+	r.Publish(ts, 0) // heartbeat: same link, refreshed timestamps
+	seq, err = r.Query(`string(/tupleset/tuple/@ts2)`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second := xq.StringValue(seq[0]); second == first {
+		t.Errorf("ts2 not re-rendered after refresh: %s", second)
+	}
+}
+
+func TestViewDocumentOrderAfterIncrementalEdits(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	// Publish out of link order, interleaved with queries so every
+	// mutation is applied to the cached view incrementally.
+	names := []string{"m", "c", "x", "a", "t"}
+	for _, n := range names {
+		r.Publish(svcTuple(n, "cern.ch", 0.1), 0)
+		countTuples(t, r, QueryOptions{})
+	}
+	r.Unpublish("http://cern.ch/m")
+	seq, err := r.Query(`for $t in /tupleset/tuple return string($t/@link)`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var links []string
+	for _, it := range seq {
+		links = append(links, xq.StringValue(it))
+	}
+	want := "http://cern.ch/a,http://cern.ch/c,http://cern.ch/t,http://cern.ch/x"
+	if strings.Join(links, ",") != want {
+		t.Errorf("links = %v, want sorted %s", links, want)
+	}
+}
+
+func TestViewPerFilterIsolation(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("a", "cern.ch", 0.1), 0)
+	nodeTuple := &tuple.Tuple{Link: "http://cern.ch/node", Type: tuple.TypeNode, Context: "peer"}
+	r.Publish(nodeTuple, 0)
+
+	if got := countTuples(t, r, QueryOptions{Filter: Filter{Type: tuple.TypeService}}); got != 1 {
+		t.Errorf("service filter = %d", got)
+	}
+	if got := countTuples(t, r, QueryOptions{Filter: Filter{Context: "peer"}}); got != 1 {
+		t.Errorf("context filter = %d", got)
+	}
+	if got := countTuples(t, r, QueryOptions{}); got != 2 {
+		t.Errorf("unfiltered = %d", got)
+	}
+	// A mutation that only affects one filter's membership is reflected in
+	// every cached view.
+	r.Unpublish(nodeTuple.Link)
+	if got := countTuples(t, r, QueryOptions{Filter: Filter{Context: "peer"}}); got != 0 {
+		t.Errorf("context filter after unpublish = %d", got)
+	}
+	if got := countTuples(t, r, QueryOptions{}); got != 1 {
+		t.Errorf("unfiltered after unpublish = %d", got)
+	}
+}
+
+func TestViewCacheEviction(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	for i := 0; i < 3; i++ {
+		r.Publish(svcTuple(fmt.Sprintf("s%d", i), "cern.ch", 0.1), 0)
+	}
+	// Far more distinct filters than the view cache holds; every answer
+	// must stay correct while victims are evicted and rebuilt on demand.
+	for i := 0; i < 3*maxCachedViews; i++ {
+		f := Filter{LinkPrefix: fmt.Sprintf("http://cern.ch/s%d", i%3)}
+		if got := countTuples(t, r, QueryOptions{Filter: f}); got != 1 {
+			t.Fatalf("filter %d: count = %d", i, got)
+		}
+	}
+	r.viewMu.Lock()
+	cached := len(r.views)
+	r.viewMu.Unlock()
+	if cached > maxCachedViews {
+		t.Errorf("view cache grew to %d, cap %d", cached, maxCachedViews)
+	}
+}
+
+func TestViewJournalOverflowResync(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	for i := 0; i < 5; i++ {
+		r.Publish(svcTuple(fmt.Sprintf("s%d", i), "cern.ch", 0.1), 0)
+	}
+	if got := countTuples(t, r, QueryOptions{}); got != 5 {
+		t.Fatalf("count = %d", got)
+	}
+	// Overflow the store's bounded journal so the next query must take
+	// the full-resync path rather than incremental changes.
+	hot := svcTuple("hot", "cern.ch", 0.5)
+	for i := 0; i < 5000; i++ {
+		r.Publish(hot, 0)
+	}
+	r.Unpublish("http://cern.ch/s0")
+	if got := countTuples(t, r, QueryOptions{}); got != 5 {
+		t.Fatalf("count after resync = %d, want 5", got)
+	}
+}
+
+func TestViewFreshnessStillPulls(t *testing.T) {
+	clk := newFakeClock()
+	f := &trackingFetcher{}
+	r := newTestRegistry(clk, f)
+	bare := &tuple.Tuple{Link: "http://cern.ch/bare", Type: tuple.TypeService}
+	r.Publish(bare, 0)
+	// Warm the no-freshness view first: a later PullMissing query must
+	// still trigger the pull even though a cached view exists.
+	if got := countTuples(t, r, QueryOptions{}); got != 1 {
+		t.Fatalf("count = %d", got)
+	}
+	seq, err := r.Query(`count(/tupleset/tuple/content/service)`, QueryOptions{
+		Freshness: Freshness{PullMissing: true},
+	})
+	if err != nil || xq.StringValue(seq[0]) != "1" {
+		t.Fatalf("pulled content not in view: %v %v", seq, err)
+	}
+	if f.count(bare.Link) != 1 {
+		t.Errorf("pulls = %d, want 1", f.count(bare.Link))
+	}
+	// Steady state: content cached, no more pulls, view served warm.
+	for i := 0; i < 3; i++ {
+		r.Query(`count(/tupleset/tuple/content/service)`, QueryOptions{ //nolint:errcheck
+			Freshness: Freshness{PullMissing: true},
+		})
+	}
+	if f.count(bare.Link) != 1 {
+		t.Errorf("pulls after steady state = %d, want 1", f.count(bare.Link))
+	}
+}

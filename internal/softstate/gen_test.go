@@ -1,0 +1,144 @@
+package softstate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestGenMonotonic(t *testing.T) {
+	clk := newFakeClock()
+	s := New[string](clk.Now)
+	g0 := s.Gen()
+	s.Put("a", "1", time.Minute)
+	g1 := s.Gen()
+	if g1 <= g0 {
+		t.Fatalf("Put did not bump gen: %d -> %d", g0, g1)
+	}
+	s.Touch("a", time.Minute)
+	g2 := s.Gen()
+	if g2 <= g1 {
+		t.Fatalf("Touch did not bump gen: %d -> %d", g1, g2)
+	}
+	s.Delete("a")
+	g3 := s.Gen()
+	if g3 <= g2 {
+		t.Fatalf("Delete did not bump gen: %d -> %d", g2, g3)
+	}
+	if g := s.Gen(); g != g3 {
+		t.Fatalf("Gen moved without mutation: %d -> %d", g3, g)
+	}
+}
+
+func TestRevBumpsOnValueChangeOnly(t *testing.T) {
+	clk := newFakeClock()
+	s := New[string](clk.Now)
+	s.Put("a", "1", time.Minute)
+	e, ok := s.GetEntry("a")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	rev := e.Rev
+	s.Touch("a", time.Minute)
+	if e, _ := s.GetEntry("a"); e.Rev != rev {
+		t.Errorf("Touch changed Rev: %d -> %d", rev, e.Rev)
+	}
+	s.Put("a", "2", time.Minute)
+	if e, _ := s.GetEntry("a"); e.Rev <= rev {
+		t.Errorf("Put did not bump Rev: %d -> %d", rev, e.Rev)
+	}
+	rev, _ = func() (int64, bool) { e, ok := s.GetEntry("a"); return e.Rev, ok }()
+	s.Upsert("a", time.Minute, func(old string, exists bool) string { return old + "x" })
+	if e, _ := s.GetEntry("a"); e.Rev <= rev {
+		t.Errorf("Upsert did not bump Rev: %d -> %d", rev, e.Rev)
+	}
+}
+
+func TestChangesSince(t *testing.T) {
+	clk := newFakeClock()
+	s := New[string](clk.Now)
+	g0 := s.Gen()
+	s.Put("a", "1", time.Minute)
+	s.Put("b", "1", time.Minute)
+	s.Put("a", "2", time.Minute) // duplicate key must be deduplicated
+	keys, ok := s.ChangesSince(g0)
+	if !ok {
+		t.Fatal("journal should cover 3 mutations")
+	}
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v, want [a b]", keys)
+	}
+	// Caught-up readers get an empty, ok result.
+	keys, ok = s.ChangesSince(s.Gen())
+	if !ok || len(keys) != 0 {
+		t.Fatalf("caught-up ChangesSince = %v %v", keys, ok)
+	}
+}
+
+func TestChangesSinceOverflow(t *testing.T) {
+	clk := newFakeClock()
+	s := New[string](clk.Now)
+	g0 := s.Gen()
+	for i := 0; i < journalCap+1; i++ {
+		s.Put(fmt.Sprintf("k%d", i), "v", time.Minute)
+	}
+	if _, ok := s.ChangesSince(g0); ok {
+		t.Fatal("reader behind the bounded journal must be told to resync")
+	}
+	// A reader within the window still gets the tail.
+	keys, ok := s.ChangesSince(s.Gen() - 2)
+	if !ok || len(keys) != 2 {
+		t.Fatalf("tail ChangesSince = %v %v", keys, ok)
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	clk := newFakeClock()
+	s := New[string](clk.Now)
+	s.Put("a", "red", time.Minute)
+	s.AddIndex("color", func(v string) string { return v }) // backfill
+	s.Put("b", "red", time.Minute)
+	s.Put("c", "blue", time.Minute)
+
+	if got := s.LiveBy("color", "red"); len(got) != 2 {
+		t.Fatalf("red = %d entries, want 2", len(got))
+	}
+	// Value change migrates buckets.
+	s.Put("b", "blue", time.Minute)
+	if got := s.LiveBy("color", "red"); len(got) != 1 || got[0].Key != "a" {
+		t.Fatalf("red after migration = %v", got)
+	}
+	if got := s.LiveBy("color", "blue"); len(got) != 2 {
+		t.Fatalf("blue after migration = %d entries, want 2", len(got))
+	}
+	// Delete removes from buckets.
+	s.Delete("c")
+	if got := s.LiveBy("color", "blue"); len(got) != 1 || got[0].Key != "b" {
+		t.Fatalf("blue after delete = %v", got)
+	}
+	// Expired entries are filtered out of LiveBy, and a sweep drops them
+	// from the buckets for good.
+	clk.Advance(2 * time.Minute)
+	if got := s.LiveBy("color", "red"); len(got) != 0 {
+		t.Fatalf("red after expiry = %v", got)
+	}
+	s.Sweep()
+	if got := s.LiveBy("color", "red"); len(got) != 0 {
+		t.Fatalf("red after sweep = %v", got)
+	}
+}
+
+func TestIndexReplaceDeadEntry(t *testing.T) {
+	clk := newFakeClock()
+	s := New[string](clk.Now)
+	s.AddIndex("color", func(v string) string { return v })
+	s.Put("a", "red", time.Minute)
+	clk.Advance(2 * time.Minute) // "a" passively expires
+	s.Put("a", "blue", time.Minute)
+	if got := s.LiveBy("color", "red"); len(got) != 0 {
+		t.Fatalf("stale bucket entry survived dead-entry replacement: %v", got)
+	}
+	if got := s.LiveBy("color", "blue"); len(got) != 1 {
+		t.Fatalf("blue = %v, want the replacement entry", got)
+	}
+}

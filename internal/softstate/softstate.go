@@ -22,11 +22,30 @@ type Entry[V any] struct {
 	Inserted  time.Time // first Put
 	Refreshed time.Time // most recent Put
 	Expires   time.Time // deadline; zero = immortal
+	Rev       int64     // value revision: bumped every time Value is replaced
 }
 
 // Expired reports whether the entry is past its deadline.
 func (e *Entry[V]) Expired(now time.Time) bool {
 	return !e.Expires.IsZero() && !e.Expires.After(now)
+}
+
+// journalCap bounds the change journal. It covers the most recent
+// journalCap mutations; a reader further behind must resynchronize with a
+// full scan (ChangesSince reports this by returning ok == false).
+const journalCap = 4096
+
+// journalRec is one journaled mutation: the generation it produced and the
+// key it touched.
+type journalRec struct {
+	gen uint64
+	key string
+}
+
+// index is one secondary index: value-derived key → set of live entries.
+type index[V any] struct {
+	keyOf   func(V) string
+	buckets map[string]map[string]*Entry[V]
 }
 
 // Store is a concurrency-safe soft-state table. The zero value is not
@@ -35,6 +54,20 @@ type Store[V any] struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry[V]
 	now     func() time.Time
+
+	// gen is the store generation: a monotonic counter bumped by every
+	// mutation (insert, refresh, touch, delete, sweep removal), so callers
+	// can cheaply detect "anything changed since generation G?". The
+	// journal records the key touched by each of the last journalCap
+	// generations for incremental change propagation.
+	gen    uint64
+	jbuf   []journalRec
+	jstart int // ring start (index of the oldest record)
+	jlen   int
+
+	// indexes are secondary indexes over live entries, maintained on every
+	// mutation so lookups by a value attribute avoid full scans.
+	indexes map[string]*index[V]
 
 	// statistics
 	puts, refreshes, expirations int64
@@ -52,6 +85,60 @@ func New[V any](now func() time.Time) *Store[V] {
 	return &Store[V]{entries: make(map[string]*Entry[V]), now: now}
 }
 
+// bump advances the store generation and journals the mutated key.
+// Callers must hold mu.
+func (s *Store[V]) bump(key string) {
+	s.gen++
+	rec := journalRec{gen: s.gen, key: key}
+	if len(s.jbuf) < journalCap {
+		s.jbuf = append(s.jbuf, rec)
+		s.jlen++
+		return
+	}
+	// Ring is full: overwrite the oldest record.
+	s.jbuf[s.jstart] = rec
+	s.jstart = (s.jstart + 1) % journalCap
+}
+
+// idxAdd registers e under every secondary index. Callers must hold mu.
+func (s *Store[V]) idxAdd(e *Entry[V]) {
+	for _, ix := range s.indexes {
+		k := ix.keyOf(e.Value)
+		b := ix.buckets[k]
+		if b == nil {
+			b = make(map[string]*Entry[V])
+			ix.buckets[k] = b
+		}
+		b[e.Key] = e
+	}
+}
+
+// idxRemove unregisters e from every secondary index. It must run while
+// e.Value still holds the indexed value. Callers must hold mu.
+func (s *Store[V]) idxRemove(e *Entry[V]) {
+	for _, ix := range s.indexes {
+		k := ix.keyOf(e.Value)
+		if b := ix.buckets[k]; b != nil {
+			delete(b, e.Key)
+			if len(b) == 0 {
+				delete(ix.buckets, k)
+			}
+		}
+	}
+}
+
+// setValue replaces e's value, bumping its revision and migrating index
+// membership. Callers must hold mu; hadValue says whether e currently holds
+// an indexed value (false for a freshly created entry).
+func (s *Store[V]) setValue(e *Entry[V], value V, hadValue bool) {
+	if hadValue {
+		s.idxRemove(e)
+	}
+	e.Value = value
+	e.Rev++
+	s.idxAdd(e)
+}
+
 // Put inserts or refreshes an entry with the given time-to-live. A
 // non-positive ttl makes the entry immortal (strong state). It reports
 // whether the entry was newly created (false means this was a refresh).
@@ -62,19 +149,23 @@ func (s *Store[V]) Put(key string, value V, ttl time.Duration) bool {
 	e, ok := s.entries[key]
 	isNew := !ok || e.Expired(now)
 	if isNew {
+		if ok {
+			s.idxRemove(e) // replacing a dead entry: drop its index slots
+		}
 		e = &Entry[V]{Key: key, Inserted: now}
 		s.entries[key] = e
 		s.puts++
 	} else {
 		s.refreshes++
 	}
-	e.Value = value
+	s.setValue(e, value, !isNew)
 	e.Refreshed = now
 	if ttl > 0 {
 		e.Expires = now.Add(ttl)
 	} else {
 		e.Expires = time.Time{}
 	}
+	s.bump(key)
 	return isNew
 }
 
@@ -87,6 +178,7 @@ func (s *Store[V]) Upsert(key string, ttl time.Duration, fn func(old V, exists b
 	defer s.mu.Unlock()
 	e, ok := s.entries[key]
 	if ok && e.Expired(now) {
+		s.idxRemove(e)
 		delete(s.entries, key)
 		ok = false
 	}
@@ -97,7 +189,7 @@ func (s *Store[V]) Upsert(key string, ttl time.Duration, fn func(old V, exists b
 		e = &Entry[V]{Key: key, Inserted: now}
 		s.entries[key] = e
 	}
-	e.Value = fn(old, ok)
+	s.setValue(e, fn(old, ok), ok)
 	e.Refreshed = now
 	if ttl > 0 {
 		e.Expires = now.Add(ttl)
@@ -109,6 +201,7 @@ func (s *Store[V]) Upsert(key string, ttl time.Duration, fn func(old V, exists b
 	} else {
 		s.puts++
 	}
+	s.bump(key)
 	return !ok
 }
 
@@ -129,6 +222,7 @@ func (s *Store[V]) Touch(key string, ttl time.Duration) bool {
 		e.Expires = time.Time{}
 	}
 	s.refreshes++
+	s.bump(key) // deadline moved; the value revision is unchanged
 	return true
 }
 
@@ -140,15 +234,21 @@ func (s *Store[V]) PutIfAbsent(key string, value V, ttl time.Duration) (V, bool)
 	now := s.now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e, ok := s.entries[key]; ok && !e.Expired(now) {
+	e, ok := s.entries[key]
+	if ok && !e.Expired(now) {
 		return e.Value, false
 	}
-	e := &Entry[V]{Key: key, Value: value, Inserted: now, Refreshed: now}
+	if ok {
+		s.idxRemove(e) // replacing a dead entry
+	}
+	e = &Entry[V]{Key: key, Inserted: now, Refreshed: now}
 	if ttl > 0 {
 		e.Expires = now.Add(ttl)
 	}
 	s.entries[key] = e
+	s.setValue(e, value, false)
 	s.puts++
+	s.bump(key)
 	return value, true
 }
 
@@ -182,8 +282,12 @@ func (s *Store[V]) GetEntry(key string) (Entry[V], bool) {
 func (s *Store[V]) Delete(key string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.entries[key]
-	delete(s.entries, key)
+	e, ok := s.entries[key]
+	if ok {
+		s.idxRemove(e)
+		delete(s.entries, key)
+		s.bump(key)
+	}
 	return ok
 }
 
@@ -231,12 +335,98 @@ func (s *Store[V]) Sweep() int {
 	n := 0
 	for k, e := range s.entries {
 		if e.Expired(now) {
+			s.idxRemove(e)
 			delete(s.entries, k)
+			s.bump(k)
 			n++
 		}
 	}
 	s.expirations += int64(n)
 	return n
+}
+
+// Gen returns the store generation: a monotonic counter bumped by every
+// mutation. Two equal Gen readings bracket a window in which no entry was
+// inserted, refreshed, touched or removed (passive expiry excepted — an
+// entry silently crossing its deadline does not bump the generation, so
+// deadline-sensitive callers must track the earliest deadline themselves).
+func (s *Store[V]) Gen() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// ChangesSince returns the deduplicated keys mutated after generation gen,
+// oldest first. ok is false when gen is too far behind the bounded journal,
+// in which case the caller must resynchronize with a full scan.
+func (s *Store[V]) ChangesSince(gen uint64) (keys []string, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if gen >= s.gen {
+		return nil, true
+	}
+	missing := s.gen - gen
+	if missing > uint64(s.jlen) {
+		return nil, false
+	}
+	seen := make(map[string]struct{}, missing)
+	keys = make([]string, 0, missing)
+	start := s.jlen - int(missing)
+	for i := start; i < s.jlen; i++ {
+		rec := s.jbuf[(s.jstart+i)%len(s.jbuf)]
+		if _, dup := seen[rec.key]; dup {
+			continue
+		}
+		seen[rec.key] = struct{}{}
+		keys = append(keys, rec.key)
+	}
+	return keys, true
+}
+
+// AddIndex registers a named secondary index keyed by keyOf over entry
+// values. Existing entries are indexed immediately; later mutations keep
+// the index current. Registering an existing name replaces it.
+func (s *Store[V]) AddIndex(name string, keyOf func(V) string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.indexes == nil {
+		s.indexes = make(map[string]*index[V])
+	}
+	ix := &index[V]{keyOf: keyOf, buckets: make(map[string]map[string]*Entry[V])}
+	s.indexes[name] = ix
+	for _, e := range s.entries {
+		k := keyOf(e.Value)
+		b := ix.buckets[k]
+		if b == nil {
+			b = make(map[string]*Entry[V])
+			ix.buckets[k] = b
+		}
+		b[e.Key] = e
+	}
+}
+
+// LiveBy returns snapshot copies of the non-expired entries whose indexed
+// key equals key, in unspecified order. It panics on an unregistered index
+// name (a programming error, not a data condition).
+func (s *Store[V]) LiveBy(name, key string) []Entry[V] {
+	now := s.now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ix := s.indexes[name]
+	if ix == nil {
+		panic("softstate: LiveBy on unregistered index " + name)
+	}
+	b := ix.buckets[key]
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]Entry[V], 0, len(b))
+	for _, e := range b {
+		if !e.Expired(now) {
+			out = append(out, *e)
+		}
+	}
+	return out
 }
 
 // Stats reports cumulative counters: first-time puts, refreshes and swept

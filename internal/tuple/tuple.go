@@ -101,8 +101,14 @@ func (t *Tuple) Clone() *Tuple {
 // ToXML renders the tuple as a <tuple> element in the form the registry's
 // query interface exposes: attributes for link/type/context and timestamps,
 // the cached content under <content>.
+//
+// Rendering is the per-tuple cost of every registry view (re)build, so the
+// attribute and child slices are sized up front and the common no-metadata
+// tuple takes no sorting detour.
 func (t *Tuple) ToXML() *xmldoc.Node {
 	el := xmldoc.NewElement("tuple")
+	el.Attrs = make([]*xmldoc.Node, 0, 8)
+	el.Children = make([]*xmldoc.Node, 0, 1+len(t.Metadata))
 	el.SetAttr("link", t.Link)
 	el.SetAttr("type", t.Type)
 	if t.Context != "" {
@@ -111,25 +117,32 @@ func (t *Tuple) ToXML() *xmldoc.Node {
 	if t.Owner != "" {
 		el.SetAttr("owner", t.Owner)
 	}
-	setTS := func(name string, ts time.Time) {
-		if !ts.IsZero() {
-			el.SetAttr(name, strconv.FormatInt(ts.UnixMilli(), 10))
+	if !t.TS1.IsZero() {
+		el.SetAttr("ts1", strconv.FormatInt(t.TS1.UnixMilli(), 10))
+	}
+	if !t.TS2.IsZero() {
+		el.SetAttr("ts2", strconv.FormatInt(t.TS2.UnixMilli(), 10))
+	}
+	if !t.TS3.IsZero() {
+		el.SetAttr("ts3", strconv.FormatInt(t.TS3.UnixMilli(), 10))
+	}
+	if !t.TS4.IsZero() {
+		el.SetAttr("ts4", strconv.FormatInt(t.TS4.UnixMilli(), 10))
+	}
+	if len(t.Metadata) > 0 {
+		metaKeys := make([]string, 0, len(t.Metadata))
+		for k := range t.Metadata {
+			metaKeys = append(metaKeys, k)
 		}
-	}
-	setTS("ts1", t.TS1)
-	setTS("ts2", t.TS2)
-	setTS("ts3", t.TS3)
-	setTS("ts4", t.TS4)
-	metaKeys := make([]string, 0, len(t.Metadata))
-	for k := range t.Metadata {
-		metaKeys = append(metaKeys, k)
-	}
-	sort.Strings(metaKeys)
-	for _, k := range metaKeys {
-		m := xmldoc.NewElement("meta")
-		m.SetAttr("name", k)
-		m.SetAttr("value", t.Metadata[k])
-		el.AppendChild(m)
+		if len(metaKeys) > 1 {
+			sort.Strings(metaKeys)
+		}
+		for _, k := range metaKeys {
+			m := xmldoc.NewElement("meta")
+			m.SetAttr("name", k)
+			m.SetAttr("value", t.Metadata[k])
+			el.AppendChild(m)
+		}
 	}
 	content := xmldoc.NewElement("content")
 	if t.Content != nil {

@@ -1,0 +1,91 @@
+package xmldoc
+
+import "testing"
+
+func buildTree(children int) *Node {
+	doc := NewDocument()
+	root := NewElement("root")
+	root.SetAttr("name", "r")
+	doc.AppendChild(root)
+	for i := 0; i < children; i++ {
+		c := NewElement("c")
+		c.SetAttr("i", string(rune('a'+i)))
+		c.AppendChild(NewText("x"))
+		root.AppendChild(c)
+	}
+	return doc
+}
+
+// collectOrders returns the document-order indices in walk order.
+func collectOrders(n *Node) []int {
+	var out []int
+	n.Walk(func(m *Node) bool { out = append(out, m.Order()); return true })
+	return out
+}
+
+func assertStrictlyIncreasing(t *testing.T, orders []int) {
+	t.Helper()
+	for i := 1; i < len(orders); i++ {
+		if orders[i] <= orders[i-1] {
+			t.Fatalf("orders not strictly increasing at %d: %v", i, orders)
+		}
+	}
+}
+
+func TestRenumberSparse(t *testing.T) {
+	doc := buildTree(3)
+	doc.RenumberSparse(16)
+	orders := collectOrders(doc)
+	assertStrictlyIncreasing(t, orders)
+	for i, o := range orders {
+		if o != i*16 {
+			t.Fatalf("order[%d] = %d, want %d", i, o, i*16)
+		}
+	}
+}
+
+func TestSubtreeRenumber(t *testing.T) {
+	doc := buildTree(3)
+	doc.RenumberSparse(16)
+	root := doc.DocumentElement()
+	mid := root.Children[1]
+	lo := root.Children[0].MaxOrder()
+	hi := root.Children[2].Order()
+	if !mid.SubtreeRenumber(lo, hi) {
+		t.Fatalf("subtree of size %d should fit in (%d,%d)", mid.SubtreeSize(), lo, hi)
+	}
+	assertStrictlyIncreasing(t, collectOrders(doc))
+
+	// A gap too small for the subtree must refuse and leave orders intact.
+	before := collectOrders(doc)
+	if mid.SubtreeRenumber(10, 10+mid.SubtreeSize()) {
+		t.Fatal("subtree renumber should refuse an exhausted gap")
+	}
+	after := collectOrders(doc)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("failed SubtreeRenumber mutated orders")
+		}
+	}
+}
+
+func TestInsertRemoveChildAt(t *testing.T) {
+	doc := buildTree(3)
+	root := doc.DocumentElement()
+	n := NewElement("new")
+	root.InsertChildAt(1, n)
+	if len(root.Children) != 4 || root.Children[1] != n || n.Parent != root {
+		t.Fatalf("insert failed: %v", root.Children)
+	}
+	got := root.RemoveChildAt(1)
+	if got != n || got.Parent != nil || len(root.Children) != 3 {
+		t.Fatalf("remove failed: got %v, children %v", got, root.Children)
+	}
+	// The detached subtree stays intact and the remaining children are the
+	// original ones in order.
+	for i, want := range []string{"a", "b", "c"} {
+		if v, _ := root.Children[i].Attr("i"); v != want {
+			t.Fatalf("child %d = %q, want %q", i, v, want)
+		}
+	}
+}

@@ -63,7 +63,10 @@ func TestStressViewCoherence(t *testing.T) {
 			}
 		}
 	}()
-	// Queriers mixing cached-view XQueries and indexed MinQueries.
+	// Queriers mixing cached-view XQueries and indexed MinQueries. The
+	// node-returning query's results are read after Query returns — they
+	// must be detached copies, not aliases into the shared view document
+	// that concurrent rebuilds mutate in place.
 	for q := 0; q < queriers; q++ {
 		wg.Add(1)
 		go func() {
@@ -77,6 +80,34 @@ func TestStressViewCoherence(t *testing.T) {
 				if _, err := r.Query(`count(/tupleset/tuple)`, QueryOptions{}); err != nil {
 					t.Error(err)
 					return
+				}
+				seq, err := r.Query(`/tupleset/tuple[@context="churn"]`, QueryOptions{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, it := range seq {
+					n, ok := it.(*xmldoc.Node)
+					if !ok {
+						t.Error("node query returned non-node item")
+						return
+					}
+					if link, _ := n.Attr("link"); link == "" {
+						t.Error("detached result tuple lost its link attribute")
+						return
+					}
+					_ = n.String()
+				}
+				// The root element aliases the view's mutating child list
+				// unless results are detached; serializing it after return
+				// races with rebuilds if the copy was skipped.
+				seq, err = r.Query(`/tupleset`, QueryOptions{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if root, ok := seq[0].(*xmldoc.Node); ok {
+					_ = root.String()
 				}
 				r.MinQuery(Filter{Context: "churn"})
 			}

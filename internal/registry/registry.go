@@ -122,10 +122,11 @@ type Registry struct {
 	// views are the incrementally maintained per-filter tuple-set views
 	// (see view.go); flights single-flight concurrent content pulls per
 	// link so a freshness stampede issues one fetch.
-	viewMu   sync.Mutex
-	views    map[Filter]*filterView
-	flightMu sync.Mutex
-	flights  map[string]*pullFlight
+	viewMu    sync.Mutex
+	views     map[Filter]*filterView
+	viewClock uint64 // LRU clock for view eviction; guarded by viewMu
+	flightMu  sync.Mutex
+	flights   map[string]*pullFlight
 
 	queries, minQueries                atomic.Int64
 	cacheHits, cacheMisses             atomic.Int64
@@ -363,13 +364,7 @@ func (r *Registry) QueryCompiled(q *xq.Query, opts QueryOptions) (xq.Sequence, e
 			Vars:     opts.Vars,
 		})
 	} else {
-		view, release := r.leaseView(opts.Filter, opts.Freshness)
-		seq, err = q.Eval(&xq.Options{
-			Context:  view,
-			MaxSteps: r.cfg.MaxQuerySteps,
-			Vars:     opts.Vars,
-		})
-		release()
+		seq, err = r.querySharedView(q, opts)
 	}
 	if sp != nil {
 		sp.SetAttr(telemetry.Int("items", int64(len(seq))))
@@ -379,6 +374,33 @@ func (r *Registry) QueryCompiled(q *xq.Query, opts QueryOptions) (xq.Sequence, e
 		sp.End()
 	}
 	return seq, err
+}
+
+// querySharedView evaluates q over the shared cached view under its read
+// lease. The release is deferred so a panicking evaluation cannot leak the
+// view's read lock, and node items are detached before the lease ends:
+// later rebuilds mutate the shared document in place, so results handed to
+// the caller must not alias it.
+func (r *Registry) querySharedView(q *xq.Query, opts QueryOptions) (xq.Sequence, error) {
+	view, release := r.leaseView(opts.Filter, opts.Freshness)
+	defer release()
+	seq, err := q.Eval(&xq.Options{
+		Context:  view,
+		MaxSteps: r.cfg.MaxQuerySteps,
+		Vars:     opts.Vars,
+	})
+	return detachItems(seq), err
+}
+
+// detachItems replaces node items with deep copies so the sequence stays
+// valid after the view lease is released. Atomic items pass through.
+func detachItems(seq xq.Sequence) xq.Sequence {
+	for i, it := range seq {
+		if n, ok := it.(*xmldoc.Node); ok {
+			seq[i] = n.Clone()
+		}
+	}
+	return seq
 }
 
 // BuildView materializes a private tuple-set document for a query,

@@ -35,8 +35,9 @@ const (
 )
 
 // maxCachedViews bounds the number of per-filter cached views. Discovery
-// traffic concentrates on a handful of filter shapes; beyond that, a random
-// victim is evicted and rebuilt on demand.
+// traffic concentrates on a handful of filter shapes; beyond that, the
+// least recently used view is evicted and rebuilt on demand, so a burst of
+// one-off filters cannot displace the hot filters' views.
 const maxCachedViews = 16
 
 // viewOrderStride is the gap RenumberSparse leaves between document-order
@@ -62,6 +63,11 @@ type filterView struct {
 	root   *xmldoc.Node // the <tupleset> element; children sorted by link
 	gen    uint64       // store generation the view is synced to
 	byLink map[string]*viewEntry
+
+	// lastUse is the Registry.viewClock reading of the most recent lookup,
+	// guarded by Registry.viewMu (not v.mu): the eviction scan must read it
+	// without taking each view's own lock.
+	lastUse uint64
 
 	// Aggregates for O(1) staleness checks at query time.
 	minExpiry time.Time // earliest soft-state deadline of included tuples
@@ -91,20 +97,28 @@ func (v *filterView) freshnessSuspect(fresh Freshness, now time.Time) bool {
 	return false
 }
 
-// viewFor returns (creating if needed) the cached view for a filter.
+// viewFor returns (creating if needed) the cached view for a filter,
+// evicting the least recently used view when the cache is full. An evicted
+// view's in-flight lessees keep working against the orphaned document.
 func (r *Registry) viewFor(f Filter) *filterView {
 	r.viewMu.Lock()
 	defer r.viewMu.Unlock()
+	r.viewClock++
 	if v, ok := r.views[f]; ok {
+		v.lastUse = r.viewClock
 		return v
 	}
 	if len(r.views) >= maxCachedViews {
-		for k := range r.views { // random victim via map iteration order
-			delete(r.views, k)
-			break
+		var victim Filter
+		oldest := uint64(math.MaxUint64)
+		for k, v := range r.views {
+			if v.lastUse < oldest {
+				oldest, victim = v.lastUse, k
+			}
 		}
+		delete(r.views, victim)
 	}
-	v := &filterView{}
+	v := &filterView{lastUse: r.viewClock}
 	r.views[f] = v
 	return v
 }

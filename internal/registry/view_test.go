@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
 	"wsda/internal/xq"
 )
 
@@ -154,6 +155,80 @@ func TestViewPerFilterIsolation(t *testing.T) {
 	}
 	if got := countTuples(t, r, QueryOptions{}); got != 1 {
 		t.Errorf("unfiltered after unpublish = %d", got)
+	}
+}
+
+// TestViewRepublishAfterUnpublish guards against revision collision across
+// incarnations of a link: unpublish + republish with different content
+// between two view syncs must re-render the tuple's subtree, not be
+// mistaken for a deadline touch of the cached (stale) rendering.
+func TestViewRepublishAfterUnpublish(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("a", "cern.ch", 0.1), 0)
+	if got := countTuples(t, r, QueryOptions{}); got != 1 { // prime the view
+		t.Fatalf("count = %d", got)
+	}
+	// Both mutations land before the next query syncs the view.
+	r.Unpublish("http://cern.ch/a")
+	r.Publish(svcTuple("a", "cern.ch", 0.9), 0)
+	seq, err := r.Query(`string(/tupleset/tuple/content/service/load)`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xq.StringValue(seq[0]); got != "0.90" {
+		t.Errorf("view served stale incarnation: load = %s, want 0.90", got)
+	}
+}
+
+// TestQueryResultsDetachedFromSharedView asserts node results survive the
+// end of their view lease: a later rebuild mutates the shared document in
+// place, so results must be detached copies, not aliases into it.
+func TestQueryResultsDetachedFromSharedView(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("a", "cern.ch", 0.1), 0)
+	seq, err := r.Query(`/tupleset`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, ok := seq[0].(*xmldoc.Node)
+	if !ok {
+		t.Fatalf("item = %T, want node", seq[0])
+	}
+	before := root.String()
+	// Mutate the store and sync the shared view to it.
+	r.Publish(svcTuple("b", "cern.ch", 0.2), 0)
+	if got := countTuples(t, r, QueryOptions{}); got != 2 {
+		t.Fatalf("count = %d", got)
+	}
+	if after := root.String(); after != before {
+		t.Errorf("held query result mutated by a later rebuild:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+// TestViewEvictionKeepsHotFilter asserts LRU eviction: a stream of one-off
+// filters must evict each other, not the constantly re-used hot filter's
+// view.
+func TestViewEvictionKeepsHotFilter(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("hot", "cern.ch", 0.1), 0)
+	hot := Filter{LinkPrefix: "http://cern.ch/hot"}
+	if got := countTuples(t, r, QueryOptions{Filter: hot}); got != 1 {
+		t.Fatalf("count = %d", got)
+	}
+	rebuilds := r.Stats().ViewRebuilds
+	for i := 0; i < 3*maxCachedViews; i++ {
+		f := Filter{LinkPrefix: fmt.Sprintf("http://one-off%d.net/", i)}
+		countTuples(t, r, QueryOptions{Filter: f})
+		if got := countTuples(t, r, QueryOptions{Filter: hot}); got != 1 {
+			t.Fatalf("round %d: hot filter count = %d", i, got)
+		}
+	}
+	st := r.Stats()
+	if hotRebuilds := st.ViewRebuilds - rebuilds - int64(3*maxCachedViews); hotRebuilds != 0 {
+		t.Errorf("hot filter's view was evicted and rebuilt %d times", hotRebuilds)
 	}
 }
 

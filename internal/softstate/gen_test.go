@@ -54,6 +54,43 @@ func TestRevBumpsOnValueChangeOnly(t *testing.T) {
 	}
 }
 
+// TestRevMonotonicAcrossIncarnations guards the revision contract external
+// caches rely on: a key's revision must never repeat across delete/re-insert
+// or expire/re-insert, or a cache that compares revisions would mistake a
+// new incarnation for the value it already holds.
+func TestRevMonotonicAcrossIncarnations(t *testing.T) {
+	clk := newFakeClock()
+	s := New[string](clk.Now)
+	s.Put("a", "1", time.Minute)
+	e, _ := s.GetEntry("a")
+	rev := e.Rev
+
+	s.Delete("a")
+	s.Put("a", "2", time.Minute)
+	e, _ = s.GetEntry("a")
+	if e.Rev <= rev {
+		t.Fatalf("Rev reused after delete+reinsert: %d -> %d", rev, e.Rev)
+	}
+	rev = e.Rev
+
+	clk.Advance(2 * time.Minute) // passive expiry, no sweep
+	s.Put("a", "3", time.Minute)
+	e, _ = s.GetEntry("a")
+	if e.Rev <= rev {
+		t.Fatalf("Rev reused after expiry+reinsert: %d -> %d", rev, e.Rev)
+	}
+	rev = e.Rev
+
+	s.Delete("a")
+	if _, created := s.PutIfAbsent("a", "4", time.Minute); !created {
+		t.Fatal("PutIfAbsent did not insert")
+	}
+	e, _ = s.GetEntry("a")
+	if e.Rev <= rev {
+		t.Fatalf("Rev reused after delete+PutIfAbsent: %d -> %d", rev, e.Rev)
+	}
+}
+
 func TestChangesSince(t *testing.T) {
 	clk := newFakeClock()
 	s := New[string](clk.Now)

@@ -22,7 +22,12 @@ type Entry[V any] struct {
 	Inserted  time.Time // first Put
 	Refreshed time.Time // most recent Put
 	Expires   time.Time // deadline; zero = immortal
-	Rev       int64     // value revision: bumped every time Value is replaced
+
+	// Rev is the value revision, derived from the store generation so it is
+	// monotonic across incarnations of a key: deleting (or passively
+	// expiring) a key and re-inserting it can never reuse a revision, which
+	// keeps revision comparison a sound change detector for external caches.
+	Rev int64
 }
 
 // Expired reports whether the entry is past its deadline.
@@ -135,7 +140,10 @@ func (s *Store[V]) setValue(e *Entry[V], value V, hadValue bool) {
 		s.idxRemove(e)
 	}
 	e.Value = value
-	e.Rev++
+	// Every setValue is followed by exactly one bump, so gen+1 is the
+	// generation this mutation will carry — unique per value change and
+	// monotonic even across delete/re-insert of the same key.
+	e.Rev = int64(s.gen) + 1
 	s.idxAdd(e)
 }
 

@@ -1,5 +1,5 @@
 // Command benchharness regenerates every table and figure of the
-// evaluation (experiments E1–E14, see DESIGN.md) at full scale and prints
+// evaluation (experiments E1–E15, see DESIGN.md) at full scale and prints
 // them as aligned text tables. Use -quick for a fast smoke run and -only
 // to select individual experiments.
 //
@@ -119,6 +119,12 @@ func main() {
 				return experiments.E14ViewMaintenance([]int{1000}, 10)
 			}
 			return experiments.E14ViewMaintenance([]int{1000, 4000, 16_000}, 10)
+		}},
+		{"E15", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E15Replication([]int{500}, 10)
+			}
+			return experiments.E15Replication([]int{1000, 4000, 16_000}, 25)
 		}},
 	}
 

@@ -6,6 +6,13 @@
 //
 //	registryd -addr :8080 -name registry.cern.ch [-seed-services 100]
 //
+// Any node also serves a change feed (/wsda/feed, /wsda/snapshot); a second
+// node started with -replica-of becomes a read-only replica that bootstraps
+// from the primary's snapshot, tails its feed, and survives primary
+// restarts:
+//
+//	registryd -addr :8081 -name replica-1 -replica-of http://localhost:8080
+//
 // With -seed-services the registry is pre-populated with a synthetic Grid
 // service population, which makes the query endpoints interesting to poke
 // at immediately:
@@ -34,7 +41,9 @@ import (
 	"syscall"
 	"time"
 
+	"wsda/internal/changefeed"
 	"wsda/internal/registry"
+	"wsda/internal/softstate"
 	"wsda/internal/telemetry"
 	"wsda/internal/workload"
 	"wsda/internal/wsda"
@@ -50,6 +59,10 @@ func main() {
 		sweep   = flag.Duration("sweep", 30*time.Second, "expired-tuple sweep interval")
 		seed    = flag.Int("seed-services", 0, "pre-populate with N synthetic services")
 		maxWork = flag.Int("max-query-steps", 10_000_000, "per-query evaluation step budget (0 = unlimited)")
+
+		replicaOf  = flag.String("replica-of", "", "run as a read-only replica tailing this primary's change feed (base URL, e.g. http://primary:8080)")
+		journalCap = flag.Int("journal-cap", softstate.DefaultJournalCap, "change-journal capacity; feeds and views resync past it")
+		longPoll   = flag.Duration("replica-long-poll", 20*time.Second, "long-poll wait the replica requests from its primary's feed")
 
 		telemetryOn = flag.Bool("telemetry", true, "collect metrics and traces, serve /metrics and /debug endpoints")
 		traceCap    = flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "completed spans retained for /debug/traces")
@@ -75,29 +88,52 @@ func main() {
 		MinTTL:        *minTTL,
 		MaxTTL:        *maxTTL,
 		MaxQuerySteps: *maxWork,
+		JournalCap:    *journalCap,
 		Metrics:       metrics,
 		Tracer:        tracer,
 	})
 	registerRegistryStats(metrics, reg)
 	if *seed > 0 {
+		if *replicaOf != "" {
+			log.Fatal("-seed-services conflicts with -replica-of: a replica's tuple set is owned by its primary")
+		}
 		if err := workload.NewGen(42).Populate(reg, *seed, *maxTTL); err != nil {
 			log.Fatalf("seed: %v", err)
 		}
 		log.Printf("seeded %d synthetic services", *seed)
 	}
 
+	replCtx, stopRepl := context.WithCancel(context.Background())
+	defer stopRepl()
+	if *replicaOf != "" {
+		rep := changefeed.New(changefeed.Config{
+			Primary:      *replicaOf,
+			Registry:     reg,
+			LongPollWait: *longPoll,
+			Metrics:      metrics,
+		})
+		go rep.Run(replCtx) //nolint:errcheck
+		log.Printf("replicating from %s (long-poll %v)", *replicaOf, *longPoll)
+	}
+
 	base := "http://" + hostAddr(*addr)
-	desc := wsda.NewService(*name).
+	b := wsda.NewService(*name).
 		Owner("wsda").
 		Link(base+wsda.PathPresenter).
 		Op(wsda.IfacePresenter, "getServiceDescription", base+wsda.PathPresenter).
-		Op(wsda.IfaceConsumer, "publish", base+wsda.PathPublish).
-		Op(wsda.IfaceConsumer, "unpublish", base+wsda.PathUnpublish).
 		Op(wsda.IfaceMinQuery, "minQuery", base+wsda.PathMinQuery).
-		Op(wsda.IfaceXQuery, "query", base+wsda.PathXQuery).
-		Build()
+		Op(wsda.IfaceXQuery, "query", base+wsda.PathXQuery)
+	if *replicaOf == "" {
+		// Replicas don't advertise the Consumer primitives they reject.
+		b = b.Op(wsda.IfaceConsumer, "publish", base+wsda.PathPublish).
+			Op(wsda.IfaceConsumer, "unpublish", base+wsda.PathUnpublish)
+	}
+	desc := b.Build()
 
-	node := &wsda.LocalNode{Desc: desc, Registry: reg}
+	var node wsda.Node = &wsda.LocalNode{Desc: desc, Registry: reg}
+	if *replicaOf != "" {
+		node = wsda.ReadOnlyNode{Node: node}
+	}
 
 	stop := make(chan struct{})
 	go func() {
@@ -118,6 +154,9 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/wsda/", wsda.Handler(node))
+	// Every node — primary or replica — serves the change feed, so replicas
+	// can themselves be replicated (chained fan-out).
+	changefeed.NewServer(reg).Mount(mux)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := reg.Stats()
 		fmt.Fprintf(w, "live=%d publishes=%d refreshes=%d expirations=%d queries=%d minqueries=%d cache-hits=%d cache-misses=%d pulls=%d pull-errors=%d throttled=%d view-hits=%d view-misses=%d view-rebuilds=%d\n",

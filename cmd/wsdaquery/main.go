@@ -7,12 +7,19 @@
 //	wsdaquery xquery    -node http://localhost:8080 'count(/tupleset/tuple)'
 //	wsdaquery publish   -node http://localhost:8080 -link URL -type service [-ttl 5m] [-content file.xml]
 //	wsdaquery unpublish -node http://localhost:8080 -link URL
+//
+// -node accepts a comma-separated failover list and -retry N repeats the
+// whole pass with exponential backoff, so queries ride out a primary
+// restart by failing over to a read replica:
+//
+//	wsdaquery minquery -retry 3 -node http://primary:8080,http://replica:8081 -type service
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"wsda/internal/registry"
@@ -33,7 +40,8 @@ func main() {
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	node := fs.String("node", "http://localhost:8080", "node base URL")
+	node := fs.String("node", "http://localhost:8080", "node base URL, or a comma-separated failover list (primary,replica,...)")
+	retry := fs.Int("retry", 0, "extra passes over the node list after a failure, with exponential backoff")
 	typ := fs.String("type", "", "tuple type filter / published tuple type")
 	ctx := fs.String("ctx", "", "context filter / published tuple context")
 	prefix := fs.String("prefix", "", "link prefix filter")
@@ -45,23 +53,64 @@ func main() {
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
-	client := wsda.NewClient(*node)
+	var clients []*wsda.Client
+	for _, u := range strings.Split(*node, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			clients = append(clients, wsda.NewClient(u))
+		}
+	}
+	if len(clients) == 0 {
+		usage()
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "wsdaquery:", err)
 		os.Exit(1)
 	}
 
+	// attempt runs do against each endpoint in order until one succeeds,
+	// then repeats the whole pass up to -retry times with exponential
+	// backoff between passes. Queries fail over to replicas transparently;
+	// mutations only ever reach the first node that accepts them.
+	attempt := func(do func(c *wsda.Client) error) error {
+		backoff := 250 * time.Millisecond
+		var err error
+		for pass := 0; ; pass++ {
+			for i, c := range clients {
+				if err = do(c); err == nil {
+					return nil
+				}
+				if i < len(clients)-1 {
+					fmt.Fprintf(os.Stderr, "wsdaquery: endpoint %d failed (%v), failing over\n", i+1, err)
+				}
+			}
+			if pass >= *retry {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wsdaquery: all endpoints failed (%v), retrying in %v\n", err, backoff)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+		}
+	}
+
 	switch cmd {
 	case "describe":
-		desc, err := client.GetServiceDescription()
-		if err != nil {
+		var desc *wsda.Service
+		if err := attempt(func(c *wsda.Client) (err error) {
+			desc, err = c.GetServiceDescription()
+			return err
+		}); err != nil {
 			fail(err)
 		}
 		fmt.Println(desc.ToXML().Indent())
 	case "minquery":
-		tuples, err := client.MinQuery(registry.Filter{Type: *typ, Context: *ctx, LinkPrefix: *prefix})
-		if err != nil {
+		var tuples []*tuple.Tuple
+		if err := attempt(func(c *wsda.Client) (err error) {
+			tuples, err = c.MinQuery(registry.Filter{Type: *typ, Context: *ctx, LinkPrefix: *prefix})
+			return err
+		}); err != nil {
 			fail(err)
 		}
 		for _, t := range tuples {
@@ -72,11 +121,14 @@ func main() {
 		if fs.NArg() != 1 {
 			fail(fmt.Errorf("xquery needs exactly one query argument"))
 		}
-		seq, err := client.XQuery(fs.Arg(0), registry.QueryOptions{
-			Filter:    registry.Filter{Type: *typ, Context: *ctx, LinkPrefix: *prefix},
-			Freshness: registry.Freshness{MaxAge: *maxAge, PullMissing: *pull},
-		})
-		if err != nil {
+		var seq xq.Sequence
+		if err := attempt(func(c *wsda.Client) (err error) {
+			seq, err = c.XQuery(fs.Arg(0), registry.QueryOptions{
+				Filter:    registry.Filter{Type: *typ, Context: *ctx, LinkPrefix: *prefix},
+				Freshness: registry.Freshness{MaxAge: *maxAge, PullMissing: *pull},
+			})
+			return err
+		}); err != nil {
 			fail(err)
 		}
 		fmt.Println(xq.Serialize(seq))
@@ -101,8 +153,11 @@ func main() {
 			}
 			t.Content = doc.DocumentElement()
 		}
-		granted, err := client.Publish(t, *ttl)
-		if err != nil {
+		var granted time.Duration
+		if err := attempt(func(c *wsda.Client) (err error) {
+			granted, err = c.Publish(t, *ttl)
+			return err
+		}); err != nil {
 			fail(err)
 		}
 		fmt.Printf("published %s, granted ttl %v\n", *link, granted)
@@ -110,7 +165,7 @@ func main() {
 		if *link == "" {
 			fail(fmt.Errorf("unpublish needs -link"))
 		}
-		if err := client.Unpublish(*link); err != nil {
+		if err := attempt(func(c *wsda.Client) error { return c.Unpublish(*link) }); err != nil {
 			fail(err)
 		}
 		fmt.Printf("unpublished %s\n", *link)

@@ -1,0 +1,145 @@
+// Package changefeed turns the registry's soft-state change journal into a
+// network-consumable replication stream and runs read-only registry
+// replicas off it.
+//
+// The thesis's soft-state argument (Ch. 2.6, 4.6) is what makes this safe:
+// replicated tuples carry the remainder of their original lifetime, so a
+// replica that falls behind — or keeps serving after its primary dies —
+// degrades gracefully into staleness and then silence as its copies
+// expire, instead of serving confidently wrong state forever. Related
+// discovery systems (MIND, the WebContent XML Store; see PAPERS.md) make
+// exactly this replication step the availability backbone of discovery.
+//
+// The protocol has two endpoints, mounted by Server:
+//
+//	GET /wsda/snapshot
+//	    Full bootstrap: the registry's <snapshot> document stamped with
+//	    the store generation (gen attribute) it atomically corresponds
+//	    to, plus the X-Wsda-Epoch response header identifying the server
+//	    incarnation.
+//
+//	GET /wsda/feed?since=CURSOR&wait-ms=N
+//	    Deltas after generation CURSOR as a <changes from To> document of
+//	    <change> elements (full tuple state, or deleted="true"). With
+//	    wait-ms the request long-polls until a change arrives or the wait
+//	    elapses. truncated="true" tells the client its cursor fell off
+//	    the bounded journal and it must re-bootstrap from snapshot.
+//
+// Replica composes the client side: snapshot bootstrap, cursor-resumed
+// tailing, exponential backoff with jitter across primary outages, epoch
+// detection across primary restarts, and automatic re-bootstrap after
+// journal truncation. Applied deltas land in an ordinary
+// registry.Registry, so the incremental view machinery answers queries on
+// the replica exactly as on the primary.
+package changefeed
+
+import (
+	"fmt"
+	"strconv"
+
+	"wsda/internal/registry"
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+)
+
+// HTTP binding paths for the replication endpoints.
+const (
+	PathFeed     = "/wsda/feed"
+	PathSnapshot = "/wsda/snapshot"
+)
+
+// EpochHeader carries the server incarnation ID on both endpoints. A
+// replica that observes a new epoch re-bootstraps: a restarted primary has
+// a fresh generation counter, so cursors from the previous incarnation are
+// meaningless.
+const EpochHeader = "X-Wsda-Epoch"
+
+// page is one feed response: the cursor window it covers and the changes
+// inside it, or a truncation notice.
+type page struct {
+	Epoch     string
+	From, To  uint64
+	Truncated bool
+	Changes   []registry.Change
+}
+
+// marshalPage renders a feed response document.
+func marshalPage(p page) *xmldoc.Node {
+	root := xmldoc.NewElement("changes")
+	root.SetAttr("epoch", p.Epoch)
+	root.SetAttr("from", strconv.FormatUint(p.From, 10))
+	root.SetAttr("to", strconv.FormatUint(p.To, 10))
+	if p.Truncated {
+		root.SetAttr("truncated", "true")
+	}
+	for _, c := range p.Changes {
+		el := xmldoc.NewElement("change")
+		el.SetAttr("key", c.Key)
+		if c.Tuple == nil {
+			el.SetAttr("deleted", "true")
+		} else {
+			el.AppendChild(c.Tuple.ToXML())
+		}
+		root.AppendChild(el)
+	}
+	root.Renumber()
+	return root
+}
+
+// unmarshalPage parses a feed response document.
+func unmarshalPage(doc *xmldoc.Node) (page, error) {
+	root := doc
+	if root.Kind == xmldoc.DocumentNode {
+		root = root.DocumentElement()
+	}
+	if root == nil || root.LocalName() != "changes" {
+		return page{}, fmt.Errorf("changefeed: expected <changes> element")
+	}
+	var p page
+	p.Epoch, _ = root.Attr("epoch")
+	var err error
+	if p.From, err = genAttr(root, "from"); err != nil {
+		return page{}, err
+	}
+	if p.To, err = genAttr(root, "to"); err != nil {
+		return page{}, err
+	}
+	if s, _ := root.Attr("truncated"); s == "true" {
+		p.Truncated = true
+	}
+	for _, el := range root.ChildElements() {
+		if el.LocalName() != "change" {
+			continue
+		}
+		key, ok := el.Attr("key")
+		if !ok {
+			return page{}, fmt.Errorf("changefeed: <change> missing key")
+		}
+		c := registry.Change{Key: key}
+		if del, _ := el.Attr("deleted"); del != "true" {
+			tupleEl := el.FirstChildElement("tuple")
+			if tupleEl == nil {
+				return page{}, fmt.Errorf("changefeed: live <change %s> missing <tuple>", key)
+			}
+			t, err := tuple.FromXML(tupleEl)
+			if err != nil {
+				return page{}, fmt.Errorf("changefeed: %w", err)
+			}
+			c.Tuple = t
+		}
+		p.Changes = append(p.Changes, c)
+	}
+	return p, nil
+}
+
+func genAttr(el *xmldoc.Node, name string) (uint64, error) {
+	s, ok := el.Attr(name)
+	if !ok {
+		return 0, fmt.Errorf("changefeed: <%s> missing %s attribute", el.LocalName(), name)
+	}
+	g, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("changefeed: bad %s=%q", name, s)
+	}
+	return g, nil
+}

@@ -1,0 +1,190 @@
+package changefeed
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wsda/internal/registry"
+)
+
+// startPrimary binds addr (or an ephemeral port when addr is empty), mounts
+// a fresh feed Server for reg on it, and returns the bound address plus a
+// shutdown func. Rebinding a just-closed address is retried briefly.
+func startPrimary(t *testing.T, addr string, reg *registry.Registry) (string, func()) {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var l net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		l, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	mux := http.NewServeMux()
+	NewServer(reg).Mount(mux)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(l) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String(), func() { srv.Close() }
+}
+
+// firstDiff reports the first line on which two line-oriented strings
+// disagree, for readable divergence failures.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\nreplica: %s\nprimary: %s", i, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: %d vs %d", len(al), len(bl))
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestReplicaSurvivesPrimaryRestart is the end-to-end failover scenario:
+// a replica bootstraps from snapshot, tails over 1000 journaled mutations
+// live, the primary is killed mid-stream and restarted (from its own
+// snapshot) on the same address, and the replica detects the new epoch,
+// re-bootstraps, and reconverges to lag 0 with a byte-exact copy of the
+// primary's live tuple set.
+func TestReplicaSurvivesPrimaryRestart(t *testing.T) {
+	prim := newReg("prim", 0)
+	for i := 0; i < 10; i++ {
+		if _, err := prim.Publish(testTuple(fmt.Sprintf("seed%d", i)), time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, stop := startPrimary(t, "", prim)
+
+	rep := New(Config{
+		Primary:      "http://" + addr,
+		Registry:     newReg("rep", 0),
+		LongPollWait: 200 * time.Millisecond,
+		PollInterval: 2 * time.Millisecond,
+		BackoffMin:   10 * time.Millisecond,
+		BackoffMax:   100 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rep.Run(ctx) //nolint:errcheck
+	}()
+
+	waitFor(t, "initial bootstrap", func() bool {
+		st := rep.Stats()
+		return st.Bootstraps >= 1 && st.Lag == 0
+	})
+
+	mutate := func(r *registry.Registry, lo, hi int) {
+		t.Helper()
+		for i := lo; i < hi; i++ {
+			if _, err := r.Publish(testTuple(fmt.Sprintf("svc%04d", i)), time.Hour); err != nil {
+				t.Fatalf("publish %d: %v", i, err)
+			}
+			if i%7 == 0 { // sprinkle deletions through the stream
+				r.Unpublish(fmt.Sprintf("http://cern.ch/svc%04d", i))
+			}
+		}
+	}
+
+	// Phase 1: ~680 journaled mutations tailed live over the feed.
+	mutate(prim, 0, 600)
+	// Lag is computed against the last *observed* primary generation, so
+	// catch-up waits compare the cursor against the primary's live counter.
+	waitFor(t, "phase 1 tail", func() bool { return rep.Stats().Cursor >= prim.Gen() })
+	if got, want := tupleSetString(t, rep.cfg.Registry), tupleSetString(t, prim); got != want {
+		t.Fatalf("replica diverged during phase 1:\nreplica %d bytes, primary %d bytes\nfirst diff:\n%s",
+			len(got), len(want), firstDiff(got, want))
+	}
+
+	// Kill the primary mid-stream, preserving its state via snapshot —
+	// the durability story a real deployment would use.
+	var snap bytes.Buffer
+	if _, err := prim.SnapshotWithGen(&snap); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	// Restart on the same address: a fresh registry restored from the
+	// snapshot, served by a fresh Server incarnation (new epoch, new
+	// generation counter). Services retired while the replica is cut off
+	// never appear in the restarted journal — only re-bootstrap
+	// reconciliation can drop them from the replica.
+	prim2 := newReg("prim2", 0)
+	if _, _, err := prim2.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 20; i += 2 {
+		prim2.Unpublish(fmt.Sprintf("http://cern.ch/svc%04d", i))
+	}
+	startPrimary(t, addr, prim2)
+
+	waitFor(t, "post-restart re-bootstrap", func() bool {
+		st := rep.Stats()
+		return st.Bootstraps >= 2 && st.Cursor >= prim2.Gen()
+	})
+
+	// Phase 2: another ~680 journaled mutations tailed live, bringing the
+	// total tailed over the feed past 1000.
+	mutate(prim2, 600, 1200)
+	waitFor(t, "phase 2 tail", func() bool {
+		return rep.Stats().Cursor >= prim2.Gen() && rep.Lag() == 0
+	})
+	if got, want := tupleSetString(t, rep.cfg.Registry), tupleSetString(t, prim2); got != want {
+		t.Fatalf("replica diverged after restart:\nreplica %d bytes, primary %d bytes\nfirst diff:\n%s",
+			len(got), len(want), firstDiff(got, want))
+	}
+
+	st := rep.Stats()
+	if st.Bootstraps < 2 {
+		t.Fatalf("bootstraps = %d, want >= 2 (initial + post-restart)", st.Bootstraps)
+	}
+	if st.Applied < 1000 {
+		t.Fatalf("applied = %d deltas tailed live, want >= 1000", st.Applied)
+	}
+	for i := 1; i < 20; i += 2 {
+		if _, ok := rep.cfg.Registry.Get(fmt.Sprintf("http://cern.ch/svc%04d", i)); ok {
+			t.Fatalf("svc%04d was retired during the outage but survived on the replica", i)
+		}
+	}
+
+	// No stale results: a filtered query through the cached-view machinery
+	// answers identically on primary and replica.
+	f := registry.Filter{LinkPrefix: "http://cern.ch/svc00"}
+	if pn, rn := len(prim2.MinQuery(f)), len(rep.cfg.Registry.MinQuery(f)); pn != rn {
+		t.Fatalf("filtered query disagrees: primary %d, replica %d", pn, rn)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("replica Run did not stop on cancel")
+	}
+}

@@ -1,0 +1,366 @@
+package changefeed
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/telemetry"
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+)
+
+// Config configures a Replica.
+type Config struct {
+	// Primary is the base URL of the primary node (scheme://host:port);
+	// the replica appends the changefeed binding paths.
+	Primary string
+
+	// Registry is the local registry replicated state is applied into. It
+	// should be dedicated to the replica: local writers would race the
+	// feed.
+	Registry *registry.Registry
+
+	// HTTP is the client used against the primary; nil builds one whose
+	// timeout comfortably exceeds the long-poll wait.
+	HTTP *http.Client
+
+	// LongPollWait is the wait-ms hint sent with feed requests; the
+	// primary holds the request until a change arrives or the wait
+	// elapses. 0 disables long-polling (plain polling every
+	// PollInterval).
+	LongPollWait time.Duration
+
+	// PollInterval spaces feed requests when long-polling is disabled or
+	// a poll came back empty. Defaults to 100ms.
+	PollInterval time.Duration
+
+	// BackoffMin and BackoffMax bound the exponential backoff (with
+	// jitter) applied after feed or bootstrap failures. Defaults: 100ms
+	// and 10s.
+	BackoffMin, BackoffMax time.Duration
+
+	// Metrics, when set, exposes replication lag, staleness, applied
+	// deltas, re-bootstraps and feed errors. One replica per metrics
+	// registry: the families are unlabeled.
+	Metrics *telemetry.Metrics
+
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.PollInterval == 0 {
+		c.PollInterval = 100 * time.Millisecond
+	}
+	if c.BackoffMin == 0 {
+		c.BackoffMin = 100 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 10 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{Timeout: c.LongPollWait + 15*time.Second}
+	}
+	return c
+}
+
+// Stats is a snapshot of a replica's replication progress.
+type Stats struct {
+	Cursor     uint64 // primary generation applied through
+	PrimaryGen uint64 // latest primary generation observed
+	Lag        uint64 // PrimaryGen - Cursor
+	Applied    int64  // deltas applied (bootstrap tuples excluded)
+	Bootstraps int64  // snapshot bootstraps, initial one included
+	FeedErrors int64  // failed feed/snapshot rounds
+	LastSync   time.Time
+}
+
+// Replica tails a primary's change feed into a local registry. Create with
+// New, drive with Run (or Step for deterministic tests), query the local
+// registry as usual.
+type Replica struct {
+	cfg Config
+
+	cursor     atomic.Uint64
+	primaryGen atomic.Uint64
+	applied    atomic.Int64
+	bootstraps atomic.Int64
+	feedErrors atomic.Int64
+	lastSync   atomic.Int64 // UnixNano of the last successful round; 0 = never
+
+	mu            sync.Mutex
+	epoch         string // primary incarnation the cursor belongs to
+	needBootstrap bool
+}
+
+// New returns a replica for cfg. Call Run to start replication.
+func New(cfg Config) *Replica {
+	cfg = cfg.withDefaults()
+	r := &Replica{cfg: cfg, needBootstrap: true}
+	if m := cfg.Metrics; m != nil {
+		m.GaugeFunc("wsda_replica_lag_generations",
+			"Primary generations observed but not yet applied locally.",
+			func() float64 { return float64(r.Stats().Lag) })
+		m.GaugeFunc("wsda_replica_staleness_seconds",
+			"Seconds since the replica last successfully synced with its primary.",
+			func() float64 { return r.staleness().Seconds() })
+		m.CounterFunc("wsda_replica_applied_changes_total",
+			"Change-feed deltas applied into the local registry.",
+			r.applied.Load)
+		m.CounterFunc("wsda_replica_bootstraps_total",
+			"Snapshot bootstraps, including the initial one and journal-truncation recoveries.",
+			r.bootstraps.Load)
+		m.CounterFunc("wsda_replica_feed_errors_total",
+			"Failed feed or snapshot rounds against the primary.",
+			r.feedErrors.Load)
+	}
+	return r
+}
+
+// Registry returns the local registry replicated state is applied into —
+// the store a replica node serves queries from.
+func (r *Replica) Registry() *registry.Registry { return r.cfg.Registry }
+
+// Stats returns a snapshot of replication progress.
+func (r *Replica) Stats() Stats {
+	cur, pg := r.cursor.Load(), r.primaryGen.Load()
+	lag := uint64(0)
+	if pg > cur {
+		lag = pg - cur
+	}
+	var last time.Time
+	if ns := r.lastSync.Load(); ns != 0 {
+		last = time.Unix(0, ns)
+	}
+	return Stats{
+		Cursor:     cur,
+		PrimaryGen: pg,
+		Lag:        lag,
+		Applied:    r.applied.Load(),
+		Bootstraps: r.bootstraps.Load(),
+		FeedErrors: r.feedErrors.Load(),
+		LastSync:   last,
+	}
+}
+
+// Lag returns the current replication lag in generations.
+func (r *Replica) Lag() uint64 { return r.Stats().Lag }
+
+func (r *Replica) staleness() time.Duration {
+	ns := r.lastSync.Load()
+	if ns == 0 {
+		return 0
+	}
+	return r.cfg.Now().Sub(time.Unix(0, ns))
+}
+
+// Run replicates until ctx is canceled: bootstrap from snapshot, tail the
+// feed, back off exponentially (with jitter) across primary outages,
+// re-bootstrap after journal truncation or a primary restart. It returns
+// ctx.Err().
+func (r *Replica) Run(ctx context.Context) error {
+	backoff := r.cfg.BackoffMin
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		progressed, err := r.Step(ctx)
+		switch {
+		case err != nil:
+			if !sleepCtx(ctx, jitter(backoff)) {
+				return ctx.Err()
+			}
+			backoff *= 2
+			if backoff > r.cfg.BackoffMax {
+				backoff = r.cfg.BackoffMax
+			}
+		case !progressed && r.cfg.LongPollWait == 0:
+			// Plain polling and nothing new: pace the next poll. With
+			// long-polling the primary already did the waiting.
+			backoff = r.cfg.BackoffMin
+			if !sleepCtx(ctx, r.cfg.PollInterval) {
+				return ctx.Err()
+			}
+		default:
+			backoff = r.cfg.BackoffMin
+		}
+	}
+}
+
+// Step performs one replication round — a snapshot bootstrap if one is
+// needed, otherwise a single feed poll — and reports whether it applied
+// any change. Run loops Step; tests drive it directly for determinism.
+func (r *Replica) Step(ctx context.Context) (progressed bool, err error) {
+	r.mu.Lock()
+	boot := r.needBootstrap
+	r.mu.Unlock()
+	if boot {
+		if err := r.bootstrap(ctx); err != nil {
+			r.feedErrors.Add(1)
+			return false, err
+		}
+		return true, nil
+	}
+	progressed, err = r.poll(ctx)
+	if err != nil {
+		r.feedErrors.Add(1)
+	}
+	return progressed, err
+}
+
+// bootstrap fetches the primary's snapshot, applies it, reconciles local
+// tuples the snapshot no longer contains, and arms the cursor at the
+// snapshot's generation.
+func (r *Replica) bootstrap(ctx context.Context) error {
+	doc, epoch, err := r.get(ctx, r.cfg.Primary+PathSnapshot)
+	if err != nil {
+		return err
+	}
+	root := doc.DocumentElement()
+	if root == nil || root.LocalName() != "snapshot" {
+		return fmt.Errorf("changefeed: bootstrap: expected <snapshot>")
+	}
+	gen, err := genAttr(root, "gen")
+	if err != nil {
+		return err
+	}
+	inSnapshot := make(map[string]struct{})
+	for _, el := range root.ChildElements() {
+		if el.LocalName() != "tuple" {
+			continue
+		}
+		t, err := tupleFromSnapshot(el)
+		if err != nil {
+			// Mirror Restore's contract: one corrupt element must not
+			// prevent the bootstrap.
+			continue
+		}
+		inSnapshot[t.Key] = struct{}{}
+		r.cfg.Registry.ApplyReplicated(t)
+	}
+	// Drop local tuples the primary no longer has — unpublished while this
+	// replica was disconnected, so no journal record will ever say so.
+	for _, link := range r.cfg.Registry.LiveLinks() {
+		if _, ok := inSnapshot[link]; !ok {
+			r.cfg.Registry.ApplyReplicated(registry.Change{Key: link})
+		}
+	}
+
+	r.mu.Lock()
+	r.epoch = epoch
+	r.needBootstrap = false
+	r.mu.Unlock()
+	r.cursor.Store(gen)
+	r.primaryGen.Store(gen)
+	r.bootstraps.Add(1)
+	r.lastSync.Store(r.cfg.Now().UnixNano())
+	return nil
+}
+
+func tupleFromSnapshot(el *xmldoc.Node) (registry.Change, error) {
+	t, err := tuple.FromXML(el)
+	if err != nil || t.Link == "" {
+		return registry.Change{}, fmt.Errorf("changefeed: bad snapshot tuple: %v", err)
+	}
+	return registry.Change{Key: t.Link, Tuple: t}, nil
+}
+
+// poll issues one feed request from the cursor and applies the page.
+func (r *Replica) poll(ctx context.Context) (progressed bool, err error) {
+	r.mu.Lock()
+	epoch := r.epoch
+	r.mu.Unlock()
+	cursor := r.cursor.Load()
+
+	u := fmt.Sprintf("%s%s?since=%d", r.cfg.Primary, PathFeed, cursor)
+	if r.cfg.LongPollWait > 0 {
+		u += "&wait-ms=" + strconv.FormatInt(r.cfg.LongPollWait.Milliseconds(), 10)
+	}
+	doc, gotEpoch, err := r.get(ctx, u)
+	if err != nil {
+		return false, err
+	}
+	p, err := unmarshalPage(doc)
+	if err != nil {
+		return false, err
+	}
+	if p.Epoch == "" {
+		p.Epoch = gotEpoch
+	}
+	if p.Epoch != epoch || p.Truncated || p.To < cursor {
+		// Restarted primary (fresh generation counter), truncated journal,
+		// or a cursor from the future: resynchronize from scratch.
+		r.mu.Lock()
+		r.needBootstrap = true
+		r.mu.Unlock()
+		return false, nil
+	}
+	for _, c := range p.Changes {
+		r.cfg.Registry.ApplyReplicated(c)
+	}
+	r.applied.Add(int64(len(p.Changes)))
+	r.cursor.Store(p.To)
+	r.primaryGen.Store(p.To)
+	r.lastSync.Store(r.cfg.Now().UnixNano())
+	return len(p.Changes) > 0, nil
+}
+
+// get fetches a URL and parses the XML body, returning the epoch header.
+func (r *Replica) get(ctx context.Context, u string) (*xmldoc.Node, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := r.cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("changefeed: remote error %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	doc, err := xmldoc.ParseString(string(data))
+	if err != nil {
+		return nil, "", err
+	}
+	return doc, resp.Header.Get(EpochHeader), nil
+}
+
+// jitter spreads a backoff delay uniformly over [d/2, 3d/2) so a fleet of
+// replicas does not reconnect in lockstep after a primary restart.
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// sleepCtx sleeps d or until ctx is done, reporting whether it slept the
+// full duration.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,112 @@
+package changefeed
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"wsda/internal/registry"
+)
+
+// DefaultMaxWait caps how long one feed request may long-poll server-side,
+// whatever the client asks for.
+const DefaultMaxWait = 30 * time.Second
+
+// pollTick is the granularity at which a long-polling feed handler
+// re-checks the store generation.
+const pollTick = 15 * time.Millisecond
+
+// Server serves a registry's change feed and bootstrap snapshot. Every
+// Server gets a fresh random epoch at construction, so a restarted daemon
+// is distinguishable from a slow one and replicas know to re-bootstrap.
+type Server struct {
+	reg     *registry.Registry
+	epoch   string
+	maxWait time.Duration
+}
+
+// NewServer returns a feed server for reg.
+func NewServer(reg *registry.Registry) *Server {
+	return &Server{reg: reg, epoch: newEpoch(), maxWait: DefaultMaxWait}
+}
+
+// Epoch returns the server incarnation ID.
+func (s *Server) Epoch() string { return s.epoch }
+
+// Mount registers the feed and snapshot handlers on mux.
+func (s *Server) Mount(mux *http.ServeMux) {
+	mux.HandleFunc(PathFeed, s.handleFeed)
+	mux.HandleFunc(PathSnapshot, s.handleSnapshot)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(EpochHeader, s.epoch)
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	if _, err := s.reg.SnapshotWithGen(w); err != nil {
+		// Headers are gone; all we can do is abort the body mid-stream.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	since := uint64(0)
+	if v := q.Get("since"); v != "" {
+		g, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad since=%q", v), http.StatusBadRequest)
+			return
+		}
+		since = g
+	}
+	var wait time.Duration
+	if v := q.Get("wait-ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			http.Error(w, fmt.Sprintf("bad wait-ms=%q", v), http.StatusBadRequest)
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+	}
+	if wait > s.maxWait {
+		wait = s.maxWait
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		to, changes, ok := s.reg.ChangesSince(since)
+		p := page{Epoch: s.epoch, From: since, To: to, Truncated: !ok, Changes: changes}
+		if !ok || len(changes) > 0 || time.Now().After(deadline) {
+			s.writePage(w, p)
+			return
+		}
+		// Long poll: nothing new yet. Sleep a tick unless the client went
+		// away or the wait budget is about to lapse.
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(pollTick):
+		}
+	}
+}
+
+func (s *Server) writePage(w http.ResponseWriter, p page) {
+	w.Header().Set(EpochHeader, s.epoch)
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_, _ = io.WriteString(w, marshalPage(p).String())
+}
+
+// newEpoch returns a random server-incarnation ID.
+func newEpoch() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; fall back to the
+		// clock so two restarts still differ.
+		return strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -347,3 +347,22 @@ func TestTableString(t *testing.T) {
 		t.Errorf("table render: %s", s)
 	}
 }
+
+func TestE15(t *testing.T) {
+	tab, err := E15Replication([]int{200}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// 50 delta rounds x 5 republished tuples each, all tailed over the feed.
+	if applied := cellFloat(t, tab.Rows[0][4]); applied < 250 {
+		t.Errorf("applied = %v, want >= 250", applied)
+	}
+	// Initial bootstrap plus the truncation recovery.
+	if tab.Rows[0][5] != "2" {
+		t.Errorf("bootstraps = %s, want 2", tab.Rows[0][5])
+	}
+	t.Log("\n" + tab.String())
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"wsda/internal/changefeed"
+	"wsda/internal/registry"
+	"wsda/internal/workload"
+)
+
+// E15Replication measures the change-feed replication subsystem (ISSUE 3)
+// over a real HTTP transport: snapshot-bootstrap cost per store size,
+// steady-state delta-round cost under bounded publish churn, and the cost
+// of recovering from a journal truncation (a churn burst larger than the
+// journal, forcing a snapshot re-bootstrap). Bootstrap and truncation
+// recovery are proportional to the store size; a delta round is
+// proportional to the churn, not the store.
+func E15Replication(sizes []int, churn int) (*Table, error) {
+	t := &Table{
+		ID:    "E15",
+		Title: "Change-feed replication: bootstrap, tailing and truncation recovery",
+		Note: fmt.Sprintf("delta = one feed round applying %d republished tuples; trunc-recover =\n", churn) +
+			"re-bootstrap after a churn burst exceeds the journal. Delta cost tracks\n" +
+			"churn, not store size; bootstrap and recovery track store size.",
+		Header: []string{"tuples", "bootstrap", "delta", "trunc-recover", "applied", "bootstraps"},
+	}
+	const deltaIters = 50
+	for _, n := range sizes {
+		gen := workload.NewGen(17)
+		prim := registry.New(registry.Config{
+			Name:       "e15-primary",
+			DefaultTTL: time.Hour,
+			JournalCap: churn * 4, // deltas fit; the truncation burst does not
+		})
+		if err := gen.Populate(prim, n, time.Hour); err != nil {
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		changefeed.NewServer(prim).Mount(mux)
+		srv := httptest.NewServer(mux)
+
+		rep := changefeed.New(changefeed.Config{
+			Primary:  srv.URL,
+			Registry: registry.New(registry.Config{Name: "e15-replica", DefaultTTL: time.Hour}),
+		})
+
+		ctx := context.Background()
+		step := func(phase string) error {
+			if _, err := rep.Step(ctx); err != nil {
+				return fmt.Errorf("E15 %s (n=%d): %w", phase, n, err)
+			}
+			return nil
+		}
+
+		start := time.Now()
+		if err := step("bootstrap"); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		bootstrap := time.Since(start)
+
+		start = time.Now()
+		for i := 0; i < deltaIters; i++ {
+			for j := 0; j < churn; j++ {
+				if _, err := prim.Publish(gen.Tuple((i*churn+j)%n), time.Hour); err != nil {
+					srv.Close()
+					return nil, err
+				}
+			}
+			if err := step("delta"); err != nil {
+				srv.Close()
+				return nil, err
+			}
+		}
+		delta := time.Since(start) / deltaIters
+
+		// Burst past the journal: the next poll demands a re-bootstrap and
+		// the one after performs it.
+		for j := 0; j < churn*4+churn; j++ {
+			if _, err := prim.Publish(gen.Tuple(j%n), time.Hour); err != nil {
+				srv.Close()
+				return nil, err
+			}
+		}
+		start = time.Now()
+		if err := step("truncation poll"); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		if err := step("truncation re-bootstrap"); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		recover := time.Since(start)
+		srv.Close()
+
+		st := rep.Stats()
+		if st.Lag != 0 {
+			return nil, fmt.Errorf("E15 n=%d: replica finished lagging by %d", n, st.Lag)
+		}
+		if pn, rn := prim.Len(), rep.Registry().Len(); pn != rn {
+			return nil, fmt.Errorf("E15 n=%d: replica has %d tuples, primary %d", n, rn, pn)
+		}
+		t.Add(fint(n), fdur(bootstrap), fdur(delta), fdur(recover),
+			fint64(st.Applied), fint64(st.Bootstraps))
+	}
+	return t, nil
+}

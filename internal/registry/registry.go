@@ -59,6 +59,12 @@ type Config struct {
 	// unlimited.
 	MaxQuerySteps int
 
+	// JournalCap sets the soft-state change-journal capacity: how many of
+	// the most recent mutations incremental readers (cached views, the
+	// replication feed) can replay before being forced into a full resync
+	// or snapshot re-bootstrap. 0 uses softstate.DefaultJournalCap.
+	JournalCap int
+
 	// Now is the clock; nil means time.Now. Benchmarks inject virtual time.
 	Now func() time.Time
 
@@ -147,7 +153,7 @@ func New(cfg Config) *Registry {
 	cfg = cfg.withDefaults()
 	r := &Registry{
 		cfg:        cfg,
-		store:      softstate.New[*tuple.Tuple](cfg.Now),
+		store:      softstate.New[*tuple.Tuple](cfg.Now, softstate.WithJournalCap(cfg.JournalCap)),
 		lastPull:   make(map[string]time.Time),
 		queryCache: make(map[string]*xq.Query),
 		views:      make(map[Filter]*filterView),
@@ -167,6 +173,9 @@ func New(cfg Config) *Registry {
 			"Latency of tuple-set view builds, full or incremental.", nil, "registry").With(cfg.Name)
 		r.store.InstrumentSweeps(m.HistogramVec("wsda_registry_sweep_seconds",
 			"Latency of expired-tuple sweeps.", nil, "registry").With(cfg.Name))
+		r.store.InstrumentJournalTruncations(m.CounterVec("wsda_softstate_journal_truncations_total",
+			"Change reads that fell off the bounded journal, forcing a full resync or replica re-bootstrap.",
+			"registry").With(cfg.Name))
 	}
 	return r
 }

@@ -1,0 +1,115 @@
+package registry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChangesSinceDeltas(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	g0 := r.Gen()
+	r.Publish(svcTuple("a", "cern.ch", 0.1), time.Minute) //nolint:errcheck
+	r.Publish(svcTuple("b", "infn.it", 0.2), time.Minute) //nolint:errcheck
+	r.Unpublish("http://cern.ch/a")
+
+	to, changes, ok := r.ChangesSince(g0)
+	if !ok {
+		t.Fatal("journal should cover 3 mutations")
+	}
+	if to != r.Gen() {
+		t.Fatalf("to = %d, want %d", to, r.Gen())
+	}
+	if len(changes) != 2 {
+		t.Fatalf("changes = %v, want 2 deduplicated keys", changes)
+	}
+	byKey := map[string]Change{}
+	for _, c := range changes {
+		byKey[c.Key] = c
+	}
+	if c := byKey["http://cern.ch/a"]; c.Tuple != nil {
+		t.Fatalf("unpublished key shipped as live: %+v", c)
+	}
+	b := byKey["http://infn.it/b"]
+	if b.Tuple == nil {
+		t.Fatal("live key shipped as deleted")
+	}
+	// The shipped deadline is the entry's authoritative Expires.
+	if want := clk.Now().Add(time.Minute); !b.Tuple.TS3.Equal(want) {
+		t.Fatalf("shipped TS3 = %v, want %v", b.Tuple.TS3, want)
+	}
+
+	// A caught-up reader gets an empty, ok result.
+	if to, changes, ok := r.ChangesSince(r.Gen()); !ok || len(changes) != 0 || to != r.Gen() {
+		t.Fatalf("caught-up ChangesSince = %d %v %v", to, changes, ok)
+	}
+}
+
+func TestChangesSinceTruncation(t *testing.T) {
+	clk := newFakeClock()
+	r := New(Config{Name: "trunc", DefaultTTL: time.Hour, JournalCap: 4, Now: clk.Now})
+	g0 := r.Gen()
+	for i := 0; i < 5; i++ {
+		r.Publish(svcTuple(string(rune('a'+i)), "cern.ch", 0.1), time.Minute) //nolint:errcheck
+	}
+	if _, _, ok := r.ChangesSince(g0); ok {
+		t.Fatal("reader behind a 4-entry journal must be told to re-bootstrap")
+	}
+}
+
+func TestApplyReplicatedPreservesLifetime(t *testing.T) {
+	clk := newFakeClock()
+	src := newTestRegistry(clk, nil)
+	dst := newTestRegistry(clk, nil)
+	src.Publish(svcTuple("a", "cern.ch", 0.1), time.Minute) //nolint:errcheck
+
+	_, changes, _ := src.ChangesSince(0)
+	clk.Advance(30 * time.Second) // half the lifetime elapses in transit
+	for _, c := range changes {
+		dst.ApplyReplicated(c)
+	}
+	got, ok := dst.Get("http://cern.ch/a")
+	if !ok {
+		t.Fatal("replicated tuple missing")
+	}
+	// Original publication timestamps survive replication verbatim.
+	if !got.TS1.Equal(time.UnixMilli(0)) {
+		t.Fatalf("TS1 rewritten: %v", got.TS1)
+	}
+	// The replica enforces the remainder of the source deadline, not a
+	// fresh full lifetime: 30s remain, so 31s later the tuple is gone.
+	clk.Advance(31 * time.Second)
+	if _, ok := dst.Get("http://cern.ch/a"); ok {
+		t.Error("replicated tuple outlived the source deadline")
+	}
+
+	// A change that fully expired in transit acts as a deletion.
+	clk2 := newFakeClock()
+	src2 := newTestRegistry(clk2, nil)
+	dst2 := newTestRegistry(clk2, nil)
+	src2.Publish(svcTuple("b", "infn.it", 0.2), time.Minute) //nolint:errcheck
+	_, changes2, _ := src2.ChangesSince(0)
+	clk2.Advance(2 * time.Minute)
+	if dst2.ApplyReplicated(changes2[0]) {
+		t.Error("expired-in-transit change reported as applied")
+	}
+	if dst2.Len() != 0 {
+		t.Error("expired-in-transit change retained")
+	}
+}
+
+func TestApplyReplicatedDelete(t *testing.T) {
+	clk := newFakeClock()
+	dst := newTestRegistry(clk, nil)
+	dst.Publish(svcTuple("a", "cern.ch", 0.1), time.Minute) //nolint:errcheck
+	if !dst.ApplyReplicated(Change{Key: "http://cern.ch/a"}) {
+		t.Fatal("delete change not applied")
+	}
+	if dst.Len() != 0 {
+		t.Fatal("deleted tuple survived")
+	}
+	// Deleting an absent key is a no-op, not an error.
+	if dst.ApplyReplicated(Change{Key: "http://cern.ch/a"}) {
+		t.Fatal("absent-key delete reported as a change")
+	}
+}

@@ -25,12 +25,12 @@ func TestSnapshotRestore(t *testing.T) {
 	// remaining lifetime; c has expired on disk.
 	clk.Advance(30 * time.Second)
 	r2 := newTestRegistry(clk, nil)
-	n, err := r2.Restore(strings.NewReader(sb.String()))
+	n, skipped, err := r2.Restore(strings.NewReader(sb.String()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 || r2.Len() != 2 {
-		t.Fatalf("restored %d, live %d, want 2", n, r2.Len())
+	if n != 2 || skipped != 0 || r2.Len() != 2 {
+		t.Fatalf("restored %d (skipped %d), live %d, want 2", n, skipped, r2.Len())
 	}
 	got, ok := r2.Get("http://cern.ch/a")
 	if !ok || got.Content == nil {
@@ -47,16 +47,116 @@ func TestSnapshotRestore(t *testing.T) {
 	}
 }
 
+func TestSnapshotWithGen(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	r.Publish(svcTuple("a", "cern.ch", 0.1), time.Minute) //nolint:errcheck
+	var sb strings.Builder
+	gen, err := r.SnapshotWithGen(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != r.Gen() {
+		t.Fatalf("snapshot gen = %d, registry gen = %d", gen, r.Gen())
+	}
+	if !strings.Contains(sb.String(), `gen="`) {
+		t.Fatalf("snapshot missing gen attribute: %s", sb.String())
+	}
+	// Mutations after the snapshot are visible from its generation.
+	r.Publish(svcTuple("b", "infn.it", 0.2), time.Minute) //nolint:errcheck
+	to, changes, ok := r.ChangesSince(gen)
+	if !ok || len(changes) != 1 || changes[0].Key != "http://infn.it/b" {
+		t.Fatalf("ChangesSince(snapshot gen) = %d %v %v", to, changes, ok)
+	}
+}
+
 func TestRestoreErrors(t *testing.T) {
 	r := newTestRegistry(newFakeClock(), nil)
-	if _, err := r.Restore(strings.NewReader("not xml")); err == nil {
+	if _, _, err := r.Restore(strings.NewReader("not xml")); err == nil {
 		t.Error("bad xml accepted")
 	}
-	if _, err := r.Restore(strings.NewReader("<wrong/>")); err == nil {
+	if _, _, err := r.Restore(strings.NewReader("<wrong/>")); err == nil {
 		t.Error("wrong root accepted")
 	}
-	if _, err := r.Restore(strings.NewReader(`<snapshot><tuple ts1="zzz"/></snapshot>`)); err == nil {
-		t.Error("bad tuple accepted")
-	}
 	_ = tuple.TypeService
+}
+
+// TestRestoreSkipsMalformed guards the warm-restart contract: one corrupt
+// tuple element must not abort the whole restore — it is skipped and
+// counted while every healthy sibling is restored.
+func TestRestoreSkipsMalformed(t *testing.T) {
+	clk := newFakeClock()
+	r := newTestRegistry(clk, nil)
+	snap := `<snapshot>
+		<tuple link="http://cern.ch/good1" type="service" ts3="120000"><content/></tuple>
+		<tuple link="http://cern.ch/bad" type="service" ts1="zzz"><content/></tuple>
+		<tuple type="service"><content/></tuple>
+		<tuple link="http://cern.ch/good2" type="service" ts3="120000"><content/></tuple>
+	</snapshot>`
+	restored, skipped, err := r.Restore(strings.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 2 || skipped != 2 {
+		t.Fatalf("restored %d skipped %d, want 2 and 2", restored, skipped)
+	}
+	for _, link := range []string{"http://cern.ch/good1", "http://cern.ch/good2"} {
+		if _, ok := r.Get(link); !ok {
+			t.Errorf("healthy tuple %s lost to a corrupt sibling", link)
+		}
+	}
+}
+
+// TestRestoreViewCoherence guards the generation/revision interaction of
+// incremental view maintenance across a restore: a registry with warm
+// cached views must serve the restored tuples, not a stale rendering.
+func TestRestoreViewCoherence(t *testing.T) {
+	clk := newFakeClock()
+	src := newTestRegistry(clk, nil)
+	src.Publish(svcTuple("a", "cern.ch", 0.1), time.Minute) //nolint:errcheck
+	src.Publish(svcTuple("b", "infn.it", 0.2), time.Minute) //nolint:errcheck
+	var sb strings.Builder
+	if err := src.Snapshot(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the target's cached views (filtered and unfiltered) before the
+	// restore so both must sync incrementally from the restore's journal.
+	dst := newTestRegistry(clk, nil)
+	dst.Publish(svcTuple("old", "desy.de", 0.9), time.Minute) //nolint:errcheck
+	warm := func() (int64, int64) {
+		all, err := dst.Query(`count(/tupleset/tuple)`, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cern, err := dst.Query(`count(/tupleset/tuple)`, QueryOptions{
+			Filter: Filter{LinkPrefix: "http://cern.ch/"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return all[0].(int64), cern[0].(int64)
+	}
+	if all, cern := warm(); all != 1 || cern != 0 {
+		t.Fatalf("pre-restore view = %d all, %d cern", all, cern)
+	}
+
+	restored, skipped, err := dst.Restore(strings.NewReader(sb.String()))
+	if err != nil || restored != 2 || skipped != 0 {
+		t.Fatalf("restore = %d, %d, %v", restored, skipped, err)
+	}
+	if all, cern := warm(); all != 3 || cern != 1 {
+		t.Fatalf("post-restore view = %d all, %d cern; want 3 and 1", all, cern)
+	}
+	// The restored rendering must reflect the restored content, not a
+	// cached subtree from a previous revision.
+	seq, err := dst.Query(
+		`string(/tupleset/tuple[@link="http://cern.ch/a"]/content/service/@name)`,
+		QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 1 || seq[0].(string) != "a" {
+		t.Fatalf("restored content rendering = %v", seq)
+	}
 }

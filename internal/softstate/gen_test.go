@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"wsda/internal/telemetry"
 )
 
 func TestGenMonotonic(t *testing.T) {
@@ -116,7 +118,7 @@ func TestChangesSinceOverflow(t *testing.T) {
 	clk := newFakeClock()
 	s := New[string](clk.Now)
 	g0 := s.Gen()
-	for i := 0; i < journalCap+1; i++ {
+	for i := 0; i < DefaultJournalCap+1; i++ {
 		s.Put(fmt.Sprintf("k%d", i), "v", time.Minute)
 	}
 	if _, ok := s.ChangesSince(g0); ok {
@@ -126,6 +128,56 @@ func TestChangesSinceOverflow(t *testing.T) {
 	keys, ok := s.ChangesSince(s.Gen() - 2)
 	if !ok || len(keys) != 2 {
 		t.Fatalf("tail ChangesSince = %v %v", keys, ok)
+	}
+}
+
+func TestJournalCapOption(t *testing.T) {
+	clk := newFakeClock()
+	s := New[string](clk.Now, WithJournalCap(8))
+	var truncations telemetry.Counter
+	s.InstrumentJournalTruncations(&truncations)
+	g0 := s.Gen()
+	for i := 0; i < 9; i++ {
+		s.Put(fmt.Sprintf("k%d", i), "v", time.Minute)
+	}
+	if _, ok := s.ChangesSince(g0); ok {
+		t.Fatal("reader behind an 8-entry journal must be told to resync")
+	}
+	if got := truncations.Value(); got != 1 {
+		t.Fatalf("truncations = %d, want 1", got)
+	}
+	// A reader within the shrunken window is still served, and served reads
+	// do not count as truncations.
+	if keys, ok := s.ChangesSince(s.Gen() - 8); !ok || len(keys) != 8 {
+		t.Fatalf("tail ChangesSince = %v %v", keys, ok)
+	}
+	if got := truncations.Value(); got != 1 {
+		t.Fatalf("truncations after served read = %d, want 1", got)
+	}
+	// Non-positive caps fall back to the default.
+	d := New[string](clk.Now, WithJournalCap(0))
+	if d.journalCap != DefaultJournalCap {
+		t.Fatalf("journalCap = %d, want default %d", d.journalCap, DefaultJournalCap)
+	}
+}
+
+func TestLiveAndGen(t *testing.T) {
+	clk := newFakeClock()
+	s := New[string](clk.Now)
+	s.Put("a", "1", time.Minute)
+	s.Put("b", "1", time.Minute)
+	entries, gen := s.LiveAndGen()
+	if len(entries) != 2 {
+		t.Fatalf("live = %d, want 2", len(entries))
+	}
+	if gen != s.Gen() {
+		t.Fatalf("gen = %d, want %d", gen, s.Gen())
+	}
+	// Every mutation journaled after the snapshot is visible from its gen.
+	s.Put("c", "1", time.Minute)
+	keys, ok := s.ChangesSince(gen)
+	if !ok || len(keys) != 1 || keys[0] != "c" {
+		t.Fatalf("ChangesSince(snapshot gen) = %v %v", keys, ok)
 	}
 }
 

@@ -35,10 +35,31 @@ func (e *Entry[V]) Expired(now time.Time) bool {
 	return !e.Expires.IsZero() && !e.Expires.After(now)
 }
 
-// journalCap bounds the change journal. It covers the most recent
-// journalCap mutations; a reader further behind must resynchronize with a
-// full scan (ChangesSince reports this by returning ok == false).
-const journalCap = 4096
+// DefaultJournalCap bounds the change journal unless WithJournalCap
+// overrides it. The journal covers the most recent mutations; a reader
+// further behind must resynchronize with a full scan (ChangesSince reports
+// this by returning ok == false).
+const DefaultJournalCap = 4096
+
+// Option configures a Store at construction time.
+type Option func(*options)
+
+type options struct {
+	journalCap int
+}
+
+// WithJournalCap sets the change-journal capacity: how many of the most
+// recent mutations ChangesSince can replay before forcing readers (cached
+// views, replication feeds) into a full resynchronization. Larger journals
+// let replicas survive longer disconnections at the cost of memory;
+// non-positive values keep DefaultJournalCap.
+func WithJournalCap(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.journalCap = n
+		}
+	}
+}
 
 // journalRec is one journaled mutation: the generation it produced and the
 // key it touched.
@@ -65,10 +86,11 @@ type Store[V any] struct {
 	// can cheaply detect "anything changed since generation G?". The
 	// journal records the key touched by each of the last journalCap
 	// generations for incremental change propagation.
-	gen    uint64
-	jbuf   []journalRec
-	jstart int // ring start (index of the oldest record)
-	jlen   int
+	gen        uint64
+	journalCap int
+	jbuf       []journalRec
+	jstart     int // ring start (index of the oldest record)
+	jlen       int
 
 	// indexes are secondary indexes over live entries, maintained on every
 	// mutation so lookups by a value attribute avoid full scans.
@@ -80,14 +102,24 @@ type Store[V any] struct {
 	// sweepSeconds, when set, observes the latency of every Sweep — the
 	// soft-state churn series of the thesis experiments (Ch. 4.6/E4).
 	sweepSeconds *telemetry.Histogram
+
+	// journalTruncations, when set, counts ChangesSince calls that could
+	// not be served because the requested generation had fallen off the
+	// bounded journal — each one is a reader (cached view, replica) forced
+	// into a full resynchronization.
+	journalTruncations *telemetry.Counter
 }
 
 // New returns an empty store using the given clock (nil means time.Now).
-func New[V any](now func() time.Time) *Store[V] {
+func New[V any](now func() time.Time, opts ...Option) *Store[V] {
 	if now == nil {
 		now = time.Now
 	}
-	return &Store[V]{entries: make(map[string]*Entry[V]), now: now}
+	o := options{journalCap: DefaultJournalCap}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Store[V]{entries: make(map[string]*Entry[V]), now: now, journalCap: o.journalCap}
 }
 
 // bump advances the store generation and journals the mutated key.
@@ -95,14 +127,14 @@ func New[V any](now func() time.Time) *Store[V] {
 func (s *Store[V]) bump(key string) {
 	s.gen++
 	rec := journalRec{gen: s.gen, key: key}
-	if len(s.jbuf) < journalCap {
+	if len(s.jbuf) < s.journalCap {
 		s.jbuf = append(s.jbuf, rec)
 		s.jlen++
 		return
 	}
 	// Ring is full: overwrite the oldest record.
 	s.jbuf[s.jstart] = rec
-	s.jstart = (s.jstart + 1) % journalCap
+	s.jstart = (s.jstart + 1) % s.journalCap
 }
 
 // idxAdd registers e under every secondary index. Callers must hold mu.
@@ -173,6 +205,34 @@ func (s *Store[V]) Put(key string, value V, ttl time.Duration) bool {
 	} else {
 		e.Expires = time.Time{}
 	}
+	s.bump(key)
+	return isNew
+}
+
+// PutUntil is Put with an absolute deadline instead of a relative ttl — the
+// replication apply path, where the source's enforced expiry must survive
+// verbatim rather than be re-derived from a second clock read. A zero
+// expires makes the entry immortal; an expires at or before now is the
+// caller's responsibility to treat as a deletion.
+func (s *Store[V]) PutUntil(key string, value V, expires time.Time) bool {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	isNew := !ok || e.Expired(now)
+	if isNew {
+		if ok {
+			s.idxRemove(e) // replacing a dead entry: drop its index slots
+		}
+		e = &Entry[V]{Key: key, Inserted: now}
+		s.entries[key] = e
+		s.puts++
+	} else {
+		s.refreshes++
+	}
+	s.setValue(e, value, !isNew)
+	e.Refreshed = now
+	e.Expires = expires
 	s.bump(key)
 	return isNew
 }
@@ -314,6 +374,22 @@ func (s *Store[V]) Live() []Entry[V] {
 	return out
 }
 
+// LiveAndGen returns Live's snapshot together with the store generation it
+// corresponds to, atomically — the pair a replication bootstrap needs so
+// that a cursor derived from the generation misses no later mutation.
+func (s *Store[V]) LiveAndGen() ([]Entry[V], uint64) {
+	now := s.now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Entry[V], 0, len(s.entries))
+	for _, e := range s.entries {
+		if !e.Expired(now) {
+			out = append(out, *e)
+		}
+	}
+	return out, s.gen
+}
+
 // Len returns the number of live entries.
 func (s *Store[V]) Len() int {
 	now := s.now()
@@ -331,6 +407,11 @@ func (s *Store[V]) Len() int {
 // InstrumentSweeps observes every Sweep's latency into h (nil disables).
 // Call it during setup, before the store is shared across goroutines.
 func (s *Store[V]) InstrumentSweeps(h *telemetry.Histogram) { s.sweepSeconds = h }
+
+// InstrumentJournalTruncations counts every ChangesSince request that fell
+// off the bounded journal into c (nil disables). Call it during setup,
+// before the store is shared across goroutines.
+func (s *Store[V]) InstrumentJournalTruncations(c *telemetry.Counter) { s.journalTruncations = c }
 
 // Sweep removes expired entries and returns how many were collected.
 func (s *Store[V]) Sweep() int {
@@ -375,6 +456,7 @@ func (s *Store[V]) ChangesSince(gen uint64) (keys []string, ok bool) {
 	}
 	missing := s.gen - gen
 	if missing > uint64(s.jlen) {
+		s.journalTruncations.Inc()
 		return nil, false
 	}
 	seen := make(map[string]struct{}, missing)

@@ -1,6 +1,7 @@
 package wsda
 
 import (
+	"errors"
 	"time"
 
 	"wsda/internal/registry"
@@ -79,3 +80,20 @@ func (n *LocalNode) MinQuery(f registry.Filter) ([]*tuple.Tuple, error) {
 func (n *LocalNode) XQuery(query string, opts registry.QueryOptions) (xq.Sequence, error) {
 	return n.Registry.Query(query, opts)
 }
+
+// ErrReadOnly is what a read-only replica's Consumer primitives return:
+// its tuple set is owned by its primary's change feed, so publications must
+// go to the primary.
+var ErrReadOnly = errors.New("wsda: read-only replica; publish to its primary")
+
+// ReadOnlyNode wraps a Node and rejects the Consumer primitives — the
+// shape of a journal-tailing read replica.
+type ReadOnlyNode struct{ Node }
+
+// Publish implements Consumer by refusing.
+func (ReadOnlyNode) Publish(*tuple.Tuple, time.Duration) (time.Duration, error) {
+	return 0, ErrReadOnly
+}
+
+// Unpublish implements Consumer by refusing.
+func (ReadOnlyNode) Unpublish(string) error { return ErrReadOnly }

@@ -1,12 +1,14 @@
 # Developer entry points. `make check` is the gate every change must pass:
-# formatting, vet, build, the full test suite under the race detector, and
-# the telemetry no-op benchmark that keeps disabled instrumentation free.
+# formatting, vet, build, the docs gate (no undocumented exported
+# identifiers in internal/...), the full test suite under the race
+# detector, and the telemetry no-op benchmark that keeps disabled
+# instrumentation free.
 
 GO ?= go
 
-.PHONY: check fmt-check vet build test bench-noop bench bench-guard run-registryd run-peerd
+.PHONY: check fmt-check vet build doclint test bench-noop bench bench-guard run-registryd run-peerd
 
-check: fmt-check vet build test bench-noop
+check: fmt-check vet build doclint test bench-noop
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -19,6 +21,11 @@ vet:
 
 build:
 	$(GO) build ./...
+
+# Docs gate: every exported identifier in internal/... needs a doc
+# comment, every package a package comment. See cmd/doclint.
+doclint:
+	$(GO) run ./cmd/doclint
 
 test:
 	$(GO) test -race ./...

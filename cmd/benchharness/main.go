@@ -1,5 +1,5 @@
 // Command benchharness regenerates every table and figure of the
-// evaluation (experiments E1–E15, see DESIGN.md) at full scale and prints
+// evaluation (experiments E1–E16, see DESIGN.md) at full scale and prints
 // them as aligned text tables. Use -quick for a fast smoke run and -only
 // to select individual experiments.
 //
@@ -125,6 +125,18 @@ func main() {
 				return experiments.E15Replication([]int{500}, 10)
 			}
 			return experiments.E15Replication([]int{1000, 4000, 16_000}, 25)
+		}},
+		{"E16", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E16FaultTolerance([]float64{0.2}, []float64{0.25}, 4)
+			}
+			return experiments.E16FaultTolerance([]float64{0.1, 0.2, 0.3}, []float64{0.25, 0.5}, 8)
+		}},
+		{"E16B", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E16AbortDegradation([]float64{0.15}, 3)
+			}
+			return experiments.E16AbortDegradation([]float64{0, 0.1, 0.2}, 5)
 		}},
 	}
 

@@ -1,0 +1,219 @@
+// Command doclint is the documentation gate for `make check`: it fails
+// when an exported identifier in the scanned packages lacks a doc comment,
+// or when a package lacks a package-level comment. It parses source with
+// go/ast only — no build, no type checking — so it is fast enough to run
+// on every commit.
+//
+// Usage:
+//
+//	doclint [-v] [dir ...]    # default: ./internal/...
+//
+// Rules:
+//   - every package must carry a package comment (conventionally doc.go)
+//   - every exported type, function, method, and exported struct field
+//     needs a doc comment
+//   - exported const/var declarations need a comment on the declaration
+//     group or the individual name
+//
+// Test files and generated files are skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every scanned package")
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"internal"}
+	}
+	var dirs []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(dirs)
+
+	var problems []string
+	scanned := 0
+	for _, dir := range dirs {
+		probs, ok, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			continue
+		}
+		scanned++
+		if *verbose {
+			fmt.Printf("doclint: %s\n", dir)
+		}
+		problems = append(problems, probs...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifiers in %d packages\n",
+			len(problems), scanned)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Printf("doclint: %d packages clean\n", scanned)
+	}
+}
+
+// lintDir scans the non-test Go files of one directory. ok is false when
+// the directory holds no Go package.
+func lintDir(dir string) (problems []string, ok bool, err error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, false, err
+	}
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		ok = true
+		problems = append(problems, lintPackage(fset, dir, pkg)...)
+	}
+	return problems, ok, nil
+}
+
+// lintPackage applies the documentation rules to one parsed package.
+func lintPackage(fset *token.FileSet, dir string, pkg *ast.Package) []string {
+	var problems []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+
+	hasPkgDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc {
+		problems = append(problems,
+			fmt.Sprintf("%s: package %s has no package comment (add a doc.go)", dir, pkg.Name))
+	}
+
+	for _, f := range pkg.Files {
+		if isGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil && receiverExported(d) {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					report(d.Pos(), "exported %s %s is undocumented", kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				lintGenDecl(report, d)
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// lintGenDecl checks one type/const/var declaration group.
+func lintGenDecl(report func(token.Pos, string, ...any), d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "exported type %s is undocumented", s.Name.Name)
+			}
+			if st, isStruct := s.Type.(*ast.StructType); isStruct {
+				for _, field := range st.Fields.List {
+					for _, fn := range field.Names {
+						if fn.IsExported() && field.Doc == nil && field.Comment == nil {
+							report(field.Pos(), "exported field %s.%s is undocumented", s.Name.Name, fn.Name)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(n.Pos(), "exported %s %s is undocumented", d.Tok, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a function's receiver type (if any) is
+// itself exported; a method on an unexported type is not reachable API,
+// however it is capitalized.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// isGenerated reports the standard "Code generated ... DO NOT EDIT."
+// marker in the file's leading comments.
+func isGenerated(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "// Code generated") && strings.HasSuffix(c.Text, "DO NOT EDIT.") {
+				return true
+			}
+		}
+	}
+	return false
+}

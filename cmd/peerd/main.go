@@ -28,12 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -56,6 +58,13 @@ func main() {
 		advertise = flag.Bool("advertise", true, "publish a node tuple describing this peer into its registry")
 		ttl       = flag.Duration("default-ttl", 10*time.Minute, "default tuple lifetime")
 		seed      = flag.Int("seed-services", 0, "pre-populate with N synthetic services")
+
+		maxRetries    = flag.Int("max-retries", 0, "retransmissions per forwarded child query (0 disables)")
+		retryInterval = flag.Duration("retry-interval", 200*time.Millisecond, "initial child retransmission interval (doubles per retry)")
+		breakerThresh = flag.Int("breaker-threshold", 0, "consecutive neighbor failures before its circuit opens (0 disables)")
+		breakerCool   = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open neighbor circuit stays open")
+		chaosDrop     = flag.Float64("chaos-drop", 0, "probability of silently dropping each outbound PDP message (fault injection)")
+		chaosSeed     = flag.Int64("chaos-seed", 1, "RNG seed for -chaos-drop")
 
 		telemetryOn = flag.Bool("telemetry", true, "collect metrics and traces, serve /metrics and /debug endpoints")
 		traceCap    = flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "completed spans retained for /debug/traces")
@@ -95,12 +104,21 @@ func main() {
 	}
 
 	net := pdp.NewHTTPNetwork(nil)
+	var nodeNet pdp.Network = net
+	if *chaosDrop > 0 {
+		nodeNet = &lossyNetwork{next: net, p: *chaosDrop, rng: rand.New(rand.NewSource(*chaosSeed))}
+		log.Printf("chaos: dropping %.0f%% of outbound PDP messages", *chaosDrop*100)
+	}
 	node, err := updf.NewNode(updf.Config{
-		Addr:     pdpAddr,
-		Net:      net,
-		Registry: reg,
-		Metrics:  metrics,
-		Tracer:   tracer,
+		Addr:             pdpAddr,
+		Net:              nodeNet,
+		Registry:         reg,
+		Metrics:          metrics,
+		Tracer:           tracer,
+		MaxRetries:       *maxRetries,
+		RetryInterval:    *retryInterval,
+		BreakerThreshold: *breakerThresh,
+		BreakerCooldown:  *breakerCool,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -150,9 +168,10 @@ func main() {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := node.Stats()
-		fmt.Fprintf(w, "tuples=%d queries=%d duplicates=%d dropped-expired=%d evals=%d eval-errors=%d forwards=%d aborts=%d late=%d state-table=%d\n",
+		fmt.Fprintf(w, "tuples=%d queries=%d duplicates=%d dropped-expired=%d evals=%d eval-errors=%d forwards=%d aborts=%d late=%d retries=%d breaker-opens=%d breaker-skips=%d state-table=%d\n",
 			reg.Len(), st.QueriesSeen, st.Duplicates, st.DroppedExpired, st.Evals,
-			st.EvalErrors, st.Forwards, st.Aborts, st.LateMessages, node.StateTableSize())
+			st.EvalErrors, st.Forwards, st.Aborts, st.LateMessages,
+			st.Retries, st.BreakerOpens, st.BreakerSkips, node.StateTableSize())
 	})
 	if *telemetryOn {
 		telemetry.Mount(mux, metrics, tracer)
@@ -204,6 +223,12 @@ func registerNodeStats(m *telemetry.Metrics, node *updf.Node, reg *registry.Regi
 		stat(func(s updf.Stats) int64 { return s.Aborts }))
 	m.CounterFunc("wsda_updf_late_messages_total", "Messages for already-closed transactions.",
 		stat(func(s updf.Stats) int64 { return s.LateMessages }))
+	m.CounterFunc("wsda_updf_retries_total", "Child-query retransmissions sent.",
+		stat(func(s updf.Stats) int64 { return s.Retries }))
+	m.CounterFunc("wsda_updf_breaker_opens_total", "Neighbor circuit-breaker open transitions.",
+		stat(func(s updf.Stats) int64 { return s.BreakerOpens }))
+	m.CounterFunc("wsda_updf_breaker_skips_total", "Neighbors skipped because their circuit was open.",
+		stat(func(s updf.Stats) int64 { return s.BreakerSkips }))
 	m.GaugeFunc("wsda_updf_state_table_size", "Live per-transaction soft-state entries.",
 		func() float64 { return float64(node.StateTableSize()) })
 	m.GaugeFunc("wsda_registry_live_tuples", "Live tuples in the local registry.",
@@ -258,7 +283,8 @@ func logFinalSnapshot(m *telemetry.Metrics) {
 
 // handleNetQuery submits a network query through the embedded originator.
 // Query parameters: mode (routed|direct|metadata|referral), radius,
-// timeout-ms, pipeline, policy, fanout.
+// timeout-ms, pipeline, policy, fanout, retries. The response root carries
+// partial-result accounting: nodes-contacted, nodes-responded, complete.
 func handleNetQuery(w http.ResponseWriter, r *http.Request, orig *updf.Originator, entry string) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -315,6 +341,14 @@ func handleNetQuery(w http.ResponseWriter, r *http.Request, orig *updf.Originato
 	}
 	spec.Pipeline = q.Get("pipeline") == "true"
 	spec.Policy = q.Get("policy")
+	if s := q.Get("retries"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad retries", http.StatusBadRequest)
+			return
+		}
+		spec.MaxRetries = v
+	}
 	if s := q.Get("fanout"); s != "" {
 		v, err := strconv.Atoi(s)
 		if err != nil {
@@ -332,8 +366,35 @@ func handleNetQuery(w http.ResponseWriter, r *http.Request, orig *updf.Originato
 	res.SetAttr("tx", rs.TxID)
 	res.SetAttr("elapsed-ms", strconv.FormatInt(rs.Elapsed.Milliseconds(), 10))
 	res.SetAttr("aborted", strconv.FormatBool(rs.Aborted))
+	res.SetAttr("nodes-contacted", strconv.Itoa(rs.NodesContacted))
+	res.SetAttr("nodes-responded", strconv.Itoa(rs.NodesResponded))
+	res.SetAttr("complete", strconv.FormatBool(rs.Complete))
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 	fmt.Fprint(w, res.String())
+}
+
+// lossyNetwork is the -chaos-drop fault injector: it silently discards a
+// random fraction of outbound messages before they reach the transport,
+// emulating a lossy WAN so retry/breaker settings can be rehearsed against
+// a real deployment.
+type lossyNetwork struct {
+	next pdp.Network
+	p    float64
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+func (l *lossyNetwork) Register(addr string, h pdp.Handler) error { return l.next.Register(addr, h) }
+func (l *lossyNetwork) Unregister(addr string)                    { l.next.Unregister(addr) }
+
+func (l *lossyNetwork) Send(msg *pdp.Message) error {
+	l.mu.Lock()
+	drop := l.rng.Float64() < l.p
+	l.mu.Unlock()
+	if drop {
+		return nil
+	}
+	return l.next.Send(msg)
 }
 
 func hostAddr(addr string) string {

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -68,32 +69,66 @@ func main() {
 		os.Exit(1)
 	}
 
-	// attempt runs do against each endpoint in order until one succeeds,
-	// then repeats the whole pass up to -retry times with exponential
-	// backoff between passes. Queries fail over to replicas transparently;
-	// mutations only ever reach the first node that accepts them.
 	attempt := func(do func(c *wsda.Client) error) error {
-		backoff := 250 * time.Millisecond
-		var err error
-		for pass := 0; ; pass++ {
-			for i, c := range clients {
-				if err = do(c); err == nil {
-					return nil
-				}
-				if i < len(clients)-1 {
-					fmt.Fprintf(os.Stderr, "wsdaquery: endpoint %d failed (%v), failing over\n", i+1, err)
-				}
+		return runAttempts(clients, *retry, time.Sleep, do)
+	}
+
+	run(cmd, fs, attempt, fail,
+		link, typ, ctx, prefix, ttl, contentFile, maxAge, pull)
+}
+
+// runAttempts runs do against each endpoint in order until one succeeds,
+// then repeats the whole pass up to `retries` times with exponential
+// backoff between passes. Queries fail over to replicas transparently;
+// mutations only ever reach the first node that accepts them. A pass in
+// which every failure was a definitive client-side rejection (a 4xx other
+// than 408/429) is not repeated: resending a malformed query cannot fix it.
+func runAttempts(clients []*wsda.Client, retries int, sleep func(time.Duration), do func(c *wsda.Client) error) error {
+	backoff := 250 * time.Millisecond
+	var err error
+	for pass := 0; ; pass++ {
+		anyRetryable := false
+		for i, c := range clients {
+			if err = do(c); err == nil {
+				return nil
 			}
-			if pass >= *retry {
-				return err
+			if retryableError(err) {
+				anyRetryable = true
 			}
-			fmt.Fprintf(os.Stderr, "wsdaquery: all endpoints failed (%v), retrying in %v\n", err, backoff)
-			time.Sleep(backoff)
-			if backoff *= 2; backoff > 5*time.Second {
-				backoff = 5 * time.Second
+			if i < len(clients)-1 {
+				fmt.Fprintf(os.Stderr, "wsdaquery: endpoint %d failed (%v), failing over\n", i+1, err)
 			}
 		}
+		if pass >= retries {
+			return err
+		}
+		if !anyRetryable {
+			fmt.Fprintf(os.Stderr, "wsdaquery: not retrying, the request was rejected (%v)\n", err)
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wsdaquery: all endpoints failed (%v), retrying in %v\n", err, backoff)
+		sleep(backoff)
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
 	}
+}
+
+// retryableError decides whether a failed attempt justifies another pass:
+// network errors might heal, HTTP errors defer to their status code.
+func retryableError(err error) bool {
+	var he *wsda.HTTPError
+	if errors.As(err, &he) {
+		return he.Retryable()
+	}
+	return true
+}
+
+// run dispatches one subcommand, wrapping every remote call in attempt.
+func run(cmd string, fs *flag.FlagSet,
+	attempt func(do func(c *wsda.Client) error) error, fail func(error),
+	link, typ, ctx, prefix *string, ttl *time.Duration, contentFile *string,
+	maxAge *time.Duration, pull *bool) {
 
 	switch cmd {
 	case "describe":

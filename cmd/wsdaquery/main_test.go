@@ -1,0 +1,114 @@
+package main
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsda/internal/wsda"
+)
+
+// failingNode serves the given status for every request and counts hits.
+func failingNode(t *testing.T, status int, hits *atomic.Int64) *wsda.Client {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "no", status)
+	}))
+	t.Cleanup(srv.Close)
+	return wsda.NewClient(srv.URL)
+}
+
+func TestRunAttemptsRetriesServerErrors(t *testing.T) {
+	var hits atomic.Int64
+	c := failingNode(t, http.StatusInternalServerError, &hits)
+	slept := 0
+	err := runAttempts([]*wsda.Client{c}, 2, func(time.Duration) { slept++ },
+		func(c *wsda.Client) error {
+			_, err := c.GetServiceDescription()
+			return err
+		})
+	if err == nil {
+		t.Fatal("want error from an always-500 node")
+	}
+	if hits.Load() != 3 {
+		t.Errorf("hits = %d, want 3 (initial pass + 2 retries)", hits.Load())
+	}
+	if slept != 2 {
+		t.Errorf("backoff sleeps = %d, want 2", slept)
+	}
+}
+
+func TestRunAttemptsDoesNotRetryClientErrors(t *testing.T) {
+	var hits atomic.Int64
+	c := failingNode(t, http.StatusUnprocessableEntity, &hits)
+	slept := 0
+	err := runAttempts([]*wsda.Client{c}, 5, func(time.Duration) { slept++ },
+		func(c *wsda.Client) error {
+			_, err := c.GetServiceDescription()
+			return err
+		})
+	if err == nil {
+		t.Fatal("want error from a 422 rejection")
+	}
+	var he *wsda.HTTPError
+	if !errors.As(err, &he) || he.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("err = %v, want HTTPError 422", err)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("hits = %d, want 1 (a malformed request must not be resent)", hits.Load())
+	}
+	if slept != 0 {
+		t.Errorf("backoff sleeps = %d, want 0", slept)
+	}
+}
+
+// TestRunAttemptsFailsOverBeforeGivingUp4xx: a 422 from the replica must
+// not stop the same pass from reaching the primary (publish against a
+// read-only replica fails definitively, the next endpoint accepts).
+func TestRunAttemptsFailsOverBeforeGivingUp4xx(t *testing.T) {
+	var replicaHits atomic.Int64
+	replica := failingNode(t, http.StatusUnprocessableEntity, &replicaHits)
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`<service name="ok"/>`))
+	}))
+	defer primary.Close()
+	err := runAttempts([]*wsda.Client{replica, wsda.NewClient(primary.URL)}, 0,
+		func(time.Duration) {},
+		func(c *wsda.Client) error {
+			_, err := c.GetServiceDescription()
+			return err
+		})
+	if err != nil {
+		t.Fatalf("failover should have succeeded: %v", err)
+	}
+	if replicaHits.Load() != 1 {
+		t.Errorf("replica hits = %d, want 1", replicaHits.Load())
+	}
+}
+
+func TestRetryableError(t *testing.T) {
+	cases := []struct {
+		status int
+		want   bool
+	}{
+		{http.StatusInternalServerError, true},
+		{http.StatusBadGateway, true},
+		{http.StatusRequestTimeout, true},
+		{http.StatusTooManyRequests, true},
+		{http.StatusBadRequest, false},
+		{http.StatusNotFound, false},
+		{http.StatusUnprocessableEntity, false},
+	}
+	for _, c := range cases {
+		if got := retryableError(&wsda.HTTPError{StatusCode: c.status}); got != c.want {
+			t.Errorf("retryableError(%d) = %v, want %v", c.status, got, c.want)
+		}
+	}
+	if !retryableError(http.ErrServerClosed) {
+		t.Error("plain network-ish errors must stay retryable")
+	}
+}

@@ -1,8 +1,3 @@
-// Package baseline implements the comparison systems of the thesis's
-// related-work discussion (Ch. 3.5, 6.10): a pure key-lookup index in the
-// style of DNS/Gnutella/Chord (lookup by globally unique name only) and an
-// LDAP-style attribute-filter directory. Experiment E1 uses them to show
-// which discovery query classes each paradigm can and cannot express.
 package baseline
 
 import (

@@ -1,12 +1,3 @@
-// Package broker implements the remaining processing steps of thesis
-// Ch. 2: request, discovery, brokering, execution and control. A request
-// names the abstract operations it needs (with interface requirements,
-// attribute constraints and locality affinities); the discovery step finds
-// candidate services through a WSDA query interface; the brokering step
-// maps operations to concrete service endpoints (an invocation schedule);
-// the execution step invokes them with failover; and the control step
-// monitors lifecycle with timeouts so that a stalled service does not hang
-// the request.
 package broker
 
 import (
@@ -17,6 +8,7 @@ import (
 	"time"
 
 	"wsda/internal/registry"
+	"wsda/internal/resilience"
 	"wsda/internal/telemetry"
 	"wsda/internal/wsda"
 	"wsda/internal/xmldoc"
@@ -25,9 +17,9 @@ import (
 // Constraint is one attribute predicate of an operation spec, e.g.
 // {"load", "<", "0.5"} or {"diskGB", ">=", "1000"}.
 type Constraint struct {
-	Attr  string
+	Attr  string // service attribute name, e.g. "load"
 	Op    string // "<", "<=", ">", ">=", "=", "!="
-	Value string
+	Value string // literal the attribute is compared against
 }
 
 // OpSpec is one abstract operation of a request.
@@ -37,8 +29,8 @@ type OpSpec struct {
 	// Interface and Operation state what the executing service must
 	// implement; Protocol optionally pins the binding.
 	Interface string
-	Operation string
-	Protocol  string
+	Operation string // operation name within Interface
+	Protocol  string // optional binding protocol filter, e.g. "http"
 	// Constraints filter candidates on service attributes.
 	Constraints []Constraint
 	// AffinityWith names another OpSpec whose chosen service's domain this
@@ -49,16 +41,16 @@ type OpSpec struct {
 // Request is a unit of work needing several correlated services (the
 // thesis example: file transfer + replica catalog + request execution).
 type Request struct {
-	ID  string
-	Ops []OpSpec
+	ID  string   // caller-chosen request identifier, echoed in reports
+	Ops []OpSpec // the correlated operations to be brokered together
 }
 
 // Candidate is a discovered service able to execute an operation.
 type Candidate struct {
-	Service  *wsda.Service
-	Link     string
-	Endpoint string
-	Load     float64
+	Service  *wsda.Service // parsed service description
+	Link     string        // tuple link (service identity)
+	Endpoint string        // bound invocation endpoint for the operation
+	Load     float64       // advertised load attribute (0 when absent)
 }
 
 // Discoverer finds candidates for an operation spec (the discovery step).
@@ -69,7 +61,7 @@ type Discoverer interface {
 // RegistryDiscoverer discovers candidates through a WSDA XQuery interface
 // by compiling the spec into a discovery query.
 type RegistryDiscoverer struct {
-	Node wsda.XQueryIface
+	Node wsda.XQueryIface // the registry (local or remote) to query
 }
 
 // Discover implements Discoverer. The generated query selects service
@@ -142,17 +134,17 @@ func buildDiscoveryQuery(spec OpSpec) string {
 // Assignment binds one operation to a concrete candidate, with the
 // runner's failover alternatives.
 type Assignment struct {
-	Op           string
-	Chosen       Candidate
+	Op           string      // OpSpec.Name this assignment covers
+	Chosen       Candidate   // cheapest candidate satisfying the spec
 	Alternatives []Candidate // sorted by increasing cost, excluding Chosen
 }
 
 // Schedule is the brokering result: a mapping of operations to service
 // invocations (thesis Ch. 2.7).
 type Schedule struct {
-	Request string
-	Assign  []Assignment
-	Cost    float64
+	Request string       // Request.ID this schedule answers
+	Assign  []Assignment // one entry per operation, in request order
+	Cost    float64      // summed cost of the chosen candidates
 
 	// TraceID links the discovery/brokering trace with the later
 	// execution trace when telemetry is enabled ("" otherwise).
@@ -261,24 +253,25 @@ const (
 
 // OpReport describes one operation's execution.
 type OpReport struct {
-	Op       string
-	State    OpState
-	Attempts []Attempt
+	Op       string    // operation name
+	State    OpState   // final state after all attempts
+	Attempts []Attempt // every try, including skips and failovers
 }
 
 // Attempt is one invocation try.
 type Attempt struct {
-	Service  string
-	Err      string
-	Stalled  bool
-	Duration time.Duration
+	Service  string        // candidate service name
+	Err      string        // failure reason ("" on success)
+	Stalled  bool          // aborted by stall detection (no heartbeat)
+	Skipped  bool          // circuit open: candidate passed over without invoking
+	Duration time.Duration // wall-clock time spent in the invocation
 }
 
 // Report is the outcome of running a schedule.
 type Report struct {
-	Request string
-	Ops     []OpReport
-	Elapsed time.Duration
+	Request string        // Request.ID
+	Ops     []OpReport    // per-operation outcomes, in schedule order
+	Elapsed time.Duration // total run time including backoff sleeps
 }
 
 // Succeeded reports whether every operation completed.
@@ -293,6 +286,7 @@ func (r *Report) Succeeded() bool {
 
 // Runner executes schedules with failover and stall detection.
 type Runner struct {
+	// Exec performs one invocation attempt.
 	Exec Executor
 	// StallTimeout aborts an invocation if no heartbeat arrives for this
 	// long (0 disables stall detection).
@@ -300,6 +294,19 @@ type Runner struct {
 	// MaxAttempts bounds tries per operation including failovers
 	// (0 means 1 + len(alternatives)).
 	MaxAttempts int
+
+	// RetryBackoff, when positive, sleeps between failover attempts on an
+	// exponential series (RetryBackoff, 2×, 4×, capped at 10×RetryBackoff)
+	// so a transiently overloaded service is not hammered by immediate
+	// failover storms. Zero keeps the historical fail-fast behavior.
+	RetryBackoff time.Duration
+
+	// Breaker, when set, is consulted per candidate (keyed by service
+	// name): candidates whose circuit is open are skipped without an
+	// invocation attempt, and every attempt outcome feeds back into it.
+	// One Breaker is typically shared across runners so a service that
+	// just failed for one request is skipped by the next.
+	Breaker *resilience.Breaker
 
 	// Metrics, when set, receives invocation latency histograms and
 	// failover/stall counters.
@@ -317,7 +324,8 @@ func (r *Runner) Run(s *Schedule) *Report {
 	sp := r.Tracer.StartSpanID(s.TraceID, 0, "broker.execute")
 	sp.SetAttr(telemetry.String("request", s.Request))
 	var invokeSeconds *telemetry.Histogram
-	var failovers, stalls *telemetry.Counter
+	var failovers, stalls, skips *telemetry.Counter
+	var breakerOpen *telemetry.Gauge
 	if m := r.Metrics; m != nil {
 		invokeSeconds = m.Histogram("wsda_broker_invoke_seconds",
 			"Latency of service invocation attempts.", nil)
@@ -325,6 +333,10 @@ func (r *Runner) Run(s *Schedule) *Report {
 			"Invocation attempts beyond the first, per operation.")
 		stalls = m.Counter("wsda_broker_stalls_total",
 			"Invocations aborted by the control step's stall timeout.")
+		skips = m.Counter("wsda_broker_breaker_skips_total",
+			"Candidates passed over because their circuit was open.")
+		breakerOpen = m.Gauge("wsda_broker_breaker_open",
+			"Service circuits currently open (updated on breaker events).")
 	}
 	rep := &Report{Request: s.Request}
 	for _, a := range s.Assign {
@@ -334,11 +346,27 @@ func (r *Runner) Run(s *Schedule) *Report {
 		if maxAttempts <= 0 || maxAttempts > len(tries) {
 			maxAttempts = len(tries)
 		}
-		for i := 0; i < maxAttempts; i++ {
+		backoff := resilience.NewBackoff(r.RetryBackoff, 10*r.RetryBackoff)
+		attempts := 0
+		for i := 0; i < len(tries) && attempts < maxAttempts; i++ {
 			cand := tries[i]
-			if i > 0 {
-				failovers.Inc()
+			// Circuit-broken candidates are skipped without burning an
+			// attempt: a service that keeps failing for everyone should not
+			// cost this request an invocation round trip to rediscover it.
+			if r.Breaker != nil && !r.Breaker.Allow(cand.Service.Name) {
+				skips.Inc()
+				or.Attempts = append(or.Attempts, Attempt{
+					Service: cand.Service.Name, Skipped: true, Err: "circuit open",
+				})
+				continue
 			}
+			if attempts > 0 {
+				failovers.Inc()
+				if r.RetryBackoff > 0 {
+					time.Sleep(backoff.Next())
+				}
+			}
+			attempts++
 			isp := r.Tracer.StartSpan(s.TraceID, sp, "broker.invoke")
 			att, ok := r.invokeOnce(a.Op, cand)
 			invokeSeconds.ObserveDuration(att.Duration)
@@ -358,6 +386,16 @@ func (r *Runner) Run(s *Schedule) *Report {
 				isp.End()
 			}
 			or.Attempts = append(or.Attempts, att)
+			if r.Breaker != nil {
+				if ok {
+					r.Breaker.Success(cand.Service.Name)
+				} else {
+					r.Breaker.Failure(cand.Service.Name)
+				}
+				if breakerOpen != nil {
+					breakerOpen.Set(float64(r.Breaker.OpenCount()))
+				}
+			}
 			if ok {
 				or.State = StateDone
 				break

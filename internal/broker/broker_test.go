@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wsda/internal/registry"
+	"wsda/internal/resilience"
 	"wsda/internal/tuple"
 	"wsda/internal/workload"
 	"wsda/internal/wsda"
@@ -284,4 +285,91 @@ func TestBuildDiscoveryQueryQuoting(t *testing.T) {
 		t.Errorf("generated query invalid: %v", err)
 	}
 	_ = tuple.TypeService
+}
+
+func TestRunBreakerSkipsFailedService(t *testing.T) {
+	node := populatedNode(t, 200)
+	req := analysisRequest()
+	sched, err := Plan(req, &RegistryDiscoverer{Node: node}, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad atomic.Value
+	exec := ExecutorFunc(func(op string, c Candidate, beat func()) error {
+		if op == "execute" {
+			bad.CompareAndSwap(nil, c.Service.Name)
+			if c.Service.Name == bad.Load().(string) {
+				return fmt.Errorf("service crashed")
+			}
+		}
+		return nil
+	})
+	br := resilience.NewBreaker(resilience.BreakerConfig{Threshold: 1, Cooldown: time.Minute})
+	r := &Runner{Exec: exec, Breaker: br}
+
+	// First run: the chosen execute service fails, trips its circuit, and
+	// failover recovers on the next candidate.
+	if rep := r.Run(sched); !rep.Succeeded() {
+		t.Fatalf("first run: %+v", rep)
+	}
+	name := bad.Load().(string)
+	if !br.Open(name) {
+		t.Fatalf("circuit for %s not open", name)
+	}
+
+	// Second run over a fresh schedule: the broken service is skipped
+	// without an invocation attempt.
+	sched2, err := Plan(req, &RegistryDiscoverer{Node: node}, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Run(sched2)
+	if !rep.Succeeded() {
+		t.Fatalf("second run: %+v", rep)
+	}
+	for _, o := range rep.Ops {
+		if o.Op != "execute" {
+			continue
+		}
+		var skipped, invoked bool
+		for _, a := range o.Attempts {
+			if a.Service == name {
+				if a.Skipped {
+					skipped = true
+				} else {
+					invoked = true
+				}
+			}
+		}
+		if !skipped || invoked {
+			t.Errorf("attempts = %+v: want %s skipped, never invoked", o.Attempts, name)
+		}
+	}
+}
+
+func TestRunRetryBackoffDelaysFailover(t *testing.T) {
+	node := populatedNode(t, 200)
+	sched, err := Plan(analysisRequest(), &RegistryDiscoverer{Node: node}, PlanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	r := &Runner{
+		RetryBackoff: 30 * time.Millisecond,
+		Exec: ExecutorFunc(func(op string, c Candidate, beat func()) error {
+			if op == "execute" && calls.Add(1) < 3 {
+				return fmt.Errorf("transient")
+			}
+			return nil
+		}),
+	}
+	t0 := time.Now()
+	rep := r.Run(sched)
+	if !rep.Succeeded() {
+		t.Fatalf("report: %+v", rep)
+	}
+	// Two failovers: 30ms + 60ms of backoff at minimum.
+	if d := time.Since(t0); d < 90*time.Millisecond {
+		t.Errorf("elapsed %v: backoff not applied", d)
+	}
 }

@@ -1,0 +1,15 @@
+// Package broker implements the remaining processing steps of thesis
+// Ch. 2: request, discovery, brokering, execution and control. A request
+// names the abstract operations it needs (with interface requirements,
+// attribute constraints and locality affinities); the discovery step finds
+// candidate services through a WSDA query interface; the brokering step
+// maps operations to concrete service endpoints (an invocation schedule);
+// the execution step invokes them with failover; and the control step
+// monitors lifecycle with timeouts so that a stalled service does not hang
+// the request.
+//
+// Discovery runs through the internal/wsda query interfaces (local
+// registry or remote node alike); execution resilience — exponential
+// failover backoff and the per-service circuit breaker — builds on
+// internal/resilience.
+package broker

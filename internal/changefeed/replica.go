@@ -78,13 +78,13 @@ func (c Config) withDefaults() Config {
 
 // Stats is a snapshot of a replica's replication progress.
 type Stats struct {
-	Cursor     uint64 // primary generation applied through
-	PrimaryGen uint64 // latest primary generation observed
-	Lag        uint64 // PrimaryGen - Cursor
-	Applied    int64  // deltas applied (bootstrap tuples excluded)
-	Bootstraps int64  // snapshot bootstraps, initial one included
-	FeedErrors int64  // failed feed/snapshot rounds
-	LastSync   time.Time
+	Cursor     uint64    // primary generation applied through
+	PrimaryGen uint64    // latest primary generation observed
+	Lag        uint64    // PrimaryGen - Cursor
+	Applied    int64     // deltas applied (bootstrap tuples excluded)
+	Bootstraps int64     // snapshot bootstraps, initial one included
+	FeedErrors int64     // failed feed/snapshot rounds
+	LastSync   time.Time // wall-clock time of the last successful sync
 }
 
 // Replica tails a primary's change feed into a local registry. Create with

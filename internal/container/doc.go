@@ -1,0 +1,11 @@
+// Package container implements centralized virtual node hosting (thesis
+// Ch. 6.8–6.9): a container concentrates many UPDF database nodes into one
+// hosting environment. Virtual nodes keep their identity — address, local
+// registry, neighbor links — but messages between two nodes of the same
+// container short-circuit the network stack, and the container can answer a
+// query over all of its virtual nodes with a single local evaluation pass.
+//
+// Virtual nodes are ordinary internal/updf nodes over ordinary
+// internal/registry databases; only the internal/pdp transport between
+// co-hosted nodes is short-circuited.
+package container

@@ -1,9 +1,3 @@
-// Package experiments implements the reproduction of every table and
-// figure in the evaluation (see DESIGN.md for the experiment index E1–E15
-// and the mapping to thesis chapters). Each experiment is a pure function
-// from parameters to a Table so that both the benchmark suite
-// (bench_test.go) and the harness binary (cmd/benchharness) share one
-// implementation.
 package experiments
 
 import (
@@ -14,11 +8,11 @@ import (
 
 // Table is one regenerated table or figure: a titled grid of cells.
 type Table struct {
-	ID     string // experiment id, e.g. "E5"
-	Title  string
-	Note   string // provenance and interpretation notes
-	Header []string
-	Rows   [][]string
+	ID     string     // experiment id, e.g. "E5"
+	Title  string     // one-line table caption
+	Note   string     // provenance and interpretation notes
+	Header []string   // column names
+	Rows   [][]string // data cells, row-major
 }
 
 // Add appends a row.

@@ -366,3 +366,31 @@ func TestE15(t *testing.T) {
 	}
 	t.Log("\n" + tab.String())
 }
+
+func TestE16(t *testing.T) {
+	tab, err := E16FaultTolerance([]float64{0.2}, []float64{0.25}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 retry settings for the drop level + 2 breaker settings for the
+	// partition fraction.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// Retries must not lower completeness at the same seed.
+	if off, on := cellFloat(t, tab.Rows[0][5]), cellFloat(t, tab.Rows[1][5]); on < off {
+		t.Errorf("completeness with retries %.2f below baseline %.2f", on, off)
+	}
+	t.Log("\n" + tab.String())
+}
+
+func TestE16AbortDegradation(t *testing.T) {
+	tab, err := E16AbortDegradation([]float64{0.15}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	t.Log("\n" + tab.String())
+}

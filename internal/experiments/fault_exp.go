@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/simnet"
+	"wsda/internal/topology"
+	"wsda/internal/updf"
+	"wsda/internal/workload"
+)
+
+// faultRun aggregates the outcome of a batch of queries over a faulty
+// network.
+type faultRun struct {
+	success int     // queries that came back complete with full recall
+	compl   float64 // mean completeness (responded / contacted)
+	hits    float64 // mean result items per query
+	latency time.Duration
+}
+
+// runFaulted executes `queries` sequential floods over an n-node random
+// graph behind the given fault setup and aggregates the outcomes. The
+// sequential order matters for the partition rows: it lets the circuit
+// breaker learn from early failures and speed up later queries.
+func runFaulted(n, queries int, seed int64, retries, breakerThreshold int,
+	deadline, loop time.Duration, abortPolicy string,
+	setup func(*simnet.Faults)) (faultRun, error) {
+
+	f := simnet.NewFaults(seed)
+	if setup != nil {
+		setup(f)
+	}
+	net := simnet.New(simnet.Config{Faults: f})
+	defer net.Close()
+	gen := workload.NewGen(1)
+	c, err := updf.BuildCluster(topology.Random(n, 3, seed), updf.ClusterConfig{
+		Net:              net,
+		AbortPolicy:      abortPolicy,
+		AbortFloor:       100 * time.Millisecond,
+		MaxRetries:       retries,
+		RetryInterval:    30 * time.Millisecond,
+		BreakerThreshold: breakerThreshold,
+		BreakerCooldown:  time.Minute,
+		RegistryFor: func(i int) *registry.Registry {
+			r := registry.New(registry.Config{Name: fmt.Sprintf("reg%d", i), DefaultTTL: time.Hour})
+			if _, err := r.Publish(gen.Tuple(i), time.Hour); err != nil {
+				panic(err)
+			}
+			return r
+		},
+	})
+	if err != nil {
+		return faultRun{}, err
+	}
+	defer c.Close()
+	o, err := updf.NewOriginator("originator", net, nil)
+	if err != nil {
+		return faultRun{}, err
+	}
+	defer o.Close()
+
+	var out faultRun
+	for q := 0; q < queries; q++ {
+		rs, err := o.Submit(updf.QuerySpec{
+			Query: allServicesQuery, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+			LoopTimeout: loop, AbortTimeout: deadline,
+			MaxRetries: retries, RetryInterval: 30 * time.Millisecond,
+		})
+		if err != nil {
+			return faultRun{}, err
+		}
+		if rs.Complete && len(rs.Items) == n {
+			out.success++
+		}
+		out.compl += rs.Completeness()
+		out.hits += float64(len(rs.Items))
+		out.latency += rs.Elapsed
+	}
+	out.compl /= float64(queries)
+	out.hits /= float64(queries)
+	out.latency /= time.Duration(queries)
+	return out, nil
+}
+
+// E16FaultTolerance sweeps link drop rate and partition fraction against
+// query success rate, completeness and latency, with retransmission and
+// the circuit breaker on or off. It backs the resilience claims in
+// DESIGN.md: retries recover most of the recall a lossy network destroys,
+// and the breaker turns a partitioned subtree from a per-query stall into
+// an honestly-reported gap.
+func E16FaultTolerance(drops, partFracs []float64, queries int) (*Table, error) {
+	const n = 12
+	t := &Table{
+		ID:    "E16",
+		Title: fmt.Sprintf("Query resilience under injected faults, random graph n=%d, %d queries/cell", n, queries),
+		Note: "success = complete with full recall. drop rows compare retries off/on at the\n" +
+			"same seed; partition rows cut a node fraction off and let the breaker learn\n" +
+			"across sequential queries (latency is the mean, so later fast queries show).",
+		Header: []string{"fault", "level", "retries", "breaker", "success", "completeness", "hits", "latency"},
+	}
+	const (
+		deadline = 1200 * time.Millisecond
+		loop     = 6 * time.Second
+	)
+	for _, drop := range drops {
+		for _, retries := range []int{0, 3} {
+			r, err := runFaulted(n, queries, 7, retries, 0, deadline, loop, "",
+				func(f *simnet.Faults) { f.SetDrop(drop) })
+			if err != nil {
+				return nil, err
+			}
+			t.Add("drop", fmt.Sprintf("%.0f%%", drop*100), fint(retries), "off",
+				fmt.Sprintf("%d/%d", r.success, queries), ffloat(r.compl), ffloat(r.hits), fdur(r.latency))
+		}
+	}
+	for _, frac := range partFracs {
+		cut := int(float64(n) * frac)
+		if cut < 1 {
+			cut = 1
+		}
+		setup := func(f *simnet.Faults) {
+			var near, far []string
+			for i := 0; i < n-cut; i++ {
+				near = append(near, fmt.Sprintf("node/%d", i))
+			}
+			for i := n - cut; i < n; i++ {
+				far = append(far, fmt.Sprintf("node/%d", i))
+			}
+			// The originator stays ungrouped so it can reach the entry node.
+			f.Partition(near, far)
+		}
+		for _, breaker := range []int{0, 2} {
+			r, err := runFaulted(n, queries, 7, 0, breaker, deadline, loop, "", setup)
+			if err != nil {
+				return nil, err
+			}
+			on := "off"
+			if breaker > 0 {
+				on = "on"
+			}
+			t.Add("partition", fmt.Sprintf("%.0f%%", frac*100), "0", on,
+				fmt.Sprintf("%d/%d", r.success, queries), ffloat(r.compl), ffloat(r.hits), fdur(r.latency))
+		}
+	}
+	return t, nil
+}
+
+// E16AbortDegradation compares the dynamic abort timeout (per-hop halving)
+// with a static loop-timeout-only deadline as loss increases. The dynamic
+// policy degrades gracefully — partial results arrive by the user deadline
+// — while the static policy cliffs: any lost final strands the query
+// against the full loop timeout before anything is delivered.
+func E16AbortDegradation(drops []float64, queries int) (*Table, error) {
+	const n = 12
+	const (
+		deadline = 600 * time.Millisecond
+		loop     = 2500 * time.Millisecond
+	)
+	t := &Table{
+		ID: "E16B",
+		Title: fmt.Sprintf("Dynamic abort vs. static loop timeout under loss, n=%d, deadline %v, loop %v",
+			n, deadline, loop),
+		Note: "no retries: a lost final forces a timeout somewhere. dynamic-abort halves the\n" +
+			"budget per hop and returns the reachable part by the deadline; static-loop\n" +
+			"waits out the full loop timeout before giving up on a silent subtree.",
+		Header: []string{"drop", "policy", "success", "completeness", "latency"},
+	}
+	for _, drop := range drops {
+		for _, policy := range []string{"dynamic-abort", "static-loop"} {
+			dl, abortPolicy := deadline, ""
+			if policy == "static-loop" {
+				// Disable the dynamic budget: every hop inherits an abort
+				// deadline equal to the static loop timeout, as in plain
+				// Gnutella-style TTL flooding.
+				dl, abortPolicy = loop, updf.AbortInherit
+			}
+			r, err := runFaulted(n, queries, 21, 0, 0, dl, loop, abortPolicy,
+				func(f *simnet.Faults) { f.SetDrop(drop) })
+			if err != nil {
+				return nil, err
+			}
+			t.Add(fmt.Sprintf("%.0f%%", drop*100), policy,
+				fmt.Sprintf("%d/%d", r.success, queries), ffloat(r.compl), fdur(r.latency))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,11 @@
+// Package federation implements the hierarchical deployment model the
+// thesis contrasts with P2P querying (Ch. 3 deployment models; related
+// work on MDS GIIS/GRIS hierarchies): child registries periodically
+// replicate their live tuples up to a parent, so a single query at the
+// root covers the whole tree — at the price of replication traffic and a
+// staleness bound equal to the replication period.
+//
+// The bridge speaks the WSDA primitives only (MinQuery to read, Consumer
+// to write), so child and parent may be local registries or remote HTTP
+// nodes interchangeably.
+package federation

@@ -1,0 +1,9 @@
+// Package pdp implements the Peer Database Protocol of thesis Ch. 7: the
+// high-level messaging model and concrete messages that carry UPDF queries,
+// results, receipts and referrals between originator and nodes, plus the
+// XML wire encoding used by the HTTP protocol binding.
+//
+// internal/updf implements the node behavior on top of this protocol;
+// internal/simnet provides the simulated in-process transport and the
+// HTTP binding (NewHTTPNetwork) the wide-area one.
+package pdp

@@ -1,7 +1,3 @@
-// Package pdp implements the Peer Database Protocol of thesis Ch. 7: the
-// high-level messaging model and concrete messages that carry UPDF queries,
-// results, receipts and referrals between originator and nodes, plus the
-// XML wire encoding used by the HTTP protocol binding.
 package pdp
 
 import (
@@ -110,7 +106,7 @@ type Scope struct {
 
 // Message is one PDP protocol data unit.
 type Message struct {
-	Kind Kind
+	Kind Kind   // message kind (query/result/receipt/...)
 	TxID string // transaction identifier; constant across one query's flood
 	From string // sender node address
 	To   string // receiver node address
@@ -121,7 +117,7 @@ type Message struct {
 	Mode     ResponseMode // response mode
 	Origin   string       // originator address for Direct/Metadata/Fetch
 	Pipeline bool         // stream results item-by-item across nodes
-	Scope    Scope
+	Scope    Scope        // radius and timeout bounds, adjusted per hop
 
 	// Result fields.
 	Items    xq.Sequence // result items (empty for pure receipts)
@@ -129,6 +125,15 @@ type Message struct {
 	Source   string      // node that produced the items (survives relaying)
 	Final    bool        // no more results will follow from this subtree
 	Err      string      // downstream failure note (best effort)
+
+	// Partial-result accounting (final results and receipts only): how many
+	// nodes the subtree behind this response tried to reach, how many
+	// actually answered, and whether the subtree believes no results were
+	// lost to drops, timeouts, or skipped peers. Aggregated hop-by-hop so
+	// the originator can report end-to-end completeness.
+	NodesContacted int  // nodes this subtree attempted to contact (incl. self)
+	NodesResponded int  // nodes that delivered an answer (incl. self)
+	Complete       bool // true when no subtree results were lost
 
 	// Referral/Pong fields.
 	Neighbors []string // neighbor addresses offered to the originator
@@ -186,6 +191,15 @@ func (m *Message) ToXML() *xmldoc.Node {
 		}
 		if m.Err != "" {
 			el.SetAttr("err", m.Err)
+		}
+		if m.NodesContacted > 0 {
+			el.SetAttr("nodes-contacted", strconv.Itoa(m.NodesContacted))
+		}
+		if m.NodesResponded > 0 {
+			el.SetAttr("nodes-responded", strconv.Itoa(m.NodesResponded))
+		}
+		if m.Complete {
+			el.SetAttr("complete", "true")
 		}
 		if len(m.Items) > 0 {
 			el.AppendChild(wsda.MarshalSequence(m.Items))
@@ -249,6 +263,19 @@ func FromXML(n *xmldoc.Node) (*Message, error) {
 		m.Final = s == "true"
 	}
 	m.Err, _ = n.Attr("err")
+	if s, ok := n.Attr("nodes-contacted"); ok {
+		if m.NodesContacted, err = strconv.Atoi(s); err != nil {
+			return nil, fmt.Errorf("pdp: bad nodes-contacted %q", s)
+		}
+	}
+	if s, ok := n.Attr("nodes-responded"); ok {
+		if m.NodesResponded, err = strconv.Atoi(s); err != nil {
+			return nil, fmt.Errorf("pdp: bad nodes-responded %q", s)
+		}
+	}
+	if s, ok := n.Attr("complete"); ok {
+		m.Complete = s == "true"
+	}
 	for _, c := range n.ChildElements() {
 		switch c.LocalName() {
 		case "scope":

@@ -142,3 +142,30 @@ func TestKindAndModeNames(t *testing.T) {
 		}
 	}
 }
+
+func TestCompletenessRoundTrip(t *testing.T) {
+	m := &Message{
+		Kind: KindReceipt, TxID: "t", From: "a", To: "b", Final: true,
+		NodesContacted: 12, NodesResponded: 9, Complete: false,
+	}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.NodesContacted != 12 || got.NodesResponded != 9 || got.Complete {
+		t.Errorf("accounting = %d/%d complete=%v", got.NodesContacted, got.NodesResponded, got.Complete)
+	}
+
+	m.Complete = true
+	got, err = Decode(m.Encode())
+	if err != nil || !got.Complete {
+		t.Errorf("complete flag lost: %+v %v", got, err)
+	}
+
+	// Absent attributes decode to zero values.
+	plain := &Message{Kind: KindResult, TxID: "t", From: "a", To: "b"}
+	got, err = Decode(plain.Encode())
+	if err != nil || got.NodesContacted != 0 || got.NodesResponded != 0 || got.Complete {
+		t.Errorf("zero-value accounting: %+v %v", got, err)
+	}
+}

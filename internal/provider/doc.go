@@ -1,0 +1,11 @@
+// Package provider implements the content-provider side of the hybrid
+// pull/push model (thesis Ch. 4.2): a provider owns a set of content links,
+// publishes their tuples into one or more registries under soft-state
+// lifetimes, and keeps them alive with periodic heartbeat refreshes. When
+// the provider stops (crash, shutdown, network partition), its tuples
+// silently expire everywhere — no distributed cleanup protocol needed.
+//
+// Publication and refresh go through the internal/wsda Consumer
+// primitive, so a provider can feed a local registry or a remote HTTP
+// node interchangeably.
+package provider

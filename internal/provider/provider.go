@@ -1,9 +1,3 @@
-// Package provider implements the content-provider side of the hybrid
-// pull/push model (thesis Ch. 4.2): a provider owns a set of content links,
-// publishes their tuples into one or more registries under soft-state
-// lifetimes, and keeps them alive with periodic heartbeat refreshes. When
-// the provider stops (crash, shutdown, network partition), its tuples
-// silently expire everywhere — no distributed cleanup protocol needed.
 package provider
 
 import (

@@ -1,0 +1,13 @@
+// Package registry implements the hyper registry of thesis Ch. 4: a
+// centralized database node for discovery of dynamic distributed content.
+// It maintains a soft-state tuple set populated by autonomous remote
+// content providers, caches content copies, supports flexible freshness
+// driven by provider, registry and client, throttles content pulls, and
+// answers both minimal queries (attribute filters) and full XQueries over
+// the tuple-set view.
+//
+// The data model lives in internal/tuple (over internal/xmldoc trees),
+// queries are evaluated by internal/xq, and lifetimes are enforced by the
+// generic internal/softstate store. internal/changefeed replicates the
+// registry's journal to read replicas.
+package registry

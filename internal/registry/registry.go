@@ -1,10 +1,3 @@
-// Package registry implements the hyper registry of thesis Ch. 4: a
-// centralized database node for discovery of dynamic distributed content.
-// It maintains a soft-state tuple set populated by autonomous remote
-// content providers, caches content copies, supports flexible freshness
-// driven by provider, registry and client, throttles content pulls, and
-// answers both minimal queries (attribute filters) and full XQueries over
-// the tuple-set view.
 package registry
 
 import (
@@ -43,8 +36,8 @@ type Config struct {
 	// expiry; MinTTL/MaxTTL clamp client-requested lifetimes (a registry is
 	// free to shorten or lengthen requested TTLs, thesis Ch. 4.6).
 	DefaultTTL time.Duration
-	MinTTL     time.Duration
-	MaxTTL     time.Duration
+	MinTTL     time.Duration // lower clamp on granted lifetimes
+	MaxTTL     time.Duration // upper clamp on granted lifetimes
 
 	// Fetcher pulls content copies from providers; nil disables pulls
 	// (cached or inline-pushed content only).
@@ -258,9 +251,9 @@ func (r *Registry) Sweep() int { return r.store.Sweep() }
 // Filter selects tuples by attribute for the minimal query interface
 // (thesis Ch. 5.2: MinQuery primitive). Zero fields match everything.
 type Filter struct {
-	Type       string
-	Context    string
-	LinkPrefix string
+	Type       string // exact tuple type, e.g. "service"
+	Context    string // exact tuple context
+	LinkPrefix string // prefix match on the tuple link
 }
 
 func (f Filter) match(t *tuple.Tuple) bool {

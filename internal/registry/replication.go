@@ -18,8 +18,8 @@ import (
 // state with TS3 carrying the absolute soft-state deadline, from which the
 // applier derives the remaining lifetime under its own clock.
 type Change struct {
-	Key   string
-	Tuple *tuple.Tuple
+	Key   string       // the tuple key (its link)
+	Tuple *tuple.Tuple // current state; nil = deleted/expired
 }
 
 // Gen returns the registry's store generation — the replication cursor

@@ -1,0 +1,42 @@
+package resilience
+
+import "time"
+
+// Backoff produces an exponential retry-delay series: Initial, 2·Initial,
+// 4·Initial, … capped at Max. The zero value is not usable; fill Initial
+// (and optionally Max) or use NewBackoff. Backoff is a value type — copy
+// it per retry loop; it is not safe for concurrent use.
+type Backoff struct {
+	// Initial is the first delay. Required.
+	Initial time.Duration
+	// Max caps the delay; zero means no cap.
+	Max time.Duration
+
+	attempt int
+}
+
+// NewBackoff returns a Backoff starting at initial and capped at max.
+func NewBackoff(initial, max time.Duration) Backoff {
+	return Backoff{Initial: initial, Max: max}
+}
+
+// Next returns the delay before the next attempt and advances the series.
+func (b *Backoff) Next() time.Duration {
+	d := b.Initial << b.attempt
+	if b.attempt < 62 { // avoid shifting into the sign bit
+		b.attempt++
+	}
+	if d <= 0 || (b.Max > 0 && d > b.Max) {
+		d = b.Max
+		if d <= 0 {
+			d = b.Initial
+		}
+	}
+	return d
+}
+
+// Attempt returns how many delays have been handed out so far.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Reset restarts the series from Initial.
+func (b *Backoff) Reset() { b.attempt = 0 }

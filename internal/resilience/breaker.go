@@ -1,0 +1,168 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes a Breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures open a key's circuit.
+	// Zero means 3.
+	Threshold int
+	// Cooldown is how long an opened circuit rejects traffic before one
+	// probe is allowed through again. Zero means 5s.
+	Cooldown time.Duration
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+
+	// OnOpen, when set, is called (outside the breaker lock) each time a
+	// key's circuit transitions from closed to open — the hook the callers
+	// use to count circuit openings in telemetry.
+	OnOpen func(key string)
+}
+
+// Breaker is a per-key circuit breaker: after Threshold consecutive
+// failures on a key, Allow rejects that key for Cooldown, after which a
+// single probe is let through (half-open); a success closes the circuit, a
+// failure re-opens it for another Cooldown. Keys are typically peer
+// addresses (updf) or service names (broker). All methods are safe for
+// concurrent use.
+//
+// The breaker is the feedback path between delivery failures and neighbor
+// selection: a peer that keeps timing out stops being selected at all
+// instead of costing every future query its full retry budget.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu     sync.Mutex
+	states map[string]*breakerState
+}
+
+type breakerState struct {
+	failures  int       // consecutive failures
+	openUntil time.Time // zero when closed
+	probing   bool      // half-open probe in flight
+}
+
+// NewBreaker creates a breaker. A nil *Breaker is valid and never trips:
+// Allow returns true and Success/Failure are no-ops, so callers can wire
+// the breaker optionally without branching.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg, states: make(map[string]*breakerState)}
+}
+
+// Allow reports whether traffic to key may proceed. While a circuit is
+// open, Allow returns false until the cooldown elapses; the first Allow
+// after the cooldown returns true exactly once (the half-open probe) and
+// further calls keep rejecting until that probe settles via Success or
+// Failure.
+func (b *Breaker) Allow(key string) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.states[key]
+	if !ok || st.openUntil.IsZero() {
+		return true
+	}
+	if b.cfg.Now().Before(st.openUntil) {
+		return false
+	}
+	if st.probing {
+		return false
+	}
+	st.probing = true
+	return true
+}
+
+// Success records a successful interaction with key, closing its circuit
+// and zeroing its consecutive-failure count.
+func (b *Breaker) Success(key string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st, ok := b.states[key]; ok {
+		st.failures = 0
+		st.openUntil = time.Time{}
+		st.probing = false
+	}
+}
+
+// Failure records a failed interaction with key and returns true when this
+// failure opened (or re-opened) the circuit.
+func (b *Breaker) Failure(key string) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	st, ok := b.states[key]
+	if !ok {
+		st = &breakerState{}
+		b.states[key] = st
+	}
+	st.failures++
+	opened := false
+	if st.failures >= b.cfg.Threshold || st.probing {
+		wasOpen := !st.openUntil.IsZero() && b.cfg.Now().Before(st.openUntil)
+		st.openUntil = b.cfg.Now().Add(b.cfg.Cooldown)
+		st.probing = false
+		opened = !wasOpen
+	}
+	b.mu.Unlock()
+	if opened && b.cfg.OnOpen != nil {
+		b.cfg.OnOpen(key)
+	}
+	return opened
+}
+
+// Open reports whether key's circuit is currently open (rejecting).
+func (b *Breaker) Open(key string) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.states[key]
+	return ok && !st.openUntil.IsZero() && b.cfg.Now().Before(st.openUntil)
+}
+
+// OpenCount returns how many keys currently have an open circuit — the
+// value behind the wsda_pdp_breaker_open gauge.
+func (b *Breaker) OpenCount() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Now()
+	n := 0
+	for _, st := range b.states {
+		if !st.openUntil.IsZero() && now.Before(st.openUntil) {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset forgets all state (between test runs or topology rebuilds).
+func (b *Breaker) Reset() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.states = make(map[string]*breakerState)
+}

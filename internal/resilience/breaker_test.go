@@ -1,0 +1,124 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	now := time.UnixMilli(0)
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second,
+		Now: func() time.Time { return now }})
+
+	if !b.Allow("peer") {
+		t.Fatal("fresh key must be allowed")
+	}
+	if b.Failure("peer") || b.Failure("peer") {
+		t.Fatal("circuit opened before threshold")
+	}
+	if !b.Allow("peer") {
+		t.Fatal("still closed at 2 failures")
+	}
+	if !b.Failure("peer") {
+		t.Fatal("third failure must open the circuit")
+	}
+	if b.Allow("peer") {
+		t.Fatal("open circuit must reject")
+	}
+	if !b.Open("peer") || b.OpenCount() != 1 {
+		t.Fatalf("Open=%v OpenCount=%d", b.Open("peer"), b.OpenCount())
+	}
+	// Other keys are unaffected.
+	if !b.Allow("other") {
+		t.Fatal("unrelated key rejected")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.UnixMilli(0)
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second,
+		Now: func() time.Time { return now }})
+	b.Failure("peer")
+	if b.Allow("peer") {
+		t.Fatal("open circuit must reject")
+	}
+	now = now.Add(1100 * time.Millisecond)
+	if !b.Allow("peer") {
+		t.Fatal("cooldown elapsed: one probe must pass")
+	}
+	if b.Allow("peer") {
+		t.Fatal("second call during probe must reject")
+	}
+	// Probe fails: re-opens for another cooldown.
+	if !b.Failure("peer") {
+		t.Fatal("failed probe must re-open")
+	}
+	if b.Allow("peer") {
+		t.Fatal("re-opened circuit must reject")
+	}
+	now = now.Add(1100 * time.Millisecond)
+	if !b.Allow("peer") {
+		t.Fatal("second probe must pass")
+	}
+	b.Success("peer")
+	if !b.Allow("peer") || b.OpenCount() != 0 {
+		t.Fatal("successful probe must close the circuit")
+	}
+}
+
+func TestBreakerOnOpenHook(t *testing.T) {
+	opens := 0
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute,
+		OnOpen: func(string) { opens++ }})
+	b.Failure("a")
+	b.Failure("a") // already open: no second event
+	b.Failure("b")
+	if opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+}
+
+func TestNilBreakerIsNoop(t *testing.T) {
+	var b *Breaker
+	if !b.Allow("x") || b.Failure("x") || b.Open("x") || b.OpenCount() != 0 {
+		t.Fatal("nil breaker must never trip")
+	}
+	b.Success("x")
+	b.Reset()
+}
+
+func TestBackoffSeries(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second)
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("attempt %d: %v, want %v", i, got, w)
+		}
+	}
+	if b.Attempt() != len(want) {
+		t.Fatalf("Attempt = %d", b.Attempt())
+	}
+	b.Reset()
+	if got := b.Next(); got != 100*time.Millisecond {
+		t.Fatalf("after reset: %v", got)
+	}
+}
+
+func TestBackoffNoOverflow(t *testing.T) {
+	b := NewBackoff(time.Second, 0)
+	var last time.Duration
+	for i := 0; i < 80; i++ {
+		d := b.Next()
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", i, d)
+		}
+		last = d
+	}
+	if last != time.Second {
+		// With no cap, overflowing shifts fall back to Initial.
+		t.Fatalf("uncapped overflow fallback = %v, want Initial", last)
+	}
+}

@@ -1,0 +1,11 @@
+// Package resilience holds the small fault-handling primitives shared by
+// the query plane: a per-key circuit Breaker (consecutive-failure
+// threshold, cooldown, half-open probe) and an exponential Backoff series.
+//
+// internal/updf keys its Breaker by neighbor address so persistently dead
+// peers stop being selected for query forwarding; internal/broker keys one
+// by service name so invocation failover skips services that just failed
+// for someone else. Both knobs surface in telemetry as
+// wsda_pdp_breaker_open / wsda_broker_breaker_open. See DESIGN.md, "Fault
+// model and resilience".
+package resilience

@@ -1,0 +1,12 @@
+// Package simnet provides the simulated network substrate substituted for
+// the paper's wide-area Grid testbed (see DESIGN.md). It implements
+// pdp.Network with a configurable per-link latency model, optional message
+// loss injection, and message/byte accounting. Delivery preserves per-
+// destination ordering for equal-latency links.
+//
+// Beyond the static latency/loss hooks, the Faults type injects runtime
+// faults — per-link drop probability, delay jitter, reordering, network
+// partitions, node crash/restart — and FaultSchedule scripts timed fault
+// sequences, both seedable for reproducible chaos experiments (E16).
+// internal/updf and internal/experiments are the main consumers.
+package simnet

@@ -1,0 +1,231 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"wsda/internal/pdp"
+)
+
+// Faults is a seedable, runtime-mutable fault model consulted on every
+// Send. It composes four failure classes, each independently scriptable:
+//
+//   - message loss: a default drop probability plus per-link overrides;
+//   - delay jitter: a uniform random addition to the link delay;
+//   - reordering: with some probability a message bypasses the per-link
+//     FIFO queue and may overtake messages sent before it;
+//   - partitions and crashes: messages crossing a partition boundary, or
+//     touching a crashed address, vanish silently.
+//
+// All randomness comes from one seeded source, so a fault run is
+// reproducible. The zero value is not usable; call NewFaults. Faults is
+// safe for concurrent use (Send paths and fault-schedule timers race by
+// design).
+type Faults struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	defaultDrop float64
+	linkDrop    map[string]float64 // from\x00to -> probability
+
+	jitter  time.Duration
+	reorder float64
+
+	group map[string]int // partition group per address; absent = talks to all
+	down  map[string]bool
+
+	// drop causes, for diagnostics and E16 tables.
+	lossDrops, partitionDrops, crashDrops int64
+}
+
+// FaultStats breaks injected message loss down by cause.
+type FaultStats struct {
+	// LossDrops counts messages lost to random per-link loss.
+	LossDrops int64
+	// PartitionDrops counts messages that tried to cross a partition.
+	PartitionDrops int64
+	// CrashDrops counts messages from or to a crashed address.
+	CrashDrops int64
+}
+
+// NewFaults creates a fault model with no faults armed. seed 0 is replaced
+// by 1 so the zero seed is still deterministic.
+func NewFaults(seed int64) *Faults {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Faults{
+		rng:      rand.New(rand.NewSource(seed)),
+		linkDrop: make(map[string]float64),
+		group:    make(map[string]int),
+		down:     make(map[string]bool),
+	}
+}
+
+// SetDrop sets the default per-message loss probability for every link.
+func (f *Faults) SetDrop(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.defaultDrop = p
+}
+
+// SetLinkDrop overrides the loss probability of one directed link.
+func (f *Faults) SetLinkDrop(from, to string, p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.linkDrop[from+"\x00"+to] = p
+}
+
+// SetJitter adds a uniform random delay in [0, d) to every delivery.
+func (f *Faults) SetJitter(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.jitter = d
+}
+
+// SetReorder sets the probability that a message bypasses its link's FIFO
+// queue, letting it overtake earlier messages on the same link.
+func (f *Faults) SetReorder(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reorder = p
+}
+
+// Partition splits the network: addresses in different groups cannot
+// exchange messages. Addresses in no group keep talking to everyone (so an
+// experiment can partition the peer overlay while leaving its originator
+// connected). Calling Partition replaces any previous partition.
+func (f *Faults) Partition(groups ...[]string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.group = make(map[string]int)
+	for i, g := range groups {
+		for _, addr := range g {
+			f.group[addr] = i
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (f *Faults) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.group = make(map[string]int)
+}
+
+// Crash marks an address down: everything it sends or receives is lost
+// silently, like a killed process whose peers get no RST. The mailbox
+// stays registered, so Restart is instantaneous.
+func (f *Faults) Crash(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down[addr] = true
+}
+
+// Restart brings a crashed address back.
+func (f *Faults) Restart(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.down, addr)
+}
+
+// Stats returns the per-cause drop counters.
+func (f *Faults) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FaultStats{
+		LossDrops:      f.lossDrops,
+		PartitionDrops: f.partitionDrops,
+		CrashDrops:     f.crashDrops,
+	}
+}
+
+// filter decides one message's fate: lost (drop=true) or delivered with
+// extra delay and possibly outside the link FIFO (bypass=true).
+func (f *Faults) filter(msg *pdp.Message) (drop, bypass bool, extra time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[msg.From] || f.down[msg.To] {
+		f.crashDrops++
+		return true, false, 0
+	}
+	if gf, okf := f.group[msg.From]; okf {
+		if gt, okt := f.group[msg.To]; okt && gf != gt {
+			f.partitionDrops++
+			return true, false, 0
+		}
+	}
+	p := f.defaultDrop
+	if lp, ok := f.linkDrop[msg.From+"\x00"+msg.To]; ok {
+		p = lp
+	}
+	if p > 0 && f.rng.Float64() < p {
+		f.lossDrops++
+		return true, false, 0
+	}
+	if f.jitter > 0 {
+		extra = time.Duration(f.rng.Int63n(int64(f.jitter)))
+	}
+	if f.reorder > 0 && f.rng.Float64() < f.reorder {
+		bypass = true
+	}
+	return false, bypass, extra
+}
+
+// FaultEvent is one timed step of a fault schedule.
+type FaultEvent struct {
+	// At is the event's offset from Schedule.Run.
+	At time.Duration
+	// Name labels the event in logs and experiment notes.
+	Name string
+	// Apply mutates the fault model (and may touch the network, e.g.
+	// Unregister a node to simulate a crash that severs the mailbox).
+	Apply func(f *Faults, n *Network)
+}
+
+// FaultSchedule is a scripted sequence of timed fault events — the
+// reproducible "chaos script" an experiment or test plays against a
+// network. Build it with At, then Run it.
+type FaultSchedule struct {
+	events []FaultEvent
+}
+
+// At appends an event and returns the schedule for chaining.
+func (s *FaultSchedule) At(d time.Duration, name string, apply func(f *Faults, n *Network)) *FaultSchedule {
+	s.events = append(s.events, FaultEvent{At: d, Name: name, Apply: apply})
+	return s
+}
+
+// Events returns the schedule's events sorted by offset.
+func (s *FaultSchedule) Events() []FaultEvent {
+	out := append([]FaultEvent(nil), s.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Run arms one timer per event against the network's fault model and
+// returns a stop function that cancels the events still pending. Events
+// whose offset already passed fire immediately. Run panics if the network
+// was built without a Faults model.
+func (s *FaultSchedule) Run(n *Network) (stop func()) {
+	f := n.cfg.Faults
+	if f == nil {
+		panic("simnet: FaultSchedule.Run on a network without Config.Faults")
+	}
+	timers := make([]*time.Timer, 0, len(s.events))
+	for _, ev := range s.Events() {
+		ev := ev
+		d := ev.At
+		if d < 0 {
+			d = 0
+		}
+		timers = append(timers, time.AfterFunc(d, func() { ev.Apply(f, n) }))
+	}
+	return func() {
+		for _, t := range timers {
+			t.Stop()
+		}
+	}
+}

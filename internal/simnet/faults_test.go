@@ -1,0 +1,277 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wsda/internal/pdp"
+)
+
+// collector registers an address and records everything delivered to it.
+type collector struct {
+	mu   sync.Mutex
+	got  []*pdp.Message
+	cond *sync.Cond
+}
+
+func newCollector(t *testing.T, n *Network, addr string) *collector {
+	t.Helper()
+	c := &collector{}
+	c.cond = sync.NewCond(&c.mu)
+	if err := n.Register(addr, func(m *pdp.Message) {
+		c.mu.Lock()
+		c.got = append(c.got, m)
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	}); err != nil {
+		t.Fatalf("Register(%s): %v", addr, err)
+	}
+	return c
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func (c *collector) waitFor(t *testing.T, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.got) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d/%d messages", len(c.got), want)
+		}
+		c.mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		c.mu.Lock()
+	}
+}
+
+func TestFaultsDropAll(t *testing.T) {
+	f := NewFaults(7)
+	f.SetDrop(1.0)
+	n := New(Config{Faults: f})
+	defer n.Close()
+	c := newCollector(t, n, "b")
+	for i := 0; i < 20; i++ {
+		if err := n.Send(msg("a", "b")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if c.count() != 0 {
+		t.Fatalf("got %d messages through a 100%% lossy net", c.count())
+	}
+	if st := f.Stats(); st.LossDrops != 20 {
+		t.Fatalf("LossDrops = %d, want 20", st.LossDrops)
+	}
+	if ns := n.Stats(); ns.Dropped != 20 {
+		t.Fatalf("network Dropped = %d, want 20", ns.Dropped)
+	}
+}
+
+func TestFaultsLinkDropOverride(t *testing.T) {
+	f := NewFaults(7)
+	f.SetDrop(1.0)
+	f.SetLinkDrop("a", "b", 0) // the one clean link
+	n := New(Config{Faults: f})
+	defer n.Close()
+	b := newCollector(t, n, "b")
+	c := newCollector(t, n, "c")
+	for i := 0; i < 10; i++ {
+		_ = n.Send(msg("a", "b"))
+		_ = n.Send(msg("a", "c"))
+	}
+	b.waitFor(t, 10, time.Second)
+	if c.count() != 0 {
+		t.Fatalf("lossy link delivered %d messages", c.count())
+	}
+}
+
+func TestFaultsPartition(t *testing.T) {
+	f := NewFaults(1)
+	f.Partition([]string{"a"}, []string{"b"})
+	n := New(Config{Faults: f})
+	defer n.Close()
+	b := newCollector(t, n, "b")
+	free := newCollector(t, n, "free") // in no group: reachable by all
+
+	_ = n.Send(msg("a", "b"))    // crosses the cut: dropped
+	_ = n.Send(msg("a", "free")) // to ungrouped: delivered
+	free.waitFor(t, 1, time.Second)
+	if b.count() != 0 {
+		t.Fatal("message crossed the partition")
+	}
+	if st := f.Stats(); st.PartitionDrops != 1 {
+		t.Fatalf("PartitionDrops = %d, want 1", st.PartitionDrops)
+	}
+
+	f.Heal()
+	_ = n.Send(msg("a", "b"))
+	b.waitFor(t, 1, time.Second)
+}
+
+func TestFaultsCrashRestart(t *testing.T) {
+	f := NewFaults(1)
+	n := New(Config{Faults: f})
+	defer n.Close()
+	b := newCollector(t, n, "b")
+
+	f.Crash("b")
+	if err := n.Send(msg("a", "b")); err != nil {
+		t.Fatalf("send to crashed node must be silent loss, got %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if b.count() != 0 {
+		t.Fatal("crashed node received a message")
+	}
+	if st := f.Stats(); st.CrashDrops != 1 {
+		t.Fatalf("CrashDrops = %d, want 1", st.CrashDrops)
+	}
+
+	f.Restart("b")
+	_ = n.Send(msg("a", "b"))
+	b.waitFor(t, 1, time.Second)
+}
+
+func TestNetworkCrashRestart(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	b := newCollector(t, n, "b")
+
+	n.Crash("b")
+	if err := n.Send(msg("a", "b")); err != pdp.ErrUnknownAddr {
+		t.Fatalf("send to hard-crashed node: %v, want ErrUnknownAddr", err)
+	}
+	n.Restart("b")
+	if err := n.Send(msg("a", "b")); err != nil {
+		t.Fatalf("send after restart: %v", err)
+	}
+	b.waitFor(t, 1, time.Second)
+
+	// Restarting an address that was never crashed is a no-op.
+	n.Restart("ghost")
+}
+
+func TestFaultsJitterDelays(t *testing.T) {
+	f := NewFaults(3)
+	f.SetJitter(30 * time.Millisecond)
+	n := New(Config{Faults: f})
+	defer n.Close()
+	b := newCollector(t, n, "b")
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		_ = n.Send(msg("a", "b"))
+	}
+	b.waitFor(t, 50, 2*time.Second)
+	// With uniform jitter in [0, 30ms) over 50 messages, at least one draw
+	// lands above 10ms with overwhelming probability.
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("jitter added no measurable delay")
+	}
+}
+
+func TestFaultsReorderBypassesFIFO(t *testing.T) {
+	f := NewFaults(5)
+	f.SetReorder(0.5)
+	n := New(Config{Delay: UniformDelay(5 * time.Millisecond), Faults: f})
+	defer n.Close()
+	b := newCollector(t, n, "b")
+	const total = 200
+	for i := 0; i < total; i++ {
+		m := msg("a", "b")
+		m.Hop = i // tag with the send sequence number
+		_ = n.Send(m)
+	}
+	b.waitFor(t, total, 5*time.Second)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	inversions := 0
+	for i := 1; i < len(b.got); i++ {
+		if b.got[i].Hop < b.got[i-1].Hop {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("reorder injection produced a perfectly ordered stream")
+	}
+}
+
+func TestFaultsDeterministicSeed(t *testing.T) {
+	run := func(seed int64) int64 {
+		f := NewFaults(seed)
+		f.SetDrop(0.5)
+		n := New(Config{Faults: f})
+		defer n.Close()
+		newCollector(t, n, "b")
+		for i := 0; i < 100; i++ {
+			_ = n.Send(msg("a", "b"))
+		}
+		return f.Stats().LossDrops
+	}
+	if a, b := run(42), run(42); a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+}
+
+func TestFaultSchedule(t *testing.T) {
+	f := NewFaults(1)
+	n := New(Config{Faults: f})
+	defer n.Close()
+	b := newCollector(t, n, "b")
+
+	var sched FaultSchedule
+	sched.At(20*time.Millisecond, "heal", func(f *Faults, _ *Network) { f.SetDrop(0) }).
+		At(0, "break", func(f *Faults, _ *Network) { f.SetDrop(1.0) })
+
+	evs := sched.Events()
+	if len(evs) != 2 || evs[0].Name != "break" || evs[1].Name != "heal" {
+		t.Fatalf("events not sorted by offset: %+v", evs)
+	}
+
+	stop := sched.Run(n)
+	defer stop()
+	time.Sleep(5 * time.Millisecond) // "break" has fired
+	_ = n.Send(msg("a", "b"))
+	time.Sleep(40 * time.Millisecond) // "heal" has fired
+	if b.count() != 0 {
+		t.Fatal("message delivered while schedule had the net broken")
+	}
+	_ = n.Send(msg("a", "b"))
+	b.waitFor(t, 1, time.Second)
+}
+
+func TestFaultScheduleStop(t *testing.T) {
+	f := NewFaults(1)
+	n := New(Config{Faults: f})
+	defer n.Close()
+	newCollector(t, n, "b")
+
+	var sched FaultSchedule
+	fired := make(chan struct{})
+	sched.At(25*time.Millisecond, "late", func(*Faults, *Network) { close(fired) })
+	stop := sched.Run(n)
+	stop()
+	select {
+	case <-fired:
+		t.Fatal("stopped schedule still fired")
+	case <-time.After(60 * time.Millisecond):
+	}
+}
+
+func TestFaultScheduleRunWithoutFaultsPanics(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run without Config.Faults must panic")
+		}
+	}()
+	var sched FaultSchedule
+	sched.At(0, "x", func(*Faults, *Network) {})
+	sched.Run(n)
+}

@@ -1,8 +1,3 @@
-// Package simnet provides the simulated network substrate substituted for
-// the paper's wide-area Grid testbed (see DESIGN.md). It implements
-// pdp.Network with a configurable per-link latency model, optional message
-// loss injection, and message/byte accounting. Delivery preserves per-
-// destination ordering for equal-latency links.
 package simnet
 
 import (
@@ -44,6 +39,11 @@ type Config struct {
 	// annotated with from/to/kind/hop and parented under the sender's
 	// span — so a network query's traffic is visible in its hop tree.
 	Tracer *telemetry.Tracer
+
+	// Faults, when set, attaches a scriptable fault model (loss, jitter,
+	// reordering, partitions, crashes) consulted on every Send after the
+	// static Drop hook. See Faults and FaultSchedule.
+	Faults *Faults
 }
 
 // Stats are cumulative network counters.
@@ -63,8 +63,9 @@ type Stats struct {
 type Network struct {
 	cfg Config
 
-	mu    sync.RWMutex
-	boxes map[string]*mailbox
+	mu      sync.RWMutex
+	boxes   map[string]*mailbox
+	crashed map[string]pdp.Handler // handlers saved across Crash/Restart
 
 	linkMu sync.Mutex
 	links  map[string]*link
@@ -78,7 +79,12 @@ type Network struct {
 
 // New creates a network.
 func New(cfg Config) *Network {
-	n := &Network{cfg: cfg, boxes: make(map[string]*mailbox), links: make(map[string]*link)}
+	n := &Network{
+		cfg:     cfg,
+		boxes:   make(map[string]*mailbox),
+		crashed: make(map[string]pdp.Handler),
+		links:   make(map[string]*link),
+	}
 	if m := cfg.Metrics; m != nil {
 		m.CounterFunc("wsda_simnet_messages_total",
 			"Messages accepted for delivery.", n.messages.Load)
@@ -174,6 +180,16 @@ func (n *Network) Send(msg *pdp.Message) error {
 		n.dropped.Add(1)
 		return nil // silent loss, like the real network
 	}
+	var bypassFIFO bool
+	var faultDelay time.Duration
+	if f := n.cfg.Faults; f != nil {
+		var drop bool
+		drop, bypassFIFO, faultDelay = f.filter(msg)
+		if drop {
+			n.dropped.Add(1)
+			return nil
+		}
+	}
 	n.mu.RLock()
 	box, ok := n.boxes[msg.To]
 	n.mu.RUnlock()
@@ -190,9 +206,9 @@ func (n *Network) Send(msg *pdp.Message) error {
 		size = int64(msg.WireSize())
 		n.bytes.Add(size)
 	}
-	var delay time.Duration
+	delay := faultDelay
 	if n.cfg.Delay != nil {
-		delay = n.cfg.Delay(msg.From, msg.To)
+		delay += n.cfg.Delay(msg.From, msg.To)
 	}
 	if n.cfg.Bandwidth > 0 {
 		delay += time.Duration(size * int64(time.Second) / n.cfg.Bandwidth)
@@ -210,11 +226,46 @@ func (n *Network) Send(msg *pdp.Message) error {
 		box.put(msg)
 		return nil
 	}
+	if bypassFIFO {
+		// Reorder injection: deliver on an independent timer so this
+		// message can overtake earlier ones queued on the same link.
+		time.AfterFunc(delay, func() { box.put(msg) })
+		return nil
+	}
 	// The link queue enforces per-link FIFO; with a bandwidth model its
 	// non-decreasing ready times also serialize transfers behind each
 	// other, so a large message delays the ones queued after it.
 	n.linkOf(msg.From, msg.To).push(msg, box, time.Now().Add(delay))
 	return nil
+}
+
+// Crash simulates a node dying at the transport layer: the address is
+// unregistered — pending mail is discarded and senders get
+// pdp.ErrUnknownAddr — but its handler is remembered so Restart can bring
+// the node back without the caller re-plumbing it. For silent loss with the
+// mailbox kept alive, use Faults.Crash instead.
+func (n *Network) Crash(addr string) {
+	n.mu.Lock()
+	if box, ok := n.boxes[addr]; ok {
+		n.crashed[addr] = box.h
+		box.close()
+		delete(n.boxes, addr)
+	}
+	n.mu.Unlock()
+}
+
+// Restart re-registers an address previously taken down by Crash with its
+// saved handler. Restarting an address that was never crashed is a no-op.
+func (n *Network) Restart(addr string) {
+	n.mu.Lock()
+	h, ok := n.crashed[addr]
+	if ok {
+		delete(n.crashed, addr)
+	}
+	n.mu.Unlock()
+	if ok {
+		_ = n.Register(addr, h)
+	}
 }
 
 func (n *Network) linkOf(from, to string) *link {

@@ -1,0 +1,9 @@
+// Package softstate implements the generic soft-state maintenance mechanism
+// of thesis Ch. 2.6: state that is not refreshed before its time-to-live
+// elapses silently expires. This yields reliable, predictable and simple
+// distributed state maintenance in the presence of provider failure,
+// misbehavior or change — a dead provider's entries vanish on their own.
+//
+// The store is generic over the value type and is used by the hyper
+// registry (tuples) and by the P2P layer (node state table entries).
+package softstate

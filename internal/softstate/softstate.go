@@ -1,11 +1,3 @@
-// Package softstate implements the generic soft-state maintenance mechanism
-// of thesis Ch. 2.6: state that is not refreshed before its time-to-live
-// elapses silently expires. This yields reliable, predictable and simple
-// distributed state maintenance in the presence of provider failure,
-// misbehavior or change — a dead provider's entries vanish on their own.
-//
-// The store is generic over the value type and is used by the hyper
-// registry (tuples) and by the P2P layer (node state table entries).
 package softstate
 
 import (
@@ -17,8 +9,8 @@ import (
 
 // Entry is one soft-state entry.
 type Entry[V any] struct {
-	Key       string
-	Value     V
+	Key       string    // lookup key
+	Value     V         // the cached state
 	Inserted  time.Time // first Put
 	Refreshed time.Time // most recent Put
 	Expires   time.Time // deadline; zero = immortal

@@ -1,0 +1,14 @@
+// Package telemetry provides the observability layer of this
+// reproduction: a lock-cheap metrics registry (atomic counters, gauges
+// and bounded histograms with quantile estimation, optionally labeled),
+// a span tracer with a bounded ring of recent traces, and HTTP handlers
+// exposing both in Prometheus text and JSON form.
+//
+// Every instrument is nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram, *Span, *Metrics or *Tracer are no-ops, so library code can
+// thread instruments through hot paths unconditionally and pay only a
+// nil check (~1ns) when telemetry is disabled.
+//
+// cmd/registryd and cmd/peerd mount the exposition handlers; DESIGN.md
+// and OPERATIONS.md catalog the metric families the system emits.
+package telemetry

@@ -1,13 +1,3 @@
-// Package telemetry provides the observability layer of this
-// reproduction: a lock-cheap metrics registry (atomic counters, gauges
-// and bounded histograms with quantile estimation, optionally labeled),
-// a span tracer with a bounded ring of recent traces, and HTTP handlers
-// exposing both in Prometheus text and JSON form.
-//
-// Every instrument is nil-safe: methods on a nil *Counter, *Gauge,
-// *Histogram, *Span, *Metrics or *Tracer are no-ops, so library code can
-// thread instruments through hot paths unconditionally and pay only a
-// nil check (~1ns) when telemetry is disabled.
 package telemetry
 
 import (
@@ -500,26 +490,26 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 
 // HistSnapshot is the JSON form of one histogram series.
 type HistSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
+	Count int64   `json:"count"` // observations recorded
+	Sum   float64 `json:"sum"`   // sum of observed values
+	P50   float64 `json:"p50"`   // median estimate from the buckets
+	P95   float64 `json:"p95"`   // 95th-percentile estimate
+	P99   float64 `json:"p99"`   // 99th-percentile estimate
 }
 
 // Series is one labeled series of a family snapshot.
 type Series struct {
-	Labels map[string]string `json:"labels,omitempty"`
-	Value  float64           `json:"value,omitempty"`
-	Hist   *HistSnapshot     `json:"hist,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"` // label set ("" family: nil)
+	Value  float64           `json:"value,omitempty"`  // counter/gauge value
+	Hist   *HistSnapshot     `json:"hist,omitempty"`   // histogram summary, if a histogram
 }
 
 // FamilySnapshot is the JSON form of one metric family.
 type FamilySnapshot struct {
-	Name   string   `json:"name"`
-	Help   string   `json:"help,omitempty"`
-	Type   string   `json:"type"`
-	Series []Series `json:"series"`
+	Name   string   `json:"name"`           // metric family name
+	Help   string   `json:"help,omitempty"` // registration help text
+	Type   string   `json:"type"`           // "counter", "gauge" or "histogram"
+	Series []Series `json:"series"`         // every labeled series of the family
 }
 
 // Snapshot captures every family for JSON exposition (/debug/vars) and

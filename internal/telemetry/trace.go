@@ -12,8 +12,8 @@ import (
 
 // Attr is one span annotation.
 type Attr struct {
-	Key   string `json:"key"`
-	Value string `json:"value"`
+	Key   string `json:"key"`   // annotation name
+	Value string `json:"value"` // annotation value, already stringified
 }
 
 // String builds a string attribute.
@@ -230,22 +230,22 @@ func SpanFromContext(ctx context.Context) *Span {
 
 // SpanInfo is the JSON form of one completed span, nested by parentage.
 type SpanInfo struct {
-	ID         uint64            `json:"id"`
-	Parent     uint64            `json:"parent,omitempty"`
-	Name       string            `json:"name"`
-	Start      time.Time         `json:"start"`
-	DurationUS int64             `json:"duration_us"`
-	Attrs      map[string]string `json:"attrs,omitempty"`
-	Children   []*SpanInfo       `json:"children,omitempty"`
+	ID         uint64            `json:"id"`                 // span ID within the trace
+	Parent     uint64            `json:"parent,omitempty"`   // parent span ID (0 for roots)
+	Name       string            `json:"name"`               // operation name
+	Start      time.Time         `json:"start"`              // wall-clock start
+	DurationUS int64             `json:"duration_us"`        // duration in microseconds
+	Attrs      map[string]string `json:"attrs,omitempty"`    // span annotations
+	Children   []*SpanInfo       `json:"children,omitempty"` // child spans, by start time
 }
 
 // TraceInfo is one reconstructed trace: the span forest sharing a trace
 // ID, roots ordered by start time.
 type TraceInfo struct {
-	TraceID string      `json:"trace"`
-	Start   time.Time   `json:"start"`
-	Spans   int         `json:"spans"`
-	Roots   []*SpanInfo `json:"roots"`
+	TraceID string      `json:"trace"` // shared trace identifier
+	Start   time.Time   `json:"start"` // earliest span start
+	Spans   int         `json:"spans"` // total spans in the trace
+	Roots   []*SpanInfo `json:"roots"` // parentless spans, by start time
 }
 
 func (r *spanRecord) info() *SpanInfo {

@@ -1,8 +1,3 @@
-// Package topology generates and analyzes the node link topologies over
-// which the Unified Peer-to-Peer Database Framework is evaluated (thesis
-// Ch. 6): ring, tree, random graph, power-law (preferential attachment) and
-// 2-D grid. A query is insensitive to link topology (Ch. 3); the topology
-// only shapes the scope's reach and cost.
 package topology
 
 import (

@@ -1,0 +1,9 @@
+// Package tuple defines the data model of the hyper registry (thesis
+// Ch. 4): a tuple associates a content link — an HTTP URL under which the
+// current content of a remote provider can be retrieved — with type and
+// context attributes, soft-state timestamps, and an optional cached copy of
+// the content.
+//
+// Content is an internal/xmldoc element tree; internal/registry stores
+// and queries sets of these tuples.
+package tuple

@@ -1,8 +1,3 @@
-// Package tuple defines the data model of the hyper registry (thesis
-// Ch. 4): a tuple associates a content link — an HTTP URL under which the
-// current content of a remote provider can be retrieved — with type and
-// context attributes, soft-state timestamps, and an optional cached copy of
-// the content.
 package tuple
 
 import (

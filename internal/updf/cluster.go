@@ -12,12 +12,13 @@ import (
 // Cluster is a set of UPDF nodes wired along a topology graph — the unit
 // the experiments and examples operate on.
 type Cluster struct {
-	Nodes []*Node
-	Graph *topology.Graph
+	Nodes []*Node         // one node per graph vertex, index-aligned
+	Graph *topology.Graph // the wiring the neighbor sets follow
 }
 
 // ClusterConfig configures BuildCluster.
 type ClusterConfig struct {
+	// Net is the shared transport every node registers on.
 	Net pdp.Network
 	// AddrFor names node i; nil means "node/<i>".
 	AddrFor func(i int) string
@@ -32,6 +33,16 @@ type ClusterConfig struct {
 	AbortPolicy string
 	// AbortFloor is passed through to each node.
 	AbortFloor time.Duration
+	// MaxRetries is passed through to each node (child-query
+	// retransmission budget; 0 disables).
+	MaxRetries int
+	// RetryInterval is passed through to each node.
+	RetryInterval time.Duration
+	// BreakerThreshold is passed through to each node (per-neighbor
+	// circuit breaker; 0 disables).
+	BreakerThreshold int
+	// BreakerCooldown is passed through to each node.
+	BreakerCooldown time.Duration
 }
 
 // BuildCluster creates one node per graph vertex and wires neighbor sets
@@ -53,14 +64,18 @@ func BuildCluster(g *topology.Graph, cfg ClusterConfig) (*Cluster, error) {
 	c := &Cluster{Graph: g, Nodes: make([]*Node, g.N())}
 	for i := 0; i < g.N(); i++ {
 		n, err := NewNode(Config{
-			Addr:            addrFor(i),
-			Net:             cfg.Net,
-			Registry:        regFor(i),
-			Now:             cfg.Now,
-			DefaultStateTTL: cfg.DefaultStateTTL,
-			AbortPolicy:     cfg.AbortPolicy,
-			AbortFloor:      cfg.AbortFloor,
-			Seed:            int64(i + 1),
+			Addr:             addrFor(i),
+			Net:              cfg.Net,
+			Registry:         regFor(i),
+			Now:              cfg.Now,
+			DefaultStateTTL:  cfg.DefaultStateTTL,
+			AbortPolicy:      cfg.AbortPolicy,
+			AbortFloor:       cfg.AbortFloor,
+			MaxRetries:       cfg.MaxRetries,
+			RetryInterval:    cfg.RetryInterval,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
+			Seed:             int64(i + 1),
 		})
 		if err != nil {
 			for _, m := range c.Nodes {
@@ -103,6 +118,9 @@ func (c *Cluster) TotalStats() Stats {
 		s.Forwards += ns.Forwards
 		s.Aborts += ns.Aborts
 		s.LateMessages += ns.LateMessages
+		s.Retries += ns.Retries
+		s.BreakerOpens += ns.BreakerOpens
+		s.BreakerSkips += ns.BreakerSkips
 	}
 	return s
 }

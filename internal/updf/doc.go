@@ -1,0 +1,19 @@
+// Package updf implements the Unified Peer-to-Peer Database Framework of
+// thesis Ch. 6: peer nodes that each hold a local hyper registry, forward
+// XQueries along a link topology under a query scope (radius, static loop
+// timeout, dynamic abort timeout, neighbor selection policy), detect loops
+// via transaction IDs in a soft-state node state table, and deliver results
+// under four response modes — routed, direct, direct-with-metadata and
+// referral — with optional cross-node pipelining.
+//
+// The framework supports both P2P models of Ch. 6.2: in the servent model
+// the originator is co-located with a node (query its own registry plus the
+// network); in the agent model the originator is a plain client that
+// submits to a remote entry node.
+//
+// Query-plane resilience is opt-in per node: bounded retransmission of
+// child queries, a per-neighbor circuit breaker (internal/resilience)
+// feeding back into neighbor selection, and partial-result accounting
+// (nodes contacted/responded, completeness) carried on every final
+// internal/pdp response. See DESIGN.md, "Fault model and resilience".
+package updf

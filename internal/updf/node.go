@@ -1,15 +1,3 @@
-// Package updf implements the Unified Peer-to-Peer Database Framework of
-// thesis Ch. 6: peer nodes that each hold a local hyper registry, forward
-// XQueries along a link topology under a query scope (radius, static loop
-// timeout, dynamic abort timeout, neighbor selection policy), detect loops
-// via transaction IDs in a soft-state node state table, and deliver results
-// under four response modes — routed, direct, direct-with-metadata and
-// referral — with optional cross-node pipelining.
-//
-// The framework supports both P2P models of Ch. 6.2: in the servent model
-// the originator is co-located with a node (query its own registry plus the
-// network); in the agent model the originator is a plain client that
-// submits to a remote entry node.
 package updf
 
 import (
@@ -20,6 +8,7 @@ import (
 
 	"wsda/internal/pdp"
 	"wsda/internal/registry"
+	"wsda/internal/resilience"
 	"wsda/internal/softstate"
 	"wsda/internal/telemetry"
 	"wsda/internal/tuple"
@@ -29,9 +18,9 @@ import (
 
 // Config configures a Node.
 type Config struct {
-	Addr     string
-	Net      pdp.Network
-	Registry *registry.Registry
+	Addr     string             // the node's PDP address
+	Net      pdp.Network        // transport to register on and send through
+	Registry *registry.Registry // the local hyper registry queries run against
 
 	// QueryOptions are applied to every local evaluation (freshness,
 	// filter scope).
@@ -53,6 +42,32 @@ type Config struct {
 	// its own processing time on deep topologies and makes healthy nodes
 	// abort spuriously. Zero means 500ms.
 	AbortFloor time.Duration
+
+	// MaxRetries is how many times a child query left unanswered is
+	// retransmitted before the node gives up and lets the abort timeout
+	// account for the child. Zero disables retransmission. Resends are
+	// byte-identical (deadlines are absolute), so the receiving child
+	// either ignores them (transaction in flight) or re-answers with its
+	// recorded final — retransmission can never double-execute a query.
+	MaxRetries int
+
+	// RetryInterval is the delay before the first retransmission;
+	// successive delays double (exponential backoff). The effective budget
+	// is still capped by the query's abort timeout: finalization stops all
+	// retry timers. Zero means 200ms when MaxRetries > 0.
+	RetryInterval time.Duration
+
+	// BreakerThreshold enables a per-neighbor circuit breaker: after this
+	// many consecutive abort-timeout failures a neighbor is skipped during
+	// neighbor selection until BreakerCooldown elapses (then one probe
+	// query is let through). Skipping marks results incomplete but keeps
+	// persistently dead peers from costing every query its full retry
+	// budget. Zero disables the breaker.
+	BreakerThreshold int
+
+	// BreakerCooldown is how long an open neighbor circuit rejects
+	// forwarding before a probe. Zero means 5s (when the breaker is on).
+	BreakerCooldown time.Duration
 
 	// Seed seeds the neighbor-selection RNG; 0 derives one from the
 	// address so distinct nodes shuffle differently but deterministically.
@@ -90,6 +105,9 @@ type Stats struct {
 	Forwards       int64 // query messages forwarded to neighbors
 	Aborts         int64 // transactions cut short by the abort timeout
 	LateMessages   int64 // results/receipts arriving after finalization
+	Retries        int64 // child-query retransmissions
+	BreakerOpens   int64 // neighbor circuits tripped open
+	BreakerSkips   int64 // forwards suppressed by an open circuit
 }
 
 // Node is one UPDF peer. It is driven entirely by messages delivered from
@@ -105,15 +123,22 @@ type Node struct {
 	states *softstate.Store[*txState]
 	rng    *lockedRand
 
+	// breaker is nil unless Config.BreakerThreshold > 0; a nil breaker
+	// never trips, so the fast path stays branch-free.
+	breaker *resilience.Breaker
+
 	queriesSeen, duplicates, droppedExpired atomic.Int64
 	evals, evalErrors, forwards             atomic.Int64
 	aborts, lateMessages                    atomic.Int64
+	retries, breakerOpens, breakerSkips     atomic.Int64
 
 	// Telemetry handles; nil when Config.Metrics/Tracer are unset.
 	tracer           *telemetry.Tracer
 	handleSeconds    *telemetry.Histogram
 	evalSeconds      *telemetry.Histogram
 	loopCheckSeconds *telemetry.Histogram
+	retriesMetric    *telemetry.Counter
+	breakerGauge     *telemetry.Gauge
 }
 
 // NewNode creates a node and registers it on the network.
@@ -135,6 +160,9 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.AbortFloor == 0 {
 		cfg.AbortFloor = 500 * time.Millisecond
+	}
+	if cfg.MaxRetries > 0 && cfg.RetryInterval == 0 {
+		cfg.RetryInterval = 200 * time.Millisecond
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -159,6 +187,18 @@ func NewNode(cfg Config) (*Node, error) {
 			"Latency of the state-table loop-detection check.", nil, "node").With(cfg.Addr)
 		n.states.InstrumentSweeps(m.HistogramVec("wsda_updf_state_sweep_seconds",
 			"Latency of state-table sweeps.", nil, "node").With(cfg.Addr))
+		n.retriesMetric = m.CounterVec("wsda_pdp_retries_total",
+			"Child-query retransmissions to unresponsive neighbors.", "node").With(cfg.Addr)
+		n.breakerGauge = m.GaugeVec("wsda_pdp_breaker_open",
+			"Neighbor circuits currently open (updated on breaker events).", "node").With(cfg.Addr)
+	}
+	if cfg.BreakerThreshold > 0 {
+		n.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+			Now:       cfg.Now,
+			OnOpen:    func(string) { n.breakerOpens.Add(1) },
+		})
 	}
 	if err := cfg.Net.Register(cfg.Addr, n.handle); err != nil {
 		return nil, err
@@ -200,8 +240,16 @@ func (n *Node) Stats() Stats {
 		Forwards:       n.forwards.Load(),
 		Aborts:         n.aborts.Load(),
 		LateMessages:   n.lateMessages.Load(),
+		Retries:        n.retries.Load(),
+		BreakerOpens:   n.breakerOpens.Load(),
+		BreakerSkips:   n.breakerSkips.Load(),
 	}
 }
+
+// BreakerOpenCount returns how many neighbor circuits are currently open —
+// the value behind the wsda_pdp_breaker_open gauge. Zero when the breaker
+// is disabled.
+func (n *Node) BreakerOpenCount() int { return n.breaker.OpenCount() }
 
 // StateTableSize returns the number of live state-table entries (loop
 // detection memory).
@@ -291,15 +339,25 @@ func (n *Node) handleQuery(m *pdp.Message) {
 	}
 
 	// Loop detection (thesis Ch. 6.3): a transaction already in the state
-	// table is a duplicate arriving over another path. The duplicate is
-	// answered with an immediate empty final so the upstream node does not
-	// wait for the abort timeout.
+	// table is a duplicate. Three cases:
+	//
+	//   - same parent, transaction still running: a retransmission of a
+	//     query we are already working on — ignore it; the parent will get
+	//     the final when it is ready. Answering it with an empty final
+	//     (the pre-resilience behavior) would cancel live work.
+	//   - same parent, transaction finalized: the parent missed our final;
+	//     resend the recorded one.
+	//   - different sender: a genuine loop over another path — answer with
+	//     an immediate empty final (complete, zero nodes counted, so the
+	//     alternate parent does not double count this subtree) so the
+	//     upstream node does not wait for the abort timeout.
 	st := &txState{
 		parent:   m.From,
 		origin:   m.Origin,
 		mode:     m.Mode,
 		pipeline: m.Pipeline,
 		pending:  make(map[string]bool),
+		children: make(map[string]*childState),
 		span:     sp,
 	}
 	ttl := n.cfg.DefaultStateTTL
@@ -310,7 +368,7 @@ func (n *Node) handleQuery(m *pdp.Message) {
 	if n.loopCheckSeconds != nil {
 		lc0 = time.Now()
 	}
-	_, isNew := n.states.PutIfAbsent(m.TxID, st, ttl)
+	cur, isNew := n.states.PutIfAbsent(m.TxID, st, ttl)
 	if n.loopCheckSeconds != nil {
 		n.loopCheckSeconds.ObserveSince(lc0)
 	}
@@ -318,9 +376,19 @@ func (n *Node) handleQuery(m *pdp.Message) {
 		n.duplicates.Add(1)
 		sp.SetAttr(telemetry.String("outcome", "duplicate"))
 		sp.End()
+		cur.mu.Lock()
+		sameParent := cur.parent == m.From
+		finalOut := cur.finalOut
+		cur.mu.Unlock()
+		if sameParent {
+			if finalOut != nil {
+				n.send(finalOut)
+			}
+			return
+		}
 		n.send(&pdp.Message{
 			Kind: pdp.KindReceipt, TxID: m.TxID, From: n.cfg.Addr, To: m.From,
-			Final: true, TraceParent: sp.ID(),
+			Final: true, Complete: true, TraceParent: sp.ID(),
 		})
 		return
 	}
@@ -329,6 +397,23 @@ func (n *Node) handleQuery(m *pdp.Message) {
 	// never forwards: expansion is originator-driven.
 	if m.Mode != pdp.Referral && m.Scope.Radius != 0 {
 		children := selectNeighbors(m.Scope.Policy, n.Neighbors(), m.From, m.Scope.Fanout, n.rng)
+		// The circuit breaker feeds back into neighbor selection: peers
+		// whose circuit is open are skipped entirely. Their subtree is not
+		// contacted, which makes this node's answer incomplete — the honest
+		// trade against stalling every query on a known-dead peer.
+		if n.breaker != nil {
+			kept := children[:0]
+			for _, child := range children {
+				if n.breaker.Allow(child) {
+					kept = append(kept, child)
+				} else {
+					n.breakerSkips.Add(1)
+					st.skipped++
+				}
+			}
+			children = kept
+			n.updateBreakerGauge()
+		}
 		childScope := m.Scope
 		if childScope.Radius > 0 {
 			childScope.Radius--
@@ -352,15 +437,28 @@ func (n *Node) handleQuery(m *pdp.Message) {
 		st.mu.Lock()
 		for _, child := range children {
 			st.pending[child] = true
+			st.children[child] = &childState{
+				msg: &pdp.Message{
+					Kind: pdp.KindQuery, TxID: m.TxID, From: n.cfg.Addr, To: child,
+					Hop: m.Hop + 1, Query: m.Query, Mode: m.Mode, Origin: m.Origin,
+					Pipeline: m.Pipeline, Scope: childScope, TraceParent: sp.ID(),
+				},
+				left:     n.cfg.MaxRetries,
+				interval: n.cfg.RetryInterval,
+			}
 		}
 		st.mu.Unlock()
 		for _, child := range children {
 			n.forwards.Add(1)
-			n.send(&pdp.Message{
-				Kind: pdp.KindQuery, TxID: m.TxID, From: n.cfg.Addr, To: child,
-				Hop: m.Hop + 1, Query: m.Query, Mode: m.Mode, Origin: m.Origin,
-				Pipeline: m.Pipeline, Scope: childScope, TraceParent: sp.ID(),
-			})
+			st.mu.Lock()
+			cs := st.children[child]
+			msg := cs.msg
+			if cs.left > 0 {
+				child := child
+				cs.timer = time.AfterFunc(cs.interval, func() { n.retryChild(m.TxID, child) })
+			}
+			st.mu.Unlock()
+			n.send(msg)
 		}
 	}
 
@@ -381,6 +479,68 @@ func (n *Node) handleQuery(m *pdp.Message) {
 	st.localDone = true
 	st.mu.Unlock()
 	n.checkCompletion(m.TxID, st)
+}
+
+// retryChild fires when a forwarded child query has gone unanswered for
+// one backoff interval: the recorded message is resent verbatim (its
+// deadlines are absolute) and the timer re-arms with a doubled delay until
+// the retransmission budget is spent or the transaction finalizes, which
+// stops every child timer. The abort timeout therefore remains the hard
+// cap on how long retries can keep a transaction alive.
+func (n *Node) retryChild(tx, child string) {
+	st, ok := n.states.Get(tx)
+	if !ok {
+		return
+	}
+	st.mu.Lock()
+	cs := st.children[child]
+	if cs == nil || cs.done || st.finalSent || cs.left <= 0 {
+		st.mu.Unlock()
+		return
+	}
+	cs.left--
+	cs.interval *= 2
+	msg := cs.msg
+	if cs.left > 0 {
+		cs.timer = time.AfterFunc(cs.interval, func() { n.retryChild(tx, child) })
+	}
+	st.mu.Unlock()
+	n.retries.Add(1)
+	if n.retriesMetric != nil {
+		n.retriesMetric.Inc()
+	}
+	n.send(msg)
+}
+
+// updateBreakerGauge pushes the current open-circuit count into the
+// wsda_pdp_breaker_open gauge (no-op without metrics or breaker).
+func (n *Node) updateBreakerGauge() {
+	if n.breakerGauge != nil {
+		n.breakerGauge.Set(float64(n.breaker.OpenCount()))
+	}
+}
+
+// childFinalLocked books a final message from a child: cancels its retry
+// timer, removes it from pending, and folds its subtree accounting into
+// ours. It reports false when the final is a duplicate (a retransmission
+// race) that must be ignored. st.mu must be held.
+func (st *txState) childFinalLocked(m *pdp.Message) bool {
+	if cs := st.children[m.From]; cs != nil {
+		if cs.done {
+			return false
+		}
+		cs.done = true
+		if cs.timer != nil {
+			cs.timer.Stop()
+		}
+	}
+	delete(st.pending, m.From)
+	st.childContacted += m.NodesContacted
+	st.childResponded += m.NodesResponded
+	if !m.Complete {
+		st.childIncomplete = true
+	}
+	return true
 }
 
 // evalLocal runs the query against the node's own registry and disposes of
@@ -480,6 +640,7 @@ func (n *Node) evalLocal(m *pdp.Message, st *txState) {
 			Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.origin,
 			Items: seq, HitCount: len(seq), Source: n.cfg.Addr, Final: true,
 			Neighbors: n.Neighbors(), TraceParent: st.span.ID(),
+			NodesContacted: 1, NodesResponded: 1, Complete: true,
 		})
 	}
 }
@@ -496,8 +657,10 @@ func (n *Node) handleResult(m *pdp.Message) {
 		n.lateMessages.Add(1)
 		return
 	}
-	if m.Final {
-		delete(st.pending, m.From)
+	if m.Final && !st.childFinalLocked(m) {
+		st.mu.Unlock()
+		n.lateMessages.Add(1)
+		return
 	}
 	var relay *pdp.Message
 	switch st.mode {
@@ -526,6 +689,9 @@ func (n *Node) handleResult(m *pdp.Message) {
 	if relay != nil {
 		n.send(relay)
 	}
+	if m.Final {
+		n.breaker.Success(m.From)
+	}
 	n.checkCompletion(m.TxID, st)
 }
 
@@ -541,9 +707,14 @@ func (n *Node) handleReceipt(m *pdp.Message) {
 		n.lateMessages.Add(1)
 		return
 	}
-	delete(st.pending, m.From)
+	if !st.childFinalLocked(m) {
+		st.mu.Unlock()
+		n.lateMessages.Add(1)
+		return
+	}
 	st.subtreeHits += m.HitCount
 	st.mu.Unlock()
+	n.breaker.Success(m.From)
 	n.checkCompletion(m.TxID, st)
 }
 
@@ -584,6 +755,11 @@ func (n *Node) handleClose(m *pdp.Message) {
 	st.finalSent = true
 	if st.timer != nil {
 		st.timer.Stop()
+	}
+	for _, cs := range st.children {
+		if cs.timer != nil {
+			cs.timer.Stop()
+		}
 	}
 	if st.span != nil {
 		st.span.SetAttr(telemetry.String("outcome", "closed"))
@@ -631,14 +807,43 @@ func (n *Node) abortTx(tx string) {
 
 // finalizeLocked sends the final upstream message. st.mu must be held; it
 // is released before returning.
+//
+// The final carries the subtree's partial-result accounting: contacted is
+// this node plus everything its answered children report plus one for each
+// child that never answered (we reached for it, it stayed silent); responded
+// is this node plus the answered subtrees. The answer is complete only if
+// nothing was lost anywhere below: no abort, no local eval error, no silent
+// children, no incomplete child subtree, and no breaker-skipped neighbor
+// (skipped peers were never contacted, but their absence still means the
+// network was not fully covered).
 func (n *Node) finalizeLocked(tx string, st *txState, abortErr string) {
 	st.finalSent = true
 	if st.timer != nil {
 		st.timer.Stop()
 	}
+	for _, cs := range st.children {
+		if cs.timer != nil {
+			cs.timer.Stop()
+		}
+	}
+	contacted := 1 + st.childContacted + len(st.pending)
+	responded := 1 + st.childResponded
+	complete := abortErr == "" && st.evalErr == "" && len(st.pending) == 0 &&
+		!st.childIncomplete && st.skipped == 0
+	// Children still pending at an abort are delivery failures: feed the
+	// circuit breaker so persistently dead peers get skipped next time.
+	var failed []string
+	if abortErr != "" && n.breaker != nil {
+		for c := range st.pending {
+			failed = append(failed, c)
+		}
+	}
 	if st.span != nil {
 		st.span.SetAttr(telemetry.Int("local_hits", int64(st.localHits)),
-			telemetry.Int("subtree_hits", int64(st.subtreeHits)))
+			telemetry.Int("subtree_hits", int64(st.subtreeHits)),
+			telemetry.Int("nodes_contacted", int64(contacted)),
+			telemetry.Int("nodes_responded", int64(responded)),
+			telemetry.Bool("complete", complete))
 		if abortErr != "" {
 			st.span.SetAttr(telemetry.String("outcome", abortErr))
 		}
@@ -658,20 +863,29 @@ func (n *Node) finalizeLocked(tx string, st *txState, abortErr string) {
 			Kind: pdp.KindResult, TxID: tx, From: n.cfg.Addr, To: st.parent,
 			Items: st.buffered, HitCount: st.subtreeHits, Final: true,
 			Source: n.cfg.Addr, Err: errStr, TraceParent: st.span.ID(),
+			NodesContacted: contacted, NodesResponded: responded, Complete: complete,
 		}
 		st.buffered = nil
 	case pdp.Direct, pdp.Metadata:
 		out = &pdp.Message{
 			Kind: pdp.KindReceipt, TxID: tx, From: n.cfg.Addr, To: st.parent,
 			HitCount: st.subtreeHits, Final: true, Err: errStr,
-			TraceParent: st.span.ID(),
+			TraceParent:    st.span.ID(),
+			NodesContacted: contacted, NodesResponded: responded, Complete: complete,
 		}
 	case pdp.Referral:
 		// Referral answered directly in evalLocal; nothing upstream.
 	}
+	st.finalOut = out
 	st.mu.Unlock()
 	if out != nil {
 		n.send(out)
+	}
+	for _, c := range failed {
+		n.breaker.Failure(c)
+	}
+	if len(failed) > 0 {
+		n.updateBreakerGauge()
 	}
 }
 

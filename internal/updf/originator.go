@@ -17,8 +17,8 @@ type QuerySpec struct {
 	Entry string // address of the entry node (agent model) — may be the
 	// originator's own co-located node (servent model)
 
-	Mode     pdp.ResponseMode
-	Pipeline bool // stream items across nodes (Routed mode only)
+	Mode     pdp.ResponseMode // how results travel back (routed/direct/metadata/referral)
+	Pipeline bool             // stream items across nodes (Routed mode only)
 
 	// Scope.
 	// Radius is the hop budget; 0 = entry node only; -1 = unbounded. Like
@@ -39,12 +39,20 @@ type QuerySpec struct {
 	// OnItem, if set, streams result items as they arrive; returning false
 	// closes the transaction network-wide.
 	OnItem func(item xq.Item, source string) bool
+
+	// MaxRetries retransmits the entry query while no final has arrived
+	// from the entry node — the first hop's counterpart of the per-node
+	// child retransmission (Config.MaxRetries). Zero disables.
+	MaxRetries int
+	// RetryInterval is the delay before the first entry retransmission;
+	// successive delays double. Zero means 200ms when MaxRetries > 0.
+	RetryInterval time.Duration
 }
 
 // ResultSet is the outcome of one network query.
 type ResultSet struct {
-	TxID  string
-	Items xq.Sequence
+	TxID  string      // the query's transaction ID
+	Items xq.Sequence // every delivered result item
 	// Sources counts items per producing node address (where known).
 	Sources map[string]int
 	// ExpectedHits is the subtree hit total reported by receipts (Direct
@@ -61,6 +69,24 @@ type ResultSet struct {
 	NodesVisited int
 	// Errs carries best-effort downstream failure notes.
 	Errs []string
+
+	// Partial-result accounting from the entry node's final (see
+	// pdp.Message): how many nodes the query tried to reach, how many
+	// answered, and whether the network believes nothing was lost. An
+	// originator-side abort forces Complete to false.
+	NodesContacted int  // nodes the query reached or tried to reach
+	NodesResponded int  // nodes whose final answer arrived
+	Complete       bool // true only when nothing is known to be missing
+}
+
+// Completeness returns responded/contacted as a ratio in [0, 1] — the
+// value fed into the wsda_query_completeness histogram. It reports 0 when
+// no accounting arrived (e.g. the query never reached the entry node).
+func (rs *ResultSet) Completeness() float64 {
+	if rs.NodesContacted <= 0 {
+		return 0
+	}
+	return float64(rs.NodesResponded) / float64(rs.NodesContacted)
 }
 
 // Originator submits queries into a UPDF network and collects responses.
@@ -80,6 +106,7 @@ type Originator struct {
 	tracer        *telemetry.Tracer
 	submitSeconds *telemetry.Histogram
 	firstSeconds  *telemetry.Histogram
+	completeness  *telemetry.Histogram
 }
 
 // NewOriginator registers an originator endpoint on the network.
@@ -105,6 +132,9 @@ func (o *Originator) SetTelemetry(m *telemetry.Metrics, tr *telemetry.Tracer) {
 			"End-to-end latency of network query submissions.", nil, "originator").With(o.addr)
 		o.firstSeconds = m.HistogramVec("wsda_updf_time_to_first_seconds",
 			"Latency until the first result item of a submission.", nil, "originator").With(o.addr)
+		o.completeness = m.Histogram("wsda_query_completeness",
+			"Nodes-responded over nodes-contacted per submission (1 = nothing lost).",
+			[]float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1})
 	}
 }
 
@@ -176,7 +206,7 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 		telemetry.String("entry", s.Entry),
 		telemetry.String("mode", s.Mode.String()),
 		telemetry.Int("radius", int64(s.Radius)))
-	if err := o.net.Send(&pdp.Message{
+	queryMsg := &pdp.Message{
 		Kind: pdp.KindQuery, TxID: tx, From: o.addr, To: s.Entry,
 		Query: s.Query, Mode: s.Mode, Origin: o.addr, Pipeline: s.Pipeline,
 		Scope: pdp.Scope{
@@ -184,7 +214,8 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 			Policy: s.Policy, Fanout: s.Fanout,
 		},
 		TraceParent: sp.ID(),
-	}); err != nil {
+	}
+	if err := o.net.Send(queryMsg); err != nil {
 		sp.SetAttr(telemetry.String("err", err.Error()))
 		sp.End()
 		return nil, fmt.Errorf("updf: submit to %s: %w", s.Entry, err)
@@ -196,9 +227,15 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 		if rs.TimeToFirst > 0 {
 			o.firstSeconds.ObserveDuration(rs.TimeToFirst)
 		}
+		if o.completeness != nil {
+			o.completeness.Observe(rs.Completeness())
+		}
 		if sp != nil {
 			sp.SetAttr(telemetry.Int("items", int64(len(rs.Items))),
-				telemetry.Bool("aborted", rs.Aborted))
+				telemetry.Bool("aborted", rs.Aborted),
+				telemetry.Int("nodes_contacted", int64(rs.NodesContacted)),
+				telemetry.Int("nodes_responded", int64(rs.NodesResponded)),
+				telemetry.Bool("complete", rs.Complete))
 			sp.End()
 		}
 	}
@@ -206,6 +243,25 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 	// abort deadline so finals emitted exactly at the deadline can arrive.
 	timer := time.NewTimer(s.AbortTimeout + s.AbortTimeout/2 + 50*time.Millisecond)
 	defer timer.Stop()
+
+	// Entry-link retransmission: while the entry node has not delivered its
+	// final, resend the query on an exponential schedule. The entry node
+	// treats resends idempotently (in-flight transactions ignore them;
+	// finalized ones re-answer with the recorded final), so a lost first
+	// hop no longer kills the whole submission. The timer fires into the
+	// collection loop below, keeping all retry state on this goroutine.
+	var retryC <-chan time.Time
+	var retryTimer *time.Timer
+	retriesLeft := s.MaxRetries
+	retryInterval := s.RetryInterval
+	if retriesLeft > 0 {
+		if retryInterval == 0 {
+			retryInterval = 200 * time.Millisecond
+		}
+		retryTimer = time.NewTimer(retryInterval)
+		defer retryTimer.Stop()
+		retryC = retryTimer.C
+	}
 
 	entryFinal := false                 // entry node reported completion
 	fetchesPending := map[string]bool{} // Metadata mode: outstanding fetches
@@ -272,6 +328,7 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 				} else {
 					if !addItems(m.Items, m.Source) {
 						closeTx()
+						rs.Complete = false // cancelled by the consumer
 						rs.Elapsed = o.now().Sub(start)
 						finish()
 						return rs, nil
@@ -282,6 +339,9 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 							delete(fetchesPending, m.Source)
 						case s.Mode == pdp.Routed && m.From == s.Entry:
 							entryFinal = true
+							rs.NodesContacted = m.NodesContacted
+							rs.NodesResponded = m.NodesResponded
+							rs.Complete = m.Complete
 						case s.Mode == pdp.Direct:
 							// per-node final; counted via Sources
 						}
@@ -291,10 +351,23 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 				if m.Final && m.From == s.Entry {
 					entryFinal = true
 					rs.ExpectedHits = m.HitCount
+					rs.NodesContacted = m.NodesContacted
+					rs.NodesResponded = m.NodesResponded
+					rs.Complete = m.Complete
+				}
+			}
+		case <-retryC:
+			if !entryFinal && retriesLeft > 0 {
+				retriesLeft--
+				_ = o.net.Send(queryMsg)
+				if retriesLeft > 0 {
+					retryInterval *= 2
+					retryTimer.Reset(retryInterval)
 				}
 			}
 		case <-timer.C:
 			rs.Aborted = true
+			rs.Complete = false
 			closeTx()
 			rs.Elapsed = o.now().Sub(start)
 			rs.NodesVisited = len(rs.Sources)
@@ -416,11 +489,19 @@ func (o *Originator) submitReferral(s QuerySpec) (*ResultSet, error) {
 			askAll(m.Neighbors, depth[m.From]+1)
 		case <-deadline.C:
 			rs.Aborted = true
+			rs.NodesContacted = len(visited)
+			rs.NodesResponded = rs.NodesVisited
+			rs.Complete = false
 			rs.Elapsed = o.now().Sub(start)
 			finish()
 			return rs, nil
 		}
 	}
+	// Every node the originator asked has answered: referral expansion has
+	// exact accounting by construction.
+	rs.NodesContacted = len(visited)
+	rs.NodesResponded = rs.NodesVisited
+	rs.Complete = true
 	rs.Elapsed = o.now().Sub(start)
 	finish()
 	return rs, nil

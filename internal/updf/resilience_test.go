@@ -1,0 +1,246 @@
+package updf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/simnet"
+	"wsda/internal/topology"
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+)
+
+// resilienceCluster is testCluster with the retry/breaker knobs exposed and
+// an abort floor large enough that deep hops can still afford a retry.
+func resilienceCluster(t *testing.T, g *topology.Graph, net pdp.Network, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	cfg.Net = net
+	if cfg.AbortFloor == 0 {
+		cfg.AbortFloor = 150 * time.Millisecond
+	}
+	cfg.RegistryFor = func(i int) *registry.Registry {
+		r := registry.New(registry.Config{Name: fmt.Sprintf("reg%d", i)})
+		content := xmldoc.MustParse(fmt.Sprintf(
+			`<service name="svc%d" domain="dom%d"/>`, i, i%2)).DocumentElement().Clone()
+		if _, err := r.Publish(&tuple.Tuple{
+			Link:    fmt.Sprintf("http://dom%d/svc%d", i%2, i),
+			Type:    tuple.TypeService,
+			Content: content,
+		}, time.Hour); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+		return r
+	}
+	c, err := BuildCluster(g, cfg)
+	if err != nil {
+		t.Fatalf("build cluster: %v", err)
+	}
+	return c
+}
+
+// runLossy submits `queries` concurrent floods over a fresh 12-node random
+// graph behind a 20% lossy fault model and reports how many came back
+// complete and the mean completeness ratio.
+func runLossy(t *testing.T, seed int64, retries int) (successes int, meanCompleteness float64) {
+	t.Helper()
+	f := simnet.NewFaults(seed)
+	f.SetDrop(0.20)
+	net := simnet.New(simnet.Config{Faults: f})
+	defer net.Close()
+	c := resilienceCluster(t, topology.Random(12, 3, seed), net, ClusterConfig{
+		MaxRetries:    retries,
+		RetryInterval: 30 * time.Millisecond,
+	})
+	defer c.Close()
+	o, err := NewOriginator("orig", net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	const queries = 10
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var sum float64
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs, err := o.Submit(QuerySpec{
+				Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+				LoopTimeout: 5 * time.Second, AbortTimeout: 1200 * time.Millisecond,
+				MaxRetries: retries, RetryInterval: 30 * time.Millisecond,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			if rs.Complete && len(rs.Items) == 12 {
+				successes++
+			}
+			sum += rs.Completeness()
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return successes, sum / queries
+}
+
+// TestRetriesBeatDropsAt20Percent is the headline resilience claim: at 20%
+// link drop, retransmission-enabled queries succeed more often and account
+// for strictly more of the network than the retry-disabled baseline.
+func TestRetriesBeatDropsAt20Percent(t *testing.T) {
+	baseOK, baseCompl := runLossy(t, 11, 0)
+	retryOK, retryCompl := runLossy(t, 11, 3)
+	t.Logf("baseline: %d/10 complete, mean completeness %.2f", baseOK, baseCompl)
+	t.Logf("retries:  %d/10 complete, mean completeness %.2f", retryOK, retryCompl)
+	if retryOK <= baseOK {
+		t.Errorf("success rate with retries (%d/10) not above baseline (%d/10)", retryOK, baseOK)
+	}
+	if retryCompl <= baseCompl {
+		t.Errorf("completeness with retries (%.2f) not above baseline (%.2f)", retryCompl, baseCompl)
+	}
+}
+
+// TestBreakerSkipsPartitionedNeighbor checks the breaker feedback loop: a
+// neighbor behind a partition trips its circuit after repeated abort-timeout
+// failures, after which queries skip it — fast, incomplete by admission, and
+// well inside their abort deadline instead of stalled against it.
+func TestBreakerSkipsPartitionedNeighbor(t *testing.T) {
+	f := simnet.NewFaults(3)
+	net := simnet.New(simnet.Config{Faults: f})
+	defer net.Close()
+	// Line 0-1-2; node/2 is crashed (silent loss) from the start.
+	c := resilienceCluster(t, topology.Line(3), net, ClusterConfig{
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+	})
+	defer c.Close()
+	f.Crash("node/2")
+	o, err := NewOriginator("orig", net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	const abort = time.Second
+	spec := QuerySpec{
+		Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+		LoopTimeout: 10 * time.Second, AbortTimeout: abort,
+	}
+
+	// Two queries fail into the dead neighbor and trip node/1's circuit.
+	for i := 0; i < 2; i++ {
+		rs := submit(t, o, spec)
+		if rs.Complete {
+			t.Fatalf("query %d complete despite a crashed node", i)
+		}
+	}
+	if n := c.Nodes[1].Stats().BreakerOpens; n < 1 {
+		t.Fatalf("BreakerOpens = %d, want >= 1", n)
+	}
+	if n := c.Nodes[1].BreakerOpenCount(); n != 1 {
+		t.Fatalf("BreakerOpenCount = %d, want 1", n)
+	}
+
+	// The third query skips node/2: fast, two answers, honestly incomplete.
+	rs := submit(t, o, spec)
+	if rs.Aborted {
+		t.Error("breaker did not prevent the abort-timeout stall")
+	}
+	if rs.Elapsed >= abort {
+		t.Errorf("elapsed %v not under the abort timeout %v", rs.Elapsed, abort)
+	}
+	if len(rs.Items) != 2 {
+		t.Errorf("items = %d, want 2 (node/0 and node/1)", len(rs.Items))
+	}
+	if rs.Complete {
+		t.Error("skipping a neighbor must mark the result incomplete")
+	}
+	if rs.NodesContacted != 2 || rs.NodesResponded != 2 {
+		t.Errorf("accounting = %d/%d, want 2/2 (skipped peer is not contacted)",
+			rs.NodesResponded, rs.NodesContacted)
+	}
+	if n := c.Nodes[1].Stats().BreakerSkips; n < 1 {
+		t.Errorf("BreakerSkips = %d, want >= 1", n)
+	}
+
+	// Healing the partition and closing the circuit restores full coverage.
+	f.Restart("node/2")
+	c.Nodes[1].breaker.Reset()
+	rs = submit(t, o, spec)
+	if !rs.Complete || len(rs.Items) != 3 {
+		t.Errorf("after heal: complete=%v items=%d, want true/3", rs.Complete, len(rs.Items))
+	}
+}
+
+// TestCompletenessAccountingClean checks the accounting on a healthy
+// network: every mode that carries the envelope reports full coverage.
+func TestCompletenessAccountingClean(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	c := testCluster(t, topology.Random(10, 3, 5), net)
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	for _, mode := range []pdp.ResponseMode{pdp.Routed, pdp.Direct, pdp.Metadata} {
+		rs := submit(t, o, QuerySpec{Query: allNames, Entry: "node/0", Mode: mode, Radius: -1})
+		if !rs.Complete {
+			t.Errorf("mode %s: complete=false on a clean network", mode)
+		}
+		if rs.NodesContacted != 10 || rs.NodesResponded != 10 {
+			t.Errorf("mode %s: accounting %d/%d, want 10/10",
+				mode, rs.NodesResponded, rs.NodesContacted)
+		}
+		if got := rs.Completeness(); got != 1 {
+			t.Errorf("mode %s: completeness %v, want 1", mode, got)
+		}
+	}
+
+	rs := submit(t, o, QuerySpec{Query: allNames, Entry: "node/0", Mode: pdp.Referral, Radius: -1})
+	if !rs.Complete || rs.NodesContacted != 10 || rs.NodesResponded != 10 {
+		t.Errorf("referral: complete=%v %d/%d, want true 10/10",
+			rs.Complete, rs.NodesResponded, rs.NodesContacted)
+	}
+}
+
+// TestRetransmissionIsIdempotent floods retransmissions at a slow network
+// and checks the exactly-once execution invariant holds: duplicates are
+// absorbed, not re-evaluated, and no item is delivered twice.
+func TestRetransmissionIsIdempotent(t *testing.T) {
+	net := simnet.New(simnet.Config{Delay: simnet.UniformDelay(40 * time.Millisecond)})
+	defer net.Close()
+	c := resilienceCluster(t, topology.Line(4), net, ClusterConfig{
+		MaxRetries:    4,
+		RetryInterval: 10 * time.Millisecond, // far below the round trip: every child retries
+	})
+	defer c.Close()
+	o, _ := NewOriginator("orig", net, nil)
+	defer o.Close()
+
+	rs := submit(t, o, QuerySpec{
+		Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+		LoopTimeout: 10 * time.Second, AbortTimeout: 4 * time.Second,
+		MaxRetries: 4, RetryInterval: 10 * time.Millisecond,
+	})
+	st := c.TotalStats()
+	if st.Retries == 0 {
+		t.Error("expected retransmissions at a 10ms interval over 40ms links")
+	}
+	if st.Evals != 4 {
+		t.Errorf("evals = %d, want 4 (retransmission re-executed a query)", st.Evals)
+	}
+	if len(rs.Items) != 4 {
+		t.Errorf("items = %d, want 4 (duplicate finals double-delivered)", len(rs.Items))
+	}
+	if !rs.Complete || rs.NodesContacted != 4 || rs.NodesResponded != 4 {
+		t.Errorf("accounting: complete=%v %d/%d, want true 4/4",
+			rs.Complete, rs.NodesResponded, rs.NodesContacted)
+	}
+}

@@ -26,6 +26,27 @@ type txState struct {
 
 	pending map[string]bool // children still owing a final message
 
+	// children tracks every neighbor this node forwarded the query to,
+	// keyed by address — the retransmission and completeness bookkeeping
+	// that pending alone (which only shrinks) cannot carry.
+	children map[string]*childState
+
+	// skipped counts neighbors the circuit breaker excluded from
+	// forwarding. They are not contacted, but their absence makes the
+	// subtree's answer incomplete.
+	skipped int
+
+	// Subtree accounting aggregated from child finals (thesis-level
+	// partial-result semantics; see DESIGN.md "Fault model and resilience").
+	childContacted  int  // Σ nodes-contacted over child finals
+	childResponded  int  // Σ nodes-responded over child finals
+	childIncomplete bool // some child final carried complete="false"
+
+	// finalOut records the final upstream message so a parent's
+	// retransmitted query can be answered by resending it instead of
+	// re-running the transaction.
+	finalOut *pdp.Message
+
 	// buffered holds items not yet sent upstream (store-and-forward mode)
 	// or, in Metadata mode, the local items retained for a later Fetch.
 	buffered xq.Sequence
@@ -47,4 +68,15 @@ type txState struct {
 	// span covers this transaction's residency on the node, from query
 	// arrival to the final upstream message. Nil when tracing is off.
 	span *telemetry.Span
+}
+
+// childState is the per-child retransmission record: the exact query
+// message sent (deadlines are absolute, so a resend is byte-identical),
+// the retry timer, and how many retransmissions remain.
+type childState struct {
+	msg      *pdp.Message
+	timer    *time.Timer
+	left     int           // retransmissions remaining
+	interval time.Duration // next retry delay (doubles per attempt)
+	done     bool          // child delivered its final
 }

@@ -1,0 +1,5 @@
+// Package workload generates the synthetic Grid service population and the
+// canonical query mix used by the experiments — the substitution for the
+// European DataGrid testbed population of the paper (see DESIGN.md). The
+// generator is deterministic in its seed so every experiment is repeatable.
+package workload

@@ -1,7 +1,3 @@
-// Package workload generates the synthetic Grid service population and the
-// canonical query mix used by the experiments — the substitution for the
-// European DataGrid testbed population of the paper (see DESIGN.md). The
-// generator is deterministic in its seed so every experiment is repeatable.
 package workload
 
 import (
@@ -130,15 +126,15 @@ const (
 
 // CanonicalQuery is one entry of the discovery query mix.
 type CanonicalQuery struct {
-	ID    string
-	Class QueryClass
-	Prose string // the thesis formulates queries in prose first
-	XQ    string // the XQuery formulation
+	ID    string     // short identifier, e.g. "Q3"
+	Class QueryClass // difficulty class of the query
+	Prose string     // the thesis formulates queries in prose first
+	XQ    string     // the XQuery formulation
 	// KeyLookup reports whether a pure key-lookup system (DNS, Chord,
 	// Gnutella) can answer it; LDAPFilter whether an LDAP-style attribute
 	// filter can.
 	KeyLookup  bool
-	LDAPFilter bool
+	LDAPFilter bool // answerable by an LDAP-style attribute filter
 }
 
 // CanonicalQueries is the experiment E1 query mix: the simple/medium/

@@ -1,0 +1,10 @@
+// Package wsda implements the Web Service Discovery Architecture of thesis
+// Ch. 2 and Ch. 5: SWSDL service descriptions, service links, and the small
+// set of orthogonal discovery primitives — Presenter (service description
+// retrieval), Consumer (data publication), MinQuery (minimal query support)
+// and XQuery (powerful query support) — together with their HTTP network
+// protocol bindings.
+//
+// internal/registry supplies the local implementation of the query
+// primitives; Client/Handler bind them to HTTP for remote nodes.
+package wsda

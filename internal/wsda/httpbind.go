@@ -264,8 +264,8 @@ func UnmarshalSequence(root *xmldoc.Node) (xq.Sequence, error) {
 // Client talks the WSDA HTTP binding to a remote node. BaseURL is the
 // node's root (scheme://host:port); the client appends the binding paths.
 type Client struct {
-	BaseURL string
-	HTTP    *http.Client
+	BaseURL string       // node root, scheme://host:port
+	HTTP    *http.Client // transport override; nil uses http.DefaultClient
 }
 
 var _ Node = (*Client)(nil)
@@ -299,6 +299,29 @@ func (c *Client) post(path string, q url.Values, body string) (*xmldoc.Node, err
 	return readXMLResponse(resp)
 }
 
+// HTTPError is a non-2xx response from a remote WSDA node. It carries the
+// status code so callers can tell definitive client-side rejections (a
+// malformed query stays malformed, however often it is resent) from
+// transient server-side failures worth retrying.
+type HTTPError struct {
+	StatusCode int    // HTTP status the node answered with
+	Body       string // trimmed response body (the error text)
+}
+
+// Error formats the status and the remote error text.
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("wsda: remote error %d: %s", e.StatusCode, e.Body)
+}
+
+// Retryable reports whether resending the same request can plausibly
+// succeed: 5xx server errors, request timeouts and rate limiting are
+// retryable; every other 4xx is a definitive rejection.
+func (e *HTTPError) Retryable() bool {
+	return e.StatusCode >= 500 ||
+		e.StatusCode == http.StatusRequestTimeout ||
+		e.StatusCode == http.StatusTooManyRequests
+}
+
 func readXMLResponse(resp *http.Response) (*xmldoc.Node, error) {
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
@@ -306,7 +329,7 @@ func readXMLResponse(resp *http.Response) (*xmldoc.Node, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("wsda: remote error %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		return nil, &HTTPError{StatusCode: resp.StatusCode, Body: strings.TrimSpace(string(data))}
 	}
 	return xmldoc.ParseString(string(data))
 }

@@ -51,8 +51,8 @@ type Node interface {
 // LocalNode adapts an in-process Registry (plus its service description) to
 // the WSDA primitive interfaces.
 type LocalNode struct {
-	Desc     *Service
-	Registry *registry.Registry
+	Desc     *Service           // this node's own service description
+	Registry *registry.Registry // the local hyper registry
 }
 
 var _ Node = (*LocalNode)(nil)

@@ -1,9 +1,3 @@
-// Package wsda implements the Web Service Discovery Architecture of thesis
-// Ch. 2 and Ch. 5: SWSDL service descriptions, service links, and the small
-// set of orthogonal discovery primitives — Presenter (service description
-// retrieval), Consumer (data publication), MinQuery (minimal query support)
-// and XQuery (powerful query support) — together with their HTTP network
-// protocol bindings.
 package wsda
 
 import (
@@ -17,32 +11,32 @@ import (
 // Binding attaches an operation to a network protocol and endpoint, e.g.
 // {"http", "http://cms.cern.ch/rc/xquery"}.
 type Binding struct {
-	Protocol string
-	Endpoint string
+	Protocol string // wire protocol name, e.g. "http"
+	Endpoint string // invocation address for that protocol
 }
 
 // Operation is a named operation of a service interface, invokable over one
 // or more protocol bindings.
 type Operation struct {
-	Name     string
-	Bindings []Binding
+	Name     string    // operation name within the interface
+	Bindings []Binding // ways to invoke it, in preference order
 }
 
 // Interface is a set of operations under a well-known interface type.
 type Interface struct {
-	Type       string // e.g. "Presenter", "Consumer", "MinQuery", "XQuery"
-	Operations []Operation
+	Type       string      // e.g. "Presenter", "Consumer", "MinQuery", "XQuery"
+	Operations []Operation // the operations this interface offers
 }
 
 // Service is an SWSDL service description (thesis Ch. 2.2): a network
 // service is a collection of interfaces capable of executing operations
 // over network protocols to endpoints.
 type Service struct {
-	Name       string
-	Owner      string
-	Domain     string
-	Link       string // the service link: HTTP URL retrieving this description
-	Interfaces []Interface
+	Name       string            // human-readable service name
+	Owner      string            // owning principal or organization
+	Domain     string            // administrative domain, e.g. "cern.ch"
+	Link       string            // the service link: HTTP URL retrieving this description
+	Interfaces []Interface       // the interfaces the service implements
 	Attributes map[string]string // free-form service properties (load, ...)
 }
 

@@ -1,0 +1,9 @@
+// Package xmldoc implements the generic XML data model underlying the WSDA
+// tuple space (thesis Ch. 3). Every tuple element holds an arbitrary
+// well-formed XML document or fragment; the query engine (internal/xq)
+// navigates trees of Node values.
+//
+// The model is deliberately simple: a Node is a document, element,
+// attribute, text, or comment. Namespaces are carried as plain prefixed
+// names, which is sufficient for the discovery queries of the thesis.
+package xmldoc

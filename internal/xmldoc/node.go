@@ -1,11 +1,3 @@
-// Package xmldoc implements the generic XML data model underlying the WSDA
-// tuple space (thesis Ch. 3). Every tuple element holds an arbitrary
-// well-formed XML document or fragment; the query engine (internal/xq)
-// navigates trees of Node values.
-//
-// The model is deliberately simple: a Node is a document, element,
-// attribute, text, or comment. Namespaces are carried as plain prefixed
-// names, which is sufficient for the discovery queries of the thesis.
 package xmldoc
 
 import (
@@ -50,12 +42,12 @@ func (k Kind) String() string {
 // Attrs holds attribute nodes; they are not part of Children, matching the
 // XPath data model.
 type Node struct {
-	Kind     Kind
+	Kind     Kind    // node kind (document/element/text/...)
 	Name     string  // element/attribute name, possibly "prefix:local"
 	Data     string  // text/comment content, attribute value
 	Attrs    []*Node // attribute nodes (Kind == AttributeNode)
-	Children []*Node
-	Parent   *Node
+	Children []*Node // child nodes in document order
+	Parent   *Node   // enclosing node; nil at the root
 
 	// order is the document-order index assigned when the tree is built or
 	// renumbered; it makes sorting node sequences cheap.

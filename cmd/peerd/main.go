@@ -33,7 +33,6 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -157,12 +156,10 @@ func main() {
 		Build()
 
 	mux := http.NewServeMux()
-	mux.Handle("/wsda/", wsda.Handler(&wsda.LocalNode{Desc: desc, Registry: reg}))
+	mux.Handle("/wsda/", wsda.HandlerWithMetrics(&wsda.LocalNode{Desc: desc, Registry: reg}, metrics))
 	mux.Handle("/pdp", net.Handler())
 	mux.Handle("/pdp/", net.Handler())
-	mux.HandleFunc("/netquery", func(w http.ResponseWriter, r *http.Request) {
-		handleNetQuery(w, r, orig, pdpAddr)
-	})
+	mux.Handle(wsda.PathNetQuery, updf.NetQueryHandler(orig, pdpAddr, metrics))
 	mux.HandleFunc("/neighbors", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, strings.Join(node.Neighbors(), "\n"))
 	})
@@ -279,98 +276,6 @@ func logFinalSnapshot(m *telemetry.Metrics) {
 		return
 	}
 	log.Printf("final metrics snapshot: %s", data)
-}
-
-// handleNetQuery submits a network query through the embedded originator.
-// Query parameters: mode (routed|direct|metadata|referral), radius,
-// timeout-ms, pipeline, policy, fanout, retries. The response root carries
-// partial-result accounting: nodes-contacted, nodes-responded, complete.
-func handleNetQuery(w http.ResponseWriter, r *http.Request, orig *updf.Originator, entry string) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	body := make([]byte, 0, 1024)
-	buf := make([]byte, 4096)
-	for {
-		n, err := r.Body.Read(buf)
-		body = append(body, buf[:n]...)
-		if err != nil {
-			break
-		}
-		if len(body) > 1<<20 {
-			http.Error(w, "query too large", http.StatusRequestEntityTooLarge)
-			return
-		}
-	}
-	q := r.URL.Query()
-	spec := updf.QuerySpec{
-		Query: string(body),
-		Entry: entry,
-		Mode:  pdp.Routed,
-	}
-	switch q.Get("mode") {
-	case "", "routed":
-	case "direct":
-		spec.Mode = pdp.Direct
-	case "metadata":
-		spec.Mode = pdp.Metadata
-	case "referral":
-		spec.Mode = pdp.Referral
-	default:
-		http.Error(w, "unknown mode", http.StatusBadRequest)
-		return
-	}
-	spec.Radius = -1
-	if s := q.Get("radius"); s != "" {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			http.Error(w, "bad radius", http.StatusBadRequest)
-			return
-		}
-		spec.Radius = v
-	}
-	if s := q.Get("timeout-ms"); s != "" {
-		ms, err := strconv.Atoi(s)
-		if err != nil {
-			http.Error(w, "bad timeout-ms", http.StatusBadRequest)
-			return
-		}
-		spec.AbortTimeout = time.Duration(ms) * time.Millisecond
-		spec.LoopTimeout = 2 * spec.AbortTimeout
-	}
-	spec.Pipeline = q.Get("pipeline") == "true"
-	spec.Policy = q.Get("policy")
-	if s := q.Get("retries"); s != "" {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			http.Error(w, "bad retries", http.StatusBadRequest)
-			return
-		}
-		spec.MaxRetries = v
-	}
-	if s := q.Get("fanout"); s != "" {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			http.Error(w, "bad fanout", http.StatusBadRequest)
-			return
-		}
-		spec.Fanout = v
-	}
-	rs, err := orig.Submit(spec)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		return
-	}
-	res := wsda.MarshalSequence(rs.Items)
-	res.SetAttr("tx", rs.TxID)
-	res.SetAttr("elapsed-ms", strconv.FormatInt(rs.Elapsed.Milliseconds(), 10))
-	res.SetAttr("aborted", strconv.FormatBool(rs.Aborted))
-	res.SetAttr("nodes-contacted", strconv.Itoa(rs.NodesContacted))
-	res.SetAttr("nodes-responded", strconv.Itoa(rs.NodesResponded))
-	res.SetAttr("complete", strconv.FormatBool(rs.Complete))
-	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-	fmt.Fprint(w, res.String())
 }
 
 // lossyNetwork is the -chaos-drop fault injector: it silently discards a

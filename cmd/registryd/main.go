@@ -153,7 +153,7 @@ func main() {
 	defer close(stop)
 
 	mux := http.NewServeMux()
-	mux.Handle("/wsda/", wsda.Handler(node))
+	mux.Handle("/wsda/", wsda.HandlerWithMetrics(node, metrics))
 	// Every node — primary or replica — serves the change feed, so replicas
 	// can themselves be replicated (chained fan-out).
 	changefeed.NewServer(reg).Mount(mux)

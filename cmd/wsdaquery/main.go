@@ -5,8 +5,15 @@
 //	wsdaquery describe  -node http://localhost:8080
 //	wsdaquery minquery  -node http://localhost:8080 [-type service] [-ctx c] [-prefix http://cern.ch/]
 //	wsdaquery xquery    -node http://localhost:8080 'count(/tupleset/tuple)'
+//	wsdaquery netquery  -node http://localhost:9001 [-mode routed] [-radius -1] [-pipeline] 'for $s in //service return $s'
 //	wsdaquery publish   -node http://localhost:8080 -link URL -type service [-ttl 5m] [-content file.xml]
 //	wsdaquery unpublish -node http://localhost:8080 -link URL
+//
+// xquery and netquery take -stream to decode the response incrementally and
+// print items the moment they arrive (with netquery -pipeline the first item
+// can print while remote nodes are still evaluating), and -max-results N to
+// stop after N items — a streamed netquery then closes the transaction
+// network-wide, so no node keeps working for answers nobody will read.
 //
 // -node accepts a comma-separated failover list and -retry N repeats the
 // whole pass with exponential backoff, so queries ride out a primary
@@ -19,7 +26,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,7 +40,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wsdaquery <describe|minquery|xquery|publish|unpublish> [flags] [query]")
+	fmt.Fprintln(os.Stderr, "usage: wsdaquery <describe|minquery|xquery|netquery|publish|unpublish> [flags] [query]")
 	os.Exit(2)
 }
 
@@ -51,6 +60,12 @@ func main() {
 	contentFile := fs.String("content", "", "XML content file (publish)")
 	maxAge := fs.Duration("maxage", 0, "content freshness bound (xquery)")
 	pull := fs.Bool("pull-missing", false, "pull missing content (xquery)")
+	stream := fs.Bool("stream", false, "decode the response incrementally, printing items as they arrive (xquery/netquery)")
+	maxResults := fs.Int("max-results", 0, "stop after N items; 0 = unlimited (xquery/netquery)")
+	mode := fs.String("mode", "routed", "network query response mode: routed|direct|metadata|referral (netquery)")
+	radius := fs.Int("radius", -1, "network query horizon in hops; -1 = unbounded (netquery)")
+	pipeline := fs.Bool("pipeline", false, "relay partial results while the query is still spreading (netquery)")
+	netTimeout := fs.Duration("net-timeout", 0, "network query abort deadline; 0 = server default (netquery)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
@@ -74,7 +89,20 @@ func main() {
 	}
 
 	run(cmd, fs, attempt, fail,
-		link, typ, ctx, prefix, ttl, contentFile, maxAge, pull)
+		link, typ, ctx, prefix, ttl, contentFile, maxAge, pull,
+		streamOpts{stream: *stream, maxResults: *maxResults, mode: *mode,
+			radius: *radius, pipeline: *pipeline, netTimeout: *netTimeout})
+}
+
+// streamOpts bundles the delivery and network-query flags so run's
+// signature stays manageable.
+type streamOpts struct {
+	stream     bool
+	maxResults int
+	mode       string
+	radius     int
+	pipeline   bool
+	netTimeout time.Duration
 }
 
 // runAttempts runs do against each endpoint in order until one succeeds,
@@ -128,7 +156,16 @@ func retryableError(err error) bool {
 func run(cmd string, fs *flag.FlagSet,
 	attempt func(do func(c *wsda.Client) error) error, fail func(error),
 	link, typ, ctx, prefix *string, ttl *time.Duration, contentFile *string,
-	maxAge *time.Duration, pull *bool) {
+	maxAge *time.Duration, pull *bool, so streamOpts) {
+
+	// printItem writes one result item to stdout the moment it arrives and
+	// enforces the client-side -max-results bound for buffered responses.
+	printed := 0
+	printItem := func(it xq.Item) bool {
+		fmt.Println(xq.Serialize(xq.Sequence{it}))
+		printed++
+		return so.maxResults == 0 || printed < so.maxResults
+	}
 
 	switch cmd {
 	case "describe":
@@ -156,18 +193,58 @@ func run(cmd string, fs *flag.FlagSet,
 		if fs.NArg() != 1 {
 			fail(fmt.Errorf("xquery needs exactly one query argument"))
 		}
+		opts := registry.QueryOptions{
+			Filter:    registry.Filter{Type: *typ, Context: *ctx, LinkPrefix: *prefix},
+			Freshness: registry.Freshness{MaxAge: *maxAge, PullMissing: *pull},
+		}
+		if so.stream || so.maxResults > 0 {
+			var sum *wsda.StreamSummary
+			if err := attempt(func(c *wsda.Client) (err error) {
+				sum, err = c.XQueryStream(fs.Arg(0), opts, so.maxResults, printItem)
+				return err
+			}); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "%d items, complete=%v\n", sum.Count, sum.Complete)
+			return
+		}
 		var seq xq.Sequence
 		if err := attempt(func(c *wsda.Client) (err error) {
-			seq, err = c.XQuery(fs.Arg(0), registry.QueryOptions{
-				Filter:    registry.Filter{Type: *typ, Context: *ctx, LinkPrefix: *prefix},
-				Freshness: registry.Freshness{MaxAge: *maxAge, PullMissing: *pull},
-			})
+			seq, err = c.XQuery(fs.Arg(0), opts)
 			return err
 		}); err != nil {
 			fail(err)
 		}
 		fmt.Println(xq.Serialize(seq))
 		fmt.Fprintf(os.Stderr, "%d items\n", len(seq))
+	case "netquery":
+		if fs.NArg() != 1 {
+			fail(fmt.Errorf("netquery needs exactly one query argument"))
+		}
+		params := url.Values{}
+		params.Set("mode", so.mode)
+		params.Set("radius", strconv.Itoa(so.radius))
+		if so.pipeline {
+			params.Set("pipeline", "true")
+		}
+		if so.netTimeout > 0 {
+			params.Set("timeout-ms", strconv.FormatInt(so.netTimeout.Milliseconds(), 10))
+		}
+		if so.stream {
+			params.Set("stream", "true")
+		}
+		if so.maxResults > 0 {
+			params.Set("max-results", strconv.Itoa(so.maxResults))
+		}
+		var sum *wsda.StreamSummary
+		if err := attempt(func(c *wsda.Client) (err error) {
+			sum, err = c.NetQueryStream(fs.Arg(0), params, printItem)
+			return err
+		}); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "%d items, complete=%v aborted=%v nodes-contacted=%d nodes-responded=%d elapsed=%v\n",
+			sum.Count, sum.Complete, sum.Aborted, sum.NodesContacted, sum.NodesResponded, sum.Elapsed)
 	case "publish":
 		if *link == "" {
 			fail(fmt.Errorf("publish needs -link"))

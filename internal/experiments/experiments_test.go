@@ -394,3 +394,22 @@ func TestE16AbortDegradation(t *testing.T) {
 	}
 	t.Log("\n" + tab.String())
 }
+
+func TestE17(t *testing.T) {
+	tab, err := E17StreamedDelivery([]int{4, 10}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// Shape: on the longer chain the streamed first item leaves the HTTP
+	// edge well before the buffered document even starts (buffered t-first
+	// tracks total latency).
+	bufFirst := tab.Rows[2][2]
+	strFirst := tab.Rows[3][2]
+	if toMicros(t, strFirst) >= toMicros(t, bufFirst) {
+		t.Errorf("streamed t-first %s !< buffered t-first %s", strFirst, bufFirst)
+	}
+	t.Log("\n" + tab.String())
+}

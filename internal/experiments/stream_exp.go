@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"time"
+
+	"wsda/internal/topology"
+	"wsda/internal/updf"
+	"wsda/internal/wsda"
+	"wsda/internal/xq"
+)
+
+// E17StreamedDelivery measures end-to-end streamed result delivery over
+// HTTP: a pipelined network query along a node chain, served through the
+// real /netquery handler to a real HTTP client, comparing buffered
+// delivery (the whole <results> document materializes before the first
+// byte reaches the caller) against chunked streaming (each item is
+// flushed the moment it arrives from the network). Streamed
+// time-to-first-item stays flat as the chain grows; buffered
+// time-to-first tracks total latency and grows linearly with it.
+func E17StreamedDelivery(chainLens []int, delay time.Duration) (*Table, error) {
+	t := &Table{
+		ID:    "E17",
+		Title: fmt.Sprintf("Streamed vs. buffered HTTP delivery along a chain, %v links (thesis Ch. 6.5)", delay),
+		Note: "pipelined routed query over /netquery. buffered t-first ~= t-last and grows\n" +
+			"with chain length; streamed t-first is flat: the first item leaves the HTTP\n" +
+			"edge while far nodes are still evaluating.",
+		Header: []string{"chain", "delivery", "t-first", "t-last", "hits"},
+	}
+	for _, n := range chainLens {
+		for _, streamed := range []bool{false, true} {
+			tFirst, tLast, hits, err := runStreamedChain(n, delay, streamed)
+			if err != nil {
+				return nil, err
+			}
+			if hits != n {
+				return nil, fmt.Errorf("E17 chain %d streamed=%v: hits = %d", n, streamed, hits)
+			}
+			delivery := "buffered"
+			if streamed {
+				delivery = "streamed"
+			}
+			t.Add(fint(n), delivery, fdur(tFirst), fdur(tLast), fint(hits))
+		}
+	}
+	return t, nil
+}
+
+// runStreamedChain runs one pipelined chain query through an HTTP server
+// mounting the /netquery handler and reports client-observed
+// time-to-first-item, total time, and the item count.
+func runStreamedChain(n int, delay time.Duration, streamed bool) (tFirst, tLast time.Duration, hits int, err error) {
+	c, net, o, err := buildP2P(topology.Line(n), delay, false)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer func() { o.Close(); c.Close(); net.Close() }()
+
+	srv := httptest.NewServer(updf.NetQueryHandler(o, "node/0", nil))
+	defer srv.Close()
+
+	params := url.Values{}
+	params.Set("mode", "routed")
+	params.Set("radius", "-1")
+	params.Set("pipeline", "true")
+	if streamed {
+		params.Set("stream", "true")
+	}
+	cl := wsda.NewClient(srv.URL)
+	start := time.Now()
+	sum, err := cl.NetQueryStream(allServicesQuery, params, func(xq.Item) bool {
+		if hits == 0 {
+			tFirst = time.Since(start)
+		}
+		hits++
+		return true
+	})
+	tLast = time.Since(start)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if sum.Count != hits {
+		return 0, 0, 0, fmt.Errorf("summary count %d != delivered %d", sum.Count, hits)
+	}
+	return tFirst, tLast, hits, nil
+}

@@ -327,6 +327,30 @@ func (m *Metrics) GaugeFunc(name, help string, fn func() float64) {
 	c.gaugeFn = fn
 }
 
+// GaugeFuncVec is a gauge family with labels whose series values are read
+// from callbacks at exposition time — the labeled form of GaugeFunc, for
+// per-instance state that already lives behind an accessor (e.g. one
+// breaker open-count per node).
+type GaugeFuncVec struct{ f *family }
+
+// GaugeFuncVec registers (or fetches) a labeled gauge-func family.
+func (m *Metrics) GaugeFuncVec(name, help string, labels ...string) *GaugeFuncVec {
+	if m == nil {
+		return nil
+	}
+	return &GaugeFuncVec{f: m.lookup(name, help, kindGaugeFunc, labels, nil)}
+}
+
+// With binds fn as the series for the given label values; fn is invoked on
+// every exposition. Re-binding the same label set replaces the callback.
+func (v *GaugeFuncVec) With(fn func() float64, values ...string) {
+	if v == nil {
+		return
+	}
+	c := v.f.get(values)
+	c.gaugeFn = fn
+}
+
 // CounterVec is a counter family with labels.
 type CounterVec struct{ f *family }
 

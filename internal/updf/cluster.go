@@ -6,6 +6,7 @@ import (
 
 	"wsda/internal/pdp"
 	"wsda/internal/registry"
+	"wsda/internal/telemetry"
 	"wsda/internal/topology"
 )
 
@@ -43,6 +44,11 @@ type ClusterConfig struct {
 	BreakerThreshold int
 	// BreakerCooldown is passed through to each node.
 	BreakerCooldown time.Duration
+	// Metrics, when set, instruments every node (see Config.Metrics).
+	Metrics *telemetry.Metrics
+	// Tracer, when set, records per-node transaction spans (see
+	// Config.Tracer).
+	Tracer *telemetry.Tracer
 }
 
 // BuildCluster creates one node per graph vertex and wires neighbor sets
@@ -75,6 +81,8 @@ func BuildCluster(g *topology.Graph, cfg ClusterConfig) (*Cluster, error) {
 			RetryInterval:    cfg.RetryInterval,
 			BreakerThreshold: cfg.BreakerThreshold,
 			BreakerCooldown:  cfg.BreakerCooldown,
+			Metrics:          cfg.Metrics,
+			Tracer:           cfg.Tracer,
 			Seed:             int64(i + 1),
 		})
 		if err != nil {

@@ -108,6 +108,7 @@ type Stats struct {
 	Retries        int64 // child-query retransmissions
 	BreakerOpens   int64 // neighbor circuits tripped open
 	BreakerSkips   int64 // forwards suppressed by an open circuit
+	Closes         int64 // live transactions cancelled by a KindClose
 }
 
 // Node is one UPDF peer. It is driven entirely by messages delivered from
@@ -131,6 +132,7 @@ type Node struct {
 	evals, evalErrors, forwards             atomic.Int64
 	aborts, lateMessages                    atomic.Int64
 	retries, breakerOpens, breakerSkips     atomic.Int64
+	closes                                  atomic.Int64
 
 	// Telemetry handles; nil when Config.Metrics/Tracer are unset.
 	tracer           *telemetry.Tracer
@@ -138,7 +140,6 @@ type Node struct {
 	evalSeconds      *telemetry.Histogram
 	loopCheckSeconds *telemetry.Histogram
 	retriesMetric    *telemetry.Counter
-	breakerGauge     *telemetry.Gauge
 }
 
 // NewNode creates a node and registers it on the network.
@@ -189,8 +190,12 @@ func NewNode(cfg Config) (*Node, error) {
 			"Latency of state-table sweeps.", nil, "node").With(cfg.Addr))
 		n.retriesMetric = m.CounterVec("wsda_pdp_retries_total",
 			"Child-query retransmissions to unresponsive neighbors.", "node").With(cfg.Addr)
-		n.breakerGauge = m.GaugeVec("wsda_pdp_breaker_open",
-			"Neighbor circuits currently open (updated on breaker events).", "node").With(cfg.Addr)
+		// Read the breaker at exposition time rather than on breaker
+		// events: cooldown expiry closes circuits silently, so an
+		// event-updated gauge would stay stuck high until the next trip.
+		m.GaugeFuncVec("wsda_pdp_breaker_open",
+			"Neighbor circuits currently open (read at scrape time).", "node").
+			With(func() float64 { return float64(n.BreakerOpenCount()) }, cfg.Addr)
 	}
 	if cfg.BreakerThreshold > 0 {
 		n.breaker = resilience.NewBreaker(resilience.BreakerConfig{
@@ -243,6 +248,7 @@ func (n *Node) Stats() Stats {
 		Retries:        n.retries.Load(),
 		BreakerOpens:   n.breakerOpens.Load(),
 		BreakerSkips:   n.breakerSkips.Load(),
+		Closes:         n.closes.Load(),
 	}
 }
 
@@ -412,7 +418,6 @@ func (n *Node) handleQuery(m *pdp.Message) {
 				}
 			}
 			children = kept
-			n.updateBreakerGauge()
 		}
 		childScope := m.Scope
 		if childScope.Radius > 0 {
@@ -510,14 +515,6 @@ func (n *Node) retryChild(tx, child string) {
 		n.retriesMetric.Inc()
 	}
 	n.send(msg)
-}
-
-// updateBreakerGauge pushes the current open-circuit count into the
-// wsda_pdp_breaker_open gauge (no-op without metrics or breaker).
-func (n *Node) updateBreakerGauge() {
-	if n.breakerGauge != nil {
-		n.breakerGauge.Set(float64(n.breaker.OpenCount()))
-	}
 }
 
 // childFinalLocked books a final message from a child: cancels its retry
@@ -666,11 +663,22 @@ func (n *Node) handleResult(m *pdp.Message) {
 	switch st.mode {
 	case pdp.Routed:
 		st.subtreeHits += len(m.Items)
+		if cs := st.children[m.From]; cs != nil {
+			cs.received += len(m.Items)
+			if m.Final {
+				cs.promised = m.HitCount
+			}
+		}
 		if st.pipeline {
 			if len(m.Items) > 0 {
+				// The relay carries this node's span as its trace parent —
+				// like evalLocal's pipelined send — so relayed items stay
+				// attached to the hop tree instead of surfacing as orphan
+				// roots.
 				relay = &pdp.Message{
 					Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.parent,
 					Items: m.Items, HitCount: len(m.Items), Source: m.Source,
+					TraceParent: st.span.ID(),
 				}
 			}
 		} else {
@@ -681,7 +689,7 @@ func (n *Node) handleResult(m *pdp.Message) {
 		if m.HitCount > 0 && m.Source != "" {
 			relay = &pdp.Message{
 				Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: st.parent,
-				HitCount: m.HitCount, Source: m.Source,
+				HitCount: m.HitCount, Source: m.Source, TraceParent: st.span.ID(),
 			}
 		}
 	}
@@ -719,23 +727,36 @@ func (n *Node) handleReceipt(m *pdp.Message) {
 }
 
 // handleFetch serves the items retained for Metadata mode directly to the
-// originator.
+// originator. Only Metadata-mode state is fetchable, and the answer goes to
+// the origin recorded when the query arrived, never to an address the Fetch
+// message claims: a Fetch against a Routed transaction (whose buffer holds
+// in-flight results bound for the parent) or with a forged Origin must not
+// leak the buffer.
 func (n *Node) handleFetch(m *pdp.Message) {
-	to := m.Origin
-	if to == "" {
-		to = m.From
-	}
 	resp := &pdp.Message{
-		Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: to,
+		Kind: pdp.KindResult, TxID: m.TxID, From: n.cfg.Addr, To: m.From,
 		Source: n.cfg.Addr, Final: true,
 	}
-	if st, ok := n.states.Get(m.TxID); ok {
-		st.mu.Lock()
+	st, ok := n.states.Get(m.TxID)
+	if !ok {
+		resp.Err = "state expired"
+		n.send(resp)
+		return
+	}
+	st.mu.Lock()
+	mode, origin := st.mode, st.origin
+	if mode == pdp.Metadata {
 		resp.Items = append(xq.Sequence(nil), st.buffered...)
 		resp.HitCount = len(resp.Items)
-		st.mu.Unlock()
-	} else {
-		resp.Err = "state expired"
+	}
+	st.mu.Unlock()
+	if mode != pdp.Metadata {
+		resp.Err = "fetch: not a metadata transaction"
+		n.send(resp)
+		return
+	}
+	if origin != "" {
+		resp.To = origin
 	}
 	n.send(resp)
 }
@@ -753,6 +774,7 @@ func (n *Node) handleClose(m *pdp.Message) {
 		return
 	}
 	st.finalSent = true
+	n.closes.Add(1)
 	if st.timer != nil {
 		st.timer.Stop()
 	}
@@ -778,10 +800,12 @@ func (n *Node) handleClose(m *pdp.Message) {
 }
 
 // checkCompletion finalizes the transaction once the local evaluation is
-// done and every child has reported.
+// done, every child has reported, and every routed child's declared items
+// have been drained (see childrenDrainedLocked); until then each arriving
+// result re-triggers this check.
 func (n *Node) checkCompletion(tx string, st *txState) {
 	st.mu.Lock()
-	if st.finalSent || !st.localDone || len(st.pending) > 0 {
+	if st.finalSent || !st.localDone || len(st.pending) > 0 || !st.childrenDrainedLocked() {
 		st.mu.Unlock()
 		return
 	}
@@ -883,9 +907,6 @@ func (n *Node) finalizeLocked(tx string, st *txState, abortErr string) {
 	}
 	for _, c := range failed {
 		n.breaker.Failure(c)
-	}
-	if len(failed) > 0 {
-		n.updateBreakerGauge()
 	}
 }
 

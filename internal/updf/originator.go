@@ -40,6 +40,13 @@ type QuerySpec struct {
 	// closes the transaction network-wide.
 	OnItem func(item xq.Item, source string) bool
 
+	// Cancel, if set, aborts the submission early when it becomes
+	// readable or closed (e.g. an HTTP request context's Done channel):
+	// the transaction is closed network-wide with KindClose instead of
+	// running to the abort deadline, and the partial ResultSet comes back
+	// with Complete forced to false. Nil never cancels.
+	Cancel <-chan struct{}
+
 	// MaxRetries retransmits the entry query while no final has arrived
 	// from the entry node — the first hop's counterpart of the per-node
 	// child retransmission (Config.MaxRetries). Zero disables.
@@ -55,8 +62,11 @@ type ResultSet struct {
 	Items xq.Sequence // every delivered result item
 	// Sources counts items per producing node address (where known).
 	Sources map[string]int
-	// ExpectedHits is the subtree hit total reported by receipts (Direct
-	// and Metadata modes; 0 for Routed).
+	// ExpectedHits is the subtree hit total the network promised: receipts
+	// report it in Direct and Metadata modes, and the entry node's routed
+	// final carries it as the count of items relayed upstream — Submit
+	// drains until the delivered items reach it, so pipelined partials
+	// that race the final over a reordering transport are not dropped.
 	ExpectedHits int
 	// TimeToFirst is the latency until the first item arrived (0 if none).
 	TimeToFirst time.Duration
@@ -222,7 +232,14 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 	}
 
 	rs := &ResultSet{TxID: tx, Sources: make(map[string]int)}
+	// Metadata mode: a fetch that errs (state expired) or delivers fewer
+	// items than its record promised means items are provably missing —
+	// the entry receipt's Complete verdict must not survive that.
+	fetchShortfall := false
 	finish := func() {
+		if fetchShortfall {
+			rs.Complete = false
+		}
 		o.submitSeconds.ObserveDuration(rs.Elapsed)
 		if rs.TimeToFirst > 0 {
 			o.firstSeconds.ObserveDuration(rs.TimeToFirst)
@@ -290,7 +307,10 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 		}
 		switch s.Mode {
 		case pdp.Routed:
-			return true
+			// Pipelined partials travel on their own messages and may trail
+			// the entry final on a reordering transport; the final's hit
+			// count says how many items must arrive before returning.
+			return len(rs.Items) >= rs.ExpectedHits
 		case pdp.Direct:
 			return len(rs.Items) >= rs.ExpectedHits
 		case pdp.Metadata:
@@ -326,6 +346,12 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 						})
 					}
 				} else {
+					if s.Mode == pdp.Metadata && m.Final && !fetchesPending[m.Source] {
+						// A fetch answer we did not (or no longer) expect —
+						// a retransmission or a response to a forged fetch.
+						// Counting its items again would corrupt the result.
+						continue
+					}
 					if !addItems(m.Items, m.Source) {
 						closeTx()
 						rs.Complete = false // cancelled by the consumer
@@ -337,8 +363,15 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 						switch {
 						case s.Mode == pdp.Metadata:
 							delete(fetchesPending, m.Source)
+							if promised := metaRecords[m.Source]; m.Err != "" || len(m.Items) < promised {
+								fetchShortfall = true
+								rs.Errs = append(rs.Errs, fmt.Sprintf(
+									"%s: fetch delivered %d of %d promised items",
+									m.Source, len(m.Items), promised))
+							}
 						case s.Mode == pdp.Routed && m.From == s.Entry:
 							entryFinal = true
+							rs.ExpectedHits = m.HitCount
 							rs.NodesContacted = m.NodesContacted
 							rs.NodesResponded = m.NodesResponded
 							rs.Complete = m.Complete
@@ -365,6 +398,16 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 					retryTimer.Reset(retryInterval)
 				}
 			}
+		case <-s.Cancel:
+			// The consumer went away (e.g. HTTP client disconnect): close
+			// the transaction network-wide now instead of letting it run
+			// to the abort deadline.
+			closeTx()
+			rs.Complete = false
+			rs.Elapsed = o.now().Sub(start)
+			rs.NodesVisited = len(rs.Sources)
+			finish()
+			return rs, nil
 		case <-timer.C:
 			rs.Aborted = true
 			rs.Complete = false
@@ -487,6 +530,15 @@ func (o *Originator) submitReferral(s QuerySpec) (*ResultSet, error) {
 				}
 			}
 			askAll(m.Neighbors, depth[m.From]+1)
+		case <-s.Cancel:
+			// Consumer gone; referral queries are single-node and already
+			// in flight, so there is nothing to close — stop expanding.
+			rs.NodesContacted = len(visited)
+			rs.NodesResponded = rs.NodesVisited
+			rs.Complete = false
+			rs.Elapsed = o.now().Sub(start)
+			finish()
+			return rs, nil
 		case <-deadline.C:
 			rs.Aborted = true
 			rs.NodesContacted = len(visited)

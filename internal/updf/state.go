@@ -79,4 +79,29 @@ type childState struct {
 	left     int           // retransmissions remaining
 	interval time.Duration // next retry delay (doubles per attempt)
 	done     bool          // child delivered its final
+
+	// Routed-mode drain accounting: received counts result items that
+	// arrived from this child, promised is the subtree item total its
+	// final declared (pdp.Message.HitCount). Pipelined partials travel on
+	// their own messages and a reordering transport can deliver them
+	// after the final — the subtree must not finalize while a child's
+	// declared items are still in flight, or they are dropped as late.
+	received int
+	promised int
+}
+
+// childrenDrainedLocked reports whether every finalized routed child has
+// delivered as many result items as its final declared. Always true
+// outside Routed mode (Direct/Metadata items bypass the parent). st.mu
+// must be held.
+func (st *txState) childrenDrainedLocked() bool {
+	if st.mode != pdp.Routed {
+		return true
+	}
+	for _, cs := range st.children {
+		if cs.done && cs.received < cs.promised {
+			return false
+		}
+	}
+	return true
 }

@@ -10,10 +10,15 @@ import (
 	"time"
 
 	"wsda/internal/registry"
+	"wsda/internal/telemetry"
 	"wsda/internal/tuple"
 	"wsda/internal/xmldoc"
 	"wsda/internal/xq"
 )
+
+// MetricFirstItemSeconds is the edge time-to-first-item histogram, labeled
+// by path ("xquery" here, "netquery" at the peer's network-query edge).
+const MetricFirstItemSeconds = "wsda_http_first_item_seconds"
 
 // HTTP binding paths for the WSDA primitives.
 const (
@@ -24,9 +29,29 @@ const (
 	PathXQuery    = "/wsda/xquery"
 )
 
+// PathNetQuery is the network-query endpoint peers expose alongside the
+// WSDA binding (served by peerd, not by this package's Handler).
+const PathNetQuery = "/netquery"
+
+// MaxQueryBytes bounds the request body of query endpoints. Oversize
+// queries are rejected with 413 rather than silently truncated into a
+// different (usually malformed) query.
+const MaxQueryBytes = 1 << 20
+
 // Handler exposes a Node over the WSDA HTTP protocol binding. Register it
 // on any mux; all paths are absolute.
-func Handler(n Node) http.Handler {
+func Handler(n Node) http.Handler { return HandlerWithMetrics(n, nil) }
+
+// HandlerWithMetrics is Handler with edge telemetry: when m is non-nil,
+// streamed /wsda/xquery responses record the time from request start to
+// the first item in the wsda_http_first_item_seconds histogram.
+func HandlerWithMetrics(n Node, m *telemetry.Metrics) http.Handler {
+	var firstItem *telemetry.Histogram
+	if m != nil {
+		firstItem = m.HistogramVec(MetricFirstItemSeconds,
+			"Time from request start to the first streamed result item leaving the HTTP edge.",
+			nil, "path").With("xquery")
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathPresenter, func(w http.ResponseWriter, r *http.Request) {
 		desc, err := n.GetServiceDescription()
@@ -113,9 +138,16 @@ func Handler(n Node) http.Handler {
 			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 			return
 		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		// Read one byte past the limit so an oversize body is detectable
+		// and answered with 413 instead of evaluating a truncated query.
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxQueryBytes+1))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(body) > MaxQueryBytes {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("query exceeds %d bytes", MaxQueryBytes))
 			return
 		}
 		q := r.URL.Query()
@@ -137,12 +169,84 @@ func Handler(n Node) http.Handler {
 		if q.Get("pull-missing") == "true" {
 			opts.Freshness.PullMissing = true
 		}
-		seq, err := n.XQuery(string(body), opts)
-		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err)
+		maxResults := 0
+		if s := q.Get("max-results"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad max-results"))
+				return
+			}
+			maxResults = v
+		}
+		if q.Get("stream") != "true" && maxResults == 0 {
+			seq, err := n.XQuery(string(body), opts)
+			if err != nil {
+				httpError(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			writeXML(w, MarshalSequence(seq))
 			return
 		}
-		writeXML(w, MarshalSequence(seq))
+
+		// Streamed (or result-bounded) delivery: items leave through the
+		// Emit callback the moment the engine produces them; evaluation
+		// stops early on the max-results bound or a client disconnect.
+		start := time.Now()
+		var sw *StreamWriter
+		if q.Get("stream") == "true" {
+			sw = NewStreamWriter(w)
+		}
+		var collected xq.Sequence
+		count := 0
+		truncated := false
+		ctx := r.Context()
+		deliver := func(it xq.Item) bool {
+			if ctx.Err() != nil {
+				truncated = true
+				return false
+			}
+			if sw != nil {
+				if count == 0 {
+					firstItem.ObserveSince(start)
+				}
+				if sw.WriteItem(it) != nil {
+					truncated = true
+					return false
+				}
+			} else {
+				collected = append(collected, it)
+			}
+			count++
+			if maxResults > 0 && count >= maxResults {
+				truncated = true
+				return false
+			}
+			return true
+		}
+		opts.Emit = deliver
+		seq, err := n.XQuery(string(body), opts)
+		if err != nil {
+			if sw == nil || !sw.Started() {
+				httpError(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			_ = sw.Close(StreamSummary{Complete: false, Elapsed: time.Since(start)})
+			return
+		}
+		// Nodes that do not honor Emit (e.g. a proxying Client) return the
+		// full sequence instead; feed it through the same delivery path.
+		if count == 0 && len(seq) > 0 {
+			for _, it := range seq {
+				if !deliver(it) {
+					break
+				}
+			}
+		}
+		if sw != nil {
+			_ = sw.Close(StreamSummary{Complete: !truncated, Elapsed: time.Since(start)})
+			return
+		}
+		writeXML(w, MarshalSequence(collected))
 	})
 	return mux
 }
@@ -162,31 +266,7 @@ func MarshalSequence(seq xq.Sequence) *xmldoc.Node {
 	root := xmldoc.NewElement("results")
 	root.SetAttr("count", strconv.Itoa(len(seq)))
 	for _, it := range seq {
-		switch v := it.(type) {
-		case *xmldoc.Node:
-			wrap := xmldoc.NewElement("node")
-			body := v
-			if body.Kind == xmldoc.DocumentNode {
-				body = body.DocumentElement()
-			}
-			if body != nil {
-				switch body.Kind {
-				case xmldoc.ElementNode:
-					wrap.AppendChild(body.Clone())
-				case xmldoc.AttributeNode:
-					wrap.SetAttr("attr-name", body.Name)
-					wrap.AppendChild(xmldoc.NewText(body.Data))
-				default:
-					wrap.AppendChild(xmldoc.NewText(body.StringValue()))
-				}
-			}
-			root.AppendChild(wrap)
-		default:
-			a := xmldoc.NewElement("atomic")
-			a.SetAttr("type", atomicType(it))
-			a.AppendChild(xmldoc.NewText(xq.StringValue(it)))
-			root.AppendChild(a)
-		}
+		root.AppendChild(marshalItem(it))
 	}
 	root.Renumber()
 	return root
@@ -218,44 +298,14 @@ func UnmarshalSequence(root *xmldoc.Node) (xq.Sequence, error) {
 	var seq xq.Sequence
 	for _, c := range root.ChildElements() {
 		switch c.LocalName() {
-		case "node":
-			if an, ok := c.Attr("attr-name"); ok {
-				seq = append(seq, xmldoc.NewAttr(an, c.StringValue()))
-				continue
+		case "node", "atomic":
+			it, err := unmarshalItem(c)
+			if err != nil {
+				return nil, err
 			}
-			var inner *xmldoc.Node
-			for _, cc := range c.ChildElements() {
-				inner = cc
-				break
-			}
-			if inner != nil {
-				n := inner.Clone()
-				n.Renumber()
-				seq = append(seq, n)
-			} else {
-				seq = append(seq, xmldoc.NewText(c.StringValue()))
-			}
-		case "atomic":
-			typ, _ := c.Attr("type")
-			s := c.StringValue()
-			switch typ {
-			case "boolean":
-				seq = append(seq, s == "true")
-			case "integer":
-				i, err := strconv.ParseInt(s, 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("wsda: bad integer %q", s)
-				}
-				seq = append(seq, i)
-			case "decimal":
-				f, err := strconv.ParseFloat(s, 64)
-				if err != nil {
-					return nil, fmt.Errorf("wsda: bad decimal %q", s)
-				}
-				seq = append(seq, f)
-			default:
-				seq = append(seq, s)
-			}
+			seq = append(seq, it)
+		default:
+			// Skip non-item elements (e.g. a <summary> trailer).
 		}
 	}
 	return seq, nil
@@ -403,10 +453,9 @@ func (c *Client) MinQuery(f registry.Filter) ([]*tuple.Tuple, error) {
 	return out, nil
 }
 
-// XQuery implements the powerful query primitive against the remote node.
-// Only the Filter and Freshness options cross the wire; Emit and Vars are
-// local-only concepts.
-func (c *Client) XQuery(query string, opts registry.QueryOptions) (xq.Sequence, error) {
+// xqueryParams renders the wire-crossing query options (Filter and
+// Freshness; Emit and Vars are local-only concepts) as URL parameters.
+func xqueryParams(opts registry.QueryOptions) url.Values {
 	q := url.Values{}
 	if opts.Filter.Type != "" {
 		q.Set("type", opts.Filter.Type)
@@ -423,7 +472,14 @@ func (c *Client) XQuery(query string, opts registry.QueryOptions) (xq.Sequence, 
 	if opts.Freshness.PullMissing {
 		q.Set("pull-missing", "true")
 	}
-	doc, err := c.post(PathXQuery, q, query)
+	return q
+}
+
+// XQuery implements the powerful query primitive against the remote node.
+// Only the Filter and Freshness options cross the wire; Emit and Vars are
+// local-only concepts.
+func (c *Client) XQuery(query string, opts registry.QueryOptions) (xq.Sequence, error) {
+	doc, err := c.post(PathXQuery, xqueryParams(opts), query)
 	if err != nil {
 		return nil, err
 	}

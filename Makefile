@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet build doclint test bench-noop bench bench-guard run-registryd run-peerd
+.PHONY: check fmt-check vet build doclint test bench-noop bench bench-guard smoke run-registryd run-peerd
 
-check: fmt-check vet build doclint test bench-noop
+check: fmt-check vet build doclint test bench-noop bench-guard smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -39,11 +39,17 @@ bench-noop:
 bench:
 	$(GO) test -bench . -benchtime 1s ./...
 
-# View-maintenance perf guard: runs BenchmarkViewQuery{Cold,Warm,Churn} with
-# -benchmem, writes BENCH_view.json, and fails if the warm (cached-view)
-# path allocates more than the budget per query.
+# Perf guards: runs the view suite (BenchmarkViewQuery{Cold,Warm,Churn} ->
+# BENCH_view.json, warm allocs/op budget) and the stream suite
+# (BenchmarkStream{WriteItem,FirstItem} -> BENCH_stream.json, per-item
+# write allocs/op budget) with -benchmem, and fails on any budget breach.
 bench-guard:
-	$(GO) run ./cmd/benchguard -out BENCH_view.json
+	$(GO) run ./cmd/benchguard
+
+# Boots a real registryd on a free port and verifies /healthz, /readyz and
+# /slo answer, then shuts it down — the CI probe-endpoint smoke test.
+smoke:
+	$(GO) run ./cmd/smoketest
 
 run-registryd:
 	$(GO) run ./cmd/registryd -seed-services 100

@@ -6,6 +6,7 @@ package wsda_test
 
 import (
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -300,6 +301,89 @@ func BenchmarkViewQueryChurn(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Streaming benchmarks (ISSUE 6 acceptance) ---
+//
+// BenchmarkStreamWriteItem guards the per-item hot path of the chunked
+// HTTP stream encoder: delivering one already-evaluated item must stay a
+// small constant number of allocations, or large result streams turn into
+// GC pressure at the edge. BenchmarkStreamFirstItem tracks time-to-first-
+// item of a pipelined streamed network query over an 8-node chain — the
+// latency the first-item SLO is about.
+
+// discardWriter is an http.ResponseWriter that throws the body away, so
+// the write benchmark measures encoding, not buffer growth.
+type discardWriter struct{ h http.Header }
+
+func (d *discardWriter) Header() http.Header         { return d.h }
+func (d *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardWriter) WriteHeader(int)             {}
+func (d *discardWriter) Flush()                      {}
+
+func BenchmarkStreamWriteItem(b *testing.B) {
+	el := xmldoc.MustParse(`<service name="bench" owner="wsda"><op>query</op></service>`).DocumentElement()
+	sw := wsda.NewStreamWriter(&discardWriter{h: make(http.Header)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sw.WriteItem(el); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamFirstItem(b *testing.B) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	gen := workload.NewGen(1)
+	cluster, err := updf.BuildCluster(topology.Line(8), updf.ClusterConfig{
+		Net: net,
+		RegistryFor: func(i int) *registry.Registry {
+			r := registry.New(registry.Config{Name: fmt.Sprintf("r%d", i), DefaultTTL: time.Hour})
+			if _, err := r.Publish(gen.Tuple(i), time.Hour); err != nil {
+				b.Fatal(err)
+			}
+			return r
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	orig, err := updf.NewOriginator("bench-orig", net, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer orig.Close()
+	var totalFirst time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		var first time.Duration
+		rs, err := orig.Submit(updf.QuerySpec{
+			Query: `count(/tupleset/tuple)`, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+			Pipeline:    true,
+			LoopTimeout: 30 * time.Second, AbortTimeout: 15 * time.Second,
+			OnItem: func(it xq.Item, source string) bool {
+				if first == 0 {
+					first = time.Since(start)
+				}
+				return true
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Items) != 8 {
+			b.Fatalf("hits = %d", len(rs.Items))
+		}
+		totalFirst += first
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(totalFirst.Nanoseconds())/float64(b.N), "first-item-ns/op")
 	}
 }
 

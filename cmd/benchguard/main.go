@@ -1,12 +1,22 @@
-// Command benchguard runs the view-maintenance benchmarks
-// (BenchmarkViewQuery{Cold,Warm,Churn}) with -benchmem, records the results
-// in a JSON file, and fails when the warm path regresses: the whole point
-// of incremental view maintenance is that a repeated identical-filter query
-// against an unchanged store allocates (almost) nothing, so allocs/op on
-// the warm path is guarded by a small constant budget.
+// Command benchguard runs the guarded benchmark suites with -benchmem,
+// records each suite's results in a JSON file, and fails when a guarded
+// number regresses past its budget:
 //
-//	benchguard                      # writes BENCH_view.json, exits 1 on breach
-//	benchguard -budget 32 -out f.json
+//   - view suite (BenchmarkViewQuery{Cold,Warm,Churn} -> BENCH_view.json):
+//     the whole point of incremental view maintenance is that a repeated
+//     identical-filter query against an unchanged store allocates (almost)
+//     nothing, so allocs/op on the warm path is guarded by a small budget.
+//   - stream suite (BenchmarkStream{WriteItem,FirstItem} -> BENCH_stream.json):
+//     delivering one item through the chunked HTTP stream encoder must stay
+//     a small constant number of allocations, so allocs/op on WriteItem is
+//     guarded; FirstItem's time-to-first-item over an 8-node chain is
+//     recorded alongside for trend tracking.
+//
+// Usage:
+//
+//	benchguard                       # runs every suite, exits 1 on any breach
+//	benchguard -suite stream         # one suite only
+//	benchguard -view-budget 32 -stream-budget 24
 package main
 
 import (
@@ -28,107 +38,211 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// report is the BENCH_view.json document.
+// report is one suite's JSON document: the raw parsed benchmark lines
+// plus a suite-specific guard section filled in by the suite's finish
+// hook.
 type report struct {
+	Suite      string        `json:"suite"`
 	Benchmarks []benchResult `json:"benchmarks"`
 	// ColdVsWarm compares the pre-change full-materialization path
 	// (BenchmarkViewQueryCold) against the cached-view steady state
-	// (BenchmarkViewQueryWarm) on the same 1000-tuple store.
-	ColdVsWarm struct {
-		ColdNsPerOp     float64 `json:"cold_ns_per_op"`
-		WarmNsPerOp     float64 `json:"warm_ns_per_op"`
-		Speedup         float64 `json:"speedup"`
-		ColdAllocsPerOp int64   `json:"cold_allocs_per_op"`
-		WarmAllocsPerOp int64   `json:"warm_allocs_per_op"`
-	} `json:"cold_vs_warm"`
-	WarmAllocBudget int64 `json:"warm_alloc_budget"`
-	Pass            bool  `json:"pass"`
+	// (BenchmarkViewQueryWarm) on the same 1000-tuple store. View suite
+	// only.
+	ColdVsWarm *coldVsWarm `json:"cold_vs_warm,omitempty"`
+	// Stream summarizes the stream-delivery guard numbers. Stream suite
+	// only.
+	Stream *streamGuard `json:"stream,omitempty"`
+	Budget int64        `json:"budget"`
+	Pass   bool         `json:"pass"`
+}
+
+// coldVsWarm is the view suite's guard section.
+type coldVsWarm struct {
+	ColdNsPerOp     float64 `json:"cold_ns_per_op"`
+	WarmNsPerOp     float64 `json:"warm_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	ColdAllocsPerOp int64   `json:"cold_allocs_per_op"`
+	WarmAllocsPerOp int64   `json:"warm_allocs_per_op"`
+}
+
+// streamGuard is the stream suite's guard section.
+type streamGuard struct {
+	WriteItemNsPerOp     float64 `json:"write_item_ns_per_op"`
+	WriteItemAllocsPerOp int64   `json:"write_item_allocs_per_op"`
+	FirstItemNsPerOp     float64 `json:"first_item_ns_per_op"`
+}
+
+// suite is one guarded benchmark family: which benchmarks to run, where
+// to write the report, and how to judge pass/fail from the parsed lines.
+type suite struct {
+	name    string
+	pattern string
+	out     string
+	// finish fills the suite's guard section from the parsed results and
+	// returns pass plus a one-line human summary.
+	finish func(rep *report, budget int64) (bool, string)
+}
+
+var suites = []suite{
+	{
+		name:    "view",
+		pattern: "BenchmarkViewQuery",
+		out:     "BENCH_view.json",
+		finish: func(rep *report, budget int64) (bool, string) {
+			cw := &coldVsWarm{}
+			for _, r := range rep.Benchmarks {
+				switch baseName(r.Name) {
+				case "BenchmarkViewQueryCold":
+					cw.ColdNsPerOp = r.NsPerOp
+					cw.ColdAllocsPerOp = r.AllocsPerOp
+				case "BenchmarkViewQueryWarm":
+					cw.WarmNsPerOp = r.NsPerOp
+					cw.WarmAllocsPerOp = r.AllocsPerOp
+				}
+			}
+			if cw.WarmNsPerOp > 0 {
+				cw.Speedup = cw.ColdNsPerOp / cw.WarmNsPerOp
+			}
+			rep.ColdVsWarm = cw
+			return cw.WarmAllocsPerOp <= budget,
+				fmt.Sprintf("speedup %.0fx, warm allocs/op %d, budget %d",
+					cw.Speedup, cw.WarmAllocsPerOp, budget)
+		},
+	},
+	{
+		name:    "stream",
+		pattern: "BenchmarkStream",
+		out:     "BENCH_stream.json",
+		finish: func(rep *report, budget int64) (bool, string) {
+			sg := &streamGuard{}
+			for _, r := range rep.Benchmarks {
+				switch baseName(r.Name) {
+				case "BenchmarkStreamWriteItem":
+					sg.WriteItemNsPerOp = r.NsPerOp
+					sg.WriteItemAllocsPerOp = r.AllocsPerOp
+				case "BenchmarkStreamFirstItem":
+					sg.FirstItemNsPerOp = r.NsPerOp
+				}
+			}
+			rep.Stream = sg
+			return sg.WriteItemAllocsPerOp <= budget,
+				fmt.Sprintf("write-item allocs/op %d, budget %d, first-item %.0f ns/op",
+					sg.WriteItemAllocsPerOp, budget, sg.FirstItemNsPerOp)
+		},
+	},
 }
 
 func main() {
-	out := flag.String("out", "BENCH_view.json", "output JSON file")
-	budget := flag.Int64("budget", 32, "max allocs/op allowed on the warm path")
-	pattern := flag.String("bench", "BenchmarkViewQuery", "benchmark name pattern")
+	which := flag.String("suite", "all", "suite to run: view|stream|all")
+	viewBudget := flag.Int64("view-budget", 32, "max allocs/op allowed on the warm view path")
+	streamBudget := flag.Int64("stream-budget", 24, "max allocs/op allowed per streamed item write")
 	flag.Parse()
 
+	budgets := map[string]int64{"view": *viewBudget, "stream": *streamBudget}
+	failed := false
+	ran := 0
+	for _, s := range suites {
+		if *which != "all" && *which != s.name {
+			continue
+		}
+		ran++
+		if !runSuite(s, budgets[s.name]) {
+			failed = true
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: unknown suite %q\n", *which)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runSuite executes one suite end to end: bench run, parse, guard check,
+// report file. It reports failures but never exits, so every requested
+// suite runs and gets its report written.
+func runSuite(s suite, budget int64) bool {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", *pattern, "-benchmem", "-count", "1", ".")
+		"-bench", s.pattern, "-benchmem", "-count", "1", ".")
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: bench run failed: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "benchguard: %s: bench run failed: %v\n", s.name, err)
+		return false
 	}
 	fmt.Print(string(raw))
 
-	var rep report
-	rep.WarmAllocBudget = *budget
+	rep := report{Suite: s.name, Budget: budget}
 	for _, line := range strings.Split(string(raw), "\n") {
-		r, ok := parseBenchLine(line)
-		if !ok {
-			continue
-		}
-		rep.Benchmarks = append(rep.Benchmarks, r)
-		base := strings.SplitN(r.Name, "-", 2)[0] // strip -GOMAXPROCS suffix
-		switch base {
-		case "BenchmarkViewQueryCold":
-			rep.ColdVsWarm.ColdNsPerOp = r.NsPerOp
-			rep.ColdVsWarm.ColdAllocsPerOp = r.AllocsPerOp
-		case "BenchmarkViewQueryWarm":
-			rep.ColdVsWarm.WarmNsPerOp = r.NsPerOp
-			rep.ColdVsWarm.WarmAllocsPerOp = r.AllocsPerOp
+		if r, ok := parseBenchLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, r)
 		}
 	}
 	if len(rep.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchguard: no benchmark results parsed")
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "benchguard: %s: no benchmark results parsed\n", s.name)
+		return false
 	}
-	if rep.ColdVsWarm.WarmNsPerOp > 0 {
-		rep.ColdVsWarm.Speedup = rep.ColdVsWarm.ColdNsPerOp / rep.ColdVsWarm.WarmNsPerOp
-	}
-	rep.Pass = rep.ColdVsWarm.WarmAllocsPerOp <= *budget
+	pass, summary := s.finish(&rep, budget)
+	rep.Pass = pass
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", s.name, err)
+		return false
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-		os.Exit(1)
+	if err := os.WriteFile(s.out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", s.name, err)
+		return false
 	}
-	fmt.Printf("benchguard: wrote %s (speedup %.0fx, warm allocs/op %d, budget %d)\n",
-		*out, rep.ColdVsWarm.Speedup, rep.ColdVsWarm.WarmAllocsPerOp, *budget)
-	if !rep.Pass {
-		fmt.Fprintf(os.Stderr, "benchguard: FAIL: warm path allocates %d/op, budget %d\n",
-			rep.ColdVsWarm.WarmAllocsPerOp, *budget)
-		os.Exit(1)
+	fmt.Printf("benchguard: wrote %s (%s)\n", s.out, summary)
+	if !pass {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL: suite %s over budget (%s)\n", s.name, summary)
 	}
+	return pass
+}
+
+// baseName strips the -GOMAXPROCS suffix from a benchmark name.
+func baseName(name string) string {
+	return strings.SplitN(name, "-", 2)[0]
 }
 
 // parseBenchLine parses a `-benchmem` result line of the form
 //
 //	BenchmarkName-8  1000000  1208 ns/op  352 B/op  17 allocs/op
+//
+// Extra custom metrics (ReportMetric columns) between ns/op and B/op are
+// tolerated: fields are located by their unit token, not by position.
 func parseBenchLine(line string) (benchResult, bool) {
 	f := strings.Fields(line)
 	if len(f) < 8 || !strings.HasPrefix(f[0], "Benchmark") {
 		return benchResult{}, false
 	}
-	if f[3] != "ns/op" || f[5] != "B/op" || f[7] != "allocs/op" {
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
 		return benchResult{}, false
 	}
-	iters, err1 := strconv.ParseInt(f[1], 10, 64)
-	ns, err2 := strconv.ParseFloat(f[2], 64)
-	bytes, err3 := strconv.ParseInt(f[4], 10, 64)
-	allocs, err4 := strconv.ParseInt(f[6], 10, 64)
-	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
-		return benchResult{}, false
+	r := benchResult{Name: f[0], Iterations: iters}
+	seen := 0
+	for i := 3; i < len(f); i += 2 {
+		val := f[i-1]
+		switch f[i] {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return benchResult{}, false
+			}
+			seen++
+		case "B/op":
+			if r.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return benchResult{}, false
+			}
+			seen++
+		case "allocs/op":
+			if r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return benchResult{}, false
+			}
+			seen++
+		}
 	}
-	return benchResult{
-		Name:        f[0],
-		Iterations:  iters,
-		NsPerOp:     ns,
-		BytesPerOp:  bytes,
-		AllocsPerOp: allocs,
-	}, true
+	return r, seen == 3
 }

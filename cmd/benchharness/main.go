@@ -1,5 +1,5 @@
 // Command benchharness regenerates every table and figure of the
-// evaluation (experiments E1–E17, see DESIGN.md) at full scale and prints
+// evaluation (experiments E1–E18, see DESIGN.md) at full scale and prints
 // them as aligned text tables. Use -quick for a fast smoke run and -only
 // to select individual experiments.
 //
@@ -143,6 +143,12 @@ func main() {
 				return experiments.E17StreamedDelivery([]int{4, 8}, time.Millisecond)
 			}
 			return experiments.E17StreamedDelivery([]int{4, 8, 16, 32}, 2*time.Millisecond)
+		}},
+		{"E18", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E18OverloadTriage(8, 12)
+			}
+			return experiments.E18OverloadTriage(10, 40)
 		}},
 	}
 

@@ -17,9 +17,14 @@
 //
 // Observability endpoints (unless -telemetry=false):
 //
-//	curl http://localhost:9001/metrics       # Prometheus text format
-//	curl http://localhost:9001/debug/vars    # JSON metrics snapshot
-//	curl http://localhost:9001/debug/traces  # hop trees of recent net queries
+//	curl http://localhost:9001/metrics            # Prometheus text format
+//	curl http://localhost:9001/debug/vars         # JSON metrics snapshot
+//	curl http://localhost:9001/debug/traces       # hop trees of recent net queries
+//	curl http://localhost:9001/debug/slowlog      # recent slow/incomplete transactions
+//	curl http://localhost:9001/debug/query/<tx>   # one transaction's flight recording
+//	curl http://localhost:9001/slo                # SLO burn-rate status
+//
+// Liveness and readiness probes (/healthz, /readyz) are always served.
 package main
 
 import (
@@ -27,7 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/pprof"
@@ -42,6 +47,7 @@ import (
 	"wsda/internal/registry"
 	"wsda/internal/telemetry"
 	"wsda/internal/updf"
+	"wsda/internal/wlog"
 	"wsda/internal/workload"
 	"wsda/internal/wsda"
 )
@@ -69,6 +75,12 @@ func main() {
 		traceCap    = flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "completed spans retained for /debug/traces")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 
+		logLevel  = flag.String("log-level", "info", "log level, optionally with per-component overrides (e.g. warn,updf=debug)")
+		logFormat = flag.String("log-format", "text", "log output format: text (human-readable) or json")
+
+		sloFirstItem    = flag.Duration("slo-first-item", telemetry.DefaultFirstItemTarget, "first-item latency target fed to the SLO engine and the slowlog gate")
+		sloCompleteness = flag.Float64("slo-completeness", telemetry.DefaultCompletenessTarget, "completeness-ratio target for the SLO engine")
+
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
@@ -76,11 +88,26 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := wlog.New(wlog.Config{Level: *logLevel, Format: *logFormat})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger = wlog.WithComponent(logger, "peerd")
+
 	var metrics *telemetry.Metrics
 	var tracer *telemetry.Tracer
+	var flight *telemetry.FlightRecorder
+	var slo *telemetry.SLO
 	if *telemetryOn {
 		metrics = telemetry.NewMetrics()
 		tracer = telemetry.NewTracer(*traceCap)
+		flight = telemetry.NewFlightRecorder(telemetry.FlightConfig{SlowThreshold: *sloFirstItem})
+		slo = telemetry.NewSLO(telemetry.SLOConfig{
+			FirstItemTarget:    *sloFirstItem,
+			CompletenessTarget: *sloCompleteness,
+		})
+		slo.RegisterMetrics(metrics)
 	}
 
 	base := *public
@@ -94,19 +121,22 @@ func main() {
 		DefaultTTL: *ttl,
 		Metrics:    metrics,
 		Tracer:     tracer,
+		Flight:     flight,
 	})
 	if *seed > 0 {
 		if err := workload.NewGen(42).Populate(reg, *seed, 24*time.Hour); err != nil {
-			log.Fatalf("seed: %v", err)
+			logger.Error("seeding synthetic services failed", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("seeded %d synthetic services", *seed)
+		logger.Info("seeded synthetic services", "count", *seed)
 	}
 
 	net := pdp.NewHTTPNetwork(nil)
+	net.SetFlight(flight)
 	var nodeNet pdp.Network = net
 	if *chaosDrop > 0 {
 		nodeNet = &lossyNetwork{next: net, p: *chaosDrop, rng: rand.New(rand.NewSource(*chaosSeed))}
-		log.Printf("chaos: dropping %.0f%% of outbound PDP messages", *chaosDrop*100)
+		logger.Warn("chaos: dropping outbound PDP messages", "probability", *chaosDrop)
 	}
 	node, err := updf.NewNode(updf.Config{
 		Addr:             pdpAddr,
@@ -114,13 +144,15 @@ func main() {
 		Registry:         reg,
 		Metrics:          metrics,
 		Tracer:           tracer,
+		Flight:           flight,
 		MaxRetries:       *maxRetries,
 		RetryInterval:    *retryInterval,
 		BreakerThreshold: *breakerThresh,
 		BreakerCooldown:  *breakerCool,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("node init failed", "err", err)
+		os.Exit(1)
 	}
 	registerNodeStats(metrics, node, reg)
 	if *neighbors != "" {
@@ -131,20 +163,25 @@ func main() {
 			Seeds:  strings.Split(*bootstrap, ","),
 			Period: *gossip,
 		}); err != nil {
-			log.Fatal(err)
+			logger.Error("membership start failed", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("gossip membership running (period %v)", *gossip)
+		wlog.WithComponent(logger, "membership").Info("gossip membership running", "period", *gossip)
 	}
 	if *advertise {
 		if err := node.AdvertiseSelf(24 * time.Hour); err != nil {
-			log.Fatal(err)
+			logger.Error("self-advertisement failed", "err", err)
+			os.Exit(1)
 		}
 	}
 	orig, err := updf.NewOriginator(pdpAddr+"/originator", net, nil)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("originator init failed", "err", err)
+		os.Exit(1)
 	}
 	orig.SetTelemetry(metrics, tracer)
+	orig.SetFlight(flight)
+	orig.SetSLO(slo)
 
 	desc := wsda.NewService(*name).
 		Link(base+wsda.PathPresenter).
@@ -159,7 +196,7 @@ func main() {
 	mux.Handle("/wsda/", wsda.HandlerWithMetrics(&wsda.LocalNode{Desc: desc, Registry: reg}, metrics))
 	mux.Handle("/pdp", net.Handler())
 	mux.Handle("/pdp/", net.Handler())
-	mux.Handle(wsda.PathNetQuery, updf.NetQueryHandler(orig, pdpAddr, metrics))
+	mux.Handle(wsda.PathNetQuery, updf.NetQueryHandler(orig, pdpAddr, metrics, flight))
 	mux.HandleFunc("/neighbors", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, strings.Join(node.Neighbors(), "\n"))
 	})
@@ -172,10 +209,20 @@ func main() {
 	})
 	if *telemetryOn {
 		telemetry.Mount(mux, metrics, tracer)
+		telemetry.MountObservability(mux, flight, slo)
 	}
 	if *pprofOn {
 		mountPprof(mux)
 	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// A peer owns its own tuple set, so it is ready as soon as the node
+		// and originator are registered on the transport — which has already
+		// happened by the time the mux serves.
+		fmt.Fprintln(w, "ready")
+	})
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -185,13 +232,13 @@ func main() {
 		IdleTimeout:       *idleTimeout,
 	}
 
-	log.Printf("peer %q serving WSDA+PDP on %s (public %s), %d neighbors",
-		*name, *addr, base, len(node.Neighbors()))
-	if err := serveUntilSignal(srv, *shutdownGrace); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	logger.Info("peer serving WSDA+PDP", "name", *name, "addr", *addr,
+		"public", base, "neighbors", len(node.Neighbors()))
+	if err := serveUntilSignal(srv, *shutdownGrace, logger); err != nil {
+		logger.Error("server exited", "err", err)
 		os.Exit(1)
 	}
-	logFinalSnapshot(metrics)
+	logFinalSnapshot(metrics, logger)
 }
 
 // registerNodeStats exports the P2P node's cumulative counters through the
@@ -244,7 +291,7 @@ func mountPprof(mux *http.ServeMux) {
 
 // serveUntilSignal runs the server until it fails or a SIGINT/SIGTERM
 // arrives, then drains connections within the grace period.
-func serveUntilSignal(srv *http.Server, grace time.Duration) error {
+func serveUntilSignal(srv *http.Server, grace time.Duration, logger *slog.Logger) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
 
@@ -255,7 +302,7 @@ func serveUntilSignal(srv *http.Server, grace time.Duration) error {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		log.Printf("signal received, draining connections (max %v)", grace)
+		logger.Info("signal received, draining connections", "grace", grace)
 		shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), grace)
 		defer cancelShutdown()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -267,7 +314,7 @@ func serveUntilSignal(srv *http.Server, grace time.Duration) error {
 
 // logFinalSnapshot writes the closing metrics snapshot so a scrape gap at
 // shutdown loses nothing.
-func logFinalSnapshot(m *telemetry.Metrics) {
+func logFinalSnapshot(m *telemetry.Metrics, logger *slog.Logger) {
 	if m == nil {
 		return
 	}
@@ -275,7 +322,7 @@ func logFinalSnapshot(m *telemetry.Metrics) {
 	if err != nil {
 		return
 	}
-	log.Printf("final metrics snapshot: %s", data)
+	logger.Info("final metrics snapshot", "snapshot", string(data))
 }
 
 // lossyNetwork is the -chaos-drop fault injector: it silently discards a

@@ -23,9 +23,18 @@
 //
 // Observability endpoints (unless -telemetry=false):
 //
-//	curl http://localhost:8080/metrics       # Prometheus text format
-//	curl http://localhost:8080/debug/vars    # JSON metrics snapshot
-//	curl http://localhost:8080/debug/traces  # recent query span trees
+//	curl http://localhost:8080/metrics            # Prometheus text format
+//	curl http://localhost:8080/debug/vars         # JSON metrics snapshot
+//	curl http://localhost:8080/debug/traces       # recent query span trees
+//	curl http://localhost:8080/debug/slowlog      # recent slow/incomplete requests
+//	curl http://localhost:8080/debug/query/<tx>   # one transaction's flight recording
+//	curl http://localhost:8080/slo                # SLO burn-rate status
+//
+// Liveness and readiness probes are always served: /healthz answers 200
+// while the process runs; /readyz answers 200 once the node can serve
+// reads — immediately for a primary, after the snapshot bootstrap for a
+// replica (and it flips back to 503 while a primary loss forces a
+// re-bootstrap).
 package main
 
 import (
@@ -33,11 +42,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
@@ -45,6 +56,7 @@ import (
 	"wsda/internal/registry"
 	"wsda/internal/softstate"
 	"wsda/internal/telemetry"
+	"wsda/internal/wlog"
 	"wsda/internal/workload"
 	"wsda/internal/wsda"
 )
@@ -68,6 +80,13 @@ func main() {
 		traceCap    = flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "completed spans retained for /debug/traces")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 
+		logLevel  = flag.String("log-level", "info", "log level, optionally with per-component overrides (e.g. warn,replica=debug)")
+		logFormat = flag.String("log-format", "text", "log output format: text (human-readable) or json")
+
+		sloFirstItem    = flag.Duration("slo-first-item", telemetry.DefaultFirstItemTarget, "first-item latency target fed to the SLO engine and the slowlog gate")
+		sloCompleteness = flag.Float64("slo-completeness", telemetry.DefaultCompletenessTarget, "completeness-ratio target for the SLO engine")
+		sloStaleness    = flag.Duration("slo-staleness", telemetry.DefaultStalenessTarget, "replica staleness target for the SLO engine")
+
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
@@ -75,11 +94,27 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := wlog.New(wlog.Config{Level: *logLevel, Format: *logFormat})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger = wlog.WithComponent(logger, "registryd")
+
 	var metrics *telemetry.Metrics
 	var tracer *telemetry.Tracer
+	var flight *telemetry.FlightRecorder
+	var slo *telemetry.SLO
 	if *telemetryOn {
 		metrics = telemetry.NewMetrics()
 		tracer = telemetry.NewTracer(*traceCap)
+		flight = telemetry.NewFlightRecorder(telemetry.FlightConfig{SlowThreshold: *sloFirstItem})
+		slo = telemetry.NewSLO(telemetry.SLOConfig{
+			FirstItemTarget:    *sloFirstItem,
+			CompletenessTarget: *sloCompleteness,
+			StalenessTarget:    *sloStaleness,
+		})
+		slo.RegisterMetrics(metrics)
 	}
 
 	reg := registry.New(registry.Config{
@@ -91,29 +126,34 @@ func main() {
 		JournalCap:    *journalCap,
 		Metrics:       metrics,
 		Tracer:        tracer,
+		Flight:        flight,
 	})
 	registerRegistryStats(metrics, reg)
 	if *seed > 0 {
 		if *replicaOf != "" {
-			log.Fatal("-seed-services conflicts with -replica-of: a replica's tuple set is owned by its primary")
+			logger.Error("-seed-services conflicts with -replica-of: a replica's tuple set is owned by its primary")
+			os.Exit(1)
 		}
 		if err := workload.NewGen(42).Populate(reg, *seed, *maxTTL); err != nil {
-			log.Fatalf("seed: %v", err)
+			logger.Error("seeding synthetic services failed", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("seeded %d synthetic services", *seed)
+		logger.Info("seeded synthetic services", "count", *seed)
 	}
 
 	replCtx, stopRepl := context.WithCancel(context.Background())
 	defer stopRepl()
+	var rep *changefeed.Replica
 	if *replicaOf != "" {
-		rep := changefeed.New(changefeed.Config{
+		rep = changefeed.New(changefeed.Config{
 			Primary:      *replicaOf,
 			Registry:     reg,
 			LongPollWait: *longPoll,
 			Metrics:      metrics,
 		})
 		go rep.Run(replCtx) //nolint:errcheck
-		log.Printf("replicating from %s (long-poll %v)", *replicaOf, *longPoll)
+		wlog.WithComponent(logger, "replica").Info("replicating from primary",
+			"primary", *replicaOf, "long-poll", *longPoll)
 	}
 
 	base := "http://" + hostAddr(*addr)
@@ -143,7 +183,7 @@ func main() {
 			select {
 			case <-t.C:
 				if n := reg.Sweep(); n > 0 {
-					log.Printf("swept %d expired tuples (%d live)", n, reg.Len())
+					logger.Debug("swept expired tuples", "swept", n, "live", reg.Len())
 				}
 			case <-stop:
 				return
@@ -152,8 +192,27 @@ func main() {
 	}()
 	defer close(stop)
 
+	// Feed replica lag into the staleness objective so /slo and the burn
+	// metrics see how far behind the primary this node is reading.
+	if rep != nil && slo != nil {
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if rep.Ready() {
+						slo.ObserveStaleness(rep.Staleness())
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/wsda/", wsda.HandlerWithMetrics(node, metrics))
+	mux.Handle("/wsda/", sloEdge(wsda.HandlerWithMetrics(node, metrics), slo, flight))
 	// Every node — primary or replica — serves the change feed, so replicas
 	// can themselves be replicated (chained fan-out).
 	changefeed.NewServer(reg).Mount(mux)
@@ -166,10 +225,24 @@ func main() {
 	})
 	if *telemetryOn {
 		telemetry.Mount(mux, metrics, tracer)
+		telemetry.MountObservability(mux, flight, slo)
 	}
 	if *pprofOn {
 		mountPprof(mux)
 	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// A primary is ready as soon as it serves; a replica only once its
+		// snapshot bootstrap has landed — and it goes not-ready again while
+		// a primary loss forces a re-bootstrap.
+		if rep != nil && !rep.Ready() {
+			http.Error(w, "replica bootstrapping", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -179,12 +252,43 @@ func main() {
 		IdleTimeout:       *idleTimeout,
 	}
 
-	log.Printf("hyper registry %q serving WSDA on %s", *name, *addr)
-	if err := serveUntilSignal(srv, *shutdownGrace); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	logger.Info("hyper registry serving WSDA", "name", *name, "addr", *addr)
+	if err := serveUntilSignal(srv, *shutdownGrace, logger); err != nil {
+		logger.Error("server exited", "err", err)
 		os.Exit(1)
 	}
-	logFinalSnapshot(metrics)
+	logFinalSnapshot(metrics, logger)
+}
+
+// sloEdge wraps the WSDA protocol handler so every request feeds the
+// first-item latency objective, and requests that outlast the slowlog
+// threshold are recorded as single-node flight summaries — giving a
+// standalone registry the same slowlog triage surface a peer has.
+func sloEdge(next http.Handler, slo *telemetry.SLO, fr *telemetry.FlightRecorder) http.Handler {
+	if slo == nil && fr == nil {
+		return next
+	}
+	var seq uint64
+	var seqMu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		elapsed := time.Since(start)
+		slo.ObserveFirstItem(elapsed)
+		slo.ObserveCompleteness(1)
+		if fr != nil && elapsed > fr.SlowThreshold() {
+			seqMu.Lock()
+			seq++
+			tx := "http#" + strconv.FormatUint(seq, 10)
+			seqMu.Unlock()
+			fr.Record(tx, telemetry.FlightReceived, r.URL.Path, r.RemoteAddr, 0, r.Method)
+			fr.Finish(tx, telemetry.FlightSummary{
+				FirstItem: elapsed,
+				Elapsed:   elapsed,
+				Complete:  true,
+			})
+		}
+	})
 }
 
 // registerRegistryStats exports the registry's cumulative counters and
@@ -240,7 +344,7 @@ func mountPprof(mux *http.ServeMux) {
 
 // serveUntilSignal runs the server until it fails or a SIGINT/SIGTERM
 // arrives, then drains connections within the grace period.
-func serveUntilSignal(srv *http.Server, grace time.Duration) error {
+func serveUntilSignal(srv *http.Server, grace time.Duration, logger *slog.Logger) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
 
@@ -251,7 +355,7 @@ func serveUntilSignal(srv *http.Server, grace time.Duration) error {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		log.Printf("signal received, draining connections (max %v)", grace)
+		logger.Info("signal received, draining connections", "grace", grace)
 		shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), grace)
 		defer cancelShutdown()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -263,7 +367,7 @@ func serveUntilSignal(srv *http.Server, grace time.Duration) error {
 
 // logFinalSnapshot writes the closing metrics snapshot so a scrape gap at
 // shutdown loses nothing.
-func logFinalSnapshot(m *telemetry.Metrics) {
+func logFinalSnapshot(m *telemetry.Metrics, logger *slog.Logger) {
 	if m == nil {
 		return
 	}
@@ -271,7 +375,7 @@ func logFinalSnapshot(m *telemetry.Metrics) {
 	if err != nil {
 		return
 	}
-	log.Printf("final metrics snapshot: %s", data)
+	logger.Info("final metrics snapshot", "snapshot", string(data))
 }
 
 func hostAddr(addr string) string {

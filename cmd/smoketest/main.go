@@ -1,0 +1,144 @@
+// Command smoketest is the CI boot probe: it builds and starts a real
+// registryd on a free port, waits for /healthz to answer, verifies
+// /readyz reports ready and /slo serves a well-formed SLO document, then
+// shuts the daemon down. It exercises the actual binary and the actual
+// HTTP mux — the wiring a unit test can't see — and exits non-zero on
+// any probe failure.
+//
+//	go run ./cmd/smoketest
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smoketest:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoketest: ok (/healthz, /readyz, /slo)")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "wsda-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "registryd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/registryd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build registryd: %w", err)
+	}
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	daemon := exec.Command(bin, "-addr", addr, "-seed-services", "10")
+	daemon.Stdout = os.Stderr
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("start registryd: %w", err)
+	}
+	defer func() {
+		_ = daemon.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { _ = daemon.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			_ = daemon.Process.Kill()
+			<-done
+		}
+	}()
+
+	base := "http://" + addr
+	if err := waitHealthy(base+"/healthz", 10*time.Second); err != nil {
+		return err
+	}
+
+	body, err := get(base + "/readyz")
+	if err != nil {
+		return fmt.Errorf("/readyz: %w", err)
+	}
+	fmt.Printf("smoketest: /readyz -> %s", body)
+
+	sloBody, err := get(base + "/slo")
+	if err != nil {
+		return fmt.Errorf("/slo: %w", err)
+	}
+	var slo struct {
+		Objectives []struct {
+			Name string `json:"name"`
+		} `json:"objectives"`
+	}
+	if err := json.Unmarshal([]byte(sloBody), &slo); err != nil {
+		return fmt.Errorf("/slo: not JSON: %w (body %q)", err, sloBody)
+	}
+	if len(slo.Objectives) == 0 {
+		return fmt.Errorf("/slo: no objectives in %q", sloBody)
+	}
+	fmt.Printf("smoketest: /slo -> %d objectives\n", len(slo.Objectives))
+	return nil
+}
+
+// freeAddr grabs a free localhost port from the kernel and releases it
+// for the daemon to bind.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	return addr, l.Close()
+}
+
+// waitHealthy polls the liveness endpoint until it answers 200 or the
+// deadline passes.
+func waitHealthy(url string, deadline time.Duration) error {
+	var last error
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		last = err
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("%s never became healthy: %v", url, last)
+}
+
+// get fetches a URL and requires a 200, returning the body.
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return string(body), nil
+}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/url"
 	"os"
 	"strconv"
@@ -34,6 +35,7 @@ import (
 
 	"wsda/internal/registry"
 	"wsda/internal/tuple"
+	"wsda/internal/wlog"
 	"wsda/internal/wsda"
 	"wsda/internal/xmldoc"
 	"wsda/internal/xq"
@@ -66,9 +68,17 @@ func main() {
 	radius := fs.Int("radius", -1, "network query horizon in hops; -1 = unbounded (netquery)")
 	pipeline := fs.Bool("pipeline", false, "relay partial results while the query is still spreading (netquery)")
 	netTimeout := fs.Duration("net-timeout", 0, "network query abort deadline; 0 = server default (netquery)")
+	logLevel := fs.String("log-level", "info", "diagnostic log level (debug|info|warn|error)")
+	logFormat := fs.String("log-format", "text", "diagnostic log format: text (human-readable) or json")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
+	logger, err := wlog.New(wlog.Config{Level: *logLevel, Format: *logFormat})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsdaquery:", err)
+		os.Exit(2)
+	}
+	logger = wlog.WithComponent(logger, "wsdaquery")
 	var clients []*wsda.Client
 	for _, u := range strings.Split(*node, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -80,15 +90,15 @@ func main() {
 	}
 
 	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "wsdaquery:", err)
+		logger.Error("command failed", "err", err)
 		os.Exit(1)
 	}
 
 	attempt := func(do func(c *wsda.Client) error) error {
-		return runAttempts(clients, *retry, time.Sleep, do)
+		return runAttempts(clients, *retry, time.Sleep, logger, do)
 	}
 
-	run(cmd, fs, attempt, fail,
+	run(cmd, fs, attempt, fail, logger,
 		link, typ, ctx, prefix, ttl, contentFile, maxAge, pull,
 		streamOpts{stream: *stream, maxResults: *maxResults, mode: *mode,
 			radius: *radius, pipeline: *pipeline, netTimeout: *netTimeout})
@@ -111,7 +121,7 @@ type streamOpts struct {
 // mutations only ever reach the first node that accepts them. A pass in
 // which every failure was a definitive client-side rejection (a 4xx other
 // than 408/429) is not repeated: resending a malformed query cannot fix it.
-func runAttempts(clients []*wsda.Client, retries int, sleep func(time.Duration), do func(c *wsda.Client) error) error {
+func runAttempts(clients []*wsda.Client, retries int, sleep func(time.Duration), logger *slog.Logger, do func(c *wsda.Client) error) error {
 	backoff := 250 * time.Millisecond
 	var err error
 	for pass := 0; ; pass++ {
@@ -124,17 +134,17 @@ func runAttempts(clients []*wsda.Client, retries int, sleep func(time.Duration),
 				anyRetryable = true
 			}
 			if i < len(clients)-1 {
-				fmt.Fprintf(os.Stderr, "wsdaquery: endpoint %d failed (%v), failing over\n", i+1, err)
+				logger.Warn("endpoint failed, failing over", "endpoint", i+1, "err", err)
 			}
 		}
 		if pass >= retries {
 			return err
 		}
 		if !anyRetryable {
-			fmt.Fprintf(os.Stderr, "wsdaquery: not retrying, the request was rejected (%v)\n", err)
+			logger.Warn("not retrying, the request was rejected", "err", err)
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wsdaquery: all endpoints failed (%v), retrying in %v\n", err, backoff)
+		logger.Warn("all endpoints failed, retrying", "err", err, "backoff", backoff)
 		sleep(backoff)
 		if backoff *= 2; backoff > 5*time.Second {
 			backoff = 5 * time.Second
@@ -153,8 +163,11 @@ func retryableError(err error) bool {
 }
 
 // run dispatches one subcommand, wrapping every remote call in attempt.
+// Result rows go to stdout; per-query accounting metadata goes to the
+// structured logger on stderr so pipes stay clean.
 func run(cmd string, fs *flag.FlagSet,
 	attempt func(do func(c *wsda.Client) error) error, fail func(error),
+	logger *slog.Logger,
 	link, typ, ctx, prefix *string, ttl *time.Duration, contentFile *string,
 	maxAge *time.Duration, pull *bool, so streamOpts) {
 
@@ -188,7 +201,7 @@ func run(cmd string, fs *flag.FlagSet,
 		for _, t := range tuples {
 			fmt.Println(t.ToXML().String())
 		}
-		fmt.Fprintf(os.Stderr, "%d tuples\n", len(tuples))
+		logger.Info("minquery done", "tuples", len(tuples))
 	case "xquery":
 		if fs.NArg() != 1 {
 			fail(fmt.Errorf("xquery needs exactly one query argument"))
@@ -205,7 +218,7 @@ func run(cmd string, fs *flag.FlagSet,
 			}); err != nil {
 				fail(err)
 			}
-			fmt.Fprintf(os.Stderr, "%d items, complete=%v\n", sum.Count, sum.Complete)
+			logger.Info("xquery stream done", "items", sum.Count, "complete", sum.Complete)
 			return
 		}
 		var seq xq.Sequence
@@ -216,7 +229,7 @@ func run(cmd string, fs *flag.FlagSet,
 			fail(err)
 		}
 		fmt.Println(xq.Serialize(seq))
-		fmt.Fprintf(os.Stderr, "%d items\n", len(seq))
+		logger.Info("xquery done", "items", len(seq))
 	case "netquery":
 		if fs.NArg() != 1 {
 			fail(fmt.Errorf("netquery needs exactly one query argument"))
@@ -243,8 +256,10 @@ func run(cmd string, fs *flag.FlagSet,
 		}); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "%d items, complete=%v aborted=%v nodes-contacted=%d nodes-responded=%d elapsed=%v\n",
-			sum.Count, sum.Complete, sum.Aborted, sum.NodesContacted, sum.NodesResponded, sum.Elapsed)
+		logger.Info("netquery done",
+			wlog.AttrTx, sum.TxID, "items", sum.Count, "complete", sum.Complete,
+			"aborted", sum.Aborted, "nodes-contacted", sum.NodesContacted,
+			"nodes-responded", sum.NodesResponded, "elapsed", sum.Elapsed)
 	case "publish":
 		if *link == "" {
 			fail(fmt.Errorf("publish needs -link"))

@@ -2,6 +2,8 @@ package main
 
 import (
 	"errors"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -10,6 +12,11 @@ import (
 
 	"wsda/internal/wsda"
 )
+
+// testLogger swallows the failover diagnostics the tests don't assert on.
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 // failingNode serves the given status for every request and counts hits.
 func failingNode(t *testing.T, status int, hits *atomic.Int64) *wsda.Client {
@@ -26,7 +33,7 @@ func TestRunAttemptsRetriesServerErrors(t *testing.T) {
 	var hits atomic.Int64
 	c := failingNode(t, http.StatusInternalServerError, &hits)
 	slept := 0
-	err := runAttempts([]*wsda.Client{c}, 2, func(time.Duration) { slept++ },
+	err := runAttempts([]*wsda.Client{c}, 2, func(time.Duration) { slept++ }, testLogger(),
 		func(c *wsda.Client) error {
 			_, err := c.GetServiceDescription()
 			return err
@@ -46,7 +53,7 @@ func TestRunAttemptsDoesNotRetryClientErrors(t *testing.T) {
 	var hits atomic.Int64
 	c := failingNode(t, http.StatusUnprocessableEntity, &hits)
 	slept := 0
-	err := runAttempts([]*wsda.Client{c}, 5, func(time.Duration) { slept++ },
+	err := runAttempts([]*wsda.Client{c}, 5, func(time.Duration) { slept++ }, testLogger(),
 		func(c *wsda.Client) error {
 			_, err := c.GetServiceDescription()
 			return err
@@ -77,7 +84,7 @@ func TestRunAttemptsFailsOverBeforeGivingUp4xx(t *testing.T) {
 	}))
 	defer primary.Close()
 	err := runAttempts([]*wsda.Client{replica, wsda.NewClient(primary.URL)}, 0,
-		func(time.Duration) {},
+		func(time.Duration) {}, testLogger(),
 		func(c *wsda.Client) error {
 			_, err := c.GetServiceDescription()
 			return err

@@ -158,6 +158,25 @@ func (r *Replica) Stats() Stats {
 // Lag returns the current replication lag in generations.
 func (r *Replica) Lag() uint64 { return r.Stats().Lag }
 
+// Ready reports whether the replica is fit to serve reads: the initial
+// snapshot bootstrap has completed and no re-bootstrap is pending. It
+// flips false when a primary restart, journal truncation, or future
+// cursor forces a resync, and back true once the new snapshot lands —
+// the value behind a replica daemon's /readyz.
+func (r *Replica) Ready() bool {
+	if r.bootstraps.Load() == 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.needBootstrap
+}
+
+// Staleness returns how long ago the replica last synced successfully
+// with its primary (0 before the first sync) — the sample feeding the
+// replica-staleness SLO.
+func (r *Replica) Staleness() time.Duration { return r.staleness() }
+
 func (r *Replica) staleness() time.Duration {
 	ns := r.lastSync.Load()
 	if ns == 0 {

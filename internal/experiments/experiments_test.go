@@ -395,6 +395,20 @@ func TestE16AbortDegradation(t *testing.T) {
 	t.Log("\n" + tab.String())
 }
 
+func TestE18(t *testing.T) {
+	// E18 self-validates hard: it errors unless the healthy phase stays
+	// quiet, the faulted phase burns its completeness budget, the slowlog
+	// fills, and the flight-derived triage names the injected link.
+	tab, err := E18OverloadTriage(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (healthy, faulted, triage)", len(tab.Rows))
+	}
+	t.Log("\n" + tab.String())
+}
+
 func TestE17(t *testing.T) {
 	tab, err := E17StreamedDelivery([]int{4, 10}, time.Millisecond)
 	if err != nil {

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/simnet"
+	"wsda/internal/telemetry"
+	"wsda/internal/topology"
+	"wsda/internal/updf"
+	"wsda/internal/workload"
+)
+
+// E18OverloadTriage demonstrates the observability triage chain on a
+// fault that aggregate metrics cannot localize: one lossy directed link
+// in the middle of an n-node chain. The experiment runs a healthy phase
+// and a faulted phase through the same SLO engine + flight recorder a
+// peer daemon ships with, and shows
+//
+//   - the completeness SLO burn rate flagging the faulted phase (the
+//     alert),
+//   - /debug/slowlog filling with the incomplete transactions (the
+//     shortlist), and
+//   - the flight recordings naming the culprit link (the diagnosis):
+//     per-link counts of retransmits to peers that never answered that
+//     query (a slow subtree makes its parent retransmit too, but the
+//     child still answers), minus the healthy-phase baseline — something
+//     the cluster-wide retry counter, which only says "retries
+//     happened", cannot do.
+//
+// The run self-validates: it fails if the healthy phase burns, the
+// faulted phase doesn't, the slowlog stays empty, or the flight-derived
+// culprit is not the injected link.
+func E18OverloadTriage(n, queries int) (*Table, error) {
+	if n < 8 {
+		n = 8
+	}
+	// The injected fault: the forward direction of one mid-chain link
+	// loses most messages, cutting the chain's tail off from most queries.
+	faultFrom := fmt.Sprintf("node/%d", n/2-1)
+	faultTo := fmt.Sprintf("node/%d", n/2)
+
+	t := &Table{
+		ID:    "E18",
+		Title: fmt.Sprintf("Overload triage via SLO burn + flight recorder, %d-node chain, %d queries/phase", n, queries),
+		Note: fmt.Sprintf("faulted phase drops 90%% of %s->%s traffic. burn is the completeness\n"+
+			"error-budget burn rate (>1 = burning); the triage row is derived only from\n"+
+			"flight-recorder events — retransmits to peers that never answered, minus\n"+
+			"the healthy-phase baseline — not from the injected-fault config.",
+			faultFrom, faultTo),
+		Header: []string{"phase", "p99-first-item", "completeness", "burn(short)", "burn(long)", "slowlog", "breach"},
+	}
+
+	faults := simnet.NewFaults(7)
+	net := simnet.New(simnet.Config{Faults: faults})
+	defer net.Close()
+	gen := workload.NewGen(1)
+	fr := telemetry.NewFlightRecorder(telemetry.FlightConfig{
+		Capacity:      4 * queries,
+		SlowThreshold: 150 * time.Millisecond,
+	})
+	c, err := updf.BuildCluster(topology.Line(n), updf.ClusterConfig{
+		Net:           net,
+		MaxRetries:    2,
+		RetryInterval: 25 * time.Millisecond,
+		Flight:        fr,
+		RegistryFor: func(i int) *registry.Registry {
+			r := registry.New(registry.Config{Name: fmt.Sprintf("reg%d", i), DefaultTTL: time.Hour})
+			if _, err := r.Publish(gen.Tuple(i), time.Hour); err != nil {
+				panic(err)
+			}
+			return r
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	o, err := updf.NewOriginator("originator", net, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer o.Close()
+	o.SetFlight(fr)
+
+	windows := []time.Duration{5 * time.Second, time.Minute}
+	phases := []struct {
+		name  string
+		setup func()
+	}{
+		{"healthy", func() {}},
+		{"faulted", func() { faults.SetLinkDrop(faultFrom, faultTo, 0.9) }},
+	}
+	type phaseOut struct {
+		status   telemetry.SLOStatus
+		slowlog  int
+		links    map[string]int
+		p99First time.Duration
+		compl    float64
+	}
+	outs := make([]phaseOut, 0, len(phases))
+
+	for _, ph := range phases {
+		ph.setup()
+		// A fresh engine per phase keeps the burn comparison clean: each
+		// phase's windows contain only that phase's events.
+		slo := telemetry.NewSLO(telemetry.SLOConfig{
+			FirstItemTarget: 150 * time.Millisecond,
+			Windows:         windows,
+		})
+		o.SetSLO(slo)
+		out := phaseOut{links: map[string]int{}}
+		var firsts []time.Duration
+		slowBefore, _ := fr.Slowlog()
+		for q := 0; q < queries; q++ {
+			var tx string
+			rs, err := o.Submit(updf.QuerySpec{
+				Query: allServicesQuery, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+				Pipeline:    true,
+				LoopTimeout: 2 * time.Second, AbortTimeout: 400 * time.Millisecond,
+				MaxRetries: 2, RetryInterval: 25 * time.Millisecond,
+				OnTx: func(id string) { tx = id },
+			})
+			if err != nil {
+				return nil, err
+			}
+			if info := fr.Tx(tx); info != nil {
+				// Per-link retransmits for this query, and which of those
+				// links eventually produced an answer. A slow subtree makes
+				// its parent retransmit too, but the child still answers;
+				// only the truly dead link retransmits AND stays silent.
+				retr := map[string]int{}
+				responded := map[string]bool{}
+				for _, ev := range info.Events {
+					link := ev.Node + "->" + ev.Peer
+					switch ev.Kind {
+					case telemetry.FlightRetransmit:
+						if ev.Peer != "" {
+							retr[link]++
+						}
+					case telemetry.FlightPartial, telemetry.FlightChildFinal,
+						telemetry.FlightItem, telemetry.FlightFirstItem:
+						// Partial/child-final is a node hearing from a child;
+						// item/first-item is the originator hearing from a node.
+						responded[link] = true
+					}
+				}
+				for link, cnt := range retr {
+					if !responded[link] {
+						out.links[link] += cnt
+					}
+				}
+			}
+			first := rs.TimeToFirst
+			if first == 0 {
+				first = rs.Elapsed
+			}
+			firsts = append(firsts, first)
+			out.compl += rs.Completeness()
+		}
+		out.compl /= float64(queries)
+		sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+		out.p99First = firsts[(len(firsts)*99)/100]
+		out.status = slo.Status()
+		slowNow, _ := fr.Slowlog()
+		out.slowlog = len(slowNow) - len(slowBefore)
+		if out.slowlog < 0 { // ring evicted older entries
+			out.slowlog = len(slowNow)
+		}
+		outs = append(outs, out)
+
+		burn := func(w time.Duration) string {
+			return fmt.Sprintf("%.1f", slo.BurnRate(telemetry.SLOCompleteness, w))
+		}
+		t.Add(ph.name, fdur(out.p99First), ffloat(out.compl),
+			burn(windows[0]), burn(windows[1]), fint(out.slowlog),
+			fmt.Sprintf("%v", out.status.Breach))
+	}
+
+	// Triage: attribute retransmissions to links using only the flight
+	// recordings, subtracting the healthy-phase counts so uniform
+	// slowness (which retransmits a little everywhere) cancels out and
+	// only the fault-induced excess remains.
+	culprit, culpritRetries := "", 0
+	for link, cnt := range outs[1].links {
+		if excess := cnt - outs[0].links[link]; excess > culpritRetries {
+			culprit, culpritRetries = link, excess
+		}
+	}
+	t.Add("triage", "", "", "", "", fint(len(outs[1].links)),
+		fmt.Sprintf("%s (+%d retransmits over baseline)", culprit, culpritRetries))
+
+	// Self-validation: the chain must actually have triaged the fault.
+	if outs[0].status.Breach {
+		return nil, fmt.Errorf("E18: healthy phase breached its SLO")
+	}
+	if !outs[1].status.Breach {
+		return nil, fmt.Errorf("E18: faulted phase did not breach (completeness %.2f)", outs[1].compl)
+	}
+	if outs[1].slowlog == 0 {
+		return nil, fmt.Errorf("E18: slowlog empty despite faulted phase")
+	}
+	if want := faultFrom + "->" + faultTo; culprit != want {
+		return nil, fmt.Errorf("E18: flight triage named %q, injected fault was %q", culprit, want)
+	}
+	return t, nil
+}

@@ -58,7 +58,7 @@ func runStreamedChain(n int, delay time.Duration, streamed bool) (tFirst, tLast 
 	}
 	defer func() { o.Close(); c.Close(); net.Close() }()
 
-	srv := httptest.NewServer(updf.NetQueryHandler(o, "node/0", nil))
+	srv := httptest.NewServer(updf.NetQueryHandler(o, "node/0", nil, nil))
 	defer srv.Close()
 
 	params := url.Values{}

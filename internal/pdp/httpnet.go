@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+
+	"wsda/internal/telemetry"
 )
 
 // HTTPNetwork binds the protocol to HTTP (thesis Ch. 7.5): node addresses
@@ -17,6 +19,7 @@ import (
 // contract; transmission failures are dropped silently like datagrams.
 type HTTPNetwork struct {
 	client *http.Client
+	flight *telemetry.FlightRecorder
 
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -49,6 +52,12 @@ func (n *HTTPNetwork) Unregister(addr string) {
 	delete(n.handlers, addr)
 }
 
+// SetFlight attaches a flight recorder: every transaction-bearing message
+// the network accepts is recorded as a net-send event (note = kind, plus
+// local vs wire dispatch), stitching the transport layer into
+// /debug/query/<tx>.
+func (n *HTTPNetwork) SetFlight(fr *telemetry.FlightRecorder) { n.flight = fr }
+
 // Send implements Network: local addresses dispatch in-process, remote
 // ones are POSTed to their URL.
 func (n *HTTPNetwork) Send(msg *Message) error {
@@ -56,12 +65,14 @@ func (n *HTTPNetwork) Send(msg *Message) error {
 	h, ok := n.handlers[msg.To]
 	n.mu.RUnlock()
 	if ok {
+		n.flight.Record(msg.TxID, telemetry.FlightNetSend, msg.From, msg.To, int64(msg.Hop), msg.Kind.String()+",local")
 		go h(msg)
 		return nil
 	}
 	if !strings.HasPrefix(msg.To, "http://") && !strings.HasPrefix(msg.To, "https://") {
 		return ErrUnknownAddr
 	}
+	n.flight.Record(msg.TxID, telemetry.FlightNetSend, msg.From, msg.To, int64(msg.Hop), msg.Kind.String()+",wire")
 	body := msg.Encode()
 	go func() {
 		resp, err := n.client.Post(msg.To, "text/xml", strings.NewReader(body))

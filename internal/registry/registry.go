@@ -69,6 +69,11 @@ type Config struct {
 	// Tracer, when set, records a span per XQuery evaluation. Nil
 	// disables tracing.
 	Tracer *telemetry.Tracer
+
+	// Flight, when set, receives per-transaction planning events
+	// (planned, view-hit, view-miss) for evaluations that carry a
+	// QueryOptions.TxID. Nil disables recording.
+	Flight *telemetry.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +144,7 @@ type Registry struct {
 	xquerySeconds    *telemetry.Histogram
 	viewBuildSeconds *telemetry.Histogram
 	tracer           *telemetry.Tracer
+	flight           *telemetry.FlightRecorder
 }
 
 // New creates a registry.
@@ -152,6 +158,7 @@ func New(cfg Config) *Registry {
 		views:      make(map[Filter]*filterView),
 		flights:    make(map[string]*pullFlight),
 		tracer:     cfg.Tracer,
+		flight:     cfg.Flight,
 	}
 	r.store.AddIndex(indexType, func(t *tuple.Tuple) string { return t.Type })
 	r.store.AddIndex(indexContext, func(t *tuple.Tuple) string { return t.Context })
@@ -305,6 +312,9 @@ type QueryOptions struct {
 	Emit func(xq.Item) bool
 	// Vars are external variable bindings.
 	Vars map[string]xq.Sequence
+	// TxID, when set, tags this evaluation's flight-recorder events with
+	// the discovery transaction it serves.
+	TxID string
 }
 
 // Query evaluates an XQuery over the registry's tuple-set view. The view is
@@ -358,6 +368,7 @@ func (r *Registry) QueryCompiled(q *xq.Query, opts QueryOptions) (xq.Sequence, e
 		// Streaming queries evaluate over a private materialized view:
 		// Emit callbacks run arbitrary user code, and a long-running
 		// callback must not hold the shared view's read lease.
+		r.flight.Record(opts.TxID, telemetry.FlightPlanned, r.cfg.Name, "", 0, "streamed")
 		view := r.BuildView(opts.Filter, opts.Freshness)
 		seq, err = q.Eval(&xq.Options{
 			Context:  view,
@@ -366,6 +377,7 @@ func (r *Registry) QueryCompiled(q *xq.Query, opts QueryOptions) (xq.Sequence, e
 			Vars:     opts.Vars,
 		})
 	} else {
+		r.flight.Record(opts.TxID, telemetry.FlightPlanned, r.cfg.Name, "", 0, "shared-view")
 		seq, err = r.querySharedView(q, opts)
 	}
 	if sp != nil {
@@ -384,8 +396,13 @@ func (r *Registry) QueryCompiled(q *xq.Query, opts QueryOptions) (xq.Sequence, e
 // later rebuilds mutate the shared document in place, so results handed to
 // the caller must not alias it.
 func (r *Registry) querySharedView(q *xq.Query, opts QueryOptions) (xq.Sequence, error) {
-	view, release := r.leaseView(opts.Filter, opts.Freshness)
+	view, release, hit := r.leaseView(opts.Filter, opts.Freshness)
 	defer release()
+	if hit {
+		r.flight.Record(opts.TxID, telemetry.FlightViewHit, r.cfg.Name, "", 0, "")
+	} else {
+		r.flight.Record(opts.TxID, telemetry.FlightViewMiss, r.cfg.Name, "", 0, "")
+	}
 	seq, err := q.Eval(&xq.Options{
 		Context:  view,
 		MaxSteps: r.cfg.MaxQuerySteps,

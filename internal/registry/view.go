@@ -125,10 +125,12 @@ func (r *Registry) viewFor(f Filter) *filterView {
 
 // leaseView returns the shared tuple-set view for the filter, synced at
 // least to the store generation observed at call time, plus a release
-// function. The document is valid only until release: rebuilds mutate it in
-// place under the write lock, so the read lease is what keeps the query's
-// snapshot stable. Callers must not mutate the document.
-func (r *Registry) leaseView(f Filter, fresh Freshness) (*xmldoc.Node, func()) {
+// function and whether the first lease attempt was served from an
+// already-synced view (the value behind ViewHits, reported per query to
+// the flight recorder). The document is valid only until release: rebuilds
+// mutate it in place under the write lock, so the read lease is what keeps
+// the query's snapshot stable. Callers must not mutate the document.
+func (r *Registry) leaseView(f Filter, fresh Freshness) (*xmldoc.Node, func(), bool) {
 	v := r.viewFor(f)
 	now := r.cfg.Now()
 	freshPass := false
@@ -152,7 +154,7 @@ func (r *Registry) leaseView(f Filter, fresh Freshness) (*xmldoc.Node, func()) {
 				// path.
 				r.cacheHits.Add(int64(len(v.byLink) - v.missing))
 			}
-			return v.doc, v.mu.RUnlock
+			return v.doc, v.mu.RUnlock, attempt == 0
 		}
 		v.mu.RUnlock()
 		if attempt == 0 {
@@ -160,7 +162,7 @@ func (r *Registry) leaseView(f Filter, fresh Freshness) (*xmldoc.Node, func()) {
 		} else if attempt >= 3 {
 			// The store is mutating faster than we can re-acquire the
 			// lease; serve a private materialized view instead of spinning.
-			return r.buildViewLegacy(f, fresh, !freshPass), func() {}
+			return r.buildViewLegacy(f, fresh, !freshPass), func() {}, false
 		}
 		v.mu.Lock()
 		if v.doc == nil || v.gen < r.store.Gen() || !v.expiryOK(now) {

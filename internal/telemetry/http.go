@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // MetricsHandler serves the Prometheus text exposition of m. A nil
@@ -46,12 +47,64 @@ func TracesHandler(t *Tracer) http.Handler {
 	})
 }
 
+// FlightHandler serves one transaction's flight recording as JSON. It is
+// meant to be mounted at /debug/query/ (note the trailing slash); the
+// transaction ID is the remainder of the path after the mount prefix.
+func FlightHandler(fr *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tx := strings.TrimPrefix(r.URL.Path, "/debug/query/")
+		if tx == "" || tx == r.URL.Path {
+			http.Error(w, "usage: /debug/query/<tx>", http.StatusBadRequest)
+			return
+		}
+		info := fr.Tx(tx)
+		if info == nil {
+			http.Error(w, "no such transaction (evicted or never recorded)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, info)
+	})
+}
+
+// SlowlogResponse is the /debug/slowlog body: the retained slow or
+// incomplete transaction summaries, most recent first.
+type SlowlogResponse struct {
+	Threshold string          `json:"threshold"` // slowlog admission threshold
+	Admitted  int             `json:"admitted"`  // entries ever admitted
+	Entries   []FlightSummary `json:"entries"`   // retained summaries, newest first
+}
+
+// SlowlogHandler serves the recorder's slowlog as JSON.
+func SlowlogHandler(fr *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entries, total := fr.Slowlog()
+		if entries == nil {
+			entries = []FlightSummary{}
+		}
+		writeJSON(w, SlowlogResponse{
+			Threshold: fr.SlowThreshold().String(),
+			Admitted:  total,
+			Entries:   entries,
+		})
+	})
+}
+
 // Mount registers the standard telemetry endpoints — /metrics,
 // /debug/vars and /debug/traces — on the mux.
 func Mount(mux *http.ServeMux, m *Metrics, t *Tracer) {
 	mux.Handle("/metrics", MetricsHandler(m))
 	mux.Handle("/debug/vars", VarsHandler(m))
 	mux.Handle("/debug/traces", TracesHandler(t))
+}
+
+// MountObservability registers the flight-recorder and SLO endpoints —
+// /debug/query/<tx>, /debug/slowlog and /slo — on the mux. Nil arguments
+// mount handlers that report empty/disabled state rather than 404s, so
+// probes keep working when a daemon runs with telemetry off.
+func MountObservability(mux *http.ServeMux, fr *FlightRecorder, s *SLO) {
+	mux.Handle("/debug/query/", FlightHandler(fr))
+	mux.Handle("/debug/slowlog", SlowlogHandler(fr))
+	mux.Handle("/slo", SLOHandler(s))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

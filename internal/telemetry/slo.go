@@ -1,0 +1,394 @@
+// The SLO engine: sliding-window service-level objectives with
+// multi-window burn rates. Each objective (first-item latency,
+// completeness ratio, replica staleness) counts good/bad events into
+// bucketed rings at several window lengths; the burn rate of a window is
+// its error rate divided by the objective's error budget, and an
+// objective is breaching only when EVERY window burns above threshold —
+// the classic multi-window rule that ignores both stale history (long
+// window alone) and momentary blips (short window alone).
+
+package telemetry
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Objective names used in /slo output and burn-rate metric labels.
+const (
+	// SLOFirstItem is the time-to-first-item latency objective.
+	SLOFirstItem = "first_item"
+	// SLOCompleteness is the query completeness-ratio objective.
+	SLOCompleteness = "completeness"
+	// SLOStaleness is the replica staleness objective.
+	SLOStaleness = "staleness"
+)
+
+// Default objective targets, exported so daemon flags can advertise the
+// same values the engine falls back to.
+const (
+	// DefaultFirstItemTarget is the default first-item latency target.
+	DefaultFirstItemTarget = 500 * time.Millisecond
+	// DefaultCompletenessTarget is the default completeness-ratio target.
+	DefaultCompletenessTarget = 0.99
+	// DefaultStalenessTarget is the default replica staleness target.
+	DefaultStalenessTarget = 30 * time.Second
+)
+
+// SLOConfig tunes an SLO engine. Zero values take the documented
+// defaults, so SLO{} configured with SLOConfig{} is fully usable.
+type SLOConfig struct {
+	// FirstItemTarget is the latency a query's first item must beat to
+	// count as good. Zero means 500ms.
+	FirstItemTarget time.Duration
+	// FirstItemObjective is the fraction of queries that must meet
+	// FirstItemTarget. Zero means 0.99.
+	FirstItemObjective float64
+	// CompletenessTarget is the minimum completeness ratio a query must
+	// reach to count as good. Zero means 0.99.
+	CompletenessTarget float64
+	// CompletenessObjective is the fraction of queries that must meet
+	// CompletenessTarget. Zero means 0.99.
+	CompletenessObjective float64
+	// StalenessTarget is the maximum replica lag that counts as good.
+	// Zero means 30s.
+	StalenessTarget time.Duration
+	// StalenessObjective is the fraction of staleness samples that must
+	// meet StalenessTarget. Zero means 0.99.
+	StalenessObjective float64
+	// Windows are the sliding-window lengths, shortest first. Empty means
+	// {1m, 5m, 30m}. Tests and experiments inject short windows here.
+	Windows []time.Duration
+	// BurnThreshold is the burn rate above which a window is considered
+	// burning. Zero means 1.0 (consuming error budget faster than allowed).
+	BurnThreshold float64
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.FirstItemTarget <= 0 {
+		c.FirstItemTarget = DefaultFirstItemTarget
+	}
+	if c.FirstItemObjective <= 0 {
+		c.FirstItemObjective = 0.99
+	}
+	if c.CompletenessTarget <= 0 {
+		c.CompletenessTarget = DefaultCompletenessTarget
+	}
+	if c.CompletenessObjective <= 0 {
+		c.CompletenessObjective = 0.99
+	}
+	if c.StalenessTarget <= 0 {
+		c.StalenessTarget = DefaultStalenessTarget
+	}
+	if c.StalenessObjective <= 0 {
+		c.StalenessObjective = 0.99
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []time.Duration{time.Minute, 5 * time.Minute, 30 * time.Minute}
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 1.0
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// sloBuckets is the number of ring buckets per window: enough resolution
+// that an expiring bucket moves the error rate by at most a few percent.
+const sloBuckets = 30
+
+// sloWindow is one bucketed sliding window of good/bad counts.
+type sloWindow struct {
+	length    time.Duration
+	bucketDur time.Duration
+	good      [sloBuckets]int64
+	bad       [sloBuckets]int64
+	lastIdx   int64 // absolute bucket index last written/advanced to
+}
+
+// advance zeroes buckets skipped since the last observation so stale
+// counts never linger. Must be called with the objective lock held.
+func (w *sloWindow) advance(now time.Time) int {
+	idx := now.UnixNano() / int64(w.bucketDur)
+	if w.lastIdx == 0 {
+		w.lastIdx = idx
+	}
+	for i := w.lastIdx + 1; i <= idx; i++ {
+		slot := int(i % sloBuckets)
+		if slot < 0 {
+			slot += sloBuckets
+		}
+		w.good[slot] = 0
+		w.bad[slot] = 0
+		if i-w.lastIdx > sloBuckets {
+			// Everything expired; no need to walk the rest one by one.
+			for j := range w.good {
+				w.good[j] = 0
+				w.bad[j] = 0
+			}
+			break
+		}
+	}
+	if idx > w.lastIdx {
+		w.lastIdx = idx
+	}
+	slot := int(idx % sloBuckets)
+	if slot < 0 {
+		slot += sloBuckets
+	}
+	return slot
+}
+
+// totals sums the window's counts after expiring stale buckets.
+func (w *sloWindow) totals(now time.Time) (good, bad int64) {
+	w.advance(now)
+	for i := range w.good {
+		good += w.good[i]
+		bad += w.bad[i]
+	}
+	return good, bad
+}
+
+// sloObjective is one named objective with its windows.
+type sloObjective struct {
+	name      string
+	objective float64 // e.g. 0.99 — target fraction of good events
+	mu        sync.Mutex
+	windows   []*sloWindow
+}
+
+func (o *sloObjective) observe(now time.Time, good bool) {
+	o.mu.Lock()
+	for _, w := range o.windows {
+		slot := w.advance(now)
+		if good {
+			w.good[slot]++
+		} else {
+			w.bad[slot]++
+		}
+	}
+	o.mu.Unlock()
+}
+
+// WindowStatus is one window's view of an objective in /slo output.
+type WindowStatus struct {
+	Window     string  `json:"window"`     // window length, e.g. "1m0s"
+	Events     int64   `json:"events"`     // observations inside the window
+	Violations int64   `json:"violations"` // bad observations inside the window
+	ErrorRate  float64 `json:"error_rate"` // violations / events
+	BurnRate   float64 `json:"burn_rate"`  // error rate / error budget
+	Burning    bool    `json:"burning"`    // burn rate above threshold
+}
+
+// ObjectiveStatus is one objective's view in /slo output.
+type ObjectiveStatus struct {
+	Name      string         `json:"name"`      // objective name
+	Objective float64        `json:"objective"` // target good fraction
+	Target    string         `json:"target"`    // human-readable good/bad boundary
+	Windows   []WindowStatus `json:"windows"`   // per-window burn state
+	Breach    bool           `json:"breach"`    // all windows burning
+}
+
+// SLOStatus is the full /slo response body.
+type SLOStatus struct {
+	At         time.Time         `json:"at"`         // evaluation time
+	Objectives []ObjectiveStatus `json:"objectives"` // per-objective state
+	Breach     bool              `json:"breach"`     // any objective breaching
+}
+
+// SLO is the sliding-window objective engine. A nil *SLO is a valid
+// disabled engine: observations are no-ops and Status reports nothing.
+type SLO struct {
+	cfg        SLOConfig
+	firstItem  *sloObjective
+	complete   *sloObjective
+	staleness  *sloObjective
+	objectives []*sloObjective
+	targets    map[string]string
+}
+
+// NewSLO creates an SLO engine with the given objectives and windows.
+func NewSLO(cfg SLOConfig) *SLO {
+	cfg = cfg.withDefaults()
+	mk := func(name string, objective float64) *sloObjective {
+		o := &sloObjective{name: name, objective: objective}
+		for _, l := range cfg.Windows {
+			d := l / sloBuckets
+			if d <= 0 {
+				d = time.Millisecond
+			}
+			o.windows = append(o.windows, &sloWindow{length: l, bucketDur: d})
+		}
+		return o
+	}
+	s := &SLO{
+		cfg:       cfg,
+		firstItem: mk(SLOFirstItem, cfg.FirstItemObjective),
+		complete:  mk(SLOCompleteness, cfg.CompletenessObjective),
+		staleness: mk(SLOStaleness, cfg.StalenessObjective),
+		targets: map[string]string{
+			SLOFirstItem:    "first item within " + cfg.FirstItemTarget.String(),
+			SLOCompleteness: "completeness >= " + formatRatio(cfg.CompletenessTarget),
+			SLOStaleness:    "replica lag within " + cfg.StalenessTarget.String(),
+		},
+	}
+	s.objectives = []*sloObjective{s.firstItem, s.complete, s.staleness}
+	return s
+}
+
+func formatRatio(r float64) string {
+	return strconv.FormatFloat(r, 'g', 4, 64)
+}
+
+// FirstItemTarget returns the configured first-item latency target
+// (0 on nil) so callers can align other thresholds with it.
+func (s *SLO) FirstItemTarget() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.cfg.FirstItemTarget
+}
+
+// ObserveFirstItem records one query's time-to-first-item. Queries whose
+// first item beat the target count as good.
+func (s *SLO) ObserveFirstItem(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.firstItem.observe(s.cfg.Now(), d <= s.cfg.FirstItemTarget)
+}
+
+// ObserveCompleteness records one query's completeness ratio
+// (responded/contacted). Ratios at or above the target count as good.
+func (s *SLO) ObserveCompleteness(ratio float64) {
+	if s == nil {
+		return
+	}
+	s.complete.observe(s.cfg.Now(), ratio >= s.cfg.CompletenessTarget)
+}
+
+// ObserveStaleness records one replica staleness sample. Lag at or below
+// the target counts as good.
+func (s *SLO) ObserveStaleness(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.staleness.observe(s.cfg.Now(), d <= s.cfg.StalenessTarget)
+}
+
+// BurnRate returns the named objective's burn rate over the given window
+// (0 when the engine is nil or the window has no events). It exists for
+// experiment scoring; /slo and metrics cover operations.
+func (s *SLO) BurnRate(name string, window time.Duration) float64 {
+	if s == nil {
+		return 0
+	}
+	now := s.cfg.Now()
+	for _, o := range s.objectives {
+		if o.name != name {
+			continue
+		}
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		for _, w := range o.windows {
+			if w.length != window {
+				continue
+			}
+			good, bad := w.totals(now)
+			return burnRate(good, bad, o.objective)
+		}
+	}
+	return 0
+}
+
+// burnRate converts good/bad counts into an error-budget burn multiple.
+func burnRate(good, bad int64, objective float64) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - objective
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	errRate := float64(bad) / float64(total)
+	return errRate / budget
+}
+
+// Status evaluates every objective across every window.
+func (s *SLO) Status() SLOStatus {
+	if s == nil {
+		return SLOStatus{}
+	}
+	now := s.cfg.Now()
+	st := SLOStatus{At: now}
+	for _, o := range s.objectives {
+		os := ObjectiveStatus{Name: o.name, Objective: o.objective, Target: s.targets[o.name]}
+		o.mu.Lock()
+		burningAll := true
+		sawEvents := false
+		for _, w := range o.windows {
+			good, bad := w.totals(now)
+			total := good + bad
+			ws := WindowStatus{
+				Window:     w.length.String(),
+				Events:     total,
+				Violations: bad,
+				BurnRate:   burnRate(good, bad, o.objective),
+			}
+			if total > 0 {
+				sawEvents = true
+				ws.ErrorRate = float64(bad) / float64(total)
+			}
+			// The epsilon absorbs float error so a burn of exactly 1.0
+			// (budget consumed at precisely the allowed rate) is not a breach.
+			ws.Burning = ws.BurnRate > s.cfg.BurnThreshold+1e-9
+			if !ws.Burning {
+				burningAll = false
+			}
+			os.Windows = append(os.Windows, ws)
+		}
+		o.mu.Unlock()
+		os.Breach = burningAll && sawEvents
+		if os.Breach {
+			st.Breach = true
+		}
+		st.Objectives = append(st.Objectives, os)
+	}
+	return st
+}
+
+// RegisterMetrics exposes per-objective, per-window burn rates as the
+// wsda_slo_burn_rate gauge family on m. Safe on nil receiver or nil m.
+func (s *SLO) RegisterMetrics(m *Metrics) {
+	if s == nil || m == nil {
+		return
+	}
+	vec := m.GaugeFuncVec("wsda_slo_burn_rate",
+		"Error-budget burn rate per objective and window (1.0 = budget consumed exactly at the allowed rate).",
+		"objective", "window")
+	for _, o := range s.objectives {
+		for _, w := range o.windows {
+			o, w := o, w
+			vec.With(func() float64 {
+				o.mu.Lock()
+				good, bad := w.totals(s.cfg.Now())
+				o.mu.Unlock()
+				return burnRate(good, bad, o.objective)
+			}, o.name, w.length.String())
+		}
+	}
+}
+
+// SLOHandler serves the engine's Status as JSON at /slo.
+func SLOHandler(s *SLO) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Status())
+	}
+}

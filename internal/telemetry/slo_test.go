@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloClock is a controllable clock for window tests.
+type sloClock struct{ t time.Time }
+
+func (c *sloClock) now() time.Time { return c.t }
+
+func newTestSLO(clk *sloClock, windows ...time.Duration) *SLO {
+	return NewSLO(SLOConfig{
+		FirstItemTarget:    100 * time.Millisecond,
+		FirstItemObjective: 0.9,
+		CompletenessTarget: 0.99,
+		StalenessTarget:    time.Second,
+		Windows:            windows,
+		Now:                clk.now,
+	})
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.ObserveFirstItem(time.Second)
+	s.ObserveCompleteness(0)
+	s.ObserveStaleness(time.Hour)
+	s.RegisterMetrics(nil)
+	if s.BurnRate(SLOFirstItem, time.Minute) != 0 {
+		t.Fatal("nil SLO burned")
+	}
+	if st := s.Status(); st.Breach || len(st.Objectives) != 0 {
+		t.Fatal("nil SLO reported state")
+	}
+}
+
+func TestSLOBurnMath(t *testing.T) {
+	clk := &sloClock{t: time.Unix(1000, 0)}
+	s := newTestSLO(clk, time.Minute)
+
+	// 90 good + 10 bad at a 0.9 objective: error rate 0.1, budget 0.1,
+	// burn exactly 1.0 — at, not above, threshold.
+	for i := 0; i < 90; i++ {
+		s.ObserveFirstItem(10 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		s.ObserveFirstItem(time.Second)
+	}
+	if br := s.BurnRate(SLOFirstItem, time.Minute); br < 0.99 || br > 1.01 {
+		t.Fatalf("burn = %v, want ~1.0", br)
+	}
+	st := s.Status()
+	var fi ObjectiveStatus
+	for _, o := range st.Objectives {
+		if o.Name == SLOFirstItem {
+			fi = o
+		}
+	}
+	if fi.Breach {
+		t.Fatal("burn == threshold must not breach")
+	}
+
+	// Ten more bad events push the burn over 1.0.
+	for i := 0; i < 10; i++ {
+		s.ObserveFirstItem(time.Second)
+	}
+	st = s.Status()
+	for _, o := range st.Objectives {
+		if o.Name == SLOFirstItem && !o.Breach {
+			t.Fatalf("expected breach: %+v", o)
+		}
+	}
+	if !st.Breach {
+		t.Fatal("status breach not set")
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	clk := &sloClock{t: time.Unix(1000, 0)}
+	s := newTestSLO(clk, time.Minute)
+	for i := 0; i < 20; i++ {
+		s.ObserveFirstItem(time.Second)
+	}
+	if br := s.BurnRate(SLOFirstItem, time.Minute); br <= 1 {
+		t.Fatalf("burn = %v, want > 1", br)
+	}
+	// Two minutes later every bucket has expired.
+	clk.t = clk.t.Add(2 * time.Minute)
+	if br := s.BurnRate(SLOFirstItem, time.Minute); br != 0 {
+		t.Fatalf("burn after expiry = %v, want 0", br)
+	}
+	st := s.Status()
+	for _, o := range st.Objectives {
+		if o.Name == SLOFirstItem && o.Windows[0].Events != 0 {
+			t.Fatalf("events after expiry = %d", o.Windows[0].Events)
+		}
+	}
+}
+
+func TestSLOMultiWindowRule(t *testing.T) {
+	clk := &sloClock{t: time.Unix(1000, 0)}
+	s := newTestSLO(clk, time.Minute, 10*time.Minute)
+
+	// Old good history fills the long window.
+	for i := 0; i < 500; i++ {
+		s.ObserveCompleteness(1.0)
+	}
+	// A burst of failures five minutes later: the short window burns hot,
+	// but the long window still holds the good history (3/503 is inside
+	// the 1% budget), so no breach yet.
+	clk.t = clk.t.Add(5 * time.Minute)
+	for i := 0; i < 3; i++ {
+		s.ObserveCompleteness(0.5)
+	}
+	st := s.Status()
+	for _, o := range st.Objectives {
+		if o.Name != SLOCompleteness {
+			continue
+		}
+		if !o.Windows[0].Burning {
+			t.Fatalf("short window not burning: %+v", o.Windows[0])
+		}
+		if o.Breach {
+			t.Fatal("breach despite healthy long window")
+		}
+	}
+
+	// Sustained failures eventually burn the long window too.
+	for i := 0; i < 200; i++ {
+		s.ObserveCompleteness(0.5)
+	}
+	st = s.Status()
+	for _, o := range st.Objectives {
+		if o.Name == SLOCompleteness && !o.Breach {
+			t.Fatalf("sustained failure did not breach: %+v", o)
+		}
+	}
+}
+
+func TestSLOStaleness(t *testing.T) {
+	clk := &sloClock{t: time.Unix(1000, 0)}
+	s := newTestSLO(clk, time.Minute)
+	s.ObserveStaleness(100 * time.Millisecond)
+	s.ObserveStaleness(10 * time.Second)
+	st := s.Status()
+	for _, o := range st.Objectives {
+		if o.Name == SLOStaleness {
+			if o.Windows[0].Events != 2 || o.Windows[0].Violations != 1 {
+				t.Fatalf("staleness window: %+v", o.Windows[0])
+			}
+		}
+	}
+}
+
+func TestSLOMetrics(t *testing.T) {
+	clk := &sloClock{t: time.Unix(1000, 0)}
+	s := newTestSLO(clk, time.Minute)
+	m := NewMetrics()
+	s.RegisterMetrics(m)
+	for i := 0; i < 5; i++ {
+		s.ObserveFirstItem(time.Second)
+	}
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "wsda_slo_burn_rate") {
+		t.Fatalf("burn-rate metric missing:\n%s", out)
+	}
+	if !strings.Contains(out, `objective="first_item"`) || !strings.Contains(out, `window="1m0s"`) {
+		t.Fatalf("burn-rate labels missing:\n%s", out)
+	}
+}

@@ -49,6 +49,9 @@ type ClusterConfig struct {
 	// Tracer, when set, records per-node transaction spans (see
 	// Config.Tracer).
 	Tracer *telemetry.Tracer
+	// Flight, when set, records per-transaction lifecycle events on every
+	// node (see Config.Flight).
+	Flight *telemetry.FlightRecorder
 }
 
 // BuildCluster creates one node per graph vertex and wires neighbor sets
@@ -83,6 +86,7 @@ func BuildCluster(g *topology.Graph, cfg ClusterConfig) (*Cluster, error) {
 			BreakerCooldown:  cfg.BreakerCooldown,
 			Metrics:          cfg.Metrics,
 			Tracer:           cfg.Tracer,
+			Flight:           cfg.Flight,
 			Seed:             int64(i + 1),
 		})
 		if err != nil {

@@ -1,0 +1,331 @@
+package updf
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wsda/internal/pdp"
+	"wsda/internal/registry"
+	"wsda/internal/simnet"
+	"wsda/internal/telemetry"
+	"wsda/internal/topology"
+	"wsda/internal/tuple"
+	"wsda/internal/wsda"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+// flightCluster is testCluster plus a shared flight recorder and the
+// retry knobs the flight tests exercise.
+func flightCluster(t *testing.T, g *topology.Graph, net pdp.Network, fr *telemetry.FlightRecorder, retries int, retryIval time.Duration) *Cluster {
+	t.Helper()
+	c, err := BuildCluster(g, ClusterConfig{
+		Net:           net,
+		AbortFloor:    time.Millisecond,
+		Flight:        fr,
+		MaxRetries:    retries,
+		RetryInterval: retryIval,
+		RegistryFor: func(i int) *registry.Registry {
+			r := registry.New(registry.Config{Name: fmt.Sprintf("reg%d", i)})
+			content := xmldoc.MustParse(fmt.Sprintf(
+				`<service name="svc%d" domain="dom%d"/>`, i, i%2)).DocumentElement().Clone()
+			if _, err := r.Publish(&tuple.Tuple{
+				Link:    fmt.Sprintf("http://dom%d/svc%d", i%2, i),
+				Type:    tuple.TypeService,
+				Content: content,
+			}, time.Hour); err != nil {
+				t.Fatalf("publish: %v", err)
+			}
+			return r
+		},
+	})
+	if err != nil {
+		t.Fatalf("build cluster: %v", err)
+	}
+	return c
+}
+
+// Concurrent streamed queries through the HTTP edge, all writing into ONE
+// shared flight recorder from every node's goroutines at once. Run under
+// -race this proves the recorder's synchronization; afterwards every
+// transaction must still have a coherent recording: its stream-item
+// events match the items the client saw, and the summary event is last.
+func TestFlightRecorderConcurrentStreamedQueries(t *testing.T) {
+	net := newTestNet()
+	defer net.Close()
+	fr := telemetry.NewFlightRecorder(telemetry.FlightConfig{Capacity: 64})
+	c := flightCluster(t, topology.Random(10, 3, 5), net, fr, 0, 0)
+	defer c.Close()
+	o, err := NewOriginator("orig", net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	o.SetFlight(fr)
+	srv := httptest.NewServer(NetQueryHandler(o, "node/0", nil, fr))
+	defer srv.Close()
+	cl := wsda.NewClient(srv.URL)
+
+	const workers = 8
+	type outcome struct {
+		tx    string
+		items int
+	}
+	outcomes := make([]outcome, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			items := 0
+			sum, err := cl.NetQueryStream(allNames, streamParams("stream", "true"),
+				func(xq.Item) bool { items++; return true })
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			outcomes[w] = outcome{tx: sum.TxID, items: items}
+		}(w)
+	}
+	wg.Wait()
+
+	for w, out := range outcomes {
+		if out.tx == "" {
+			continue // worker already reported its error
+		}
+		info := fr.Tx(out.tx)
+		if info == nil {
+			t.Fatalf("worker %d: tx %s has no recording", w, out.tx)
+		}
+		streamItems, summaries, summaryIdx := 0, 0, -1
+		var lastSeq uint64
+		for i, ev := range info.Events {
+			if ev.Seq <= lastSeq && i > 0 {
+				t.Fatalf("worker %d: event %d seq %d not increasing (prev %d)", w, i, ev.Seq, lastSeq)
+			}
+			lastSeq = ev.Seq
+			switch ev.Kind {
+			case telemetry.FlightStreamItem:
+				streamItems++
+			case telemetry.FlightSummaryKind:
+				summaries++
+				summaryIdx = i
+			default:
+				// The only events allowed after the network summary are the
+				// HTTP stream writer's own close bookkeeping, which fires
+				// after Submit returns.
+				if summaryIdx >= 0 && ev.Kind != telemetry.FlightStreamClose {
+					t.Errorf("worker %d: event %q recorded after the summary", w, ev.Kind)
+				}
+			}
+		}
+		if streamItems != out.items {
+			t.Errorf("worker %d: %d stream-item events, client saw %d items", w, streamItems, out.items)
+		}
+		if summaries != 1 {
+			t.Errorf("worker %d: %d summary events, want exactly 1", w, summaries)
+		}
+		if info.Summary == nil || !info.Summary.Complete {
+			t.Errorf("worker %d: summary missing or incomplete: %+v", w, info.Summary)
+		}
+	}
+}
+
+// An 8-node chain with one fully dead mid-chain link: /debug/query/<tx>
+// must reconstruct the whole lifecycle over HTTP — submit, per-node
+// receipt and forwarding, the retransmissions against the dead link, the
+// incomplete finals — and /debug/slowlog must capture the transaction,
+// which breached the first-item threshold (nothing streams, so the first
+// item only arrives once the abort cascade resolves).
+func TestFlightLifecycleHTTPWithLoss(t *testing.T) {
+	const n = 8
+	faults := simnet.NewFaults(3)
+	faults.SetLinkDrop("node/3", "node/4", 1.0)
+	net := simnet.New(simnet.Config{Faults: faults})
+	defer net.Close()
+	const slowThreshold = 10 * time.Millisecond
+	fr := telemetry.NewFlightRecorder(telemetry.FlightConfig{SlowThreshold: slowThreshold})
+	c := flightCluster(t, topology.Line(n), net, fr, 2, 10*time.Millisecond)
+	defer c.Close()
+	o, err := NewOriginator("orig", net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	o.SetFlight(fr)
+
+	var tx string
+	rs := submit(t, o, QuerySpec{
+		Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+		LoopTimeout: 2 * time.Second, AbortTimeout: 400 * time.Millisecond,
+		MaxRetries: 2, RetryInterval: 10 * time.Millisecond,
+		OnTx: func(id string) { tx = id },
+	})
+	if rs.Complete {
+		t.Fatal("complete = true across a dead link")
+	}
+	if len(rs.Items) != 4 {
+		t.Fatalf("items = %d, want the 4 reachable nodes", len(rs.Items))
+	}
+
+	mux := http.NewServeMux()
+	telemetry.MountObservability(mux, fr, nil)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/query/" + url.PathEscape(tx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/query/%s: status %d", tx, resp.StatusCode)
+	}
+	var info telemetry.FlightInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.TxID != tx || info.Dropped != 0 {
+		t.Fatalf("info tx=%q dropped=%d, want tx=%q dropped=0", info.TxID, info.Dropped, tx)
+	}
+
+	// Reconstruct the lifecycle: the query must have been received by
+	// every node up to the cut, forwarded down the chain, retransmitted
+	// against the dead link, and finalized incomplete.
+	received := map[string]bool{}
+	kinds := map[string]int{}
+	retransmitHitDeadLink := false
+	for _, ev := range info.Events {
+		kinds[ev.Kind]++
+		if ev.Kind == telemetry.FlightReceived {
+			received[ev.Node] = true
+		}
+		if ev.Kind == telemetry.FlightRetransmit && ev.Node == "node/3" && ev.Peer == "node/4" {
+			retransmitHitDeadLink = true
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if node := fmt.Sprintf("node/%d", i); !received[node] {
+			t.Errorf("no received event for %s", node)
+		}
+	}
+	if kinds[telemetry.FlightSubmit] != 1 {
+		t.Errorf("submit events = %d, want 1", kinds[telemetry.FlightSubmit])
+	}
+	if kinds[telemetry.FlightForward] < 3 {
+		t.Errorf("forward events = %d, want >=3 (down the chain)", kinds[telemetry.FlightForward])
+	}
+	if !retransmitHitDeadLink {
+		t.Error("no retransmit event on the dead node/3->node/4 link")
+	}
+	if kinds[telemetry.FlightNodeFinal] == 0 {
+		t.Error("no node-final events")
+	}
+	last := info.Events[len(info.Events)-1]
+	if last.Kind != telemetry.FlightSummaryKind || !strings.Contains(last.Note, "incomplete") {
+		t.Errorf("last event = %q note %q, want an incomplete summary", last.Kind, last.Note)
+	}
+	if info.Summary == nil {
+		t.Fatal("no summary on a finished transaction")
+	}
+	if info.Summary.FirstItem <= slowThreshold {
+		t.Errorf("first item %v did not breach the %v threshold the test relies on",
+			info.Summary.FirstItem, slowThreshold)
+	}
+
+	// The same transaction must be in the slowlog, admitted for breaching
+	// the first-item threshold (or, equivalently here, for being
+	// incomplete — both reasons describe this query).
+	resp2, err := http.Get(srv.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var slow telemetry.SlowlogResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&slow); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range slow.Entries {
+		if e.TxID == tx {
+			found = true
+			if e.Reason == "" {
+				t.Error("slowlog entry has no admission reason")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("tx %s not in slowlog (%d entries)", tx, len(slow.Entries))
+	}
+}
+
+// The flight recording must agree with the PR-5 reordering semantics: on
+// a transport that delivers the entry final BEFORE the pipelined partial
+// results, the recorded event order still shows every delivered item
+// preceding the closing summary, and the summary says complete — the
+// final is never misreported as complete while declared items are
+// outstanding, and no item events leak in after Finish.
+func TestFlightEventOrderUnderReordering(t *testing.T) {
+	inner := newTestNet()
+	defer inner.Close()
+	net := &partialDelayNet{Network: inner, to: "orig"}
+	fr := telemetry.NewFlightRecorder(telemetry.FlightConfig{})
+	c := flightCluster(t, topology.Line(4), net, fr, 0, 0)
+	defer c.Close()
+	o, err := NewOriginator("orig", net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	o.SetFlight(fr)
+
+	var tx string
+	rs := submit(t, o, QuerySpec{
+		Query: allNames, Entry: "node/0", Mode: pdp.Routed, Radius: -1,
+		Pipeline:     true,
+		AbortTimeout: 500 * time.Millisecond,
+		OnTx:         func(id string) { tx = id },
+	})
+	if len(rs.Items) != 4 || !rs.Complete || rs.Aborted {
+		t.Fatalf("items=%d complete=%v aborted=%v, want a clean 4-item result",
+			len(rs.Items), rs.Complete, rs.Aborted)
+	}
+
+	info := fr.Tx(tx)
+	if info == nil {
+		t.Fatalf("no recording for %s", tx)
+	}
+	itemEvents, firstItems, summaryIdx := 0, 0, -1
+	for i, ev := range info.Events {
+		switch ev.Kind {
+		case telemetry.FlightItem:
+			itemEvents++
+		case telemetry.FlightFirstItem:
+			firstItems++
+		case telemetry.FlightSummaryKind:
+			summaryIdx = i
+		}
+		if summaryIdx >= 0 && i > summaryIdx {
+			t.Fatalf("event %d (%s) recorded after the summary", i, ev.Kind)
+		}
+	}
+	if firstItems != 1 {
+		t.Errorf("first-item events = %d, want exactly 1", firstItems)
+	}
+	if itemEvents+firstItems != 4 {
+		t.Errorf("item events = %d, want 4 — the reordered partials must all be recorded before Finish", itemEvents+firstItems)
+	}
+	if summaryIdx != len(info.Events)-1 {
+		t.Errorf("summary at index %d of %d events, want last", summaryIdx, len(info.Events))
+	}
+	if info.Summary == nil || !info.Summary.Complete || info.Summary.Items != 4 {
+		t.Errorf("summary %+v, want complete with 4 items", info.Summary)
+	}
+}

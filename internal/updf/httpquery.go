@@ -28,7 +28,11 @@ import (
 //
 // m, when non-nil, records the edge time-to-first-item histogram
 // (wsda_http_first_item_seconds, path="netquery") for streamed requests.
-func NetQueryHandler(o *Originator, entry string, m *telemetry.Metrics) http.HandlerFunc {
+// fr, when non-nil, ties streamed deliveries into the flight recorder:
+// the minted transaction ID is bound to the stream writer so per-item
+// stream-item events and the stream-close trailer land in the same
+// /debug/query/<tx> recording as the network-side events.
+func NetQueryHandler(o *Originator, entry string, m *telemetry.Metrics, fr *telemetry.FlightRecorder) http.HandlerFunc {
 	var firstItem *telemetry.Histogram
 	if m != nil {
 		firstItem = m.HistogramVec(wsda.MetricFirstItemSeconds,
@@ -118,6 +122,10 @@ func NetQueryHandler(o *Originator, entry string, m *telemetry.Metrics) http.Han
 		var sw *wsda.StreamWriter
 		if q.Get("stream") == "true" {
 			sw = wsda.NewStreamWriter(w)
+			if fr != nil {
+				stream := sw
+				spec.OnTx = func(tx string) { stream.SetFlight(fr, tx) }
+			}
 		}
 		count := 0
 		if sw != nil || maxResults > 0 {

@@ -85,6 +85,12 @@ type Config struct {
 	// this node, parented under the sending hop's span (carried in
 	// pdp.Message.TraceParent) so a query's full hop tree reconstructs.
 	Tracer *telemetry.Tracer
+
+	// Flight, when set, receives per-transaction lifecycle events
+	// (received, forward, retransmit, breaker trips, partials, finals) so
+	// /debug/query/<tx> can replay exactly what this node did for a query.
+	// Nil disables recording.
+	Flight *telemetry.FlightRecorder
 }
 
 // Abort-timeout shrink policies.
@@ -134,7 +140,8 @@ type Node struct {
 	retries, breakerOpens, breakerSkips     atomic.Int64
 	closes                                  atomic.Int64
 
-	// Telemetry handles; nil when Config.Metrics/Tracer are unset.
+	// Telemetry handles; nil when Config.Metrics/Tracer/Flight are unset.
+	flight           *telemetry.FlightRecorder
 	tracer           *telemetry.Tracer
 	handleSeconds    *telemetry.Histogram
 	evalSeconds      *telemetry.Histogram
@@ -177,6 +184,7 @@ func NewNode(cfg Config) (*Node, error) {
 		states: softstate.New[*txState](cfg.Now),
 		rng:    newLockedRand(seed),
 		tracer: cfg.Tracer,
+		flight: cfg.Flight,
 	}
 	if m := cfg.Metrics; m != nil {
 		n.handleSeconds = m.HistogramVec("wsda_updf_query_handle_seconds",
@@ -333,12 +341,14 @@ func (n *Node) handleQuery(m *pdp.Message) {
 		telemetry.Int("hop", int64(m.Hop)),
 		telemetry.Int("radius", int64(m.Scope.Radius)))
 	n.queriesSeen.Add(1)
+	n.flight.Record(m.TxID, telemetry.FlightReceived, n.cfg.Addr, m.From, int64(m.Hop), "")
 	now := n.now()
 
 	// Static loop timeout: queries past their deadline are silently
 	// dropped everywhere, bounding both traffic and state retention.
 	if !m.Scope.LoopTimeout.IsZero() && now.After(m.Scope.LoopTimeout) {
 		n.droppedExpired.Add(1)
+		n.flight.Record(m.TxID, telemetry.FlightExpired, n.cfg.Addr, m.From, 0, "")
 		sp.SetAttr(telemetry.String("outcome", "dropped-expired"))
 		sp.End()
 		return
@@ -380,6 +390,7 @@ func (n *Node) handleQuery(m *pdp.Message) {
 	}
 	if !isNew {
 		n.duplicates.Add(1)
+		n.flight.Record(m.TxID, telemetry.FlightDuplicate, n.cfg.Addr, m.From, 0, "")
 		sp.SetAttr(telemetry.String("outcome", "duplicate"))
 		sp.End()
 		cur.mu.Lock()
@@ -414,6 +425,7 @@ func (n *Node) handleQuery(m *pdp.Message) {
 					kept = append(kept, child)
 				} else {
 					n.breakerSkips.Add(1)
+					n.flight.Record(m.TxID, telemetry.FlightBreakerSkip, n.cfg.Addr, child, 0, "")
 					st.skipped++
 				}
 			}
@@ -455,6 +467,7 @@ func (n *Node) handleQuery(m *pdp.Message) {
 		st.mu.Unlock()
 		for _, child := range children {
 			n.forwards.Add(1)
+			n.flight.Record(m.TxID, telemetry.FlightForward, n.cfg.Addr, child, int64(m.Hop+1), "")
 			st.mu.Lock()
 			cs := st.children[child]
 			msg := cs.msg
@@ -509,11 +522,13 @@ func (n *Node) retryChild(tx, child string) {
 	if cs.left > 0 {
 		cs.timer = time.AfterFunc(cs.interval, func() { n.retryChild(tx, child) })
 	}
+	left := cs.left
 	st.mu.Unlock()
 	n.retries.Add(1)
 	if n.retriesMetric != nil {
 		n.retriesMetric.Inc()
 	}
+	n.flight.Record(tx, telemetry.FlightRetransmit, n.cfg.Addr, child, int64(left), "")
 	n.send(msg)
 }
 
@@ -560,6 +575,15 @@ func (n *Node) evalLocal(m *pdp.Message, st *txState) {
 	}
 	n.evals.Add(1)
 	opts := n.cfg.QueryOptions
+	// Stamp the transaction onto the evaluation so the registry's own
+	// flight events (planned, view-hit/miss) land in the same recording.
+	opts.TxID = m.TxID
+	defer func() {
+		st.mu.Lock()
+		hits, evalErr := st.localHits, st.evalErr
+		st.mu.Unlock()
+		n.flight.Record(m.TxID, telemetry.FlightEval, n.cfg.Addr, "", int64(hits), evalErr)
+	}()
 
 	if st.mode == pdp.Routed && st.pipeline {
 		// Pipelined routed execution: every item is relayed upstream the
@@ -694,6 +718,11 @@ func (n *Node) handleResult(m *pdp.Message) {
 		}
 	}
 	st.mu.Unlock()
+	if m.Final {
+		n.flight.Record(m.TxID, telemetry.FlightChildFinal, n.cfg.Addr, m.From, int64(m.HitCount), "")
+	} else if len(m.Items) > 0 {
+		n.flight.Record(m.TxID, telemetry.FlightPartial, n.cfg.Addr, m.From, int64(len(m.Items)), "")
+	}
 	if relay != nil {
 		n.send(relay)
 	}
@@ -722,6 +751,7 @@ func (n *Node) handleReceipt(m *pdp.Message) {
 	}
 	st.subtreeHits += m.HitCount
 	st.mu.Unlock()
+	n.flight.Record(m.TxID, telemetry.FlightChildFinal, n.cfg.Addr, m.From, int64(m.HitCount), "receipt")
 	n.breaker.Success(m.From)
 	n.checkCompletion(m.TxID, st)
 }
@@ -794,6 +824,7 @@ func (n *Node) handleClose(m *pdp.Message) {
 	st.pending = map[string]bool{}
 	st.buffered = nil
 	st.mu.Unlock()
+	n.flight.Record(m.TxID, telemetry.FlightClose, n.cfg.Addr, m.From, int64(len(children)), "")
 	for _, c := range children {
 		n.send(&pdp.Message{Kind: pdp.KindClose, TxID: m.TxID, From: n.cfg.Addr, To: c})
 	}
@@ -826,6 +857,7 @@ func (n *Node) abortTx(tx string) {
 		return
 	}
 	n.aborts.Add(1)
+	n.flight.Record(tx, telemetry.FlightAbort, n.cfg.Addr, "", int64(len(st.pending)), "abort-timeout")
 	n.finalizeLocked(tx, st, "abort-timeout")
 }
 
@@ -901,12 +933,26 @@ func (n *Node) finalizeLocked(tx string, st *txState, abortErr string) {
 		// Referral answered directly in evalLocal; nothing upstream.
 	}
 	st.finalOut = out
+	subtreeHits := st.subtreeHits
 	st.mu.Unlock()
+	note := "complete"
+	if !complete {
+		note = "incomplete"
+	}
+	if abortErr != "" {
+		note += "," + abortErr
+	}
+	n.flight.Record(tx, telemetry.FlightNodeFinal, n.cfg.Addr, "", int64(subtreeHits), note)
 	if out != nil {
 		n.send(out)
 	}
 	for _, c := range failed {
-		n.breaker.Failure(c)
+		if n.breaker.Failure(c) {
+			// Failure reports true when this failure tripped the circuit:
+			// record the trip against the transaction that caused it so the
+			// flight shows exactly when a neighbor went dark.
+			n.flight.Record(tx, telemetry.FlightBreakerOpen, n.cfg.Addr, c, 0, "")
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package updf
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,11 @@ type QuerySpec struct {
 	// OnItem, if set, streams result items as they arrive; returning false
 	// closes the transaction network-wide.
 	OnItem func(item xq.Item, source string) bool
+
+	// OnTx, if set, is called with the minted transaction ID before the
+	// query enters the network, so callers (e.g. the HTTP stream edge) can
+	// correlate their own instrumentation with the flight recording.
+	OnTx func(tx string)
 
 	// Cancel, if set, aborts the submission early when it becomes
 	// readable or closed (e.g. an HTTP request context's Done channel):
@@ -112,8 +118,10 @@ type Originator struct {
 
 	seq atomic.Int64
 
-	// Telemetry handles; nil until SetTelemetry.
+	// Telemetry handles; nil until SetTelemetry/SetFlight/SetSLO.
 	tracer        *telemetry.Tracer
+	flight        *telemetry.FlightRecorder
+	slo           *telemetry.SLO
 	submitSeconds *telemetry.Histogram
 	firstSeconds  *telemetry.Histogram
 	completeness  *telemetry.Histogram
@@ -147,6 +155,16 @@ func (o *Originator) SetTelemetry(m *telemetry.Metrics, tr *telemetry.Tracer) {
 			[]float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1})
 	}
 }
+
+// SetFlight wires a flight recorder into the originator: every submission
+// records its lifecycle (submit, first-item, items, entry retransmits) and
+// finishes the recording with the result-set summary, which is also what
+// gates the transaction into /debug/slowlog. Nil disables.
+func (o *Originator) SetFlight(fr *telemetry.FlightRecorder) { o.flight = fr }
+
+// SetSLO wires an SLO engine into the originator: each finished submission
+// feeds the first-item and completeness objectives. Nil disables.
+func (o *Originator) SetSLO(s *telemetry.SLO) { o.slo = s }
 
 // Addr returns the originator's network address.
 func (o *Originator) Addr() string { return o.addr }
@@ -198,6 +216,9 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 		return o.submitReferral(s)
 	}
 	tx := o.newTx()
+	if s.OnTx != nil {
+		s.OnTx(tx)
+	}
 	ch := make(chan *pdp.Message, 4096)
 	o.mu.Lock()
 	o.pending[tx] = ch
@@ -211,6 +232,7 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 	start := o.now()
 	loopDeadline := start.Add(s.LoopTimeout)
 	abortDeadline := start.Add(s.AbortTimeout)
+	o.flight.Record(tx, telemetry.FlightSubmit, o.addr, s.Entry, int64(s.Radius), s.Mode.String())
 	sp := o.tracer.StartSpan(tx, nil, "updf.submit")
 	sp.SetAttr(telemetry.String("originator", o.addr),
 		telemetry.String("entry", s.Entry),
@@ -246,6 +268,22 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 		}
 		if o.completeness != nil {
 			o.completeness.Observe(rs.Completeness())
+		}
+		o.flight.Finish(tx, telemetry.FlightSummary{
+			FirstItem: rs.TimeToFirst, Elapsed: rs.Elapsed, Items: len(rs.Items),
+			Complete: rs.Complete, Aborted: rs.Aborted,
+			NodesContacted: rs.NodesContacted, NodesResponded: rs.NodesResponded,
+			Err: strings.Join(rs.Errs, "; "),
+		})
+		if o.slo != nil {
+			// A query with no items is scored on its total elapsed time:
+			// fast empty completions pass, slow or aborted ones burn budget.
+			d := rs.TimeToFirst
+			if d == 0 {
+				d = rs.Elapsed
+			}
+			o.slo.ObserveFirstItem(d)
+			o.slo.ObserveCompleteness(rs.Completeness())
 		}
 		if sp != nil {
 			sp.SetAttr(telemetry.Int("items", int64(len(rs.Items))),
@@ -289,6 +327,9 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 		for _, it := range items {
 			if len(rs.Items) == 0 {
 				rs.TimeToFirst = o.now().Sub(start)
+				o.flight.Record(tx, telemetry.FlightFirstItem, o.addr, source, 1, "")
+			} else {
+				o.flight.Record(tx, telemetry.FlightItem, o.addr, source, int64(len(rs.Items)+1), "")
 			}
 			rs.Items = append(rs.Items, it)
 			if source != "" {
@@ -392,6 +433,7 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 		case <-retryC:
 			if !entryFinal && retriesLeft > 0 {
 				retriesLeft--
+				o.flight.Record(tx, telemetry.FlightRetransmit, o.addr, s.Entry, int64(retriesLeft), "entry")
 				_ = o.net.Send(queryMsg)
 				if retriesLeft > 0 {
 					retryInterval *= 2
@@ -429,6 +471,10 @@ func (o *Originator) Submit(spec QuerySpec) (*ResultSet, error) {
 // neighbor links returned with each answer (thesis Ch. 6.4).
 func (o *Originator) submitReferral(s QuerySpec) (*ResultSet, error) {
 	tx := o.newTx()
+	if s.OnTx != nil {
+		s.OnTx(tx)
+	}
+	o.flight.Record(tx, telemetry.FlightSubmit, o.addr, s.Entry, int64(s.Radius), "referral")
 	ch := make(chan *pdp.Message, 4096)
 	o.mu.Lock()
 	o.pending[tx] = ch
@@ -458,6 +504,20 @@ func (o *Originator) submitReferral(s QuerySpec) (*ResultSet, error) {
 		o.submitSeconds.ObserveDuration(rs.Elapsed)
 		if rs.TimeToFirst > 0 {
 			o.firstSeconds.ObserveDuration(rs.TimeToFirst)
+		}
+		o.flight.Finish(tx, telemetry.FlightSummary{
+			FirstItem: rs.TimeToFirst, Elapsed: rs.Elapsed, Items: len(rs.Items),
+			Complete: rs.Complete, Aborted: rs.Aborted,
+			NodesContacted: rs.NodesContacted, NodesResponded: rs.NodesResponded,
+			Err: strings.Join(rs.Errs, "; "),
+		})
+		if o.slo != nil {
+			d := rs.TimeToFirst
+			if d == 0 {
+				d = rs.Elapsed
+			}
+			o.slo.ObserveFirstItem(d)
+			o.slo.ObserveCompleteness(rs.Completeness())
 		}
 		if sp != nil {
 			sp.SetAttr(telemetry.Int("items", int64(len(rs.Items))),

@@ -415,7 +415,7 @@ func newStreamServer(t *testing.T, n int, delay time.Duration) (*Cluster, *wsda.
 		t.Fatal(err)
 	}
 	t.Cleanup(o.Close)
-	srv := httptest.NewServer(NetQueryHandler(o, "node/0", nil))
+	srv := httptest.NewServer(NetQueryHandler(o, "node/0", nil, nil))
 	t.Cleanup(srv.Close)
 	return c, wsda.NewClient(srv.URL)
 }

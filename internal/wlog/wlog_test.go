@@ -1,0 +1,97 @@
+package wlog
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevels(t *testing.T) {
+	l, err := parseLevels("warn,updf=debug,replica=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.base != slog.LevelWarn {
+		t.Fatalf("base = %v", l.base)
+	}
+	if l.min("updf") != slog.LevelDebug || l.min("replica") != slog.LevelError {
+		t.Fatalf("overrides wrong: %+v", l.override)
+	}
+	if l.min("other") != slog.LevelWarn {
+		t.Fatal("unknown component should use base")
+	}
+	if _, err := parseLevels("bogus"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := parseLevels("updf=debug,info"); err == nil {
+		t.Fatal("base after override accepted")
+	}
+}
+
+func TestTextFormat(t *testing.T) {
+	var sb strings.Builder
+	l, err := New(Config{W: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("serving", "addr", "127.0.0.1:8080")
+	l.Warn("slow query", "tx", "a#1", "note", "two words")
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "serving addr=127.0.0.1:8080") {
+		t.Fatalf("info line: %q", lines[0])
+	}
+	if strings.Contains(lines[0], "INFO") {
+		t.Fatalf("info lines must stay unprefixed: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "WARN slow query") || !strings.Contains(lines[1], `note="two words"`) {
+		t.Fatalf("warn line: %q", lines[1])
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var sb strings.Builder
+	l, err := New(Config{Format: "json", W: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	WithTx(WithComponent(l, "updf"), "a#7").Info("forwarded", "peer", "node/3")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, sb.String())
+	}
+	if rec["msg"] != "forwarded" || rec[AttrComponent] != "updf" || rec[AttrTx] != "a#7" || rec["peer"] != "node/3" {
+		t.Fatalf("record: %v", rec)
+	}
+}
+
+func TestPerComponentFiltering(t *testing.T) {
+	var sb strings.Builder
+	l, err := New(Config{Level: "warn,updf=debug", W: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	WithComponent(l, "updf").Debug("kept", "k", "v")
+	WithComponent(l, "replica").Info("dropped too")
+	out := sb.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("filtered lines leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "kept") {
+		t.Fatalf("override level lost:\n%s", out)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := New(Config{Format: "xml"}); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if _, err := New(Config{Level: "loud"}); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}

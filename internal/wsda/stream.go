@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wsda/internal/registry"
+	"wsda/internal/telemetry"
 	"wsda/internal/xmldoc"
 	"wsda/internal/xq"
 )
@@ -46,6 +47,12 @@ type StreamWriter struct {
 	count      int
 	started    bool
 	err        error
+
+	// Flight correlation (SetFlight): records one stream-item event per
+	// written item and a stream-close on the trailer, tying the HTTP edge
+	// into /debug/query/<tx>.
+	fr *telemetry.FlightRecorder
+	tx string
 }
 
 // NewStreamWriter prepares a streamed <results> response on w. Nothing is
@@ -64,6 +71,13 @@ func (sw *StreamWriter) SetFlushEvery(n int) {
 		n = 1
 	}
 	sw.flushEvery = n
+}
+
+// SetFlight attaches a flight recorder and the transaction this stream
+// serves; subsequent WriteItem/Close calls record stream-item and
+// stream-close events. A nil recorder (or empty tx) disables recording.
+func (sw *StreamWriter) SetFlight(fr *telemetry.FlightRecorder, tx string) {
+	sw.fr, sw.tx = fr, tx
 }
 
 // Count returns how many items have been written so far.
@@ -106,6 +120,7 @@ func (sw *StreamWriter) WriteItem(it xq.Item) error {
 		return sw.err
 	}
 	sw.count++
+	sw.fr.Record(sw.tx, telemetry.FlightStreamItem, "", "", int64(sw.count), "")
 	if sw.unflushed++; sw.unflushed >= sw.flushEvery {
 		sw.flush()
 	}
@@ -138,6 +153,11 @@ func (sw *StreamWriter) Close(sum StreamSummary) error {
 	if _, sw.err = io.WriteString(sw.w, el.String()+"</results>"); sw.err != nil {
 		return sw.err
 	}
+	note := "complete"
+	if !sum.Complete {
+		note = "incomplete"
+	}
+	sw.fr.Record(sw.tx, telemetry.FlightStreamClose, "", "", int64(sum.Count), note)
 	sw.flush()
 	return nil
 }

@@ -304,6 +304,77 @@ func BenchmarkViewQueryChurn(b *testing.B) {
 	}
 }
 
+// --- Query-planner benchmarks (ISSUE 7 acceptance) ---
+//
+// BenchmarkPlannedQueryCold measures a discovery query from source text:
+// compile, plan, and answer from the link index — no tuple-set view is
+// ever built. BenchmarkPlannedQueryWarm is the steady state (cached plan,
+// memoized tuple subtree); its allocs/op is the guarded budget.
+// BenchmarkPlanFallback is the comparator: the same store answering an
+// unplannable streamed query, which must materialize a private view per
+// evaluation. The speedup of PlannedQueryCold over PlanFallback is the
+// acceptance ratio enforced by cmd/benchguard.
+
+const plannedBenchQuery = `/tupleset/tuple[@link="http://cern.ch/replica-catalog-0000/wsda/presenter"]/@type`
+
+func BenchmarkPlannedQueryCold(b *testing.B) {
+	reg := benchRegistry(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := xq.Compile(plannedBenchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq, err := reg.QueryCompiled(q, registry.QueryOptions{})
+		if err != nil || len(seq) != 1 {
+			b.Fatalf("seq=%d err=%v", len(seq), err)
+		}
+	}
+}
+
+func BenchmarkPlannedQueryWarm(b *testing.B) {
+	reg := benchRegistry(b, 1000)
+	q := xq.MustCompile(plannedBenchQuery)
+	if _, err := reg.QueryCompiled(q, registry.QueryOptions{}); err != nil {
+		b.Fatal(err) // prime the plan cache and tuple memo
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq, err := reg.QueryCompiled(q, registry.QueryOptions{})
+		if err != nil || len(seq) != 1 {
+			b.Fatalf("seq=%d err=%v", len(seq), err)
+		}
+	}
+}
+
+func BenchmarkPlanFallback(b *testing.B) {
+	reg := benchRegistry(b, 1000)
+	q := xq.MustCompile(viewBenchQuery)
+	sink := func(xq.Item) bool { return true }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.QueryCompiled(q, registry.QueryOptions{Emit: sink}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLexer drives the table-driven DFA scanner over the most
+// complex canonical query, bytes/op reported via SetBytes.
+func BenchmarkLexer(b *testing.B) {
+	src := workload.CanonicalQueries[7].XQ
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := xq.ScanTokens(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Streaming benchmarks (ISSUE 6 acceptance) ---
 //
 // BenchmarkStreamWriteItem guards the per-item hot path of the chunked

@@ -11,12 +11,18 @@
 //     a small constant number of allocations, so allocs/op on WriteItem is
 //     guarded; FirstItem's time-to-first-item over an 8-node chain is
 //     recorded alongside for trend tracking.
+//   - xq suite (BenchmarkPlannedQuery{Cold,Warm}, BenchmarkPlanFallback,
+//     BenchmarkLexer -> BENCH_xq.json): the pushdown planner must answer an
+//     index-hit discovery query at least 10x faster than the view-fallback
+//     path answers an unplannable one on the same store, and the warm
+//     planned path (cached plan, memoized tuple subtree) is held to a small
+//     allocs/op budget. Lexer throughput rides along for trend tracking.
 //
 // Usage:
 //
 //	benchguard                       # runs every suite, exits 1 on any breach
 //	benchguard -suite stream         # one suite only
-//	benchguard -view-budget 32 -stream-budget 24
+//	benchguard -view-budget 32 -stream-budget 24 -xq-budget 8
 package main
 
 import (
@@ -52,8 +58,11 @@ type report struct {
 	// Stream summarizes the stream-delivery guard numbers. Stream suite
 	// only.
 	Stream *streamGuard `json:"stream,omitempty"`
-	Budget int64        `json:"budget"`
-	Pass   bool         `json:"pass"`
+	// Planner compares the pushdown planner against the view-fallback
+	// path on the same 1000-tuple store. XQ suite only.
+	Planner *plannerGuard `json:"planner,omitempty"`
+	Budget  int64         `json:"budget"`
+	Pass    bool          `json:"pass"`
 }
 
 // coldVsWarm is the view suite's guard section.
@@ -70,6 +79,20 @@ type streamGuard struct {
 	WriteItemNsPerOp     float64 `json:"write_item_ns_per_op"`
 	WriteItemAllocsPerOp int64   `json:"write_item_allocs_per_op"`
 	FirstItemNsPerOp     float64 `json:"first_item_ns_per_op"`
+}
+
+// plannerGuard is the xq suite's guard section. Speedup is the
+// view-fallback cost divided by the cold planned cost: how much a
+// plannable discovery query saves even when its source must still be
+// compiled and planned from scratch.
+type plannerGuard struct {
+	ColdNsPerOp      float64 `json:"cold_ns_per_op"`
+	WarmNsPerOp      float64 `json:"warm_ns_per_op"`
+	WarmAllocsPerOp  int64   `json:"warm_allocs_per_op"`
+	FallbackNsPerOp  float64 `json:"fallback_ns_per_op"`
+	Speedup          float64 `json:"speedup"`
+	LexerNsPerOp     float64 `json:"lexer_ns_per_op"`
+	LexerAllocsPerOp int64   `json:"lexer_allocs_per_op"`
 }
 
 // suite is one guarded benchmark family: which benchmarks to run, where
@@ -130,15 +153,49 @@ var suites = []suite{
 					sg.WriteItemAllocsPerOp, budget, sg.FirstItemNsPerOp)
 		},
 	},
+	{
+		name:    "xq",
+		pattern: "Benchmark(PlannedQuery|PlanFallback|Lexer)",
+		out:     "BENCH_xq.json",
+		finish: func(rep *report, budget int64) (bool, string) {
+			pg := &plannerGuard{}
+			for _, r := range rep.Benchmarks {
+				switch baseName(r.Name) {
+				case "BenchmarkPlannedQueryCold":
+					pg.ColdNsPerOp = r.NsPerOp
+				case "BenchmarkPlannedQueryWarm":
+					pg.WarmNsPerOp = r.NsPerOp
+					pg.WarmAllocsPerOp = r.AllocsPerOp
+				case "BenchmarkPlanFallback":
+					pg.FallbackNsPerOp = r.NsPerOp
+				case "BenchmarkLexer":
+					pg.LexerNsPerOp = r.NsPerOp
+					pg.LexerAllocsPerOp = r.AllocsPerOp
+				}
+			}
+			if pg.ColdNsPerOp > 0 {
+				pg.Speedup = pg.FallbackNsPerOp / pg.ColdNsPerOp
+			}
+			rep.Planner = pg
+			// Two guards: planner-vs-fallback speedup and the warm
+			// allocation budget. Both regressions defeat the point of
+			// the planner, so either breach fails the suite.
+			pass := pg.Speedup >= 10 && pg.WarmAllocsPerOp <= budget
+			return pass, fmt.Sprintf(
+				"speedup %.0fx (min 10x), warm allocs/op %d, budget %d",
+				pg.Speedup, pg.WarmAllocsPerOp, budget)
+		},
+	},
 }
 
 func main() {
-	which := flag.String("suite", "all", "suite to run: view|stream|all")
+	which := flag.String("suite", "all", "suite to run: view|stream|xq|all")
 	viewBudget := flag.Int64("view-budget", 32, "max allocs/op allowed on the warm view path")
 	streamBudget := flag.Int64("stream-budget", 24, "max allocs/op allowed per streamed item write")
+	xqBudget := flag.Int64("xq-budget", 8, "max allocs/op allowed on the warm planned-query path")
 	flag.Parse()
 
-	budgets := map[string]int64{"view": *viewBudget, "stream": *streamBudget}
+	budgets := map[string]int64{"view": *viewBudget, "stream": *streamBudget, "xq": *xqBudget}
 	failed := false
 	ran := 0
 	for _, s := range suites {

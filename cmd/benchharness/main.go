@@ -1,5 +1,5 @@
 // Command benchharness regenerates every table and figure of the
-// evaluation (experiments E1–E18, see DESIGN.md) at full scale and prints
+// evaluation (experiments E1–E19, see DESIGN.md) at full scale and prints
 // them as aligned text tables. Use -quick for a fast smoke run and -only
 // to select individual experiments.
 //
@@ -149,6 +149,12 @@ func main() {
 				return experiments.E18OverloadTriage(8, 12)
 			}
 			return experiments.E18OverloadTriage(10, 40)
+		}},
+		{"E19", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E19QueryPlanner([]int{500}, 20)
+			}
+			return experiments.E19QueryPlanner([]int{1000, 4000, 16_000}, 50)
 		}},
 	}
 

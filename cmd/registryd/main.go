@@ -72,6 +72,8 @@ func main() {
 		seed    = flag.Int("seed-services", 0, "pre-populate with N synthetic services")
 		maxWork = flag.Int("max-query-steps", 10_000_000, "per-query evaluation step budget (0 = unlimited)")
 
+		noPlanner = flag.Bool("no-planner", false, "disable the discovery-query pushdown planner; every query takes the interpreted view path")
+
 		replicaOf  = flag.String("replica-of", "", "run as a read-only replica tailing this primary's change feed (base URL, e.g. http://primary:8080)")
 		journalCap = flag.Int("journal-cap", softstate.DefaultJournalCap, "change-journal capacity; feeds and views resync past it")
 		longPoll   = flag.Duration("replica-long-poll", 20*time.Second, "long-poll wait the replica requests from its primary's feed")
@@ -127,6 +129,7 @@ func main() {
 		Metrics:       metrics,
 		Tracer:        tracer,
 		Flight:        flight,
+		NoPlanner:     *noPlanner,
 	})
 	registerRegistryStats(metrics, reg)
 	if *seed > 0 {

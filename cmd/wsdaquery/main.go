@@ -9,6 +9,10 @@
 //	wsdaquery publish   -node http://localhost:8080 -link URL -type service [-ttl 5m] [-content file.xml]
 //	wsdaquery unpublish -node http://localhost:8080 -link URL
 //
+// xquery takes -explain to print the node's chosen query plan (from the
+// X-Wsda-Plan response header: index pushdown, store scan, or the
+// interpreted view path) before the results.
+//
 // xquery and netquery take -stream to decode the response incrementally and
 // print items the moment they arrive (with netquery -pipeline the first item
 // can print while remote nodes are still evaluating), and -max-results N to
@@ -63,6 +67,7 @@ func main() {
 	maxAge := fs.Duration("maxage", 0, "content freshness bound (xquery)")
 	pull := fs.Bool("pull-missing", false, "pull missing content (xquery)")
 	stream := fs.Bool("stream", false, "decode the response incrementally, printing items as they arrive (xquery/netquery)")
+	explain := fs.Bool("explain", false, "print the node's chosen query plan from the X-Wsda-Plan header (xquery)")
 	maxResults := fs.Int("max-results", 0, "stop after N items; 0 = unlimited (xquery/netquery)")
 	mode := fs.String("mode", "routed", "network query response mode: routed|direct|metadata|referral (netquery)")
 	radius := fs.Int("radius", -1, "network query horizon in hops; -1 = unbounded (netquery)")
@@ -101,7 +106,8 @@ func main() {
 	run(cmd, fs, attempt, fail, logger,
 		link, typ, ctx, prefix, ttl, contentFile, maxAge, pull,
 		streamOpts{stream: *stream, maxResults: *maxResults, mode: *mode,
-			radius: *radius, pipeline: *pipeline, netTimeout: *netTimeout})
+			radius: *radius, pipeline: *pipeline, netTimeout: *netTimeout,
+			explain: *explain})
 }
 
 // streamOpts bundles the delivery and network-query flags so run's
@@ -113,6 +119,7 @@ type streamOpts struct {
 	radius     int
 	pipeline   bool
 	netTimeout time.Duration
+	explain    bool
 }
 
 // runAttempts runs do against each endpoint in order until one succeeds,
@@ -210,6 +217,10 @@ func run(cmd string, fs *flag.FlagSet,
 			Filter:    registry.Filter{Type: *typ, Context: *ctx, LinkPrefix: *prefix},
 			Freshness: registry.Freshness{MaxAge: *maxAge, PullMissing: *pull},
 		}
+		var plan registry.PlanInfo
+		if so.explain {
+			opts.Explain = &plan
+		}
 		if so.stream || so.maxResults > 0 {
 			var sum *wsda.StreamSummary
 			if err := attempt(func(c *wsda.Client) (err error) {
@@ -217,6 +228,11 @@ func run(cmd string, fs *flag.FlagSet,
 				return err
 			}); err != nil {
 				fail(err)
+			}
+			if so.explain {
+				// Streamed responses surface the plan via the summary; an
+				// absent header means the node fell back to the view path.
+				fmt.Println("plan:", registry.ParsePlanInfo(sum.Plan))
 			}
 			logger.Info("xquery stream done", "items", sum.Count, "complete", sum.Complete)
 			return
@@ -227,6 +243,9 @@ func run(cmd string, fs *flag.FlagSet,
 			return err
 		}); err != nil {
 			fail(err)
+		}
+		if so.explain {
+			fmt.Println("plan:", plan)
 		}
 		fmt.Println(xq.Serialize(seq))
 		logger.Info("xquery done", "items", len(seq))

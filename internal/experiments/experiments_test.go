@@ -427,3 +427,22 @@ func TestE17(t *testing.T) {
 	}
 	t.Log("\n" + tab.String())
 }
+
+func TestE19(t *testing.T) {
+	tab, err := E19QueryPlanner([]int{300}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tab.Rows))
+	}
+	// The planned link-index hit must beat the per-evaluation view build
+	// on the same store; the experiment itself already validates the plan
+	// hit/fallback accounting.
+	link := toMicros(t, tab.Rows[0][1])
+	view := toMicros(t, tab.Rows[0][4])
+	if link >= view {
+		t.Errorf("planned link query %s !< view-stream %s", tab.Rows[0][1], tab.Rows[0][4])
+	}
+	t.Log("\n" + tab.String())
+}

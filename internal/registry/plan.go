@@ -1,0 +1,307 @@
+package registry
+
+// Planned query execution: the registry-side executor for the pushdown
+// plans produced by xq.DiscoveryPlan. A plannable discovery query never
+// builds or locks a <tupleset> view — candidate tuples come straight from
+// the soft-state store (point lookup by link, secondary index by type or
+// context, or a plain live scan), tuple-field equalities run as compiled
+// closures over *tuple.Tuple, and only the survivors are rendered to XML,
+// through a per-revision memo so an unchanged tuple is serialized once,
+// not once per query. Unplannable queries fall back to the interpreter
+// with unchanged behavior.
+//
+// Two observable (and intended) differences from the view path, results
+// being equal: planned evaluations do not consume MaxQuerySteps (there is
+// no interpreter to meter), and freshness pulls apply only to candidates
+// that survive the index and field filters rather than to every
+// filter-matching tuple.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wsda/internal/softstate"
+	"wsda/internal/tuple"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+// PlanInfo describes how one query evaluation was (or would be) executed;
+// it backs the X-Wsda-Plan response header and wsdaquery -explain.
+type PlanInfo struct {
+	// Mode is "index" (softstate index or point lookup), "scan" (live
+	// store scan, still view-free) or "view" (interpreter fallback).
+	Mode string
+	// Index names the access path for index mode: "link", "type", "ctx",
+	// or "empty" for a statically contradictory query.
+	Index string
+	// Residual counts the predicate closures evaluated against rendered
+	// tuple XML after index and field filtering.
+	Residual int
+}
+
+// String renders the plan in the compact form used by the X-Wsda-Plan
+// header, e.g. "index(link) residual=0" or "view".
+func (p PlanInfo) String() string {
+	switch p.Mode {
+	case "index":
+		return fmt.Sprintf("index(%s) residual=%d", p.Index, p.Residual)
+	case "scan":
+		return fmt.Sprintf("scan residual=%d", p.Residual)
+	default:
+		return "view"
+	}
+}
+
+// ParsePlanInfo inverts String, so clients can reconstruct the plan from
+// the X-Wsda-Plan header. Anything unrecognized (including an absent
+// header) parses as the view fallback.
+func ParsePlanInfo(s string) PlanInfo {
+	var p PlanInfo
+	switch {
+	case strings.HasPrefix(s, "index("):
+		rest := s[len("index("):]
+		i := strings.IndexByte(rest, ')')
+		if i < 0 {
+			return PlanInfo{Mode: "view"}
+		}
+		p.Mode, p.Index = "index", rest[:i]
+		fmt.Sscanf(rest[i:], ") residual=%d", &p.Residual)
+	case strings.HasPrefix(s, "scan"):
+		p.Mode = "scan"
+		fmt.Sscanf(s, "scan residual=%d", &p.Residual)
+	default:
+		p.Mode = "view"
+	}
+	return p
+}
+
+// execPlan is a TuplePlan bound to the registry's execution machinery:
+// tuple-field equalities split out as typed probes and closures, with
+// everything else kept as node predicates over the rendered element.
+type execPlan struct {
+	never bool   // statically empty result
+	link  string // exact-link point lookup, "" if none
+	typ   string // type-index equality, "" if none
+	ctx   string // context-index equality, "" if none
+	// fields are the compiled tuple-field equality closures (link, type,
+	// ctx, owner), applied before any XML is rendered.
+	fields []func(t *tuple.Tuple) bool
+	// residual are the predicates that need the rendered <tuple> element.
+	residual []xq.NodePred
+	// proj are the projection steps below the tuple element.
+	proj []xq.PlanStep
+}
+
+// compileExecPlan lowers a TuplePlan: AttrEq entries over real tuple
+// fields become index probes plus field closures; pushed equalities over
+// any other attribute fall back to their compiled node predicates.
+func compileExecPlan(p *xq.TuplePlan) *execPlan {
+	ep := &execPlan{never: p.Never, proj: p.Proj}
+	// Copy, never append to, the plan's residual slice: the plan is
+	// shared by every registry that executes the query.
+	ep.residual = append(ep.residual, p.Residual...)
+	for name, val := range p.AttrEq {
+		v := val
+		switch name {
+		case "link":
+			ep.link = v
+			ep.fields = append(ep.fields, func(t *tuple.Tuple) bool { return t.Link == v })
+		case "type":
+			ep.typ = v
+			ep.fields = append(ep.fields, func(t *tuple.Tuple) bool { return t.Type == v })
+		case "ctx":
+			ep.ctx = v
+			ep.fields = append(ep.fields, func(t *tuple.Tuple) bool { return t.Context == v })
+		case "owner":
+			ep.fields = append(ep.fields, func(t *tuple.Tuple) bool { return t.Owner == v })
+		default:
+			ep.residual = append(ep.residual, p.AttrPred[name])
+		}
+	}
+	return ep
+}
+
+// maxCachedPlans bounds the per-registry executable-plan cache, and
+// maxMemoTuples the rendered-tuple memo.
+const (
+	maxCachedPlans = 1024
+	maxMemoTuples  = 8192
+)
+
+// memoTuple is one rendered-tuple memo entry, valid while the stored
+// tuple's revision is unchanged. The element is shared read-only between
+// queries; every result item handed out is a clone.
+type memoTuple struct {
+	rev  int64
+	elem *xmldoc.Node
+}
+
+// execPlanFor returns the registry's cached executable form of the
+// query's discovery plan, lowering it on first use.
+func (r *Registry) execPlanFor(q *xq.Query, p *xq.TuplePlan) *execPlan {
+	r.planMu.RLock()
+	ep, ok := r.planCache[q]
+	r.planMu.RUnlock()
+	if ok {
+		return ep
+	}
+	ep = compileExecPlan(p)
+	r.planMu.Lock()
+	if cached, ok := r.planCache[q]; ok {
+		ep = cached
+	} else {
+		if len(r.planCache) >= maxCachedPlans {
+			for k := range r.planCache {
+				delete(r.planCache, k)
+				break
+			}
+		}
+		r.planCache[q] = ep
+	}
+	r.planMu.Unlock()
+	return ep
+}
+
+// tupleElem returns the tuple rendered as a <tuple> element, memoized per
+// (link, revision) when t is the stored value itself; a freshness-
+// substituted copy is rendered directly and not memoized (the pull that
+// produced it has already bumped the stored revision for next time).
+func (r *Registry) tupleElem(e softstate.Entry[*tuple.Tuple], t *tuple.Tuple) *xmldoc.Node {
+	if t != e.Value {
+		elem := t.ToXML()
+		elem.Renumber()
+		return elem
+	}
+	r.memoMu.RLock()
+	m, ok := r.planMemo[e.Key]
+	r.memoMu.RUnlock()
+	if ok && m.rev == e.Rev {
+		return m.elem
+	}
+	elem := t.ToXML()
+	elem.Renumber()
+	r.memoMu.Lock()
+	if m, ok := r.planMemo[e.Key]; ok && m.rev == e.Rev {
+		elem = m.elem // lost the render race; share the winner
+	} else {
+		if len(r.planMemo) >= maxMemoTuples {
+			for k := range r.planMemo {
+				delete(r.planMemo, k)
+				break
+			}
+		}
+		r.planMemo[e.Key] = memoTuple{rev: e.Rev, elem: elem}
+	}
+	r.memoMu.Unlock()
+	return elem
+}
+
+// planCandidates picks the narrowest access path the plan and filter
+// allow, returning the candidate entries (sorted by link when more than
+// one, matching view document order) and the chosen path name. The ok
+// result is false when the chosen path would yield more candidates than
+// the rendered-tuple memo holds — sized with O(1) store probes, before
+// anything is materialized or sorted — telling the caller to decline the
+// plan rather than thrash the memo.
+func (r *Registry) planCandidates(ep *execPlan, f Filter) ([]softstate.Entry[*tuple.Tuple], string, string, bool) {
+	sized := func(entries func() []softstate.Entry[*tuple.Tuple], count int, mode, index string) ([]softstate.Entry[*tuple.Tuple], string, string, bool) {
+		if count > maxMemoTuples {
+			return nil, mode, index, false
+		}
+		return sortEntries(entries()), mode, index, true
+	}
+	switch {
+	case ep.never:
+		return nil, "index", "empty", true
+	case ep.link != "":
+		if e, ok := r.store.GetEntry(ep.link); ok {
+			return []softstate.Entry[*tuple.Tuple]{e}, "index", "link", true
+		}
+		return nil, "index", "link", true
+	case ep.typ != "":
+		return sized(func() []softstate.Entry[*tuple.Tuple] { return r.store.LiveBy(indexType, ep.typ) },
+			r.store.CountBy(indexType, ep.typ), "index", "type")
+	case f.Type != "":
+		return sized(func() []softstate.Entry[*tuple.Tuple] { return r.store.LiveBy(indexType, f.Type) },
+			r.store.CountBy(indexType, f.Type), "index", "type")
+	case ep.ctx != "":
+		return sized(func() []softstate.Entry[*tuple.Tuple] { return r.store.LiveBy(indexContext, ep.ctx) },
+			r.store.CountBy(indexContext, ep.ctx), "index", "ctx")
+	case f.Context != "":
+		return sized(func() []softstate.Entry[*tuple.Tuple] { return r.store.LiveBy(indexContext, f.Context) },
+			r.store.CountBy(indexContext, f.Context), "index", "ctx")
+	}
+	return sized(r.store.Live, r.store.Size(), "scan", "")
+}
+
+// sortEntries orders candidates by link, the view's document order.
+func sortEntries(es []softstate.Entry[*tuple.Tuple]) []softstate.Entry[*tuple.Tuple] {
+	if len(es) > 1 {
+		sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
+	}
+	return es
+}
+
+// runPlan executes a lowered plan: index probe, field closures, freshness,
+// memoized render, residual predicates, projection. Results are clones,
+// never aliases of memoized or stored state. With opts.Emit set items
+// stream out as produced (the returned sequence is nil, like the
+// interpreter's Emit mode) and a false return stops the walk early.
+//
+// The ran result is false when the plan declined to execute: a candidate
+// set larger than the rendered-tuple memo would thrash it and re-render
+// most tuples on every query, while the shared view already holds every
+// rendered tuple — so huge-result plans are handed back to the view path
+// before anything is emitted.
+func (r *Registry) runPlan(ep *execPlan, opts QueryOptions) (seq xq.Sequence, info PlanInfo, ran bool) {
+	now := r.cfg.Now()
+	candidates, mode, index, ok := r.planCandidates(ep, opts.Filter)
+	if !ok {
+		return nil, info, false
+	}
+	info = PlanInfo{Mode: mode, Index: index, Residual: len(ep.residual)}
+	if opts.Explain != nil {
+		// Filled before the first Emit so streaming callers can surface
+		// the plan (e.g. as a response header) ahead of the first item.
+		*opts.Explain = info
+	}
+	stopped := false
+	deliver := func(n *xmldoc.Node) bool {
+		c := n.Clone()
+		if opts.Emit != nil {
+			if !opts.Emit(c) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		seq = append(seq, c)
+		return true
+	}
+candidates:
+	for _, e := range candidates {
+		if stopped {
+			break
+		}
+		t := e.Value
+		if !opts.Filter.match(t) {
+			continue
+		}
+		for _, fp := range ep.fields {
+			if !fp(t) {
+				continue candidates
+			}
+		}
+		ft := r.ensureFresh(t, opts.Freshness, now)
+		elem := r.tupleElem(e, ft)
+		for _, pred := range ep.residual {
+			if !pred(elem) {
+				continue candidates
+			}
+		}
+		xq.WalkPlan(elem, ep.proj, deliver)
+	}
+	return seq, info, true
+}

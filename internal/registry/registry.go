@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode"
+	"unicode/utf8"
 
 	"wsda/internal/softstate"
 	"wsda/internal/telemetry"
@@ -71,9 +73,14 @@ type Config struct {
 	Tracer *telemetry.Tracer
 
 	// Flight, when set, receives per-transaction planning events
-	// (planned, view-hit, view-miss) for evaluations that carry a
-	// QueryOptions.TxID. Nil disables recording.
+	// (planned, plan-fallback, view-hit, view-miss) for evaluations that
+	// carry a QueryOptions.TxID. Nil disables recording.
 	Flight *telemetry.FlightRecorder
+
+	// NoPlanner disables the discovery-query pushdown planner, forcing
+	// every evaluation through the interpreted view path. Used for
+	// differential testing and as an operational escape hatch.
+	NoPlanner bool
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +115,9 @@ type Stats struct {
 	ViewHits     int64 // queries served from an already-synced cached view
 	ViewMisses   int64 // queries that had to (re)build a view
 	ViewRebuilds int64 // view (re)build passes, full or incremental
+
+	PlanHits      int64 // queries answered by the pushdown planner, view-free
+	PlanFallbacks int64 // queries the planner rejected to the view path
 }
 
 // Registry is a hyper registry node. It is safe for concurrent use.
@@ -132,10 +142,19 @@ type Registry struct {
 	flightMu  sync.Mutex
 	flights   map[string]*pullFlight
 
+	// planCache holds the lowered executable form of each plannable
+	// compiled query; planMemo the per-revision rendered-tuple elements
+	// the planned path serves clones from (see plan.go).
+	planMu    sync.RWMutex
+	planCache map[*xq.Query]*execPlan
+	memoMu    sync.RWMutex
+	planMemo  map[string]memoTuple
+
 	queries, minQueries                atomic.Int64
 	cacheHits, cacheMisses             atomic.Int64
 	pulls, pullErrors, throttledCnt    atomic.Int64
 	viewHits, viewMisses, viewRebuilds atomic.Int64
+	planHits, planFallbacks            atomic.Int64
 
 	// Telemetry handles; all nil when Config.Metrics/Tracer are unset, in
 	// which case every observation below is a nil-check no-op.
@@ -143,6 +162,9 @@ type Registry struct {
 	minQuerySeconds  *telemetry.Histogram
 	xquerySeconds    *telemetry.Histogram
 	viewBuildSeconds *telemetry.Histogram
+	planHitIndex     *telemetry.Counter
+	planHitScan      *telemetry.Counter
+	planFallback     *telemetry.Counter
 	tracer           *telemetry.Tracer
 	flight           *telemetry.FlightRecorder
 }
@@ -157,6 +179,8 @@ func New(cfg Config) *Registry {
 		queryCache: make(map[string]*xq.Query),
 		views:      make(map[Filter]*filterView),
 		flights:    make(map[string]*pullFlight),
+		planCache:  make(map[*xq.Query]*execPlan),
+		planMemo:   make(map[string]memoTuple),
 		tracer:     cfg.Tracer,
 		flight:     cfg.Flight,
 	}
@@ -176,6 +200,14 @@ func New(cfg Config) *Registry {
 		r.store.InstrumentJournalTruncations(m.CounterVec("wsda_softstate_journal_truncations_total",
 			"Change reads that fell off the bounded journal, forcing a full resync or replica re-bootstrap.",
 			"registry").With(cfg.Name))
+		planHits := m.CounterVec("wsda_registry_plan_hit_total",
+			"XQuery evaluations answered by the pushdown planner without building a view, by access mode.",
+			"registry", "mode")
+		r.planHitIndex = planHits.With(cfg.Name, "index")
+		r.planHitScan = planHits.With(cfg.Name, "scan")
+		r.planFallback = m.CounterVec("wsda_registry_plan_fallback_total",
+			"XQuery evaluations whose shape the pushdown planner rejected, served by the interpreted view path.",
+			"registry").With(cfg.Name)
 	}
 	return r
 }
@@ -315,6 +347,9 @@ type QueryOptions struct {
 	// TxID, when set, tags this evaluation's flight-recorder events with
 	// the discovery transaction it serves.
 	TxID string
+	// Explain, when non-nil, receives a description of how the evaluation
+	// was executed (pushdown plan or view fallback).
+	Explain *PlanInfo
 }
 
 // Query evaluates an XQuery over the registry's tuple-set view. The view is
@@ -326,8 +361,12 @@ type QueryOptions struct {
 // examples. Content freshness is enforced per the options before the view
 // is built.
 func (r *Registry) Query(query string, opts QueryOptions) (xq.Sequence, error) {
+	// The cache key is the canonicalized source, so trivially reformatted
+	// copies of one query share a slot (and a compiled plan) instead of
+	// crowding each other out.
+	key := canonicalQuerySource(query)
 	r.cacheMu.RLock()
-	q, ok := r.queryCache[query]
+	q, ok := r.queryCache[key]
 	r.cacheMu.RUnlock()
 	if !ok {
 		var err error
@@ -345,16 +384,70 @@ func (r *Registry) Query(query string, opts QueryOptions) (xq.Sequence, error) {
 				break
 			}
 		}
-		r.queryCache[query] = q
+		r.queryCache[key] = q
 		r.cacheMu.Unlock()
 	}
 	return r.QueryCompiled(q, opts)
 }
 
+// canonicalQuerySource normalizes query text for cache keying: leading and
+// trailing space is trimmed and interior whitespace runs collapse to one
+// space, except inside string literals. A query containing a direct
+// element constructor (a '<' followed by a name character, outside any
+// string) is only trimmed, since constructor content is whitespace-
+// sensitive raw text. Canonicalization never changes query semantics, so
+// distinct keys always mean distinct queries.
+func canonicalQuerySource(src string) string {
+	src = strings.TrimSpace(src)
+	var sb strings.Builder
+	sb.Grow(len(src))
+	var quote byte // active string-literal delimiter, 0 outside literals
+	space := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			sb.WriteByte(c)
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case ' ', '\t', '\n', '\r':
+			space = true
+			continue
+		case '<':
+			if i+1 < len(src) {
+				r, _ := utf8.DecodeRuneInString(src[i+1:])
+				if isConstructorStart(r) {
+					return src // constructor: raw text, keep verbatim
+				}
+			}
+		}
+		if space {
+			sb.WriteByte(' ')
+			space = false
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}
+
+// isConstructorStart reports whether a rune after '<' begins an element
+// constructor name (mirroring the parser's constructor detection).
+func isConstructorStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
 // maxCachedQueries bounds the compiled-query cache.
 const maxCachedQueries = 1024
 
-// QueryCompiled is Query for a pre-compiled expression.
+// QueryCompiled is Query for a pre-compiled expression. Queries whose
+// shape the pushdown planner recognizes are answered straight from the
+// soft-state store and its secondary indexes (see plan.go); everything
+// else evaluates over the tuple-set view as before.
 func (r *Registry) QueryCompiled(q *xq.Query, opts QueryOptions) (xq.Sequence, error) {
 	if r.xquerySeconds != nil {
 		defer r.xquerySeconds.ObserveSince(time.Now())
@@ -364,11 +457,37 @@ func (r *Registry) QueryCompiled(q *xq.Query, opts QueryOptions) (xq.Sequence, e
 	r.queries.Add(1)
 	var seq xq.Sequence
 	var err error
+	if plan, ok := q.DiscoveryPlan(); ok && !r.cfg.NoPlanner {
+		// A plan can still decline to run (candidate set larger than the
+		// rendered-tuple memo); it then falls through to the view path
+		// below like any unplannable query.
+		if planned, info, ran := r.runPlan(r.execPlanFor(q, plan), opts); ran {
+			r.planHits.Add(1)
+			if info.Mode == "scan" {
+				r.planHitScan.Inc()
+			} else {
+				r.planHitIndex.Inc()
+			}
+			if r.flight != nil {
+				r.flight.Record(opts.TxID, telemetry.FlightPlanned, r.cfg.Name, "", 0, info.String())
+			}
+			if sp != nil {
+				sp.SetAttr(telemetry.Int("items", int64(len(planned))))
+				sp.End()
+			}
+			return planned, nil
+		}
+	}
+	r.planFallbacks.Add(1)
+	r.planFallback.Inc()
+	if opts.Explain != nil {
+		*opts.Explain = PlanInfo{Mode: "view"}
+	}
 	if opts.Emit != nil {
 		// Streaming queries evaluate over a private materialized view:
 		// Emit callbacks run arbitrary user code, and a long-running
 		// callback must not hold the shared view's read lease.
-		r.flight.Record(opts.TxID, telemetry.FlightPlanned, r.cfg.Name, "", 0, "streamed")
+		r.flight.Record(opts.TxID, telemetry.FlightPlanFallback, r.cfg.Name, "", 0, "streamed")
 		view := r.BuildView(opts.Filter, opts.Freshness)
 		seq, err = q.Eval(&xq.Options{
 			Context:  view,
@@ -377,7 +496,7 @@ func (r *Registry) QueryCompiled(q *xq.Query, opts QueryOptions) (xq.Sequence, e
 			Vars:     opts.Vars,
 		})
 	} else {
-		r.flight.Record(opts.TxID, telemetry.FlightPlanned, r.cfg.Name, "", 0, "shared-view")
+		r.flight.Record(opts.TxID, telemetry.FlightPlanFallback, r.cfg.Name, "", 0, "shared-view")
 		seq, err = r.querySharedView(q, opts)
 	}
 	if sp != nil {
@@ -585,6 +704,9 @@ func (r *Registry) Stats() Stats {
 		ViewHits:     r.viewHits.Load(),
 		ViewMisses:   r.viewMisses.Load(),
 		ViewRebuilds: r.viewRebuilds.Load(),
+
+		PlanHits:      r.planHits.Load(),
+		PlanFallbacks: r.planFallbacks.Load(),
 	}
 }
 

@@ -32,8 +32,12 @@ const (
 	// FlightExpired marks a query dropped past its loop deadline.
 	FlightExpired = "dropped-expired"
 	// FlightPlanned marks the registry planning a local evaluation
-	// (note = shared|streamed view path).
+	// (note = chosen plan: index/scan pushdown or the view path).
 	FlightPlanned = "planned"
+	// FlightPlanFallback marks a local evaluation whose shape the pushdown
+	// planner rejected, falling back to the interpreted view path
+	// (note = shared|streamed view path).
+	FlightPlanFallback = "plan-fallback"
 	// FlightViewHit marks a local evaluation served from the synced view.
 	FlightViewHit = "view-hit"
 	// FlightViewMiss marks a local evaluation that had to rebuild a view.

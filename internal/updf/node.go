@@ -576,13 +576,21 @@ func (n *Node) evalLocal(m *pdp.Message, st *txState) {
 	n.evals.Add(1)
 	opts := n.cfg.QueryOptions
 	// Stamp the transaction onto the evaluation so the registry's own
-	// flight events (planned, view-hit/miss) land in the same recording.
+	// flight events (planned, plan-fallback, view-hit/miss) land in the
+	// same recording, and capture the chosen plan so the eval event says
+	// how the local engine answered.
 	opts.TxID = m.TxID
+	var plan registry.PlanInfo
+	opts.Explain = &plan
 	defer func() {
 		st.mu.Lock()
 		hits, evalErr := st.localHits, st.evalErr
 		st.mu.Unlock()
-		n.flight.Record(m.TxID, telemetry.FlightEval, n.cfg.Addr, "", int64(hits), evalErr)
+		note := evalErr
+		if note == "" {
+			note = plan.String()
+		}
+		n.flight.Record(m.TxID, telemetry.FlightEval, n.cfg.Addr, "", int64(hits), note)
 	}()
 
 	if st.mode == pdp.Routed && st.pipeline {

@@ -33,6 +33,11 @@ const (
 // WSDA binding (served by peerd, not by this package's Handler).
 const PathNetQuery = "/netquery"
 
+// HeaderPlan is the /wsda/xquery response header describing how the
+// registry executed the query (registry.PlanInfo.String form); wsdaquery
+// -explain surfaces it.
+const HeaderPlan = "X-Wsda-Plan"
+
 // MaxQueryBytes bounds the request body of query endpoints. Oversize
 // queries are rejected with 413 rather than silently truncated into a
 // different (usually malformed) query.
@@ -169,6 +174,15 @@ func HandlerWithMetrics(n Node, m *telemetry.Metrics) http.Handler {
 		if q.Get("pull-missing") == "true" {
 			opts.Freshness.PullMissing = true
 		}
+		// Capture the chosen plan; local registries fill it before the
+		// first item is emitted, so the header can lead a streamed body.
+		var plan registry.PlanInfo
+		opts.Explain = &plan
+		planHeader := func() {
+			if plan.Mode != "" {
+				w.Header().Set(HeaderPlan, plan.String())
+			}
+		}
 		maxResults := 0
 		if s := q.Get("max-results"); s != "" {
 			v, err := strconv.Atoi(s)
@@ -184,6 +198,7 @@ func HandlerWithMetrics(n Node, m *telemetry.Metrics) http.Handler {
 				httpError(w, http.StatusUnprocessableEntity, err)
 				return
 			}
+			planHeader()
 			writeXML(w, MarshalSequence(seq))
 			return
 		}
@@ -207,6 +222,7 @@ func HandlerWithMetrics(n Node, m *telemetry.Metrics) http.Handler {
 			}
 			if sw != nil {
 				if count == 0 {
+					planHeader() // before the first write commits headers
 					firstItem.ObserveSince(start)
 				}
 				if sw.WriteItem(it) != nil {
@@ -243,9 +259,13 @@ func HandlerWithMetrics(n Node, m *telemetry.Metrics) http.Handler {
 			}
 		}
 		if sw != nil {
+			if !sw.Started() {
+				planHeader() // zero-item stream: headers not committed yet
+			}
 			_ = sw.Close(StreamSummary{Complete: !truncated, Elapsed: time.Since(start)})
 			return
 		}
+		planHeader()
 		writeXML(w, MarshalSequence(collected))
 	})
 	return mux
@@ -338,15 +358,24 @@ func (c *Client) get(path string, q url.Values) (*xmldoc.Node, error) {
 }
 
 func (c *Client) post(path string, q url.Values, body string) (*xmldoc.Node, error) {
+	doc, _, err := c.postHdr(path, q, body)
+	return doc, err
+}
+
+// postHdr is post, additionally returning the response headers (nil on
+// transport errors) for callers that read side-channel metadata like
+// X-Wsda-Plan.
+func (c *Client) postHdr(path string, q url.Values, body string) (*xmldoc.Node, http.Header, error) {
 	u := c.BaseURL + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
 	resp, err := c.HTTP.Post(u, "text/xml", strings.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return readXMLResponse(resp)
+	doc, err := readXMLResponse(resp)
+	return doc, resp.Header, err
 }
 
 // HTTPError is a non-2xx response from a remote WSDA node. It carries the
@@ -477,11 +506,15 @@ func xqueryParams(opts registry.QueryOptions) url.Values {
 
 // XQuery implements the powerful query primitive against the remote node.
 // Only the Filter and Freshness options cross the wire; Emit and Vars are
-// local-only concepts.
+// local-only concepts. When opts.Explain is set it is filled from the
+// remote node's X-Wsda-Plan header (the view fallback when absent).
 func (c *Client) XQuery(query string, opts registry.QueryOptions) (xq.Sequence, error) {
-	doc, err := c.post(PathXQuery, xqueryParams(opts), query)
+	doc, hdr, err := c.postHdr(PathXQuery, xqueryParams(opts), query)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Explain != nil {
+		*opts.Explain = registry.ParsePlanInfo(hdr.Get(HeaderPlan))
 	}
 	return UnmarshalSequence(doc)
 }

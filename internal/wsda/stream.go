@@ -31,6 +31,10 @@ type StreamSummary struct {
 	NodesResponded int           // nodes whose final answer arrived
 	Elapsed        time.Duration // server-side elapsed time
 	Network        bool          // network accounting attrs present/meaningful
+	// Plan is the server's X-Wsda-Plan header, filled client-side by
+	// postStream ("" when the server sent none). It never crosses the
+	// wire inside the <summary> trailer.
+	Plan string
 }
 
 // StreamWriter emits a chunked <results> stream over HTTP: one <node> or
@@ -355,7 +359,11 @@ func (c *Client) postStream(path string, q url.Values, body string, onItem func(
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		return nil, &HTTPError{StatusCode: resp.StatusCode, Body: strings.TrimSpace(string(data))}
 	}
-	return DecodeStream(resp.Body, onItem)
+	sum, err := DecodeStream(resp.Body, onItem)
+	if sum != nil {
+		sum.Plan = resp.Header.Get(HeaderPlan)
+	}
+	return sum, err
 }
 
 // marshalItem renders one result item as its wire element: nodes wrapped

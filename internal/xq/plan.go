@@ -1,0 +1,377 @@
+// Discovery-query planning: recognizing the compiled AST shapes of the
+// thesis' "simple"/"medium" discovery queries so the registry can answer
+// them straight from its soft-state indexes instead of evaluating the
+// interpreted AST over a materialized <tupleset> document.
+//
+// The plannable grammar is deliberately narrow — exactly the query family
+// that dominates registry traffic:
+//
+//	/tupleset/tuple[P1][P2].../step/step...
+//
+// where each predicate P is a conjunction/disjunction of attribute or
+// child-path `=` string comparisons (and bare path-existence tests), and
+// every trailing step is a child-element or attribute name step, itself
+// optionally predicated by the same predicate grammar. Anything else —
+// prologs, FLWOR, functions, positional predicates, ordering comparisons,
+// descendant axes — is rejected, and the caller falls back to the full
+// interpreter. Predicates compile once into closure chains over document
+// nodes, so repeated execution does no tree-walking of the AST.
+package xq
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"wsda/internal/xmldoc"
+)
+
+// NodePred is one compiled predicate closure over a document node: the
+// planner's replacement for interpreting a predicate's AST per candidate.
+type NodePred func(n *xmldoc.Node) bool
+
+// PlanStep is one compiled path step below the <tuple> element: a child
+// element (Attr false) or attribute (Attr true) name test plus the step's
+// compiled predicates. Name "*" matches any node of the step's kind,
+// mirroring the interpreter's name-test semantics.
+type PlanStep struct {
+	Attr  bool       // attribute axis instead of child-element axis
+	Name  string     // name test; "*" matches any node of the axis kind
+	Preds []NodePred // compiled predicates, all must hold
+}
+
+// TuplePlan is the compiled pushdown form of a plannable discovery query.
+// The executing registry turns AttrEq entries for tuple fields (link,
+// type, ctx, owner) into index probes and field-equality closures; any
+// other pushed attribute falls back to its compiled AttrPred. Residual
+// holds the predicate closures that need the rendered <tuple> element,
+// and Proj the steps projecting below it (empty: the tuple itself is the
+// result).
+type TuplePlan struct {
+	// AttrEq maps attribute names to the (non-empty) string literal each
+	// must equal, extracted from top-level conjunctive predicates.
+	AttrEq map[string]string
+	// AttrPred holds, for every AttrEq entry, the equivalent compiled
+	// node predicate — the executor's fallback for attributes that do not
+	// correspond to an indexed tuple field.
+	AttrPred map[string]NodePred
+	// Residual are the tuple-level predicate closures that were not
+	// extracted into AttrEq.
+	Residual []NodePred
+	// Proj are the compiled steps below the tuple element.
+	Proj []PlanStep
+	// Never reports a statically contradictory plan (two different
+	// equality literals for the same attribute): the result is empty.
+	Never bool
+}
+
+// DiscoveryPlan returns the compiled pushdown plan for the query if its
+// shape is plannable, memoizing the (possibly negative) answer on the
+// query: planning runs once per compiled query, not once per evaluation.
+func (q *Query) DiscoveryPlan() (*TuplePlan, bool) {
+	q.planOnce.Do(func() { q.plan = buildDiscoveryPlan(q) })
+	return q.plan, q.plan != nil
+}
+
+// buildDiscoveryPlan pattern-matches the compiled AST; nil means "not
+// plannable, use the interpreter".
+func buildDiscoveryPlan(q *Query) *TuplePlan {
+	if len(q.decls) > 0 || len(q.funcs) > 0 {
+		return nil
+	}
+	pe, ok := q.expr.(*pathExpr)
+	if !ok || !pe.absolute || pe.doubleSlash || len(pe.steps) < 2 {
+		return nil
+	}
+	s0, s1 := pe.steps[0], pe.steps[1]
+	if !isChildNameStep(s0, "tupleset") || len(s0.preds) > 0 {
+		return nil
+	}
+	if !isChildNameStep(s1, "tuple") {
+		return nil
+	}
+	p := &TuplePlan{AttrEq: map[string]string{}, AttrPred: map[string]NodePred{}}
+	for _, pred := range s1.preds {
+		if !p.addTuplePred(pred) {
+			return nil
+		}
+	}
+	for _, st := range pe.steps[2:] {
+		ps, ok := compilePlanStep(st)
+		if !ok {
+			return nil
+		}
+		p.Proj = append(p.Proj, ps)
+	}
+	return p
+}
+
+// isChildNameStep reports whether st is a plain child::name axis step.
+func isChildNameStep(st pathStep, name string) bool {
+	return st.primary == nil && st.axis == axisChild &&
+		st.test.kind == "" && st.test.name == name
+}
+
+// addTuplePred folds one tuple-step predicate into the plan: top-level
+// conjuncts are scanned for pushdown-eligible @attr = "literal" equalities;
+// everything else compiles to a residual closure. It reports whether the
+// predicate is plannable at all.
+func (p *TuplePlan) addTuplePred(e Expr) bool {
+	if and, ok := e.(*andExpr); ok {
+		for _, a := range and.args {
+			if !p.addTuplePred(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if name, val, ok := simpleAttrEq(e); ok && val != "" {
+		// A tuple attribute equal to a non-empty literal is pushdown
+		// material; empty literals are not (an absent attribute and an
+		// empty field are different things to the interpreter) and stay
+		// residual via the generic compiler below.
+		if prev, dup := p.AttrEq[name]; dup {
+			if prev != val {
+				p.Never = true
+			}
+			return true
+		}
+		pred, ok := compilePred(e)
+		if !ok {
+			return false
+		}
+		p.AttrEq[name] = val
+		p.AttrPred[name] = pred
+		return true
+	}
+	pred, ok := compilePred(e)
+	if !ok {
+		return false
+	}
+	p.Residual = append(p.Residual, pred)
+	return true
+}
+
+// simpleAttrEq recognizes `@name = "literal"` (either operand order) with
+// a plain single-attribute path and a string literal, returning the
+// attribute name and literal.
+func simpleAttrEq(e Expr) (name, val string, ok bool) {
+	cmp, isCmp := e.(*compExpr)
+	if !isCmp || !cmp.general || cmp.op != "=" {
+		return "", "", false
+	}
+	pathSide, litSide := cmp.l, cmp.r
+	if _, isLit := pathSide.(*literal); isLit {
+		pathSide, litSide = litSide, pathSide
+	}
+	lit, isLit := litSide.(*literal)
+	if !isLit {
+		return "", "", false
+	}
+	s, isStr := lit.val.(string)
+	if !isStr {
+		return "", "", false
+	}
+	pp, isPath := pathSide.(*pathExpr)
+	if !isPath || pp.absolute || pp.doubleSlash || len(pp.steps) != 1 {
+		return "", "", false
+	}
+	st := pp.steps[0]
+	if st.primary != nil || st.axis != axisAttribute || st.test.kind != "" ||
+		st.test.name == "*" || len(st.preds) > 0 {
+		return "", "", false
+	}
+	return st.test.name, s, true
+}
+
+// compilePred compiles one predicate expression to a node closure, or
+// reports it unplannable. The supported grammar: and/or connectives,
+// general `=` comparisons between a relative child/attribute path and an
+// atomic literal, and bare relative paths (existence tests). All forms
+// are boolean-valued, so the interpreter's positional-predicate rule
+// (numeric value selects by position) can never apply to a compiled
+// predicate.
+func compilePred(e Expr) (NodePred, bool) {
+	switch x := e.(type) {
+	case *andExpr:
+		preds, ok := compilePreds(x.args)
+		if !ok {
+			return nil, false
+		}
+		return func(n *xmldoc.Node) bool {
+			for _, p := range preds {
+				if !p(n) {
+					return false
+				}
+			}
+			return true
+		}, true
+	case *orExpr:
+		preds, ok := compilePreds(x.args)
+		if !ok {
+			return nil, false
+		}
+		return func(n *xmldoc.Node) bool {
+			for _, p := range preds {
+				if p(n) {
+					return true
+				}
+			}
+			return false
+		}, true
+	case *compExpr:
+		return compileEq(x)
+	case *pathExpr:
+		steps, ok := compileRelPath(x)
+		if !ok {
+			return nil, false
+		}
+		return func(n *xmldoc.Node) bool {
+			return !WalkPlan(n, steps, func(*xmldoc.Node) bool { return false })
+		}, true
+	}
+	return nil, false
+}
+
+// compilePreds compiles every expression or reports the lot unplannable.
+func compilePreds(args []Expr) ([]NodePred, bool) {
+	preds := make([]NodePred, 0, len(args))
+	for _, a := range args {
+		p, ok := compilePred(a)
+		if !ok {
+			return nil, false
+		}
+		preds = append(preds, p)
+	}
+	return preds, true
+}
+
+// compileEq compiles a general `=` comparison between a relative path and
+// an atomic literal into an existential closure, replicating the
+// interpreter's general-comparison coercion: node string values compare
+// as strings against string literals and numerically against numeric
+// literals (non-numeric node text then compares unequal, like NaN).
+func compileEq(cmp *compExpr) (NodePred, bool) {
+	if !cmp.general || cmp.op != "=" {
+		return nil, false
+	}
+	pathSide, litSide := cmp.l, cmp.r
+	if _, isLit := pathSide.(*literal); isLit {
+		pathSide, litSide = litSide, pathSide
+	}
+	lit, isLit := litSide.(*literal)
+	if !isLit {
+		return nil, false
+	}
+	var match func(string) bool
+	switch v := lit.val.(type) {
+	case string:
+		match = func(s string) bool { return s == v }
+	case int64:
+		f := float64(v)
+		match = numericMatch(f)
+	case float64:
+		match = numericMatch(v)
+	default:
+		return nil, false
+	}
+	pp, isPath := pathSide.(*pathExpr)
+	if !isPath {
+		return nil, false
+	}
+	steps, ok := compileRelPath(pp)
+	if !ok {
+		return nil, false
+	}
+	return func(n *xmldoc.Node) bool {
+		found := false
+		WalkPlan(n, steps, func(leaf *xmldoc.Node) bool {
+			if match(leaf.StringValue()) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}, true
+}
+
+// numericMatch compares a node's string value against a numeric literal
+// with fn:number coercion; unparsable (or NaN) values compare unequal.
+func numericMatch(f float64) func(string) bool {
+	return func(s string) bool {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		return err == nil && !math.IsNaN(v) && v == f
+	}
+}
+
+// compileRelPath compiles a relative child/attribute name-step path (each
+// step optionally predicated) to plan steps.
+func compileRelPath(pe *pathExpr) ([]PlanStep, bool) {
+	if pe.absolute || pe.doubleSlash || len(pe.steps) == 0 {
+		return nil, false
+	}
+	steps := make([]PlanStep, 0, len(pe.steps))
+	for _, st := range pe.steps {
+		ps, ok := compilePlanStep(st)
+		if !ok {
+			return nil, false
+		}
+		steps = append(steps, ps)
+	}
+	return steps, true
+}
+
+// compilePlanStep compiles one axis step (child or attribute name test
+// plus plannable predicates).
+func compilePlanStep(st pathStep) (PlanStep, bool) {
+	if st.primary != nil || st.test.kind != "" {
+		return PlanStep{}, false
+	}
+	if st.axis != axisChild && st.axis != axisAttribute {
+		return PlanStep{}, false
+	}
+	preds, ok := compilePreds(st.preds)
+	if !ok {
+		return PlanStep{}, false
+	}
+	return PlanStep{Attr: st.axis == axisAttribute, Name: st.test.name, Preds: preds}, true
+}
+
+// WalkPlan walks every node reached from n through the compiled steps, in
+// document order, calling visit per reached node (with no steps, n
+// itself). visit returning false stops the walk; WalkPlan reports whether
+// the walk ran to completion. Attribute steps yield attribute nodes;
+// child steps yield elements — the same node-test semantics as the
+// interpreter's axis evaluation, including prefix-insensitive QName
+// matching.
+func WalkPlan(n *xmldoc.Node, steps []PlanStep, visit func(*xmldoc.Node) bool) bool {
+	if len(steps) == 0 {
+		return visit(n)
+	}
+	st := steps[0]
+	nodes := n.Children
+	want := xmldoc.ElementNode
+	if st.Attr {
+		nodes = n.Attrs
+		want = xmldoc.AttributeNode
+	}
+outer:
+	for _, c := range nodes {
+		if c.Kind != want {
+			continue
+		}
+		if st.Name != "*" && c.Name != st.Name && c.LocalName() != st.Name {
+			continue
+		}
+		for _, p := range st.Preds {
+			if !p(c) {
+				continue outer
+			}
+		}
+		if !WalkPlan(c, steps[1:], visit) {
+			return false
+		}
+	}
+	return true
+}

@@ -49,16 +49,105 @@ type token struct {
 	end  int // byte offset just past the token
 }
 
+// The scanner is a table-driven DFA over byte classes: every input byte
+// maps through byteClass to a small alphabet, and dfa[state][class] gives
+// the next scanner state (stateStop ends the token). ASCII names, numbers
+// and whitespace run entirely through the tables; bytes >= 0x80 drop to a
+// rune-decoding slow path with the same unicode name rules as before.
+
+// Byte classes — the DFA's input alphabet.
+const (
+	classOther  uint8 = iota // bytes that can never start or extend a token
+	classSpace               // space, tab, CR, LF
+	classDigit               // 0-9
+	classNameA               // ASCII letter or '_': starts and extends names
+	classNameC               // '-' and ':': extend names, never start them
+	classDot                 // '.': extends names, starts numbers and symbols
+	classQuote               // '"' and '\''
+	classDollar              // '$'
+	classSym                 // punctuation that starts a symbol token
+	classHigh                // bytes >= 0x80 (multi-byte UTF-8)
+	numClasses
+)
+
+// Scanner states. stateStop is the zero value so that every transition
+// the tables leave unspecified terminates the current token.
+const (
+	stateStop uint8 = iota // terminal: token ends before this byte
+	stateName              // inside a name
+	stateInt               // inside the integer part of a number
+	stateFrac              // inside the fractional part of a number
+	numStates
+)
+
+// byteClass maps each input byte to its DFA class.
+var byteClass [256]uint8
+
+// dfa is the transition table: dfa[state][class] = next state. The
+// stateInt -> stateFrac edge on classDot is additionally guarded by a
+// one-byte digit lookahead in scan (so "1.2.3" lexes as "1.2" ".3" and
+// "1." as "1" "."), matching the previous hand-rolled scanner.
+var dfa [numStates][numClasses]uint8
+
+// singleSym marks the one-character symbol tokens.
+var singleSym [256]bool
+
+func init() {
+	for c := 0x80; c < 0x100; c++ {
+		byteClass[c] = classHigh
+	}
+	for _, c := range []byte{' ', '\t', '\n', '\r'} {
+		byteClass[c] = classSpace
+	}
+	for c := '0'; c <= '9'; c++ {
+		byteClass[c] = classDigit
+	}
+	for c := 'a'; c <= 'z'; c++ {
+		byteClass[c] = classNameA
+	}
+	for c := 'A'; c <= 'Z'; c++ {
+		byteClass[c] = classNameA
+	}
+	byteClass['_'] = classNameA
+	byteClass['-'] = classNameC
+	byteClass[':'] = classNameC
+	byteClass['.'] = classDot
+	byteClass['"'] = classQuote
+	byteClass['\''] = classQuote
+	byteClass['$'] = classDollar
+	for _, c := range []byte("()[]{},/@|+*=<>;?!") {
+		byteClass[c] = classSym
+	}
+
+	dfa[stateName][classNameA] = stateName
+	dfa[stateName][classNameC] = stateName
+	dfa[stateName][classDigit] = stateName
+	dfa[stateName][classDot] = stateName
+	dfa[stateName][classHigh] = stateName // verified by rune decode in scan
+	dfa[stateInt][classDigit] = stateInt
+	dfa[stateInt][classDot] = stateFrac // guarded by digit lookahead
+	dfa[stateFrac][classDigit] = stateFrac
+
+	for _, c := range []byte("()[]{},./@|+-*=<>;?") {
+		singleSym[c] = true
+	}
+}
+
 // lexer scans tokens on demand from src. The parser can rewind it to an
 // arbitrary byte offset, which is how direct element constructors switch
 // between expression tokens and raw XML content.
 type lexer struct {
 	src string
 	pos int
-	buf []token // lookahead buffer
+	buf []token  // lookahead buffer, backed by arr until it overflows
+	arr [8]token // inline backing store: lookahead never allocates
 }
 
-func newLexer(src string) *lexer { return &lexer{src: src} }
+func newLexer(src string) *lexer {
+	lx := &lexer{src: src}
+	lx.buf = lx.arr[:0]
+	return lx
+}
 
 // errorf produces a positioned syntax error.
 func (lx *lexer) errorf(pos int, format string, args ...any) error {
@@ -92,19 +181,38 @@ func (lx *lexer) peek(i int) (token, error) {
 	return lx.buf[i], nil
 }
 
-// next consumes and returns the next token.
+// next consumes and returns the next token. The buffer shifts down in
+// place so its capacity (and inline backing array) is reused instead of
+// reallocating as the slice head advances.
 func (lx *lexer) next() (token, error) {
 	t, err := lx.peek(0)
 	if err != nil {
 		return token{}, err
 	}
-	lx.buf = lx.buf[1:]
+	n := copy(lx.buf, lx.buf[1:])
+	lx.buf = lx.buf[:n]
 	return t, nil
 }
 
-var twoCharSymbols = []string{"//", "..", ":=", "<=", ">=", "!=", "<<", ">>", "||"}
+// ScanTokens lexes src to end of input and returns the number of tokens
+// scanned (excluding EOF). It exists so benchmarks and tests can drive
+// the scanner directly, without the parser on top.
+func ScanTokens(src string) (int, error) {
+	lx := newLexer(src)
+	n := 0
+	for {
+		t, err := lx.scan()
+		if err != nil {
+			return n, err
+		}
+		if t.kind == tokEOF {
+			return n, nil
+		}
+		n++
+	}
+}
 
-// scan reads one token from the raw input.
+// scan reads one token from the raw input by running the DFA.
 func (lx *lexer) scan() (token, error) {
 	lx.skipSpaceAndComments()
 	start := lx.pos
@@ -112,23 +220,35 @@ func (lx *lexer) scan() (token, error) {
 		return token{kind: tokEOF, pos: start, end: start}, nil
 	}
 	c := lx.src[lx.pos]
-	switch {
-	case c == '$':
+	switch byteClass[c] {
+	case classDollar:
 		lx.pos++
 		name := lx.scanName()
 		if name == "" {
 			return token{}, lx.errorf(start, "expected variable name after $")
 		}
 		return token{kind: tokVar, text: name, pos: start, end: lx.pos}, nil
-	case c == '"' || c == '\'':
+	case classQuote:
 		s, err := lx.scanString(c)
 		if err != nil {
 			return token{}, err
 		}
 		return token{kind: tokString, text: s, pos: start, end: lx.pos}, nil
-	case c >= '0' && c <= '9' || (c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1])):
-		return lx.scanNumber()
-	case isNameStart(rune(c)) || c >= utf8.RuneSelf:
+	case classDigit:
+		return lx.runDFA(stateInt), nil
+	case classDot:
+		if lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]) {
+			lx.pos++ // consume '.'; the digit run continues in stateFrac
+			t := lx.runDFA(stateFrac)
+			t.pos = start
+			t.text = lx.src[start:lx.pos]
+			t.kind = tokDecimal
+			return t, nil
+		}
+		// Falls through to symbol handling below ('.' or "..").
+	case classNameA:
+		return lx.runDFA(stateName), nil
+	case classHigh:
 		name := lx.scanName()
 		if name == "" {
 			return token{}, lx.errorf(start, "unexpected character %q", c)
@@ -137,26 +257,67 @@ func (lx *lexer) scan() (token, error) {
 	}
 	// Symbols.
 	if lx.pos+1 < len(lx.src) {
-		two := lx.src[lx.pos : lx.pos+2]
-		for _, s := range twoCharSymbols {
-			if two == s {
-				lx.pos += 2
-				return token{kind: tokSymbol, text: s, pos: start, end: lx.pos}, nil
-			}
+		switch lx.src[lx.pos : lx.pos+2] {
+		case "//", "..", ":=", "<=", ">=", "!=", "<<", ">>", "||":
+			two := lx.src[lx.pos : lx.pos+2]
+			lx.pos += 2
+			return token{kind: tokSymbol, text: two, pos: start, end: lx.pos}, nil
 		}
 	}
-	switch c {
-	case '(', ')', '[', ']', '{', '}', ',', '.', '/', '@', '|', '+', '-', '*', '=', '<', '>', ';', '?':
+	if singleSym[c] {
 		lx.pos++
 		return token{kind: tokSymbol, text: string(c), pos: start, end: lx.pos}, nil
 	}
 	return token{}, lx.errorf(start, "unexpected character %q", c)
 }
 
+// runDFA consumes input from the given start state until the transition
+// table stops, producing the finished name or number token. High bytes
+// inside a name re-check the decoded rune against the unicode name rules;
+// the stateInt -> stateFrac edge applies the one-digit lookahead guard.
+func (lx *lexer) runDFA(state uint8) token {
+	src := lx.src
+	start := lx.pos
+	seenFrac := state == stateFrac
+	for lx.pos < len(src) {
+		cl := byteClass[src[lx.pos]]
+		next := dfa[state][cl]
+		if next == stateStop {
+			break
+		}
+		if cl == classHigh {
+			// Multi-byte rune inside a name: decode and apply the full
+			// unicode name-character rule.
+			r, size := utf8.DecodeRuneInString(src[lx.pos:])
+			if !isNameChar(r) {
+				break
+			}
+			lx.pos += size
+			continue
+		}
+		if state == stateInt && next == stateFrac {
+			if lx.pos+1 >= len(src) || !isDigit(src[lx.pos+1]) {
+				break
+			}
+			seenFrac = true
+		}
+		state = next
+		lx.pos++
+	}
+	kind := tokName
+	switch {
+	case state == stateInt:
+		kind = tokInteger
+	case state == stateFrac || seenFrac:
+		kind = tokDecimal
+	}
+	return token{kind: kind, text: src[start:lx.pos], pos: start, end: lx.pos}
+}
+
 func (lx *lexer) skipSpaceAndComments() {
 	for lx.pos < len(lx.src) {
 		c := lx.src[lx.pos]
-		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+		if byteClass[c] == classSpace {
 			lx.pos++
 			continue
 		}
@@ -187,6 +348,8 @@ func (lx *lexer) skipSpaceAndComments() {
 	}
 }
 
+// scanName scans a name whose first rune may be outside ASCII; ASCII-only
+// names are handled by the DFA and never reach here.
 func (lx *lexer) scanName() string {
 	start := lx.pos
 	for lx.pos < len(lx.src) {
@@ -203,9 +366,31 @@ func (lx *lexer) scanName() string {
 	return lx.src[start:lx.pos]
 }
 
+// scanString scans a quoted literal. The common case — no entity
+// references, no doubled-quote escapes — returns a substring of the
+// source without copying; only literals that actually need rewriting
+// build a new string.
 func (lx *lexer) scanString(quote byte) (string, error) {
 	start := lx.pos
 	lx.pos++ // opening quote
+	i := lx.pos
+	for i < len(lx.src) {
+		c := lx.src[i]
+		if c == quote {
+			if i+1 < len(lx.src) && lx.src[i+1] == quote {
+				break // doubled-quote escape: rewrite needed
+			}
+			s := lx.src[lx.pos:i]
+			lx.pos = i + 1
+			return s, nil
+		}
+		if c == '&' {
+			if _, _, ok := scanEntity(lx.src[i:]); ok {
+				break // entity reference: rewrite needed
+			}
+		}
+		i++
+	}
 	var sb strings.Builder
 	for lx.pos < len(lx.src) {
 		c := lx.src[lx.pos]
@@ -233,39 +418,18 @@ func (lx *lexer) scanString(quote byte) (string, error) {
 	return "", lx.errorf(start, "unterminated string literal")
 }
 
-func (lx *lexer) scanNumber() (token, error) {
-	start := lx.pos
-	seenDot := false
-	for lx.pos < len(lx.src) {
-		c := lx.src[lx.pos]
-		if isDigit(c) {
-			lx.pos++
-			continue
-		}
-		if c == '.' && !seenDot && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]) {
-			seenDot = true
-			lx.pos++
-			continue
-		}
-		break
-	}
-	text := lx.src[start:lx.pos]
-	kind := tokInteger
-	if seenDot {
-		kind = tokDecimal
-	}
-	return token{kind: kind, text: text, pos: start, end: lx.pos}, nil
+// entities are the predeclared XML entity references recognized in string
+// literals and constructor content.
+var entities = [...]struct{ name, rep string }{
+	{"&lt;", "<"}, {"&gt;", ">"}, {"&amp;", "&"}, {"&quot;", `"`}, {"&apos;", "'"},
 }
 
 // scanEntity decodes a leading XML entity reference like &lt; returning the
 // replacement, the number of bytes consumed, and whether it matched.
 func scanEntity(s string) (string, int, bool) {
-	ents := map[string]string{
-		"&lt;": "<", "&gt;": ">", "&amp;": "&", "&quot;": `"`, "&apos;": "'",
-	}
-	for e, rep := range ents {
-		if strings.HasPrefix(s, e) {
-			return rep, len(e), true
+	for _, e := range &entities {
+		if strings.HasPrefix(s, e.name) {
+			return e.rep, len(e.name), true
 		}
 	}
 	return "", 0, false

@@ -3,6 +3,7 @@ package xq
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"wsda/internal/xmldoc"
 )
@@ -14,6 +15,11 @@ type Query struct {
 	expr  Expr
 	decls []varDecl
 	funcs map[string]*userFunc
+
+	// Discovery-plan memo: DiscoveryPlan pattern-matches the AST at most
+	// once per compiled query (nil plan = not plannable).
+	planOnce sync.Once
+	plan     *TuplePlan
 }
 
 // Compile parses src into a Query.

@@ -17,12 +17,20 @@
 //     path answers an unplannable one on the same store, and the warm
 //     planned path (cached plan, memoized tuple subtree) is held to a small
 //     allocs/op budget. Lexer throughput rides along for trend tracking.
+//   - shard suite (BenchmarkRoutedQueryWarm, BenchmarkDirectShardQueryWarm,
+//     BenchmarkShardMergeItem -> BENCH_shard.json): a streamed query routed
+//     through the scatter-gather router must put its first item on the wire
+//     within 2x of the same query evaluated directly on a single registry
+//     holding the full dataset (in practice the router wins: each shard
+//     evaluates half the data in parallel), and the router's per-merged-item
+//     allocations are held to a budget so large merged streams do not turn
+//     into GC pressure.
 //
 // Usage:
 //
 //	benchguard                       # runs every suite, exits 1 on any breach
 //	benchguard -suite stream         # one suite only
-//	benchguard -view-budget 32 -stream-budget 24 -xq-budget 8
+//	benchguard -view-budget 32 -stream-budget 24 -xq-budget 8 -shard-budget 48
 package main
 
 import (
@@ -35,13 +43,15 @@ import (
 	"strings"
 )
 
-// benchResult is one parsed `go test -bench` result line.
+// benchResult is one parsed `go test -bench` result line. Extra holds
+// custom ReportMetric columns (e.g. first-item-ns/op) keyed by unit.
 type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // report is one suite's JSON document: the raw parsed benchmark lines
@@ -61,8 +71,11 @@ type report struct {
 	// Planner compares the pushdown planner against the view-fallback
 	// path on the same 1000-tuple store. XQ suite only.
 	Planner *plannerGuard `json:"planner,omitempty"`
-	Budget  int64         `json:"budget"`
-	Pass    bool          `json:"pass"`
+	// Shard compares the scatter-gather router against a direct
+	// single-registry evaluation of the same dataset. Shard suite only.
+	Shard  *shardGuard `json:"shard,omitempty"`
+	Budget int64       `json:"budget"`
+	Pass   bool        `json:"pass"`
 }
 
 // coldVsWarm is the view suite's guard section.
@@ -94,6 +107,25 @@ type plannerGuard struct {
 	LexerNsPerOp     float64 `json:"lexer_ns_per_op"`
 	LexerAllocsPerOp int64   `json:"lexer_allocs_per_op"`
 }
+
+// shardGuard is the shard suite's guard section. FirstItemRatio is the
+// routed first-item latency divided by the direct one; the acceptance
+// bound is 2.0. MergeAllocsPerItem is the router merge path's allocations
+// per delivered item (whole-query allocs/op divided by the items/op
+// metric the benchmark reports), guarded by the suite budget.
+type shardGuard struct {
+	DirectFirstItemNs  float64 `json:"direct_first_item_ns"`
+	RoutedFirstItemNs  float64 `json:"routed_first_item_ns"`
+	FirstItemRatio     float64 `json:"first_item_ratio"`
+	MergeNsPerOp       float64 `json:"merge_ns_per_op"`
+	MergeItemsPerOp    float64 `json:"merge_items_per_op"`
+	MergeAllocsPerItem int64   `json:"merge_allocs_per_item"`
+}
+
+// shardFirstItemMaxRatio is the acceptance bound on routed/direct
+// first-item latency (ISSUE 8): routing plus merge must not double the
+// time to the first result.
+const shardFirstItemMaxRatio = 2.0
 
 // suite is one guarded benchmark family: which benchmarks to run, where
 // to write the report, and how to judge pass/fail from the parsed lines.
@@ -186,16 +218,51 @@ var suites = []suite{
 				pg.Speedup, pg.WarmAllocsPerOp, budget)
 		},
 	},
+	{
+		name:    "shard",
+		pattern: "Benchmark(RoutedQueryWarm|DirectShardQueryWarm|ShardMergeItem)$",
+		out:     "BENCH_shard.json",
+		finish: func(rep *report, budget int64) (bool, string) {
+			sg := &shardGuard{}
+			for _, r := range rep.Benchmarks {
+				switch baseName(r.Name) {
+				case "BenchmarkDirectShardQueryWarm":
+					sg.DirectFirstItemNs = r.Extra["first-item-ns/op"]
+				case "BenchmarkRoutedQueryWarm":
+					sg.RoutedFirstItemNs = r.Extra["first-item-ns/op"]
+				case "BenchmarkShardMergeItem":
+					sg.MergeNsPerOp = r.NsPerOp
+					sg.MergeItemsPerOp = r.Extra["items/op"]
+					if sg.MergeItemsPerOp > 0 {
+						sg.MergeAllocsPerItem = int64(float64(r.AllocsPerOp) / sg.MergeItemsPerOp)
+					}
+				}
+			}
+			if sg.DirectFirstItemNs > 0 {
+				sg.FirstItemRatio = sg.RoutedFirstItemNs / sg.DirectFirstItemNs
+			}
+			rep.Shard = sg
+			// Two guards: routing+merge must not double first-item latency,
+			// and the merge hot path must stay within its per-item
+			// allocation budget.
+			pass := sg.FirstItemRatio > 0 && sg.FirstItemRatio <= shardFirstItemMaxRatio &&
+				sg.MergeAllocsPerItem > 0 && sg.MergeAllocsPerItem <= budget
+			return pass, fmt.Sprintf(
+				"routed/direct first-item %.2fx (max %.1fx), merge allocs/item %d, budget %d",
+				sg.FirstItemRatio, shardFirstItemMaxRatio, sg.MergeAllocsPerItem, budget)
+		},
+	},
 }
 
 func main() {
-	which := flag.String("suite", "all", "suite to run: view|stream|xq|all")
+	which := flag.String("suite", "all", "suite to run: view|stream|xq|shard|all")
 	viewBudget := flag.Int64("view-budget", 32, "max allocs/op allowed on the warm view path")
 	streamBudget := flag.Int64("stream-budget", 24, "max allocs/op allowed per streamed item write")
 	xqBudget := flag.Int64("xq-budget", 8, "max allocs/op allowed on the warm planned-query path")
+	shardBudget := flag.Int64("shard-budget", 48, "max allocs allowed per item merged through the router")
 	flag.Parse()
 
-	budgets := map[string]int64{"view": *viewBudget, "stream": *streamBudget, "xq": *xqBudget}
+	budgets := map[string]int64{"view": *viewBudget, "stream": *streamBudget, "xq": *xqBudget, "shard": *shardBudget}
 	failed := false
 	ran := 0
 	for _, s := range suites {
@@ -299,6 +366,15 @@ func parseBenchLine(line string) (benchResult, bool) {
 				return benchResult{}, false
 			}
 			seen++
+		default:
+			// Custom ReportMetric columns (first-item-ns/op, items/op, ...)
+			// keep their unit token as the key.
+			if v, perr := strconv.ParseFloat(val, 64); perr == nil {
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[f[i]] = v
+			}
 		}
 	}
 	return r, seen == 3

@@ -1,5 +1,5 @@
 // Command benchharness regenerates every table and figure of the
-// evaluation (experiments E1–E19, see DESIGN.md) at full scale and prints
+// evaluation (experiments E1–E20, see DESIGN.md) at full scale and prints
 // them as aligned text tables. Use -quick for a fast smoke run and -only
 // to select individual experiments.
 //
@@ -155,6 +155,12 @@ func main() {
 				return experiments.E19QueryPlanner([]int{500}, 20)
 			}
 			return experiments.E19QueryPlanner([]int{1000, 4000, 16_000}, 50)
+		}},
+		{"E20", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E20ShardScaleOut([]int{1, 2, 4}, 50_000, 200)
+			}
+			return experiments.E20ShardScaleOut([]int{1, 2, 4, 8}, 1_000_000, 400)
 		}},
 	}
 

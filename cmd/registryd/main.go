@@ -13,6 +13,15 @@
 //
 //	registryd -addr :8081 -name replica-1 -replica-of http://localhost:8080
 //
+// With -shard-of=K/N the node serves one partition of a sharded tuple
+// space behind a routerd: publishes for keys outside its slice are
+// rejected with 421, and -shard-bootstrap pulls the slice from the old
+// owners' change feeds when the shard joins an existing deployment (the
+// router's POST /router/cutover completes the rebalance):
+//
+//	registryd -addr :8082 -name shard-2 -shard-of 2/3 \
+//	  -shard-bootstrap http://localhost:8080,http://localhost:8081
+//
 // With -seed-services the registry is pre-populated with a synthetic Grid
 // service population, which makes the query endpoints interesting to poke
 // at immediately:
@@ -48,12 +57,14 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"wsda/internal/changefeed"
 	"wsda/internal/registry"
+	"wsda/internal/shard"
 	"wsda/internal/softstate"
 	"wsda/internal/telemetry"
 	"wsda/internal/wlog"
@@ -77,6 +88,9 @@ func main() {
 		replicaOf  = flag.String("replica-of", "", "run as a read-only replica tailing this primary's change feed (base URL, e.g. http://primary:8080)")
 		journalCap = flag.Int("journal-cap", softstate.DefaultJournalCap, "change-journal capacity; feeds and views resync past it")
 		longPoll   = flag.Duration("replica-long-poll", 20*time.Second, "long-poll wait the replica requests from its primary's feed")
+
+		shardOf        = flag.String("shard-of", "", "serve one partition of a sharded tuple space, as K/N (e.g. 2/4); publishes for keys outside the slice are rejected with 421")
+		shardBootstrap = flag.String("shard-bootstrap", "", "comma-separated base URLs of the old owners (in old-map shard order) to bootstrap this shard's key range from over their change feeds")
 
 		telemetryOn = flag.Bool("telemetry", true, "collect metrics and traces, serve /metrics and /debug endpoints")
 		traceCap    = flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "completed spans retained for /debug/traces")
@@ -178,6 +192,37 @@ func main() {
 		node = wsda.ReadOnlyNode{Node: node}
 	}
 
+	// A shard member guards writes with its assignment and, when joining an
+	// existing deployment, bootstraps its key range from the old owners.
+	var member *shard.Member
+	if *shardOf != "" {
+		if *replicaOf != "" {
+			logger.Error("-shard-of conflicts with -replica-of: a shard owns its slice, a replica owns nothing")
+			os.Exit(1)
+		}
+		asgn, err := shard.ParseAssignment(*shardOf)
+		if err != nil {
+			logger.Error("bad -shard-of", "err", err)
+			os.Exit(1)
+		}
+		member = shard.NewMember(reg, asgn, metrics, wlog.WithComponent(logger, "shard"))
+		node = member.Guard(node)
+		if *shardBootstrap != "" {
+			var sources []string
+			for _, s := range strings.Split(*shardBootstrap, ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					sources = append(sources, s)
+				}
+			}
+			member.StartBootstrap(replCtx, sources, *longPoll, nil)
+			logger.Info("shard bootstrapping its key range", "shard", asgn.String(), "sources", len(sources))
+		}
+		logger.Info("serving one shard of the tuple space", "shard", asgn.String())
+	} else if *shardBootstrap != "" {
+		logger.Error("-shard-bootstrap requires -shard-of")
+		os.Exit(1)
+	}
+
 	stop := make(chan struct{})
 	go func() {
 		t := time.NewTicker(*sweep)
@@ -215,10 +260,14 @@ func main() {
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/wsda/", sloEdge(wsda.HandlerWithMetrics(node, metrics), slo, flight))
+	mux.Handle("/wsda/", sloEdge(wsda.HandlerWithObservability(node, metrics, flight), slo, flight))
 	// Every node — primary or replica — serves the change feed, so replicas
-	// can themselves be replicated (chained fan-out).
+	// can themselves be replicated (chained fan-out), and a joining shard
+	// can bootstrap its slice from this node.
 	changefeed.NewServer(reg).Mount(mux)
+	if member != nil {
+		member.Mount(mux)
+	}
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := reg.Stats()
 		fmt.Fprintf(w, "live=%d publishes=%d refreshes=%d expirations=%d queries=%d minqueries=%d cache-hits=%d cache-misses=%d pulls=%d pull-errors=%d throttled=%d view-hits=%d view-misses=%d view-rebuilds=%d\n",
@@ -242,6 +291,12 @@ func main() {
 		// a primary loss forces a re-bootstrap.
 		if rep != nil && !rep.Ready() {
 			http.Error(w, "replica bootstrapping", http.StatusServiceUnavailable)
+			return
+		}
+		// A joining shard is ready only once every bootstrap tail has its
+		// snapshot applied and is live on the feed.
+		if member != nil && !member.Ready() {
+			http.Error(w, "shard bootstrapping", http.StatusServiceUnavailable)
 			return
 		}
 		fmt.Fprintln(w, "ready")

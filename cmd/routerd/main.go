@@ -1,0 +1,208 @@
+// Command routerd runs the scatter-gather router tier of a sharded hyper
+// registry. The router owns no tuples: it accepts the full WSDA HTTP
+// surface plus /netquery, routes each publish/unpublish to the shard
+// owning the key (rendezvous hash of the content link), and fans queries
+// out across the shards with a streamed merge — items flush to the client
+// as soon as the first shard responds, and the trailing <summary>
+// aggregates completeness and fan-out accounting across shards.
+//
+// Usage:
+//
+//	routerd -addr :8090 -peers http://shard0:8080,http://shard1:8081
+//
+// The peer list order IS the partition map: peers[i] serves shard i/N.
+// Rebalancing to a new map (e.g. after a new shard bootstrapped via
+// registryd -shard-of/-shard-bootstrap) is one call:
+//
+//	curl -X POST 'http://localhost:8090/router/cutover?peers=http://shard0:8080,http://shard1:8081,http://shard2:8082'
+//
+// Aggregate health: /healthz and /readyz answer 200 only when every shard
+// passes its probe, 503 with a per-shard JSON body (naming each failing
+// shard as bootstrapping or unreachable) otherwise. /router/status shows
+// the current map.
+//
+// Observability mirrors registryd: /metrics, /debug/vars, /debug/slowlog,
+// /debug/query/<tx> (the router mints one transaction ID per query and
+// forwards it to every shard, so the same tx is explainable on each hop),
+// and /slo.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wsda/internal/shard"
+	"wsda/internal/telemetry"
+	"wsda/internal/wlog"
+	"wsda/internal/wsda"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8090", "HTTP listen address")
+		name  = flag.String("name", "wsda-router", "router service name")
+		peers = flag.String("peers", "", "comma-separated shard base URLs in shard order (peers[i] serves shard i/N)")
+
+		peerTimeout   = flag.Duration("peer-timeout", 30*time.Second, "per-shard HTTP client timeout for writes and probes (streamed queries are bounded by the client, not this)")
+		healthTimeout = flag.Duration("health-timeout", 2*time.Second, "per-shard health/readiness probe budget")
+
+		telemetryOn = flag.Bool("telemetry", true, "collect metrics, serve /metrics and /debug endpoints")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
+
+		logLevel  = flag.String("log-level", "info", "log level, optionally with per-component overrides")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+
+		sloFirstItem    = flag.Duration("slo-first-item", telemetry.DefaultFirstItemTarget, "first-item latency target fed to the SLO engine and the slowlog gate")
+		sloCompleteness = flag.Float64("slo-completeness", telemetry.DefaultCompletenessTarget, "completeness-ratio target for the SLO engine")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
+		shutdownGrace     = flag.Duration("shutdown-grace", 5*time.Second, "graceful shutdown deadline on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	logger, err := wlog.New(wlog.Config{Level: *logLevel, Format: *logFormat})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger = wlog.WithComponent(logger, "routerd")
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(strings.TrimSuffix(p, "/")); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) == 0 {
+		logger.Error("-peers is required: a router with no shards can serve nothing")
+		os.Exit(2)
+	}
+
+	var metrics *telemetry.Metrics
+	var flight *telemetry.FlightRecorder
+	var slo *telemetry.SLO
+	if *telemetryOn {
+		metrics = telemetry.NewMetrics()
+		flight = telemetry.NewFlightRecorder(telemetry.FlightConfig{SlowThreshold: *sloFirstItem})
+		slo = telemetry.NewSLO(telemetry.SLOConfig{
+			FirstItemTarget:    *sloFirstItem,
+			CompletenessTarget: *sloCompleteness,
+			StalenessTarget:    telemetry.DefaultStalenessTarget,
+		})
+		slo.RegisterMetrics(metrics)
+	}
+
+	base := "http://" + hostAddr(*addr)
+	desc := wsda.NewService(*name).
+		Owner("wsda").
+		Link(base+wsda.PathPresenter).
+		Op(wsda.IfacePresenter, "getServiceDescription", base+wsda.PathPresenter).
+		Op(wsda.IfaceConsumer, "publish", base+wsda.PathPublish).
+		Op(wsda.IfaceConsumer, "unpublish", base+wsda.PathUnpublish).
+		Op(wsda.IfaceMinQuery, "minQuery", base+wsda.PathMinQuery).
+		Op(wsda.IfaceXQuery, "query", base+wsda.PathXQuery).
+		Build()
+
+	hc := &http.Client{Timeout: *peerTimeout}
+	backends := make([]shard.Backend, len(peerList))
+	for i, p := range peerList {
+		backends[i] = shard.NewHTTPBackend(p, hc)
+	}
+	router := shard.NewRouter(shard.Config{
+		Backends:      backends,
+		Desc:          desc,
+		Metrics:       metrics,
+		Flight:        flight,
+		Logger:        wlog.WithComponent(logger, "router"),
+		Dial:          func(base string) shard.Backend { return shard.NewHTTPBackend(base, hc) },
+		HealthTimeout: *healthTimeout,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", router.Handler())
+	if *telemetryOn {
+		telemetry.Mount(mux, metrics, nil)
+		telemetry.MountObservability(mux, flight, slo)
+	}
+	if *pprofOn {
+		mountPprof(mux)
+	}
+
+	// NOTE: no ReadTimeout — streamed scatter-gather responses may
+	// legitimately outlive any fixed read window; ReadHeaderTimeout guards
+	// the accept path instead.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	logger.Info("router serving sharded WSDA", "name", *name, "addr", *addr, "shards", len(peerList), "map", strings.Join(peerList, ","))
+	if err := serveUntilSignal(srv, *shutdownGrace, logger); err != nil {
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
+	}
+	logFinalSnapshot(metrics, logger)
+}
+
+// mountPprof exposes the standard net/http/pprof handlers on the custom
+// mux (the package's init only registers on http.DefaultServeMux).
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// serveUntilSignal runs the server until it fails or a SIGINT/SIGTERM
+// arrives, then drains connections within the grace period.
+func serveUntilSignal(srv *http.Server, grace time.Duration, logger *slog.Logger) error {
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		logger.Info("signal received, draining connections", "grace", grace)
+		shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), grace)
+		defer cancelShutdown()
+		return srv.Shutdown(shutdownCtx)
+	}
+}
+
+// logFinalSnapshot writes the closing metrics snapshot so a scrape gap at
+// shutdown loses nothing.
+func logFinalSnapshot(m *telemetry.Metrics, logger *slog.Logger) {
+	if m == nil {
+		return
+	}
+	data, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		return
+	}
+	logger.Info("final metrics snapshot", "snapshot", string(data))
+}
+
+func hostAddr(addr string) string {
+	if len(addr) > 0 && addr[0] == ':' {
+		return "localhost" + addr
+	}
+	return addr
+}

@@ -1,9 +1,13 @@
 // Command smoketest is the CI boot probe: it builds and starts a real
 // registryd on a free port, waits for /healthz to answer, verifies
 // /readyz reports ready and /slo serves a well-formed SLO document, then
-// shuts the daemon down. It exercises the actual binary and the actual
-// HTTP mux — the wiring a unit test can't see — and exits non-zero on
-// any probe failure.
+// shuts the daemon down. It then boots a sharded topology — two registryd
+// shards (-shard-of=0/2 and 1/2) behind a routerd — and verifies a routed
+// publish→query round-trip lands on both shards, router health aggregates
+// to 200, and killing one shard degrades /healthz to 503 with a per-shard
+// JSON body. It exercises the actual binaries and the actual HTTP muxes —
+// the wiring a unit test can't see — and exits non-zero on any probe
+// failure.
 //
 //	go run ./cmd/smoketest
 package main
@@ -17,6 +21,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 )
@@ -26,7 +31,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smoketest:", err)
 		os.Exit(1)
 	}
-	fmt.Println("smoketest: ok (/healthz, /readyz, /slo)")
+	fmt.Println("smoketest: ok (/healthz, /readyz, /slo, sharded topology)")
 }
 
 func run() error {
@@ -92,6 +97,163 @@ func run() error {
 		return fmt.Errorf("/slo: no objectives in %q", sloBody)
 	}
 	fmt.Printf("smoketest: /slo -> %d objectives\n", len(slo.Objectives))
+
+	return runSharded(dir, bin)
+}
+
+// startDaemon launches bin with args, wires its output to stderr, and
+// returns a stopper that SIGTERMs (then kills) the process.
+func startDaemon(bin string, args ...string) (stop func(), err error) {
+	daemon := exec.Command(bin, args...)
+	daemon.Stdout = os.Stderr
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", filepath.Base(bin), err)
+	}
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		_ = daemon.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { _ = daemon.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			_ = daemon.Process.Kill()
+			<-done
+		}
+	}, nil
+}
+
+// runSharded boots the sharded topology: two registryd shards behind a
+// routerd, a routed publish→query round-trip, aggregate health, and the
+// degraded 503 body after one shard dies.
+func runSharded(dir, registrydBin string) error {
+	routerBin := filepath.Join(dir, "routerd")
+	build := exec.Command("go", "build", "-o", routerBin, "./cmd/routerd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build routerd: %w", err)
+	}
+
+	shard0, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	shard1, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	routerAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+
+	stop0, err := startDaemon(registrydBin, "-addr", shard0, "-name", "shard0", "-shard-of", "0/2")
+	if err != nil {
+		return err
+	}
+	defer stop0()
+	stop1, err := startDaemon(registrydBin, "-addr", shard1, "-name", "shard1", "-shard-of", "1/2")
+	if err != nil {
+		return err
+	}
+	defer stop1()
+	peers := "http://" + shard0 + ",http://" + shard1
+	stopRouter, err := startDaemon(routerBin, "-addr", routerAddr, "-peers", peers)
+	if err != nil {
+		return err
+	}
+	defer stopRouter()
+
+	router := "http://" + routerAddr
+	if err := waitHealthy(router+"/healthz", 10*time.Second); err != nil {
+		return fmt.Errorf("router never aggregated healthy shards: %w", err)
+	}
+	if _, err := get(router + "/readyz"); err != nil {
+		return fmt.Errorf("router /readyz: %w", err)
+	}
+
+	// Routed publish→query round-trip: enough links that both shards own
+	// some, so the scatter-gather must actually merge.
+	const links = 16
+	for i := 0; i < links; i++ {
+		body := fmt.Sprintf(`<publish ttl-ms="3600000"><tuple link="http://smoke-%02d.example.org/wsda/presenter" type="service" ctx="child"/></publish>`, i)
+		resp, err := http.Post(router+"/wsda/publish", "text/xml", strings.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("routed publish: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("routed publish %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(router+"/wsda/xquery?stream=true", "text/xml",
+		strings.NewReader(`/tupleset/tuple[@type="service"]`))
+	if err != nil {
+		return fmt.Errorf("routed xquery: %w", err)
+	}
+	qbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("routed xquery: status %d: %s", resp.StatusCode, qbody)
+	}
+	got := strings.Count(string(qbody), "<tuple ")
+	if got != links {
+		return fmt.Errorf("routed xquery returned %d tuples, want %d: %s", got, links, qbody)
+	}
+	if !strings.Contains(string(qbody), `complete="true"`) {
+		return fmt.Errorf("routed xquery summary not complete: %s", qbody)
+	}
+	route := resp.Header.Get("X-Wsda-Route")
+	fmt.Printf("smoketest: sharded round-trip -> %d tuples via %q\n", got, route)
+
+	// Kill one shard: aggregate health must degrade to 503 and name the
+	// dead shard in the per-shard JSON body.
+	stop1()
+	var degraded struct {
+		Status string `json:"status"`
+		Shards []struct {
+			Shard  string `json:"shard"`
+			Status string `json:"status"`
+		} `json:"shards"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(router + "/healthz")
+		if err != nil {
+			return fmt.Errorf("router /healthz after shard kill: %w", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if err := json.Unmarshal(body, &degraded); err != nil {
+				return fmt.Errorf("degraded /healthz body not JSON: %w (%s)", err, body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("router /healthz stayed %d after shard kill", resp.StatusCode)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if degraded.Status != "degraded" {
+		return fmt.Errorf("degraded /healthz status = %q", degraded.Status)
+	}
+	named := false
+	for _, s := range degraded.Shards {
+		if strings.Contains(s.Shard, shard1) && s.Status != "ok" {
+			named = true
+		}
+	}
+	if !named {
+		return fmt.Errorf("degraded /healthz body does not name the dead shard %s: %+v", shard1, degraded)
+	}
+	fmt.Printf("smoketest: shard kill -> /healthz degraded, %d shard rows\n", len(degraded.Shards))
 	return nil
 }
 

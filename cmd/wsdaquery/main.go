@@ -24,6 +24,12 @@
 // restart by failing over to a read replica:
 //
 //	wsdaquery minquery -retry 3 -node http://primary:8080,http://replica:8081 -type service
+//
+// Against a sharded router (routerd), a query that loses a shard mid-flight
+// still succeeds: the delivered items print, the exit status is 0, and a
+// warning names the missing shard (the summary's shortfall). Once any item
+// has been printed, a later stream failure is terminal rather than failed
+// over — re-running the query elsewhere would duplicate delivered output.
 package main
 
 import (
@@ -128,6 +134,9 @@ type streamOpts struct {
 // mutations only ever reach the first node that accepts them. A pass in
 // which every failure was a definitive client-side rejection (a 4xx other
 // than 408/429) is not repeated: resending a malformed query cannot fix it.
+// A failure AFTER result items already reached stdout is terminal
+// immediately — neither failover nor another pass — because re-running the
+// stream against another endpoint would duplicate the delivered items.
 func runAttempts(clients []*wsda.Client, retries int, sleep func(time.Duration), logger *slog.Logger, do func(c *wsda.Client) error) error {
 	backoff := 250 * time.Millisecond
 	var err error
@@ -136,6 +145,12 @@ func runAttempts(clients []*wsda.Client, retries int, sleep func(time.Duration),
 		for i, c := range clients {
 			if err = do(c); err == nil {
 				return nil
+			}
+			var pd *partialDeliveryError
+			if errors.As(err, &pd) {
+				logger.Warn("stream failed after partial delivery, not retrying",
+					"delivered", pd.items, "err", pd.err)
+				return err
 			}
 			if retryableError(err) {
 				anyRetryable = true
@@ -168,6 +183,20 @@ func retryableError(err error) bool {
 	}
 	return true
 }
+
+// partialDeliveryError marks a stream failure that arrived after result
+// items were already printed. It is terminal: retrying the query against
+// any endpoint would print those items a second time.
+type partialDeliveryError struct {
+	err   error
+	items int
+}
+
+func (e *partialDeliveryError) Error() string {
+	return fmt.Sprintf("stream failed after %d items were delivered: %v", e.items, e.err)
+}
+
+func (e *partialDeliveryError) Unwrap() error { return e.err }
 
 // run dispatches one subcommand, wrapping every remote call in attempt.
 // Result rows go to stdout; per-query accounting metadata goes to the
@@ -224,7 +253,11 @@ func run(cmd string, fs *flag.FlagSet,
 		if so.stream || so.maxResults > 0 {
 			var sum *wsda.StreamSummary
 			if err := attempt(func(c *wsda.Client) (err error) {
+				before := printed
 				sum, err = c.XQueryStream(fs.Arg(0), opts, so.maxResults, printItem)
+				if err != nil && printed > before {
+					err = &partialDeliveryError{err: err, items: printed - before}
+				}
 				return err
 			}); err != nil {
 				fail(err)
@@ -234,7 +267,15 @@ func run(cmd string, fs *flag.FlagSet,
 				// absent header means the node fell back to the view path.
 				fmt.Println("plan:", registry.ParsePlanInfo(sum.Plan))
 			}
-			logger.Info("xquery stream done", "items", sum.Count, "complete", sum.Complete)
+			if !sum.Complete {
+				// A sharded/replicated backend delivered what it had; the
+				// result is usable but some partition never answered.
+				logger.Warn("xquery stream delivered PARTIAL results",
+					"items", sum.Count, "shortfall", sum.Shortfall,
+					"nodes-contacted", sum.NodesContacted, "nodes-responded", sum.NodesResponded)
+			} else {
+				logger.Info("xquery stream done", "items", sum.Count, "complete", sum.Complete)
+			}
 			return
 		}
 		var seq xq.Sequence
@@ -270,10 +311,19 @@ func run(cmd string, fs *flag.FlagSet,
 		}
 		var sum *wsda.StreamSummary
 		if err := attempt(func(c *wsda.Client) (err error) {
+			before := printed
 			sum, err = c.NetQueryStream(fs.Arg(0), params, printItem)
+			if err != nil && printed > before {
+				err = &partialDeliveryError{err: err, items: printed - before}
+			}
 			return err
 		}); err != nil {
 			fail(err)
+		}
+		if !sum.Complete && !sum.Aborted {
+			logger.Warn("netquery delivered PARTIAL results",
+				wlog.AttrTx, sum.TxID, "items", sum.Count, "shortfall", sum.Shortfall,
+				"nodes-contacted", sum.NodesContacted, "nodes-responded", sum.NodesResponded)
 		}
 		logger.Info("netquery done",
 			wlog.AttrTx, sum.TxID, "items", sum.Count, "complete", sum.Complete,

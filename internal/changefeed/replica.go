@@ -48,6 +48,15 @@ type Config struct {
 	// and 10s.
 	BackoffMin, BackoffMax time.Duration
 
+	// Filter, when set, restricts replication to the keys it accepts: only
+	// matching snapshot tuples and feed changes are applied, and bootstrap
+	// delete-reconciliation only touches matching local keys. This is the
+	// key-range hook shard rebalancing uses — a joining shard tails each
+	// old owner for exactly the slice of the key space it is taking over,
+	// while several such replicas share one registry without clobbering
+	// each other's ranges. Nil replicates everything.
+	Filter func(key string) bool
+
 	// Metrics, when set, exposes replication lag, staleness, applied
 	// deltas, re-bootstraps and feed errors. One replica per metrics
 	// registry: the families are unlabeled.
@@ -266,12 +275,20 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 			// prevent the bootstrap.
 			continue
 		}
+		if r.cfg.Filter != nil && !r.cfg.Filter(t.Key) {
+			continue
+		}
 		inSnapshot[t.Key] = struct{}{}
 		r.cfg.Registry.ApplyReplicated(t)
 	}
 	// Drop local tuples the primary no longer has — unpublished while this
-	// replica was disconnected, so no journal record will ever say so.
+	// replica was disconnected, so no journal record will ever say so. With
+	// a Filter only this replica's own key slice is reconciled: other keys
+	// in the shared registry belong to other sources (or local writers).
 	for _, link := range r.cfg.Registry.LiveLinks() {
+		if r.cfg.Filter != nil && !r.cfg.Filter(link) {
+			continue
+		}
 		if _, ok := inSnapshot[link]; !ok {
 			r.cfg.Registry.ApplyReplicated(registry.Change{Key: link})
 		}
@@ -326,10 +343,15 @@ func (r *Replica) poll(ctx context.Context) (progressed bool, err error) {
 		r.mu.Unlock()
 		return false, nil
 	}
+	applied := 0
 	for _, c := range p.Changes {
+		if r.cfg.Filter != nil && !r.cfg.Filter(c.Key) {
+			continue
+		}
 		r.cfg.Registry.ApplyReplicated(c)
+		applied++
 	}
-	r.applied.Add(int64(len(p.Changes)))
+	r.applied.Add(int64(applied))
 	r.cursor.Store(p.To)
 	r.primaryGen.Store(p.To)
 	r.lastSync.Store(r.cfg.Now().UnixNano())

@@ -446,3 +446,21 @@ func TestE19(t *testing.T) {
 	}
 	t.Log("\n" + tab.String())
 }
+
+func TestE20(t *testing.T) {
+	tab, err := E20ShardScaleOut([]int{1, 2}, 2000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	// The experiment itself validates the partition/delivery accounting
+	// and that every topology streamed a first item; timing ratios are
+	// not asserted at this tiny scale. The baseline row's speedups must
+	// be exactly 1.00x by construction.
+	if tab.Rows[0][3] != "1.00x" || tab.Rows[0][5] != "1.00x" {
+		t.Errorf("baseline speedups = %s, %s, want 1.00x", tab.Rows[0][3], tab.Rows[0][5])
+	}
+	t.Log("\n" + tab.String())
+}

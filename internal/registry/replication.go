@@ -79,6 +79,15 @@ func (r *Registry) ApplyReplicated(c Change) bool {
 	return true
 }
 
+// PruneLinks deletes every live tuple whose link the keep predicate
+// rejects, in one store pass, and returns how many were dropped. It backs
+// the shard-rebalance cutover: once a partition map changes, the old owner
+// prunes the key range that moved away, and the prunes ride the change
+// feed as ordinary deletions so any tailer of this node stays consistent.
+func (r *Registry) PruneLinks(keep func(link string) bool) int {
+	return r.store.DeleteIf(func(key string, _ *tuple.Tuple) bool { return !keep(key) })
+}
+
 // LiveLinks returns the links of all live tuples, in unspecified order —
 // what a re-bootstrapping replica diffs against a fresh snapshot to drop
 // tuples deleted on the primary while the replica was disconnected.

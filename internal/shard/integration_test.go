@@ -1,0 +1,260 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/wsda"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+// startHTTP binds addr (ephemeral when empty) and serves h, retrying the
+// bind briefly so a just-killed address can be reclaimed — the restart
+// half of the kill/restart scenario.
+func startHTTP(t *testing.T, addr string, h http.Handler) (string, func()) {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var l net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		l, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(l) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String(), func() { srv.Close() }
+}
+
+// startShardServer serves a full shard surface for reg: the WSDA binding
+// behind the member guard, shard admin, and health endpoints.
+func startShardServer(t *testing.T, addr string, reg *registry.Registry, m *Member, wrap func(http.Handler) http.Handler) (string, func()) {
+	t.Helper()
+	mux := http.NewServeMux()
+	node := m.Guard(&wsda.LocalNode{Desc: &wsda.Service{Name: reg.Name()}, Registry: reg})
+	mux.Handle("/wsda/", wsda.Handler(node))
+	m.Mount(mux)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprintln(w, "ok") })
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !m.Ready() {
+			http.Error(w, "bootstrapping", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	var h http.Handler = mux
+	if wrap != nil {
+		h = wrap(mux)
+	}
+	return startHTTP(t, addr, h)
+}
+
+// stallGate lets shard B answer everything EXCEPT /wsda/xquery, which
+// signals arrival and then blocks until released — pinning the routed
+// query mid-flight so the kill deterministically lands mid-stream.
+type stallGate struct {
+	inner   http.Handler
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *stallGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, wsda.PathXQuery) {
+		g.once.Do(func() { close(g.started) })
+		<-g.release
+		return
+	}
+	g.inner.ServeHTTP(w, r)
+}
+
+// TestShardKillRestartMidStreamedQuery is the end-to-end failure
+// scenario the sharded deployment must survive: one shard dies while a
+// scatter-gathered streamed query is in flight and concurrent
+// republishes are hitting the router. The merged stream must stay
+// byte-valid XML, the summary must report the shortfall with
+// complete="false", and after the shard restarts (empty — soft state) the
+// republish traffic must reconverge it to exactly its key range, with a
+// final routed query matching the union of direct per-shard minqueries.
+func TestShardKillRestartMidStreamedQuery(t *testing.T) {
+	const keys = 80
+	const n = 2
+	regs := []*registry.Registry{newReg("s0"), newReg("s1")}
+	members := []*Member{
+		NewMember(regs[0], Assignment{0, n}, nil, nil),
+		NewMember(regs[1], Assignment{1, n}, nil, nil),
+	}
+	addr0, _ := startShardServer(t, "", regs[0], members[0], nil)
+	gate := &stallGate{started: make(chan struct{}), release: make(chan struct{})}
+	t.Cleanup(func() {
+		gate.once.Do(func() { close(gate.started) })
+		close(gate.release)
+	})
+	addr1, kill1 := startShardServer(t, "", regs[1], members[1], func(h http.Handler) http.Handler {
+		gate.inner = h
+		return gate
+	})
+
+	rt := NewRouter(Config{Backends: []Backend{
+		NewHTTPBackend("http://"+addr0, nil),
+		NewHTTPBackend("http://"+addr1, nil),
+	}})
+	routerAddr, _ := startHTTP(t, "", rt.Handler())
+	routerURL := "http://" + routerAddr
+
+	links := make([]string, keys)
+	c := wsda.NewClient(routerURL)
+	for i := range links {
+		links[i] = fmt.Sprintf("http://node-%03d.example.org/wsda/presenter", i)
+		if _, err := c.Publish(testTuple(links[i]), time.Hour); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+	}
+	shard1Keys := 0
+	for _, l := range links {
+		if Owner(l, n) == 1 {
+			shard1Keys++
+		}
+	}
+
+	// Concurrent republishers: soft-state refresh traffic through the
+	// router for the whole scenario. Failures against the dead shard are
+	// expected and tolerated; the loop is what reconverges the restarted
+	// shard.
+	stopRepub := make(chan struct{})
+	var repubWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		repubWG.Add(1)
+		go func(w int) {
+			defer repubWG.Done()
+			rc := wsda.NewClient(routerURL)
+			for i := w; ; i = (i + 4) % keys {
+				select {
+				case <-stopRepub:
+					return
+				default:
+				}
+				_, _ = rc.Publish(testTuple(links[i]), time.Hour)
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+	defer func() { close(stopRepub); repubWG.Wait() }()
+
+	// Launch the streamed scatter query; shard 1 stalls it mid-flight.
+	type queryOut struct {
+		items []string
+		sum   *wsda.StreamSummary
+		err   error
+	}
+	out := make(chan queryOut, 1)
+	go func() {
+		resp, err := http.Post(routerURL+wsda.PathXQuery+"?stream=true", "text/xml",
+			strings.NewReader(`/tupleset/tuple[@type="service"]`))
+		if err != nil {
+			out <- queryOut{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var items []string
+		sum, err := wsda.DecodeStream(resp.Body, func(it xq.Item) bool {
+			if node, ok := it.(*xmldoc.Node); ok {
+				if l, ok := node.Attr("link"); ok {
+					items = append(items, l)
+				}
+			}
+			return true
+		})
+		out <- queryOut{items: items, sum: sum, err: err}
+	}()
+
+	// Kill shard 1 exactly while it holds the routed query open.
+	<-gate.started
+	kill1()
+
+	res := <-out
+	if res.err != nil {
+		t.Fatalf("merged stream was not byte-valid after shard kill: %v", res.err)
+	}
+	if res.sum.Complete {
+		t.Fatal("summary must report complete=false after losing a shard mid-query")
+	}
+	if !strings.Contains(res.sum.Shortfall, addr1) {
+		t.Fatalf("shortfall %q does not name the dead shard %s", res.sum.Shortfall, addr1)
+	}
+	if res.sum.NodesResponded != 1 || res.sum.NodesContacted != 2 {
+		t.Fatalf("fan-out accounting = %d/%d, want 1/2", res.sum.NodesResponded, res.sum.NodesContacted)
+	}
+
+	// Router health reflects the dead shard with a per-shard body.
+	resp, err := http.Get(routerURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with dead shard = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Restart shard 1 on the SAME address with a FRESH registry: an
+	// in-memory soft-state store comes back empty, and the republish
+	// traffic must rebuild exactly its key range.
+	freshReg := newReg("s1-restarted")
+	freshMember := NewMember(freshReg, Assignment{1, n}, nil, nil)
+	startShardServer(t, addr1, freshReg, freshMember, nil)
+
+	waitFor(t, "router health to recover", func() bool {
+		resp, err := http.Get(routerURL + "/healthz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+	waitFor(t, "republishes to reconverge the restarted shard", func() bool {
+		return freshReg.Len() == shard1Keys
+	})
+
+	// Exactness: the routed scatter result equals the union of direct
+	// per-shard minqueries, which equals the original key set.
+	finalItems, finalSum, _ := streamQuery(t, routerURL, `/tupleset/tuple[@type="service"]`, "")
+	if !finalSum.Complete {
+		t.Fatalf("post-restart query incomplete: %+v", finalSum)
+	}
+	sort.Strings(finalItems)
+	var direct []string
+	for _, base := range []string{"http://" + addr0, "http://" + addr1} {
+		tuples, err := wsda.NewClient(base).MinQuery(registry.Filter{Type: "service"})
+		if err != nil {
+			t.Fatalf("direct minquery %s: %v", base, err)
+		}
+		for _, tp := range tuples {
+			direct = append(direct, tp.Link)
+		}
+	}
+	sort.Strings(direct)
+	want := append([]string{}, links...)
+	sort.Strings(want)
+	if strings.Join(finalItems, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("routed result diverged from the published set:\n got %d items\nwant %d items", len(finalItems), len(want))
+	}
+	if strings.Join(direct, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("union of direct shard minqueries diverged from the published set: %d vs %d items", len(direct), len(want))
+	}
+}

@@ -1,0 +1,229 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"wsda/internal/changefeed"
+	"wsda/internal/registry"
+	"wsda/internal/telemetry"
+	"wsda/internal/tuple"
+	"wsda/internal/wsda"
+)
+
+// Shard administration paths mounted by Member.Mount.
+const (
+	// PathShardStatus answers GET with the shard's assignment and
+	// bootstrap state as JSON.
+	PathShardStatus = "/wsda/shard"
+	// PathShardCutover answers POST ?of=K/N by installing a new
+	// assignment: rebalance tails stop, out-of-range keys are pruned, and
+	// the response reports {"pruned": n}.
+	PathShardCutover = "/wsda/shard/cutover"
+)
+
+// Member is one registry's participation in a partition map: it knows the
+// shard's assignment, rejects writes for keys outside it, and runs the
+// change-feed tails that bootstrap a joining shard's key range from the
+// old owners.
+type Member struct {
+	reg    *registry.Registry
+	logger *slog.Logger
+
+	mu          sync.Mutex
+	asgn        Assignment
+	boot        []*changefeed.Replica // active rebalance tails, one per old owner
+	cancelTails context.CancelFunc
+	tailsDone   *sync.WaitGroup
+
+	rejected *telemetry.Counter
+	pruned   *telemetry.Counter
+}
+
+// NewMember wraps reg as the shard described by asgn. metrics, when
+// non-nil, gains the wsda_shard_* families; logger nil discards.
+func NewMember(reg *registry.Registry, asgn Assignment, metrics *telemetry.Metrics, logger *slog.Logger) *Member {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	m := &Member{reg: reg, logger: logger, asgn: asgn}
+	if metrics != nil {
+		m.rejected = metrics.Counter("wsda_shard_rejected_publishes_total",
+			"Publish/unpublish requests rejected with 421 because this shard does not own the key.")
+		m.pruned = metrics.Counter("wsda_shard_pruned_tuples_total",
+			"Tuples pruned at assignment cutovers because they fell outside the new key range.")
+		metrics.GaugeFunc("wsda_shard_index",
+			"This shard's index in the partition map.",
+			func() float64 { return float64(m.Assignment().Index) })
+		metrics.GaugeFunc("wsda_shard_total",
+			"Total shards in the partition map (0 = unsharded).",
+			func() float64 { return float64(m.Assignment().Total) })
+	}
+	return m
+}
+
+// Assignment returns the member's current slice of the key space.
+func (m *Member) Assignment() Assignment {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.asgn
+}
+
+// Owns reports whether the member's current assignment owns link.
+func (m *Member) Owns(link string) bool { return m.Assignment().Owns(link) }
+
+// CheckOwns returns a NotOwnedError (HTTP 421) if the member's current
+// assignment does not own link, counting the rejection.
+func (m *Member) CheckOwns(link string) error {
+	a := m.Assignment()
+	if a.Owns(link) {
+		return nil
+	}
+	if m.rejected != nil {
+		m.rejected.Inc()
+	}
+	return &NotOwnedError{Link: link, Assignment: a, OwnedBy: Owner(link, a.Total)}
+}
+
+// Guard wraps node so Consumer writes for keys outside the member's range
+// are rejected with NotOwnedError instead of accepted into the wrong
+// partition. Queries pass through untouched: during a rebalance a shard
+// may legitimately serve reads for keys it is about to hand off.
+func (m *Member) Guard(node wsda.Node) wsda.Node { return &guardedNode{Node: node, m: m} }
+
+type guardedNode struct {
+	wsda.Node
+	m *Member
+}
+
+func (g *guardedNode) Publish(t *tuple.Tuple, ttl time.Duration) (time.Duration, error) {
+	if err := g.m.CheckOwns(t.Link); err != nil {
+		return 0, err
+	}
+	return g.Node.Publish(t, ttl)
+}
+
+func (g *guardedNode) Unpublish(link string) error {
+	if err := g.m.CheckOwns(link); err != nil {
+		return err
+	}
+	return g.Node.Unpublish(link)
+}
+
+// StartBootstrap begins pulling the member's key range from the old
+// owners: one change-feed replica per source (sources in old-map shard
+// order), each restricted by Filter to the keys this member owns AND that
+// source owned under the old map — the ranges stay disjoint, so several
+// tails share one registry without clobbering each other, and
+// delete-reconciliation cannot touch another source's keys. The tails run
+// until ctx is canceled or SetAssignment cuts them over.
+func (m *Member) StartBootstrap(ctx context.Context, sources []string, longPoll time.Duration, hc *http.Client) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tctx, cancel := context.WithCancel(ctx)
+	m.cancelTails = cancel
+	wg := &sync.WaitGroup{}
+	m.tailsDone = wg
+	oldTotal := len(sources)
+	for i, src := range sources {
+		i := i
+		rep := changefeed.New(changefeed.Config{
+			Primary:      src,
+			Registry:     m.reg,
+			HTTP:         hc,
+			LongPollWait: longPoll,
+			Filter: func(key string) bool {
+				return m.Owns(key) && Owner(key, oldTotal) == i
+			},
+		})
+		m.boot = append(m.boot, rep)
+		wg.Add(1)
+		go func(src string) {
+			defer wg.Done()
+			m.logger.Info("shard bootstrap tail starting", "source", src, "slice", i, "of", oldTotal)
+			_ = rep.Run(tctx)
+			m.logger.Info("shard bootstrap tail stopped", "source", src)
+		}(src)
+	}
+}
+
+// Ready reports whether the member can serve its full key range: true
+// when no bootstrap is running, otherwise only once every source tail has
+// applied its snapshot and is tailing the feed.
+func (m *Member) Ready() bool {
+	m.mu.Lock()
+	boot := m.boot
+	m.mu.Unlock()
+	for _, rep := range boot {
+		if !rep.Ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// SetAssignment installs a new assignment: any bootstrap tails are
+// stopped and drained FIRST (so an old owner's post-cutover prunes cannot
+// ride the feed into this shard as deletions of just-moved keys), then
+// keys outside the new range are pruned. Returns how many tuples were
+// pruned.
+func (m *Member) SetAssignment(a Assignment) int {
+	m.mu.Lock()
+	cancel, done := m.cancelTails, m.tailsDone
+	m.cancelTails, m.tailsDone, m.boot = nil, nil, nil
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		done.Wait()
+	}
+	m.mu.Lock()
+	old := m.asgn
+	m.asgn = a
+	m.mu.Unlock()
+	n := m.reg.PruneLinks(a.Owns)
+	if m.pruned != nil {
+		m.pruned.Add(int64(n))
+	}
+	m.logger.Info("shard assignment cutover", "from", old.String(), "to", a.String(), "pruned", n)
+	return n
+}
+
+// Mount installs the shard administration endpoints on mux: GET
+// PathShardStatus for the assignment/bootstrap state, POST
+// PathShardCutover?of=K/N for the rebalance cutover barrier's per-shard
+// step.
+func (m *Member) Mount(mux *http.ServeMux) {
+	mux.HandleFunc(PathShardStatus, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		a := m.Assignment()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"shard":   a.String(),
+			"sharded": a.Sharded(),
+			"ready":   m.Ready(),
+			"tuples":  m.reg.Len(),
+		})
+	})
+	mux.HandleFunc(PathShardCutover, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		a, err := ParseAssignment(r.URL.Query().Get("of"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := m.SetAssignment(a)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"pruned": n})
+	})
+}

@@ -1,0 +1,223 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"wsda/internal/changefeed"
+	"wsda/internal/registry"
+	"wsda/internal/wsda"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// feedServer mounts a change-feed server for reg on an httptest server.
+func feedServer(t *testing.T, reg *registry.Registry) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	changefeed.NewServer(reg).Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func sortedLinks(reg *registry.Registry) []string {
+	links := reg.LiveLinks()
+	sort.Strings(links)
+	return links
+}
+
+// TestMemberBootstrapPullsExactlyItsRange is the N→N+1 rebalance core: a
+// joining shard 2/3 bootstraps from the two old owners (0/2 and 1/2) over
+// their change feeds and ends up holding EXACTLY the keys the new map
+// assigns it — each source's tail is filtered to a disjoint slice, so
+// neither bootstrap's delete-reconciliation clobbers the other's tuples.
+func TestMemberBootstrapPullsExactlyItsRange(t *testing.T) {
+	old := []*registry.Registry{newReg("old0"), newReg("old1")}
+	var all []string
+	for i := 0; i < 120; i++ {
+		link := fmt.Sprintf("http://node-%03d.example.org/wsda/presenter", i)
+		all = append(all, link)
+		if _, err := old[Owner(link, 2)].Publish(testTuple(link), time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv0, srv1 := feedServer(t, old[0]), feedServer(t, old[1])
+
+	joining := newReg("new2")
+	newAsgn := Assignment{Index: 2, Total: 3}
+	m := NewMember(joining, newAsgn, nil, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.StartBootstrap(ctx, []string{srv0.URL, srv1.URL}, 50*time.Millisecond, nil)
+	waitFor(t, "bootstrap ready", m.Ready)
+
+	var want []string
+	for _, l := range all {
+		if newAsgn.Owns(l) {
+			want = append(want, l)
+		}
+	}
+	sort.Strings(want)
+	waitFor(t, "joining shard to hold its range", func() bool {
+		return joining.Len() == len(want)
+	})
+	got := sortedLinks(joining)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("joining shard link %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// Tails are live: a mutation on an old owner inside the range flows in.
+	var moving string
+	for i := 1000; ; i++ {
+		l := fmt.Sprintf("urn:late:%d", i)
+		if newAsgn.Owns(l) {
+			moving = l
+			break
+		}
+	}
+	if _, err := old[Owner(moving, 2)].Publish(testTuple(moving), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "live tail to apply the late publish", func() bool {
+		_, ok := joining.Get(moving)
+		return ok
+	})
+
+	// Cutover: the joining shard stops its tails first, then the old
+	// owners prune. No key is lost and no key lives on two shards.
+	if pruned := m.SetAssignment(newAsgn); pruned != 0 {
+		t.Fatalf("cutover on the joining shard pruned %d of its own keys", pruned)
+	}
+	prunedTotal := 0
+	prunedTotal += old[0].PruneLinks(Assignment{Index: 0, Total: 3}.Owns)
+	prunedTotal += old[1].PruneLinks(Assignment{Index: 1, Total: 3}.Owns)
+	if prunedTotal == 0 {
+		t.Fatal("old owners pruned nothing at cutover; keys should have moved")
+	}
+
+	counts := make(map[string]int)
+	for _, reg := range []*registry.Registry{old[0], old[1], joining} {
+		for _, l := range reg.LiveLinks() {
+			counts[l]++
+		}
+	}
+	for _, l := range append(append([]string{}, all...), moving) {
+		if counts[l] != 1 {
+			t.Fatalf("after cutover %q lives on %d shards, want exactly 1", l, counts[l])
+		}
+	}
+	if len(counts) != len(all)+1 {
+		t.Fatalf("after cutover %d distinct keys, want %d", len(counts), len(all)+1)
+	}
+}
+
+// TestRouterCutoverBarrier runs the full N→N+1 through the Router: no
+// query observes a tuple twice or not at all across the cutover, and the
+// new map serves the same key set.
+func TestRouterCutoverBarrier(t *testing.T) {
+	const keys = 90
+	regs := []*registry.Registry{newReg("shard0"), newReg("shard1")}
+	members := []*Member{
+		NewMember(regs[0], Assignment{0, 2}, nil, nil),
+		NewMember(regs[1], Assignment{1, 2}, nil, nil),
+	}
+	backends := []Backend{
+		&LocalBackend{Label: "shard0", Reg: regs[0], Member: members[0]},
+		&LocalBackend{Label: "shard1", Reg: regs[1], Member: members[1]},
+	}
+	rt := NewRouter(Config{Backends: backends})
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	publishVia(t, srv.URL, keys)
+
+	// The joining shard bootstraps its slice from both old owners.
+	srv0, srv1 := feedServer(t, regs[0]), feedServer(t, regs[1])
+	joinReg := newReg("shard2")
+	joinMember := NewMember(joinReg, Assignment{2, 3}, nil, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	joinMember.StartBootstrap(ctx, []string{srv0.URL, srv1.URL}, 50*time.Millisecond, nil)
+	wantJoin := 0
+	for i := 0; i < keys; i++ {
+		if (Assignment{2, 3}).Owns(fmt.Sprintf("http://node-%03d.example.org/wsda/presenter", i)) {
+			wantJoin++
+		}
+	}
+	waitFor(t, "joining shard bootstrap", func() bool {
+		return joinMember.Ready() && joinReg.Len() == wantJoin
+	})
+
+	// Queries during the pre-cutover window still see exactly the old map.
+	got, sum, _ := streamQuery(t, srv.URL, `/tupleset/tuple[@type="service"]`, "")
+	if len(got) != keys || !sum.Complete {
+		t.Fatalf("pre-cutover query = %d items complete=%v, want %d complete", len(got), sum.Complete, keys)
+	}
+
+	newBackends := append(append([]Backend{}, backends...),
+		&LocalBackend{Label: "shard2", Reg: joinReg, Member: joinMember})
+	pruned, err := rt.CutoverTo(context.Background(), newBackends)
+	if err != nil {
+		t.Fatalf("cutover: %v", err)
+	}
+	if pruned["shard2"] != 0 {
+		t.Fatalf("joining shard pruned %d of its own keys", pruned["shard2"])
+	}
+	if pruned["shard0"]+pruned["shard1"] != wantJoin {
+		t.Fatalf("old owners pruned %d keys, want the %d that moved", pruned["shard0"]+pruned["shard1"], wantJoin)
+	}
+
+	// Post-cutover: same key set, each key exactly once, served by 3 shards.
+	got, sum, hdr := streamQuery(t, srv.URL, `/tupleset/tuple[@type="service"]`, "")
+	if len(got) != keys || !sum.Complete {
+		t.Fatalf("post-cutover query = %d items complete=%v, want %d complete", len(got), sum.Complete, keys)
+	}
+	seen := make(map[string]bool)
+	for _, l := range got {
+		if seen[l] {
+			t.Fatalf("post-cutover query observed %q twice", l)
+		}
+		seen[l] = true
+	}
+	if sum.NodesContacted != 3 {
+		t.Fatalf("post-cutover fan-out = %d, want 3", sum.NodesContacted)
+	}
+	if hdr.Get(HeaderRoute) != "scatter=3" {
+		t.Fatalf("route header = %q", hdr.Get(HeaderRoute))
+	}
+
+	// Writes route by the NEW map: a key the joining shard owns lands there.
+	var joinLink string
+	for i := keys; ; i++ {
+		l := fmt.Sprintf("http://node-%03d.example.org/wsda/presenter", i)
+		if (Assignment{2, 3}).Owns(l) {
+			joinLink = l
+			break
+		}
+	}
+	before := joinReg.Len()
+	c := wsda.NewClient(srv.URL)
+	if _, err := c.Publish(testTuple(joinLink), time.Hour); err != nil {
+		t.Fatalf("post-cutover publish: %v", err)
+	}
+	if joinReg.Len() != before+1 {
+		t.Fatal("post-cutover publish did not land on the joining shard")
+	}
+}

@@ -1,0 +1,468 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/tuple"
+	"wsda/internal/wsda"
+	"wsda/internal/xmldoc"
+	"wsda/internal/xq"
+)
+
+func newReg(name string) *registry.Registry {
+	return registry.New(registry.Config{Name: name})
+}
+
+func testTuple(link string) *tuple.Tuple {
+	return &tuple.Tuple{Link: link, Type: "service", Context: "child"}
+}
+
+// newLocalRouter builds a router over n in-process shards, returning the
+// router and the per-shard registries.
+func newLocalRouter(t *testing.T, n int) (*Router, []*registry.Registry) {
+	t.Helper()
+	regs := make([]*registry.Registry, n)
+	backends := make([]Backend, n)
+	for i := range regs {
+		regs[i] = newReg(fmt.Sprintf("shard%d", i))
+		backends[i] = &LocalBackend{
+			Label:  fmt.Sprintf("shard%d", i),
+			Reg:    regs[i],
+			Member: NewMember(regs[i], Assignment{Index: i, Total: n}, nil, nil),
+		}
+	}
+	return NewRouter(Config{Backends: backends}), regs
+}
+
+// publishVia publishes count tuples through the router's HTTP surface and
+// returns their links.
+func publishVia(t *testing.T, baseURL string, count int) []string {
+	t.Helper()
+	c := wsda.NewClient(baseURL)
+	links := make([]string, count)
+	for i := range links {
+		links[i] = fmt.Sprintf("http://node-%03d.example.org/wsda/presenter", i)
+		if _, err := c.Publish(testTuple(links[i]), time.Hour); err != nil {
+			t.Fatalf("publish %s: %v", links[i], err)
+		}
+	}
+	return links
+}
+
+// streamQuery POSTs a streamed xquery at the router and decodes the
+// response, returning the delivered item links (for tuple items), the
+// summary, and the response headers.
+func streamQuery(t *testing.T, baseURL, query string, params string) ([]string, *wsda.StreamSummary, http.Header) {
+	t.Helper()
+	url := baseURL + wsda.PathXQuery + "?stream=true" + params
+	resp, err := http.Post(url, "text/xml", strings.NewReader(query))
+	if err != nil {
+		t.Fatalf("xquery: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("xquery status %d", resp.StatusCode)
+	}
+	var links []string
+	sum, err := wsda.DecodeStream(resp.Body, func(it xq.Item) bool {
+		if n, ok := it.(*xmldoc.Node); ok {
+			if l, ok := n.Attr("link"); ok {
+				links = append(links, l)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("decode stream: %v", err)
+	}
+	return links, sum, resp.Header
+}
+
+func TestRouterPublishRoutesToOwner(t *testing.T) {
+	rt, regs := newLocalRouter(t, 3)
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	links := publishVia(t, srv.URL, 60)
+	total := 0
+	for i, reg := range regs {
+		n := reg.Len()
+		total += n
+		for _, l := range reg.LiveLinks() {
+			if Owner(l, 3) != i {
+				t.Fatalf("shard %d holds %q owned by shard %d", i, l, Owner(l, 3))
+			}
+		}
+		if n == 0 {
+			t.Fatalf("shard %d received no tuples out of %d", i, len(links))
+		}
+	}
+	if total != len(links) {
+		t.Fatalf("shards hold %d tuples, want %d", total, len(links))
+	}
+
+	// Unpublish routes by the same function.
+	c := wsda.NewClient(srv.URL)
+	if err := c.Unpublish(links[0]); err != nil {
+		t.Fatalf("unpublish: %v", err)
+	}
+	if total := regs[0].Len() + regs[1].Len() + regs[2].Len(); total != len(links)-1 {
+		t.Fatalf("after unpublish shards hold %d, want %d", total, len(links)-1)
+	}
+}
+
+func TestRouterScatterGatherStreamed(t *testing.T) {
+	rt, _ := newLocalRouter(t, 3)
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	links := publishVia(t, srv.URL, 45)
+
+	got, sum, hdr := streamQuery(t, srv.URL, `/tupleset/tuple[@type="service"]`, "")
+	if len(got) != len(links) {
+		t.Fatalf("streamed %d items, want %d", len(got), len(links))
+	}
+	seen := make(map[string]bool)
+	for _, l := range got {
+		if seen[l] {
+			t.Fatalf("duplicate item %q in merged stream", l)
+		}
+		seen[l] = true
+	}
+	if !sum.Complete {
+		t.Fatalf("summary incomplete: %+v", sum)
+	}
+	if sum.NodesContacted != 3 || sum.NodesResponded != 3 {
+		t.Fatalf("fan-out accounting = %d/%d, want 3/3", sum.NodesResponded, sum.NodesContacted)
+	}
+	if hdr.Get(HeaderRoute) != "scatter=3" {
+		t.Fatalf("route header = %q", hdr.Get(HeaderRoute))
+	}
+	if hdr.Get(wsda.HeaderPlan) == "" {
+		t.Fatal("plan header did not survive the hop")
+	}
+	if sum.TxID == "" {
+		t.Fatal("summary carries no router transaction ID")
+	}
+}
+
+// countingBackend counts QueryStream dispatches, to prove single-shard
+// routing really skips the other shards.
+type countingBackend struct {
+	Backend
+	calls int
+}
+
+func (c *countingBackend) QueryStream(ctx context.Context, spec QuerySpec, onPlan func(string), onItem func(xq.Item) bool) (*wsda.StreamSummary, error) {
+	c.calls++
+	return c.Backend.QueryStream(ctx, spec, onPlan, onItem)
+}
+
+func TestRouterSingleShardRoute(t *testing.T) {
+	regs := make([]*registry.Registry, 4)
+	counters := make([]*countingBackend, 4)
+	backends := make([]Backend, 4)
+	for i := range regs {
+		regs[i] = newReg(fmt.Sprintf("shard%d", i))
+		counters[i] = &countingBackend{Backend: &LocalBackend{Label: fmt.Sprintf("shard%d", i), Reg: regs[i]}}
+		backends[i] = counters[i]
+	}
+	rt := NewRouter(Config{Backends: backends})
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	link := "http://node-042.example.org/wsda/presenter"
+	owner := Owner(link, 4)
+	if _, err := regs[owner].Publish(testTuple(link), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	got, sum, hdr := streamQuery(t, srv.URL, fmt.Sprintf(`/tupleset/tuple[@link=%q]`, link), "")
+	if len(got) != 1 || got[0] != link {
+		t.Fatalf("got %v, want [%s]", got, link)
+	}
+	if want := fmt.Sprintf("shard=%d/4", owner); hdr.Get(HeaderRoute) != want {
+		t.Fatalf("route header = %q, want %q", hdr.Get(HeaderRoute), want)
+	}
+	if sum.NodesContacted != 1 {
+		t.Fatalf("contacted %d shards, want 1", sum.NodesContacted)
+	}
+	for i, c := range counters {
+		want := 0
+		if i == owner {
+			want = 1
+		}
+		if c.calls != want {
+			t.Fatalf("shard %d queried %d times, want %d", i, c.calls, want)
+		}
+	}
+}
+
+func TestRouterMaxResultsCancelsFanOut(t *testing.T) {
+	rt, _ := newLocalRouter(t, 3)
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	publishVia(t, srv.URL, 60)
+
+	got, sum, _ := streamQuery(t, srv.URL, `/tupleset/tuple[@type="service"]`, "&max-results=7")
+	if len(got) != 7 {
+		t.Fatalf("streamed %d items, want exactly 7", len(got))
+	}
+	if sum.Complete {
+		t.Fatal("truncated stream must report complete=false")
+	}
+	if sum.Shortfall != "" {
+		t.Fatalf("router-initiated truncation is not a shard failure, shortfall = %q", sum.Shortfall)
+	}
+}
+
+// failingBackend errors on every query — a dead shard.
+type failingBackend struct {
+	Backend
+}
+
+func (f *failingBackend) QueryStream(context.Context, QuerySpec, func(string), func(xq.Item) bool) (*wsda.StreamSummary, error) {
+	return nil, errors.New("connection refused")
+}
+
+func (f *failingBackend) Healthy(context.Context) error { return errors.New("connection refused") }
+func (f *failingBackend) Ready(context.Context) error   { return errors.New("connection refused") }
+
+func TestRouterDeadShardYieldsPartialNot5xx(t *testing.T) {
+	regs := make([]*registry.Registry, 3)
+	backends := make([]Backend, 3)
+	for i := range regs {
+		regs[i] = newReg(fmt.Sprintf("shard%d", i))
+		backends[i] = &LocalBackend{Label: fmt.Sprintf("shard%d", i), Reg: regs[i]}
+	}
+	alive := 0
+	for i := 0; i < 90; i++ {
+		link := fmt.Sprintf("http://node-%03d.example.org/wsda/presenter", i)
+		owner := Owner(link, 3)
+		if _, err := regs[owner].Publish(testTuple(link), time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		if owner != 1 {
+			alive++
+		}
+	}
+	backends[1] = &failingBackend{Backend: backends[1]}
+	rt := NewRouter(Config{Backends: backends})
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	got, sum, _ := streamQuery(t, srv.URL, `/tupleset/tuple[@type="service"]`, "")
+	if len(got) != alive {
+		t.Fatalf("streamed %d items, want the %d from live shards", len(got), alive)
+	}
+	if sum.Complete {
+		t.Fatal("a dead shard must yield complete=false")
+	}
+	if !strings.Contains(sum.Shortfall, "shard1") {
+		t.Fatalf("shortfall %q does not name the dead shard", sum.Shortfall)
+	}
+	if sum.NodesContacted != 3 || sum.NodesResponded != 2 {
+		t.Fatalf("fan-out accounting = %d/%d, want 2/3", sum.NodesResponded, sum.NodesContacted)
+	}
+}
+
+func TestRouterAllShardsDeadIs502(t *testing.T) {
+	backends := []Backend{
+		&failingBackend{Backend: &LocalBackend{Label: "shard0", Reg: newReg("shard0")}},
+		&failingBackend{Backend: &LocalBackend{Label: "shard1", Reg: newReg("shard1")}},
+	}
+	rt := NewRouter(Config{Backends: backends})
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+wsda.PathXQuery+"?stream=true", "text/xml",
+		strings.NewReader(`/tupleset/tuple[@type="service"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502 when every shard fails before streaming", resp.StatusCode)
+	}
+}
+
+func TestRouterBufferedQueryCarriesAccounting(t *testing.T) {
+	rt, _ := newLocalRouter(t, 2)
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	links := publishVia(t, srv.URL, 20)
+
+	resp, err := http.Post(srv.URL+wsda.PathXQuery, "text/xml",
+		strings.NewReader(`/tupleset/tuple[@type="service"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	doc, err := xmldoc.Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.DocumentElement()
+	if root == nil || root.LocalName() != "results" {
+		t.Fatal("expected <results>")
+	}
+	if v, _ := root.Attr("count"); v != fmt.Sprint(len(links)) {
+		t.Fatalf("count = %q, want %d", v, len(links))
+	}
+	if v, _ := root.Attr("complete"); v != "true" {
+		t.Fatalf("complete = %q", v)
+	}
+	if v, _ := root.Attr("nodes-contacted"); v != "2" {
+		t.Fatalf("nodes-contacted = %q", v)
+	}
+	if v, _ := root.Attr("tx"); v == "" {
+		t.Fatal("buffered results carry no tx")
+	}
+}
+
+func TestRouterMinQueryMergesSorted(t *testing.T) {
+	rt, _ := newLocalRouter(t, 3)
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	links := publishVia(t, srv.URL, 30)
+
+	c := wsda.NewClient(srv.URL)
+	tuples, err := c.MinQuery(registry.Filter{Type: "service"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != len(links) {
+		t.Fatalf("minquery returned %d, want %d", len(tuples), len(links))
+	}
+	for i := 1; i < len(tuples); i++ {
+		if tuples[i-1].Link >= tuples[i].Link {
+			t.Fatalf("merged minquery not sorted at %d: %q >= %q", i, tuples[i-1].Link, tuples[i].Link)
+		}
+	}
+}
+
+func TestRouterHealthAggregation(t *testing.T) {
+	regs := make([]*registry.Registry, 3)
+	backends := make([]Backend, 3)
+	locals := make([]*LocalBackend, 3)
+	for i := range regs {
+		regs[i] = newReg(fmt.Sprintf("shard%d", i))
+		locals[i] = &LocalBackend{Label: fmt.Sprintf("shard%d", i), Reg: regs[i]}
+		backends[i] = locals[i]
+	}
+	rt := NewRouter(Config{Backends: backends})
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	check := func(path string, wantCode int) map[string]any {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("%s status = %d, want %d", path, resp.StatusCode, wantCode)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s body not JSON: %v", path, err)
+		}
+		return body
+	}
+
+	check("/healthz", http.StatusOK)
+	check("/readyz", http.StatusOK)
+
+	// A bootstrapping shard degrades readiness, classified as such.
+	locals[1].ReadyErr = fmt.Errorf("shard shard1: %w", ErrBootstrapping)
+	body := check("/readyz", http.StatusServiceUnavailable)
+	shards := body["shards"].([]any)
+	if len(shards) != 3 {
+		t.Fatalf("report has %d shards, want 3", len(shards))
+	}
+	row := shards[1].(map[string]any)
+	if row["status"] != "bootstrapping" {
+		t.Fatalf("shard1 status = %v, want bootstrapping", row["status"])
+	}
+	// Liveness is unaffected by a bootstrap in progress.
+	check("/healthz", http.StatusOK)
+
+	// An unreachable shard degrades both, named in the body.
+	backends[2] = &failingBackend{Backend: locals[2]}
+	rt2 := NewRouter(Config{Backends: backends})
+	srv2 := httptest.NewServer(rt2.Handler())
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with dead shard = %d, want 503", resp.StatusCode)
+	}
+	var rep struct {
+		Shards []ShardHealth `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards[2].Status != "unreachable" {
+		t.Fatalf("shard2 status = %q, want unreachable", rep.Shards[2].Status)
+	}
+}
+
+func TestRouterNeverRouteContactsNobody(t *testing.T) {
+	rt, _ := newLocalRouter(t, 3)
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	publishVia(t, srv.URL, 9)
+
+	got, sum, hdr := streamQuery(t, srv.URL, `/tupleset/tuple[@type="a"][@type="b"]`, "")
+	if len(got) != 0 {
+		t.Fatalf("statically empty query streamed %d items", len(got))
+	}
+	if !sum.Complete || sum.NodesContacted != 0 {
+		t.Fatalf("never-route summary = %+v, want complete with 0 contacted", sum)
+	}
+	if hdr.Get(HeaderRoute) != "never" {
+		t.Fatalf("route header = %q", hdr.Get(HeaderRoute))
+	}
+}
+
+func TestRouterPublishGuardRejectsMisdirected(t *testing.T) {
+	// A shard whose member thinks it owns a DIFFERENT slice than the
+	// router's map answers 421, which the router passes through untouched
+	// (the operator's signal that maps have diverged).
+	reg := newReg("shard0")
+	backends := []Backend{
+		&LocalBackend{Label: "shard0", Reg: reg, Member: NewMember(reg, Assignment{Index: 1, Total: 16}, nil, nil)},
+	}
+	rt := NewRouter(Config{Backends: backends})
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	c := wsda.NewClient(srv.URL)
+	var misdirected error
+	for i := 0; i < 64; i++ {
+		link := fmt.Sprintf("urn:probe:%d", i)
+		if Owner(link, 16) != 1 {
+			_, misdirected = c.Publish(testTuple(link), time.Hour)
+			break
+		}
+	}
+	var he *wsda.HTTPError
+	if !errors.As(misdirected, &he) || he.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("misdirected publish = %v, want HTTP 421", misdirected)
+	}
+	if he.Retryable() {
+		t.Fatal("421 must not be retryable")
+	}
+}

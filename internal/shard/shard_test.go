@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"wsda/internal/xq"
+)
+
+func TestOwnerDeterministicAndInRange(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		for i := 0; i < 200; i++ {
+			link := fmt.Sprintf("http://host%d.example.org/svc/wsda/presenter", i)
+			a, b := Owner(link, n), Owner(link, n)
+			if a != b {
+				t.Fatalf("Owner not deterministic for %q/%d: %d vs %d", link, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("Owner(%q, %d) = %d out of range", link, n, a)
+			}
+		}
+	}
+	if Owner("anything", 0) != 0 || Owner("anything", 1) != 0 {
+		t.Fatal("degenerate totals must map to shard 0")
+	}
+}
+
+func TestOwnerDistribution(t *testing.T) {
+	const n, links = 8, 8000
+	counts := make([]int, n)
+	for i := 0; i < links; i++ {
+		counts[Owner(fmt.Sprintf("http://node-%04d.cern.ch/wsda", i), n)]++
+	}
+	// FNV-1a over distinct URLs should land within a loose factor of the
+	// mean; a pathological split here would break the scale-out claim.
+	mean := links / n
+	for s, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("shard %d holds %d of %d links (mean %d): unbalanced hash", s, c, links, mean)
+		}
+	}
+}
+
+// TestOwnerMinimalMovement pins the rendezvous-hashing property the
+// rebalance protocol depends on: growing N→N+1 moves keys ONLY onto the
+// new shard, never between two old shards — so a joining shard can
+// bootstrap its slice from the old owners and the old owners can prune
+// that same slice, with no other key touched.
+func TestOwnerMinimalMovement(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		moved := 0
+		for i := 0; i < 2000; i++ {
+			link := fmt.Sprintf("http://node-%05d.example.org/wsda", i)
+			before, after := Owner(link, n), Owner(link, n+1)
+			if before != after {
+				moved++
+				if after != n {
+					t.Fatalf("growing %d→%d moved %q between old shards %d→%d", n, n+1, link, before, after)
+				}
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("growing %d→%d moved no keys; the new shard would stay empty", n, n+1)
+		}
+	}
+}
+
+func TestParseAssignment(t *testing.T) {
+	a, err := ParseAssignment("2/4")
+	if err != nil || a.Index != 2 || a.Total != 4 {
+		t.Fatalf("ParseAssignment(2/4) = %+v, %v", a, err)
+	}
+	if a.String() != "2/4" {
+		t.Fatalf("String() = %q", a.String())
+	}
+	for _, bad := range []string{"", "4/4", "-1/4", "1/0", "x/y", "3"} {
+		if _, err := ParseAssignment(bad); err == nil {
+			t.Fatalf("ParseAssignment(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAssignmentOwnsPartitions(t *testing.T) {
+	asgns := []Assignment{{0, 3}, {1, 3}, {2, 3}}
+	for i := 0; i < 500; i++ {
+		link := fmt.Sprintf("urn:svc:%d", i)
+		owners := 0
+		for _, a := range asgns {
+			if a.Owns(link) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("link %q owned by %d shards, want exactly 1", link, owners)
+		}
+	}
+	var unsharded Assignment
+	if !unsharded.Owns("anything") || unsharded.Sharded() {
+		t.Fatal("zero-value assignment must own everything")
+	}
+}
+
+func TestNotOwnedErrorStatus(t *testing.T) {
+	err := &NotOwnedError{Link: "urn:x", Assignment: Assignment{1, 4}, OwnedBy: 3}
+	if err.HTTPStatus() != 421 {
+		t.Fatalf("HTTPStatus = %d, want 421", err.HTTPStatus())
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func compile(t *testing.T, src string) *xq.Query {
+	t.Helper()
+	q, err := xq.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return q
+}
+
+func TestRouteQuery(t *testing.T) {
+	const total = 4
+	link := "http://cern.ch/replica-catalog-0000/wsda/presenter"
+
+	// Link equality pins the owning shard.
+	rt := RouteQuery(compile(t, fmt.Sprintf(`/tupleset/tuple[@link=%q]`, link)), "", total)
+	if !rt.Single || rt.Shard != Owner(link, total) || rt.Never {
+		t.Fatalf("link-equality route = %+v", rt)
+	}
+	if rt.Note(total) != fmt.Sprintf("shard=%d/%d", rt.Shard, total) {
+		t.Fatalf("Note = %q", rt.Note(total))
+	}
+
+	// A type equality scatters: every shard indexes type locally.
+	rt = RouteQuery(compile(t, `/tupleset/tuple[@type="service"]`), "", total)
+	if rt.Single || rt.Never {
+		t.Fatalf("type-equality route = %+v, want scatter", rt)
+	}
+	if rt.Note(total) != "scatter=4" {
+		t.Fatalf("Note = %q", rt.Note(total))
+	}
+
+	// A statically contradictory plan contacts nobody.
+	rt = RouteQuery(compile(t, `/tupleset/tuple[@type="a"][@type="b"]`), "", total)
+	if !rt.Never {
+		t.Fatalf("contradictory route = %+v, want Never", rt)
+	}
+
+	// A link equality outside the request's link-prefix filter is also
+	// statically empty.
+	rt = RouteQuery(compile(t, fmt.Sprintf(`/tupleset/tuple[@link=%q]`, link)), "urn:other:", total)
+	if !rt.Never {
+		t.Fatalf("prefix-contradicted route = %+v, want Never", rt)
+	}
+
+	// Unplannable queries scatter.
+	rt = RouteQuery(compile(t, `for $d in distinct-values(/tupleset/tuple/@type) return $d`), "", total)
+	if rt.Single || rt.Never {
+		t.Fatalf("unplannable route = %+v, want scatter", rt)
+	}
+}

@@ -351,6 +351,28 @@ func (s *Store[V]) Delete(key string) bool {
 	return ok
 }
 
+// DeleteIf removes every entry whose (key, value) the predicate selects,
+// under a single write lock, and returns how many were removed. Each
+// removal is journaled like an individual Delete, so change-feed tailers
+// observe the prunes as ordinary deletions. It is the bulk primitive
+// behind shard rebalancing: after a partition cutover the old owner drops
+// every tuple it no longer owns in one pass instead of one lease
+// acquisition per key.
+func (s *Store[V]) DeleteIf(pred func(key string, value V) bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k, e := range s.entries {
+		if pred(k, e.Value) {
+			s.idxRemove(e)
+			delete(s.entries, k)
+			s.bump(k)
+			n++
+		}
+	}
+	return n
+}
+
 // Live returns snapshot copies of all non-expired entries, in unspecified
 // order.
 func (s *Store[V]) Live() []Entry[V] {

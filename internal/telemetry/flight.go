@@ -72,6 +72,13 @@ const (
 	FlightStreamItem = "stream-item"
 	// FlightStreamClose marks the HTTP edge writing its summary trailer.
 	FlightStreamClose = "stream-close"
+	// FlightRouted marks a shard router dispatching work to a shard
+	// (peer = shard, note = "write", "single-shard" or "scatter").
+	FlightRouted = "routed"
+	// FlightShardError marks a shard failing mid-request on the router
+	// (peer = shard, note = error text) — the event behind a
+	// complete="false" merged stream.
+	FlightShardError = "shard-error"
 	// FlightSummaryKind is the closing accounting event written by Finish.
 	FlightSummaryKind = "summary"
 )

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"wsda/internal/pdp"
@@ -154,6 +155,13 @@ func NetQueryHandler(o *Originator, entry string, m *telemetry.Metrics, fr *tele
 			_ = sw.Close(wsda.StreamSummary{Complete: false, Elapsed: time.Since(start), Network: true})
 			return
 		}
+		// An incomplete answer names its shortfall (the downstream failure
+		// notes) so clients can report what is missing instead of just that
+		// something is.
+		shortfall := ""
+		if !rs.Complete && len(rs.Errs) > 0 {
+			shortfall = strings.Join(rs.Errs, "; ")
+		}
 		if sw != nil {
 			_ = sw.Close(wsda.StreamSummary{
 				TxID:     rs.TxID,
@@ -161,6 +169,7 @@ func NetQueryHandler(o *Originator, entry string, m *telemetry.Metrics, fr *tele
 				Aborted:  rs.Aborted,
 				Elapsed:  rs.Elapsed,
 				Network:  true, NodesContacted: rs.NodesContacted, NodesResponded: rs.NodesResponded,
+				Shortfall: shortfall,
 			})
 			return
 		}
@@ -171,6 +180,9 @@ func NetQueryHandler(o *Originator, entry string, m *telemetry.Metrics, fr *tele
 		res.SetAttr("nodes-contacted", strconv.Itoa(rs.NodesContacted))
 		res.SetAttr("nodes-responded", strconv.Itoa(rs.NodesResponded))
 		res.SetAttr("complete", strconv.FormatBool(rs.Complete))
+		if shortfall != "" {
+			res.SetAttr("shortfall", shortfall)
+		}
 		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 		fmt.Fprint(w, res.String())
 	}

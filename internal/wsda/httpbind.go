@@ -1,6 +1,7 @@
 package wsda
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -43,6 +44,25 @@ const HeaderPlan = "X-Wsda-Plan"
 // different (usually malformed) query.
 const MaxQueryBytes = 1 << 20
 
+// StatusCoder lets a Node error pick its own HTTP status instead of the
+// handler's default. The shard guard uses it to answer a publish for a key
+// this shard does not own with 421 Misdirected Request — a definitive,
+// non-retryable rejection telling the client to consult the partition map,
+// not to resend.
+type StatusCoder interface {
+	HTTPStatus() int
+}
+
+// errorStatus returns err's own HTTP status when it carries one (directly
+// or wrapped), the fallback otherwise.
+func errorStatus(err error, fallback int) int {
+	var sc StatusCoder
+	if errors.As(err, &sc) {
+		return sc.HTTPStatus()
+	}
+	return fallback
+}
+
 // Handler exposes a Node over the WSDA HTTP protocol binding. Register it
 // on any mux; all paths are absolute.
 func Handler(n Node) http.Handler { return HandlerWithMetrics(n, nil) }
@@ -51,6 +71,16 @@ func Handler(n Node) http.Handler { return HandlerWithMetrics(n, nil) }
 // streamed /wsda/xquery responses record the time from request start to
 // the first item in the wsda_http_first_item_seconds histogram.
 func HandlerWithMetrics(n Node, m *telemetry.Metrics) http.Handler {
+	return HandlerWithObservability(n, m, nil)
+}
+
+// HandlerWithObservability is HandlerWithMetrics plus flight correlation:
+// when fr is non-nil and a /wsda/xquery request carries a tx parameter
+// (minted by a router or another upstream), the local evaluation's flight
+// events — plan choice, view hits, streamed items — are recorded under
+// that transaction ID, so a routed query is explainable end-to-end by
+// asking each hop's /debug/query/<tx> for the same tx.
+func HandlerWithObservability(n Node, m *telemetry.Metrics, fr *telemetry.FlightRecorder) http.Handler {
 	var firstItem *telemetry.Histogram
 	if m != nil {
 		firstItem = m.HistogramVec(MetricFirstItemSeconds,
@@ -102,7 +132,7 @@ func HandlerWithMetrics(n Node, m *telemetry.Metrics) http.Handler {
 		}
 		granted, err := n.Publish(t, ttl)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err)
+			httpError(w, errorStatus(err, http.StatusUnprocessableEntity), err)
 			return
 		}
 		resp := xmldoc.NewElement("granted")
@@ -116,7 +146,7 @@ func HandlerWithMetrics(n Node, m *telemetry.Metrics) http.Handler {
 			return
 		}
 		if err := n.Unpublish(link); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, errorStatus(err, http.StatusInternalServerError), err)
 			return
 		}
 		writeXML(w, xmldoc.NewElement("ok"))
@@ -174,6 +204,9 @@ func HandlerWithMetrics(n Node, m *telemetry.Metrics) http.Handler {
 		if q.Get("pull-missing") == "true" {
 			opts.Freshness.PullMissing = true
 		}
+		// An upstream-minted transaction ID (tx parameter) threads this
+		// evaluation into the upstream's flight recording.
+		opts.TxID = q.Get("tx")
 		// Capture the chosen plan; local registries fill it before the
 		// first item is emitted, so the header can lead a streamed body.
 		var plan registry.PlanInfo
@@ -210,6 +243,9 @@ func HandlerWithMetrics(n Node, m *telemetry.Metrics) http.Handler {
 		var sw *StreamWriter
 		if q.Get("stream") == "true" {
 			sw = NewStreamWriter(w)
+			if fr != nil && opts.TxID != "" {
+				sw.SetFlight(fr, opts.TxID)
+			}
 		}
 		var collected xq.Sequence
 		count := 0
@@ -482,8 +518,8 @@ func (c *Client) MinQuery(f registry.Filter) ([]*tuple.Tuple, error) {
 	return out, nil
 }
 
-// xqueryParams renders the wire-crossing query options (Filter and
-// Freshness; Emit and Vars are local-only concepts) as URL parameters.
+// xqueryParams renders the wire-crossing query options (Filter, Freshness
+// and TxID; Emit and Vars are local-only concepts) as URL parameters.
 func xqueryParams(opts registry.QueryOptions) url.Values {
 	q := url.Values{}
 	if opts.Filter.Type != "" {
@@ -500,6 +536,9 @@ func xqueryParams(opts registry.QueryOptions) url.Values {
 	}
 	if opts.Freshness.PullMissing {
 		q.Set("pull-missing", "true")
+	}
+	if opts.TxID != "" {
+		q.Set("tx", opts.TxID)
 	}
 	return q
 }

@@ -31,6 +31,10 @@ type StreamSummary struct {
 	NodesResponded int           // nodes whose final answer arrived
 	Elapsed        time.Duration // server-side elapsed time
 	Network        bool          // network accounting attrs present/meaningful
+	// Shortfall names what a partial result is missing (e.g. the shards or
+	// peers that never answered), so an incomplete delivery is actionable
+	// rather than a bare complete="false". Empty when nothing is missing.
+	Shortfall string
 	// Plan is the server's X-Wsda-Plan header, filled client-side by
 	// postStream ("" when the server sent none). It never crosses the
 	// wire inside the <summary> trailer.
@@ -154,6 +158,9 @@ func (sw *StreamWriter) Close(sum StreamSummary) error {
 		el.SetAttr("nodes-contacted", strconv.Itoa(sum.NodesContacted))
 		el.SetAttr("nodes-responded", strconv.Itoa(sum.NodesResponded))
 	}
+	if sum.Shortfall != "" {
+		el.SetAttr("shortfall", sum.Shortfall)
+	}
 	if _, sw.err = io.WriteString(sw.w, el.String()+"</results>"); sw.err != nil {
 		return sw.err
 	}
@@ -276,6 +283,9 @@ func summaryFromElement(sum *StreamSummary, el *xmldoc.Node) {
 		if n, err := strconv.Atoi(v); err == nil {
 			sum.NodesResponded = n
 		}
+	}
+	if v, ok := el.Attr("shortfall"); ok {
+		sum.Shortfall = v
 	}
 }
 

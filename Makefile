@@ -1,6 +1,6 @@
 # Developer entry points. `make check` is the gate every change must pass:
 # formatting, vet, build, the docs gate (no undocumented exported
-# identifiers in internal/...), the full test suite under the race
+# identifiers or stale design-section references), the full test suite under the race
 # detector, and the telemetry no-op benchmark that keeps disabled
 # instrumentation free.
 
@@ -22,10 +22,12 @@ vet:
 build:
 	$(GO) build ./...
 
-# Docs gate: every exported identifier in internal/... needs a doc
-# comment, every package a package comment. See cmd/doclint.
+# Docs gate: every exported identifier (including interface methods) in
+# internal/... and cmd/... needs a doc comment, every package a package
+# comment, and every S<N> reference in a comment must exist in DESIGN.md's
+# inventory. See cmd/doclint.
 doclint:
-	$(GO) run ./cmd/doclint
+	$(GO) run ./cmd/doclint internal cmd
 
 test:
 	$(GO) test -race ./...

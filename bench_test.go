@@ -1,5 +1,5 @@
 // Benchmarks regenerating the evaluation's tables and figures (experiments
-// E1–E16, DESIGN.md) plus micro-benchmarks of the load-bearing components.
+// E1–E21, DESIGN.md) plus micro-benchmarks of the load-bearing components.
 // Each experiment benchmark runs a reduced-scale instance per iteration;
 // cmd/benchharness runs the full-scale versions and prints the tables.
 package wsda_test

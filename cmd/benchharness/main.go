@@ -1,5 +1,5 @@
 // Command benchharness regenerates every table and figure of the
-// evaluation (experiments E1–E20, see DESIGN.md) at full scale and prints
+// evaluation (experiments E1–E21, see DESIGN.md) at full scale and prints
 // them as aligned text tables. Use -quick for a fast smoke run and -only
 // to select individual experiments.
 //
@@ -161,6 +161,12 @@ func main() {
 				return experiments.E20ShardScaleOut([]int{1, 2, 4}, 50_000, 200)
 			}
 			return experiments.E20ShardScaleOut([]int{1, 2, 4, 8}, 1_000_000, 400)
+		}},
+		{"E21", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E21TenantOverload(16, 1200, 30)
+			}
+			return experiments.E21TenantOverload(24, 2500, 60)
 		}},
 	}
 

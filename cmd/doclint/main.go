@@ -6,14 +6,18 @@
 //
 // Usage:
 //
-//	doclint [-v] [dir ...]    # default: ./internal/...
+//	doclint [-v] [-design DESIGN.md] [dir ...]    # default: ./internal/...
 //
 // Rules:
 //   - every package must carry a package comment (conventionally doc.go)
-//   - every exported type, function, method, and exported struct field
-//     needs a doc comment
+//   - every exported type, function, method (including methods declared
+//     inside exported interface types), and exported struct field needs a
+//     doc comment
 //   - exported const/var declarations need a comment on the declaration
 //     group or the individual name
+//   - every S<N> design-section reference in a comment must name a section
+//     that exists in DESIGN.md's inventory table, so refactors that
+//     renumber or drop sections cannot leave dangling pointers in code
 //
 // Test files and generated files are skipped.
 package main
@@ -27,12 +31,14 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "list every scanned package")
+	design := flag.String("design", "DESIGN.md", "design doc whose S<N> inventory validates section references (\"\" disables)")
 	flag.Parse()
 	roots := flag.Args()
 	if len(roots) == 0 {
@@ -56,10 +62,16 @@ func main() {
 	}
 	sort.Strings(dirs)
 
+	sections, err := loadDesignSections(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+
 	var problems []string
 	scanned := 0
 	for _, dir := range dirs {
-		probs, ok, err := lintDir(dir)
+		probs, ok, err := lintDir(dir, sections)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "doclint:", err)
 			os.Exit(2)
@@ -77,7 +89,7 @@ func main() {
 		for _, p := range problems {
 			fmt.Println(p)
 		}
-		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifiers in %d packages\n",
+		fmt.Fprintf(os.Stderr, "doclint: %d documentation problems in %d packages\n",
 			len(problems), scanned)
 		os.Exit(1)
 	}
@@ -86,9 +98,36 @@ func main() {
 	}
 }
 
+// designSectionRow matches an inventory row like "| S29 | ..." in the
+// design doc, and sectionRef matches an S<N> reference in a Go comment.
+var (
+	designSectionRow = regexp.MustCompile(`(?m)^\|\s*(S[0-9]+)\s*\|`)
+	sectionRef       = regexp.MustCompile(`\bS[0-9]+\b`)
+)
+
+// loadDesignSections reads the design doc's S<N> inventory. A "" path
+// disables reference checking (nil map).
+func loadDesignSections(path string) (map[string]bool, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading -design: %w", err)
+	}
+	sections := map[string]bool{}
+	for _, m := range designSectionRow.FindAllStringSubmatch(string(data), -1) {
+		sections[m[1]] = true
+	}
+	if len(sections) == 0 {
+		return nil, fmt.Errorf("-design %s holds no | S<N> | inventory rows", path)
+	}
+	return sections, nil
+}
+
 // lintDir scans the non-test Go files of one directory. ok is false when
 // the directory holds no Go package.
-func lintDir(dir string) (problems []string, ok bool, err error) {
+func lintDir(dir string, sections map[string]bool) (problems []string, ok bool, err error) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
@@ -101,13 +140,13 @@ func lintDir(dir string) (problems []string, ok bool, err error) {
 			continue
 		}
 		ok = true
-		problems = append(problems, lintPackage(fset, dir, pkg)...)
+		problems = append(problems, lintPackage(fset, dir, pkg, sections)...)
 	}
 	return problems, ok, nil
 }
 
 // lintPackage applies the documentation rules to one parsed package.
-func lintPackage(fset *token.FileSet, dir string, pkg *ast.Package) []string {
+func lintPackage(fset *token.FileSet, dir string, pkg *ast.Package, sections map[string]bool) []string {
 	var problems []string
 	report := func(pos token.Pos, format string, args ...any) {
 		p := fset.Position(pos)
@@ -128,6 +167,17 @@ func lintPackage(fset *token.FileSet, dir string, pkg *ast.Package) []string {
 	for _, f := range pkg.Files {
 		if isGenerated(f) {
 			continue
+		}
+		if sections != nil {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, ref := range sectionRef.FindAllString(c.Text, -1) {
+						if !sections[ref] {
+							report(c.Pos(), "comment references design section %s, which is not in the DESIGN.md inventory", ref)
+						}
+					}
+				}
+			}
 		}
 		for _, decl := range f.Decls {
 			switch d := decl.(type) {
@@ -164,6 +214,15 @@ func lintGenDecl(report func(token.Pos, string, ...any), d *ast.GenDecl) {
 					for _, fn := range field.Names {
 						if fn.IsExported() && field.Doc == nil && field.Comment == nil {
 							report(field.Pos(), "exported field %s.%s is undocumented", s.Name.Name, fn.Name)
+						}
+					}
+				}
+			}
+			if it, isIface := s.Type.(*ast.InterfaceType); isIface {
+				for _, m := range it.Methods.List {
+					for _, mn := range m.Names {
+						if mn.IsExported() && m.Doc == nil && m.Comment == nil {
+							report(m.Pos(), "exported interface method %s.%s is undocumented", s.Name.Name, mn.Name)
 						}
 					}
 				}

@@ -30,6 +30,16 @@
 //	curl 'http://localhost:8080/wsda/minquery?type=service'
 //	curl -X POST --data 'count(/tupleset/tuple)' http://localhost:8080/wsda/xquery
 //
+// With -tenants=FILE the whole WSDA surface (including the change feed)
+// requires a bearer token from the tenants file, per-tenant token-bucket
+// and concurrency quotas apply, and saturating load is shed by priority
+// (429 + Retry-After; see OPERATIONS.md §7). Probes and scrapers —
+// /healthz, /readyz, /metrics, /slo — always bypass the gate. A replica
+// or joining shard of a gated node authenticates with -peer-token:
+//
+//	registryd -addr :8080 -tenants tenants.conf
+//	registryd -addr :8081 -replica-of http://localhost:8080 -peer-token SECRET
+//
 // Observability endpoints (unless -telemetry=false):
 //
 //	curl http://localhost:8080/metrics            # Prometheus text format
@@ -67,6 +77,7 @@ import (
 	"wsda/internal/shard"
 	"wsda/internal/softstate"
 	"wsda/internal/telemetry"
+	"wsda/internal/tenant"
 	"wsda/internal/wlog"
 	"wsda/internal/workload"
 	"wsda/internal/wsda"
@@ -91,6 +102,10 @@ func main() {
 
 		shardOf        = flag.String("shard-of", "", "serve one partition of a sharded tuple space, as K/N (e.g. 2/4); publishes for keys outside the slice are rejected with 421")
 		shardBootstrap = flag.String("shard-bootstrap", "", "comma-separated base URLs of the old owners (in old-map shard order) to bootstrap this shard's key range from over their change feeds")
+
+		tenantsFile = flag.String("tenants", "", "enable the multi-tenant gate: bearer auth, quotas and load shedding from this tenants file (see OPERATIONS.md §7)")
+		admitMax    = flag.Int("admit-max", tenant.DefaultCapacity, "global in-flight admission slots behind -tenants; browse work sheds at 50%, queries at 90%")
+		peerToken   = flag.String("peer-token", "", "bearer token this node presents to its -replica-of primary and -shard-bootstrap sources when they run behind a tenant gate")
 
 		telemetryOn = flag.Bool("telemetry", true, "collect metrics and traces, serve /metrics and /debug endpoints")
 		traceCap    = flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "completed spans retained for /debug/traces")
@@ -158,6 +173,14 @@ func main() {
 		logger.Info("seeded synthetic services", "count", *seed)
 	}
 
+	// Outbound feed/bootstrap requests authenticate with -peer-token when
+	// the upstream runs behind a tenant gate (nil client = changefeed's
+	// own long-poll-sized default, so only build one when a token exists).
+	var peerHTTP *http.Client
+	if *peerToken != "" {
+		peerHTTP = tenant.WithToken(&http.Client{Timeout: *longPoll + 15*time.Second}, *peerToken)
+	}
+
 	replCtx, stopRepl := context.WithCancel(context.Background())
 	defer stopRepl()
 	var rep *changefeed.Replica
@@ -166,6 +189,7 @@ func main() {
 			Primary:      *replicaOf,
 			Registry:     reg,
 			LongPollWait: *longPoll,
+			HTTP:         peerHTTP,
 			Metrics:      metrics,
 		})
 		go rep.Run(replCtx) //nolint:errcheck
@@ -214,7 +238,7 @@ func main() {
 					sources = append(sources, s)
 				}
 			}
-			member.StartBootstrap(replCtx, sources, *longPoll, nil)
+			member.StartBootstrap(replCtx, sources, *longPoll, peerHTTP)
 			logger.Info("shard bootstrapping its key range", "shard", asgn.String(), "sources", len(sources))
 		}
 		logger.Info("serving one shard of the tuple space", "shard", asgn.String())
@@ -302,9 +326,30 @@ func main() {
 		fmt.Fprintln(w, "ready")
 	})
 
+	// The tenant gate wraps the whole mux — the full WSDA surface plus
+	// the change feed and debug endpoints — so nothing is reachable
+	// without a token except the bypassed probe/scrape paths.
+	handler := http.Handler(mux)
+	if *tenantsFile != "" {
+		set, err := tenant.LoadFile(*tenantsFile)
+		if err != nil {
+			logger.Error("loading -tenants failed", "err", err)
+			os.Exit(1)
+		}
+		handler = tenant.NewGate(tenant.Config{
+			Set:      set,
+			Capacity: *admitMax,
+			Node:     *name,
+			Metrics:  metrics,
+			Flight:   flight,
+			Log:      wlog.WithComponent(logger, "tenant"),
+		}).Wrap(mux)
+		logger.Info("multi-tenant gate enabled", "tenants", set.Len(), "admit-max", *admitMax)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,

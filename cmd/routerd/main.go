@@ -25,6 +25,13 @@
 // /debug/query/<tx> (the router mints one transaction ID per query and
 // forwards it to every shard, so the same tx is explainable on each hop),
 // and /slo.
+//
+// With -tenants=FILE the router becomes the multi-tenant edge: bearer
+// auth, per-tenant quotas and priority load shedding apply in front of
+// the whole routed surface (see OPERATIONS.md §7), with /healthz,
+// /readyz, /metrics and /slo bypassed for probes and scrapers. When the
+// shards themselves are gated, -peer-token is the token the router
+// presents to them.
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 
 	"wsda/internal/shard"
 	"wsda/internal/telemetry"
+	"wsda/internal/tenant"
 	"wsda/internal/wlog"
 	"wsda/internal/wsda"
 )
@@ -55,6 +63,10 @@ func main() {
 
 		peerTimeout   = flag.Duration("peer-timeout", 30*time.Second, "per-shard HTTP client timeout for writes and probes (streamed queries are bounded by the client, not this)")
 		healthTimeout = flag.Duration("health-timeout", 2*time.Second, "per-shard health/readiness probe budget")
+
+		tenantsFile = flag.String("tenants", "", "enable the multi-tenant gate: bearer auth, quotas and load shedding from this tenants file (see OPERATIONS.md §7)")
+		admitMax    = flag.Int("admit-max", tenant.DefaultCapacity, "global in-flight admission slots behind -tenants; browse work sheds at 50%, queries at 90%")
+		peerToken   = flag.String("peer-token", "", "bearer token the router presents to shards that run behind their own tenant gate")
 
 		telemetryOn = flag.Bool("telemetry", true, "collect metrics, serve /metrics and /debug endpoints")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
@@ -114,7 +126,7 @@ func main() {
 		Op(wsda.IfaceXQuery, "query", base+wsda.PathXQuery).
 		Build()
 
-	hc := &http.Client{Timeout: *peerTimeout}
+	hc := tenant.WithToken(&http.Client{Timeout: *peerTimeout}, *peerToken)
 	backends := make([]shard.Backend, len(peerList))
 	for i, p := range peerList {
 		backends[i] = shard.NewHTTPBackend(p, hc)
@@ -139,12 +151,33 @@ func main() {
 		mountPprof(mux)
 	}
 
+	// The tenant gate makes the router the multi-tenant edge: the whole
+	// routed surface sits behind auth/quotas/shedding, probe and scrape
+	// paths excepted.
+	handler := http.Handler(mux)
+	if *tenantsFile != "" {
+		set, err := tenant.LoadFile(*tenantsFile)
+		if err != nil {
+			logger.Error("loading -tenants failed", "err", err)
+			os.Exit(1)
+		}
+		handler = tenant.NewGate(tenant.Config{
+			Set:      set,
+			Capacity: *admitMax,
+			Node:     *name,
+			Metrics:  metrics,
+			Flight:   flight,
+			Log:      wlog.WithComponent(logger, "tenant"),
+		}).Wrap(mux)
+		logger.Info("multi-tenant gate enabled", "tenants", set.Len(), "admit-max", *admitMax)
+	}
+
 	// NOTE: no ReadTimeout — streamed scatter-gather responses may
 	// legitimately outlive any fixed read window; ReadHeaderTimeout guards
 	// the accept path instead.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		IdleTimeout:       *idleTimeout,
 	}

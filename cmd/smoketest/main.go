@@ -5,9 +5,12 @@
 // shards (-shard-of=0/2 and 1/2) behind a routerd — and verifies a routed
 // publish→query round-trip lands on both shards, router health aggregates
 // to 200, and killing one shard degrades /healthz to 503 with a per-shard
-// JSON body. It exercises the actual binaries and the actual HTTP muxes —
-// the wiring a unit test can't see — and exits non-zero on any probe
-// failure.
+// JSON body. Finally it boots a registryd behind a -tenants gate and walks
+// the auth matrix: probe endpoints answer without credentials, /wsda paths
+// return 401 without or with a bad token and 200 with a valid one, and a
+// rate-limited tenant is throttled with 429 + Retry-After. It exercises
+// the actual binaries and the actual HTTP muxes — the wiring a unit test
+// can't see — and exits non-zero on any probe failure.
 //
 //	go run ./cmd/smoketest
 package main
@@ -31,7 +34,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smoketest:", err)
 		os.Exit(1)
 	}
-	fmt.Println("smoketest: ok (/healthz, /readyz, /slo, sharded topology)")
+	fmt.Println("smoketest: ok (/healthz, /readyz, /slo, sharded topology, tenant gate)")
 }
 
 func run() error {
@@ -98,7 +101,100 @@ func run() error {
 	}
 	fmt.Printf("smoketest: /slo -> %d objectives\n", len(slo.Objectives))
 
-	return runSharded(dir, bin)
+	if err := runSharded(dir, bin); err != nil {
+		return err
+	}
+	return runTenanted(dir, bin)
+}
+
+// runTenanted boots a registryd behind a -tenants gate and checks the
+// auth matrix: probes bypass, 401 without/with a bad token, 200 with a
+// valid one, and 429 + Retry-After once a tenant's rate quota is spent.
+func runTenanted(dir, bin string) error {
+	tenants := filepath.Join(dir, "tenants.conf")
+	conf := "# smoketest tenants\nalice token=sesame\nslow token=drip rate=1 burst=1\n"
+	if err := os.WriteFile(tenants, []byte(conf), 0o600); err != nil {
+		return err
+	}
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	stop, err := startDaemon(bin, "-addr", addr, "-seed-services", "5", "-tenants", tenants)
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	// The liveness poll itself proves /healthz bypasses authentication.
+	base := "http://" + addr
+	if err := waitHealthy(base+"/healthz", 10*time.Second); err != nil {
+		return fmt.Errorf("authed registryd: %w", err)
+	}
+	for _, p := range []string{"/readyz", "/metrics", "/slo"} {
+		if _, err := get(base + p); err != nil {
+			return fmt.Errorf("probe %s must bypass the tenant gate: %w", p, err)
+		}
+	}
+
+	status, hdr, err := authedGet(base+"/wsda/minquery", "")
+	if err != nil {
+		return fmt.Errorf("unauthenticated minquery: %w", err)
+	}
+	if status != http.StatusUnauthorized || hdr.Get("WWW-Authenticate") == "" {
+		return fmt.Errorf("unauthenticated minquery: got %d (WWW-Authenticate %q), want 401 with challenge",
+			status, hdr.Get("WWW-Authenticate"))
+	}
+	if status, _, err = authedGet(base+"/wsda/minquery", "wrong"); err != nil || status != http.StatusUnauthorized {
+		return fmt.Errorf("bad-token minquery: got %d, %v; want 401", status, err)
+	}
+	if status, _, err = authedGet(base+"/wsda/minquery", "sesame"); err != nil || status != http.StatusOK {
+		return fmt.Errorf("authed minquery: got %d, %v; want 200", status, err)
+	}
+
+	// The slow tenant holds 1 token: rapid repeats must hit 429 with a
+	// Retry-After hint.
+	throttled := false
+	for i := 0; i < 5 && !throttled; i++ {
+		status, hdr, err := authedGet(base+"/wsda/minquery", "drip")
+		if err != nil {
+			return fmt.Errorf("rate-limited minquery %d: %w", i, err)
+		}
+		switch status {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			if hdr.Get("Retry-After") == "" {
+				return fmt.Errorf("429 without Retry-After")
+			}
+			throttled = true
+		default:
+			return fmt.Errorf("rate-limited minquery %d: unexpected status %d", i, status)
+		}
+	}
+	if !throttled {
+		return fmt.Errorf("tenant with rate=1 burst=1 was never throttled")
+	}
+	fmt.Println("smoketest: tenant gate -> probes bypass, 401/200 matrix, 429 + Retry-After")
+	return nil
+}
+
+// authedGet fetches url with an optional bearer token and returns the
+// status code and response headers.
+func authedGet(url, token string) (int, http.Header, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header, nil
 }
 
 // startDaemon launches bin with args, wires its output to stderr, and

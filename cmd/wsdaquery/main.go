@@ -8,6 +8,17 @@
 //	wsdaquery netquery  -node http://localhost:9001 [-mode routed] [-radius -1] [-pipeline] 'for $s in //service return $s'
 //	wsdaquery publish   -node http://localhost:8080 -link URL -type service [-ttl 5m] [-content file.xml]
 //	wsdaquery unpublish -node http://localhost:8080 -link URL
+//	wsdaquery mint      -tenant alice -key HEX [-ttl 24h]
+//
+// Against a node running behind -tenants, every subcommand takes -token
+// to authenticate as a tenant (sent as "Authorization: Bearer ..."):
+//
+//	wsdaquery minquery -token sesame -node http://localhost:8080 -type service
+//
+// mint signs an expiring HMAC token offline from a tenant's key= secret
+// (hex, as it appears in the tenants file) and prints it — no server
+// round-trip, so tokens can be issued from wherever the tenants file is
+// managed.
 //
 // xquery takes -explain to print the node's chosen query plan (from the
 // X-Wsda-Plan response header: index pushdown, store scan, or the
@@ -33,6 +44,7 @@
 package main
 
 import (
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +56,7 @@ import (
 	"time"
 
 	"wsda/internal/registry"
+	"wsda/internal/tenant"
 	"wsda/internal/tuple"
 	"wsda/internal/wlog"
 	"wsda/internal/wsda"
@@ -52,7 +65,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wsdaquery <describe|minquery|xquery|netquery|publish|unpublish> [flags] [query]")
+	fmt.Fprintln(os.Stderr, "usage: wsdaquery <describe|minquery|xquery|netquery|publish|unpublish|mint> [flags] [query]")
 	os.Exit(2)
 }
 
@@ -61,6 +74,10 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "mint" {
+		runMint(os.Args[2:])
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	node := fs.String("node", "http://localhost:8080", "node base URL, or a comma-separated failover list (primary,replica,...)")
 	retry := fs.Int("retry", 0, "extra passes over the node list after a failure, with exponential backoff")
@@ -79,6 +96,7 @@ func main() {
 	radius := fs.Int("radius", -1, "network query horizon in hops; -1 = unbounded (netquery)")
 	pipeline := fs.Bool("pipeline", false, "relay partial results while the query is still spreading (netquery)")
 	netTimeout := fs.Duration("net-timeout", 0, "network query abort deadline; 0 = server default (netquery)")
+	token := fs.String("token", "", "bearer token for nodes behind -tenants (static, or minted with `wsdaquery mint`)")
 	logLevel := fs.String("log-level", "info", "diagnostic log level (debug|info|warn|error)")
 	logFormat := fs.String("log-format", "text", "diagnostic log format: text (human-readable) or json")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -93,7 +111,9 @@ func main() {
 	var clients []*wsda.Client
 	for _, u := range strings.Split(*node, ",") {
 		if u = strings.TrimSpace(u); u != "" {
-			clients = append(clients, wsda.NewClient(u))
+			c := wsda.NewClient(u)
+			c.Token = *token
+			clients = append(clients, c)
 		}
 	}
 	if len(clients) == 0 {
@@ -114,6 +134,30 @@ func main() {
 		streamOpts{stream: *stream, maxResults: *maxResults, mode: *mode,
 			radius: *radius, pipeline: *pipeline, netTimeout: *netTimeout,
 			explain: *explain})
+}
+
+// runMint implements the offline `wsdaquery mint` subcommand: sign an
+// expiring tenant token from the HMAC secret in the tenants file.
+func runMint(args []string) {
+	fs := flag.NewFlagSet("mint", flag.ExitOnError)
+	name := fs.String("tenant", "", "tenant name to mint for (required)")
+	keyHex := fs.String("key", "", "tenant HMAC secret, hex-encoded as in the tenants file (required)")
+	ttl := fs.Duration("ttl", 24*time.Hour, "token lifetime")
+	if err := fs.Parse(args); err != nil {
+		usage()
+	}
+	die := func(msg string) {
+		fmt.Fprintln(os.Stderr, "wsdaquery mint:", msg)
+		os.Exit(2)
+	}
+	if *name == "" || *keyHex == "" {
+		die("-tenant and -key are required")
+	}
+	key, err := hex.DecodeString(*keyHex)
+	if err != nil || len(key) == 0 {
+		die("-key must be non-empty hex")
+	}
+	fmt.Println(tenant.Mint(*name, key, time.Now().Add(*ttl)))
 }
 
 // streamOpts bundles the delivery and network-query flags so run's

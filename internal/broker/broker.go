@@ -55,6 +55,7 @@ type Candidate struct {
 
 // Discoverer finds candidates for an operation spec (the discovery step).
 type Discoverer interface {
+	// Discover returns every candidate service able to satisfy the spec.
 	Discover(spec OpSpec) ([]Candidate, error)
 }
 

@@ -464,3 +464,18 @@ func TestE20(t *testing.T) {
 	}
 	t.Log("\n" + tab.String())
 }
+
+func TestE21(t *testing.T) {
+	tab, err := E21TenantOverload(16, 1200, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	// The experiment self-validates the ISSUE 9 acceptance bounds:
+	// shedding holds goodput within 10% of calibrated capacity, the
+	// ungated run collapses below 50%, and the flood moves tenant A's
+	// p99 by under 20% only while quotas are on.
+	t.Log("\n" + tab.String())
+}

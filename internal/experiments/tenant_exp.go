@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsda/internal/tenant"
+)
+
+// E21 model parameters. The backend is a processor-sharing server: each
+// request sleeps inflight×e21Base at entry, so completion throughput is
+// pinned at 1/e21Base whatever the concurrency — a fixed-capacity node.
+// Requests are good when they answer 200 within e21Deadline.
+const (
+	e21Base     = 2 * time.Millisecond
+	e21Deadline = 250 * time.Millisecond
+	e21FloodCap = 8 // flooding tenant's concurrency quota in the fairness phases
+)
+
+// E21TenantOverload measures the multi-tenant edge (ISSUE 9) in two acts.
+//
+// Goodput: a fixed-capacity modeled backend (processor sharing, capacity
+// 1/e21Base ≈ 500 req/s) is offered 2x its capacity for runMS. Without
+// admission control every request is accepted, the in-flight population
+// grows without bound, latency blows through the deadline and goodput
+// collapses below half of capacity. Behind the tenant gate the admission
+// ladder caps in-flight work, excess arrivals bounce instantly with 429 +
+// Retry-After, and goodput holds within 10% of the calibrated capacity.
+//
+// Fairness: tenant A sends paced queries while tenant B (concurrency
+// quota e21FloodCap) runs closed-loop floods. B flooding 10x harder than
+// its quota cannot move A's p99 first-byte latency by more than 20%,
+// because B's admitted footprint is pinned by its quota; with quotas off,
+// the same flood multiplies A's p99. The experiment is self-validating
+// and returns an error when any of those three bounds is missed.
+func E21TenantOverload(slots, runMS, samples int) (*Table, error) {
+	if slots < 4 || runMS < 200 || samples < 10 {
+		return nil, fmt.Errorf("E21: need slots>=4, runMS>=200, samples>=10; got %d/%d/%d", slots, runMS, samples)
+	}
+	t := &Table{
+		ID:    "E21",
+		Title: "Multi-tenant edge: priority load shedding and per-tenant quota isolation",
+		Note: "Backend models a fixed-capacity node (processor sharing, ~500 req/s):\n" +
+			"each request sleeps inflight x 2ms at entry. good/s = 200-responses\n" +
+			"inside the 250ms deadline per offered-window second; vs-cap is against\n" +
+			"the calibrated closed-loop capacity. The fairness phases pace tenant A\n" +
+			"while tenant B floods closed-loop under an 8-slot concurrency quota;\n" +
+			"shift is A's p99 first-byte movement vs the B-at-quota baseline.",
+		Header: []string{"phase", "workload", "good/s", "vs-cap", "shed/s", "p99(A)", "shift"},
+	}
+	run := time.Duration(runMS) * time.Millisecond
+	// The query tier of the admission ladder owns 90% of the gate, so the
+	// calibration loop uses exactly that concurrency.
+	qslots := int(math.Ceil(0.9 * float64(slots)))
+
+	// --- Act 1: goodput under 2x overload -----------------------------
+	calibrated := closedLoop(modelBackend(), qslots, run)
+	measuredCap := float64(calibrated.good) / run.Seconds()
+	t.Add("calibrate", fmt.Sprintf("closed-loop %d", qslots),
+		fmt.Sprintf("%.0f", measuredCap), "100%", "-", "-", "-")
+
+	noShed := openLoop(modelBackend(), "", 2, run)
+	noShedRate := float64(noShed.good) / run.Seconds()
+	t.Add("no-shedding", "open-loop 2.0x",
+		fmt.Sprintf("%.0f", noShedRate), fpctOf(noShedRate, measuredCap), "0", "-", "-")
+
+	set, err := tenant.NewSet(&tenant.Tenant{Name: "load", Token: "l"})
+	if err != nil {
+		return nil, fmt.Errorf("E21: %w", err)
+	}
+	gated := tenant.NewGate(tenant.Config{Set: set, Capacity: slots}).Wrap(modelBackend())
+	shed := openLoop(gated, "l", 2, run)
+	shedRate := float64(shed.good) / run.Seconds()
+	t.Add("shedding", "open-loop 2.0x",
+		fmt.Sprintf("%.0f", shedRate), fpctOf(shedRate, measuredCap),
+		fmt.Sprintf("%.0f", float64(shed.rejected)/run.Seconds()), "-", "-")
+
+	// --- Act 2: quota isolation under a tenant flood ------------------
+	fair := func(quotas bool, floodWorkers int) (time.Duration, error) {
+		var a, b *tenant.Tenant
+		a = &tenant.Tenant{Name: "tenantA", Token: "a", MaxConcurrent: 4}
+		b = &tenant.Tenant{Name: "flood", Token: "b", MaxConcurrent: e21FloodCap}
+		if !quotas {
+			a.MaxConcurrent, b.MaxConcurrent = 0, 0
+		}
+		fset, err := tenant.NewSet(a, b)
+		if err != nil {
+			return 0, err
+		}
+		// The gate is sized so admission never sheds in this act: the
+		// isolation under test is the per-tenant quota alone.
+		h := tenant.NewGate(tenant.Config{Set: fset, Capacity: 16 * e21FloodCap}).Wrap(modelBackend())
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < floodWorkers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, authedReq("/wsda/xquery", "b"))
+					// Pace every attempt identically — admitted or
+					// bounced — so the baseline and flooding phases
+					// differ only in worker count, not loop shape (a
+					// 429-only backoff would leave the flooding phase's
+					// slots emptier than the baseline's and skew the
+					// p99 comparison).
+					time.Sleep(time.Millisecond)
+				}
+			}()
+		}
+		lat := make([]time.Duration, 0, samples)
+		for i := -5; i < samples; i++ { // 5 unsampled warmup requests ride out the flood ramp
+			w := httptest.NewRecorder()
+			t0 := time.Now()
+			h.ServeHTTP(w, authedReq("/wsda/xquery", "a"))
+			if w.Code != http.StatusOK {
+				close(stop)
+				wg.Wait()
+				return 0, fmt.Errorf("tenant A rejected with %d under flood (quotas=%v)", w.Code, quotas)
+			}
+			lat = append(lat, time.Since(t0))
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+		wg.Wait()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[len(lat)*99/100], nil
+	}
+
+	baseP99, err := fair(true, e21FloodCap)
+	if err != nil {
+		return nil, fmt.Errorf("E21 fairness baseline: %w", err)
+	}
+	t.Add("quotas", "B at quota (1x)", "-", "-", "-", fdur(baseP99), "baseline")
+	floodP99, err := fair(true, 10*e21FloodCap)
+	if err != nil {
+		return nil, fmt.Errorf("E21 fairness flood: %w", err)
+	}
+	floodShift := shiftPct(floodP99, baseP99)
+	t.Add("quotas", "B flooding 10x", "-", "-", "-", fdur(floodP99), fmt.Sprintf("%+.0f%%", floodShift))
+	openP99, err := fair(false, 10*e21FloodCap)
+	if err != nil {
+		return nil, fmt.Errorf("E21 fairness no-quotas: %w", err)
+	}
+	openShift := shiftPct(openP99, baseP99)
+	t.Add("no-quotas", "B flooding 10x", "-", "-", "-", fdur(openP99), fmt.Sprintf("%+.0f%%", openShift))
+
+	// --- Self-validation (the ISSUE 9 acceptance bounds) --------------
+	if shedRate < 0.9*measuredCap {
+		return nil, fmt.Errorf("E21: goodput with shedding %.0f/s fell below 90%% of capacity %.0f/s",
+			shedRate, measuredCap)
+	}
+	if noShedRate > 0.5*measuredCap {
+		return nil, fmt.Errorf("E21: goodput without shedding %.0f/s did not collapse below 50%% of capacity %.0f/s",
+			noShedRate, measuredCap)
+	}
+	// The isolation bound is relative (20%), with an absolute noise floor
+	// of a tenth of the deadline: p99 over a few dozen samples is the max
+	// sample, so on a loaded CI host one scheduler hiccup can move it by
+	// tens of percent of a ~20ms baseline. A real isolation failure (see
+	// the no-quotas control) moves it by a large fraction of the deadline.
+	if math.Abs(floodShift) > 20 && (floodP99-baseP99).Abs() > e21Deadline/10 {
+		return nil, fmt.Errorf("E21: flood moved tenant A's p99 by %.0f%% (%v -> %v), quota isolation failed",
+			floodShift, baseP99, floodP99)
+	}
+	if shed.rejected == 0 {
+		return nil, fmt.Errorf("E21: overload was never shed — the gate did nothing")
+	}
+	if openShift < 50 {
+		return nil, fmt.Errorf("E21: control run without quotas only moved A's p99 by %.0f%% — flood too weak to prove isolation",
+			openShift)
+	}
+	return t, nil
+}
+
+// modelBackend returns a fresh fixed-capacity backend: a processor-
+// sharing server whose service time is inflight x e21Base, sampled at
+// entry. Each call gets its own in-flight counter so phases don't bleed
+// into each other through stragglers.
+func modelBackend() http.Handler {
+	var load atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := load.Add(1)
+		defer load.Add(-1)
+		time.Sleep(time.Duration(n) * e21Base)
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func authedReq(path, token string) *http.Request {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	return req
+}
+
+// loopResult accounts one load phase.
+type loopResult struct {
+	good     int // 200 within the deadline
+	rejected int // 429 from the gate
+}
+
+// closedLoop runs `workers` synchronous request loops for the window —
+// the calibration workload that keeps exactly `workers` requests in
+// flight.
+func closedLoop(h http.Handler, workers int, window time.Duration) loopResult {
+	var good atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w := httptest.NewRecorder()
+				t0 := time.Now()
+				h.ServeHTTP(w, authedReq("/wsda/xquery", ""))
+				if w.Code == http.StatusOK && time.Since(t0) <= e21Deadline {
+					good.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	return loopResult{good: int(good.Load())}
+}
+
+// openLoop offers overload x capacity requests per second for the window
+// regardless of completions — the arrival process of clients that do not
+// wait for each other — then drains every in-flight request before
+// returning, counting deadline-met 200s and instant 429 rejections.
+func openLoop(h http.Handler, token string, overload int, window time.Duration) loopResult {
+	interval := e21Base / time.Duration(overload)
+	var good, rejected atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; ; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if due.Sub(start) >= window {
+			break
+		}
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := httptest.NewRecorder()
+			t0 := time.Now()
+			h.ServeHTTP(w, authedReq("/wsda/xquery", token))
+			switch {
+			case w.Code == http.StatusTooManyRequests:
+				rejected.Add(1)
+			case w.Code == http.StatusOK && time.Since(t0) <= e21Deadline:
+				good.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return loopResult{good: int(good.Load()), rejected: int(rejected.Load())}
+}
+
+// fpctOf renders a/b as a percentage cell.
+func fpctOf(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*a/b)
+}
+
+// shiftPct is the signed percentage movement of got vs base.
+func shiftPct(got, base time.Duration) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (float64(got) - float64(base)) / float64(base)
+}

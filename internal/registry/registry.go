@@ -21,6 +21,7 @@ import (
 // Fetcher retrieves the current content of a content link (the registry's
 // pull side of the hybrid pull/push model).
 type Fetcher interface {
+	// Fetch dereferences one content link to its current XML document.
 	Fetch(link string) (*xmldoc.Node, error)
 }
 

@@ -79,6 +79,15 @@ const (
 	// (peer = shard, note = error text) — the event behind a
 	// complete="false" merged stream.
 	FlightShardError = "shard-error"
+	// FlightTenantAdmit marks the tenant gate admitting a request
+	// (peer = tenant, n = tenant in-flight after admission, note = class).
+	FlightTenantAdmit = "tenant-admit"
+	// FlightTenantShed marks the tenant gate shedding a request because
+	// the admission queue saturated (peer = tenant, note = class).
+	FlightTenantShed = "tenant-shed"
+	// FlightTenantThrottle marks the tenant gate rejecting a request on a
+	// per-tenant quota (peer = tenant, note = "rate" or "concurrency").
+	FlightTenantThrottle = "tenant-throttle"
 	// FlightSummaryKind is the closing accounting event written by Finish.
 	FlightSummaryKind = "summary"
 )

@@ -1,0 +1,150 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Class buckets the WSDA surface into shedding tiers. When the global
+// admission gate saturates, lower classes lose their slots first: browse
+// work is refused once half the capacity is busy, queries at 90%, and
+// control-plane writes only when the gate is completely full (the S29
+// priority ladder).
+type Class int
+
+const (
+	// ClassBrowse is cheap, retryable read traffic — minquery,
+	// presenter lookups, snapshot pulls and feed view refreshes. Shed
+	// first.
+	ClassBrowse Class = iota
+	// ClassQuery is real query work: /wsda/xquery and /netquery fan-outs
+	// whose loss wastes downstream effort. Shed only under heavy load.
+	ClassQuery
+	// ClassControl is state-changing or administrative work — publish,
+	// unpublish, shard admin. Shed last: refusing writes loses data that
+	// soft-state expiry will not bring back.
+	ClassControl
+)
+
+// String names the class for metric labels and flight-event notes.
+func (c Class) String() string {
+	switch c {
+	case ClassQuery:
+		return "query"
+	case ClassControl:
+		return "control"
+	default:
+		return "browse"
+	}
+}
+
+// Classify maps a request path to its shedding class. Unknown paths
+// default to browse, the first tier to shed.
+func Classify(path string) Class {
+	switch path {
+	case "/wsda/publish", "/wsda/unpublish":
+		return ClassControl
+	case "/wsda/xquery", "/netquery":
+		return ClassQuery
+	}
+	switch {
+	case path == "/wsda/shard" || path == "/wsda/shard/cutover":
+		return ClassControl
+	case len(path) >= 8 && path[:8] == "/router/":
+		return ClassControl
+	}
+	return ClassBrowse
+}
+
+// classFrac is the fraction of the global capacity each class may fill
+// before its requests are shed — the admission ladder itself.
+var classFrac = [3]float64{0.5, 0.9, 1.0}
+
+// admission is the global in-flight gate shared by every tenant on a
+// node. A single atomic counter tracks busy slots; a class is admitted
+// while the counter is below its fraction of the capacity, so headroom
+// above the browse threshold stays reserved for queries and control.
+type admission struct {
+	capacity int64
+	limits   [3]int64 // per-class in-flight ceilings, derived from capacity
+	inflight atomic.Int64
+}
+
+func newAdmission(capacity int) *admission {
+	a := &admission{capacity: int64(capacity)}
+	for c, f := range classFrac {
+		l := int64(math.Ceil(float64(capacity) * f))
+		if l < 1 {
+			l = 1
+		}
+		a.limits[c] = l
+	}
+	return a
+}
+
+// tryAcquire claims a slot for the class, reporting false when the
+// class's tier of the ladder is full. The caller must release() iff it
+// got true.
+func (a *admission) tryAcquire(c Class) bool {
+	if a.inflight.Add(1) > a.limits[c] {
+		a.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (a *admission) release() { a.inflight.Add(-1) }
+
+// Inflight reports the busy admission slots (for the gauge and tests).
+func (a *admission) Inflight() int64 { return a.inflight.Load() }
+
+// bucket is a lazily refilled token bucket. It is deliberately tiny: one
+// mutex, refilled from the elapsed wall clock on each take, no timers.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+func (b *bucket) reset(tokens float64) {
+	b.mu.Lock()
+	b.tokens = tokens
+	b.last = time.Time{}
+	b.mu.Unlock()
+}
+
+// take spends one token, refilling first from the time elapsed since the
+// last call. When the bucket is empty it reports how long until a token
+// is available — the Retry-After hint.
+func (b *bucket) take(rate float64, burst float64, now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.last = now
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(burst, b.tokens+dt*rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / rate * float64(time.Second))
+}
+
+// peek reports the tokens currently available without spending one (for
+// the per-tenant quota gauge).
+func (b *bucket) peek(rate float64, burst float64, now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.tokens
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			t = math.Min(burst, t+dt*rate)
+		}
+	}
+	return t
+}

@@ -1,0 +1,217 @@
+package tenant
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"time"
+
+	"wsda/internal/telemetry"
+	"wsda/internal/wlog"
+)
+
+// DefaultCapacity is the global admission gate size when Config.Capacity
+// is zero — the -admit-max flag default on registryd and routerd.
+const DefaultCapacity = 256
+
+// bypassPaths are served without authentication or admission control:
+// liveness/readiness probes and metric scrapers carry no tokens, and a
+// deployment whose health checks 401 flaps for no reason. Everything
+// else — including /debug/* — requires a token once a gate is installed.
+var bypassPaths = map[string]bool{
+	"/healthz": true,
+	"/readyz":  true,
+	"/metrics": true,
+	"/slo":     true,
+}
+
+// Bypassed reports whether the path skips the tenant gate entirely.
+func Bypassed(path string) bool { return bypassPaths[path] }
+
+// Config assembles a Gate. Set is required; everything else has a
+// working zero value (telemetry handles nil receivers, the logger
+// defaults to discard-level-nothing slog.Default()).
+type Config struct {
+	// Set holds the authenticatable tenants.
+	Set *Set
+	// Capacity is the global in-flight admission gate size
+	// (0 = DefaultCapacity).
+	Capacity int
+	// Node names this process in flight events.
+	Node string
+	// Metrics receives the wsda_tenant_* families (nil ok).
+	Metrics *telemetry.Metrics
+	// Flight records tenant-admit/shed/throttle events for requests that
+	// arrive with a ?tx= transaction (nil ok).
+	Flight *telemetry.FlightRecorder
+	// Log receives per-rejection debug lines (nil = slog.Default()).
+	Log *slog.Logger
+	// Now overrides the clock for tests (nil = time.Now).
+	Now func() time.Time
+}
+
+// Gate is the multi-tenant edge middleware: bearer auth, per-tenant
+// quotas and the priority-aware admission ladder, applied in front of an
+// http.Handler via Wrap.
+type Gate struct {
+	set    *Set
+	admit  *admission
+	node   string
+	flight *telemetry.FlightRecorder
+	log    *slog.Logger
+	now    func() time.Time
+
+	admitted  *telemetry.CounterVec // by tenant
+	shed      *telemetry.CounterVec // by tenant, class
+	throttled *telemetry.CounterVec // by tenant, reason
+	unauth    *telemetry.Counter
+}
+
+// NewGate builds a Gate and registers its metric families, including one
+// quota gauge set per configured tenant.
+func NewGate(cfg Config) *Gate {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	g := &Gate{
+		set:    cfg.Set,
+		admit:  newAdmission(capacity),
+		node:   cfg.Node,
+		flight: cfg.Flight,
+		log:    cfg.Log,
+		now:    cfg.Now,
+	}
+	if g.log == nil {
+		g.log = slog.Default()
+	}
+	if g.now == nil {
+		g.now = time.Now
+	}
+	m := cfg.Metrics
+	g.admitted = m.CounterVec("wsda_tenant_admitted_total",
+		"Requests admitted past auth, quotas and the admission gate.", "tenant")
+	g.shed = m.CounterVec("wsda_tenant_shed_total",
+		"Requests shed by the global admission ladder.", "tenant", "class")
+	g.throttled = m.CounterVec("wsda_tenant_throttled_total",
+		"Requests rejected on a per-tenant quota.", "tenant", "reason")
+	g.unauth = m.Counter("wsda_tenant_unauthenticated_total",
+		"Requests refused with 401: missing, unknown, expired or forged tokens.")
+	m.GaugeFunc("wsda_admission_inflight",
+		"Busy slots in the global admission gate.",
+		func() float64 { return float64(g.admit.Inflight()) })
+	m.GaugeFunc("wsda_admission_capacity",
+		"Size of the global admission gate (-admit-max).",
+		func() float64 { return float64(capacity) })
+	inflight := m.GaugeFuncVec("wsda_tenant_inflight",
+		"Admitted in-flight requests per tenant.", "tenant")
+	tokens := m.GaugeFuncVec("wsda_tenant_rate_tokens",
+		"Token-bucket tokens currently available per tenant.", "tenant")
+	rateLim := m.GaugeFuncVec("wsda_tenant_rate_limit",
+		"Configured sustained requests/second per tenant (0 = unlimited).", "tenant")
+	concLim := m.GaugeFuncVec("wsda_tenant_concurrency_limit",
+		"Configured in-flight cap per tenant (0 = unlimited).", "tenant")
+	for _, t := range g.set.Tenants() {
+		t := t
+		inflight.With(func() float64 { return float64(t.Inflight()) }, t.Name)
+		tokens.With(func() float64 {
+			if t.Rate <= 0 {
+				return float64(t.Burst)
+			}
+			return t.bucket.peek(t.Rate, float64(t.Burst), g.now())
+		}, t.Name)
+		rateLim.With(func() float64 { return t.Rate }, t.Name)
+		concLim.With(func() float64 { return float64(t.MaxConcurrent) }, t.Name)
+	}
+	return g
+}
+
+// ctxKey carries the authenticated tenant name in the request context.
+type ctxKey struct{}
+
+// From returns the tenant name the Gate authenticated for this request
+// context, or "" outside a gated request.
+func From(ctx context.Context) string {
+	name, _ := ctx.Value(ctxKey{}).(string)
+	return name
+}
+
+// Wrap applies the gate in front of next: bypass paths pass straight
+// through, everything else is authenticated (401), quota-checked and
+// admission-checked (429 + Retry-After) before next runs. Slots are held
+// until next returns, so admitted streams are never cut mid-delivery.
+func (g *Gate) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if Bypassed(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		now := g.now()
+		t, err := g.set.Authenticate(r.Header.Get("Authorization"), now)
+		if err != nil {
+			g.unauth.Inc()
+			g.log.Debug("request unauthenticated",
+				"path", r.URL.Path, "err", err.Error())
+			w.Header().Set("WWW-Authenticate", `Bearer realm="wsda"`)
+			http.Error(w, "unauthenticated", http.StatusUnauthorized)
+			return
+		}
+		tx := r.URL.Query().Get("tx")
+		class := Classify(r.URL.Path)
+		if t.Bulk && class != ClassControl {
+			class = ClassBrowse
+		}
+		if t.Rate > 0 {
+			if ok, retry := t.bucket.take(t.Rate, float64(t.Burst), now); !ok {
+				g.reject(w, r, t, tx, "rate", class, retry)
+				return
+			}
+		}
+		if t.MaxConcurrent > 0 && t.inflight.Add(1) > int64(t.MaxConcurrent) {
+			t.inflight.Add(-1)
+			g.reject(w, r, t, tx, "concurrency", class, time.Second)
+			return
+		} else if t.MaxConcurrent <= 0 {
+			t.inflight.Add(1)
+		}
+		if !g.admit.tryAcquire(class) {
+			t.inflight.Add(-1)
+			g.shed.With(t.Name, class.String()).Inc()
+			g.flight.Record(tx, telemetry.FlightTenantShed, g.node, t.Name, g.admit.Inflight(), class.String())
+			g.log.Debug("request shed", wlog.AttrTenant, t.Name,
+				"class", class.String(), "path", r.URL.Path)
+			retryAfter(w, time.Second)
+			http.Error(w, "overloaded: "+class.String()+" work shed", http.StatusTooManyRequests)
+			return
+		}
+		defer func() {
+			g.admit.release()
+			t.inflight.Add(-1)
+		}()
+		g.admitted.With(t.Name).Inc()
+		g.flight.Record(tx, telemetry.FlightTenantAdmit, g.node, t.Name, t.Inflight(), class.String())
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKey{}, t.Name)))
+	})
+}
+
+// reject writes the per-tenant-quota 429 and records it.
+func (g *Gate) reject(w http.ResponseWriter, r *http.Request, t *Tenant, tx, reason string, class Class, retry time.Duration) {
+	g.throttled.With(t.Name, reason).Inc()
+	g.flight.Record(tx, telemetry.FlightTenantThrottle, g.node, t.Name, 0, reason)
+	g.log.Debug("request throttled", wlog.AttrTenant, t.Name,
+		"reason", reason, "path", r.URL.Path)
+	retryAfter(w, retry)
+	http.Error(w, "tenant quota exceeded ("+reason+")", http.StatusTooManyRequests)
+}
+
+// retryAfter sets the Retry-After header, rounded up to whole seconds
+// with a floor of 1 as the header only speaks integral seconds.
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+}

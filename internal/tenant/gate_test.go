@@ -1,0 +1,261 @@
+package tenant
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsda/internal/telemetry"
+)
+
+func okHandler() (http.Handler, *atomic.Int64) {
+	var served atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		fmt.Fprintln(w, "served "+r.URL.Path+" for "+From(r.Context()))
+	}), &served
+}
+
+func do(h http.Handler, path, token string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestGateAuthMatrix(t *testing.T) {
+	s, _ := NewSet(&Tenant{Name: "alice", Token: "sesame"})
+	inner, served := okHandler()
+	m := telemetry.NewMetrics()
+	h := NewGate(Config{Set: s, Metrics: m}).Wrap(inner)
+
+	if w := do(h, "/wsda/minquery", ""); w.Code != http.StatusUnauthorized {
+		t.Fatalf("no token: %d, want 401", w.Code)
+	} else if w.Header().Get("WWW-Authenticate") == "" {
+		t.Fatal("401 without WWW-Authenticate")
+	}
+	if w := do(h, "/wsda/minquery", "wrong"); w.Code != http.StatusUnauthorized {
+		t.Fatalf("bad token: %d, want 401", w.Code)
+	}
+	w := do(h, "/wsda/minquery", "sesame")
+	if w.Code != http.StatusOK {
+		t.Fatalf("good token: %d, want 200", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "for alice") {
+		t.Fatalf("tenant identity not in context: %q", w.Body.String())
+	}
+	if served.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1", served.Load())
+	}
+}
+
+// TestGateBypassesProbePaths is the regression test for the probe/scraper
+// bugfix: health checks and metric scrapes carry no tokens and must never
+// be gated, or every -tenants deployment flaps.
+func TestGateBypassesProbePaths(t *testing.T) {
+	s, _ := NewSet(&Tenant{Name: "alice", Token: "sesame", Rate: 0.0001, Burst: 1})
+	inner, _ := okHandler()
+	h := NewGate(Config{Set: s}).Wrap(inner)
+
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/slo"} {
+		// Repeatedly, far beyond any quota, with no token at all.
+		for i := 0; i < 20; i++ {
+			if w := do(h, path, ""); w.Code != http.StatusOK {
+				t.Fatalf("%s probe %d: %d, want 200 (bypass)", path, i, w.Code)
+			}
+		}
+	}
+	// The same unauthenticated request anywhere else is refused.
+	if w := do(h, "/wsda/minquery", ""); w.Code != http.StatusUnauthorized {
+		t.Fatalf("/wsda/minquery without token: %d, want 401", w.Code)
+	}
+}
+
+func TestGateRateQuota(t *testing.T) {
+	s, _ := NewSet(&Tenant{Name: "alice", Token: "sesame", Rate: 1, Burst: 2})
+	inner, served := okHandler()
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	m := telemetry.NewMetrics()
+	h := NewGate(Config{Set: s, Metrics: m, Now: clock}).Wrap(inner)
+
+	for i := 0; i < 2; i++ {
+		if w := do(h, "/wsda/minquery", "sesame"); w.Code != http.StatusOK {
+			t.Fatalf("burst request %d: %d, want 200", i, w.Code)
+		}
+	}
+	w := do(h, "/wsda/minquery", "sesame")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over rate: %d, want 429", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	now = now.Add(time.Second) // one token refills
+	if w := do(h, "/wsda/minquery", "sesame"); w.Code != http.StatusOK {
+		t.Fatalf("after refill: %d, want 200", w.Code)
+	}
+	if served.Load() != 3 {
+		t.Fatalf("handler ran %d times, want 3", served.Load())
+	}
+}
+
+func TestGateConcurrencyQuotaAndRelease(t *testing.T) {
+	s, _ := NewSet(&Tenant{Name: "alice", Token: "sesame", MaxConcurrent: 2})
+	enter := make(chan struct{}, 8)
+	release := make(chan struct{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enter <- struct{}{}
+		<-release
+	})
+	h := NewGate(Config{Set: s}).Wrap(inner)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			do(h, "/wsda/xquery", "sesame")
+		}()
+	}
+	<-enter
+	<-enter // both slots busy inside the handler
+	if w := do(h, "/wsda/xquery", "sesame"); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("third concurrent request: %d, want 429", w.Code)
+	}
+	close(release)
+	wg.Wait()
+	// Slots released: admitted again.
+	rel2 := make(chan struct{})
+	close(rel2)
+	if got := s.Lookup("alice").Inflight(); got != 0 {
+		t.Fatalf("inflight after drain = %d, want 0", got)
+	}
+	h2 := NewGate(Config{Set: s}).Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	if w := do(h2, "/wsda/xquery", "sesame"); w.Code != http.StatusOK {
+		t.Fatalf("after release: %d, want 200", w.Code)
+	}
+}
+
+func TestGateShedsBrowseBeforeQuery(t *testing.T) {
+	s, _ := NewSet(&Tenant{Name: "alice", Token: "sesame"})
+	block := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-block
+	})
+	m := telemetry.NewMetrics()
+	// Capacity 4: browse limit 2, query 4 (ceil(3.6)), control 4.
+	h := NewGate(Config{Set: s, Capacity: 4, Metrics: m}).Wrap(inner)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			do(h, "/wsda/minquery", "sesame")
+		}()
+	}
+	<-entered
+	<-entered // gate half full with browse work
+	// The browse tier is saturated...
+	if w := do(h, "/wsda/minquery", "sesame"); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("browse at 50%%: %d, want 429 shed", w.Code)
+	} else if w.Header().Get("Retry-After") == "" {
+		t.Fatal("shed without Retry-After")
+	}
+	// ...but queries and writes still have reserved headroom.
+	wg.Add(2)
+	go func() { defer wg.Done(); do(h, "/wsda/xquery", "sesame") }()
+	go func() { defer wg.Done(); do(h, "/wsda/publish", "sesame") }()
+	<-entered
+	<-entered
+	close(block)
+	wg.Wait()
+}
+
+// TestGateBulkTenantShedsFirst checks that priority=bulk demotes even a
+// bulk tenant's queries to the browse tier.
+func TestGateBulkTenantShedsFirst(t *testing.T) {
+	s, _ := NewSet(
+		&Tenant{Name: "live", Token: "a"},
+		&Tenant{Name: "mon", Token: "b", Bulk: true},
+	)
+	block := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-block
+	})
+	h := NewGate(Config{Set: s, Capacity: 4}).Wrap(inner)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			do(h, "/wsda/xquery", "b")
+		}()
+	}
+	<-entered
+	<-entered
+	// mon's xquery work classifies as browse: tier full, shed.
+	if w := do(h, "/wsda/xquery", "b"); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("bulk tenant query at browse tier: %d, want 429", w.Code)
+	}
+	// live's identical query uses the query tier: admitted.
+	wg.Add(1)
+	go func() { defer wg.Done(); do(h, "/wsda/xquery", "a") }()
+	<-entered
+	close(block)
+	wg.Wait()
+}
+
+func TestGateFlightAndMetrics(t *testing.T) {
+	s, _ := NewSet(&Tenant{Name: "alice", Token: "sesame", Rate: 1, Burst: 1})
+	fr := telemetry.NewFlightRecorder(telemetry.FlightConfig{})
+	m := telemetry.NewMetrics()
+	inner, _ := okHandler()
+	h := NewGate(Config{Set: s, Metrics: m, Flight: fr, Node: "edge"}).Wrap(inner)
+
+	do(h, "/wsda/minquery?tx=t1", "sesame") // admitted
+	do(h, "/wsda/minquery?tx=t1", "sesame") // throttled (burst 1)
+	info := fr.Tx("t1")
+	if info == nil {
+		t.Fatal("no flight recording for t1")
+	}
+	var kinds []string
+	for _, ev := range info.Events {
+		kinds = append(kinds, ev.Kind)
+		if ev.Peer != "alice" || ev.Node != "edge" {
+			t.Fatalf("event %+v: peer/node not tenant/edge", ev)
+		}
+	}
+	sort.Strings(kinds)
+	if strings.Join(kinds, ",") != telemetry.FlightTenantAdmit+","+telemetry.FlightTenantThrottle {
+		t.Fatalf("flight kinds = %v", kinds)
+	}
+
+	var buf strings.Builder
+	m.WritePrometheus(&buf)
+	for _, want := range []string{
+		`wsda_tenant_admitted_total{tenant="alice"} 1`,
+		`wsda_tenant_throttled_total{tenant="alice",reason="rate"} 1`,
+		`wsda_tenant_rate_limit{tenant="alice"} 1`,
+		`wsda_tenant_inflight{tenant="alice"} 0`,
+		`wsda_admission_capacity 256`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package tenant authenticates the WSDA HTTP surface and admission-controls
+// it per tenant, so one flooding client cannot starve everyone else on a
+// shared deployment (DESIGN.md S29).
+//
+// A deployment declares its tenants in a flat file (one tenant per line,
+// see Parse) loaded with -tenants=FILE on registryd and routerd. Each
+// tenant authenticates with a bearer token — either the static token from
+// the file or a minted, expiring HMAC-SHA256 token (Mint) verified against
+// the tenant's shared key — and carries its own quota envelope: a
+// token-bucket sustained request rate and an in-flight concurrency cap.
+// Above the per-tenant quotas sits one global admission gate whose slots
+// are handed out by work class, so that when the node saturates, cheap
+// browse traffic (minquery, presenter lookups, feed refreshes) is shed
+// first and in-flight network queries and control-plane writes keep their
+// headroom. Rejections are always whole-request 429s with a Retry-After
+// hint, decided before the handler runs — an admitted stream is never cut
+// mid-delivery.
+package tenant
+
+import (
+	"bufio"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Authentication failures. All of them surface to the client as an opaque
+// 401; the distinctions exist for logs and tests.
+var (
+	// ErrNoToken means the request carried no bearer token at all.
+	ErrNoToken = errors.New("tenant: no bearer token")
+	// ErrUnknownToken means the token matched no configured tenant.
+	ErrUnknownToken = errors.New("tenant: unknown token")
+	// ErrExpired means a minted token's expiry is in the past.
+	ErrExpired = errors.New("tenant: token expired")
+	// ErrBadSignature means a minted token failed HMAC verification.
+	ErrBadSignature = errors.New("tenant: bad token signature")
+)
+
+// mintPrefix versions the minted-token wire format:
+//
+//	wsda1.<tenant>.<expiry-unix>.<base64url(HMAC-SHA256(key, payload))>
+//
+// where payload is everything before the final dot.
+const mintPrefix = "wsda1"
+
+// Tenant is one authenticated principal and its quota envelope. The
+// zero-value quotas mean "unlimited"; Parse applies the file defaults.
+type Tenant struct {
+	// Name identifies the tenant in metrics, logs and flight events.
+	Name string
+	// Token is the static bearer token ("" = minted tokens only).
+	Token string
+	// Key is the HMAC-SHA256 secret verifying minted tokens
+	// (nil = static token only).
+	Key []byte
+	// Rate is the sustained admitted-request rate in requests/second
+	// refilling the tenant's token bucket (0 = unlimited).
+	Rate float64
+	// Burst is the token-bucket depth — how far above Rate a tenant may
+	// spike before throttling (defaults to ceil(Rate) when Rate > 0).
+	Burst int
+	// MaxConcurrent caps the tenant's in-flight admitted requests
+	// (0 = unlimited).
+	MaxConcurrent int
+	// Bulk marks a background/monitoring tenant: all of its work sheds
+	// at the browse threshold of the admission ladder, whatever the
+	// endpoint (file option priority=bulk).
+	Bulk bool
+
+	inflight atomic.Int64
+	bucket   bucket
+}
+
+// Inflight reports the tenant's currently admitted in-flight requests
+// (exported for quota gauges and tests).
+func (t *Tenant) Inflight() int64 { return t.inflight.Load() }
+
+// Set is an immutable, concurrency-safe collection of tenants indexed by
+// name and by static token.
+type Set struct {
+	byName  map[string]*Tenant
+	byToken map[string]*Tenant
+	order   []*Tenant
+}
+
+// NewSet builds a Set from already-constructed tenants, validating the
+// same invariants as Parse. It backs tests and experiments that have no
+// tenants file on disk.
+func NewSet(tenants ...*Tenant) (*Set, error) {
+	s := &Set{byName: map[string]*Tenant{}, byToken: map[string]*Tenant{}}
+	for _, t := range tenants {
+		if err := s.add(t); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Set) add(t *Tenant) error {
+	if t.Name == "" || strings.ContainsAny(t.Name, " \t.") {
+		return fmt.Errorf("tenant: invalid name %q (must be non-empty, no whitespace or dots)", t.Name)
+	}
+	if t.Token == "" && len(t.Key) == 0 {
+		return fmt.Errorf("tenant %s: needs token= or key= to be authenticatable", t.Name)
+	}
+	if _, dup := s.byName[t.Name]; dup {
+		return fmt.Errorf("tenant %s: duplicate name", t.Name)
+	}
+	if t.Token != "" {
+		if _, dup := s.byToken[t.Token]; dup {
+			return fmt.Errorf("tenant %s: static token already in use", t.Name)
+		}
+		s.byToken[t.Token] = t
+	}
+	if t.Rate < 0 {
+		return fmt.Errorf("tenant %s: negative rate", t.Name)
+	}
+	if t.Rate > 0 && t.Burst <= 0 {
+		t.Burst = int(math.Ceil(t.Rate))
+	}
+	t.bucket.reset(float64(t.Burst))
+	s.byName[t.Name] = t
+	s.order = append(s.order, t)
+	return nil
+}
+
+// Lookup returns the tenant with the given name, or nil.
+func (s *Set) Lookup(name string) *Tenant { return s.byName[name] }
+
+// Tenants returns every tenant in file order.
+func (s *Set) Tenants() []*Tenant { return s.order }
+
+// Len reports the number of tenants in the set.
+func (s *Set) Len() int { return len(s.order) }
+
+// LoadFile reads a tenants file from disk (the -tenants=FILE flag).
+func LoadFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Parse reads the tenants file format: one tenant per line,
+//
+//	<name> key=value [key=value ...]
+//
+// with '#' comments and blank lines ignored. Options:
+//
+//	token=SECRET     static bearer token
+//	key=HEX          hex-encoded HMAC-SHA256 secret for minted tokens
+//	rate=N           sustained admitted requests/second (float, 0 = unlimited)
+//	burst=N          token-bucket depth (default ceil(rate))
+//	concurrent=N     in-flight admitted-request cap (0 = unlimited)
+//	priority=P       "interactive" (default) or "bulk" (sheds first)
+//
+// Every tenant needs token= or key= (or both). Names and static tokens
+// must be unique across the file.
+func Parse(r io.Reader) (*Set, error) {
+	s := &Set{byName: map[string]*Tenant{}, byToken: map[string]*Tenant{}}
+	sc := bufio.NewScanner(r)
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		t := &Tenant{Name: fields[0]}
+		for _, opt := range fields[1:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("line %d: option %q is not key=value", ln, opt)
+			}
+			var err error
+			switch k {
+			case "token":
+				t.Token = v
+			case "key":
+				t.Key, err = hex.DecodeString(v)
+				if err == nil && len(t.Key) == 0 {
+					err = errors.New("empty key")
+				}
+			case "rate":
+				t.Rate, err = strconv.ParseFloat(v, 64)
+			case "burst":
+				t.Burst, err = strconv.Atoi(v)
+			case "concurrent":
+				t.MaxConcurrent, err = strconv.Atoi(v)
+			case "priority":
+				switch v {
+				case "interactive":
+				case "bulk":
+					t.Bulk = true
+				default:
+					err = fmt.Errorf("unknown priority %q", v)
+				}
+			default:
+				err = fmt.Errorf("unknown option %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %s: %v", ln, k, err)
+			}
+		}
+		if err := s.add(t); err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Mint signs an expiring bearer token for the named tenant with the
+// tenant's HMAC key. The result is self-describing —
+// wsda1.<name>.<expiry-unix>.<signature> — so the verifier can find the
+// tenant and its key without a token database.
+func Mint(name string, key []byte, expiry time.Time) string {
+	payload := mintPrefix + "." + name + "." + strconv.FormatInt(expiry.Unix(), 10)
+	return payload + "." + signPayload(key, payload)
+}
+
+func signPayload(key []byte, payload string) string {
+	mac := hmac.New(sha256.New, key)
+	io.WriteString(mac, payload)
+	return base64.RawURLEncoding.EncodeToString(mac.Sum(nil))
+}
+
+// Authenticate resolves an Authorization header value (or a bare token)
+// to a tenant. Minted tokens are recognised by the wsda1. prefix and
+// verified against the named tenant's key and expiry; anything else is
+// looked up as a static token.
+func (s *Set) Authenticate(authorization string, now time.Time) (*Tenant, error) {
+	tok := strings.TrimSpace(authorization)
+	if rest, ok := cutPrefixFold(tok, "bearer"); ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+		tok = strings.TrimSpace(rest)
+	}
+	if tok == "" {
+		return nil, ErrNoToken
+	}
+	if strings.HasPrefix(tok, mintPrefix+".") {
+		return s.verifyMinted(tok, now)
+	}
+	if t, ok := s.byToken[tok]; ok {
+		return t, nil
+	}
+	return nil, ErrUnknownToken
+}
+
+func (s *Set) verifyMinted(tok string, now time.Time) (*Tenant, error) {
+	parts := strings.Split(tok, ".")
+	if len(parts) != 4 {
+		return nil, ErrUnknownToken
+	}
+	name, expStr, sig := parts[1], parts[2], parts[3]
+	t, ok := s.byName[name]
+	if !ok || len(t.Key) == 0 {
+		return nil, ErrUnknownToken
+	}
+	payload := tok[:len(tok)-len(sig)-1]
+	if !hmac.Equal([]byte(sig), []byte(signPayload(t.Key, payload))) {
+		return nil, ErrBadSignature
+	}
+	exp, err := strconv.ParseInt(expStr, 10, 64)
+	if err != nil {
+		return nil, ErrUnknownToken
+	}
+	if now.Unix() >= exp {
+		return nil, ErrExpired
+	}
+	return t, nil
+}
+
+// cutPrefixFold is strings.CutPrefix with ASCII case folding, because
+// the Authorization scheme is case-insensitive (RFC 9110 §11.1).
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) || !strings.EqualFold(s[:len(prefix)], prefix) {
+		return s, false
+	}
+	return s[len(prefix):], true
+}

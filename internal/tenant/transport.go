@@ -1,0 +1,42 @@
+package tenant
+
+import "net/http"
+
+// Transport is an http.RoundTripper that attaches a bearer token to every
+// request — how a daemon's own outbound clients (replica feed tails,
+// shard-bootstrap pulls, router→shard backends) authenticate against
+// peers that run behind a tenant gate.
+type Transport struct {
+	Token string            // bearer token attached to every request
+	Base  http.RoundTripper // nil uses http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper. The request is cloned before
+// the header is set, per the RoundTripper contract.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if t.Token == "" {
+		return base.RoundTrip(req)
+	}
+	req = req.Clone(req.Context())
+	req.Header.Set("Authorization", "Bearer "+t.Token)
+	return base.RoundTrip(req)
+}
+
+// WithToken wraps an http.Client so every request carries the bearer
+// token. A nil client wraps http.DefaultClient's configuration; an empty
+// token returns the client unchanged.
+func WithToken(hc *http.Client, token string) *http.Client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	if token == "" {
+		return hc
+	}
+	wrapped := *hc
+	wrapped.Transport = &Transport{Token: token, Base: hc.Transport}
+	return &wrapped
+}

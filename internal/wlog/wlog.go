@@ -39,6 +39,10 @@ const AttrTx = "tx"
 // line with /debug/traces.
 const AttrTrace = "trace"
 
+// AttrTenant is the attribute key naming the authenticated tenant a log
+// line concerns, correlating it with the wsda_tenant_* metric families.
+const AttrTenant = "tenant"
+
 // Config selects level, format and destination for a new logger.
 type Config struct {
 	// Level is the minimum level, optionally with per-component

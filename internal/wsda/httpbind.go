@@ -50,6 +50,7 @@ const MaxQueryBytes = 1 << 20
 // non-retryable rejection telling the client to consult the partition map,
 // not to resend.
 type StatusCoder interface {
+	// HTTPStatus is the response code this error should map to.
 	HTTPStatus() int
 }
 
@@ -372,6 +373,10 @@ func UnmarshalSequence(root *xmldoc.Node) (xq.Sequence, error) {
 type Client struct {
 	BaseURL string       // node root, scheme://host:port
 	HTTP    *http.Client // transport override; nil uses http.DefaultClient
+	// Token is sent as "Authorization: Bearer <Token>" on every request
+	// — a static tenant token or one minted by `wsdaquery mint` — for
+	// nodes running behind a -tenants gate. Empty sends no header.
+	Token string
 }
 
 var _ Node = (*Client)(nil)
@@ -381,12 +386,28 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/"), HTTP: http.DefaultClient}
 }
 
+// newRequest builds a request with the client's auth header attached.
+func (c *Client) newRequest(method, u string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequest(method, u, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	return req, nil
+}
+
 func (c *Client) get(path string, q url.Values) (*xmldoc.Node, error) {
 	u := c.BaseURL + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	resp, err := c.HTTP.Get(u)
+	req, err := c.newRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -406,7 +427,12 @@ func (c *Client) postHdr(path string, q url.Values, body string) (*xmldoc.Node, 
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	resp, err := c.HTTP.Post(u, "text/xml", strings.NewReader(body))
+	req, err := c.newRequest(http.MethodPost, u, strings.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "text/xml")
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, nil, err
 	}

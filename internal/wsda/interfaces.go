@@ -13,6 +13,7 @@ import (
 // a service presents its current description so that clients from anywhere
 // can retrieve it at any time (thesis Ch. 2.3).
 type Presenter interface {
+	// GetServiceDescription returns the service's current description.
 	GetServiceDescription() (*Service, error)
 }
 
@@ -29,12 +30,14 @@ type Consumer interface {
 // MinQuery is the minimal query primitive: attribute filtering only, cheap
 // to implement on any node (thesis Ch. 5.2).
 type MinQuery interface {
+	// MinQuery returns the tuples matching an attribute filter.
 	MinQuery(f registry.Filter) ([]*tuple.Tuple, error)
 }
 
 // XQueryIface is the powerful query primitive: full XQuery over the node's
 // tuple-set view.
 type XQueryIface interface {
+	// XQuery evaluates a query against the node's tuple-set view.
 	XQuery(query string, opts registry.QueryOptions) (xq.Sequence, error)
 }
 

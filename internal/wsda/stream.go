@@ -360,7 +360,12 @@ func (c *Client) postStream(path string, q url.Values, body string, onItem func(
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	resp, err := c.HTTP.Post(u, "text/xml", strings.NewReader(body))
+	req, err := c.newRequest(http.MethodPost, u, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/xml")
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, err
 	}

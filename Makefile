@@ -41,10 +41,9 @@ bench-noop:
 bench:
 	$(GO) test -bench . -benchtime 1s ./...
 
-# Perf guards: runs the view suite (BenchmarkViewQuery{Cold,Warm,Churn} ->
-# BENCH_view.json, warm allocs/op budget) and the stream suite
-# (BenchmarkStream{WriteItem,FirstItem} -> BENCH_stream.json, per-item
-# write allocs/op budget) with -benchmem, and fails on any budget breach.
+# Perf guards: runs the guarded suites (view, stream, xq, shard, sdk —
+# see cmd/benchguard) with -benchmem, writes BENCH_<suite>.json each,
+# and fails on any budget breach.
 bench-guard:
 	$(GO) run ./cmd/benchguard
 

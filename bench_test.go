@@ -1,10 +1,11 @@
 // Benchmarks regenerating the evaluation's tables and figures (experiments
-// E1–E21, DESIGN.md) plus micro-benchmarks of the load-bearing components.
+// E1–E22, DESIGN.md) plus micro-benchmarks of the load-bearing components.
 // Each experiment benchmark runs a reduced-scale instance per iteration;
 // cmd/benchharness runs the full-scale versions and prints the tables.
 package wsda_test
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -12,9 +13,11 @@ import (
 	"testing"
 	"time"
 
+	"wsda/internal/changefeed"
 	"wsda/internal/experiments"
 	"wsda/internal/pdp"
 	"wsda/internal/registry"
+	"wsda/internal/sdk"
 	"wsda/internal/shard"
 	"wsda/internal/simnet"
 	"wsda/internal/topology"
@@ -701,6 +704,130 @@ func BenchmarkShardMergeItem(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(shardBenchLinks, "items/op")
+}
+
+// --- Client-SDK benchmarks (ISSUE 10 acceptance) ---
+//
+// BenchmarkSDKCacheHit guards the SDK cache's warm read path: a Lookup
+// served from the feed-invalidated cache must stay in the hundreds of
+// nanoseconds with a tiny constant allocation count, or putting the SDK
+// in front of the origin costs more than it saves. The paged/stream pair
+// compares time-to-first-item of a cursor-paginated query (client buffers
+// one page) against the same query streamed unpaginated (client sees the
+// first item as it arrives); cmd/benchguard holds paged within 2x stream,
+// so pagination's bounded memory never costs more than one extra
+// round-trip of latency.
+
+// sdkBenchOrigin publishes n tuples into a full WSDA node (query binding
+// plus change feed) behind an httptest server.
+func sdkBenchOrigin(b *testing.B, n int) (*registry.Registry, string, func()) {
+	b.Helper()
+	reg := registry.New(registry.Config{Name: "origin", DefaultTTL: time.Hour, JournalCap: 1024})
+	node := &wsda.LocalNode{Desc: wsda.NewService("origin").Build(), Registry: reg}
+	for i := 0; i < n; i++ {
+		t := &tuple.Tuple{
+			Link: fmt.Sprintf("http://sdk-bench.example/svc%04d", i), Type: tuple.TypeService,
+			Content: xmldoc.MustParse(fmt.Sprintf(`<service name="svc%04d"/>`, i)).DocumentElement().Clone(),
+		}
+		if _, err := node.Publish(t, time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", wsda.Handler(node))
+	changefeed.NewServer(reg).Mount(mux)
+	srv := httptest.NewServer(mux)
+	return reg, srv.URL, srv.Close
+}
+
+func BenchmarkSDKCacheHit(b *testing.B) {
+	reg, origin, done := sdkBenchOrigin(b, 64)
+	defer done()
+	c, err := sdk.New(sdk.Config{Origin: origin, FeedWait: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Start()
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.WaitCursor(ctx, reg.Gen()); err != nil {
+		b.Fatal(err)
+	}
+	const link = "http://sdk-bench.example/svc0000"
+	if _, ok, err := c.Lookup(link); err != nil || !ok {
+		b.Fatalf("prime: ok=%v err=%v", ok, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := c.Lookup(link); err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// sdkBenchQuery matches every published tuple, so both delivery shapes
+// walk the same result set.
+const sdkBenchQuery = `/tupleset/tuple`
+
+func BenchmarkSDKStreamFirstItem(b *testing.B) {
+	_, origin, done := sdkBenchOrigin(b, 256)
+	defer done()
+	cl := wsda.NewClient(origin)
+	runStream := func() time.Duration {
+		start := time.Now()
+		var first time.Duration
+		if _, err := cl.XQueryStream(sdkBenchQuery, registry.QueryOptions{}, 0, func(xq.Item) bool {
+			if first == 0 {
+				first = time.Since(start)
+			}
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if first == 0 {
+			b.Fatal("stream delivered nothing")
+		}
+		return first
+	}
+	runStream() // prime views and plan caches
+	var totalFirst time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		totalFirst += runStream()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(totalFirst.Nanoseconds())/float64(b.N), "first-item-ns/op")
+	}
+}
+
+func BenchmarkSDKPagedFirstItem(b *testing.B) {
+	_, origin, done := sdkBenchOrigin(b, 256)
+	defer done()
+	cl := wsda.NewClient(origin)
+	runPage := func() time.Duration {
+		start := time.Now()
+		page, err := cl.XQueryPage(sdkBenchQuery, registry.QueryOptions{}, 16, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(page.Items) != 16 || page.Next == "" {
+			b.Fatalf("items=%d next=%q", len(page.Items), page.Next)
+		}
+		return time.Since(start)
+	}
+	runPage() // prime views and plan caches
+	var totalFirst time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		totalFirst += runPage()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(totalFirst.Nanoseconds())/float64(b.N), "first-item-ns/op")
+	}
 }
 
 func BenchmarkP2PFloodQuery(b *testing.B) {

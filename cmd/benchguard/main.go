@@ -25,12 +25,18 @@
 //     evaluates half the data in parallel), and the router's per-merged-item
 //     allocations are held to a budget so large merged streams do not turn
 //     into GC pressure.
+//   - sdk suite (BenchmarkSDKCacheHit, BenchmarkSDK{Paged,Stream}FirstItem
+//     -> BENCH_sdk.json): a warm Lookup served from the client SDK's
+//     feed-invalidated cache must stay within a small allocs/op budget and
+//     under a hard ns/op ceiling (or fronting the origin with the SDK costs
+//     more than it saves), and a cursor-paginated query's time-to-first-item
+//     must stay within 2x of the same query streamed unpaginated.
 //
 // Usage:
 //
 //	benchguard                       # runs every suite, exits 1 on any breach
 //	benchguard -suite stream         # one suite only
-//	benchguard -view-budget 32 -stream-budget 24 -xq-budget 8 -shard-budget 48
+//	benchguard -view-budget 32 -stream-budget 24 -xq-budget 8 -shard-budget 48 -sdk-budget 2
 package main
 
 import (
@@ -73,9 +79,12 @@ type report struct {
 	Planner *plannerGuard `json:"planner,omitempty"`
 	// Shard compares the scatter-gather router against a direct
 	// single-registry evaluation of the same dataset. Shard suite only.
-	Shard  *shardGuard `json:"shard,omitempty"`
-	Budget int64       `json:"budget"`
-	Pass   bool        `json:"pass"`
+	Shard *shardGuard `json:"shard,omitempty"`
+	// SDK summarizes the client-SDK cache and pagination guard numbers.
+	// SDK suite only.
+	SDK    *sdkGuard `json:"sdk,omitempty"`
+	Budget int64     `json:"budget"`
+	Pass   bool      `json:"pass"`
 }
 
 // coldVsWarm is the view suite's guard section.
@@ -126,6 +135,25 @@ type shardGuard struct {
 // first-item latency (ISSUE 8): routing plus merge must not double the
 // time to the first result.
 const shardFirstItemMaxRatio = 2.0
+
+// sdkGuard is the sdk suite's guard section. PagedVsStreamRatio is the
+// paginated query's first-item latency divided by the unpaginated
+// streamed one's; the acceptance bound is 2.0 (ISSUE 10).
+type sdkGuard struct {
+	HitNsPerOp         float64 `json:"hit_ns_per_op"`
+	HitAllocsPerOp     int64   `json:"hit_allocs_per_op"`
+	StreamFirstItemNs  float64 `json:"stream_first_item_ns"`
+	PagedFirstItemNs   float64 `json:"paged_first_item_ns"`
+	PagedVsStreamRatio float64 `json:"paged_vs_stream_ratio"`
+}
+
+// Acceptance bounds for the sdk suite (ISSUE 10): a warm cache hit must
+// stay deep in sub-microsecond territory, and buffering one page must not
+// double time-to-first-item versus streaming.
+const (
+	sdkHitMaxNs      = 1000.0
+	sdkPagedMaxRatio = 2.0
+)
 
 // suite is one guarded benchmark family: which benchmarks to run, where
 // to write the report, and how to judge pass/fail from the parsed lines.
@@ -252,17 +280,51 @@ var suites = []suite{
 				sg.FirstItemRatio, shardFirstItemMaxRatio, sg.MergeAllocsPerItem, budget)
 		},
 	},
+	{
+		name:    "sdk",
+		pattern: "BenchmarkSDK",
+		out:     "BENCH_sdk.json",
+		finish: func(rep *report, budget int64) (bool, string) {
+			sg := &sdkGuard{}
+			for _, r := range rep.Benchmarks {
+				switch baseName(r.Name) {
+				case "BenchmarkSDKCacheHit":
+					sg.HitNsPerOp = r.NsPerOp
+					sg.HitAllocsPerOp = r.AllocsPerOp
+				case "BenchmarkSDKStreamFirstItem":
+					sg.StreamFirstItemNs = r.Extra["first-item-ns/op"]
+				case "BenchmarkSDKPagedFirstItem":
+					sg.PagedFirstItemNs = r.Extra["first-item-ns/op"]
+				}
+			}
+			if sg.StreamFirstItemNs > 0 {
+				sg.PagedVsStreamRatio = sg.PagedFirstItemNs / sg.StreamFirstItemNs
+			}
+			rep.SDK = sg
+			// Three guards: the warm hit path's allocation budget and
+			// latency ceiling, and pagination's first-item overhead.
+			pass := sg.HitNsPerOp > 0 && sg.HitNsPerOp <= sdkHitMaxNs &&
+				sg.HitAllocsPerOp <= budget &&
+				sg.PagedVsStreamRatio > 0 && sg.PagedVsStreamRatio <= sdkPagedMaxRatio
+			return pass, fmt.Sprintf(
+				"warm hit %.0f ns/op (max %.0f) %d allocs/op (budget %d), paged/stream first-item %.2fx (max %.1fx)",
+				sg.HitNsPerOp, sdkHitMaxNs, sg.HitAllocsPerOp, budget,
+				sg.PagedVsStreamRatio, sdkPagedMaxRatio)
+		},
+	},
 }
 
 func main() {
-	which := flag.String("suite", "all", "suite to run: view|stream|xq|shard|all")
+	which := flag.String("suite", "all", "suite to run: view|stream|xq|shard|sdk|all")
 	viewBudget := flag.Int64("view-budget", 32, "max allocs/op allowed on the warm view path")
 	streamBudget := flag.Int64("stream-budget", 24, "max allocs/op allowed per streamed item write")
 	xqBudget := flag.Int64("xq-budget", 8, "max allocs/op allowed on the warm planned-query path")
 	shardBudget := flag.Int64("shard-budget", 48, "max allocs allowed per item merged through the router")
+	sdkBudget := flag.Int64("sdk-budget", 2, "max allocs/op allowed on a warm SDK cache hit")
 	flag.Parse()
 
-	budgets := map[string]int64{"view": *viewBudget, "stream": *streamBudget, "xq": *xqBudget, "shard": *shardBudget}
+	budgets := map[string]int64{"view": *viewBudget, "stream": *streamBudget, "xq": *xqBudget,
+		"shard": *shardBudget, "sdk": *sdkBudget}
 	failed := false
 	ran := 0
 	for _, s := range suites {

@@ -1,5 +1,5 @@
 // Command benchharness regenerates every table and figure of the
-// evaluation (experiments E1–E21, see DESIGN.md) at full scale and prints
+// evaluation (experiments E1–E22, see DESIGN.md) at full scale and prints
 // them as aligned text tables. Use -quick for a fast smoke run and -only
 // to select individual experiments.
 //
@@ -167,6 +167,15 @@ func main() {
 				return experiments.E21TenantOverload(16, 1200, 30)
 			}
 			return experiments.E21TenantOverload(24, 2500, 60)
+		}},
+		{"E22", func() (*experiments.Table, error) {
+			if q {
+				return experiments.E22ClientSDKCache(2, 32, 10, 100, 500)
+			}
+			// base stays small so base*factor paced goroutines still get
+			// their 5 ms ticks on CI hosts — the ratio, not the absolute
+			// population, is what the experiment guards.
+			return experiments.E22ClientSDKCache(4, 64, 20, 100, 2000)
 		}},
 	}
 

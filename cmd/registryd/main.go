@@ -191,6 +191,7 @@ func main() {
 			LongPollWait: *longPoll,
 			HTTP:         peerHTTP,
 			Metrics:      metrics,
+			Log:          wlog.WithComponent(logger, "replica"),
 		})
 		go rep.Run(replCtx) //nolint:errcheck
 		wlog.WithComponent(logger, "replica").Info("replicating from primary",

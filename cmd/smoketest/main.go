@@ -1,7 +1,9 @@
 // Command smoketest is the CI boot probe: it builds and starts a real
 // registryd on a free port, waits for /healthz to answer, verifies
-// /readyz reports ready and /slo serves a well-formed SLO document, then
-// shuts the daemon down. It then boots a sharded topology — two registryd
+// /readyz reports ready and /slo serves a well-formed SLO document, and
+// points a caching SDK client at it to walk the cache lifecycle (cold
+// miss, warm hit, invalidation after an unpublish once the feed cursor
+// passes the delete). It then boots a sharded topology — two registryd
 // shards (-shard-of=0/2 and 1/2) behind a routerd — and verifies a routed
 // publish→query round-trip lands on both shards, router health aggregates
 // to 200, and killing one shard degrades /healthz to 503 with a per-shard
@@ -16,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,6 +30,10 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"wsda/internal/sdk"
+	"wsda/internal/tuple"
+	"wsda/internal/wsda"
 )
 
 func main() {
@@ -34,7 +41,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smoketest:", err)
 		os.Exit(1)
 	}
-	fmt.Println("smoketest: ok (/healthz, /readyz, /slo, sharded topology, tenant gate)")
+	fmt.Println("smoketest: ok (/healthz, /readyz, /slo, sdk cache, sharded topology, tenant gate)")
 }
 
 func run() error {
@@ -101,10 +108,76 @@ func run() error {
 	}
 	fmt.Printf("smoketest: /slo -> %d objectives\n", len(slo.Objectives))
 
+	if err := runSDK(base); err != nil {
+		return err
+	}
 	if err := runSharded(dir, bin); err != nil {
 		return err
 	}
 	return runTenanted(dir, bin)
+}
+
+// runSDK points a caching SDK client at the already-running registryd and
+// walks the cache lifecycle: a cold read fills from the origin, a repeat
+// read hits the cache, and an unpublish at the origin — once the feed
+// cursor passes the delete — makes the cached tuple disappear.
+func runSDK(base string) error {
+	c, err := sdk.New(sdk.Config{Origin: base, FeedWait: 2 * time.Second})
+	if err != nil {
+		return fmt.Errorf("sdk: %w", err)
+	}
+	c.Start()
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.WaitCursor(ctx, 0); err != nil {
+		return fmt.Errorf("sdk never warmed against %s: %w", base, err)
+	}
+
+	const link = "http://smoke-sdk.example.org/wsda/presenter"
+	origin := wsda.NewClient(base)
+	if _, err := origin.Publish(&tuple.Tuple{Link: link, Type: "service", Context: "child"}, time.Hour); err != nil {
+		return fmt.Errorf("sdk publish: %w", err)
+	}
+	gen := c.Cursor() // the feed will carry the publish past this point
+	if err := waitCursorPast(ctx, c, gen); err != nil {
+		return err
+	}
+	if _, ok, err := c.Lookup(link); err != nil || !ok {
+		return fmt.Errorf("sdk cold lookup: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := c.Lookup(link); err != nil || !ok {
+		return fmt.Errorf("sdk warm lookup: ok=%v err=%v", ok, err)
+	}
+	st := c.Stats()
+	if st.Hits < 1 || st.Misses < 1 {
+		return fmt.Errorf("sdk stats after miss+hit: %+v", st)
+	}
+
+	gen = c.Cursor()
+	if err := origin.Unpublish(link); err != nil {
+		return fmt.Errorf("sdk unpublish: %w", err)
+	}
+	if err := waitCursorPast(ctx, c, gen); err != nil {
+		return err
+	}
+	if _, ok, err := c.Lookup(link); err != nil {
+		return fmt.Errorf("sdk lookup after unpublish: %w", err)
+	} else if ok {
+		return fmt.Errorf("sdk served the dead tuple after the feed cursor passed the delete")
+	}
+	fmt.Printf("smoketest: sdk cache -> miss, hit, invalidated after unpublish (hits=%d misses=%d invalidations=%d)\n",
+		st.Hits, st.Misses, c.Stats().Invalidations)
+	return nil
+}
+
+// waitCursorPast blocks until the SDK's feed cursor moves strictly past
+// gen, so a change published at gen is known to have been applied.
+func waitCursorPast(ctx context.Context, c *sdk.Client, gen uint64) error {
+	if err := c.WaitCursor(ctx, gen+1); err != nil {
+		return fmt.Errorf("sdk feed cursor never passed gen %d: %w", gen, err)
+	}
+	return nil
 }
 
 // runTenanted boots a registryd behind a -tenants gate and checks the

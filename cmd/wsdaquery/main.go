@@ -30,8 +30,17 @@
 // stop after N items — a streamed netquery then closes the transaction
 // network-wide, so no node keeps working for answers nobody will read.
 //
+// xquery also takes -page-size N to paginate: the node returns at most N
+// items plus an opaque continuation cursor in the stream summary, and
+// wsdaquery follows cursors until the result set is exhausted — bounded
+// memory at both ends no matter how large the result. minquery and
+// buffered xquery take -cached to route reads through the feed-invalidated
+// SDK cache (one-shot invocations mostly exercise the pass-through path;
+// the flag exists to smoke the SDK against a live node).
+//
 // -node accepts a comma-separated failover list and -retry N repeats the
-// whole pass with exponential backoff, so queries ride out a primary
+// whole pass with exponential backoff (honoring a throttling node's
+// Retry-After hint, capped at 15s), so queries ride out a primary
 // restart by failing over to a read replica:
 //
 //	wsdaquery minquery -retry 3 -node http://primary:8080,http://replica:8081 -type service
@@ -44,6 +53,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"errors"
 	"flag"
@@ -56,6 +66,7 @@ import (
 	"time"
 
 	"wsda/internal/registry"
+	"wsda/internal/sdk"
 	"wsda/internal/tenant"
 	"wsda/internal/tuple"
 	"wsda/internal/wlog"
@@ -92,6 +103,8 @@ func main() {
 	stream := fs.Bool("stream", false, "decode the response incrementally, printing items as they arrive (xquery/netquery)")
 	explain := fs.Bool("explain", false, "print the node's chosen query plan from the X-Wsda-Plan header (xquery)")
 	maxResults := fs.Int("max-results", 0, "stop after N items; 0 = unlimited (xquery/netquery)")
+	pageSize := fs.Int("page-size", 0, "paginate xquery: fetch N items per page, following the continuation cursor; 0 = off")
+	cached := fs.Bool("cached", false, "route reads through the feed-invalidated SDK cache (minquery/xquery)")
 	mode := fs.String("mode", "routed", "network query response mode: routed|direct|metadata|referral (netquery)")
 	radius := fs.Int("radius", -1, "network query horizon in hops; -1 = unbounded (netquery)")
 	pipeline := fs.Bool("pipeline", false, "relay partial results while the query is still spreading (netquery)")
@@ -129,11 +142,32 @@ func main() {
 		return runAttempts(clients, *retry, time.Sleep, logger, do)
 	}
 
-	run(cmd, fs, attempt, fail, logger,
+	var sdkc *sdk.Client
+	if *cached {
+		c, err := sdk.New(sdk.Config{
+			Origin: clients[0].BaseURL, Token: *token,
+			Log: wlog.WithComponent(logger, "sdk"),
+		})
+		if err != nil {
+			fail(err)
+		}
+		c.Start()
+		defer c.Close()
+		// Give the feed tail one round-trip to arm; a cold cache still
+		// works, it just passes every read through.
+		warmCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := c.WaitCursor(warmCtx, 0); err != nil {
+			logger.Warn("sdk cache did not warm, reads pass through", "err", err)
+		}
+		cancel()
+		sdkc = c
+	}
+
+	run(cmd, fs, attempt, fail, logger, sdkc,
 		link, typ, ctx, prefix, ttl, contentFile, maxAge, pull,
 		streamOpts{stream: *stream, maxResults: *maxResults, mode: *mode,
 			radius: *radius, pipeline: *pipeline, netTimeout: *netTimeout,
-			explain: *explain})
+			explain: *explain, pageSize: *pageSize})
 }
 
 // runMint implements the offline `wsdaquery mint` subcommand: sign an
@@ -170,7 +204,13 @@ type streamOpts struct {
 	pipeline   bool
 	netTimeout time.Duration
 	explain    bool
+	pageSize   int
 }
+
+// retryAfterCap bounds how long a server's Retry-After hint can stall a
+// retry pass: an interactive CLI should not silently sleep for minutes
+// because a throttling proxy said so.
+const retryAfterCap = 15 * time.Second
 
 // runAttempts runs do against each endpoint in order until one succeeds,
 // then repeats the whole pass up to `retries` times with exponential
@@ -178,6 +218,9 @@ type streamOpts struct {
 // mutations only ever reach the first node that accepts them. A pass in
 // which every failure was a definitive client-side rejection (a 4xx other
 // than 408/429) is not repeated: resending a malformed query cannot fix it.
+// When a throttling node sent Retry-After (the 429 path), the largest hint
+// seen in the pass replaces the computed backoff — capped at retryAfterCap,
+// and the exponential schedule still advances underneath for the next pass.
 // A failure AFTER result items already reached stdout is terminal
 // immediately — neither failover nor another pass — because re-running the
 // stream against another endpoint would duplicate the delivered items.
@@ -186,6 +229,7 @@ func runAttempts(clients []*wsda.Client, retries int, sleep func(time.Duration),
 	var err error
 	for pass := 0; ; pass++ {
 		anyRetryable := false
+		var hint time.Duration
 		for i, c := range clients {
 			if err = do(c); err == nil {
 				return nil
@@ -199,6 +243,9 @@ func runAttempts(clients []*wsda.Client, retries int, sleep func(time.Duration),
 			if retryableError(err) {
 				anyRetryable = true
 			}
+			if h := retryAfterHint(err); h > hint {
+				hint = h
+			}
 			if i < len(clients)-1 {
 				logger.Warn("endpoint failed, failing over", "endpoint", i+1, "err", err)
 			}
@@ -210,12 +257,26 @@ func runAttempts(clients []*wsda.Client, retries int, sleep func(time.Duration),
 			logger.Warn("not retrying, the request was rejected", "err", err)
 			return err
 		}
-		logger.Warn("all endpoints failed, retrying", "err", err, "backoff", backoff)
-		sleep(backoff)
+		wait := backoff
+		if hint > 0 {
+			wait = min(hint, retryAfterCap)
+		}
+		logger.Warn("all endpoints failed, retrying", "err", err, "backoff", wait, "server-hinted", hint > 0)
+		sleep(wait)
 		if backoff *= 2; backoff > 5*time.Second {
 			backoff = 5 * time.Second
 		}
 	}
+}
+
+// retryAfterHint extracts the server's Retry-After delay from err — 0 when
+// the failure carried none.
+func retryAfterHint(err error) time.Duration {
+	var he *wsda.HTTPError
+	if errors.As(err, &he) {
+		return he.RetryAfter
+	}
+	return 0
 }
 
 // retryableError decides whether a failed attempt justifies another pass:
@@ -244,10 +305,12 @@ func (e *partialDeliveryError) Unwrap() error { return e.err }
 
 // run dispatches one subcommand, wrapping every remote call in attempt.
 // Result rows go to stdout; per-query accounting metadata goes to the
-// structured logger on stderr so pipes stay clean.
+// structured logger on stderr so pipes stay clean. sdkc, when non-nil,
+// routes minquery and buffered xquery through the caching SDK client
+// (-cached) instead of the failover list.
 func run(cmd string, fs *flag.FlagSet,
 	attempt func(do func(c *wsda.Client) error) error, fail func(error),
-	logger *slog.Logger,
+	logger *slog.Logger, sdkc *sdk.Client,
 	link, typ, ctx, prefix *string, ttl *time.Duration, contentFile *string,
 	maxAge *time.Duration, pull *bool, so streamOpts) {
 
@@ -271,9 +334,15 @@ func run(cmd string, fs *flag.FlagSet,
 		}
 		fmt.Println(desc.ToXML().Indent())
 	case "minquery":
+		f := registry.Filter{Type: *typ, Context: *ctx, LinkPrefix: *prefix}
 		var tuples []*tuple.Tuple
-		if err := attempt(func(c *wsda.Client) (err error) {
-			tuples, err = c.MinQuery(registry.Filter{Type: *typ, Context: *ctx, LinkPrefix: *prefix})
+		if sdkc != nil {
+			var err error
+			if tuples, err = sdkc.MinQuery(f); err != nil {
+				fail(err)
+			}
+		} else if err := attempt(func(c *wsda.Client) (err error) {
+			tuples, err = c.MinQuery(f)
 			return err
 		}); err != nil {
 			fail(err)
@@ -281,7 +350,13 @@ func run(cmd string, fs *flag.FlagSet,
 		for _, t := range tuples {
 			fmt.Println(t.ToXML().String())
 		}
-		logger.Info("minquery done", "tuples", len(tuples))
+		if sdkc != nil {
+			st := sdkc.Stats()
+			logger.Info("minquery done", "tuples", len(tuples),
+				"cache-hits", st.Hits, "cache-misses", st.Misses, "cache-warm", st.Warm)
+		} else {
+			logger.Info("minquery done", "tuples", len(tuples))
+		}
 	case "xquery":
 		if fs.NArg() != 1 {
 			fail(fmt.Errorf("xquery needs exactly one query argument"))
@@ -293,6 +368,36 @@ func run(cmd string, fs *flag.FlagSet,
 		var plan registry.PlanInfo
 		if so.explain {
 			opts.Explain = &plan
+		}
+		if so.pageSize > 0 {
+			// Paginated delivery: follow the continuation cursor page by
+			// page. Each page is all-or-nothing on the wire, so a retried
+			// page cannot duplicate printed items — the cursor lives outside
+			// the attempt closure and only advances after a page lands.
+			cursor := ""
+			pages := 0
+			for {
+				var page *wsda.Page
+				if err := attempt(func(c *wsda.Client) (err error) {
+					page, err = c.XQueryPage(fs.Arg(0), opts, so.pageSize, cursor)
+					return err
+				}); err != nil {
+					fail(err)
+				}
+				pages++
+				if so.explain && pages == 1 {
+					fmt.Println("plan:", plan)
+				}
+				for _, it := range page.Items {
+					fmt.Println(xq.Serialize(xq.Sequence{it}))
+					printed++
+				}
+				if cursor = page.Next; cursor == "" {
+					break
+				}
+			}
+			logger.Info("xquery paginated done", "items", printed, "pages", pages)
+			return
 		}
 		if so.stream || so.maxResults > 0 {
 			var sum *wsda.StreamSummary
@@ -323,7 +428,12 @@ func run(cmd string, fs *flag.FlagSet,
 			return
 		}
 		var seq xq.Sequence
-		if err := attempt(func(c *wsda.Client) (err error) {
+		if sdkc != nil {
+			var err error
+			if seq, err = sdkc.XQuery(fs.Arg(0), opts); err != nil {
+				fail(err)
+			}
+		} else if err := attempt(func(c *wsda.Client) (err error) {
 			seq, err = c.XQuery(fs.Arg(0), opts)
 			return err
 		}); err != nil {
@@ -333,7 +443,13 @@ func run(cmd string, fs *flag.FlagSet,
 			fmt.Println("plan:", plan)
 		}
 		fmt.Println(xq.Serialize(seq))
-		logger.Info("xquery done", "items", len(seq))
+		if sdkc != nil {
+			st := sdkc.Stats()
+			logger.Info("xquery done", "items", len(seq),
+				"cache-hits", st.Hits, "cache-misses", st.Misses, "cache-warm", st.Warm)
+		} else {
+			logger.Info("xquery done", "items", len(seq))
+		}
 	case "netquery":
 		if fs.NArg() != 1 {
 			fail(fmt.Errorf("netquery needs exactly one query argument"))

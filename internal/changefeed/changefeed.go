@@ -21,17 +21,25 @@ const (
 // meaningless.
 const EpochHeader = "X-Wsda-Epoch"
 
-// page is one feed response: the cursor window it covers and the changes
-// inside it, or a truncation notice.
-type page struct {
-	Epoch     string
-	From, To  uint64
+// Page is one feed response: the cursor window it covers and the changes
+// inside it, or a truncation notice. Exported so feed consumers beyond the
+// Replica — the client SDK's cache tailer — parse responses with the same
+// code the server writes them with.
+type Page struct {
+	// Epoch is the serving incarnation; a new value invalidates cursors.
+	Epoch string
+	// From and To delimit the generation window this page covers; readers
+	// advance their cursor to To after applying it.
+	From, To uint64
+	// Truncated means the requested cursor fell off the bounded journal:
+	// the reader must resynchronize (snapshot bootstrap, or cache drop).
 	Truncated bool
-	Changes   []registry.Change
+	// Changes are the window's mutations, oldest first, full state per key.
+	Changes []registry.Change
 }
 
-// marshalPage renders a feed response document.
-func marshalPage(p page) *xmldoc.Node {
+// MarshalPage renders a feed response document.
+func MarshalPage(p Page) *xmldoc.Node {
 	root := xmldoc.NewElement("changes")
 	root.SetAttr("epoch", p.Epoch)
 	root.SetAttr("from", strconv.FormatUint(p.From, 10))
@@ -53,23 +61,23 @@ func marshalPage(p page) *xmldoc.Node {
 	return root
 }
 
-// unmarshalPage parses a feed response document.
-func unmarshalPage(doc *xmldoc.Node) (page, error) {
+// UnmarshalPage parses a feed response document.
+func UnmarshalPage(doc *xmldoc.Node) (Page, error) {
 	root := doc
 	if root.Kind == xmldoc.DocumentNode {
 		root = root.DocumentElement()
 	}
 	if root == nil || root.LocalName() != "changes" {
-		return page{}, fmt.Errorf("changefeed: expected <changes> element")
+		return Page{}, fmt.Errorf("changefeed: expected <changes> element")
 	}
-	var p page
+	var p Page
 	p.Epoch, _ = root.Attr("epoch")
 	var err error
 	if p.From, err = genAttr(root, "from"); err != nil {
-		return page{}, err
+		return Page{}, err
 	}
 	if p.To, err = genAttr(root, "to"); err != nil {
-		return page{}, err
+		return Page{}, err
 	}
 	if s, _ := root.Attr("truncated"); s == "true" {
 		p.Truncated = true
@@ -80,17 +88,17 @@ func unmarshalPage(doc *xmldoc.Node) (page, error) {
 		}
 		key, ok := el.Attr("key")
 		if !ok {
-			return page{}, fmt.Errorf("changefeed: <change> missing key")
+			return Page{}, fmt.Errorf("changefeed: <change> missing key")
 		}
 		c := registry.Change{Key: key}
 		if del, _ := el.Attr("deleted"); del != "true" {
 			tupleEl := el.FirstChildElement("tuple")
 			if tupleEl == nil {
-				return page{}, fmt.Errorf("changefeed: live <change %s> missing <tuple>", key)
+				return Page{}, fmt.Errorf("changefeed: live <change %s> missing <tuple>", key)
 			}
 			t, err := tuple.FromXML(tupleEl)
 			if err != nil {
-				return page{}, fmt.Errorf("changefeed: %w", err)
+				return Page{}, fmt.Errorf("changefeed: %w", err)
 			}
 			c.Tuple = t
 		}

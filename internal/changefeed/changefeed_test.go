@@ -50,14 +50,14 @@ func tupleSetString(t *testing.T, r *registry.Registry) string {
 func TestPageRoundTrip(t *testing.T) {
 	live := testTuple("a")
 	live.TS3 = time.UnixMilli(90_000)
-	p := page{
+	p := Page{
 		Epoch: "abc", From: 3, To: 9,
 		Changes: []registry.Change{
 			{Key: live.Link, Tuple: live},
 			{Key: "http://cern.ch/gone"},
 		},
 	}
-	got, err := unmarshalPage(marshalPage(p))
+	got, err := UnmarshalPage(MarshalPage(p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,8 +75,8 @@ func TestPageRoundTrip(t *testing.T) {
 		t.Fatalf("deletion mangled: %+v", got.Changes[1])
 	}
 
-	trunc := page{Epoch: "abc", From: 1, To: 50, Truncated: true}
-	got, err = unmarshalPage(marshalPage(trunc))
+	trunc := Page{Epoch: "abc", From: 1, To: 50, Truncated: true}
+	got, err = UnmarshalPage(MarshalPage(trunc))
 	if err != nil || !got.Truncated {
 		t.Fatalf("truncation page mangled: %+v, %v", got, err)
 	}
@@ -218,7 +218,7 @@ func TestFeedLongPoll(t *testing.T) {
 	defer ts.Close()
 
 	type res struct {
-		p       page
+		p       Page
 		elapsed time.Duration
 		err     error
 	}
@@ -236,7 +236,7 @@ func TestFeedLongPoll(t *testing.T) {
 			ch <- res{err: err}
 			return
 		}
-		p, err := unmarshalPage(doc)
+		p, err := UnmarshalPage(doc)
 		ch <- res{p: p, elapsed: time.Since(start), err: err}
 	}()
 

@@ -2,8 +2,10 @@ package changefeed
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -62,6 +64,11 @@ type Config struct {
 	// registry: the families are unlabeled.
 	Metrics *telemetry.Metrics
 
+	// Log, when set, receives the replica's own diagnostics — today just
+	// the fatal-config auth rejection, logged at error once per outage
+	// instead of once per retry. Nil logs nothing.
+	Log *slog.Logger
+
 	// Now is the clock; nil means time.Now.
 	Now func() time.Time
 }
@@ -102,16 +109,19 @@ type Stats struct {
 type Replica struct {
 	cfg Config
 
-	cursor     atomic.Uint64
-	primaryGen atomic.Uint64
-	applied    atomic.Int64
-	bootstraps atomic.Int64
-	feedErrors atomic.Int64
-	lastSync   atomic.Int64 // UnixNano of the last successful round; 0 = never
+	cursor       atomic.Uint64
+	primaryGen   atomic.Uint64
+	applied      atomic.Int64
+	bootstraps   atomic.Int64
+	feedErrors   atomic.Int64
+	authFailures atomic.Int64
+	lastSync     atomic.Int64 // UnixNano of the last successful round; 0 = never
 
 	mu            sync.Mutex
 	epoch         string // primary incarnation the cursor belongs to
 	needBootstrap bool
+	fatalConfig   string // non-empty while the primary rejects us as unauthorized
+	authLogged    bool   // the current auth outage has been logged already
 }
 
 // New returns a replica for cfg. Call Run to start replication.
@@ -134,6 +144,9 @@ func New(cfg Config) *Replica {
 		m.CounterFunc("wsda_replica_feed_errors_total",
 			"Failed feed or snapshot rounds against the primary.",
 			r.feedErrors.Load)
+		m.CounterFunc("wsda_replica_auth_failures_total",
+			"Feed or snapshot rounds the primary rejected as unauthorized (401/403) — a fatal configuration error (missing or wrong -peer-token), not a transient outage.",
+			r.authFailures.Load)
 	}
 	return r
 }
@@ -166,6 +179,32 @@ func (r *Replica) Stats() Stats {
 
 // Lag returns the current replication lag in generations.
 func (r *Replica) Lag() uint64 { return r.Stats().Lag }
+
+// Status is the operator-facing condition of a replica: readiness plus any
+// fatal configuration error replication is stalled on.
+type Status struct {
+	// Ready mirrors Ready(): the bootstrap has landed and no resync is
+	// pending.
+	Ready bool
+	// FatalConfig is non-empty while the primary rejects this replica as
+	// unauthorized (401/403): replication cannot make progress until the
+	// operator fixes -peer-token (or the primary's tenants file). Unlike an
+	// outage, waiting does not help.
+	FatalConfig string
+	// Stats is the usual progress snapshot.
+	Stats Stats
+}
+
+// Status returns the replica's operator-facing condition. A non-empty
+// FatalConfig distinguishes "the primary is down, retrying" from "the
+// primary is up and refusing us" — the latter needs a config fix, not
+// patience.
+func (r *Replica) Status() Status {
+	r.mu.Lock()
+	fatal := r.fatalConfig
+	r.mu.Unlock()
+	return Status{Ready: r.Ready(), FatalConfig: fatal, Stats: r.Stats()}
+}
 
 // Ready reports whether the replica is fit to serve reads: the initial
 // snapshot bootstrap has completed and no re-bootstrap is pending. It
@@ -207,6 +246,14 @@ func (r *Replica) Run(ctx context.Context) error {
 		progressed, err := r.Step(ctx)
 		switch {
 		case err != nil:
+			if isAuthError(err) {
+				// Fatal-config, not transient: the primary is up and
+				// refusing us. Hammering it with the hot end of the backoff
+				// ladder cannot help, so go straight to the slow end and
+				// keep probing only so a fixed tenants file heals without a
+				// restart.
+				backoff = r.cfg.BackoffMax
+			}
 			if !sleepCtx(ctx, jitter(backoff)) {
 				return ctx.Err()
 			}
@@ -237,15 +284,50 @@ func (r *Replica) Step(ctx context.Context) (progressed bool, err error) {
 	if boot {
 		if err := r.bootstrap(ctx); err != nil {
 			r.feedErrors.Add(1)
+			r.noteOutcome(err)
 			return false, err
 		}
+		r.noteOutcome(nil)
 		return true, nil
 	}
 	progressed, err = r.poll(ctx)
 	if err != nil {
 		r.feedErrors.Add(1)
 	}
+	r.noteOutcome(err)
 	return progressed, err
+}
+
+// noteOutcome classifies one round's result for Status(): an auth
+// rejection raises the fatal-config flag (counted, logged at error once
+// per outage); a successful round clears it. Other failures leave the flag
+// alone — a rejected replica whose primary then goes unreachable is still
+// misconfigured.
+func (r *Replica) noteOutcome(err error) {
+	if err != nil && isAuthError(err) {
+		r.authFailures.Add(1)
+		r.mu.Lock()
+		logIt := !r.authLogged
+		r.authLogged = true
+		r.fatalConfig = err.Error()
+		r.mu.Unlock()
+		if logIt && r.cfg.Log != nil {
+			r.cfg.Log.Error("primary rejected replica as unauthorized; fix -peer-token (fatal config, not retryable outage)",
+				"primary", r.cfg.Primary, "err", err)
+		}
+		return
+	}
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	recovered := r.fatalConfig != ""
+	r.fatalConfig = ""
+	r.authLogged = false
+	r.mu.Unlock()
+	if recovered && r.cfg.Log != nil {
+		r.cfg.Log.Info("primary accepted replica auth again", "primary", r.cfg.Primary)
+	}
 }
 
 // bootstrap fetches the primary's snapshot, applies it, reconciles local
@@ -328,7 +410,7 @@ func (r *Replica) poll(ctx context.Context) (progressed bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	p, err := unmarshalPage(doc)
+	p, err := UnmarshalPage(doc)
 	if err != nil {
 		return false, err
 	}
@@ -374,14 +456,33 @@ func (r *Replica) get(ctx context.Context, u string) (*xmldoc.Node, string, erro
 		return nil, "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, "", fmt.Errorf("changefeed: remote error %d: %s",
-			resp.StatusCode, strings.TrimSpace(string(data)))
+		return nil, "", &remoteError{code: resp.StatusCode, body: strings.TrimSpace(string(data))}
 	}
 	doc, err := xmldoc.ParseString(string(data))
 	if err != nil {
 		return nil, "", err
 	}
 	return doc, resp.Header.Get(EpochHeader), nil
+}
+
+// remoteError is a non-200 answer from the primary, typed so Run can tell
+// a fatal auth rejection from a transient failure.
+type remoteError struct {
+	code int
+	body string
+}
+
+// Error formats the status and the remote error text.
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("changefeed: remote error %d: %s", e.code, e.body)
+}
+
+// isAuthError reports whether err is a primary's 401/403 — the gated-
+// primary/missing-peer-token case that retrying cannot fix.
+func isAuthError(err error) bool {
+	var re *remoteError
+	return errors.As(err, &re) &&
+		(re.code == http.StatusUnauthorized || re.code == http.StatusForbidden)
 }
 
 // jitter spreads a backoff delay uniformly over [d/2, 3d/2) so a fleet of

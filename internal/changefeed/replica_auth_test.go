@@ -1,0 +1,121 @@
+package changefeed
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// A 401 from the primary is a fatal configuration error, not a transient
+// outage: it must be counted separately, surface on Status(), and be
+// logged at error exactly once per outage — then clear once the primary
+// accepts us again.
+func TestReplicaAuthRejectionIsFatalConfig(t *testing.T) {
+	prim := newReg("primary", 64)
+	srv := NewServer(prim)
+	mux := http.NewServeMux()
+	srv.Mount(mux)
+
+	var reject atomic.Bool
+	reject.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reject.Load() {
+			http.Error(w, "who are you", http.StatusUnauthorized)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	var logBuf bytes.Buffer
+	rep := New(Config{
+		Primary:  ts.URL,
+		Registry: newReg("replica", 64),
+		Log:      slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := rep.Step(ctx); err == nil {
+			t.Fatal("step against a 401 primary succeeded")
+		} else if !isAuthError(err) {
+			t.Fatalf("err = %v, not classified as auth", err)
+		}
+	}
+
+	st := rep.Status()
+	if st.FatalConfig == "" {
+		t.Error("Status().FatalConfig empty after 401s")
+	}
+	if !strings.Contains(st.FatalConfig, "401") {
+		t.Errorf("FatalConfig = %q, want the status code in it", st.FatalConfig)
+	}
+	if got := rep.authFailures.Load(); got != 3 {
+		t.Errorf("authFailures = %d, want 3", got)
+	}
+	if got := strings.Count(logBuf.String(), "rejected replica as unauthorized"); got != 1 {
+		t.Errorf("error logged %d times across one outage, want exactly once:\n%s", got, logBuf.String())
+	}
+
+	// Fix the "tenants file": the next round must clear the flag.
+	reject.Store(false)
+	if _, err := rep.Step(ctx); err != nil {
+		t.Fatalf("step after auth fix: %v", err)
+	}
+	if st := rep.Status(); st.FatalConfig != "" {
+		t.Errorf("FatalConfig = %q after recovery, want empty", st.FatalConfig)
+	}
+	if !strings.Contains(logBuf.String(), "accepted replica auth again") {
+		t.Error("recovery not logged")
+	}
+
+	// A second outage logs again (once): the log-once latch is per outage,
+	// not per process.
+	reject.Store(true)
+	if _, err := rep.Step(ctx); err == nil {
+		t.Fatal("step against re-enabled 401 succeeded")
+	}
+	if got := strings.Count(logBuf.String(), "rejected replica as unauthorized"); got != 2 {
+		t.Errorf("second outage: error log count = %d, want 2", got)
+	}
+}
+
+// A plain outage (network error, 5xx) must NOT raise the fatal-config
+// flag, and must not clear one already raised — a rejected replica whose
+// primary then goes down is still misconfigured.
+func TestReplicaAuthFlagUntouchedByOutages(t *testing.T) {
+	var mode atomic.Int32 // 0 = 401, 1 = 503
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if mode.Load() == 0 {
+			http.Error(w, "no", http.StatusUnauthorized)
+		} else {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+
+	rep := New(Config{Primary: ts.URL, Registry: newReg("replica", 64)})
+	ctx := context.Background()
+
+	if _, err := rep.Step(ctx); err == nil {
+		t.Fatal("want 401 error")
+	}
+	if rep.Status().FatalConfig == "" {
+		t.Fatal("flag not raised by 401")
+	}
+	mode.Store(1)
+	if _, err := rep.Step(ctx); err == nil {
+		t.Fatal("want 503 error")
+	}
+	if rep.Status().FatalConfig == "" {
+		t.Error("a 503 cleared the fatal-config flag; only success may")
+	}
+	if got := rep.authFailures.Load(); got != 1 {
+		t.Errorf("authFailures = %d, want 1 (the 503 is not an auth failure)", got)
+	}
+}

@@ -79,7 +79,7 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	deadline := time.Now().Add(wait)
 	for {
 		to, changes, ok := s.reg.ChangesSince(since)
-		p := page{Epoch: s.epoch, From: since, To: to, Truncated: !ok, Changes: changes}
+		p := Page{Epoch: s.epoch, From: since, To: to, Truncated: !ok, Changes: changes}
 		if !ok || len(changes) > 0 || time.Now().After(deadline) {
 			s.writePage(w, p)
 			return
@@ -94,10 +94,10 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) writePage(w http.ResponseWriter, p page) {
+func (s *Server) writePage(w http.ResponseWriter, p Page) {
 	w.Header().Set(EpochHeader, s.epoch)
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-	_, _ = io.WriteString(w, marshalPage(p).String())
+	_, _ = io.WriteString(w, MarshalPage(p).String())
 }
 
 // newEpoch returns a random server-incarnation ID.

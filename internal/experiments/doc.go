@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction of every table and
-// figure in the evaluation (see DESIGN.md for the experiment index E1–E21
+// figure in the evaluation (see DESIGN.md for the experiment index E1–E22
 // and the mapping to thesis chapters). Each experiment is a pure function
 // from parameters to a Table so that both the benchmark suite
 // (bench_test.go) and the harness binary (cmd/benchharness) share one

@@ -479,3 +479,21 @@ func TestE21(t *testing.T) {
 	// p99 by under 20% only while quotas are on.
 	t.Log("\n" + tab.String())
 }
+
+func TestE22(t *testing.T) {
+	tab, err := E22ClientSDKCache(2, 32, 10, 50, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// The experiment self-validates the ISSUE 10 acceptance bounds: the
+	// grown window holds origin requests within 2x of the 1x baseline at
+	// a >= 95% hit ratio, and the probe never serves an unpublished tuple
+	// once the feed cursor passes the delete.
+	if tab.Rows[3][5] != "dead-gone" {
+		t.Errorf("probe row = %v", tab.Rows[3])
+	}
+	t.Log("\n" + tab.String())
+}

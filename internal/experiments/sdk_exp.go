@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsda/internal/changefeed"
+	"wsda/internal/registry"
+	"wsda/internal/sdk"
+	"wsda/internal/tuple"
+	"wsda/internal/wsda"
+	"wsda/internal/xmldoc"
+)
+
+// e22Pace spaces each logical client's reads so the grown phase measures
+// cache absorption, not scheduler saturation.
+const e22Pace = 5 * time.Millisecond
+
+// e22Origin is a full WSDA node (query binding + change feed) that counts
+// query-path requests; the feed tail is mounted outside the counter so
+// origin load measures reads, not invalidation traffic.
+type e22Origin struct {
+	srv      *httptest.Server
+	reg      *registry.Registry
+	node     *wsda.LocalNode
+	requests atomic.Int64
+}
+
+func newE22Origin(keys int) (*e22Origin, []string, func()) {
+	reg := registry.New(registry.Config{
+		Name: "origin", DefaultTTL: time.Hour, JournalCap: 4096,
+	})
+	o := &e22Origin{reg: reg, node: &wsda.LocalNode{
+		Desc:     wsda.NewService("origin").Build(),
+		Registry: reg,
+	}}
+	links := make([]string, keys)
+	for i := range links {
+		links[i] = fmt.Sprintf("http://e22.example/svc%04d", i)
+		t := &tuple.Tuple{
+			Link: links[i], Type: tuple.TypeService,
+			Content: xmldoc.MustParse(fmt.Sprintf(`<service name="svc%04d"/>`, i)).DocumentElement().Clone(),
+		}
+		if _, err := o.node.Publish(t, time.Hour); err != nil {
+			panic(err)
+		}
+	}
+	mux := http.NewServeMux()
+	handler := wsda.Handler(o.node)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		o.requests.Add(1)
+		handler.ServeHTTP(w, r)
+	})
+	changefeed.NewServer(o.reg).Mount(mux)
+	o.srv = httptest.NewServer(mux)
+	return o, links, o.srv.Close
+}
+
+// e22Window runs `clients` paced logical clients against `edges` freshly
+// armed SDK caches for `window`, reading round-robin from links. It
+// returns the origin query requests the window cost, the total reads
+// issued, and the edges' aggregate hit ratio.
+func e22Window(o *e22Origin, links []string, edges, clients int, window time.Duration) (originReqs, reads int64, hitRatio float64, err error) {
+	// Fresh edges each window: both phases start cold, so the measured
+	// origin load includes each cache's one-time fill — the honest
+	// comparison, since a real deployment's caches also start cold.
+	pool := make([]*sdk.Client, edges)
+	for i := range pool {
+		c, err := sdk.New(sdk.Config{Origin: o.srv.URL, FeedWait: 500 * time.Millisecond,
+			MaxEntries: 4 * len(links)})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		c.Start()
+		defer c.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		werr := c.WaitCursor(ctx, o.reg.Gen())
+		cancel()
+		if werr != nil {
+			return 0, 0, 0, fmt.Errorf("edge %d never warmed: %w", i, werr)
+		}
+		pool[i] = c
+	}
+
+	before := o.requests.Load()
+	var total atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			edge := pool[g%len(pool)]
+			tick := time.NewTicker(e22Pace)
+			defer tick.Stop()
+			for i := g; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				if _, _, err := edge.Lookup(links[i%len(links)]); err != nil {
+					return
+				}
+				total.Add(1)
+			}
+		}(g)
+	}
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+
+	var hits, misses int64
+	for _, c := range pool {
+		st := c.Stats()
+		hits += st.Hits
+		misses += st.Misses
+	}
+	if hits+misses == 0 {
+		return 0, 0, 0, fmt.Errorf("window issued no reads")
+	}
+	return o.requests.Load() - before, total.Load(), float64(hits) / float64(hits+misses), nil
+}
+
+// E22ClientSDKCache measures the client SDK's feed-invalidated cache
+// (ISSUE 10): growing the client population by `factor` (the paper's
+// "100x more clients than nodes" regime) must NOT grow origin load with
+// it, because reads are absorbed at the edges and the origin only pays
+// one fill per (key, edge) plus the feed tails.
+//
+// Three windows run against an origin with `keys` published tuples and
+// `edges` caching SDK edges: an uncached control (every read is an origin
+// round-trip — the linear-scaling disaster the cache exists to prevent),
+// a 1x baseline of `base` paced clients, and a grown window of
+// base*factor clients. Self-validation: the grown window's origin request
+// count stays within 2x the baseline's despite factor-times the reads,
+// its aggregate hit ratio is >= 95%, and a post-window unpublish probe —
+// after WaitCursor passes the delete — never serves the dead tuple from
+// any edge, while an untouched key stays served without a new origin
+// read. An error is returned when any bound is missed.
+func E22ClientSDKCache(edges, keys, base, factor, runMS int) (*Table, error) {
+	if edges < 1 || keys < edges || base < 1 || factor < 2 || runMS < 200 {
+		return nil, fmt.Errorf("E22: need edges>=1, keys>=edges, base>=1, factor>=2, runMS>=200; got %d/%d/%d/%d/%d",
+			edges, keys, base, factor, runMS)
+	}
+	t := &Table{
+		ID:    "E22",
+		Title: "Client SDK: feed-invalidated read-through cache under client growth",
+		Note: "Paced logical clients (one read / 5ms) multiplexed over caching SDK\n" +
+			"edges against one origin. Windows start with cold edges, so origin-req\n" +
+			"includes each cache's one-time fills; ratio is origin requests vs the\n" +
+			"1x baseline window. The probe row unpublishes a key, waits for the\n" +
+			"feed cursor to pass the delete, and re-reads from every edge.",
+		Header: []string{"phase", "clients", "reads", "origin-req", "ratio", "hit%"},
+	}
+	window := time.Duration(runMS) * time.Millisecond
+
+	o, links, done := newE22Origin(keys)
+	defer done()
+
+	// --- Control: no caching, reads go straight to the origin ---------
+	ctrlBefore := o.requests.Load()
+	var ctrlReads atomic.Int64
+	{
+		cl := wsda.NewClient(o.srv.URL)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < base; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				tick := time.NewTicker(e22Pace)
+				defer tick.Stop()
+				for i := g; ; i++ {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+					}
+					if _, err := cl.MinQuery(registry.Filter{LinkPrefix: links[i%len(links)]}); err != nil {
+						return
+					}
+					ctrlReads.Add(1)
+				}
+			}(g)
+		}
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+	}
+	ctrlReqs := o.requests.Load() - ctrlBefore
+	t.Add("uncached", fmt.Sprintf("%d", base), fmt.Sprintf("%d", ctrlReads.Load()),
+		fmt.Sprintf("%d", ctrlReqs), "-", "-")
+
+	// --- 1x baseline --------------------------------------------------
+	baseReqs, baseReads, baseHit, err := e22Window(o, links, edges, base, window)
+	if err != nil {
+		return nil, fmt.Errorf("E22 baseline: %w", err)
+	}
+	t.Add("cached-1x", fmt.Sprintf("%d", base), fmt.Sprintf("%d", baseReads),
+		fmt.Sprintf("%d", baseReqs), "1.00x", fmt.Sprintf("%.1f", 100*baseHit))
+
+	// --- factor-times the clients -------------------------------------
+	grown := base * factor
+	grownReqs, grownReads, grownHit, err := e22Window(o, links, edges, grown, window)
+	if err != nil {
+		return nil, fmt.Errorf("E22 grown: %w", err)
+	}
+	ratio := float64(grownReqs) / float64(baseReqs)
+	t.Add(fmt.Sprintf("cached-%dx", factor), fmt.Sprintf("%d", grown),
+		fmt.Sprintf("%d", grownReads), fmt.Sprintf("%d", grownReqs),
+		fmt.Sprintf("%.2fx", ratio), fmt.Sprintf("%.1f", 100*grownHit))
+
+	// --- consistency probe: unpublish must win over the cache ----------
+	probe, err := e22Probe(o, links)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("probe", fmt.Sprintf("%d", edges), "-", "-", "-", probe)
+
+	// Self-validation: the acceptance bounds for ISSUE 10.
+	if grownReads < baseReads*int64(factor)/2 {
+		// The grown window must actually have multiplied the read load,
+		// otherwise the ratio bound below is vacuous.
+		return nil, fmt.Errorf("E22: grown window made %d reads vs baseline %d — scheduler starved, measurement invalid",
+			grownReads, baseReads)
+	}
+	if ratio > 2.0 {
+		return nil, fmt.Errorf("E22: %dx clients grew origin load %.2fx (want <= 2.00x): cache is not absorbing reads",
+			factor, ratio)
+	}
+	if grownHit < 0.95 {
+		return nil, fmt.Errorf("E22: grown-phase hit ratio %.3f < 0.95", grownHit)
+	}
+	return t, nil
+}
+
+// e22Probe arms fresh edges, warms one key everywhere, unpublishes it,
+// waits for every edge's feed cursor to pass the delete, and verifies no
+// edge serves the dead tuple while an untouched key still hits.
+func e22Probe(o *e22Origin, links []string) (string, error) {
+	dead, alive := links[0], links[1]
+	for i := 0; i < 2; i++ {
+		c, err := sdk.New(sdk.Config{Origin: o.srv.URL, FeedWait: 200 * time.Millisecond})
+		if err != nil {
+			return "", err
+		}
+		c.Start()
+		defer c.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		werr := c.WaitCursor(ctx, o.reg.Gen())
+		cancel()
+		if werr != nil {
+			return "", fmt.Errorf("E22 probe: edge never warmed: %w", werr)
+		}
+		for _, l := range []string{dead, alive} {
+			if _, ok, err := c.Lookup(l); err != nil || !ok {
+				return "", fmt.Errorf("E22 probe: prefill %s: ok=%v err=%v", l, ok, err)
+			}
+		}
+		if err := o.node.Unpublish(dead); err != nil {
+			return "", fmt.Errorf("E22 probe: unpublish: %w", err)
+		}
+		ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+		werr = c.WaitCursor(ctx, o.reg.Gen())
+		cancel()
+		if werr != nil {
+			return "", fmt.Errorf("E22 probe: cursor never passed the delete: %w", werr)
+		}
+		if _, ok, err := c.Lookup(dead); err != nil {
+			return "", err
+		} else if ok {
+			return "", fmt.Errorf("E22 probe: edge %d served the dead tuple after the cursor passed the delete", i)
+		}
+		reqs := o.requests.Load()
+		if _, ok, err := c.Lookup(alive); err != nil || !ok {
+			return "", fmt.Errorf("E22 probe: untouched key lost: ok=%v err=%v", ok, err)
+		}
+		if o.requests.Load() != reqs {
+			return "", fmt.Errorf("E22 probe: untouched key re-read from origin — invalidation was not exact")
+		}
+		// Restore for the second edge's pass.
+		if i == 0 {
+			t := &tuple.Tuple{Link: dead, Type: tuple.TypeService,
+				Content: xmldoc.MustParse(`<service name="svc0000"/>`).DocumentElement().Clone()}
+			if _, err := o.node.Publish(t, time.Hour); err != nil {
+				return "", err
+			}
+		}
+	}
+	return "dead-gone", nil
+}

@@ -296,6 +296,11 @@ type Filter struct {
 	LinkPrefix string // prefix match on the tuple link
 }
 
+// Matches reports whether t passes the filter. The client SDK uses it for
+// exact cache invalidation: a feed upsert kills exactly the cached result
+// sets whose filter the new tuple state matches.
+func (f Filter) Matches(t *tuple.Tuple) bool { return f.match(t) }
+
 func (f Filter) match(t *tuple.Tuple) bool {
 	if f.Type != "" && t.Type != f.Type {
 		return false

@@ -1,0 +1,149 @@
+package sdk
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"wsda/internal/changefeed"
+	"wsda/internal/wsda"
+	"wsda/internal/xmldoc"
+)
+
+// runFeed arms the cache and tails the origin's change feed until ctx is
+// canceled. Any irregularity — transport failure, origin epoch change,
+// journal truncation, a cursor from the future — drops the cache cold and
+// re-arms; an empty cache plus a current cursor is always consistent,
+// because every subsequent fill reads through to the origin. Unlike a
+// changefeed.Replica the cache carries no full-state obligation, so no
+// snapshot bootstrap is ever needed: even a truncated page reports the
+// origin's current generation in To, which is exactly where a fresh empty
+// cache belongs.
+func (c *Client) runFeed(ctx context.Context) {
+	backoff := c.cfg.BackoffMin
+	armed := false
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		page, epoch, err := c.fetchFeed(ctx, c.cursor.Load())
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if armed {
+				c.dropCold(fmt.Sprintf("feed error: %v", err))
+				armed = false
+			} else if c.cfg.Log != nil {
+				c.cfg.Log.Warn("sdk feed round failed", "origin", c.cfg.Origin, "err", err)
+			}
+			if !sleepCtx(ctx, jitterDur(backoff)) {
+				return
+			}
+			backoff = min(backoff*2, c.cfg.BackoffMax)
+			continue
+		}
+		backoff = c.cfg.BackoffMin
+		if page.Epoch == "" {
+			page.Epoch = epoch
+		}
+		c.mu.RLock()
+		curEpoch := c.epoch
+		c.mu.RUnlock()
+		switch {
+		case !armed, page.Epoch != curEpoch, page.Truncated, page.To < c.cursor.Load():
+			// Cold start, restarted origin, gap, or future cursor: clear and
+			// re-arm at the page's To — the origin's current generation even
+			// on a truncated page, since ChangesSince past the journal still
+			// reports where "now" is.
+			if armed {
+				c.dropCold(fmt.Sprintf("feed resync: epoch %q->%q truncated=%v to=%d cursor=%d",
+					curEpoch, page.Epoch, page.Truncated, page.To, c.cursor.Load()))
+			}
+			c.arm(page.Epoch, page.To)
+			armed = true
+		default:
+			c.applyChanges(page.Changes)
+			c.cursor.Store(page.To)
+			c.lastSync.Store(c.cfg.Now().UnixNano())
+		}
+		if len(page.Changes) == 0 && c.cfg.FeedWait <= 0 {
+			// Plain polling (long-poll disabled): pace the next round
+			// instead of spinning. With long-polling the origin already did
+			// the waiting.
+			if !sleepCtx(ctx, 10*time.Millisecond) {
+				return
+			}
+		}
+	}
+}
+
+// fetchFeed issues one GET /wsda/feed round from cursor and parses the
+// page, returning the epoch header alongside.
+func (c *Client) fetchFeed(ctx context.Context, cursor uint64) (changefeed.Page, string, error) {
+	u := c.cfg.Origin + changefeed.PathFeed + "?since=" + strconv.FormatUint(cursor, 10)
+	if c.cfg.FeedWait > 0 {
+		u += "&wait-ms=" + strconv.FormatInt(c.cfg.FeedWait.Milliseconds(), 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return changefeed.Page{}, "", err
+	}
+	if c.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.cfg.Token)
+	}
+	hc := c.cfg.HTTP
+	if hc == nil {
+		hc = wsda.DefaultHTTPClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return changefeed.Page{}, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return changefeed.Page{}, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return changefeed.Page{}, "", fmt.Errorf("sdk: feed: remote error %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	doc, err := xmldoc.ParseString(string(data))
+	if err != nil {
+		return changefeed.Page{}, "", err
+	}
+	p, err := changefeed.UnmarshalPage(doc)
+	if err != nil {
+		return changefeed.Page{}, "", err
+	}
+	return p, resp.Header.Get(changefeed.EpochHeader), nil
+}
+
+// jitterDur spreads a backoff delay uniformly over [d/2, 3d/2) so a fleet
+// of cached clients does not reconnect in lockstep after an origin
+// restart.
+func jitterDur(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// sleepCtx sleeps d or until ctx is done, reporting whether it slept the
+// full duration.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,71 @@
+package sdk
+
+import (
+	"wsda/internal/registry"
+	"wsda/internal/wsda"
+	"wsda/internal/xq"
+)
+
+// Pager iterates a paginated XQuery one page at a time, carrying the
+// opaque continuation cursor between requests so no more than pageSize
+// items are ever buffered at either end. Pages bypass the result cache:
+// pagination exists precisely for result sets too large to pin in memory.
+//
+//	p := c.Pages(query, opts, 100)
+//	for p.Next() {
+//	    for _, it := range p.Items() { ... }
+//	}
+//	if err := p.Err(); err != nil { ... }
+type Pager struct {
+	wc       *wsda.Client
+	query    string
+	opts     registry.QueryOptions
+	pageSize int
+
+	cursor string
+	items  xq.Sequence
+	err    error
+	done   bool
+}
+
+// Pages returns a Pager over query with pageSize items per page. Resume an
+// interrupted iteration by seeding opts via Pages and calling Seek with a
+// cursor from a previous Pager's Cursor().
+func (c *Client) Pages(query string, opts registry.QueryOptions, pageSize int) *Pager {
+	return &Pager{wc: c.wc, query: query, opts: opts, pageSize: pageSize}
+}
+
+// Seek positions the pager at cursor (from a previous Pager's Cursor())
+// instead of the first page. Must be called before the first Next.
+func (p *Pager) Seek(cursor string) { p.cursor = cursor }
+
+// Next fetches the next page, reporting whether one was retrieved. It
+// returns false at the end of the result set or on error — check Err
+// after the loop.
+func (p *Pager) Next() bool {
+	if p.done || p.err != nil {
+		return false
+	}
+	page, err := p.wc.XQueryPage(p.query, p.opts, p.pageSize, p.cursor)
+	if err != nil {
+		p.err = err
+		return false
+	}
+	p.items = page.Items
+	p.cursor = page.Next
+	if page.Next == "" {
+		p.done = true
+	}
+	return true
+}
+
+// Items returns the current page's items (valid after a true Next).
+func (p *Pager) Items() xq.Sequence { return p.items }
+
+// Err returns the first error the iteration hit, nil on clean completion.
+func (p *Pager) Err() error { return p.err }
+
+// Cursor returns the continuation cursor for the page AFTER the current
+// one — persist it to resume iteration later with Seek; empty means the
+// current page was the last.
+func (p *Pager) Cursor() string { return p.cursor }

@@ -137,6 +137,7 @@ func (m *Member) StartBootstrap(ctx context.Context, sources []string, longPoll 
 			Registry:     m.reg,
 			HTTP:         hc,
 			LongPollWait: longPoll,
+			Log:          m.logger,
 			Filter: func(key string) bool {
 				return m.Owns(key) && Owner(key, oldTotal) == i
 			},

@@ -226,7 +226,35 @@ func HandlerWithObservability(n Node, m *telemetry.Metrics, fr *telemetry.Flight
 			}
 			maxResults = v
 		}
-		if q.Get("stream") != "true" && maxResults == 0 {
+		// Cursor pagination: page-size bounds this response to one page and
+		// page-cursor resumes where a previous page stopped. Pagination
+		// implies streamed delivery — the continuation cursor rides the
+		// trailing <summary> — and composes with Emit-driven early stop, so
+		// the engine never materializes the skipped prefix's renderings nor
+		// anything past the page bound plus one probe item.
+		pageSize := 0
+		if s := q.Get("page-size"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad page-size"))
+				return
+			}
+			pageSize = v
+		}
+		pageOffset := 0
+		if s := q.Get("page-cursor"); s != "" {
+			if pageSize == 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("page-cursor requires page-size"))
+				return
+			}
+			off, err := DecodePageCursor(s)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			pageOffset = off
+		}
+		if q.Get("stream") != "true" && maxResults == 0 && pageSize == 0 {
 			seq, err := n.XQuery(string(body), opts)
 			if err != nil {
 				httpError(w, http.StatusUnprocessableEntity, err)
@@ -242,7 +270,7 @@ func HandlerWithObservability(n Node, m *telemetry.Metrics, fr *telemetry.Flight
 		// stops early on the max-results bound or a client disconnect.
 		start := time.Now()
 		var sw *StreamWriter
-		if q.Get("stream") == "true" {
+		if q.Get("stream") == "true" || pageSize > 0 {
 			sw = NewStreamWriter(w)
 			if fr != nil && opts.TxID != "" {
 				sw.SetFlight(fr, opts.TxID)
@@ -251,9 +279,23 @@ func HandlerWithObservability(n Node, m *telemetry.Metrics, fr *telemetry.Flight
 		var collected xq.Sequence
 		count := 0
 		truncated := false
+		skip := pageOffset
+		nextCursor := ""
 		ctx := r.Context()
 		deliver := func(it xq.Item) bool {
 			if ctx.Err() != nil {
+				truncated = true
+				return false
+			}
+			if skip > 0 {
+				skip--
+				return true
+			}
+			if pageSize > 0 && count >= pageSize {
+				// This item is past the page bound; its existence (not its
+				// value) is the proof that a next page exists, so mint the
+				// continuation cursor and stop the evaluation.
+				nextCursor = EncodePageCursor(pageOffset + pageSize)
 				truncated = true
 				return false
 			}
@@ -299,7 +341,8 @@ func HandlerWithObservability(n Node, m *telemetry.Metrics, fr *telemetry.Flight
 			if !sw.Started() {
 				planHeader() // zero-item stream: headers not committed yet
 			}
-			_ = sw.Close(StreamSummary{Complete: !truncated, Elapsed: time.Since(start)})
+			_ = sw.Close(StreamSummary{Complete: !truncated, Elapsed: time.Since(start),
+				NextCursor: nextCursor})
 			return
 		}
 		planHeader()
@@ -372,7 +415,7 @@ func UnmarshalSequence(root *xmldoc.Node) (xq.Sequence, error) {
 // node's root (scheme://host:port); the client appends the binding paths.
 type Client struct {
 	BaseURL string       // node root, scheme://host:port
-	HTTP    *http.Client // transport override; nil uses http.DefaultClient
+	HTTP    *http.Client // transport override; nil uses DefaultHTTPClient (pooled, sane timeouts)
 	// Token is sent as "Authorization: Bearer <Token>" on every request
 	// — a static tenant token or one minted by `wsdaquery mint` — for
 	// nodes running behind a -tenants gate. Empty sends no header.
@@ -381,9 +424,11 @@ type Client struct {
 
 var _ Node = (*Client)(nil)
 
-// NewClient returns a client for the node at baseURL.
+// NewClient returns a client for the node at baseURL, on the package's
+// shared pooled transport (DefaultHTTPClient). Set HTTP afterwards to
+// override per-client.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/"), HTTP: http.DefaultClient}
+	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/"), HTTP: DefaultHTTPClient}
 }
 
 // newRequest builds a request with the client's auth header attached.
@@ -407,7 +452,7 @@ func (c *Client) get(path string, q url.Values) (*xmldoc.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.HTTP.Do(req)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -432,7 +477,7 @@ func (c *Client) postHdr(path string, q url.Values, body string) (*xmldoc.Node, 
 		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", "text/xml")
-	resp, err := c.HTTP.Do(req)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -447,6 +492,10 @@ func (c *Client) postHdr(path string, q url.Values, body string) (*xmldoc.Node, 
 type HTTPError struct {
 	StatusCode int    // HTTP status the node answered with
 	Body       string // trimmed response body (the error text)
+	// RetryAfter is the node's Retry-After hint (tenant gates send one with
+	// 429), 0 when absent. Retry loops should wait at least this long —
+	// capped by their own policy — before resending.
+	RetryAfter time.Duration
 }
 
 // Error formats the status and the remote error text.
@@ -470,7 +519,11 @@ func readXMLResponse(resp *http.Response) (*xmldoc.Node, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, &HTTPError{StatusCode: resp.StatusCode, Body: strings.TrimSpace(string(data))}
+		return nil, &HTTPError{
+			StatusCode: resp.StatusCode,
+			Body:       strings.TrimSpace(string(data)),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	return xmldoc.ParseString(string(data))
 }

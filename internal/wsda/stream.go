@@ -39,6 +39,12 @@ type StreamSummary struct {
 	// postStream ("" when the server sent none). It never crosses the
 	// wire inside the <summary> trailer.
 	Plan string
+	// NextCursor is the opaque continuation cursor of a paginated response
+	// (next-cursor attribute): pass it back as page-cursor to resume where
+	// this page stopped. Empty on the final page and on unpaginated
+	// responses. A paginated page reports Complete=false — the result set
+	// continues — until the final page.
+	NextCursor string
 }
 
 // StreamWriter emits a chunked <results> stream over HTTP: one <node> or
@@ -160,6 +166,9 @@ func (sw *StreamWriter) Close(sum StreamSummary) error {
 	}
 	if sum.Shortfall != "" {
 		el.SetAttr("shortfall", sum.Shortfall)
+	}
+	if sum.NextCursor != "" {
+		el.SetAttr("next-cursor", sum.NextCursor)
 	}
 	if _, sw.err = io.WriteString(sw.w, el.String()+"</results>"); sw.err != nil {
 		return sw.err
@@ -287,6 +296,9 @@ func summaryFromElement(sum *StreamSummary, el *xmldoc.Node) {
 	if v, ok := el.Attr("shortfall"); ok {
 		sum.Shortfall = v
 	}
+	if v, ok := el.Attr("next-cursor"); ok {
+		sum.NextCursor = v
+	}
 }
 
 // buildElement materializes the element opened by se (and its whole
@@ -365,14 +377,24 @@ func (c *Client) postStream(path string, q url.Values, body string, onItem func(
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "text/xml")
-	resp, err := c.HTTP.Do(req)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	// Drain-then-close, not a bare close: when the decoder stops early
+	// (onItem returned false, max-results reached) the body still holds the
+	// unread trailer; closing over it would tear down the keep-alive
+	// connection and force the next request on this pooled transport to
+	// re-dial. The drain is bounded, so a huge abandoned stream still just
+	// gets its connection dropped.
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		return nil, &HTTPError{StatusCode: resp.StatusCode, Body: strings.TrimSpace(string(data))}
+		return nil, &HTTPError{
+			StatusCode: resp.StatusCode,
+			Body:       strings.TrimSpace(string(data)),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	sum, err := DecodeStream(resp.Body, onItem)
 	if sum != nil {

@@ -1,0 +1,130 @@
+package wsda
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Connection-pool and timeout tuning for the package's shared transport.
+// The numbers are chosen for discovery traffic: many small request/response
+// exchanges against a handful of registry/router endpoints (fan-in), plus
+// long-lived streamed responses that must not be cut by a whole-request
+// timeout.
+const (
+	// DialTimeout bounds TCP connection establishment to a node.
+	DialTimeout = 5 * time.Second
+	// TLSHandshakeTimeout bounds the TLS handshake on HTTPS endpoints.
+	TLSHandshakeTimeout = 5 * time.Second
+	// ResponseHeaderTimeout bounds the wait for response headers after the
+	// request is written — the "stuck registry" guard. It is deliberately
+	// generous so feed long-polls (which hold headers until a change or the
+	// wait elapses, DefaultMaxWait 30s on the server) still fit under it.
+	ResponseHeaderTimeout = 45 * time.Second
+	// MaxIdleConnsPerHost keeps enough warm connections per endpoint for a
+	// fan-in client (an SDK cache, a router) hammering one registry from
+	// many goroutines without a dial per request.
+	MaxIdleConnsPerHost = 64
+	// IdleConnTimeout retires idle pooled connections.
+	IdleConnTimeout = 90 * time.Second
+)
+
+// DefaultTransport is the shared pooled keep-alive transport every Client
+// without an explicit HTTP override uses. Unlike http.DefaultTransport it
+// bounds dial, TLS and response-header waits (a stuck registry fails the
+// call instead of hanging the caller forever) and pools enough idle
+// connections per host for fan-in workloads. There is intentionally no
+// whole-request timeout: streamed query responses and feed long-polls are
+// expected to outlive any reasonable one; slow-loris bodies are the
+// caller's context's problem.
+var DefaultTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   DialTimeout,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	ForceAttemptHTTP2:     true,
+	TLSHandshakeTimeout:   TLSHandshakeTimeout,
+	ResponseHeaderTimeout: ResponseHeaderTimeout,
+	ExpectContinueTimeout: 1 * time.Second,
+	MaxIdleConns:          256,
+	MaxIdleConnsPerHost:   MaxIdleConnsPerHost,
+	IdleConnTimeout:       IdleConnTimeout,
+}
+
+// DefaultHTTPClient is the shared client over DefaultTransport. NewClient
+// installs it, and a Client whose HTTP field is nil falls back to it — the
+// old fallback was http.DefaultClient, which pools a single idle connection
+// per host and never times out a dead peer.
+var DefaultHTTPClient = &http.Client{Transport: DefaultTransport}
+
+// httpClient resolves the client to issue requests with: the explicit
+// override when set, the shared pooled default otherwise. A zero-value
+// Client is therefore usable, matching the documented nil semantics.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return DefaultHTTPClient
+}
+
+// maxDrainBytes bounds how much of an unread response body is consumed
+// before closing it so the pooled transport can recycle the connection. A
+// remainder larger than this is cheaper to abandon (close kills the
+// connection) than to read.
+const maxDrainBytes = 256 << 10
+
+// maxDrainWait bounds how long drainClose waits for that remainder. A
+// response already in flight drains in microseconds, keeping the
+// connection reusable; a server still producing (a streamed query being
+// abandoned mid-evaluation) must instead see a prompt close — the
+// disconnect is itself a signal, canceling a streamed netquery's
+// transaction network-wide, and waiting out a trickle would both delay
+// that and swallow it entirely on short streams.
+const maxDrainWait = 25 * time.Millisecond
+
+// drainClose discards a bounded remainder of body (bounded in bytes and in
+// time) and closes it. Closing a body with unread bytes tears down the
+// underlying connection; on the streaming early-stop path (onItem returned
+// false, max-results reached) what remains is typically just the trailer,
+// so draining it keeps the keep-alive connection reusable.
+func drainClose(body io.ReadCloser) {
+	done := make(chan struct{})
+	go func() {
+		_, _ = io.CopyN(io.Discard, body, maxDrainBytes)
+		close(done)
+	}()
+	t := time.NewTimer(maxDrainWait)
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+	}
+	// Close unblocks the drain goroutine's pending Read if it lost the race.
+	body.Close()
+}
+
+// parseRetryAfter interprets a Retry-After response header value: either a
+// non-negative integer delay in seconds, or an HTTP-date. Returns 0 for an
+// absent or unparseable value (0 means "no hint", so a literal
+// "Retry-After: 0" is indistinguishable from none — both mean retry
+// whenever the caller pleases).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

@@ -1,0 +1,118 @@
+package wsda
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsda/internal/registry"
+	"wsda/internal/xq"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"7", 7 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat), 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// An HTTP-date in the future yields roughly the remaining delay.
+	in := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(in); got < 25*time.Second || got > 31*time.Second {
+		t.Errorf("parseRetryAfter(future date) = %v, want ~30s", got)
+	}
+}
+
+// A 429 with Retry-After must surface the hint on the typed HTTPError so
+// retry loops can honor the server's pacing instead of guessing.
+func TestHTTPErrorCarriesRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		http.Error(w, "throttled", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	_, err := NewClient(srv.URL).GetServiceDescription()
+	he, ok := err.(*HTTPError)
+	if !ok {
+		t.Fatalf("err = %T (%v), want *HTTPError", err, err)
+	}
+	if he.RetryAfter != 3*time.Second {
+		t.Errorf("RetryAfter = %v, want 3s", he.RetryAfter)
+	}
+	if !he.Retryable() {
+		t.Error("429 must be retryable")
+	}
+}
+
+// tracingTransport wraps a RoundTripper, counting how many requests rode a
+// reused (kept-alive) connection.
+type tracingTransport struct {
+	base   http.RoundTripper
+	reused atomic.Int64
+	total  atomic.Int64
+}
+
+func (tt *tracingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	tt.total.Add(1)
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				tt.reused.Add(1)
+			}
+		},
+	}
+	req = req.WithContext(httptrace.WithClientTrace(req.Context(), trace))
+	return tt.base.RoundTrip(req)
+}
+
+// Early-stopped streamed queries must not burn a connection per request:
+// drainClose consumes the small remainder (trailer) so the pooled
+// transport recycles the connection, which httptrace observes as Reused on
+// the following request.
+func TestStreamEarlyStopReusesConnection(t *testing.T) {
+	node := newLocalNode()
+	for i := 0; i < 20; i++ {
+		publishSample(t, node, fmt.Sprintf("svc%02d", i), "reuse.example")
+	}
+	srv := httptest.NewServer(Handler(node))
+	defer srv.Close()
+
+	// A dedicated transport so other tests' connections don't pollute the
+	// reuse accounting.
+	tt := &tracingTransport{base: &http.Transport{MaxIdleConnsPerHost: 4}}
+	cl := NewClient(srv.URL)
+	cl.HTTP = &http.Client{Transport: tt}
+
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		// Stop after the first item: everything after it (items + trailer)
+		// is the remainder drainClose must swallow for the connection to
+		// stay reusable.
+		_, err := cl.XQueryStream(`//service`, registry.QueryOptions{}, 0,
+			func(xq.Item) bool { return false })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tt.total.Load() != rounds {
+		t.Fatalf("requests = %d, want %d", tt.total.Load(), rounds)
+	}
+	if reused := tt.reused.Load(); reused < rounds-1 {
+		t.Errorf("reused connections = %d/%d, want %d (early stop must drain, not kill, the connection)",
+			reused, rounds, rounds-1)
+	}
+}
